@@ -1,0 +1,238 @@
+// Benchmarks regenerating every figure in the paper's evaluation (§VI), plus
+// the ablations DESIGN.md calls out. Each figure has one benchmark per
+// series point-set; `go test -bench=.` prints the measured values and the
+// simulated makespans are reported as the custom metric "makespan_s".
+//
+//	BenchmarkFig1a*   — Fig. 1a (3-node image workflow sweep)
+//	BenchmarkFig1b*   — Fig. 1b (single-node sweep)
+//	BenchmarkFig2*    — Fig. 2 (expression scaling)
+//	BenchmarkJSExpr / BenchmarkPyExpr — abl-expr (real interpreter costs)
+//	BenchmarkExecutorDispatch*        — abl-overhead (live dispatch rates)
+//	BenchmarkFunctionalPipeline       — end-to-end CWLApp chain on real files
+package cwlparsl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cwl"
+	"repro/internal/cwlexpr"
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+// benchFig1 reports the simulated makespan for one engine/topology/size.
+func benchFig1(b *testing.B, kind bench.EngineKind, topo bench.Topology, images int) {
+	b.Helper()
+	var last bench.Fig1Result
+	for i := 0; i < b.N; i++ {
+		res, err := bench.SimulateImageWorkflow(kind, topo, images, bench.DefaultImageModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MakespanSec, "makespan_s")
+	b.ReportMetric(last.Utilization*100, "util_%")
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	for _, kind := range []bench.EngineKind{bench.EngineCWLTool, bench.EngineToilSlurm, bench.EngineParslHTEX} {
+		for _, n := range []int{100, 500, 1000} {
+			b.Run(fmt.Sprintf("%s/images=%d", kind, n), func(b *testing.B) {
+				benchFig1(b, kind, bench.PaperThreeNode(), n)
+			})
+		}
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	for _, kind := range []bench.EngineKind{bench.EngineCWLTool, bench.EngineToilSlurm, bench.EngineParslThreads} {
+		for _, n := range []int{100, 500, 1000} {
+			b.Run(fmt.Sprintf("%s/images=%d", kind, n), func(b *testing.B) {
+				benchFig1(b, kind, bench.PaperSingleNode(), n)
+			})
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for _, m := range bench.ExprModels() {
+		for _, w := range []int{2, 64, 1024} {
+			m, w := m, w
+			b.Run(fmt.Sprintf("%s/words=%d", m.Name, w), func(b *testing.B) {
+				var total float64
+				for i := 0; i < b.N; i++ {
+					total = m.Total(w)
+				}
+				b.ReportMetric(total, "modelled_s")
+			})
+		}
+	}
+}
+
+// exprBench measures real interpreter throughput on the paper's
+// capitalize_words expression (abl-expr).
+func exprBench(b *testing.B, engine string, words int) {
+	b.Helper()
+	msg := bench.WordMessage(words)
+	ctx := cwlexpr.Context{Inputs: yamlx.MapOf("message", msg)}
+	var eng *cwlexpr.Engine
+	var expr string
+	var err error
+	if engine == "js" {
+		eng, err = cwlexpr.NewEngine(cwl.Requirements{
+			InlineJavascript: true,
+			JSExpressionLib: []string{`
+				function capitalize_words(message) {
+					return message.split(" ").map(function(w) {
+						if (w.length == 0) { return w; }
+						return w.charAt(0).toUpperCase() + w.slice(1).toLowerCase();
+					}).join(" ");
+				}`},
+		})
+		expr = "$(capitalize_words(inputs.message))"
+	} else {
+		eng, err = cwlexpr.NewEngine(cwl.Requirements{
+			InlinePython: true,
+			PyExpressionLib: []string{
+				"def capitalize_words(message):\n    return message.title()\n",
+			},
+		})
+		expr = `f"{capitalize_words($(inputs.message))}"`
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Eval(expr, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJSExpr(b *testing.B) {
+	for _, w := range []int{2, 64, 1024} {
+		b.Run(fmt.Sprintf("words=%d", w), func(b *testing.B) { exprBench(b, "js", w) })
+	}
+}
+
+func BenchmarkPyExpr(b *testing.B) {
+	for _, w := range []int{2, 64, 1024} {
+		b.Run(fmt.Sprintf("words=%d", w), func(b *testing.B) { exprBench(b, "py", w) })
+	}
+}
+
+// BenchmarkExecutorDispatch measures live per-task dispatch cost through the
+// two Parsl executors (abl-overhead's measured counterpart).
+func BenchmarkExecutorDispatch(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() parsl.Executor
+	}{
+		{"threads", func() parsl.Executor { return parsl.NewThreadPoolExecutor("threads", 4) }},
+		{"htex", func() parsl.Executor {
+			return parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
+				Label: "htex", WorkersPerNode: 4, MaxBlocks: 1, InitBlocks: 1,
+			})
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			dfk, err := parsl.Load(parsl.Config{Executors: []parsl.Executor{c.mk()}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dfk.Cleanup()
+			app := parsl.NewGoApp("noop", func(parsl.Args) (any, error) { return nil, nil })
+			b.ResetTimer()
+			futs := make([]*parsl.AppFuture, 0, b.N)
+			for i := 0; i < b.N; i++ {
+				futs = append(futs, dfk.Submit(app, parsl.Args{}, parsl.CallOpts{}))
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFunctionalPipeline runs the real echo→cat CWLApp chain end to end
+// (files on disk, subprocesses), measuring the integration's live overhead.
+func BenchmarkFunctionalPipeline(b *testing.B) {
+	dir := b.TempDir()
+	echoCWL := `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message: {type: string, inputBinding: {position: 1}}
+outputs:
+  output: {type: stdout}
+stdout: out.txt
+`
+	catCWL := `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: cat
+inputs:
+  input_file: {type: File, inputBinding: {position: 1}}
+outputs:
+  output: {type: stdout}
+stdout: cat.txt
+`
+	echoPath := filepath.Join(dir, "echo.cwl")
+	catPath := filepath.Join(dir, "cat.cwl")
+	if err := os.WriteFile(echoPath, []byte(echoCWL), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(catPath, []byte(catCWL), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 8)},
+		RunDir:    dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dfk.Cleanup()
+	echo, err := core.NewCWLApp(dfk, echoPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := core.NewCWLApp(dfk, catPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f1 := echo.Call(parsl.Args{"message": "bench"})
+		f2 := cat.Call(parsl.Args{"input_file": f1.Output(0)})
+		if _, err := f2.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYAMLDecode measures CWL document parse cost (load-time overhead
+// of the import path).
+func BenchmarkYAMLDecode(b *testing.B) {
+	doc := strings.Repeat(`step:
+  run: tool.cwl
+  in:
+    x: input
+  out: [y]
+`, 50)
+	for i := 0; i < b.N; i++ {
+		if _, err := yamlx.Decode([]byte(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command bench-harness regenerates the paper's evaluation artifacts. Each
+// experiment prints the rows/series the paper reports (see EXPERIMENTS.md
+// for the paper-vs-measured comparison).
+//
+// Usage:
+//
+//	bench-harness -exp fig1a        # Fig. 1a: 3-node image workflow sweep
+//	bench-harness -exp fig1b        # Fig. 1b: single-node sweep
+//	bench-harness -exp fig2         # Fig. 2: expression scaling 2..1024 words
+//	bench-harness -exp abl-expr     # ablation: real interpreter eval times
+//	bench-harness -exp abl-scatter  # ablation: scatter width vs makespan
+//	bench-harness -exp abl-overhead # ablation: serial dispatch sweep
+//	bench-harness -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig1a|fig1b|fig2|abl-expr|abl-scatter|abl-overhead|all")
+	flag.Parse()
+	if err := run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-harness:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string) error {
+	run := func(id string) error {
+		switch id {
+		case "fig1a":
+			series, err := bench.Fig1a()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatSeries(
+				"Fig 1a — CWL image workflow on three nodes (3x48 cores), simulated makespan",
+				"images", "seconds", series))
+		case "fig1b":
+			series, err := bench.Fig1b()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatSeries(
+				"Fig 1b — CWL image workflow on one node (48 cores), simulated makespan",
+				"images", "seconds", series))
+		case "fig2":
+			fmt.Print(bench.FormatSeries(
+				"Fig 2 — expression evaluation: InlineJavaScript (cwltool, toil) vs InlinePython (parsl-cwl)",
+				"words", "seconds", bench.Fig2()))
+		case "abl-expr":
+			fmt.Println("# Ablation — measured per-evaluation cost of this repo's real interpreters")
+			fmt.Println("# (in-process; the JS column lacks the node-spawn cost that dominates cwltool)")
+			fmt.Printf("%-10s %14s %14s\n", "words", "js-seconds", "py-seconds")
+			for _, w := range bench.Fig2WordCounts {
+				js, err := bench.MeasureExprEval("js", w)
+				if err != nil {
+					return err
+				}
+				py, err := bench.MeasureExprEval("py", w)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-10d %14.6f %14.6f\n", w, js, py)
+			}
+		case "abl-scatter":
+			series, err := bench.AblationScatterWidth(bench.PaperThreeNode(), 256)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatSeries(
+				"Ablation — makespan vs available width (256 images, 3 nodes)",
+				"width", "seconds", series))
+		case "abl-overhead":
+			series, err := bench.AblationDispatchOverhead(500)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatSeries(
+				"Ablation — serial dispatch cost sweep (500 images; x = sweep index over 1,5,10,20,50,100 ms)",
+				"idx", "seconds", series))
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		fmt.Println()
+		return nil
+	}
+	if exp == "all" {
+		for _, id := range []string{"fig1a", "fig1b", "fig2", "abl-expr", "abl-scatter", "abl-overhead"} {
+			if err := run(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return run(exp)
+}

@@ -1,0 +1,79 @@
+// Command cwl-inspect parses a CWL document and prints a structural summary
+// plus the raw document as JSON, useful when porting tool definitions into
+// Parsl programs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/cwl"
+	"repro/internal/yamlx"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: cwl-inspect FILE.cwl")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "cwl-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	doc, err := cwl.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	switch d := doc.(type) {
+	case *cwl.CommandLineTool:
+		fmt.Printf("class: CommandLineTool\nbaseCommand: %v\n", d.BaseCommand)
+		fmt.Printf("inputs (%d):\n", len(d.Inputs))
+		for _, in := range d.Inputs {
+			def := ""
+			if in.HasDef {
+				def = fmt.Sprintf(" default=%v", in.Default)
+			}
+			fmt.Printf("  %-20s %s%s\n", in.ID, in.Type, def)
+		}
+		fmt.Printf("outputs (%d):\n", len(d.Outputs))
+		for _, out := range d.Outputs {
+			fmt.Printf("  %-20s %s\n", out.ID, out.Type)
+		}
+	case *cwl.Workflow:
+		fmt.Printf("class: Workflow\nsteps (%d):\n", len(d.Steps))
+		for _, s := range d.Steps {
+			fmt.Printf("  %-20s run=%s out=%v scatter=%v\n", s.ID, runName(s), s.Out, s.Scatter)
+		}
+	case *cwl.ExpressionTool:
+		fmt.Printf("class: ExpressionTool\nexpression: %s\n", d.Expression)
+	}
+	// Raw document as JSON for downstream tooling.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	v, err := yamlx.Decode(raw)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func runName(s *cwl.WorkflowStep) string {
+	if s.RunRef != "" {
+		return s.RunRef
+	}
+	if s.Run != nil {
+		return "(embedded " + s.Run.Class() + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInspectTool(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "echo.cwl")
+	os.WriteFile(path, []byte(`cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    default: hi
+    inputBinding: {position: 1}
+outputs:
+  output: {type: stdout}
+stdout: o.txt
+`), 0o644)
+	if err := run(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectWorkflowAndExpressionTool(t *testing.T) {
+	dir := t.TempDir()
+	wf := filepath.Join(dir, "wf.cwl")
+	os.WriteFile(wf, []byte(`cwlVersion: v1.2
+class: Workflow
+inputs:
+  x: int
+outputs: {}
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        x: {type: int, inputBinding: {position: 1}}
+      outputs: {}
+    in:
+      x: x
+    out: []
+`), 0o644)
+	if err := run(wf); err != nil {
+		t.Fatal(err)
+	}
+	et := filepath.Join(dir, "et.cwl")
+	os.WriteFile(et, []byte(`cwlVersion: v1.2
+class: ExpressionTool
+requirements:
+  - class: InlineJavascriptRequirement
+inputs: {}
+outputs: {}
+expression: "${ return {}; }"
+`), 0o644)
+	if err := run(et); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if err := run("/nonexistent.cwl"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.cwl")
+	os.WriteFile(bad, []byte("class: Mystery\n"), 0o644)
+	if err := run(bad); err == nil {
+		t.Error("unknown class accepted")
+	}
+}

@@ -1,0 +1,40 @@
+// Command cwl-validate parses and validates CWL documents, printing every
+// issue found. It exits non-zero when any document has errors — the
+// equivalent of `cwltool --validate`.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cwl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: cwl-validate FILE.cwl [FILE.cwl ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		doc, err := cwl.LoadFile(path)
+		if err != nil {
+			fmt.Printf("%s: INVALID\n  %v\n", path, err)
+			failed = true
+			continue
+		}
+		issues, err := cwl.Validate(doc)
+		for _, i := range issues {
+			fmt.Printf("%s: %s\n", path, i)
+		}
+		if err != nil {
+			fmt.Printf("%s: INVALID (%s)\n", path, doc.Class())
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: valid %s\n", path, doc.Class())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+func TestGenerateResizeFilterBlur(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.png")
+	resized := filepath.Join(dir, "resized.png")
+	filtered := filepath.Join(dir, "filtered.png")
+	blurred := filepath.Join(dir, "blurred.png")
+
+	steps := [][]string{
+		{"generate", "--size", "64", "--seed", "5", src},
+		{"resize", "--size", "32", src, resized},
+		{"filter", "--sepia", resized, filtered},
+		{"blur", "--radius", "2", filtered, blurred},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+	img, err := imaging.Decode(blurred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 32 || img.Bounds().Dy() != 32 {
+		t.Errorf("final size = %v", img.Bounds())
+	}
+}
+
+func TestFilterPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.png")
+	out := filepath.Join(dir, "out.png")
+	if err := run([]string{"generate", "--size", "8", src}); err != nil {
+		t.Fatal(err)
+	}
+	// No --sepia: the image passes through unchanged (sepia=false case).
+	if err := run([]string{"filter", src, out}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := imaging.Decode(src)
+	b, _ := imaging.Decode(out)
+	if imaging.MeanLuma(a) != imaging.MeanLuma(b) {
+		t.Error("pass-through changed the image")
+	}
+}
+
+func TestGaussianAndGrayscale(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.png")
+	if err := run([]string{"generate", "--size", "16", src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"blur", "--gaussian", "--radius", "1", src, filepath.Join(dir, "g.png")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"filter", "--grayscale", src, filepath.Join(dir, "gray.png")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"info", src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"unknown"},
+		{"resize"},                               // missing args
+		{"resize", "--size", "0", "a", "b"},      // bad size propagates
+		{"info"},                                 // missing input
+		{"info", "/nonexistent.png"},             // missing file
+		{"generate", "--size", "4"},              // missing output
+		{"blur", "--radius", "-1", "a.png", "b"}, // negative radius
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunHelpText(t *testing.T) {
+	err := run(nil)
+	if err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+// Command parsl-cwl is the paper's §III-B runner: it executes a CWL
+// CommandLineTool (or, beyond the prototype, a complete Workflow) on Parsl
+// executors configured by a TaPS-style YAML file.
+//
+// Usage, as in the paper:
+//
+//	parsl-cwl config.yml echo.cwl inputs.yml
+//	parsl-cwl config.yml echo.cwl --message='Hello'
+//
+// The outputs object is printed as JSON on stdout, like cwltool.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "parsl-cwl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: parsl-cwl CONFIG.yml PROCESS.cwl [INPUTS.yml | --name=value ...]")
+	}
+	spec, err := parsl.LoadConfigFile(args[0])
+	if err != nil {
+		return err
+	}
+	doc, err := cwl.LoadFile(args[1])
+	if err != nil {
+		return err
+	}
+	issues, err := cwl.Validate(doc)
+	for _, i := range issues {
+		if i.Severity == "warning" {
+			fmt.Fprintln(os.Stderr, "parsl-cwl:", i)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	inputs := yamlx.NewMap()
+	rest := args[2:]
+	if len(rest) == 1 && !strings.HasPrefix(rest[0], "--") {
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		inputs, err = core.ParseInputValues(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", rest[0], err)
+		}
+	} else if len(rest) > 0 {
+		inputs, err = core.ParseInputFlags(rest)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	dfk, err := parsl.Load(cfg)
+	if err != nil {
+		return err
+	}
+	defer dfk.Cleanup()
+
+	r := core.NewRunner(dfk)
+	if spec.RunDir != "" {
+		r.WorkRoot = spec.RunDir
+	}
+	outputs, err := r.Run(doc, inputs)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(outputs)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const echoTool = `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    inputBinding: {position: 1}
+outputs:
+  output: {type: stdout}
+stdout: hello.txt
+`
+
+func TestCLIRunWithInputsFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeFile(t, dir, "config.yml", "executor: thread-pool\nworkers-per-node: 2\nrun-dir: "+dir+"\n")
+	tool := writeFile(t, dir, "echo.cwl", echoTool)
+	inputs := writeFile(t, dir, "inputs.yml", "message: cli-inputs-file\n")
+	if err := run([]string{cfg, tool, inputs}); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "echo-*", "hello.txt"))
+	if len(matches) != 1 {
+		t.Fatalf("output files = %v", matches)
+	}
+	data, _ := os.ReadFile(matches[0])
+	if strings.TrimSpace(string(data)) != "cli-inputs-file" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestCLIRunWithFlags(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeFile(t, dir, "config.yml", "executor: htex\nworkers-per-node: 2\nnodes: 1\nrun-dir: "+dir+"\n")
+	tool := writeFile(t, dir, "echo.cwl", echoTool)
+	if err := run([]string{cfg, tool, "--message=from-flag"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "echo-*", "hello.txt"))
+	if len(matches) != 1 {
+		t.Fatalf("output files = %v", matches)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeFile(t, dir, "config.yml", "executor: thread-pool\n")
+	tool := writeFile(t, dir, "echo.cwl", echoTool)
+	badTool := writeFile(t, dir, "bad.cwl", "class: CommandLineTool\ncwlVersion: v1.2\ninputs: {}\noutputs: {}\n")
+	badCfg := writeFile(t, dir, "bad.yml", "executor: spark\n")
+	cases := [][]string{
+		nil,                                 // usage
+		{cfg},                               // missing tool
+		{cfg, filepath.Join(dir, "no.cwl")}, // missing file
+		{badCfg, tool},                      // bad executor
+		{cfg, badTool},                      // fails validation (no baseCommand)
+		{cfg, tool, "--message"},            // malformed flag
+		{cfg, tool, "positional"},           // inputs file missing
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

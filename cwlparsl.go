@@ -1,0 +1,127 @@
+// Package cwlparsl is the public facade of the Parsl+CWL integration — a Go
+// reproduction of "Parsl+CWL: Towards Combining the Python and CWL
+// Ecosystems" (SC 2024).
+//
+// The three pieces a downstream user needs:
+//
+//   - Load a Parsl configuration and DataFlowKernel, then import CWL
+//     CommandLineTools as apps (the paper's CWLApp):
+//
+//     dfk, _ := cwlparsl.LoadConfig(cwlparsl.ConfigSpec{Executor: "htex", WorkersPerNode: 8})
+//     echo, _ := cwlparsl.NewCWLApp(dfk, "echo.cwl")
+//     fut := echo.Call(cwlparsl.Args{"message": "Hello, World!"})
+//     fut.Wait()
+//
+//   - Run complete CWL processes (tools or workflows) on Parsl executors
+//     (the parsl-cwl runner):
+//
+//     doc, _ := cwlparsl.LoadCWL("workflow.cwl")
+//     outputs, _ := cwlparsl.NewRunner(dfk).Run(doc, inputs)
+//
+//   - Use InlinePythonRequirement (the paper's §V extension) in any CWL
+//     document: f-string call sites, expressionLib functions, and validate:
+//     fields are handled by the embedded Python interpreter.
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// architecture.
+package cwlparsl
+
+import (
+	"repro/internal/core"
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+// Args are keyword arguments for an app invocation.
+type Args = parsl.Args
+
+// File references a filesystem path (parsl.File).
+type File = parsl.File
+
+// AppFuture tracks an asynchronous app invocation.
+type AppFuture = parsl.AppFuture
+
+// DataFuture represents a file an invocation will produce.
+type DataFuture = parsl.DataFuture
+
+// DFK is the Parsl DataFlowKernel.
+type DFK = parsl.DFK
+
+// Config is the programmatic Parsl configuration.
+type Config = parsl.Config
+
+// ConfigSpec is the TaPS-style YAML-facing configuration.
+type ConfigSpec = parsl.ConfigSpec
+
+// Executor runs tasks (ThreadPool or HighThroughput).
+type Executor = parsl.Executor
+
+// CWLApp is a CWL CommandLineTool imported as a Parsl app.
+type CWLApp = core.CWLApp
+
+// Runner executes CWL documents on Parsl executors.
+type Runner = core.Runner
+
+// Document is any parsed CWL process.
+type Document = cwl.Document
+
+// CommandLineTool is the parsed CWL CommandLineTool class.
+type CommandLineTool = cwl.CommandLineTool
+
+// Workflow is the parsed CWL Workflow class.
+type Workflow = cwl.Workflow
+
+// Map is the ordered mapping used for CWL input/output objects.
+type Map = yamlx.Map
+
+// NewFile wraps a path as a Parsl File.
+func NewFile(path string) File { return parsl.NewFile(path) }
+
+// NewMap creates an empty ordered map.
+func NewMap() *Map { return yamlx.NewMap() }
+
+// MapOf builds an ordered map from alternating key/value pairs.
+func MapOf(pairs ...any) *Map { return yamlx.MapOf(pairs...) }
+
+// Load starts a DFK from a programmatic config (parsl.load).
+func Load(cfg Config) (*DFK, error) { return parsl.Load(cfg) }
+
+// LoadConfig builds and starts a DFK from a TaPS-style spec.
+func LoadConfig(spec ConfigSpec) (*DFK, error) {
+	cfg, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return parsl.Load(cfg)
+}
+
+// LoadConfigFile reads a TaPS-style YAML config and starts a DFK.
+func LoadConfigFile(path string) (*DFK, error) {
+	spec, err := parsl.LoadConfigFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadConfig(spec)
+}
+
+// NewThreadPoolExecutor creates the single-node executor the paper uses in
+// Fig. 1b.
+func NewThreadPoolExecutor(label string, workers int) Executor {
+	return parsl.NewThreadPoolExecutor(label, workers)
+}
+
+// NewCWLApp imports a CommandLineTool definition as a Parsl app.
+func NewCWLApp(dfk *DFK, path string, opts ...core.AppOpt) (*CWLApp, error) {
+	return core.NewCWLApp(dfk, path, opts...)
+}
+
+// NewRunner builds the parsl-cwl engine over a DFK.
+func NewRunner(dfk *DFK) *Runner { return core.NewRunner(dfk) }
+
+// LoadCWL parses a CWL document from disk.
+func LoadCWL(path string) (Document, error) { return cwl.LoadFile(path) }
+
+// Validate checks a CWL document, returning all issues and an error when any
+// issue is fatal.
+func Validate(doc Document) ([]cwl.ValidationIssue, error) { return cwl.Validate(doc) }

@@ -1,0 +1,139 @@
+package cwlparsl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the README does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	dir := t.TempDir()
+	cwlPath := filepath.Join(dir, "echo.cwl")
+	err := os.WriteFile(cwlPath, []byte(`cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    default: "Hello World"
+    inputBinding: {position: 1}
+outputs:
+  output: {type: stdout}
+stdout: hello.txt
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfk, err := LoadConfig(ConfigSpec{
+		Executor:       "thread-pool",
+		WorkersPerNode: 2,
+		Nodes:          1,
+		Provider:       "local",
+		RunDir:         dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+
+	echo, err := NewCWLApp(dfk, cwlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := echo.Call(Args{"message": "Hello, World!"})
+	if _, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(fut.Outputs()[0].File().Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "Hello, World!" {
+		t.Errorf("output = %q", data)
+	}
+}
+
+func TestPublicAPIRunnerAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := filepath.Join(dir, "wf.cwl")
+	err := os.WriteFile(wfPath, []byte(`cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs:
+  out:
+    type: File
+    outputSource: say/output
+steps:
+  say:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      stdout: said.txt
+      inputs:
+        message: {type: string, inputBinding: {position: 1}}
+      outputs:
+        output: {type: stdout}
+    in:
+      message: msg
+    out: [output]
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := LoadCWL(wfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	dfk, err := Load(Config{
+		Executors: []Executor{NewThreadPoolExecutor("threads", 2)},
+		RunDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+	r := NewRunner(dfk)
+	out, err := r.Run(doc, MapOf("msg", "facade"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.Value("out").(*Map)
+	data, _ := os.ReadFile(f.GetString("path"))
+	if strings.TrimSpace(string(data)) != "facade" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestLoadConfigFileFacade(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "config.yml")
+	os.WriteFile(cfgPath, []byte("executor: thread-pool\nworkers-per-node: 2\n"), 0o644)
+	dfk, err := LoadConfigFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfk.Cleanup()
+	if _, err := LoadConfigFile(filepath.Join(dir, "missing.yml")); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if NewFile("/a/b").Path != "/a/b" {
+		t.Error("NewFile")
+	}
+	m := NewMap()
+	m.Set("k", 1)
+	if m.Len() != 1 {
+		t.Error("NewMap")
+	}
+	if MapOf("x", 2).Value("x") != 2 {
+		t.Error("MapOf")
+	}
+}

@@ -1,0 +1,87 @@
+// Quickstart reproduces the paper's Listings 1 and 2: define the Linux echo
+// command as a CWL CommandLineTool, import it into Parsl as a CWLApp, invoke
+// it, wait on the future, and print the output file.
+//
+// Run from the repository root:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/parsl"
+)
+
+// echoCWL is the paper's Listing 1.
+const echoCWL = `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    default: "Hello World"
+    inputBinding:
+      position: 1
+outputs:
+  output:
+    type: stdout
+stdout: hello.txt
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	workDir, err := os.MkdirTemp("", "quickstart-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+
+	cwlPath := filepath.Join(workDir, "echo.cwl")
+	if err := os.WriteFile(cwlPath, []byte(echoCWL), 0o644); err != nil {
+		return err
+	}
+
+	// parsl.load(config) — a local thread-pool configuration.
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("local_threads", 4)},
+		RunDir:    workDir,
+	})
+	if err != nil {
+		return err
+	}
+	defer dfk.Cleanup()
+
+	// echo = CWLApp("echo.cwl")
+	echo, err := core.NewCWLApp(dfk, cwlPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %s: inputs=%v outputs=%v\n", echo.Name(), echo.InputIDs(), echo.OutputIDs())
+
+	// future = echo(message="Hello, World!", stdout="hello.txt")
+	future := echo.Call(parsl.Args{
+		"message": "Hello, World!",
+		"stdout":  "hello.txt",
+	})
+
+	// Wait for the future before reading the output.
+	if _, err := future.Wait(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(future.Outputs()[0].File().Path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hello.txt: %s", data)
+	return nil
+}

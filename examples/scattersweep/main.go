@@ -1,0 +1,219 @@
+// Scattersweep reproduces the paper's §VI evaluation methodology at laptop
+// scale: the image workflow wrapped in a scatter over a list of images,
+// executed functionally by all three runner architectures — the cwltool
+// model, the Toil model, and Parsl-CWL — and timed. It then prints the
+// simulated Fig. 1a sweep for the paper-scale workload.
+//
+// Run from the repository root:
+//
+//	go run ./examples/scattersweep [-images 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/runners/cwltoolsim"
+	"repro/internal/runners/toilsim"
+	"repro/internal/yamlx"
+)
+
+// scatterWF wraps the three-stage pipeline in a scatter over File[] — the
+// "wrapper to process a list of images" from §VI.
+const scatterWF = `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+  - class: SubworkflowFeatureRequirement
+  - class: StepInputExpressionRequirement
+inputs:
+  input_images:
+    type: File[]
+  size: int
+  sepia: boolean
+  radius: int
+outputs:
+  final_outputs:
+    type: File[]
+    outputSource: per_image/final_output
+steps:
+  per_image:
+    run: pipeline.cwl
+    scatter: input_image
+    in:
+      input_image: input_images
+      size: size
+      sepia: sepia
+      radius: radius
+    out: [final_output]
+`
+
+const pipelineWF = `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: StepInputExpressionRequirement
+inputs:
+  input_image: File
+  size: int
+  sepia: boolean
+  radius: int
+outputs:
+  final_output:
+    type: File
+    outputSource: blur_image/output_image
+steps:
+  resize_image:
+    run: resize_image.cwl
+    in:
+      input_image: input_image
+      size: size
+      output_image: {valueFrom: "resized.png"}
+    out: [output_image]
+  filter_image:
+    run: filter_image.cwl
+    in:
+      input_image: resize_image/output_image
+      sepia: sepia
+      output_image: {valueFrom: "filtered.png"}
+    out: [output_image]
+  blur_image:
+    run: blur_image.cwl
+    in:
+      input_image: filter_image/output_image
+      radius: radius
+      output_image: {valueFrom: "blurred.png"}
+    out: [output_image]
+`
+
+const toolTemplate = `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [imgtool, %s]
+inputs:
+  %s:
+    type: %s
+    inputBinding: {prefix: --%s}
+  input_image:
+    type: File
+    inputBinding: {position: 1}
+  output_image:
+    type: string
+    inputBinding: {position: 2}
+outputs:
+  output_image:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)
+`
+
+func main() {
+	images := flag.Int("images", 6, "images in the functional sweep")
+	flag.Parse()
+	if err := run(*images); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nImages int) error {
+	workDir, err := os.MkdirTemp("", "scattersweep-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+
+	binDir := filepath.Join(workDir, "bin")
+	os.MkdirAll(binDir, 0o755)
+	build := exec.Command("go", "build", "-o", filepath.Join(binDir, "imgtool"), "./cmd/imgtool")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building imgtool (run from the repo root): %w", err)
+	}
+	os.Setenv("PATH", binDir+string(os.PathListSeparator)+os.Getenv("PATH"))
+
+	for name, src := range map[string]string{
+		"scatter.cwl":      scatterWF,
+		"pipeline.cwl":     pipelineWF,
+		"resize_image.cwl": fmt.Sprintf(toolTemplate, "resize", "size", "int", "size"),
+		"filter_image.cwl": fmt.Sprintf(toolTemplate, "filter", "sepia", "boolean", "sepia"),
+		"blur_image.cwl":   fmt.Sprintf(toolTemplate, "blur", "radius", "int", "radius"),
+	} {
+		if err := os.WriteFile(filepath.Join(workDir, name), []byte(src), 0o644); err != nil {
+			return err
+		}
+	}
+	paths, err := bench.GenerateImageCorpus(filepath.Join(workDir, "corpus"), nImages, 128, 3)
+	if err != nil {
+		return err
+	}
+	var fileList []any
+	for _, p := range paths {
+		fileList = append(fileList, p)
+	}
+	inputs := func() *yamlx.Map {
+		return yamlx.MapOf(
+			"input_images", fileList,
+			"size", int64(64),
+			"sepia", true,
+			"radius", int64(1),
+		)
+	}
+
+	doc, err := cwl.LoadFile(filepath.Join(workDir, "scatter.cwl"))
+	if err != nil {
+		return err
+	}
+	wf := doc.(*cwl.Workflow)
+	par := runtime.NumCPU()
+
+	fmt.Printf("functional sweep: %d images × 3 stages on %d workers\n\n", nImages, par)
+
+	// cwltool architecture.
+	t0 := time.Now()
+	ctr := &cwltoolsim.Runner{Parallelism: par, WorkRoot: filepath.Join(workDir, "cwltool")}
+	if _, err := ctr.RunDocument(wf, inputs()); err != nil {
+		return fmt.Errorf("cwltool runner: %w", err)
+	}
+	fmt.Printf("%-14s %8v  (steps: %d)\n", "cwltool-arch", time.Since(t0).Round(time.Millisecond), ctr.StepsRun())
+
+	// Toil architecture.
+	t0 = time.Now()
+	toil := &toilsim.Runner{Parallelism: par, WorkRoot: filepath.Join(workDir, "toil"),
+		JobStoreDir: filepath.Join(workDir, "jobstore")}
+	if _, err := toil.RunDocument(wf, inputs()); err != nil {
+		return fmt.Errorf("toil runner: %w", err)
+	}
+	fmt.Printf("%-14s %8v  (batch jobs: %d)\n", "toil-arch", time.Since(t0).Round(time.Millisecond), toil.JobsSubmitted())
+
+	// Parsl-CWL.
+	t0 = time.Now()
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", par)},
+		RunDir:    filepath.Join(workDir, "parsl"),
+	})
+	if err != nil {
+		return err
+	}
+	r := core.NewRunner(dfk)
+	if _, err := r.Run(wf, inputs()); err != nil {
+		return fmt.Errorf("parsl runner: %w", err)
+	}
+	dfk.Cleanup()
+	fmt.Printf("%-14s %8v  (tasks: %v)\n\n", "parsl-cwl", time.Since(t0).Round(time.Millisecond), dfk.StateCounts())
+
+	// Paper-scale simulated sweep (Fig. 1a).
+	series, err := bench.Fig1a()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatSeries("simulated paper-scale sweep (Fig. 1a)", "images", "seconds", series))
+	return nil
+}

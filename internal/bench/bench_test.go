@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func simulate(t *testing.T, kind EngineKind, topo Topology, images int) Fig1Result {
+	t.Helper()
+	res, err := SimulateImageWorkflow(kind, topo, images, DefaultImageModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	a := simulate(t, EngineParslHTEX, PaperThreeNode(), 100)
+	b := simulate(t, EngineParslHTEX, PaperThreeNode(), 100)
+	if a.MakespanSec != b.MakespanSec {
+		t.Errorf("nondeterministic: %v vs %v", a.MakespanSec, b.MakespanSec)
+	}
+}
+
+func TestAllTasksRun(t *testing.T) {
+	for _, kind := range []EngineKind{EngineCWLTool, EngineToilSlurm, EngineParslHTEX, EngineParslThreads} {
+		res := simulate(t, kind, PaperThreeNode(), 40)
+		if res.TasksRun != 120 {
+			t.Errorf("%s: tasks = %d, want 120", kind, res.TasksRun)
+		}
+	}
+}
+
+// TestFig1aShape verifies the paper's headline result: linear scaling, and
+// at 1,000 images Parsl-HTEX ≈1.5× faster than cwltool with Toil slowest.
+func TestFig1aShape(t *testing.T) {
+	topo := PaperThreeNode()
+	cwltool := simulate(t, EngineCWLTool, topo, 1000)
+	toil := simulate(t, EngineToilSlurm, topo, 1000)
+	parsl := simulate(t, EngineParslHTEX, topo, 1000)
+
+	ratio := cwltool.MakespanSec / parsl.MakespanSec
+	if ratio < 1.3 || ratio > 1.8 {
+		t.Errorf("cwltool/parsl ratio = %.2f, want ≈1.5 (cwltool=%.1f parsl=%.1f)",
+			ratio, cwltool.MakespanSec, parsl.MakespanSec)
+	}
+	if toil.MakespanSec <= cwltool.MakespanSec {
+		t.Errorf("toil (%.1f) should be slower than cwltool (%.1f)",
+			toil.MakespanSec, cwltool.MakespanSec)
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	topo := PaperSingleNode()
+	cwltool := simulate(t, EngineCWLTool, topo, 1000)
+	parsl := simulate(t, EngineParslThreads, topo, 1000)
+	ratio := cwltool.MakespanSec / parsl.MakespanSec
+	if ratio < 1.3 || ratio > 1.8 {
+		t.Errorf("single-node cwltool/parsl ratio = %.2f, want ≈1.5", ratio)
+	}
+}
+
+// TestLinearScaling checks runtime grows ~linearly with image count for all
+// engines (the paper's observed trend).
+func TestLinearScaling(t *testing.T) {
+	topo := PaperThreeNode()
+	for _, kind := range []EngineKind{EngineCWLTool, EngineToilSlurm, EngineParslHTEX} {
+		t500 := simulate(t, kind, topo, 500).MakespanSec
+		t1000 := simulate(t, kind, topo, 1000).MakespanSec
+		ratio := t1000 / t500
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("%s: t(1000)/t(500) = %.2f, want ≈2 (linear)", kind, ratio)
+		}
+	}
+}
+
+func TestThreeNodesBeatOneNode(t *testing.T) {
+	one := simulate(t, EngineParslThreads, PaperSingleNode(), 600).MakespanSec
+	three := simulate(t, EngineParslHTEX, PaperThreeNode(), 600).MakespanSec
+	if three >= one {
+		t.Errorf("3-node (%.1f) should beat 1-node (%.1f)", three, one)
+	}
+	speedup := one / three
+	if speedup < 1.8 || speedup > 3.5 {
+		t.Errorf("node speedup = %.2f, want within (1.8, 3.5)", speedup)
+	}
+}
+
+func TestPilotStartupVisibleAtSmallScale(t *testing.T) {
+	// At 1 image the pilot provisioning dominates for HTEX: cwltool should
+	// win the tiny workload (crossover exists).
+	topo := PaperThreeNode()
+	cwltool := simulate(t, EngineCWLTool, topo, 1).MakespanSec
+	parsl := simulate(t, EngineParslHTEX, topo, 1).MakespanSec
+	if parsl <= cwltool {
+		t.Errorf("at N=1 pilot startup should make parsl (%.2f) slower than cwltool (%.2f)",
+			parsl, cwltool)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	res := simulate(t, EngineParslHTEX, PaperThreeNode(), 500)
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := SimulateImageWorkflow("bogus", PaperThreeNode(), 10, DefaultImageModel()); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, err := SimulateImageWorkflow(EngineCWLTool, PaperThreeNode(), 0, DefaultImageModel()); err == nil {
+		t.Error("zero images accepted")
+	}
+}
+
+// TestFig2Shape verifies the paper's expression result: InlinePython is flat
+// from 2 to 1024 words while both JavaScript paths grow superlinearly.
+func TestFig2Shape(t *testing.T) {
+	series := Fig2()
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Label] = s
+	}
+	py := byName["parsl-py"]
+	jsTool := byName["cwltool-js"]
+	jsToil := byName["toil-js"]
+	if len(py.Y) == 0 || len(jsTool.Y) == 0 || len(jsToil.Y) == 0 {
+		t.Fatalf("missing series: %v", series)
+	}
+	last := len(py.Y) - 1
+	// Python: near-constant (within 20% from W=2 to W=1024).
+	if py.Y[last] > py.Y[0]*1.2 {
+		t.Errorf("python not flat: %v -> %v", py.Y[0], py.Y[last])
+	}
+	// JS: superlinear — doubling words more than doubles added time.
+	for _, js := range []Series{jsTool, jsToil} {
+		growth512to1024 := js.Y[last] - js.Y[last-1]
+		growth256to512 := js.Y[last-1] - js.Y[last-2]
+		if growth512to1024 <= 2*growth256to512*0.9 {
+			t.Errorf("%s growth not superlinear: Δ=%.2f then Δ=%.2f",
+				js.Label, growth256to512, growth512to1024)
+		}
+		if js.Y[last] < 50*py.Y[last] {
+			t.Errorf("%s at 1024 words (%.1f) should dwarf python (%.2f)",
+				js.Label, js.Y[last], py.Y[last])
+		}
+	}
+}
+
+func TestFig1Generators(t *testing.T) {
+	a, err := Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("fig1a series = %d", len(a))
+	}
+	for _, s := range a {
+		if len(s.X) != len(Fig1ImageCounts) || len(s.Y) != len(s.X) {
+			t.Errorf("series %s has %d/%d points", s.Label, len(s.X), len(s.Y))
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Errorf("series %s not monotone at %d: %v", s.Label, i, s.Y)
+			}
+		}
+	}
+	b, err := Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 3 {
+		t.Fatalf("fig1b series = %d", len(b))
+	}
+}
+
+func TestMeasureExprEvalRealEngines(t *testing.T) {
+	jsT, err := MeasureExprEval("js", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pyT, err := MeasureExprEval("py", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsT <= 0 || pyT <= 0 {
+		t.Errorf("non-positive timings: js=%v py=%v", jsT, pyT)
+	}
+	if _, err := MeasureExprEval("ruby", 4); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	out := FormatSeries("Fig X", "n", "seconds", []Series{
+		{Label: "a", X: []int{1, 2}, Y: []float64{1.5, 3.0}},
+		{Label: "b", X: []int{1, 2}, Y: []float64{2.5, 5.0}},
+	})
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "a") {
+		t.Errorf("output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, y-name, header, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestGenerateImageCorpus(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := GenerateImageCorpus(dir, 3, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	// Regeneration with same seed is byte-identical.
+	dir2 := t.TempDir()
+	paths2, _ := GenerateImageCorpus(dir2, 3, 16, 42)
+	for i := range paths {
+		a := readAll(t, paths[i])
+		b := readAll(t, paths2[i])
+		if a != b {
+			t.Errorf("corpus not deterministic at %d", i)
+		}
+	}
+	if _, err := GenerateImageCorpus(dir, 0, 16, 1); err == nil {
+		t.Error("zero corpus accepted")
+	}
+}
+
+func TestWordMessage(t *testing.T) {
+	if got := WordMessage(3); got != "alpha beta gamma" {
+		t.Errorf("got %q", got)
+	}
+	if n := len(strings.Fields(WordMessage(100))); n != 100 {
+		t.Errorf("words = %d", n)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s, err := AblationScatterWidth(PaperThreeNode(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("series = %d", len(s))
+	}
+	// Wider scatter should not be slower.
+	for _, ser := range s {
+		if ser.Y[0] < ser.Y[len(ser.Y)-1] {
+			t.Errorf("%s: width 1 (%.1f) should be slowest, widest %.1f",
+				ser.Label, ser.Y[0], ser.Y[len(ser.Y)-1])
+		}
+	}
+	d, err := AblationDispatchOverhead(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := d[0].Y
+	if ys[len(ys)-1] <= ys[0] {
+		t.Errorf("higher dispatch cost should increase makespan: %v", ys)
+	}
+}
+
+func readAll(t *testing.T, path string) string {
+	t.Helper()
+	data, err := osReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func osReadFile(path string) ([]byte, error) { return os.ReadFile(path) }

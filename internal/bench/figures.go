@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cwl"
+	"repro/internal/cwlexpr"
+	"repro/internal/yamlx"
+)
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label string
+	X     []int
+	Y     []float64
+}
+
+// Fig1ImageCounts is the workload sweep used for both Fig. 1 panels.
+var Fig1ImageCounts = []int{1, 10, 50, 100, 250, 500, 750, 1000}
+
+// Fig1a regenerates Fig. 1a: three-node runtimes for cwltool, Toil and
+// Parsl-CWL (HTEX) as the image count grows.
+func Fig1a() ([]Series, error) {
+	return fig1(PaperThreeNode(), []EngineKind{EngineCWLTool, EngineToilSlurm, EngineParslHTEX})
+}
+
+// Fig1b regenerates Fig. 1b: single-node runtimes with Parsl-CWL on the
+// ThreadPoolExecutor.
+func Fig1b() ([]Series, error) {
+	return fig1(PaperSingleNode(), []EngineKind{EngineCWLTool, EngineToilSlurm, EngineParslThreads})
+}
+
+func fig1(topo Topology, engines []EngineKind) ([]Series, error) {
+	wl := DefaultImageModel()
+	var out []Series
+	for _, kind := range engines {
+		s := Series{Label: string(kind)}
+		for _, n := range Fig1ImageCounts {
+			res, err := SimulateImageWorkflow(kind, topo, n, wl)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, n)
+			s.Y = append(s.Y, res.MakespanSec)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig2WordCounts sweeps 2..1024 words in powers of two, as in the paper.
+var Fig2WordCounts = []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Fig2 regenerates Fig. 2: expression-evaluation runtime for
+// InlineJavaScript under cwltool and Toil versus InlinePython under
+// Parsl-CWL.
+func Fig2() []Series {
+	var out []Series
+	for _, m := range ExprModels() {
+		s := Series{Label: m.Name}
+		for _, w := range Fig2WordCounts {
+			s.X = append(s.X, w)
+			s.Y = append(s.Y, m.Total(w))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// MeasureExprEval measures the *real* in-process evaluation cost of the
+// paper's capitalize_words expression through this repository's interpreters
+// (the abl-expr ablation): it returns seconds per evaluation for a w-word
+// message.
+func MeasureExprEval(engine string, words int) (float64, error) {
+	msg := strings.TrimSpace(strings.Repeat("hello world ", (words+1)/2))
+	ctx := cwlexpr.Context{Inputs: yamlx.MapOf("message", msg)}
+	var eng *cwlexpr.Engine
+	var expr string
+	var err error
+	switch engine {
+	case "js":
+		eng, err = cwlexpr.NewEngine(cwl.Requirements{
+			InlineJavascript: true,
+			JSExpressionLib: []string{`
+				function capitalize_words(message) {
+					return message.split(" ").map(function(w) {
+						if (w.length == 0) { return w; }
+						return w.charAt(0).toUpperCase() + w.slice(1).toLowerCase();
+					}).join(" ");
+				}`},
+		})
+		expr = "$(capitalize_words(inputs.message))"
+	case "py":
+		eng, err = cwlexpr.NewEngine(cwl.Requirements{
+			InlinePython: true,
+			PyExpressionLib: []string{
+				"def capitalize_words(message):\n    return message.title()\n",
+			},
+		})
+		expr = `f"{capitalize_words($(inputs.message))}"`
+	default:
+		return 0, fmt.Errorf("bench: unknown expression engine %q", engine)
+	}
+	if err != nil {
+		return 0, err
+	}
+	// Warm up once, then time a small batch.
+	if _, err := eng.Eval(expr, ctx); err != nil {
+		return 0, err
+	}
+	const reps = 10
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := eng.Eval(expr, ctx); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds() / reps, nil
+}
+
+// AblationScatterWidth holds makespan versus scatter width at a fixed total
+// amount of work, showing where each engine's dispatch path saturates.
+func AblationScatterWidth(topo Topology, totalImages int) ([]Series, error) {
+	widths := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	wl := DefaultImageModel()
+	var out []Series
+	for _, kind := range []EngineKind{EngineCWLTool, EngineToilSlurm, EngineParslHTEX} {
+		s := Series{Label: string(kind)}
+		for _, w := range widths {
+			if w > totalImages {
+				break
+			}
+			// Width-limited run: w concurrent images at a time.
+			res, err := SimulateImageWorkflow(kind, Topology{
+				Nodes:        topo.Nodes,
+				CoresPerNode: min(topo.CoresPerNode, w),
+			}, totalImages, wl)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, w)
+			s.Y = append(s.Y, res.MakespanSec)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AblationDispatchOverhead sweeps the per-task dispatch cost to show the
+// regime where cwltool's serial coordinator dominates (the design choice the
+// paper's integration avoids).
+func AblationDispatchOverhead(images int) ([]Series, error) {
+	dispatch := []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1}
+	topo := PaperThreeNode()
+	wl := DefaultImageModel()
+	var out []Series
+	s := Series{Label: "serial-dispatch-sweep"}
+	base := engineModels[EngineCWLTool]
+	for i, d := range dispatch {
+		modified := base
+		modified.DispatchSerial = d
+		engineModels[EngineKind("ablation")] = modified
+		res, err := SimulateImageWorkflow(EngineKind("ablation"), topo, images, wl)
+		delete(engineModels, EngineKind("ablation"))
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, i)
+		s.Y = append(s.Y, res.MakespanSec)
+	}
+	out = append(out, s)
+	return out, nil
+}
+
+// FormatSeries renders series as an aligned text table with X down the rows,
+// one Y column per series — the harness's figure output format.
+func FormatSeries(title, xName, yName string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# y: %s\n", title, yName)
+	fmt.Fprintf(&b, "%-10s", xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-10d", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %14.2f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+// Package bench regenerates the paper's evaluation artifacts (Fig. 1a,
+// Fig. 1b, Fig. 2) plus ablations. The multi-node experiments run on the
+// discrete-event simulator with engine cost models calibrated so the
+// *shapes* of the paper's results hold: linear scaling in workload size,
+// Parsl-CWL ≈1.5× faster than cwltool at 1,000 images, Toil slowest, and
+// constant InlinePython vs superlinear InlineJavaScript expression cost.
+// Absolute numbers are not expected to match the authors' testbed (see
+// DESIGN.md §2).
+package bench
+
+// EngineKind names a workflow engine architecture in the evaluation.
+type EngineKind string
+
+// Engines compared in the paper's evaluation.
+const (
+	// EngineCWLTool models cwltool --parallel: a serial coordinator
+	// dispatching per-step subprocesses.
+	EngineCWLTool EngineKind = "cwltool"
+	// EngineToilSlurm models toil-cwl-runner with the slurm batch system:
+	// one batch job per step.
+	EngineToilSlurm EngineKind = "toil"
+	// EngineParslHTEX models Parsl-CWL on the HighThroughputExecutor with
+	// pilot jobs (the paper's 3-node configuration).
+	EngineParslHTEX EngineKind = "parsl-htex"
+	// EngineParslThreads models Parsl-CWL on the ThreadPoolExecutor (the
+	// paper's single-node configuration).
+	EngineParslThreads EngineKind = "parsl-threads"
+)
+
+// EngineModel carries the calibrated architectural overheads of one engine.
+// All times are in seconds of (virtual) wall time.
+type EngineModel struct {
+	Name EngineKind
+	// Startup is the one-time engine initialisation cost (interpreter
+	// start, workflow parse, and — for pilot engines — worker launch is
+	// modelled separately via PilotBlocks).
+	Startup float64
+	// DispatchSerial is the coordinator's serial cost per task: the
+	// bottleneck resource every task passes through one at a time.
+	DispatchSerial float64
+	// PerTaskOverhead is the worker-side cost added to every task (process
+	// spawn, staging, bookkeeping).
+	PerTaskOverhead float64
+	// BatchPerTask routes every task through the Slurm scheduler (Toil).
+	BatchPerTask bool
+	// PilotBlocks provisions whole-node pilot jobs through Slurm before any
+	// task runs (Parsl HTEX).
+	PilotBlocks bool
+}
+
+// Calibration notes (matched against the functional runners in this repo and
+// public measurements of the real systems):
+//
+//   - cwltool forks a fresh process per step and restages inputs: hundreds
+//     of milliseconds per task, plus ~10 ms of coordinator work per
+//     dispatch. The paper's ≈1.5× gap at 1,000 images emerges from this
+//     per-task tax relative to a ~3 s/image pipeline.
+//   - toil adds job-store writes per state transition and pays the batch
+//     system's submit latency and scheduling cycle for every step.
+//   - Parsl's HTEX dispatches over persistent pilot workers: microseconds
+//     of coordinator work and ~tens of ms worker-side, but pilots must be
+//     provisioned once through the batch queue.
+//   - The ThreadPool executor has no pilot phase and near-zero dispatch.
+var engineModels = map[EngineKind]EngineModel{
+	EngineCWLTool: {
+		Name:            EngineCWLTool,
+		Startup:         1.5,
+		DispatchSerial:  0.012,
+		PerTaskOverhead: 0.55,
+	},
+	EngineToilSlurm: {
+		Name:            EngineToilSlurm,
+		Startup:         2.5,
+		DispatchSerial:  0.012,
+		PerTaskOverhead: 0.60,
+		BatchPerTask:    true,
+	},
+	EngineParslHTEX: {
+		Name:            EngineParslHTEX,
+		Startup:         1.0,
+		DispatchSerial:  0.001,
+		PerTaskOverhead: 0.020,
+		PilotBlocks:     true,
+	},
+	EngineParslThreads: {
+		Name:            EngineParslThreads,
+		Startup:         0.5,
+		DispatchSerial:  0.0005,
+		PerTaskOverhead: 0.010,
+	},
+}
+
+// Model returns the cost model for an engine.
+func Model(kind EngineKind) EngineModel { return engineModels[kind] }
+
+// ImageWorkloadModel is the per-stage compute cost of the paper's §IV image
+// pipeline at its 1024-pixel working size.
+type ImageWorkloadModel struct {
+	ResizeSec float64
+	FilterSec float64
+	BlurSec   float64
+}
+
+// Stages returns the per-stage durations in pipeline order.
+func (m ImageWorkloadModel) Stages() []float64 {
+	return []float64{m.ResizeSec, m.FilterSec, m.BlurSec}
+}
+
+// PerImage returns the total compute seconds per image.
+func (m ImageWorkloadModel) PerImage() float64 {
+	return m.ResizeSec + m.FilterSec + m.BlurSec
+}
+
+// DefaultImageModel matches a ~3 s/image pipeline (measured from the real
+// imgtool stages on 1024×1024 inputs, rounded for readability).
+func DefaultImageModel() ImageWorkloadModel {
+	return ImageWorkloadModel{ResizeSec: 1.2, FilterSec: 0.8, BlurSec: 1.0}
+}
+
+// Topology is the simulated cluster shape. The paper's testbed is 3 nodes of
+// 2×12-core Xeons (48 logical CPUs each).
+type Topology struct {
+	Nodes        int
+	CoresPerNode int
+}
+
+// PaperThreeNode is the Fig. 1a topology.
+func PaperThreeNode() Topology { return Topology{Nodes: 3, CoresPerNode: 48} }
+
+// PaperSingleNode is the Fig. 1b topology.
+func PaperSingleNode() Topology { return Topology{Nodes: 1, CoresPerNode: 48} }
+
+// ExprEngineModel models one expression-evaluation path for Fig. 2.
+type ExprEngineModel struct {
+	Name string
+	// Startup is the workflow launch cost.
+	Startup float64
+	// PerEval is the fixed cost per expression evaluation: for the
+	// JavaScript engines this is a Node.js subprocess spawn; for
+	// InlinePython it is an in-process call.
+	PerEval float64
+	// SerializePerWord is the per-evaluation cost of serializing the
+	// expression context, which grows with the input (the paper's workflow
+	// evaluates one expression per word over a context holding all words,
+	// so total time grows superlinearly for subprocess engines).
+	SerializePerWord float64
+}
+
+// ExprModels returns the Fig. 2 engine models in plot order.
+func ExprModels() []ExprEngineModel {
+	return []ExprEngineModel{
+		{Name: "cwltool-js", Startup: 0.8, PerEval: 0.050, SerializePerWord: 0.00004},
+		{Name: "toil-js", Startup: 2.0, PerEval: 0.060, SerializePerWord: 0.00005},
+		{Name: "parsl-py", Startup: 0.5, PerEval: 0.000003, SerializePerWord: 0.00000001},
+	}
+}
+
+// Total returns the modelled workflow runtime for w words: w evaluations,
+// each paying the fixed per-eval cost plus context serialization of w words.
+func (m ExprEngineModel) Total(w int) float64 {
+	return m.Startup + float64(w)*(m.PerEval+float64(w)*m.SerializePerWord)
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/imaging"
+)
+
+// GenerateImageCorpus writes n deterministic PNG images of size×size pixels
+// into dir and returns their paths — the functional counterpart of the
+// paper's image workload.
+func GenerateImageCorpus(dir string, n, size int, seed int64) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bench: corpus size must be positive")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		img, err := imaging.Generate(size, size, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("img-%04d.png", i))
+		if err := imaging.Encode(path, img); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// WordMessage builds a deterministic w-word message for the Fig. 2 workload.
+func WordMessage(w int) string {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	out := make([]byte, 0, w*6)
+	for i := 0; i < w; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, words[i%len(words)]...)
+	}
+	return string(out)
+}

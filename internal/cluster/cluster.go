@@ -1,0 +1,124 @@
+// Package cluster models the compute topology the paper evaluates on: a small
+// HPC partition of identical nodes (the paper's testbed is 3 nodes × 2×12-core
+// Xeons = 48 logical CPUs each). It sits on the discrete-event engine and is
+// shared by the simulated runners and the Slurm simulator.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Node is one machine with a counted pool of cores.
+type Node struct {
+	ID    string
+	Cores *sim.Resource
+}
+
+// Cluster is a set of identical nodes plus a cluster-wide FIFO queue for
+// core requests that must land on a single node.
+type Cluster struct {
+	Eng   *sim.Engine
+	Nodes []*Node
+
+	pending []pendingReq
+}
+
+type pendingReq struct {
+	cores int
+	fn    func(*Node)
+}
+
+// New builds a cluster of nNodes nodes with coresPerNode cores each.
+func New(eng *sim.Engine, nNodes, coresPerNode int) *Cluster {
+	if nNodes <= 0 || coresPerNode <= 0 {
+		panic("cluster: node and core counts must be positive")
+	}
+	c := &Cluster{Eng: eng}
+	for i := 0; i < nNodes; i++ {
+		id := fmt.Sprintf("node%03d", i)
+		c.Nodes = append(c.Nodes, &Node{
+			ID:    id,
+			Cores: sim.NewResource(eng, id+"/cores", coresPerNode),
+		})
+	}
+	return c
+}
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.Nodes) }
+
+// CoresPerNode returns per-node core capacity.
+func (c *Cluster) CoresPerNode() int { return c.Nodes[0].Cores.Capacity() }
+
+// TotalCores returns the cluster-wide core count.
+func (c *Cluster) TotalCores() int { return c.NumNodes() * c.CoresPerNode() }
+
+// FreeCores returns the number of currently unallocated cores cluster-wide.
+func (c *Cluster) FreeCores() int {
+	free := 0
+	for _, n := range c.Nodes {
+		free += n.Cores.Free()
+	}
+	return free
+}
+
+// AcquireCores requests cores CPU cores co-located on one node; fn runs with
+// the granted node. Requests are FIFO cluster-wide. Placement prefers the
+// node with the most free cores (worst-fit, which spreads load like most HPC
+// schedulers do for single-core tasks).
+func (c *Cluster) AcquireCores(cores int, fn func(*Node)) {
+	if cores <= 0 || cores > c.CoresPerNode() {
+		panic(fmt.Sprintf("cluster: request for %d cores exceeds node capacity %d", cores, c.CoresPerNode()))
+	}
+	c.pending = append(c.pending, pendingReq{cores: cores, fn: fn})
+	c.dispatch()
+}
+
+// ReleaseCores returns cores to node and re-runs placement.
+func (c *Cluster) ReleaseCores(node *Node, cores int) {
+	node.Cores.Release(cores)
+	c.dispatch()
+}
+
+func (c *Cluster) dispatch() {
+	for len(c.pending) > 0 {
+		req := c.pending[0]
+		node := c.bestNode(req.cores)
+		if node == nil {
+			return
+		}
+		if !node.Cores.TryAcquire(req.cores) {
+			return
+		}
+		c.pending = c.pending[1:]
+		n, f := node, req.fn
+		c.Eng.Schedule(0, func() { f(n) })
+	}
+}
+
+func (c *Cluster) bestNode(cores int) *Node {
+	var best *Node
+	for _, n := range c.Nodes {
+		if n.Cores.Free() < cores {
+			continue
+		}
+		if best == nil || n.Cores.Free() > best.Cores.Free() {
+			best = n
+		}
+	}
+	return best
+}
+
+// QueueLength returns the number of waiting core requests.
+func (c *Cluster) QueueLength() int { return len(c.pending) }
+
+// Utilization returns the mean core utilization across nodes in [0,1].
+func (c *Cluster) Utilization() float64 {
+	total := 0.0
+	for _, n := range c.Nodes {
+		total += n.Cores.Utilization()
+	}
+	return total / float64(len(c.Nodes))
+}

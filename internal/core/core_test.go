@@ -1,0 +1,397 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+const echoCWL = `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    default: "Hello World"
+    inputBinding:
+      position: 1
+outputs:
+  output:
+    type: stdout
+stdout: hello.txt
+`
+
+func writeCWL(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func newDFK(t *testing.T, workers int) *parsl.DFK {
+	t.Helper()
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", workers)},
+		RunDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dfk.Cleanup() })
+	return dfk
+}
+
+// TestPaperListing2 reproduces the paper's Listing 2 end to end: load a
+// config, create a CWLApp from echo.cwl, call it, wait, read the output.
+func TestPaperListing2(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "echo.cwl", echoCWL)
+	dfk := newDFK(t, 4)
+	echo, err := NewCWLApp(dfk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := echo.Call(parsl.Args{
+		"message": "Hello, World!",
+		"stdout":  "hello.txt",
+	})
+	if _, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fut.Outputs()) != 1 {
+		t.Fatalf("outputs = %d", len(fut.Outputs()))
+	}
+	data, err := os.ReadFile(fut.Outputs()[0].File().Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "Hello, World!" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestCWLAppDefaultApplied(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "echo.cwl", echoCWL)
+	dfk := newDFK(t, 2)
+	echo, err := NewCWLApp(dfk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := echo.Call(parsl.Args{})
+	if _, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(fut.Outputs()[0].File().Path)
+	if strings.TrimSpace(string(data)) != "Hello World" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestCWLAppIntrospection(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "echo.cwl", echoCWL)
+	dfk := newDFK(t, 1)
+	echo, err := NewCWLApp(dfk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.Name() != "echo" {
+		t.Errorf("name = %q", echo.Name())
+	}
+	if ids := echo.InputIDs(); len(ids) != 1 || ids[0] != "message" {
+		t.Errorf("inputs = %v", ids)
+	}
+	if ids := echo.OutputIDs(); len(ids) != 1 || ids[0] != "output" {
+		t.Errorf("outputs = %v", ids)
+	}
+	if echo.Tool() == nil {
+		t.Error("Tool() nil")
+	}
+}
+
+func TestCWLAppRejectsWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "wf.cwl", `
+cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs: {}
+steps: {}
+`)
+	dfk := newDFK(t, 1)
+	if _, err := NewCWLApp(dfk, path); err == nil || !strings.Contains(err.Error(), "CommandLineTool") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// catTool consumes a File input and produces stdout — used for chaining.
+const catTool = `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: cat
+inputs:
+  input_file:
+    type: File
+    inputBinding: {position: 1}
+outputs:
+  output:
+    type: stdout
+stdout: cat-out.txt
+`
+
+// TestCWLAppChaining is the paper's §IV pattern: DataFutures from one CWLApp
+// feed the next without waiting.
+func TestCWLAppChaining(t *testing.T) {
+	dir := t.TempDir()
+	echoPath := writeCWL(t, dir, "echo.cwl", echoCWL)
+	catPath := writeCWL(t, dir, "cat.cwl", catTool)
+	dfk := newDFK(t, 4)
+	echo, err := NewCWLApp(dfk, echoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := NewCWLApp(dfk, catPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := echo.Call(parsl.Args{"message": "chained-payload"})
+	f2 := cat.Call(parsl.Args{"input_file": f1.Output(0)})
+	if _, err := f2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f2.Outputs()[0].File().Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "chained-payload" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestCWLAppConcurrentCalls(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "echo.cwl", echoCWL)
+	dfk := newDFK(t, 8)
+	echo, err := NewCWLApp(dfk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*parsl.AppFuture
+	for i := 0; i < 20; i++ {
+		futs = append(futs, echo.Call(parsl.Args{"message": "multi"}))
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	// Every call must land in a distinct job directory.
+	seen := map[string]bool{}
+	for _, f := range futs {
+		p := f.Outputs()[0].File().Path
+		if seen[p] {
+			t.Fatalf("duplicate output path %s", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCWLAppFailurePropagates(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "fail.cwl", `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [sh, -c, "exit 9"]
+inputs: {}
+outputs: {}
+`)
+	dfk := newDFK(t, 1)
+	app, err := NewCWLApp(dfk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = app.Call(parsl.Args{}).Wait()
+	if err == nil || !strings.Contains(err.Error(), "exit code 9") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCWLAppUnknownInputFails(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "echo.cwl", echoCWL)
+	dfk := newDFK(t, 1)
+	app, err := NewCWLApp(dfk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = app.Call(parsl.Args{"nonsense": 1}).Wait()
+	if err == nil || !strings.Contains(err.Error(), "unknown input") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCWLAppInlinePythonArgument(t *testing.T) {
+	// Paper Listing 5 through the full CWLApp path.
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "cap.cwl", `
+cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib:
+      - |
+        def capitalize_words(message):
+            return message.title()
+baseCommand: echo
+inputs:
+  message:
+    type: string
+arguments:
+  - f"{capitalize_words($(inputs.message))}"
+outputs:
+  out: stdout
+stdout: cap.txt
+`)
+	dfk := newDFK(t, 1)
+	app, err := NewCWLApp(dfk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := app.Call(parsl.Args{"message": "hello cwl world"})
+	if _, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(fut.Outputs()[0].File().Path)
+	if strings.TrimSpace(string(data)) != "Hello Cwl World" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestRunnerRunTool(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "echo.cwl", echoCWL)
+	doc, err := cwl.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfk := newDFK(t, 2)
+	r := NewRunner(dfk)
+	r.WorkRoot = t.TempDir()
+	out, err := r.Run(doc, yamlx.MapOf("message", "via runner"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.Value("output").(*yamlx.Map)
+	data, _ := os.ReadFile(f.GetString("path"))
+	if strings.TrimSpace(string(data)) != "via runner" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestRunnerRunWorkflow(t *testing.T) {
+	// Future-work feature: full workflow execution on Parsl.
+	dir := t.TempDir()
+	writeCWL(t, dir, "echo.cwl", echoCWL)
+	wfPath := writeCWL(t, dir, "wf.cwl", `
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs:
+  final:
+    type: File
+    outputSource: say/output
+steps:
+  say:
+    run: echo.cwl
+    in:
+      message: msg
+    out: [output]
+`)
+	doc, err := cwl.LoadFile(wfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfk := newDFK(t, 2)
+	r := NewRunner(dfk)
+	r.WorkRoot = t.TempDir()
+	out, err := r.Run(doc, yamlx.MapOf("msg", "workflow-on-parsl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.Value("final").(*yamlx.Map)
+	data, _ := os.ReadFile(f.GetString("path"))
+	if strings.TrimSpace(string(data)) != "workflow-on-parsl" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestParseInputFlags(t *testing.T) {
+	m, err := ParseInputFlags([]string{"--message=Hello", "--count=3", "--flag=true", "--name=O'Brien"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value("message") != "Hello" || m.Value("count") != int64(3) || m.Value("flag") != true {
+		t.Errorf("m = %v", m)
+	}
+	if m.Value("name") != "O'Brien" {
+		t.Errorf("name = %v", m.Value("name"))
+	}
+	for _, bad := range []string{"plain", "--noequals", "--=x"} {
+		if _, err := ParseInputFlags([]string{bad}); err == nil {
+			t.Errorf("ParseInputFlags(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseInputValues(t *testing.T) {
+	m, err := ParseInputValues([]byte("message: hi\nn: 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value("message") != "hi" || m.Value("n") != int64(2) {
+		t.Errorf("m = %v", m)
+	}
+	if _, err := ParseInputValues([]byte("- a\n- b\n")); err == nil {
+		t.Error("list inputs accepted")
+	}
+	empty, err := ParseInputValues(nil)
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty = %v err=%v", empty, err)
+	}
+}
+
+func TestCWLAppOnHTEX(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCWL(t, dir, "echo.cwl", echoCWL)
+	htex := parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
+		Label: "htex", WorkersPerNode: 2, MaxBlocks: 2, InitBlocks: 1,
+	})
+	dfk, err := parsl.Load(parsl.Config{Executors: []parsl.Executor{htex}, RunDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+	app, err := NewCWLApp(dfk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*parsl.AppFuture
+	for i := 0; i < 10; i++ {
+		futs = append(futs, app.Call(parsl.Args{"message": "on htex"}))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

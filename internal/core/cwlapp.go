@@ -1,0 +1,304 @@
+// Package core implements the paper's primary contribution: the integration
+// of CWL and Parsl.
+//
+//   - CWLApp (§III-A) imports a CWL CommandLineTool definition as a callable
+//     Parsl app: tool inputs become keyword arguments, File outputs become
+//     DataFutures available before execution, and invocation builds and runs
+//     the command per the CWL binding rules.
+//   - Runner (§III-B) is the parsl-cwl engine: it executes CommandLineTools —
+//     and, going beyond the paper's prototype, complete CWL Workflows — on
+//     Parsl executors configured from a TaPS-style YAML file.
+//
+// InlinePythonRequirement (§V) flows through both paths via the cwl/cwlexpr
+// packages.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/cwl"
+	"repro/internal/cwlexpr"
+	"repro/internal/parsl"
+	"repro/internal/runner"
+	"repro/internal/yamlx"
+)
+
+// Reserved keyword arguments on CWLApp.Call, mirroring Parsl bash_app.
+const (
+	// ArgStdout redirects the tool's standard output.
+	ArgStdout = "stdout"
+	// ArgStderr redirects the tool's standard error.
+	ArgStderr = "stderr"
+)
+
+// CWLApp is a CWL CommandLineTool imported as a Parsl app (paper §III-A).
+// Create one per tool definition and invoke it any number of times; each
+// invocation returns an AppFuture immediately.
+type CWLApp struct {
+	dfk      *parsl.DFK
+	tool     *cwl.CommandLineTool
+	name     string
+	workRoot string
+	executor string
+	seq      atomic.Int64
+	tr       *runner.ToolRunner
+}
+
+// AppOpt customizes a CWLApp.
+type AppOpt func(*CWLApp)
+
+// WithExecutor routes invocations to the executor with the given label.
+func WithExecutor(label string) AppOpt {
+	return func(a *CWLApp) { a.executor = label }
+}
+
+// WithWorkRoot sets where per-invocation job directories are created.
+func WithWorkRoot(dir string) AppOpt {
+	return func(a *CWLApp) { a.workRoot = dir }
+}
+
+// NewCWLApp loads a CommandLineTool definition from a .cwl file and wraps it
+// as a Parsl app — the paper's `CWLApp("echo.cwl")`.
+func NewCWLApp(dfk *parsl.DFK, path string, opts ...AppOpt) (*CWLApp, error) {
+	doc, err := cwl.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tool, ok := doc.(*cwl.CommandLineTool)
+	if !ok {
+		return nil, fmt.Errorf("%s: CWLApp requires a CommandLineTool, got %s", path, doc.Class())
+	}
+	return NewCWLAppFromTool(dfk, tool, opts...)
+}
+
+// NewCWLAppFromTool wraps an already-parsed CommandLineTool.
+func NewCWLAppFromTool(dfk *parsl.DFK, tool *cwl.CommandLineTool, opts ...AppOpt) (*CWLApp, error) {
+	if _, err := cwl.Validate(tool); err != nil {
+		return nil, err
+	}
+	a := &CWLApp{
+		dfk:      dfk,
+		tool:     tool,
+		name:     appName(tool),
+		workRoot: dfk.RunDir(),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.workRoot == "" {
+		a.workRoot = "."
+	}
+	return a, nil
+}
+
+func appName(tool *cwl.CommandLineTool) string {
+	if tool.ID != "" {
+		return tool.ID
+	}
+	if tool.Path != "" {
+		base := filepath.Base(tool.Path)
+		return strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	if len(tool.BaseCommand) > 0 {
+		return tool.BaseCommand[0]
+	}
+	return "cwlapp"
+}
+
+// Tool returns the wrapped CommandLineTool.
+func (a *CWLApp) Tool() *cwl.CommandLineTool { return a.tool }
+
+// Name returns the app name used in monitoring.
+func (a *CWLApp) Name() string { return a.name }
+
+// InputIDs lists the tool's input parameter ids (the legal kwargs).
+func (a *CWLApp) InputIDs() []string {
+	out := make([]string, len(a.tool.Inputs))
+	for i, in := range a.tool.Inputs {
+		out[i] = in.ID
+	}
+	return out
+}
+
+// OutputIDs lists the tool's output ids in declaration order — the order of
+// the future's Outputs().
+func (a *CWLApp) OutputIDs() []string {
+	out := make([]string, len(a.tool.Outputs))
+	for i, o := range a.tool.Outputs {
+		out[i] = o.ID
+	}
+	return out
+}
+
+// Call invokes the tool with keyword arguments and returns a future
+// immediately. Arguments may be plain values, parsl.File, *parsl.AppFuture
+// or *parsl.DataFuture (which establish dataflow dependencies). The reserved
+// kwargs "stdout" and "stderr" redirect those streams. The future's
+// Outputs() carry one DataFuture per predictable File-producing output, in
+// declaration order.
+func (a *CWLApp) Call(args parsl.Args) *parsl.AppFuture {
+	seq := a.seq.Add(1)
+	jobdir := filepath.Join(a.workRoot, fmt.Sprintf("%s-%04d", a.name, seq))
+
+	callArgs := parsl.Args{}
+	for k, v := range args {
+		callArgs[k] = v
+	}
+	stdoutOverride, _ := popString(callArgs, ArgStdout)
+	stderrOverride, _ := popString(callArgs, ArgStderr)
+
+	outFiles, err := a.predictOutputs(callArgs, jobdir, stdoutOverride, stderrOverride)
+	opts := parsl.CallOpts{
+		Executor: a.executor,
+		Outputs:  outFiles,
+		Stdout:   stdoutOverride,
+		Stderr:   stderrOverride,
+	}
+	if err != nil {
+		// Fail through the future so call sites stay uniform.
+		failing := parsl.NewGoApp(a.name, func(parsl.Args) (any, error) { return nil, err })
+		return a.dfk.Submit(failing, parsl.Args{}, parsl.CallOpts{Executor: a.executor})
+	}
+
+	cwd, _ := os.Getwd()
+	exec := parsl.NewGoApp(a.name, func(resolved parsl.Args) (any, error) {
+		inputs := yamlx.NewMap()
+		for k, v := range resolved {
+			inputs.Set(k, fromParslValue(v))
+		}
+		tr := a.tr
+		if tr == nil {
+			tr = &runner.ToolRunner{WorkRoot: a.workRoot}
+		}
+		res, err := tr.RunTool(a.tool, inputs, runner.RunOpts{
+			OutDir:     jobdir,
+			InputsDir:  cwd,
+			StdoutPath: stdoutOverride,
+			StderrPath: stderrOverride,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Outputs, nil
+	})
+	return a.dfk.Submit(exec, callArgs, opts)
+}
+
+func popString(args parsl.Args, key string) (string, bool) {
+	v, ok := args[key]
+	if !ok {
+		return "", false
+	}
+	delete(args, key)
+	s, _ := v.(string)
+	return s, s != ""
+}
+
+// predictOutputs computes the DataFuture paths for the invocation: stdout/
+// stderr-typed outputs use the (possibly overridden) redirect path, and
+// File outputs with literal or resolvable globs use the glob result. Globs
+// depending on unresolved futures or containing wildcards yield no
+// DataFuture (the value is still present in the future's result map).
+func (a *CWLApp) predictOutputs(args parsl.Args, jobdir, stdoutOverride, stderrOverride string) ([]parsl.File, error) {
+	// Build a best-effort inputs map: DataFutures already know their paths;
+	// AppFutures are omitted.
+	known := yamlx.NewMap()
+	for k, v := range args {
+		switch t := v.(type) {
+		case *parsl.AppFuture:
+			continue
+		case *parsl.DataFuture:
+			known.Set(k, runner.MakeFileObject("File", absIn(t.File().Path, jobdir)))
+		case parsl.File:
+			known.Set(k, runner.MakeFileObject("File", absIn(t.Path, jobdir)))
+		default:
+			known.Set(k, v)
+		}
+	}
+	// Apply defaults for prediction only.
+	for _, in := range a.tool.Inputs {
+		if !known.Has(in.ID) && in.HasDef {
+			known.Set(in.ID, in.Default)
+		}
+	}
+	reqs := a.tool.Hints.Merge(a.tool.Requirements)
+	eng, err := cwlexpr.NewEngine(reqs)
+	if err != nil {
+		return nil, err
+	}
+	ctx := cwlexpr.Context{Inputs: known}
+
+	stdoutPath := stdoutOverride
+	if stdoutPath == "" {
+		stdoutPath = a.tool.Stdout
+	}
+	stderrPath := stderrOverride
+	if stderrPath == "" {
+		stderrPath = a.tool.Stderr
+	}
+	var outs []parsl.File
+	for _, out := range a.tool.Outputs {
+		if out.Type == nil {
+			continue
+		}
+		switch out.Type.Name {
+		case "stdout":
+			p := stdoutPath
+			if p == "" {
+				p = out.ID + ".stdout.txt"
+			}
+			outs = append(outs, parsl.NewFile(absIn(p, jobdir)))
+			continue
+		case "stderr":
+			p := stderrPath
+			if p == "" {
+				p = out.ID + ".stderr.txt"
+			}
+			outs = append(outs, parsl.NewFile(absIn(p, jobdir)))
+			continue
+		}
+		if out.Binding == nil || len(out.Binding.Glob) != 1 || !out.Type.IsFile() {
+			continue
+		}
+		pattern := out.Binding.Glob[0]
+		if cwlexpr.NeedsEval(pattern) {
+			s, err := eng.EvalToString(pattern, ctx)
+			if err != nil {
+				continue // depends on an unresolved future; no DataFuture
+			}
+			pattern = s
+		}
+		if strings.ContainsAny(pattern, "*?[") {
+			continue
+		}
+		outs = append(outs, parsl.NewFile(absIn(pattern, jobdir)))
+	}
+	return outs, nil
+}
+
+func absIn(path, dir string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(dir, path)
+}
+
+// fromParslValue converts Parsl values to CWL document values.
+func fromParslValue(v any) any {
+	switch t := v.(type) {
+	case parsl.File:
+		return t.Path
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = fromParslValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

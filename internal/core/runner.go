@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/runner"
+	"repro/internal/yamlx"
+)
+
+// Runner is the parsl-cwl engine (paper §III-B): it executes CWL processes
+// on Parsl executors. The paper's prototype handles CommandLineTools; this
+// implementation also runs complete Workflows (the paper's stated future
+// work) by pairing the shared workflow engine with a Parsl-backed submitter.
+type Runner struct {
+	DFK *parsl.DFK
+	// WorkRoot is where job directories are created.
+	WorkRoot string
+	// InputsDir resolves relative input file paths (defaults to the current
+	// working directory).
+	InputsDir string
+	// Executor selects a specific executor label ("" = default).
+	Executor string
+}
+
+// NewRunner builds a Runner over a loaded DFK.
+func NewRunner(dfk *parsl.DFK) *Runner {
+	wd, _ := os.Getwd()
+	root := dfk.RunDir()
+	if root == "" {
+		root = wd
+	}
+	return &Runner{DFK: dfk, WorkRoot: root, InputsDir: wd}
+}
+
+// Run executes any supported CWL document with the given inputs.
+func (r *Runner) Run(doc cwl.Document, inputs *yamlx.Map) (*yamlx.Map, error) {
+	switch d := doc.(type) {
+	case *cwl.CommandLineTool:
+		return r.RunTool(d, inputs)
+	case *cwl.Workflow:
+		return r.RunWorkflow(d, inputs)
+	default:
+		return nil, fmt.Errorf("parsl-cwl cannot execute class %s", doc.Class())
+	}
+}
+
+// RunTool executes one CommandLineTool as a Parsl task and waits for it.
+func (r *Runner) RunTool(tool *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.Map, error) {
+	app, err := NewCWLAppFromTool(r.DFK, tool, WithWorkRoot(r.WorkRoot), WithExecutor(r.Executor))
+	if err != nil {
+		return nil, err
+	}
+	args := parsl.Args{}
+	if inputs != nil {
+		for _, k := range inputs.Keys() {
+			args[k] = inputs.Value(k)
+		}
+	}
+	fut := app.Call(args)
+	res, err := fut.Wait()
+	if err != nil {
+		return nil, err
+	}
+	out, _ := res.(*yamlx.Map)
+	return out, nil
+}
+
+// RunWorkflow executes a complete CWL Workflow with every tool invocation
+// dispatched as a Parsl task.
+func (r *Runner) RunWorkflow(wf *cwl.Workflow, inputs *yamlx.Map) (*yamlx.Map, error) {
+	if _, err := cwl.Validate(wf); err != nil {
+		return nil, err
+	}
+	eng := &runner.WorkflowEngine{
+		Submitter: &ParslSubmitter{DFK: r.DFK, WorkRoot: r.WorkRoot, Executor: r.Executor, InputsDir: r.InputsDir},
+		InputsDir: r.InputsDir,
+	}
+	return eng.Execute(wf, inputs)
+}
+
+// ParslSubmitter adapts the Parsl DFK to the shared workflow engine: every
+// CWL step job becomes one Parsl task.
+type ParslSubmitter struct {
+	DFK       *parsl.DFK
+	WorkRoot  string
+	Executor  string
+	InputsDir string
+}
+
+// SubmitTool implements runner.Submitter.
+func (s *ParslSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map, extraReqs *cwl.Requirements, done func(*yamlx.Map, error)) {
+	tr := &runner.ToolRunner{WorkRoot: s.WorkRoot}
+	app := parsl.NewGoApp("cwl-step", func(parsl.Args) (any, error) {
+		res, err := tr.RunTool(tool, inputs, runner.RunOpts{ExtraReqs: extraReqs, InputsDir: s.InputsDir})
+		if err != nil {
+			return nil, err
+		}
+		return res.Outputs, nil
+	})
+	fut := s.DFK.Submit(app, parsl.Args{}, parsl.CallOpts{Executor: s.Executor})
+	go func() {
+		res, err := fut.Wait()
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(res.(*yamlx.Map), nil)
+	}()
+}
+
+// ParseInputValues decodes a job-order document (inputs.yml) into the map
+// form runners accept.
+func ParseInputValues(data []byte) (*yamlx.Map, error) {
+	v, err := yamlx.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return yamlx.NewMap(), nil
+	}
+	m, ok := v.(*yamlx.Map)
+	if !ok {
+		return nil, fmt.Errorf("inputs document must be a mapping")
+	}
+	return m, nil
+}
+
+// ParseInputFlags turns --name=value command-line arguments into an inputs
+// map, typing scalar values like YAML would (the paper's
+// `parsl-cwl config.yml echo.cwl --message='Hello'` form).
+func ParseInputFlags(args []string) (*yamlx.Map, error) {
+	m := yamlx.NewMap()
+	for _, a := range args {
+		if !strings.HasPrefix(a, "--") {
+			return nil, fmt.Errorf("unexpected argument %q (want --name=value)", a)
+		}
+		body := strings.TrimPrefix(a, "--")
+		name, val, found := strings.Cut(body, "=")
+		if !found {
+			return nil, fmt.Errorf("input flag %q is missing '='", a)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("input flag %q has an empty name", a)
+		}
+		parsed, err := yamlx.DecodeString(val)
+		if err != nil {
+			parsed = val
+		}
+		m.Set(name, parsed)
+	}
+	return m, nil
+}

@@ -1,0 +1,1065 @@
+package cwl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/yamlx"
+)
+
+// Paper Listing 1: the echo CommandLineTool.
+const echoCWL = `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    default: "Hello World"
+    inputBinding:
+      position: 1
+outputs:
+  output:
+    type: stdout
+stdout: hello.txt
+`
+
+func parseTool(t *testing.T, src string) *CommandLineTool {
+	t.Helper()
+	doc, err := ParseBytes([]byte(src), "", nil)
+	if err != nil {
+		t.Fatalf("ParseBytes: %v", err)
+	}
+	tool, ok := doc.(*CommandLineTool)
+	if !ok {
+		t.Fatalf("got %T, want *CommandLineTool", doc)
+	}
+	return tool
+}
+
+func TestParseEchoTool(t *testing.T) {
+	tool := parseTool(t, echoCWL)
+	if tool.CWLVersion != "v1.2" {
+		t.Errorf("version = %q", tool.CWLVersion)
+	}
+	if len(tool.BaseCommand) != 1 || tool.BaseCommand[0] != "echo" {
+		t.Errorf("baseCommand = %v", tool.BaseCommand)
+	}
+	msg := tool.Input("message")
+	if msg == nil {
+		t.Fatal("no message input")
+	}
+	if msg.Type.Name != "string" {
+		t.Errorf("type = %v", msg.Type)
+	}
+	if msg.Default != "Hello World" || !msg.HasDef {
+		t.Errorf("default = %v", msg.Default)
+	}
+	if msg.Binding == nil || msg.Binding.Position != 1 || !msg.Binding.HasPosition {
+		t.Errorf("binding = %+v", msg.Binding)
+	}
+	out := tool.Output("output")
+	if out == nil || out.Type.Name != "stdout" {
+		t.Fatalf("output = %+v", out)
+	}
+	if tool.Stdout != "hello.txt" {
+		t.Errorf("stdout = %q", tool.Stdout)
+	}
+	if issues, err := Validate(tool); err != nil {
+		t.Errorf("validate: %v (%v)", err, issues)
+	}
+}
+
+func TestParseTypeForms(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{"string", "string"},
+		{"int?", "int?"},
+		{"File[]", "File[]"},
+		{"string[]?", "string[]?"},
+		{[]any{"null", "int"}, "int?"},
+		{[]any{"null", "File[]"}, "File[]?"},
+		{yamlx.MapOf("type", "array", "items", "string"), "string[]"},
+		{yamlx.MapOf("type", "enum", "symbols", []any{"a", "b"}), "enum(a|b)"},
+	}
+	for _, c := range cases {
+		tp, err := ParseType(c.in)
+		if err != nil {
+			t.Fatalf("ParseType(%v): %v", c.in, err)
+		}
+		if tp.String() != c.want {
+			t.Errorf("ParseType(%v) = %s, want %s", c.in, tp, c.want)
+		}
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	for _, in := range []any{"bogus", nil, yamlx.MapOf("type", "array"), yamlx.MapOf("type", "enum"), 42} {
+		if _, err := ParseType(in); err == nil {
+			t.Errorf("ParseType(%v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestTypeAccepts(t *testing.T) {
+	str, _ := ParseType("string")
+	if _, err := str.Accepts("x"); err != nil {
+		t.Error(err)
+	}
+	if _, err := str.Accepts(int64(1)); err == nil {
+		t.Error("string accepted int")
+	}
+	intT, _ := ParseType("int")
+	if v, err := intT.Accepts(int64(5)); err != nil || v != int64(5) {
+		t.Errorf("int: %v %v", v, err)
+	}
+	if v, err := intT.Accepts(5.0); err != nil || v != int64(5) {
+		t.Errorf("int from float: %v %v", v, err)
+	}
+	if _, err := intT.Accepts(5.5); err == nil {
+		t.Error("int accepted 5.5")
+	}
+	dbl, _ := ParseType("double")
+	if v, err := dbl.Accepts(int64(2)); err != nil || v != 2.0 {
+		t.Errorf("double from int: %v %v", v, err)
+	}
+	opt, _ := ParseType("string?")
+	if v, err := opt.Accepts(nil); err != nil || v != nil {
+		t.Errorf("optional nil: %v %v", v, err)
+	}
+	if _, err := str.Accepts(nil); err == nil {
+		t.Error("non-optional accepted nil")
+	}
+	arr, _ := ParseType("int[]")
+	if v, err := arr.Accepts([]any{int64(1), 2.0}); err != nil {
+		t.Errorf("array: %v", err)
+	} else if vs := v.([]any); vs[1] != int64(2) {
+		t.Errorf("array coercion: %v", vs)
+	}
+	enum, _ := ParseType(yamlx.MapOf("type", "enum", "symbols", []any{"fast", "slow"}))
+	if _, err := enum.Accepts("fast"); err != nil {
+		t.Error(err)
+	}
+	if _, err := enum.Accepts("medium"); err == nil {
+		t.Error("enum accepted bad symbol")
+	}
+	file, _ := ParseType("File")
+	v, err := file.Accepts("data.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := v.(*yamlx.Map)
+	if fm.GetString("class") != "File" || fm.GetString("path") != "data.txt" {
+		t.Errorf("file promotion = %v", fm)
+	}
+}
+
+// Property: every parseable type string round-trips through String→ParseType.
+func TestTypeStringRoundTripProperty(t *testing.T) {
+	bases := []string{"boolean", "int", "long", "float", "double", "string", "File", "Directory"}
+	f := func(baseIdx uint8, arr, opt bool) bool {
+		s := bases[int(baseIdx)%len(bases)]
+		if arr {
+			s += "[]"
+		}
+		if opt {
+			s += "?"
+		}
+		tp, err := ParseType(s)
+		if err != nil {
+			return false
+		}
+		tp2, err := ParseType(tp.String())
+		if err != nil {
+			return false
+		}
+		return tp.String() == tp2.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRequirements(t *testing.T) {
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: cat
+requirements:
+  - class: InlineJavascriptRequirement
+    expressionLib:
+      - "function f(x) { return x; }"
+  - class: EnvVarRequirement
+    envDef:
+      MODE: fast
+  - class: ResourceRequirement
+    coresMin: 2
+  - class: ShellCommandRequirement
+hints:
+  - class: DockerRequirement
+    dockerPull: ubuntu:22.04
+inputs: {}
+outputs: {}
+`)
+	r := tool.Requirements
+	if !r.InlineJavascript || len(r.JSExpressionLib) != 1 {
+		t.Errorf("js req = %+v", r)
+	}
+	if len(r.EnvVars) != 1 || r.EnvVars[0].Name != "MODE" || r.EnvVars[0].Value != "fast" {
+		t.Errorf("env = %+v", r.EnvVars)
+	}
+	if r.Resource == nil || r.Resource.CoresMin != int64(2) {
+		t.Errorf("resource = %+v", r.Resource)
+	}
+	if !r.ShellCommand {
+		t.Error("shell requirement missing")
+	}
+	if tool.Hints.Docker == nil || tool.Hints.Docker.Pull != "ubuntu:22.04" {
+		t.Errorf("docker hint = %+v", tool.Hints.Docker)
+	}
+}
+
+func TestParseInlinePythonRequirement(t *testing.T) {
+	// Paper Listing 5.
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib:
+      - |
+        def capitalize_words(message):
+            return message.title()
+baseCommand: echo
+inputs:
+  message:
+    type: string
+arguments:
+  - f"{capitalize_words($(inputs.message))}"
+outputs: {}
+`)
+	if !tool.Requirements.InlinePython {
+		t.Fatal("InlinePythonRequirement not recognized")
+	}
+	if len(tool.Requirements.PyExpressionLib) != 1 {
+		t.Fatalf("lib = %v", tool.Requirements.PyExpressionLib)
+	}
+	if !strings.Contains(tool.Requirements.PyExpressionLib[0], "def capitalize_words") {
+		t.Errorf("lib content = %q", tool.Requirements.PyExpressionLib[0])
+	}
+	if len(tool.Arguments) != 1 || !strings.Contains(tool.Arguments[0].ValueFrom, "capitalize_words") {
+		t.Errorf("arguments = %+v", tool.Arguments)
+	}
+}
+
+func TestParseValidateExtension(t *testing.T) {
+	// Paper Listing 6.
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib:
+      - |
+        def valid_file(file, ext):
+            if not file.lower().endswith(ext):
+                raise Exception(f"Invalid file. Expected '{ext}'")
+baseCommand: cat
+inputs:
+  data_file:
+    type: File
+    validate: |
+      f"{valid_file($(inputs.data_file), '.csv')}"
+    inputBinding:
+      position: 1
+outputs:
+  validated_output:
+    type: stdout
+`)
+	in := tool.Input("data_file")
+	if in == nil || in.Validate == "" {
+		t.Fatalf("validate missing: %+v", in)
+	}
+	if _, err := Validate(tool); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestValidateRejectsValidateWithoutPython(t *testing.T) {
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: cat
+inputs:
+  f:
+    type: File
+    validate: f"{check($(inputs.f))}"
+outputs: {}
+`)
+	_, err := Validate(tool)
+	if err == nil || !strings.Contains(err.Error(), "InlinePythonRequirement") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListFormInputs(t *testing.T) {
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: sort
+inputs:
+  - id: input_file
+    type: File
+    inputBinding: {position: 1}
+  - id: numeric
+    type: boolean?
+    inputBinding: {prefix: -n}
+outputs:
+  - id: sorted_out
+    type: stdout
+`)
+	if len(tool.Inputs) != 2 {
+		t.Fatalf("inputs = %d", len(tool.Inputs))
+	}
+	if tool.Inputs[0].ID != "input_file" || tool.Inputs[1].Type.String() != "boolean?" {
+		t.Errorf("inputs = %+v %+v", tool.Inputs[0], tool.Inputs[1])
+	}
+	if tool.Inputs[1].Binding.Prefix != "-n" {
+		t.Errorf("prefix = %q", tool.Inputs[1].Binding.Prefix)
+	}
+}
+
+// imageWorkflowCWL is the paper's Listing 3 workflow (trimmed doc strings).
+const imageWorkflowCWL = `
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: StepInputExpressionRequirement
+inputs:
+  input_image:
+    type: File
+  size:
+    type: int
+  sepia:
+    type: boolean
+  radius:
+    type: int
+outputs:
+  final_output:
+    type: File
+    outputSource: blur_image/output_image
+steps:
+  resize_image:
+    run: resize_image.cwl
+    in:
+      input_image: input_image
+      size: size
+      output_image:
+        valueFrom: "resized.png"
+    out: [output_image]
+  filter_image:
+    run: filter_image.cwl
+    in:
+      input_image: resize_image/output_image
+      sepia: sepia
+      output_image:
+        valueFrom: "filtered.png"
+    out: [output_image]
+  blur_image:
+    run: blur_image.cwl
+    in:
+      input_image: filter_image/output_image
+      radius: radius
+      output_image:
+        valueFrom: "blurred.png"
+    out: [output_image]
+`
+
+func imgToolCWL(extra string) string {
+	return `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [imgtool, op]
+inputs:
+  input_image:
+    type: File
+    inputBinding: {position: 1}
+` + extra + `
+  output_image:
+    type: string
+    inputBinding: {position: 2}
+outputs:
+  output_image:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)
+`
+}
+
+func writeImageWorkflow(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"workflow.cwl":     imageWorkflowCWL,
+		"resize_image.cwl": imgToolCWL("  size:\n    type: int\n    inputBinding: {prefix: --size}"),
+		"filter_image.cwl": imgToolCWL("  sepia:\n    type: boolean\n    inputBinding: {prefix: --sepia}"),
+		"blur_image.cwl":   imgToolCWL("  radius:\n    type: int\n    inputBinding: {prefix: --radius}"),
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "workflow.cwl")
+}
+
+func TestLoadImageWorkflow(t *testing.T) {
+	doc, err := LoadFile(writeImageWorkflow(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, ok := doc.(*Workflow)
+	if !ok {
+		t.Fatalf("got %T", doc)
+	}
+	if len(wf.Steps) != 3 {
+		t.Fatalf("steps = %d", len(wf.Steps))
+	}
+	if !wf.Requirements.StepInputExpression {
+		t.Error("StepInputExpressionRequirement missing")
+	}
+	resize := wf.Step("resize_image")
+	if resize == nil {
+		t.Fatal("no resize step")
+	}
+	tool, ok := resize.Run.(*CommandLineTool)
+	if !ok {
+		t.Fatalf("run = %T", resize.Run)
+	}
+	if tool.Input("size") == nil {
+		t.Error("resize tool missing size input")
+	}
+	vf := resize.Input("output_image")
+	if vf == nil || vf.ValueFrom != "resized.png" {
+		t.Errorf("valueFrom = %+v", vf)
+	}
+	filter := wf.Step("filter_image")
+	src := filter.Input("input_image")
+	if len(src.Source) != 1 || src.Source[0] != "resize_image/output_image" {
+		t.Errorf("source = %v", src.Source)
+	}
+	if issues, err := Validate(wf); err != nil {
+		t.Errorf("validate: %v\n%v", err, issues)
+	}
+}
+
+func TestValidateCatchesBadSource(t *testing.T) {
+	doc, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  x: int
+outputs:
+  out:
+    type: int
+    outputSource: nosuchstep/y
+steps:
+  s1:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        v:
+          type: int
+          inputBinding: {position: 1}
+      outputs:
+        o: stdout
+    in:
+      v: missing_input
+    out: [o]
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Validate(doc)
+	if err == nil {
+		t.Fatal("expected validation errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"unknown source", "unknown outputSource"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestValidateScatterRequiresFeature(t *testing.T) {
+	doc, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  xs: int[]
+outputs: {}
+steps:
+  s1:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        v:
+          type: int
+          inputBinding: {position: 1}
+      outputs: {}
+    in:
+      v: xs
+    scatter: v
+    out: []
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Validate(doc)
+	if err == nil || !strings.Contains(err.Error(), "ScatterFeatureRequirement") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmbeddedToolInWorkflow(t *testing.T) {
+	doc, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs:
+  out:
+    type: File
+    outputSource: say/output
+steps:
+  say:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      stdout: out.txt
+      inputs:
+        message:
+          type: string
+          inputBinding: {position: 1}
+      outputs:
+        output: stdout
+    in:
+      message: msg
+    out: [output]
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := doc.(*Workflow)
+	if _, ok := wf.Steps[0].Run.(*CommandLineTool); !ok {
+		t.Fatalf("embedded run = %T", wf.Steps[0].Run)
+	}
+	if _, err := Validate(wf); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestCircularReferenceDetected(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.cwl")
+	b := filepath.Join(dir, "b.cwl")
+	wf := func(run string) string {
+		return `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: SubworkflowFeatureRequirement
+inputs:
+  x: int
+outputs: {}
+steps:
+  s:
+    run: ` + run + `
+    in:
+      x: x
+    out: []
+`
+	}
+	os.WriteFile(a, []byte(wf("b.cwl")), 0o644)
+	os.WriteFile(b, []byte(wf("a.cwl")), 0o644)
+	if _, err := LoadFile(a); err == nil || !strings.Contains(err.Error(), "circular") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.cwl")
+	os.WriteFile(path, []byte(`
+cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs: {}
+steps:
+  s:
+    run: does_not_exist.cwl
+    in: {}
+    out: []
+`), 0o644)
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("expected error for missing run file")
+	}
+}
+
+func TestExpressionTool(t *testing.T) {
+	doc, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+class: ExpressionTool
+requirements:
+  - class: InlineJavascriptRequirement
+inputs:
+  n: int
+outputs:
+  doubled: int
+expression: "${ return {doubled: inputs.n * 2}; }"
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, ok := doc.(*ExpressionTool)
+	if !ok {
+		t.Fatalf("got %T", doc)
+	}
+	if et.Expression == "" || len(et.Inputs) != 1 || len(et.Outputs) != 1 {
+		t.Errorf("et = %+v", et)
+	}
+	if _, err := Validate(et); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestUnknownRequirementIsError(t *testing.T) {
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+requirements:
+  - class: SoftwareRequirement
+inputs: {}
+outputs: {}
+`)
+	if _, err := Validate(tool); err == nil {
+		t.Fatal("unknown requirement should be a validation error")
+	}
+}
+
+func TestUnknownHintIsWarning(t *testing.T) {
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+hints:
+  - class: SoftwareRequirement
+inputs: {}
+outputs: {}
+`)
+	issues, err := Validate(tool)
+	if err != nil {
+		t.Fatalf("hints must not fail validation: %v", err)
+	}
+	found := false
+	for _, i := range issues {
+		if i.Severity == "warning" && strings.Contains(i.Msg, "SoftwareRequirement") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected warning, got %v", issues)
+	}
+}
+
+func TestRequirementsMerge(t *testing.T) {
+	parent := Requirements{InlineJavascript: true, JSExpressionLib: []string{"a"}}
+	child := Requirements{JSExpressionLib: []string{"b"}, ShellCommand: true}
+	merged := parent.Merge(child)
+	if !merged.InlineJavascript || !merged.ShellCommand {
+		t.Error("flags lost in merge")
+	}
+	if len(merged.JSExpressionLib) != 2 || merged.JSExpressionLib[0] != "a" {
+		t.Errorf("lib = %v", merged.JSExpressionLib)
+	}
+}
+
+func TestStepListForm(t *testing.T) {
+	doc, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs: {}
+steps:
+  - id: one
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        message: {type: string, inputBinding: {position: 1}}
+      outputs: {}
+    in:
+      - id: message
+        source: msg
+    out: []
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := doc.(*Workflow)
+	if len(wf.Steps) != 1 || wf.Steps[0].ID != "one" {
+		t.Fatalf("steps = %+v", wf.Steps)
+	}
+	if wf.Steps[0].In[0].Source[0] != "msg" {
+		t.Errorf("in = %+v", wf.Steps[0].In[0])
+	}
+}
+
+// TestPackedGraphDocument loads a $graph packed workflow — the format
+// `cwltool --pack` produces and registries distribute.
+func TestPackedGraphDocument(t *testing.T) {
+	doc, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+$graph:
+  - id: echo_tool
+    class: CommandLineTool
+    baseCommand: echo
+    stdout: o.txt
+    inputs:
+      message: {type: string, inputBinding: {position: 1}}
+    outputs:
+      out: {type: stdout}
+  - id: main
+    class: Workflow
+    inputs:
+      msg: string
+    outputs:
+      result:
+        type: File
+        outputSource: say/out
+    steps:
+      say:
+        run: "#echo_tool"
+        in:
+          message: msg
+        out: [out]
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, ok := doc.(*Workflow)
+	if !ok {
+		t.Fatalf("got %T", doc)
+	}
+	if wf.CWLVersion != "v1.2" {
+		t.Errorf("cwlVersion not propagated: %q", wf.CWLVersion)
+	}
+	tool, ok := wf.Steps[0].Run.(*CommandLineTool)
+	if !ok {
+		t.Fatalf("run = %T", wf.Steps[0].Run)
+	}
+	if tool.BaseCommand[0] != "echo" {
+		t.Errorf("tool = %+v", tool)
+	}
+	if _, err := Validate(wf); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestPackedGraphPicksFirstWorkflowWithoutMain(t *testing.T) {
+	doc, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+$graph:
+  - id: helper
+    class: CommandLineTool
+    baseCommand: "true"
+    inputs: {}
+    outputs: {}
+  - id: pipeline
+    class: Workflow
+    inputs: {}
+    outputs: {}
+    steps:
+      go:
+        run: "#helper"
+        in: {}
+        out: []
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.(*Workflow); !ok {
+		t.Fatalf("got %T, want the Workflow entry", doc)
+	}
+}
+
+func TestPackedGraphErrors(t *testing.T) {
+	// Unknown reference.
+	_, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+$graph:
+  - id: main
+    class: Workflow
+    inputs: {}
+    outputs: {}
+    steps:
+      s:
+        run: "#missing"
+        in: {}
+        out: []
+`), "", nil)
+	if err == nil || !strings.Contains(err.Error(), "#missing") {
+		t.Fatalf("err = %v", err)
+	}
+	// Empty graph.
+	if _, err := ParseBytes([]byte("$graph: []\n"), "", nil); err == nil {
+		t.Fatal("empty $graph accepted")
+	}
+	// Circular reference between workflows.
+	_, err = ParseBytes([]byte(`
+cwlVersion: v1.2
+$graph:
+  - id: a
+    class: Workflow
+    inputs: {}
+    outputs: {}
+    steps:
+      s:
+        run: "#b"
+        in: {}
+        out: []
+  - id: b
+    class: Workflow
+    inputs: {}
+    outputs: {}
+    steps:
+      s:
+        run: "#a"
+        in: {}
+        out: []
+`), "", nil)
+	if err == nil || !strings.Contains(err.Error(), "circular") {
+		t.Fatalf("circular err = %v", err)
+	}
+}
+
+func TestRequirementsMapForm(t *testing.T) {
+	// Requirements may also be a mapping keyed by class.
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+requirements:
+  InlineJavascriptRequirement: {}
+  EnvVarRequirement:
+    envDef:
+      - envName: K
+        envValue: v
+inputs: {}
+outputs: {}
+`)
+	if !tool.Requirements.InlineJavascript {
+		t.Error("map-form requirement not parsed")
+	}
+	if len(tool.Requirements.EnvVars) != 1 || tool.Requirements.EnvVars[0].Name != "K" {
+		t.Errorf("envDef list form = %+v", tool.Requirements.EnvVars)
+	}
+}
+
+func TestOutputListForm(t *testing.T) {
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: "true"
+inputs: {}
+outputs:
+  - id: a
+    type: File
+    outputBinding: {glob: "*.x", loadContents: true}
+  - id: b
+    type: stdout
+stdout: o.txt
+`)
+	if len(tool.Outputs) != 2 || tool.Outputs[0].ID != "a" {
+		t.Fatalf("outputs = %+v", tool.Outputs)
+	}
+	if tool.Outputs[0].Binding == nil || !tool.Outputs[0].Binding.LoadContents {
+		t.Errorf("binding = %+v", tool.Outputs[0].Binding)
+	}
+}
+
+func TestWorkflowOutputListFormAndLinkMerge(t *testing.T) {
+	doc, err := ParseBytes([]byte(`
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: MultipleInputFeatureRequirement
+inputs:
+  x: int
+outputs:
+  - id: merged
+    type: int[]
+    linkMerge: merge_flattened
+    pickValue: all_non_null
+    outputSource: [s/o, s/o]
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        x: {type: int, inputBinding: {position: 1}}
+      outputs:
+        o: {type: stdout}
+    in:
+      x: x
+    out: [o]
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := doc.(*Workflow)
+	if len(wf.Outputs) != 1 {
+		t.Fatalf("outputs = %+v", wf.Outputs)
+	}
+	o := wf.Outputs[0]
+	if o.LinkMerge != "merge_flattened" || o.PickValue != "all_non_null" || len(o.OutputSource) != 2 {
+		t.Errorf("output = %+v", o)
+	}
+}
+
+func TestRecordAndEnumTypes(t *testing.T) {
+	rec, err := ParseType(yamlx.MapOf(
+		"type", "record",
+		"fields", []any{
+			yamlx.MapOf("name", "a", "type", "int"),
+			yamlx.MapOf("name", "b", "type", "string?"),
+		},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rec.Accepts(yamlx.MapOf("a", int64(1)))
+	if err != nil {
+		t.Fatalf("optional field missing should pass: %v", err)
+	}
+	if v.(*yamlx.Map).Value("a") != int64(1) {
+		t.Errorf("v = %v", v)
+	}
+	if _, err := rec.Accepts(yamlx.MapOf("b", "only")); err == nil {
+		t.Error("missing required record field accepted")
+	}
+	// Record fields in map form.
+	rec2, err := ParseType(yamlx.MapOf(
+		"type", "record",
+		"fields", yamlx.MapOf("x", yamlx.MapOf("type", "int")),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Fields) != 1 || rec2.Fields[0].Name != "x" {
+		t.Errorf("fields = %+v", rec2.Fields)
+	}
+	// Enum symbols with namespace prefixes.
+	en, err := ParseType(yamlx.MapOf("type", "enum", "symbols", []any{"file.cwl#fast", "slow"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.Accepts("fast"); err != nil {
+		t.Errorf("namespaced symbol not stripped: %v", err)
+	}
+}
+
+func TestInitialWorkDirParsing(t *testing.T) {
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: "true"
+requirements:
+  - class: InitialWorkDirRequirement
+    listing:
+      - entryname: cfg.ini
+        entry: "k=v"
+        writable: true
+      - $(inputs.f)
+inputs:
+  f: File?
+outputs: {}
+`)
+	wd := tool.Requirements.WorkDir
+	if wd == nil || len(wd.Listing) != 2 {
+		t.Fatalf("workdir = %+v", wd)
+	}
+	if wd.Listing[0].EntryName != "cfg.ini" || !wd.Listing[0].Writable {
+		t.Errorf("dirent = %+v", wd.Listing[0])
+	}
+	if wd.Listing[1].Entry != "$(inputs.f)" {
+		t.Errorf("expr dirent = %+v", wd.Listing[1])
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := LoadFile("/nonexistent.cwl"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.cwl")
+	os.WriteFile(bad, []byte("a: [1,\n"), 0o644)
+	if _, err := LoadFile(bad); err == nil {
+		t.Error("bad yaml accepted")
+	}
+	noclass := filepath.Join(dir, "noclass.cwl")
+	os.WriteFile(noclass, []byte("cwlVersion: v1.2\n"), 0o644)
+	if _, err := LoadFile(noclass); err == nil {
+		t.Error("classless document accepted")
+	}
+	scalar := filepath.Join(dir, "scalar.cwl")
+	os.WriteFile(scalar, []byte("just a string\n"), 0o644)
+	if _, err := LoadFile(scalar); err == nil {
+		t.Error("scalar document accepted")
+	}
+}
+
+func TestValidationIssueString(t *testing.T) {
+	i := ValidationIssue{Severity: "error", Path: "inputs/x", Msg: "broken"}
+	if got := i.String(); !strings.Contains(got, "inputs/x") || !strings.Contains(got, "broken") {
+		t.Errorf("String() = %q", got)
+	}
+	e := &ValidationError{Issues: []ValidationIssue{i}}
+	if !strings.Contains(e.Error(), "validation failed") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestArgumentsScalarForms(t *testing.T) {
+	tool := parseTool(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+arguments:
+  - plain
+  - 42
+  - true
+  - valueFrom: computed
+    position: 5
+inputs: {}
+outputs: {}
+`)
+	if len(tool.Arguments) != 4 {
+		t.Fatalf("arguments = %+v", tool.Arguments)
+	}
+	if tool.Arguments[1].ValueFrom != "42" || tool.Arguments[2].ValueFrom != "true" {
+		t.Errorf("scalar args = %+v", tool.Arguments)
+	}
+	if tool.Arguments[3].Binding == nil || tool.Arguments[3].Binding.Position != 5 {
+		t.Errorf("bound arg = %+v", tool.Arguments[3])
+	}
+}

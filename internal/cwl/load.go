@@ -1,0 +1,632 @@
+package cwl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/yamlx"
+)
+
+// LoadFile reads and parses a CWL document from disk, resolving relative
+// "run:" references in workflows.
+func LoadFile(path string) (Document, error) {
+	return loadFileRec(path, map[string]bool{})
+}
+
+func loadFileRec(path string, inFlight map[string]bool) (Document, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, err
+	}
+	if inFlight[abs] {
+		return nil, fmt.Errorf("cwl: circular reference through %s", path)
+	}
+	inFlight[abs] = true
+	defer delete(inFlight, abs)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cwl: %w", err)
+	}
+	doc, err := ParseBytes(data, filepath.Dir(abs), inFlight)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	setPath(doc, abs)
+	return doc, nil
+}
+
+func setPath(doc Document, path string) {
+	switch d := doc.(type) {
+	case *CommandLineTool:
+		d.Path = path
+	case *Workflow:
+		d.Path = path
+	case *ExpressionTool:
+		d.Path = path
+	}
+}
+
+// ParseBytes parses CWL YAML. baseDir resolves relative run references;
+// pass "" to forbid file references. Packed documents ($graph) are
+// supported: the main process is selected and #id references are inlined.
+func ParseBytes(data []byte, baseDir string, inFlight map[string]bool) (Document, error) {
+	v, err := yamlx.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(*yamlx.Map)
+	if !ok {
+		return nil, fmt.Errorf("cwl: document is not a mapping")
+	}
+	if m.Has("$graph") {
+		main, err := resolveGraph(m)
+		if err != nil {
+			return nil, err
+		}
+		m = main
+	}
+	return ParseValue(m, baseDir, inFlight)
+}
+
+// resolveGraph handles packed documents: it picks the main process (id
+// "main", else the first Workflow, else the first entry) and recursively
+// inlines "#id" run references from the graph.
+func resolveGraph(doc *yamlx.Map) (*yamlx.Map, error) {
+	entries, ok := doc.Value("$graph").([]any)
+	if !ok || len(entries) == 0 {
+		return nil, fmt.Errorf("cwl: $graph must be a non-empty list")
+	}
+	byID := map[string]*yamlx.Map{}
+	var main, firstWF, first *yamlx.Map
+	for i, e := range entries {
+		em, ok := e.(*yamlx.Map)
+		if !ok {
+			return nil, fmt.Errorf("cwl: $graph[%d] is not a mapping", i)
+		}
+		// Propagate the top-level cwlVersion into each process.
+		if !em.Has("cwlVersion") && doc.Has("cwlVersion") {
+			em = em.Clone()
+			em.Set("cwlVersion", doc.Value("cwlVersion"))
+		}
+		id := strings.TrimPrefix(em.GetString("id"), "#")
+		if id != "" {
+			byID[id] = em
+		}
+		if first == nil {
+			first = em
+		}
+		if id == "main" {
+			main = em
+		}
+		if firstWF == nil && em.GetString("class") == "Workflow" {
+			firstWF = em
+		}
+	}
+	if main == nil {
+		main = firstWF
+	}
+	if main == nil {
+		main = first
+	}
+	inlined, err := inlineGraphRefs(main, byID, map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	return inlined, nil
+}
+
+// inlineGraphRefs deep-copies a process map, replacing step run "#id"
+// strings with the referenced graph entries.
+func inlineGraphRefs(m *yamlx.Map, byID map[string]*yamlx.Map, inFlight map[string]bool) (*yamlx.Map, error) {
+	out := yamlx.NewMap()
+	var walk func(v any) (any, error)
+	walk = func(v any) (any, error) {
+		switch x := v.(type) {
+		case *yamlx.Map:
+			c := yamlx.NewMap()
+			for _, k := range x.Keys() {
+				vv := x.Value(k)
+				if k == "run" {
+					if ref, ok := vv.(string); ok && strings.HasPrefix(ref, "#") {
+						id := strings.TrimPrefix(ref, "#")
+						target, found := byID[id]
+						if !found {
+							return nil, fmt.Errorf("cwl: $graph reference %q not found", ref)
+						}
+						if inFlight[id] {
+							return nil, fmt.Errorf("cwl: circular $graph reference through %q", ref)
+						}
+						inFlight[id] = true
+						inlinedTarget, err := inlineGraphRefs(target, byID, inFlight)
+						delete(inFlight, id)
+						if err != nil {
+							return nil, err
+						}
+						c.Set(k, inlinedTarget)
+						continue
+					}
+				}
+				w, err := walk(vv)
+				if err != nil {
+					return nil, err
+				}
+				c.Set(k, w)
+			}
+			return c, nil
+		case []any:
+			outList := make([]any, len(x))
+			for i, e := range x {
+				w, err := walk(e)
+				if err != nil {
+					return nil, err
+				}
+				outList[i] = w
+			}
+			return outList, nil
+		default:
+			return v, nil
+		}
+	}
+	w, err := walk(m)
+	if err != nil {
+		return nil, err
+	}
+	out = w.(*yamlx.Map)
+	return out, nil
+}
+
+// ParseValue parses an already-decoded CWL document body.
+func ParseValue(m *yamlx.Map, baseDir string, inFlight map[string]bool) (Document, error) {
+	if inFlight == nil {
+		inFlight = map[string]bool{}
+	}
+	switch cls := m.GetString("class"); cls {
+	case "CommandLineTool":
+		return parseCommandLineTool(m)
+	case "Workflow":
+		return parseWorkflow(m, baseDir, inFlight)
+	case "ExpressionTool":
+		return parseExpressionTool(m)
+	case "":
+		return nil, fmt.Errorf("cwl: document missing 'class'")
+	default:
+		return nil, fmt.Errorf("cwl: unsupported document class %q", cls)
+	}
+}
+
+func parseCommandLineTool(m *yamlx.Map) (*CommandLineTool, error) {
+	t := &CommandLineTool{
+		CWLVersion: m.GetString("cwlVersion"),
+		ID:         strings.TrimPrefix(m.GetString("id"), "#"),
+		Label:      m.GetString("label"),
+		Doc:        docString(m.Value("doc")),
+		Stdin:      m.GetString("stdin"),
+		Stdout:     m.GetString("stdout"),
+		Stderr:     m.GetString("stderr"),
+	}
+	switch bc := m.Value("baseCommand").(type) {
+	case string:
+		t.BaseCommand = []string{bc}
+	case []any:
+		for _, e := range bc {
+			switch s := e.(type) {
+			case string:
+				t.BaseCommand = append(t.BaseCommand, s)
+			case bool, int64, float64:
+				// YAML types bare words like "true"; commands are strings.
+				t.BaseCommand = append(t.BaseCommand, stringify(s))
+			default:
+				return nil, fmt.Errorf("baseCommand entries must be strings")
+			}
+		}
+	case nil:
+	default:
+		return nil, fmt.Errorf("baseCommand must be a string or list")
+	}
+	for i, a := range m.GetSlice("arguments") {
+		switch arg := a.(type) {
+		case string:
+			t.Arguments = append(t.Arguments, ArgEntry{ValueFrom: arg})
+		case int64, float64, bool:
+			t.Arguments = append(t.Arguments, ArgEntry{ValueFrom: stringify(arg)})
+		case *yamlx.Map:
+			b, err := parseBinding(arg)
+			if err != nil {
+				return nil, fmt.Errorf("arguments[%d]: %w", i, err)
+			}
+			t.Arguments = append(t.Arguments, ArgEntry{ValueFrom: b.ValueFrom, Binding: b})
+		default:
+			return nil, fmt.Errorf("arguments[%d]: unsupported entry %T", i, a)
+		}
+	}
+	ins, err := parseInputs(m.Value("inputs"), true)
+	if err != nil {
+		return nil, err
+	}
+	t.Inputs = ins
+	outs, err := parseToolOutputs(m.Value("outputs"))
+	if err != nil {
+		return nil, err
+	}
+	t.Outputs = outs
+	reqs, err := parseRequirements(m.Value("requirements"))
+	if err != nil {
+		return nil, err
+	}
+	t.Requirements = reqs
+	hints, err := parseRequirements(m.Value("hints"))
+	if err != nil {
+		return nil, err
+	}
+	t.Hints = hints
+	for _, c := range m.GetSlice("successCodes") {
+		if n, ok := c.(int64); ok {
+			t.SuccessCodes = append(t.SuccessCodes, int(n))
+		}
+	}
+	return t, nil
+}
+
+func parseToolOutputs(v any) ([]*OutputParam, error) {
+	var out []*OutputParam
+	add := func(id string, spec any) error {
+		p := &OutputParam{ID: id}
+		switch sv := spec.(type) {
+		case string, []any:
+			t, err := ParseType(sv)
+			if err != nil {
+				return fmt.Errorf("output %q: %w", id, err)
+			}
+			p.Type = t
+		case *yamlx.Map:
+			t, err := ParseType(sv.Value("type"))
+			if err != nil {
+				return fmt.Errorf("output %q: %w", id, err)
+			}
+			p.Type = t
+			p.Label = sv.GetString("label")
+			p.Doc = docString(sv.Value("doc"))
+			p.Format = sv.GetString("format")
+			if b := sv.GetMap("outputBinding"); b != nil {
+				ob, err := parseOutputBinding(b)
+				if err != nil {
+					return fmt.Errorf("output %q: %w", id, err)
+				}
+				p.Binding = ob
+			}
+		default:
+			return fmt.Errorf("output %q: unsupported specification %T", id, spec)
+		}
+		out = append(out, p)
+		return nil
+	}
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case *yamlx.Map:
+		for _, id := range x.Keys() {
+			if err := add(id, x.Value(id)); err != nil {
+				return nil, err
+			}
+		}
+	case []any:
+		for _, e := range x {
+			m, ok := e.(*yamlx.Map)
+			if !ok {
+				return nil, fmt.Errorf("output list entry is not a mapping")
+			}
+			id := strings.TrimPrefix(m.GetString("id"), "#")
+			if id == "" {
+				return nil, fmt.Errorf("output list entry missing 'id'")
+			}
+			spec := m.Clone()
+			spec.Delete("id")
+			if err := add(id, spec); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("outputs must be a mapping or list")
+	}
+	return out, nil
+}
+
+func parseExpressionTool(m *yamlx.Map) (*ExpressionTool, error) {
+	e := &ExpressionTool{
+		CWLVersion: m.GetString("cwlVersion"),
+		ID:         strings.TrimPrefix(m.GetString("id"), "#"),
+		Doc:        docString(m.Value("doc")),
+		Expression: stringify(m.Value("expression")),
+	}
+	ins, err := parseInputs(m.Value("inputs"), false)
+	if err != nil {
+		return nil, err
+	}
+	e.Inputs = ins
+	outs, err := parseToolOutputs(m.Value("outputs"))
+	if err != nil {
+		return nil, err
+	}
+	e.Outputs = outs
+	reqs, err := parseRequirements(m.Value("requirements"))
+	if err != nil {
+		return nil, err
+	}
+	e.Requirements = reqs
+	if e.Expression == "" {
+		return nil, fmt.Errorf("ExpressionTool missing 'expression'")
+	}
+	return e, nil
+}
+
+func parseWorkflow(m *yamlx.Map, baseDir string, inFlight map[string]bool) (*Workflow, error) {
+	w := &Workflow{
+		CWLVersion: m.GetString("cwlVersion"),
+		ID:         strings.TrimPrefix(m.GetString("id"), "#"),
+		Label:      m.GetString("label"),
+		Doc:        docString(m.Value("doc")),
+	}
+	ins, err := parseInputs(m.Value("inputs"), false)
+	if err != nil {
+		return nil, err
+	}
+	w.Inputs = ins
+	outs, err := parseWorkflowOutputs(m.Value("outputs"))
+	if err != nil {
+		return nil, err
+	}
+	w.Outputs = outs
+	reqs, err := parseRequirements(m.Value("requirements"))
+	if err != nil {
+		return nil, err
+	}
+	w.Requirements = reqs
+	hints, err := parseRequirements(m.Value("hints"))
+	if err != nil {
+		return nil, err
+	}
+	w.Hints = hints
+
+	steps, err := parseSteps(m.Value("steps"), baseDir, inFlight)
+	if err != nil {
+		return nil, err
+	}
+	w.Steps = steps
+	return w, nil
+}
+
+func parseWorkflowOutputs(v any) ([]*WorkflowOutput, error) {
+	var out []*WorkflowOutput
+	add := func(id string, spec any) error {
+		p := &WorkflowOutput{ID: id}
+		switch sv := spec.(type) {
+		case string, []any:
+			t, err := ParseType(sv)
+			if err != nil {
+				return fmt.Errorf("workflow output %q: %w", id, err)
+			}
+			p.Type = t
+		case *yamlx.Map:
+			t, err := ParseType(sv.Value("type"))
+			if err != nil {
+				return fmt.Errorf("workflow output %q: %w", id, err)
+			}
+			p.Type = t
+			p.Doc = docString(sv.Value("doc"))
+			p.LinkMerge = sv.GetString("linkMerge")
+			p.PickValue = sv.GetString("pickValue")
+			switch src := sv.Value("outputSource").(type) {
+			case string:
+				p.OutputSource = []string{src}
+			case []any:
+				for _, s := range src {
+					if ss, ok := s.(string); ok {
+						p.OutputSource = append(p.OutputSource, ss)
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("workflow output %q: unsupported specification %T", id, spec)
+		}
+		out = append(out, p)
+		return nil
+	}
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case *yamlx.Map:
+		for _, id := range x.Keys() {
+			if err := add(id, x.Value(id)); err != nil {
+				return nil, err
+			}
+		}
+	case []any:
+		for _, e := range x {
+			m, ok := e.(*yamlx.Map)
+			if !ok {
+				return nil, fmt.Errorf("workflow output list entry is not a mapping")
+			}
+			id := strings.TrimPrefix(m.GetString("id"), "#")
+			spec := m.Clone()
+			spec.Delete("id")
+			if err := add(id, spec); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("workflow outputs must be a mapping or list")
+	}
+	return out, nil
+}
+
+func parseSteps(v any, baseDir string, inFlight map[string]bool) ([]*WorkflowStep, error) {
+	var steps []*WorkflowStep
+	add := func(id string, spec *yamlx.Map) error {
+		s := &WorkflowStep{
+			ID:    id,
+			Label: spec.GetString("label"),
+			Doc:   docString(spec.Value("doc")),
+			When:  stringify(spec.Value("when")),
+		}
+		switch run := spec.Value("run").(type) {
+		case string:
+			s.RunRef = run
+			if baseDir == "" {
+				return fmt.Errorf("step %q: file reference %q not allowed for in-memory documents", id, run)
+			}
+			doc, err := loadFileRec(filepath.Join(baseDir, run), inFlight)
+			if err != nil {
+				return fmt.Errorf("step %q: %w", id, err)
+			}
+			s.Run = doc
+		case *yamlx.Map:
+			doc, err := ParseValue(run, baseDir, inFlight)
+			if err != nil {
+				return fmt.Errorf("step %q: %w", id, err)
+			}
+			s.Run = doc
+		case nil:
+			return fmt.Errorf("step %q: missing 'run'", id)
+		default:
+			return fmt.Errorf("step %q: unsupported 'run' %T", id, run)
+		}
+		ins, err := parseStepInputs(spec.Value("in"))
+		if err != nil {
+			return fmt.Errorf("step %q: %w", id, err)
+		}
+		s.In = ins
+		switch outs := spec.Value("out").(type) {
+		case []any:
+			for _, o := range outs {
+				switch ov := o.(type) {
+				case string:
+					s.Out = append(s.Out, ov)
+				case *yamlx.Map:
+					s.Out = append(s.Out, ov.GetString("id"))
+				}
+			}
+		case nil:
+		default:
+			return fmt.Errorf("step %q: 'out' must be a list", id)
+		}
+		switch sc := spec.Value("scatter").(type) {
+		case string:
+			s.Scatter = []string{sc}
+		case []any:
+			for _, e := range sc {
+				if ss, ok := e.(string); ok {
+					s.Scatter = append(s.Scatter, ss)
+				}
+			}
+		}
+		s.ScatterMethod = spec.GetString("scatterMethod")
+		reqs, err := parseRequirements(spec.Value("requirements"))
+		if err != nil {
+			return fmt.Errorf("step %q: %w", id, err)
+		}
+		s.Requirements = reqs
+		steps = append(steps, s)
+		return nil
+	}
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case *yamlx.Map:
+		for _, id := range x.Keys() {
+			spec, ok := x.Value(id).(*yamlx.Map)
+			if !ok {
+				return nil, fmt.Errorf("step %q is not a mapping", id)
+			}
+			if err := add(id, spec); err != nil {
+				return nil, err
+			}
+		}
+	case []any:
+		for _, e := range x {
+			m, ok := e.(*yamlx.Map)
+			if !ok {
+				return nil, fmt.Errorf("step list entry is not a mapping")
+			}
+			id := strings.TrimPrefix(m.GetString("id"), "#")
+			if id == "" {
+				return nil, fmt.Errorf("step list entry missing 'id'")
+			}
+			if err := add(id, m); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("steps must be a mapping or list")
+	}
+	return steps, nil
+}
+
+func parseStepInputs(v any) ([]*StepInput, error) {
+	var out []*StepInput
+	add := func(id string, spec any) error {
+		si := &StepInput{ID: id}
+		switch sv := spec.(type) {
+		case string:
+			si.Source = []string{sv}
+		case []any:
+			for _, s := range sv {
+				if ss, ok := s.(string); ok {
+					si.Source = append(si.Source, ss)
+				}
+			}
+		case *yamlx.Map:
+			switch src := sv.Value("source").(type) {
+			case string:
+				si.Source = []string{src}
+			case []any:
+				for _, s := range src {
+					if ss, ok := s.(string); ok {
+						si.Source = append(si.Source, ss)
+					}
+				}
+			}
+			si.LinkMerge = sv.GetString("linkMerge")
+			si.PickValue = sv.GetString("pickValue")
+			if d, ok := sv.Get("default"); ok {
+				si.Default = d
+				si.HasDef = true
+			}
+			si.ValueFrom = stringify(sv.Value("valueFrom"))
+		case nil:
+			// "in: {x: }" — an unconnected input (filled by default/valueFrom).
+		default:
+			return fmt.Errorf("step input %q: unsupported specification %T", id, spec)
+		}
+		out = append(out, si)
+		return nil
+	}
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case *yamlx.Map:
+		for _, id := range x.Keys() {
+			if err := add(id, x.Value(id)); err != nil {
+				return nil, err
+			}
+		}
+	case []any:
+		for _, e := range x {
+			m, ok := e.(*yamlx.Map)
+			if !ok {
+				return nil, fmt.Errorf("step input list entry is not a mapping")
+			}
+			id := strings.TrimPrefix(m.GetString("id"), "#")
+			spec := m.Clone()
+			spec.Delete("id")
+			if err := add(id, spec); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("step inputs must be a mapping or list")
+	}
+	return out, nil
+}

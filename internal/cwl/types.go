@@ -1,0 +1,296 @@
+// Package cwl implements the CWL v1.2 document model the paper's integration
+// consumes: CommandLineTool and Workflow classes, the type system, input and
+// output bindings, requirements (including the paper's InlinePythonRequirement
+// extension), plus loading and validation.
+package cwl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/yamlx"
+)
+
+// Type is a parsed CWL type. Exactly one of the shape fields is set for
+// non-primitive types.
+type Type struct {
+	// Name is the primitive or class name: null, boolean, int, long, float,
+	// double, string, File, Directory, Any, stdout, stderr, array, enum,
+	// record.
+	Name string
+	// Optional marks "type?" / ["null", T] unions.
+	Optional bool
+	// Items is the element type when Name == "array".
+	Items *Type
+	// Symbols are the legal values when Name == "enum".
+	Symbols []string
+	// Fields are record fields when Name == "record".
+	Fields []RecordField
+}
+
+// RecordField is one field of a record type.
+type RecordField struct {
+	Name string
+	Type *Type
+}
+
+var primitives = map[string]bool{
+	"null": true, "boolean": true, "int": true, "long": true, "float": true,
+	"double": true, "string": true, "File": true, "Directory": true,
+	"Any": true, "stdout": true, "stderr": true,
+}
+
+// ParseType parses any of the CWL type syntaxes: "string", "File[]",
+// "int?", ["null", "string"], {type: array, items: string},
+// {type: enum, symbols: [...]}, {type: record, fields: [...]}.
+func ParseType(v any) (*Type, error) {
+	switch x := v.(type) {
+	case string:
+		return parseTypeString(x)
+	case []any:
+		// Union; we support the common ["null", T] form plus single-element
+		// unions.
+		var nonNull []any
+		optional := false
+		for _, e := range x {
+			if s, ok := e.(string); ok && s == "null" {
+				optional = true
+				continue
+			}
+			nonNull = append(nonNull, e)
+		}
+		if len(nonNull) == 0 {
+			return &Type{Name: "null"}, nil
+		}
+		if len(nonNull) > 1 {
+			// General unions degrade to Any (accepted, validated loosely).
+			return &Type{Name: "Any", Optional: optional}, nil
+		}
+		t, err := ParseType(nonNull[0])
+		if err != nil {
+			return nil, err
+		}
+		t.Optional = t.Optional || optional
+		return t, nil
+	case *yamlx.Map:
+		typeName, _ := x.Value("type").(string)
+		switch typeName {
+		case "array":
+			items, ok := x.Get("items")
+			if !ok {
+				return nil, fmt.Errorf("array type missing 'items'")
+			}
+			it, err := ParseType(items)
+			if err != nil {
+				return nil, err
+			}
+			return &Type{Name: "array", Items: it}, nil
+		case "enum":
+			var symbols []string
+			for _, s := range x.GetSlice("symbols") {
+				str, ok := s.(string)
+				if !ok {
+					return nil, fmt.Errorf("enum symbol %v is not a string", s)
+				}
+				// Symbols may carry a namespace prefix like "file#sym".
+				if i := strings.LastIndexAny(str, "#/"); i >= 0 {
+					str = str[i+1:]
+				}
+				symbols = append(symbols, str)
+			}
+			if len(symbols) == 0 {
+				return nil, fmt.Errorf("enum type has no symbols")
+			}
+			return &Type{Name: "enum", Symbols: symbols}, nil
+		case "record":
+			var fields []RecordField
+			switch fv := x.Value("fields").(type) {
+			case []any:
+				for _, f := range fv {
+					fm, ok := f.(*yamlx.Map)
+					if !ok {
+						return nil, fmt.Errorf("record field is not a mapping")
+					}
+					ft, err := ParseType(fm.Value("type"))
+					if err != nil {
+						return nil, err
+					}
+					fields = append(fields, RecordField{Name: fm.GetString("name"), Type: ft})
+				}
+			case *yamlx.Map:
+				for _, name := range fv.Keys() {
+					spec := fv.Value(name)
+					if fm, ok := spec.(*yamlx.Map); ok && fm.Has("type") {
+						spec = fm.Value("type")
+					}
+					ft, err := ParseType(spec)
+					if err != nil {
+						return nil, err
+					}
+					fields = append(fields, RecordField{Name: name, Type: ft})
+				}
+			}
+			return &Type{Name: "record", Fields: fields}, nil
+		case "":
+			return nil, fmt.Errorf("type mapping missing 'type' key")
+		default:
+			t, err := parseTypeString(typeName)
+			if err != nil {
+				return nil, err
+			}
+			return t, nil
+		}
+	case nil:
+		return nil, fmt.Errorf("missing type")
+	}
+	return nil, fmt.Errorf("unsupported type specification %T", v)
+}
+
+func parseTypeString(s string) (*Type, error) {
+	optional := false
+	if strings.HasSuffix(s, "?") {
+		optional = true
+		s = strings.TrimSuffix(s, "?")
+	}
+	if strings.HasSuffix(s, "[]") {
+		inner, err := parseTypeString(strings.TrimSuffix(s, "[]"))
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Name: "array", Items: inner, Optional: optional}, nil
+	}
+	if !primitives[s] {
+		return nil, fmt.Errorf("unknown CWL type %q", s)
+	}
+	return &Type{Name: s, Optional: optional}, nil
+}
+
+// String renders the type in CWL shorthand.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	s := t.Name
+	switch t.Name {
+	case "array":
+		s = t.Items.String() + "[]"
+	case "enum":
+		s = "enum(" + strings.Join(t.Symbols, "|") + ")"
+	}
+	if t.Optional {
+		s += "?"
+	}
+	return s
+}
+
+// IsFile reports whether values of this type are File objects.
+func (t *Type) IsFile() bool { return t.Name == "File" }
+
+// Accepts checks whether a document value conforms to the type, performing
+// the implicit conversions CWL allows (int→long, int→double, etc.). It
+// returns the possibly-coerced value.
+func (t *Type) Accepts(v any) (any, error) {
+	if v == nil {
+		if t.Optional || t.Name == "null" || t.Name == "Any" {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("null value for non-optional type %s", t)
+	}
+	switch t.Name {
+	case "Any":
+		return v, nil
+	case "boolean":
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	case "int", "long":
+		switch n := v.(type) {
+		case int64:
+			return n, nil
+		case int:
+			return int64(n), nil
+		case float64:
+			if n == float64(int64(n)) {
+				return int64(n), nil
+			}
+		}
+	case "float", "double":
+		switch n := v.(type) {
+		case float64:
+			return n, nil
+		case int64:
+			return float64(n), nil
+		case int:
+			return float64(n), nil
+		}
+	case "string":
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case "File", "Directory":
+		switch f := v.(type) {
+		case *yamlx.Map:
+			if cls := f.GetString("class"); cls == "" || cls == t.Name {
+				return f, nil
+			}
+			return nil, fmt.Errorf("expected %s, got class %q", t.Name, f.GetString("class"))
+		case string:
+			// A bare path is promoted to a File/Directory object.
+			m := yamlx.NewMap()
+			m.Set("class", t.Name)
+			m.Set("path", f)
+			return m, nil
+		}
+	case "array":
+		arr, ok := v.([]any)
+		if !ok {
+			return nil, fmt.Errorf("expected array of %s, got %T", t.Items, v)
+		}
+		out := make([]any, len(arr))
+		for i, e := range arr {
+			c, err := t.Items.Accepts(e)
+			if err != nil {
+				return nil, fmt.Errorf("array element %d: %w", i, err)
+			}
+			out[i] = c
+		}
+		return out, nil
+	case "enum":
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("expected enum symbol, got %T", v)
+		}
+		for _, sym := range t.Symbols {
+			if sym == s {
+				return s, nil
+			}
+		}
+		return nil, fmt.Errorf("value %q is not one of enum symbols %v", s, t.Symbols)
+	case "record":
+		m, ok := v.(*yamlx.Map)
+		if !ok {
+			return nil, fmt.Errorf("expected record, got %T", v)
+		}
+		for _, f := range t.Fields {
+			fv, has := m.Get(f.Name)
+			if !has {
+				if !f.Type.Optional {
+					return nil, fmt.Errorf("record missing field %q", f.Name)
+				}
+				continue
+			}
+			c, err := f.Type.Accepts(fv)
+			if err != nil {
+				return nil, fmt.Errorf("record field %q: %w", f.Name, err)
+			}
+			m.Set(f.Name, c)
+		}
+		return m, nil
+	case "stdout", "stderr":
+		// Output-only types; no input values.
+		return v, nil
+	case "null":
+		return nil, fmt.Errorf("non-null value for null type")
+	}
+	return nil, fmt.Errorf("value %v (%T) does not match type %s", v, v, t)
+}

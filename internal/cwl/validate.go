@@ -1,0 +1,294 @@
+package cwl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidationIssue is one problem found by Validate.
+type ValidationIssue struct {
+	Severity string // "error" or "warning"
+	Path     string // document element, e.g. "steps/resize_image/in/size"
+	Msg      string
+}
+
+func (v ValidationIssue) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Severity, v.Path, v.Msg)
+}
+
+// ValidationError aggregates errors (warnings are reported separately).
+type ValidationError struct{ Issues []ValidationIssue }
+
+func (e *ValidationError) Error() string {
+	var parts []string
+	for _, i := range e.Issues {
+		parts = append(parts, i.String())
+	}
+	return "cwl validation failed:\n  " + strings.Join(parts, "\n  ")
+}
+
+// Validate checks a document for structural problems. It returns all issues
+// (errors and warnings) and a non-nil error if any issue is an error.
+func Validate(doc Document) ([]ValidationIssue, error) {
+	var issues []ValidationIssue
+	switch d := doc.(type) {
+	case *CommandLineTool:
+		issues = validateTool(d)
+	case *Workflow:
+		issues = validateWorkflow(d)
+	case *ExpressionTool:
+		issues = validateExprTool(d)
+	default:
+		issues = []ValidationIssue{{Severity: "error", Path: "/", Msg: "unknown document class"}}
+	}
+	var errs []ValidationIssue
+	for _, i := range issues {
+		if i.Severity == "error" {
+			errs = append(errs, i)
+		}
+	}
+	if len(errs) > 0 {
+		return issues, &ValidationError{Issues: errs}
+	}
+	return issues, nil
+}
+
+func errIssue(path, format string, args ...any) ValidationIssue {
+	return ValidationIssue{Severity: "error", Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+func warnIssue(path, format string, args ...any) ValidationIssue {
+	return ValidationIssue{Severity: "warning", Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+func validateCommon(version string, reqs, hints Requirements) []ValidationIssue {
+	var issues []ValidationIssue
+	if version == "" {
+		issues = append(issues, warnIssue("cwlVersion", "missing cwlVersion (assuming v1.2)"))
+	} else if !strings.HasPrefix(version, "v1.") {
+		issues = append(issues, errIssue("cwlVersion", "unsupported cwlVersion %q", version))
+	}
+	for _, u := range reqs.Unknown {
+		issues = append(issues, errIssue("requirements", "unsupported requirement %q", u))
+	}
+	for _, u := range hints.Unknown {
+		issues = append(issues, warnIssue("hints", "ignoring unsupported hint %q", u))
+	}
+	if reqs.InlineJavascript && reqs.InlinePython {
+		issues = append(issues, warnIssue("requirements",
+			"both InlineJavascriptRequirement and InlinePythonRequirement are enabled; ${...} bodies use JavaScript"))
+	}
+	return issues
+}
+
+func validateTool(t *CommandLineTool) []ValidationIssue {
+	issues := validateCommon(t.CWLVersion, t.Requirements, t.Hints)
+	if len(t.BaseCommand) == 0 && len(t.Arguments) == 0 {
+		issues = append(issues, errIssue("baseCommand", "tool has neither baseCommand nor arguments"))
+	}
+	seen := map[string]bool{}
+	for _, in := range t.Inputs {
+		path := "inputs/" + in.ID
+		if seen[in.ID] {
+			issues = append(issues, errIssue(path, "duplicate input id"))
+		}
+		seen[in.ID] = true
+		if in.Type == nil {
+			issues = append(issues, errIssue(path, "missing type"))
+			continue
+		}
+		if in.HasDef && in.Default != nil {
+			if _, err := in.Type.Accepts(in.Default); err != nil {
+				issues = append(issues, errIssue(path, "default value does not match type %s: %v", in.Type, err))
+			}
+		}
+		if in.Validate != "" && !t.Requirements.InlinePython {
+			issues = append(issues, errIssue(path, "validate: requires InlinePythonRequirement"))
+		}
+	}
+	stdoutUsed := false
+	outSeen := map[string]bool{}
+	for _, out := range t.Outputs {
+		path := "outputs/" + out.ID
+		if outSeen[out.ID] {
+			issues = append(issues, errIssue(path, "duplicate output id"))
+		}
+		outSeen[out.ID] = true
+		if out.Type == nil {
+			issues = append(issues, errIssue(path, "missing type"))
+			continue
+		}
+		switch out.Type.Name {
+		case "stdout":
+			if stdoutUsed {
+				issues = append(issues, errIssue(path, "multiple outputs of type stdout"))
+			}
+			stdoutUsed = true
+		case "File", "Directory", "array":
+			if out.Binding == nil || len(out.Binding.Glob) == 0 {
+				if out.Binding == nil || out.Binding.OutputEval == "" {
+					issues = append(issues, errIssue(path, "File output needs outputBinding.glob or outputEval"))
+				}
+			}
+		}
+	}
+	return issues
+}
+
+func validateExprTool(t *ExpressionTool) []ValidationIssue {
+	issues := validateCommon(t.CWLVersion, t.Requirements, Requirements{})
+	if !t.Requirements.InlineJavascript && !t.Requirements.InlinePython {
+		issues = append(issues, warnIssue("requirements",
+			"ExpressionTool without InlineJavascriptRequirement or InlinePythonRequirement"))
+	}
+	return issues
+}
+
+func validateWorkflow(w *Workflow) []ValidationIssue {
+	issues := validateCommon(w.CWLVersion, w.Requirements, w.Hints)
+	inputIDs := map[string]bool{}
+	for _, in := range w.Inputs {
+		if inputIDs[in.ID] {
+			issues = append(issues, errIssue("inputs/"+in.ID, "duplicate input id"))
+		}
+		inputIDs[in.ID] = true
+	}
+	// step id → set of outputs it exposes
+	stepOutputs := map[string]map[string]bool{}
+	for _, s := range w.Steps {
+		outs := map[string]bool{}
+		for _, o := range s.Out {
+			outs[o] = true
+		}
+		stepOutputs[s.ID] = outs
+	}
+	validSource := func(src string) bool {
+		src = strings.TrimPrefix(src, "#")
+		if i := strings.IndexByte(src, '/'); i >= 0 {
+			step, out := src[:i], src[i+1:]
+			outs, ok := stepOutputs[step]
+			return ok && outs[out]
+		}
+		return inputIDs[src]
+	}
+
+	scatterUsed := false
+	subworkflowUsed := false
+	for _, s := range w.Steps {
+		base := "steps/" + s.ID
+		if s.Run == nil {
+			issues = append(issues, errIssue(base, "missing run"))
+			continue
+		}
+		if _, ok := s.Run.(*Workflow); ok {
+			subworkflowUsed = true
+			sub := s.Run.(*Workflow)
+			subIssues := validateWorkflow(sub)
+			for _, i := range subIssues {
+				i.Path = base + "/run/" + i.Path
+				issues = append(issues, i)
+			}
+		}
+		if tool, ok := s.Run.(*CommandLineTool); ok {
+			for _, i := range validateTool(tool) {
+				i.Path = base + "/run/" + i.Path
+				issues = append(issues, i)
+			}
+		}
+		// Every step "out" must exist on the run process.
+		runOuts := map[string]bool{}
+		switch run := s.Run.(type) {
+		case *CommandLineTool:
+			for _, o := range run.Outputs {
+				runOuts[o.ID] = true
+			}
+		case *Workflow:
+			for _, o := range run.Outputs {
+				runOuts[o.ID] = true
+			}
+		case *ExpressionTool:
+			for _, o := range run.Outputs {
+				runOuts[o.ID] = true
+			}
+		}
+		for _, o := range s.Out {
+			if !runOuts[o] {
+				issues = append(issues, errIssue(base+"/out", "step exposes output %q not produced by its process", o))
+			}
+		}
+		// Step inputs must reference valid sources and (for tools) real inputs.
+		runIns := map[string]bool{}
+		switch run := s.Run.(type) {
+		case *CommandLineTool:
+			for _, in := range run.Inputs {
+				runIns[in.ID] = true
+			}
+		case *Workflow:
+			for _, in := range run.Inputs {
+				runIns[in.ID] = true
+			}
+		case *ExpressionTool:
+			for _, in := range run.Inputs {
+				runIns[in.ID] = true
+			}
+		}
+		seenIn := map[string]bool{}
+		for _, in := range s.In {
+			p := base + "/in/" + in.ID
+			if seenIn[in.ID] {
+				issues = append(issues, errIssue(p, "duplicate step input"))
+			}
+			seenIn[in.ID] = true
+			if !runIns[in.ID] {
+				issues = append(issues, errIssue(p, "step input %q does not exist on the run process", in.ID))
+			}
+			for _, src := range in.Source {
+				if !validSource(src) {
+					issues = append(issues, errIssue(p, "unknown source %q", src))
+				}
+			}
+			if len(in.Source) > 1 && !w.Requirements.MultipleInput {
+				issues = append(issues, errIssue(p, "multiple sources require MultipleInputFeatureRequirement"))
+			}
+			if in.ValueFrom != "" && !w.Requirements.StepInputExpression {
+				issues = append(issues, errIssue(p, "valueFrom requires StepInputExpressionRequirement"))
+			}
+		}
+		// Scatter names must be step inputs.
+		if len(s.Scatter) > 0 {
+			scatterUsed = true
+			for _, sc := range s.Scatter {
+				if !seenIn[sc] {
+					issues = append(issues, errIssue(base+"/scatter", "scatter references unknown input %q", sc))
+				}
+			}
+			switch s.ScatterMethod {
+			case "", "dotproduct", "nested_crossproduct", "flat_crossproduct":
+			default:
+				issues = append(issues, errIssue(base+"/scatterMethod", "unknown scatter method %q", s.ScatterMethod))
+			}
+		}
+		if s.When != "" && !strings.Contains(s.When, "$(") && !strings.Contains(s.When, "${") {
+			issues = append(issues, warnIssue(base+"/when", "'when' is not an expression; step will always or never run"))
+		}
+	}
+	if scatterUsed && !w.Requirements.Scatter {
+		issues = append(issues, errIssue("requirements", "scatter used without ScatterFeatureRequirement"))
+	}
+	if subworkflowUsed && !w.Requirements.Subworkflow {
+		issues = append(issues, errIssue("requirements", "nested workflows require SubworkflowFeatureRequirement"))
+	}
+	for _, o := range w.Outputs {
+		p := "outputs/" + o.ID
+		if len(o.OutputSource) == 0 {
+			issues = append(issues, errIssue(p, "workflow output missing outputSource"))
+			continue
+		}
+		for _, src := range o.OutputSource {
+			if !validSource(src) {
+				issues = append(issues, errIssue(p, "unknown outputSource %q", src))
+			}
+		}
+	}
+	return issues
+}

@@ -1,0 +1,343 @@
+// Package imaging implements the image operations behind the paper's §IV
+// workflow — resize, sepia filter, blur — plus generation of synthetic test
+// images, all on the standard library's image types. The cmd/imgtool binary
+// exposes them as the command-line tools the CWL definitions invoke, so the
+// workflow's steps do real pixel work on real files.
+package imaging
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"os"
+)
+
+// Decode reads a PNG image from disk.
+func Decode(path string) (image.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return img, nil
+}
+
+// Encode writes a PNG image to disk.
+func Encode(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return png.Encode(f, img)
+}
+
+// toRGBA normalizes any image to RGBA for uniform pixel access.
+func toRGBA(img image.Image) *image.RGBA {
+	if r, ok := img.(*image.RGBA); ok {
+		return r
+	}
+	b := img.Bounds()
+	out := image.NewRGBA(image.Rect(0, 0, b.Dx(), b.Dy()))
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			out.Set(x, y, img.At(b.Min.X+x, b.Min.Y+y))
+		}
+	}
+	return out
+}
+
+// ResizeMode selects the sampling filter.
+type ResizeMode int
+
+const (
+	// Nearest is nearest-neighbour sampling.
+	Nearest ResizeMode = iota
+	// Bilinear interpolates between the four surrounding pixels.
+	Bilinear
+)
+
+// Resize scales img to w×h with the given mode.
+func Resize(img image.Image, w, h int, mode ResizeMode) (*image.RGBA, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imaging: invalid target size %dx%d", w, h)
+	}
+	src := toRGBA(img)
+	sb := src.Bounds()
+	sw, sh := sb.Dx(), sb.Dy()
+	if sw == 0 || sh == 0 {
+		return nil, fmt.Errorf("imaging: empty source image")
+	}
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	xRatio := float64(sw) / float64(w)
+	yRatio := float64(sh) / float64(h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			switch mode {
+			case Nearest:
+				sx := int(float64(x) * xRatio)
+				sy := int(float64(y) * yRatio)
+				if sx >= sw {
+					sx = sw - 1
+				}
+				if sy >= sh {
+					sy = sh - 1
+				}
+				out.SetRGBA(x, y, src.RGBAAt(sx, sy))
+			case Bilinear:
+				fx := (float64(x)+0.5)*xRatio - 0.5
+				fy := (float64(y)+0.5)*yRatio - 0.5
+				x0 := int(math.Floor(fx))
+				y0 := int(math.Floor(fy))
+				dx := fx - float64(x0)
+				dy := fy - float64(y0)
+				clampX := func(v int) int {
+					if v < 0 {
+						return 0
+					}
+					if v >= sw {
+						return sw - 1
+					}
+					return v
+				}
+				clampY := func(v int) int {
+					if v < 0 {
+						return 0
+					}
+					if v >= sh {
+						return sh - 1
+					}
+					return v
+				}
+				p00 := src.RGBAAt(clampX(x0), clampY(y0))
+				p10 := src.RGBAAt(clampX(x0+1), clampY(y0))
+				p01 := src.RGBAAt(clampX(x0), clampY(y0+1))
+				p11 := src.RGBAAt(clampX(x0+1), clampY(y0+1))
+				lerp := func(a, b uint8, t float64) float64 {
+					return float64(a)*(1-t) + float64(b)*t
+				}
+				blend := func(c00, c10, c01, c11 uint8) uint8 {
+					top := lerp(c00, c10, dx)
+					bot := lerp(c01, c11, dx)
+					v := top*(1-dy) + bot*dy
+					return uint8(math.Round(math.Max(0, math.Min(255, v))))
+				}
+				out.SetRGBA(x, y, color.RGBA{
+					R: blend(p00.R, p10.R, p01.R, p11.R),
+					G: blend(p00.G, p10.G, p01.G, p11.G),
+					B: blend(p00.B, p10.B, p01.B, p11.B),
+					A: blend(p00.A, p10.A, p01.A, p11.A),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sepia applies the standard sepia tone transform.
+func Sepia(img image.Image) *image.RGBA {
+	src := toRGBA(img)
+	b := src.Bounds()
+	out := image.NewRGBA(b)
+	clamp := func(v float64) uint8 {
+		if v > 255 {
+			return 255
+		}
+		if v < 0 {
+			return 0
+		}
+		return uint8(v)
+	}
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			p := src.RGBAAt(x, y)
+			r, g, bb := float64(p.R), float64(p.G), float64(p.B)
+			out.SetRGBA(x, y, color.RGBA{
+				R: clamp(0.393*r + 0.769*g + 0.189*bb),
+				G: clamp(0.349*r + 0.686*g + 0.168*bb),
+				B: clamp(0.272*r + 0.534*g + 0.131*bb),
+				A: p.A,
+			})
+		}
+	}
+	return out
+}
+
+// Grayscale converts to luminance (Rec. 601 weights).
+func Grayscale(img image.Image) *image.RGBA {
+	src := toRGBA(img)
+	b := src.Bounds()
+	out := image.NewRGBA(b)
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			p := src.RGBAAt(x, y)
+			l := uint8(0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B))
+			out.SetRGBA(x, y, color.RGBA{R: l, G: l, B: l, A: p.A})
+		}
+	}
+	return out
+}
+
+// BoxBlur applies a box filter of the given radius using a separable
+// two-pass (horizontal then vertical) sliding window, O(pixels) per pass.
+func BoxBlur(img image.Image, radius int) (*image.RGBA, error) {
+	if radius < 0 {
+		return nil, fmt.Errorf("imaging: negative blur radius %d", radius)
+	}
+	src := toRGBA(img)
+	if radius == 0 {
+		return src, nil
+	}
+	b := src.Bounds()
+	w, h := b.Dx(), b.Dy()
+	tmp := image.NewRGBA(image.Rect(0, 0, w, h))
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	window := 2*radius + 1
+
+	clampI := func(v, n int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= n {
+			return n - 1
+		}
+		return v
+	}
+	// Horizontal pass.
+	for y := 0; y < h; y++ {
+		var sr, sg, sb, sa int
+		for i := -radius; i <= radius; i++ {
+			p := src.RGBAAt(clampI(i, w)+b.Min.X, y+b.Min.Y)
+			sr += int(p.R)
+			sg += int(p.G)
+			sb += int(p.B)
+			sa += int(p.A)
+		}
+		for x := 0; x < w; x++ {
+			tmp.SetRGBA(x, y, color.RGBA{
+				R: uint8(sr / window), G: uint8(sg / window),
+				B: uint8(sb / window), A: uint8(sa / window),
+			})
+			outgoing := src.RGBAAt(clampI(x-radius, w)+b.Min.X, y+b.Min.Y)
+			incoming := src.RGBAAt(clampI(x+radius+1, w)+b.Min.X, y+b.Min.Y)
+			sr += int(incoming.R) - int(outgoing.R)
+			sg += int(incoming.G) - int(outgoing.G)
+			sb += int(incoming.B) - int(outgoing.B)
+			sa += int(incoming.A) - int(outgoing.A)
+		}
+	}
+	// Vertical pass.
+	for x := 0; x < w; x++ {
+		var sr, sg, sb, sa int
+		for i := -radius; i <= radius; i++ {
+			p := tmp.RGBAAt(x, clampI(i, h))
+			sr += int(p.R)
+			sg += int(p.G)
+			sb += int(p.B)
+			sa += int(p.A)
+		}
+		for y := 0; y < h; y++ {
+			out.SetRGBA(x, y, color.RGBA{
+				R: uint8(sr / window), G: uint8(sg / window),
+				B: uint8(sb / window), A: uint8(sa / window),
+			})
+			outgoing := tmp.RGBAAt(x, clampI(y-radius, h))
+			incoming := tmp.RGBAAt(x, clampI(y+radius+1, h))
+			sr += int(incoming.R) - int(outgoing.R)
+			sg += int(incoming.G) - int(outgoing.G)
+			sb += int(incoming.B) - int(outgoing.B)
+			sa += int(incoming.A) - int(outgoing.A)
+		}
+	}
+	return out, nil
+}
+
+// GaussianBlur approximates a Gaussian with three successive box blurs.
+func GaussianBlur(img image.Image, radius int) (*image.RGBA, error) {
+	if radius < 0 {
+		return nil, fmt.Errorf("imaging: negative blur radius %d", radius)
+	}
+	out := toRGBA(img)
+	var err error
+	for i := 0; i < 3; i++ {
+		out, err = BoxBlur(out, radius)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Generate builds a deterministic synthetic test image: smooth gradients
+// plus seeded noise, so workloads are reproducible and compress poorly
+// enough to exercise real I/O.
+func Generate(w, h int, seed int64) (*image.RGBA, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imaging: invalid size %dx%d", w, h)
+	}
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n := next()
+			out.SetRGBA(x, y, color.RGBA{
+				R: uint8((x*255/w + int(n&31)) & 255),
+				G: uint8((y*255/h + int((n>>5)&31)) & 255),
+				B: uint8(((x+y)*255/(w+h) + int((n>>10)&31)) & 255),
+				A: 255,
+			})
+		}
+	}
+	return out, nil
+}
+
+// MeanLuma returns the mean luminance in [0,255]; used by tests and the
+// workload verifier.
+func MeanLuma(img image.Image) float64 {
+	src := toRGBA(img)
+	b := src.Bounds()
+	total := 0.0
+	n := 0
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			p := src.RGBAAt(x, y)
+			total += 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// LumaVariance returns the luminance variance; blurring must not increase it.
+func LumaVariance(img image.Image) float64 {
+	src := toRGBA(img)
+	b := src.Bounds()
+	mean := MeanLuma(img)
+	total := 0.0
+	n := 0
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			p := src.RGBAAt(x, y)
+			l := 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
+			total += (l - mean) * (l - mean)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

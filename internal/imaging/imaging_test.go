@@ -1,0 +1,264 @@
+package imaging
+
+import (
+	"image"
+	"image/color"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(32, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(32, 32, 7)
+	c, _ := Generate(32, 32, 8)
+	if len(a.Pix) != len(b.Pix) {
+		t.Fatal("size mismatch")
+	}
+	same := true
+	diff := false
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			same = false
+		}
+		if a.Pix[i] != c.Pix[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different images")
+	}
+	if !diff {
+		t.Error("different seeds produced identical images")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(0, 10, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Generate(10, -1, 1); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
+func TestResizeDimensions(t *testing.T) {
+	src, _ := Generate(64, 48, 1)
+	for _, mode := range []ResizeMode{Nearest, Bilinear} {
+		out, err := Resize(src, 32, 24, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Bounds().Dx() != 32 || out.Bounds().Dy() != 24 {
+			t.Errorf("mode %v: size = %v", mode, out.Bounds())
+		}
+		up, err := Resize(src, 128, 96, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Bounds().Dx() != 128 {
+			t.Errorf("mode %v: upscale = %v", mode, up.Bounds())
+		}
+	}
+}
+
+func TestResizeErrors(t *testing.T) {
+	src, _ := Generate(8, 8, 1)
+	if _, err := Resize(src, 0, 8, Nearest); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Resize(src, 8, -2, Bilinear); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
+func TestResizeSolidColorPreserved(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 10, 10))
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			src.SetRGBA(x, y, color.RGBA{R: 120, G: 30, B: 200, A: 255})
+		}
+	}
+	for _, mode := range []ResizeMode{Nearest, Bilinear} {
+		out, err := Resize(src, 5, 17, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := out.RGBAAt(2, 8)
+		if p.R != 120 || p.G != 30 || p.B != 200 {
+			t.Errorf("mode %v: solid color changed: %v", mode, p)
+		}
+	}
+}
+
+func TestSepiaKnownPixel(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 1, 1))
+	src.SetRGBA(0, 0, color.RGBA{R: 100, G: 100, B: 100, A: 255})
+	out := Sepia(src)
+	p := out.RGBAAt(0, 0)
+	// 0.393+0.769+0.189 = 1.351 → 135; 0.349+0.686+0.168 = 1.203 → 120;
+	// 0.272+0.534+0.131 = 0.937 → 93
+	if p.R != 135 || p.G != 120 || p.B != 93 {
+		t.Errorf("sepia(100,100,100) = %v", p)
+	}
+	if p.A != 255 {
+		t.Errorf("alpha changed: %d", p.A)
+	}
+}
+
+func TestSepiaClamps(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 1, 1))
+	src.SetRGBA(0, 0, color.RGBA{R: 255, G: 255, B: 255, A: 255})
+	p := Sepia(src).RGBAAt(0, 0)
+	if p.R != 255 { // 1.351*255 clamps
+		t.Errorf("R = %d", p.R)
+	}
+}
+
+func TestGrayscale(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 1, 1))
+	src.SetRGBA(0, 0, color.RGBA{R: 255, G: 0, B: 0, A: 255})
+	p := Grayscale(src).RGBAAt(0, 0)
+	if p.R != p.G || p.G != p.B {
+		t.Errorf("not gray: %v", p)
+	}
+	if p.R != 76 { // 0.299*255
+		t.Errorf("luma = %d", p.R)
+	}
+}
+
+func TestBoxBlurSmooths(t *testing.T) {
+	src, _ := Generate(64, 64, 3)
+	before := LumaVariance(src)
+	out, err := BoxBlur(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := LumaVariance(out)
+	if after >= before {
+		t.Errorf("variance did not decrease: %v -> %v", before, after)
+	}
+	if out.Bounds() != image.Rect(0, 0, 64, 64) {
+		t.Errorf("bounds = %v", out.Bounds())
+	}
+}
+
+func TestBoxBlurZeroRadiusIdentity(t *testing.T) {
+	src, _ := Generate(16, 16, 9)
+	out, err := BoxBlur(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Pix {
+		if src.Pix[i] != out.Pix[i] {
+			t.Fatal("radius 0 modified pixels")
+		}
+	}
+}
+
+func TestBlurErrors(t *testing.T) {
+	src, _ := Generate(8, 8, 1)
+	if _, err := BoxBlur(src, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := GaussianBlur(src, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestGaussianSmoothsMoreThanBox(t *testing.T) {
+	src, _ := Generate(64, 64, 5)
+	box, _ := BoxBlur(src, 2)
+	gauss, _ := GaussianBlur(src, 2)
+	if LumaVariance(gauss) >= LumaVariance(box) {
+		t.Errorf("gaussian (%v) should smooth more than one box pass (%v)",
+			LumaVariance(gauss), LumaVariance(box))
+	}
+}
+
+func TestBlurPreservesMeanApproximately(t *testing.T) {
+	src, _ := Generate(64, 64, 11)
+	out, _ := BoxBlur(src, 4)
+	if math.Abs(MeanLuma(src)-MeanLuma(out)) > 3.0 {
+		t.Errorf("mean luma shifted: %v -> %v", MeanLuma(src), MeanLuma(out))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.png")
+	src, _ := Generate(20, 10, 2)
+	if err := Encode(path, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bounds().Dx() != 20 || back.Bounds().Dy() != 10 {
+		t.Fatalf("bounds = %v", back.Bounds())
+	}
+	rt := toRGBA(back)
+	for i := range src.Pix {
+		if src.Pix[i] != rt.Pix[i] {
+			t.Fatal("png round-trip altered pixels")
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode("/nonexistent/file.png"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.png")
+	if err := Encode(bad, image.NewRGBA(image.Rect(0, 0, 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate to corrupt.
+	if err := writeFile(bad, []byte("not a png")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bad); err == nil {
+		t.Error("corrupt png accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data)
+}
+
+// Property: the full paper pipeline (resize → sepia → blur) preserves
+// dimensions and produces valid pixel data for any small size.
+func TestPipelineProperty(t *testing.T) {
+	f := func(wRaw, hRaw uint8, seed int64) bool {
+		w := int(wRaw%32) + 4
+		h := int(hRaw%32) + 4
+		src, err := Generate(w*2, h*2, seed)
+		if err != nil {
+			return false
+		}
+		resized, err := Resize(src, w, h, Bilinear)
+		if err != nil {
+			return false
+		}
+		sep := Sepia(resized)
+		blurred, err := BoxBlur(sep, 1)
+		if err != nil {
+			return false
+		}
+		return blurred.Bounds().Dx() == w && blurred.Bounds().Dy() == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

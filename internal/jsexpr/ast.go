@@ -1,0 +1,169 @@
+package jsexpr
+
+// Node is any AST node. Position is retained for error messages.
+type Node interface{ nodePos() int }
+
+type base struct{ Pos int }
+
+func (b base) nodePos() int { return b.Pos }
+
+// --- Expressions ---
+
+type numLit struct {
+	base
+	Val float64
+}
+
+type strLit struct {
+	base
+	Val string
+}
+
+type boolLit struct {
+	base
+	Val bool
+}
+
+type nullLit struct{ base }
+
+type undefLit struct{ base }
+
+type ident struct {
+	base
+	Name string
+}
+
+type arrayLit struct {
+	base
+	Elems []Node
+}
+
+type objectLit struct {
+	base
+	Keys []string
+	Vals []Node
+}
+
+type member struct {
+	base
+	Obj  Node
+	Name string
+}
+
+type index struct {
+	base
+	Obj Node
+	Key Node
+}
+
+type call struct {
+	base
+	Callee Node
+	Args   []Node
+}
+
+type newExpr struct {
+	base
+	Callee Node
+	Args   []Node
+}
+
+type unary struct {
+	base
+	Op      string
+	X       Node
+	Postfix bool // for ++/--
+}
+
+type binary struct {
+	base
+	Op   string
+	L, R Node
+}
+
+type logical struct {
+	base
+	Op   string // && or ||
+	L, R Node
+}
+
+type cond struct {
+	base
+	Test, Then, Else Node
+}
+
+type assign struct {
+	base
+	Op     string // =, +=, -=, *=, /=, %=
+	Target Node   // ident, member, or index
+	Val    Node
+}
+
+type funcLit struct {
+	base
+	Name   string // "" for anonymous
+	Params []string
+	Body   []Node
+	Arrow  bool
+}
+
+// --- Statements ---
+
+type varDecl struct {
+	base
+	Names []string
+	Inits []Node // nil entries mean undefined
+}
+
+type exprStmt struct {
+	base
+	X Node
+}
+
+type ifStmt struct {
+	base
+	Test Node
+	Then []Node
+	Else []Node
+}
+
+type whileStmt struct {
+	base
+	Test Node
+	Body []Node
+}
+
+type forStmt struct {
+	base
+	Init Node // statement or nil
+	Test Node // nil = true
+	Post Node // expression or nil
+	Body []Node
+}
+
+type forInOf struct {
+	base
+	VarName string
+	Of      bool // for-of vs for-in
+	Obj     Node
+	Body    []Node
+}
+
+type returnStmt struct {
+	base
+	X Node // nil = undefined
+}
+
+type breakStmt struct{ base }
+
+type continueStmt struct{ base }
+
+type throwStmt struct {
+	base
+	X Node
+}
+
+type blockStmt struct {
+	base
+	Stmts []Node
+}

@@ -1,0 +1,154 @@
+package parsl
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Args are keyword arguments for an app invocation.
+type Args map[string]any
+
+// TaskContext carries per-invocation execution context into an app.
+type TaskContext struct {
+	DFK    *DFK
+	TaskID int
+	Opts   CallOpts
+}
+
+// App is anything the DFK can execute, mirroring parsl.app.app.AppBase.
+type App interface {
+	// Name identifies the app for monitoring and memoization.
+	Name() string
+	// Execute runs the invocation with resolved arguments.
+	Execute(tc *TaskContext, args Args) (any, error)
+}
+
+// GoApp wraps a Go function as an app — the analogue of @python_app.
+type GoApp struct {
+	name string
+	fn   func(args Args) (any, error)
+}
+
+// NewGoApp creates a GoApp.
+func NewGoApp(name string, fn func(args Args) (any, error)) *GoApp {
+	return &GoApp{name: name, fn: fn}
+}
+
+// Name implements App.
+func (a *GoApp) Name() string { return a.name }
+
+// Execute implements App.
+func (a *GoApp) Execute(_ *TaskContext, args Args) (any, error) { return a.fn(args) }
+
+// BashApp wraps a command-line template as an app — the analogue of
+// @bash_app: the template function returns the shell command to run, and
+// stdout/stderr/outputs come from the invocation's CallOpts.
+type BashApp struct {
+	name     string
+	template func(args Args) (string, error)
+	// Env is extra environment (KEY=VALUE) added to every invocation.
+	Env []string
+	// Dir is the working directory ("" = DFK run dir or process cwd).
+	Dir string
+}
+
+// NewBashApp creates a BashApp from a command template.
+func NewBashApp(name string, template func(args Args) (string, error)) *BashApp {
+	return &BashApp{name: name, template: template}
+}
+
+// Name implements App.
+func (a *BashApp) Name() string { return a.name }
+
+// BashResult is the result value of a BashApp invocation.
+type BashResult struct {
+	Command  string
+	ExitCode int
+	Stdout   string // path when redirected
+	Stderr   string
+}
+
+// Execute implements App: renders the command and runs it via the shell.
+func (a *BashApp) Execute(tc *TaskContext, args Args) (any, error) {
+	cmdline, err := a.template(args)
+	if err != nil {
+		return nil, fmt.Errorf("%s: rendering command: %w", a.name, err)
+	}
+	dir := a.Dir
+	if dir == "" && tc != nil && tc.DFK != nil {
+		dir = tc.DFK.RunDir()
+	}
+	cmd := exec.Command("sh", "-c", cmdline)
+	cmd.Dir = dir
+	if len(a.Env) > 0 {
+		cmd.Env = append(os.Environ(), a.Env...)
+	}
+	res := BashResult{Command: cmdline}
+	var closers []*os.File
+	defer func() {
+		for _, f := range closers {
+			f.Close()
+		}
+	}()
+	openOut := func(path string) (*os.File, error) {
+		if !filepath.IsAbs(path) && dir != "" {
+			path = filepath.Join(dir, path)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, f)
+		return f, nil
+	}
+	if tc != nil && tc.Opts.Stdout != "" {
+		f, err := openOut(tc.Opts.Stdout)
+		if err != nil {
+			return nil, fmt.Errorf("%s: stdout: %w", a.name, err)
+		}
+		cmd.Stdout = f
+		res.Stdout = f.Name()
+	}
+	if tc != nil && tc.Opts.Stderr != "" {
+		f, err := openOut(tc.Opts.Stderr)
+		if err != nil {
+			return nil, fmt.Errorf("%s: stderr: %w", a.name, err)
+		}
+		cmd.Stderr = f
+		res.Stderr = f.Name()
+	}
+	err = cmd.Run()
+	if cmd.ProcessState != nil {
+		res.ExitCode = cmd.ProcessState.ExitCode()
+	}
+	if err != nil {
+		return res, fmt.Errorf("%s: command %q failed: %w", a.name, abbreviate(cmdline), err)
+	}
+	// Verify declared outputs exist, like Parsl's file staging check.
+	if tc != nil {
+		for _, out := range tc.Opts.Outputs {
+			p := out.Path
+			if !filepath.IsAbs(p) && dir != "" {
+				p = filepath.Join(dir, p)
+			}
+			if _, statErr := os.Stat(p); statErr != nil {
+				return res, fmt.Errorf("%s: declared output %q was not produced", a.name, out.Path)
+			}
+		}
+	}
+	return res, nil
+}
+
+func abbreviate(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > 120 {
+		return s[:117] + "..."
+	}
+	return s
+}

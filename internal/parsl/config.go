@@ -1,0 +1,143 @@
+package parsl
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/yamlx"
+)
+
+// ConfigSpec is the YAML-facing configuration, following the TaPS benchmark
+// suite's format that the paper adopts for parsl-cwl (§III-B):
+//
+//	executor: thread-pool | htex
+//	run-dir: parsl-run
+//	retries: 1
+//	memoize: false
+//	workers-per-node: 48
+//	nodes: 3
+//	provider: local
+//	prefetch: 0
+type ConfigSpec struct {
+	Executor       string
+	RunDir         string
+	Retries        int
+	Memoize        bool
+	WorkersPerNode int
+	Nodes          int
+	Provider       string
+	Prefetch       int
+}
+
+// DefaultConfigSpec returns single-node thread-pool defaults.
+func DefaultConfigSpec() ConfigSpec {
+	return ConfigSpec{
+		Executor:       "thread-pool",
+		WorkersPerNode: runtime.NumCPU(),
+		Nodes:          1,
+		Provider:       "local",
+	}
+}
+
+// ParseConfig decodes a TaPS-style YAML config.
+func ParseConfig(data []byte) (ConfigSpec, error) {
+	spec := DefaultConfigSpec()
+	v, err := yamlx.Decode(data)
+	if err != nil {
+		return spec, err
+	}
+	m, ok := v.(*yamlx.Map)
+	if !ok {
+		if v == nil {
+			return spec, nil
+		}
+		return spec, fmt.Errorf("config must be a mapping")
+	}
+	for _, k := range m.Keys() {
+		val := m.Value(k)
+		switch k {
+		case "executor":
+			s, ok := val.(string)
+			if !ok {
+				return spec, fmt.Errorf("executor must be a string")
+			}
+			spec.Executor = s
+		case "run-dir", "run_dir":
+			spec.RunDir = fmt.Sprint(val)
+		case "retries":
+			spec.Retries = m.GetInt(k, spec.Retries)
+		case "memoize":
+			spec.Memoize = m.GetBool(k, spec.Memoize)
+		case "workers-per-node", "workers_per_node", "max-workers", "max_workers":
+			spec.WorkersPerNode = m.GetInt(k, spec.WorkersPerNode)
+		case "nodes", "max-blocks", "max_blocks":
+			spec.Nodes = m.GetInt(k, spec.Nodes)
+		case "provider":
+			spec.Provider = fmt.Sprint(val)
+		case "prefetch":
+			spec.Prefetch = m.GetInt(k, spec.Prefetch)
+		default:
+			return spec, fmt.Errorf("unknown config key %q", k)
+		}
+	}
+	if err := spec.validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// LoadConfigFile reads and parses a YAML config from disk.
+func LoadConfigFile(path string) (ConfigSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ConfigSpec{}, err
+	}
+	spec, err := ParseConfig(data)
+	if err != nil {
+		return spec, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+func (s ConfigSpec) validate() error {
+	switch s.Executor {
+	case "thread-pool", "threads", "htex", "high-throughput":
+	default:
+		return fmt.Errorf("unknown executor %q (want thread-pool or htex)", s.Executor)
+	}
+	switch s.Provider {
+	case "local", "":
+	default:
+		return fmt.Errorf("unknown provider %q (only \"local\" is supported for live execution)", s.Provider)
+	}
+	if s.WorkersPerNode <= 0 {
+		return fmt.Errorf("workers-per-node must be positive")
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("nodes must be positive")
+	}
+	return nil
+}
+
+// Build materializes the spec into a DFK Config.
+func (s ConfigSpec) Build() (Config, error) {
+	if err := s.validate(); err != nil {
+		return Config{}, err
+	}
+	cfg := Config{Retries: s.Retries, Memoize: s.Memoize, RunDir: s.RunDir}
+	switch s.Executor {
+	case "thread-pool", "threads":
+		cfg.Executors = []Executor{NewThreadPoolExecutor("threads", s.WorkersPerNode*s.Nodes)}
+	case "htex", "high-throughput":
+		cfg.Executors = []Executor{NewHighThroughputExecutor(HTEXConfig{
+			Label:          "htex",
+			Provider:       &LocalProvider{},
+			MaxBlocks:      s.Nodes,
+			InitBlocks:     1,
+			WorkersPerNode: s.WorkersPerNode,
+			Prefetch:       s.Prefetch,
+		})}
+	}
+	return cfg, nil
+}

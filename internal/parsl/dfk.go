@@ -1,0 +1,450 @@
+package parsl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TaskState is the lifecycle state of one DFK task.
+type TaskState int
+
+const (
+	// StatePending means dependencies are not yet resolved.
+	StatePending TaskState = iota
+	// StateLaunched means the task has been handed to an executor.
+	StateLaunched
+	// StateDone means the task finished successfully.
+	StateDone
+	// StateFailed means the task (including retries) failed.
+	StateFailed
+	// StateDepFail means a dependency failed so the task never ran.
+	StateDepFail
+	// StateMemoHit means the result was served from the memoization table.
+	StateMemoHit
+)
+
+// String names the state like Parsl's task state table.
+func (s TaskState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateLaunched:
+		return "launched"
+	case StateDone:
+		return "exec_done"
+	case StateFailed:
+		return "failed"
+	case StateDepFail:
+		return "dep_fail"
+	case StateMemoHit:
+		return "memo_done"
+	}
+	return fmt.Sprintf("TaskState(%d)", int(s))
+}
+
+// TaskEvent is one monitoring record.
+type TaskEvent struct {
+	TaskID int
+	App    string
+	State  TaskState
+	Time   time.Time
+	Tries  int
+}
+
+// Config configures a DFK, following parsl.config.Config.
+type Config struct {
+	// Executors to start; the first is the default.
+	Executors []Executor
+	// Retries is how many times a failing task is retried (0 = no retries).
+	Retries int
+	// Memoize enables app result caching keyed on app name + arguments.
+	Memoize bool
+	// RunDir is where BashApps run and redirect output by default.
+	RunDir string
+}
+
+// DFK is the DataFlowKernel: it tracks tasks, resolves dependencies and
+// launches work onto executors.
+type DFK struct {
+	cfg       Config
+	executors map[string]Executor
+	defaultEx string
+
+	mu      sync.Mutex
+	nextID  int
+	states  map[int]TaskState
+	events  []TaskEvent
+	memo    map[string]*AppFuture
+	pending sync.WaitGroup
+	cleaned bool
+}
+
+// Load starts all executors and returns a ready DFK (parsl.load).
+func Load(cfg Config) (*DFK, error) {
+	if len(cfg.Executors) == 0 {
+		cfg.Executors = []Executor{NewThreadPoolExecutor("threads", 4)}
+	}
+	d := &DFK{
+		cfg:       cfg,
+		executors: map[string]Executor{},
+		states:    map[int]TaskState{},
+		memo:      map[string]*AppFuture{},
+	}
+	for i, ex := range cfg.Executors {
+		if _, dup := d.executors[ex.Label()]; dup {
+			return nil, fmt.Errorf("duplicate executor label %q", ex.Label())
+		}
+		if err := ex.Start(); err != nil {
+			return nil, fmt.Errorf("starting executor %q: %w", ex.Label(), err)
+		}
+		d.executors[ex.Label()] = ex
+		if i == 0 {
+			d.defaultEx = ex.Label()
+		}
+	}
+	return d, nil
+}
+
+// Executor returns the executor with the given label ("" = default).
+func (d *DFK) Executor(label string) (Executor, error) {
+	if label == "" {
+		label = d.defaultEx
+	}
+	ex, ok := d.executors[label]
+	if !ok {
+		return nil, fmt.Errorf("no executor labelled %q", label)
+	}
+	return ex, nil
+}
+
+// RunDir returns the configured run directory.
+func (d *DFK) RunDir() string { return d.cfg.RunDir }
+
+// CallOpts adjusts one submission.
+type CallOpts struct {
+	// Executor label; "" uses the default executor.
+	Executor string
+	// Outputs declares files the invocation will produce; each becomes a
+	// DataFuture on the returned AppFuture.
+	Outputs []File
+	// Stdout/Stderr are paths for BashApp output redirection.
+	Stdout string
+	Stderr string
+	// Cores is the resource hint forwarded to the executor.
+	Cores int
+}
+
+// Submit registers an invocation of app with args and returns its future
+// immediately. Dependencies (AppFutures or DataFutures nested anywhere in
+// args) are awaited in the background; the task launches when all resolve.
+func (d *DFK) Submit(app App, args Args, opts CallOpts) *AppFuture {
+	d.mu.Lock()
+	id := d.nextID
+	d.nextID++
+	fut := newAppFuture(id, app.Name())
+	fut.stdout = opts.Stdout
+	fut.stderr = opts.Stderr
+	for _, f := range opts.Outputs {
+		fut.outputs = append(fut.outputs, &DataFuture{parent: fut, file: f})
+	}
+	d.states[id] = StatePending
+	d.events = append(d.events, TaskEvent{TaskID: id, App: app.Name(), State: StatePending, Time: time.Now()})
+	d.pending.Add(1)
+	d.mu.Unlock()
+
+	deps := collectDeps(args)
+	go d.resolveAndLaunch(id, app, args, opts, fut, deps)
+	return fut
+}
+
+func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *AppFuture, deps []*AppFuture) {
+	// Wait for dependencies.
+	for _, dep := range deps {
+		<-dep.Done()
+		if _, err, _ := dep.TryResult(); err != nil {
+			d.setState(id, app.Name(), StateDepFail, 0)
+			fut.complete(nil, &DependencyError{TaskID: id, Dep: dep.taskID, Cause: err})
+			d.pending.Done()
+			return
+		}
+	}
+	resolved := resolveArgs(args)
+
+	// Memoization.
+	var memoKey string
+	if d.cfg.Memoize {
+		memoKey = memoHash(app.Name(), resolved, opts)
+		d.mu.Lock()
+		if prior, ok := d.memo[memoKey]; ok {
+			d.mu.Unlock()
+			<-prior.Done()
+			res, err, _ := prior.TryResult()
+			if err == nil {
+				d.setState(id, app.Name(), StateMemoHit, 0)
+				fut.complete(res, nil)
+				d.pending.Done()
+				return
+			}
+			// Fall through and execute if the memoized attempt failed.
+		} else {
+			d.memo[memoKey] = fut
+			d.mu.Unlock()
+		}
+	}
+
+	ex, err := d.Executor(opts.Executor)
+	if err != nil {
+		d.setState(id, app.Name(), StateFailed, 0)
+		fut.complete(nil, err)
+		d.pending.Done()
+		return
+	}
+
+	tc := &TaskContext{DFK: d, TaskID: id, Opts: opts}
+	tries := 0
+	var launch func()
+	launch = func() {
+		d.setState(id, app.Name(), StateLaunched, tries)
+		task := &Task{ID: id, Cores: opts.Cores, Fn: func() (any, error) {
+			return app.Execute(tc, resolved)
+		}}
+		ex.Submit(task, func(res any, err error) {
+			if err != nil && tries < d.cfg.Retries {
+				tries++
+				launch()
+				return
+			}
+			if err != nil {
+				d.setState(id, app.Name(), StateFailed, tries)
+			} else {
+				d.setState(id, app.Name(), StateDone, tries)
+			}
+			fut.complete(res, err)
+			d.pending.Done()
+		})
+	}
+	launch()
+}
+
+func (d *DFK) setState(id int, app string, s TaskState, tries int) {
+	d.mu.Lock()
+	d.states[id] = s
+	d.events = append(d.events, TaskEvent{TaskID: id, App: app, State: s, Time: time.Now(), Tries: tries})
+	d.mu.Unlock()
+}
+
+// TaskStates returns a snapshot of task states.
+func (d *DFK) TaskStates() map[int]TaskState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]TaskState, len(d.states))
+	for k, v := range d.states {
+		out[k] = v
+	}
+	return out
+}
+
+// Events returns the monitoring log (a copy, ordered by append time).
+func (d *DFK) Events() []TaskEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]TaskEvent{}, d.events...)
+}
+
+// StateCounts aggregates task states, like parsl's usage summary.
+func (d *DFK) StateCounts() map[TaskState]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := map[TaskState]int{}
+	for _, s := range d.states {
+		out[s]++
+	}
+	return out
+}
+
+// Wait blocks until every submitted task reaches a terminal state.
+func (d *DFK) Wait() { d.pending.Wait() }
+
+// Cleanup waits for outstanding tasks and shuts down all executors.
+func (d *DFK) Cleanup() error {
+	d.mu.Lock()
+	if d.cleaned {
+		d.mu.Unlock()
+		return nil
+	}
+	d.cleaned = true
+	d.mu.Unlock()
+	d.pending.Wait()
+	var firstErr error
+	for _, ex := range d.executors {
+		if err := ex.Shutdown(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// collectDeps finds futures nested anywhere in args.
+func collectDeps(v any) []*AppFuture {
+	var deps []*AppFuture
+	seen := map[*AppFuture]bool{}
+	var walk func(any)
+	walk = func(x any) {
+		switch t := x.(type) {
+		case *AppFuture:
+			if !seen[t] {
+				seen[t] = true
+				deps = append(deps, t)
+			}
+		case *DataFuture:
+			if !seen[t.parent] {
+				seen[t.parent] = true
+				deps = append(deps, t.parent)
+			}
+		case Args:
+			for _, vv := range t {
+				walk(vv)
+			}
+		case map[string]any:
+			for _, vv := range t {
+				walk(vv)
+			}
+		case []any:
+			for _, vv := range t {
+				walk(vv)
+			}
+		case []File:
+			// plain files carry no dependency
+		}
+	}
+	walk(v)
+	return deps
+}
+
+// resolveArgs replaces futures with their results: AppFuture → result value,
+// DataFuture → File.
+func resolveArgs(v any) Args {
+	args, _ := resolveValue(v).(Args)
+	return args
+}
+
+func resolveValue(x any) any {
+	switch t := x.(type) {
+	case *AppFuture:
+		res, _, _ := t.TryResult()
+		return res
+	case *DataFuture:
+		return t.file
+	case Args:
+		out := Args{}
+		for k, vv := range t {
+			out[k] = resolveValue(vv)
+		}
+		return out
+	case map[string]any:
+		out := map[string]any{}
+		for k, vv := range t {
+			out[k] = resolveValue(vv)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, vv := range t {
+			out[i] = resolveValue(vv)
+		}
+		return out
+	default:
+		return x
+	}
+}
+
+// memoHash produces a stable key for memoization.
+func memoHash(app string, args Args, opts CallOpts) string {
+	h := sha256.New()
+	h.Write([]byte(app))
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		b, _ := json.Marshal(normalizeForHash(args[k]))
+		h.Write(b)
+	}
+	for _, o := range opts.Outputs {
+		h.Write([]byte(o.Path))
+	}
+	h.Write([]byte(opts.Stdout))
+	h.Write([]byte(opts.Stderr))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func normalizeForHash(v any) any {
+	switch t := v.(type) {
+	case File:
+		return t.Path
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = normalizeForHash(e)
+		}
+		return out
+	case map[string]any:
+		out := map[string]any{}
+		for k, e := range t {
+			out[k] = normalizeForHash(e)
+		}
+		return out
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// UsageSummary renders an end-of-run report like Parsl's usage summary:
+// per-app invocation counts and the final state histogram.
+func (d *DFK) UsageSummary() string {
+	d.mu.Lock()
+	perApp := map[string]int{}
+	finalState := map[string]int{}
+	for id, s := range d.states {
+		_ = id
+		finalState[s.String()]++
+	}
+	seen := map[int]bool{}
+	for _, ev := range d.events {
+		if ev.State == StatePending && !seen[ev.TaskID] {
+			seen[ev.TaskID] = true
+			perApp[ev.App]++
+		}
+	}
+	d.mu.Unlock()
+
+	apps := make([]string, 0, len(perApp))
+	for a := range perApp {
+		apps = append(apps, a)
+	}
+	sort.Strings(apps)
+	states := make([]string, 0, len(finalState))
+	for s := range finalState {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+
+	var b strings.Builder
+	b.WriteString("DFK usage summary\n")
+	fmt.Fprintf(&b, "  tasks submitted: %d\n", len(seen))
+	for _, a := range apps {
+		fmt.Fprintf(&b, "  app %-20s %d\n", a, perApp[a])
+	}
+	for _, s := range states {
+		fmt.Fprintf(&b, "  state %-18s %d\n", s, finalState[s])
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package parsl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work handed to an executor.
+type Task struct {
+	ID    int
+	Fn    func() (any, error)
+	Cores int // informational; used by resource-aware executors
+}
+
+// Executor runs tasks, mirroring parsl.executors.base.ParslExecutor.
+type Executor interface {
+	// Label identifies the executor in configs and monitoring.
+	Label() string
+	// Start brings up the executor's resources.
+	Start() error
+	// Submit enqueues a task; done is called exactly once with the outcome.
+	Submit(t *Task, done func(any, error))
+	// Outstanding reports queued plus running task count.
+	Outstanding() int
+	// Shutdown stops the executor after draining running tasks.
+	Shutdown() error
+}
+
+// ThreadPoolExecutor runs tasks on a fixed pool of goroutines — the moral
+// equivalent of parsl.executors.threads.ThreadPoolExecutor, which the paper
+// uses for the single-node deployment (Fig. 1b).
+type ThreadPoolExecutor struct {
+	label    string
+	workers  int
+	queue    chan queued
+	wg       sync.WaitGroup
+	started  atomic.Bool
+	stopped  atomic.Bool
+	inFlight atomic.Int64
+}
+
+type queued struct {
+	task *Task
+	done func(any, error)
+}
+
+// NewThreadPoolExecutor creates a pool with the given parallelism.
+func NewThreadPoolExecutor(label string, workers int) *ThreadPoolExecutor {
+	if workers <= 0 {
+		workers = 1
+	}
+	if label == "" {
+		label = "threads"
+	}
+	return &ThreadPoolExecutor{label: label, workers: workers, queue: make(chan queued, 1024)}
+}
+
+// Label implements Executor.
+func (e *ThreadPoolExecutor) Label() string { return e.label }
+
+// Workers returns the pool size.
+func (e *ThreadPoolExecutor) Workers() int { return e.workers }
+
+// Start launches the worker goroutines.
+func (e *ThreadPoolExecutor) Start() error {
+	if !e.started.CompareAndSwap(false, true) {
+		return nil
+	}
+	for i := 0; i < e.workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for q := range e.queue {
+				res, err := runGuarded(q.task)
+				e.inFlight.Add(-1)
+				q.done(res, err)
+			}
+		}()
+	}
+	return nil
+}
+
+// runGuarded executes a task converting panics to errors so a bad app cannot
+// kill a worker.
+func runGuarded(t *Task) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task %d panicked: %v", t.ID, r)
+		}
+	}()
+	return t.Fn()
+}
+
+// Submit implements Executor.
+func (e *ThreadPoolExecutor) Submit(t *Task, done func(any, error)) {
+	if e.stopped.Load() {
+		done(nil, fmt.Errorf("executor %s is shut down", e.label))
+		return
+	}
+	e.inFlight.Add(1)
+	e.queue <- queued{task: t, done: done}
+}
+
+// Outstanding implements Executor.
+func (e *ThreadPoolExecutor) Outstanding() int { return int(e.inFlight.Load()) }
+
+// Shutdown drains the queue and stops the workers.
+func (e *ThreadPoolExecutor) Shutdown() error {
+	if !e.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.queue)
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package parsl is a Go implementation of the Parsl execution model the
+// paper's integration targets: apps that return futures, implicit dataflow
+// through futures passed as arguments, a DataFlowKernel that launches tasks
+// when their dependencies resolve, and pluggable executors (a thread-pool
+// executor and a pilot-job HighThroughputExecutor).
+//
+// The package reproduces the architecture, not the Python API surface:
+// AppFuture/DataFuture, DFK, Executor, and Provider map one-to-one onto
+// their Parsl counterparts.
+package parsl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// File references a filesystem path, like parsl.data_provider.files.File.
+type File struct {
+	Path string
+}
+
+// NewFile wraps a path.
+func NewFile(path string) File { return File{Path: path} }
+
+func (f File) String() string { return f.Path }
+
+// AppFuture tracks the asynchronous execution of one app invocation.
+type AppFuture struct {
+	taskID int
+	app    string
+
+	mu      sync.Mutex
+	done    chan struct{}
+	result  any
+	err     error
+	outputs []*DataFuture
+	stdout  string
+	stderr  string
+}
+
+func newAppFuture(taskID int, app string) *AppFuture {
+	return &AppFuture{taskID: taskID, app: app, done: make(chan struct{})}
+}
+
+// TaskID returns the DFK task id.
+func (f *AppFuture) TaskID() int { return f.taskID }
+
+// AppName returns the app that produced this future.
+func (f *AppFuture) AppName() string { return f.app }
+
+// Done returns a channel closed when the task reaches a terminal state.
+func (f *AppFuture) Done() <-chan struct{} { return f.done }
+
+// TryResult returns (result, err, true) if the task has finished.
+func (f *AppFuture) TryResult() (any, error, bool) {
+	select {
+	case <-f.done:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.result, f.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Result blocks until the task completes or ctx is cancelled.
+func (f *AppFuture) Result(ctx context.Context) (any, error) {
+	select {
+	case <-f.done:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.result, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Wait is Result with a background context.
+func (f *AppFuture) Wait() (any, error) { return f.Result(context.Background()) }
+
+// Outputs returns the DataFutures declared for this invocation, in the order
+// the outputs were declared. They are available immediately (before the task
+// runs) so they can be wired into downstream apps — the core Parsl idiom.
+func (f *AppFuture) Outputs() []*DataFuture { return f.outputs }
+
+// Output returns the i-th DataFuture, or nil if out of range.
+func (f *AppFuture) Output(i int) *DataFuture {
+	if i < 0 || i >= len(f.outputs) {
+		return nil
+	}
+	return f.outputs[i]
+}
+
+// Stdout returns the path stdout was redirected to ("" if not captured).
+func (f *AppFuture) Stdout() string { return f.stdout }
+
+// Stderr returns the path stderr was redirected to ("" if not captured).
+func (f *AppFuture) Stderr() string { return f.stderr }
+
+func (f *AppFuture) complete(result any, err error) {
+	f.mu.Lock()
+	f.result = result
+	f.err = err
+	f.mu.Unlock()
+	close(f.done)
+}
+
+// DataFuture represents a file that an app invocation will produce.
+type DataFuture struct {
+	parent *AppFuture
+	file   File
+}
+
+// File returns the file this future stands for (available immediately).
+func (d *DataFuture) File() File { return d.file }
+
+// Parent returns the producing app's future.
+func (d *DataFuture) Parent() *AppFuture { return d.parent }
+
+// Done returns the parent task's completion channel.
+func (d *DataFuture) Done() <-chan struct{} { return d.parent.Done() }
+
+// Result blocks until the producing task finishes, then returns the file.
+func (d *DataFuture) Result(ctx context.Context) (File, error) {
+	if _, err := d.parent.Result(ctx); err != nil {
+		return File{}, err
+	}
+	return d.file, nil
+}
+
+func (d *DataFuture) String() string {
+	return fmt.Sprintf("DataFuture(%s from task %d)", d.file.Path, d.parent.taskID)
+}
+
+// WaitAll blocks until every future completes; it returns the first error
+// encountered (all futures are still awaited).
+func WaitAll(ctx context.Context, futures ...*AppFuture) error {
+	var firstErr error
+	for _, f := range futures {
+		if _, err := f.Result(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DependencyError marks a task skipped because one of its dependencies
+// failed, mirroring parsl.dataflow.errors.DependencyError.
+type DependencyError struct {
+	TaskID int
+	Dep    int
+	Cause  error
+}
+
+func (e *DependencyError) Error() string {
+	return fmt.Sprintf("task %d dependency (task %d) failed: %v", e.TaskID, e.Dep, e.Cause)
+}
+
+func (e *DependencyError) Unwrap() error { return e.Cause }

@@ -1,0 +1,274 @@
+package parsl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Provider acquires and releases blocks of compute resources, mirroring
+// parsl.providers.base.ExecutionProvider. A block hosts one manager.
+type Provider interface {
+	// Name identifies the provider ("local", "slurm", ...).
+	Name() string
+	// AcquireBlock requests one block (e.g. one node). It blocks until the
+	// resources are granted (for a batch provider this includes queue time)
+	// and returns a release function.
+	AcquireBlock() (release func(), err error)
+}
+
+// LocalProvider grants blocks immediately — the paper's single-machine and
+// in-allocation deployments.
+type LocalProvider struct {
+	// Latency optionally models block startup cost (worker pool launch).
+	Latency time.Duration
+	granted atomic.Int64
+}
+
+// Name implements Provider.
+func (p *LocalProvider) Name() string { return "local" }
+
+// AcquireBlock implements Provider.
+func (p *LocalProvider) AcquireBlock() (func(), error) {
+	if p.Latency > 0 {
+		time.Sleep(p.Latency)
+	}
+	p.granted.Add(1)
+	return func() { p.granted.Add(-1) }, nil
+}
+
+// Granted reports currently held blocks.
+func (p *LocalProvider) Granted() int { return int(p.granted.Load()) }
+
+// HTEXConfig configures the HighThroughputExecutor.
+type HTEXConfig struct {
+	Label          string
+	Provider       Provider
+	MaxBlocks      int // maximum pilot blocks (nodes)
+	InitBlocks     int // blocks to start immediately
+	WorkersPerNode int // workers hosted by each manager
+	Prefetch       int // tasks a manager buffers beyond busy workers
+	// HeartbeatPeriod is how often managers report liveness.
+	HeartbeatPeriod time.Duration
+}
+
+func (c *HTEXConfig) fill() {
+	if c.Label == "" {
+		c.Label = "htex"
+	}
+	if c.Provider == nil {
+		c.Provider = &LocalProvider{}
+	}
+	if c.MaxBlocks <= 0 {
+		c.MaxBlocks = 1
+	}
+	if c.InitBlocks <= 0 {
+		c.InitBlocks = 1
+	}
+	if c.InitBlocks > c.MaxBlocks {
+		c.InitBlocks = c.MaxBlocks
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 1
+	}
+	if c.Prefetch < 0 {
+		c.Prefetch = 0
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 5 * time.Second
+	}
+}
+
+// HighThroughputExecutor reproduces Parsl's pilot-job executor: tasks flow
+// through an interchange queue to per-block managers, each hosting a fixed
+// worker pool. Blocks are obtained from a Provider, decoupling task
+// submission from resource allocation.
+type HighThroughputExecutor struct {
+	cfg HTEXConfig
+
+	interchange chan queued
+	mu          sync.Mutex
+	managers    []*manager
+	started     atomic.Bool
+	stopped     atomic.Bool
+	inFlight    atomic.Int64
+	scaleErr    error
+
+	wg sync.WaitGroup
+}
+
+type manager struct {
+	id        int
+	release   func()
+	tasks     chan queued
+	lastBeat  atomic.Int64
+	completed atomic.Int64
+	stop      chan struct{}
+}
+
+// NewHighThroughputExecutor builds an HTEX from config.
+func NewHighThroughputExecutor(cfg HTEXConfig) *HighThroughputExecutor {
+	cfg.fill()
+	return &HighThroughputExecutor{
+		cfg:         cfg,
+		interchange: make(chan queued, 65536),
+	}
+}
+
+// Label implements Executor.
+func (e *HighThroughputExecutor) Label() string { return e.cfg.Label }
+
+// Start launches the initial pilot blocks.
+func (e *HighThroughputExecutor) Start() error {
+	if !e.started.CompareAndSwap(false, true) {
+		return nil
+	}
+	for i := 0; i < e.cfg.InitBlocks; i++ {
+		if err := e.scaleOut(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scaleOut acquires one block from the provider and starts its manager.
+func (e *HighThroughputExecutor) scaleOut() error {
+	e.mu.Lock()
+	if len(e.managers) >= e.cfg.MaxBlocks {
+		e.mu.Unlock()
+		return nil
+	}
+	id := len(e.managers)
+	e.mu.Unlock()
+
+	release, err := e.cfg.Provider.AcquireBlock()
+	if err != nil {
+		return fmt.Errorf("htex %s: provider %s: %w", e.cfg.Label, e.cfg.Provider.Name(), err)
+	}
+	m := &manager{
+		id:      id,
+		release: release,
+		tasks:   make(chan queued, e.cfg.WorkersPerNode+e.cfg.Prefetch),
+		stop:    make(chan struct{}),
+	}
+	e.mu.Lock()
+	e.managers = append(e.managers, m)
+	e.mu.Unlock()
+
+	// Manager pull loop: moves tasks from the interchange into this
+	// manager's bounded buffer (capacity = workers + prefetch), which gives
+	// the same batching/backpressure behaviour as HTEX's manager protocol.
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			select {
+			case q, ok := <-e.interchange:
+				if !ok {
+					close(m.tasks)
+					return
+				}
+				m.lastBeat.Store(time.Now().UnixNano())
+				m.tasks <- q
+			case <-m.stop:
+				close(m.tasks)
+				return
+			}
+		}
+	}()
+	// Workers.
+	for w := 0; w < e.cfg.WorkersPerNode; w++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for q := range m.tasks {
+				res, err := runGuarded(q.task)
+				m.completed.Add(1)
+				e.inFlight.Add(-1)
+				q.done(res, err)
+			}
+		}()
+	}
+	return nil
+}
+
+// Submit implements Executor. Tasks enter the interchange; a free manager
+// pulls them. Submission also triggers demand-based scale-out, mirroring
+// Parsl's scaling strategy.
+func (e *HighThroughputExecutor) Submit(t *Task, done func(any, error)) {
+	if e.stopped.Load() {
+		done(nil, fmt.Errorf("executor %s is shut down", e.cfg.Label))
+		return
+	}
+	e.inFlight.Add(1)
+	e.maybeScale()
+	e.interchange <- queued{task: t, done: done}
+}
+
+// maybeScale adds a block when outstanding work exceeds current capacity.
+func (e *HighThroughputExecutor) maybeScale() {
+	e.mu.Lock()
+	blocks := len(e.managers)
+	e.mu.Unlock()
+	if blocks >= e.cfg.MaxBlocks {
+		return
+	}
+	capacity := int64(blocks * (e.cfg.WorkersPerNode + e.cfg.Prefetch))
+	if e.inFlight.Load() > capacity {
+		go func() {
+			e.mu.Lock()
+			if e.scaleErr != nil {
+				e.mu.Unlock()
+				return
+			}
+			e.mu.Unlock()
+			if err := e.scaleOut(); err != nil {
+				e.mu.Lock()
+				e.scaleErr = err
+				e.mu.Unlock()
+			}
+		}()
+	}
+}
+
+// Outstanding implements Executor.
+func (e *HighThroughputExecutor) Outstanding() int { return int(e.inFlight.Load()) }
+
+// ConnectedManagers reports live blocks (pilot jobs with registered
+// managers).
+func (e *HighThroughputExecutor) ConnectedManagers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.managers)
+}
+
+// CompletedByManager returns per-manager completed-task counts, useful for
+// verifying load distribution across pilot blocks.
+func (e *HighThroughputExecutor) CompletedByManager() []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int64, len(e.managers))
+	for i, m := range e.managers {
+		out[i] = m.completed.Load()
+	}
+	return out
+}
+
+// Shutdown drains the interchange, stops managers and releases blocks.
+func (e *HighThroughputExecutor) Shutdown() error {
+	if !e.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.interchange)
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range e.managers {
+		if m.release != nil {
+			m.release()
+		}
+	}
+	e.managers = nil
+	return e.scaleErr
+}

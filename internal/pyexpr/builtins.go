@@ -1,0 +1,1947 @@
+package pyexpr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/yamlx"
+)
+
+// pyBinOp implements the arithmetic and sequence operators.
+func pyBinOp(op string, l, r any, line int) (any, error) {
+	// bool participates in arithmetic as 0/1.
+	l = boolToInt(l)
+	r = boolToInt(r)
+	switch op {
+	case "+":
+		switch lv := l.(type) {
+		case int64:
+			switch rv := r.(type) {
+			case int64:
+				return lv + rv, nil
+			case float64:
+				return float64(lv) + rv, nil
+			}
+		case float64:
+			switch rv := r.(type) {
+			case int64:
+				return lv + float64(rv), nil
+			case float64:
+				return lv + rv, nil
+			}
+		case string:
+			if rv, ok := r.(string); ok {
+				return lv + rv, nil
+			}
+		case *List:
+			if rv, ok := r.(*List); ok {
+				return &List{E: append(append([]any{}, lv.E...), rv.E...)}, nil
+			}
+		case *Tuple:
+			if rv, ok := r.(*Tuple); ok {
+				return &Tuple{E: append(append([]any{}, lv.E...), rv.E...)}, nil
+			}
+		}
+		return nil, raisef("TypeError", "unsupported operand type(s) for +: '%s' and '%s' (line %d)", pyTypeName(l), pyTypeName(r), line)
+	case "-":
+		return numOp(l, r, line, "-", func(a, b int64) (int64, error) { return a - b, nil },
+			func(a, b float64) float64 { return a - b })
+	case "*":
+		if ls, ok := l.(string); ok {
+			if rn, ok := r.(int64); ok {
+				return repeatStr(ls, rn)
+			}
+		}
+		if rn, ok := l.(int64); ok {
+			if rs, ok := r.(string); ok {
+				return repeatStr(rs, rn)
+			}
+		}
+		if ll, ok := l.(*List); ok {
+			if rn, ok := r.(int64); ok {
+				return repeatList(ll, rn)
+			}
+		}
+		if ln, ok := l.(int64); ok {
+			if rl, ok := r.(*List); ok {
+				return repeatList(rl, ln)
+			}
+		}
+		return numOp(l, r, line, "*", func(a, b int64) (int64, error) { return a * b, nil },
+			func(a, b float64) float64 { return a * b })
+	case "/":
+		ln, lok := toFloat(l)
+		rn, rok := toFloat(r)
+		if !lok || !rok {
+			return nil, raisef("TypeError", "unsupported operand type(s) for /: '%s' and '%s' (line %d)", pyTypeName(l), pyTypeName(r), line)
+		}
+		if rn == 0 {
+			return nil, raisef("ZeroDivisionError", "division by zero (line %d)", line)
+		}
+		return ln / rn, nil
+	case "//":
+		return numOp(l, r, line, "//", func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, raisef("ZeroDivisionError", "integer division or modulo by zero (line %d)", line)
+			}
+			q := a / b
+			if (a%b != 0) && ((a < 0) != (b < 0)) {
+				q--
+			}
+			return q, nil
+		}, func(a, b float64) float64 { return math.Floor(a / b) })
+	case "%":
+		if ls, ok := l.(string); ok {
+			// printf-style formatting with a single value or tuple.
+			return pyPercentFormat(ls, r)
+		}
+		return numOp(l, r, line, "%", func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, raisef("ZeroDivisionError", "integer division or modulo by zero (line %d)", line)
+			}
+			m := a % b
+			if m != 0 && ((m < 0) != (b < 0)) {
+				m += b
+			}
+			return m, nil
+		}, func(a, b float64) float64 {
+			m := math.Mod(a, b)
+			if m != 0 && ((m < 0) != (b < 0)) {
+				m += b
+			}
+			return m
+		})
+	case "**":
+		if li, ok := l.(int64); ok {
+			if ri, ok := r.(int64); ok && ri >= 0 {
+				out := int64(1)
+				for i := int64(0); i < ri; i++ {
+					out *= li
+				}
+				return out, nil
+			}
+		}
+		ln, lok := toFloat(l)
+		rn, rok := toFloat(r)
+		if !lok || !rok {
+			return nil, raisef("TypeError", "unsupported operand type(s) for **: '%s' and '%s' (line %d)", pyTypeName(l), pyTypeName(r), line)
+		}
+		return math.Pow(ln, rn), nil
+	}
+	return nil, fmt.Errorf("unsupported operator %q (line %d)", op, line)
+}
+
+func boolToInt(v any) any {
+	if b, ok := v.(bool); ok {
+		if b {
+			return int64(1)
+		}
+		return int64(0)
+	}
+	return v
+}
+
+func repeatStr(s string, n int64) (any, error) {
+	if n < 0 {
+		n = 0
+	}
+	if int64(len(s))*n > 100_000_000 {
+		return nil, raisef("OverflowError", "repeated string is too long")
+	}
+	return strings.Repeat(s, int(n)), nil
+}
+
+func repeatList(l *List, n int64) (any, error) {
+	if n < 0 {
+		n = 0
+	}
+	if int64(len(l.E))*n > 50_000_000 {
+		return nil, raisef("OverflowError", "repeated list is too long")
+	}
+	out := &List{}
+	for i := int64(0); i < n; i++ {
+		out.E = append(out.E, l.E...)
+	}
+	return out, nil
+}
+
+func numOp(l, r any, line int, opName string, iop func(a, b int64) (int64, error), fop func(a, b float64) float64) (any, error) {
+	if li, ok := l.(int64); ok {
+		if ri, ok := r.(int64); ok {
+			return iop(li, ri)
+		}
+	}
+	ln, lok := toFloat(l)
+	rn, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, raisef("TypeError", "unsupported operand type(s) for %s: '%s' and '%s' (line %d)", opName, pyTypeName(l), pyTypeName(r), line)
+	}
+	return fop(ln, rn), nil
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// pyCompare implements one link of a comparison chain.
+func pyCompare(op string, l, r any, line int) (bool, error) {
+	switch op {
+	case "==":
+		return pyEq(l, r), nil
+	case "!=":
+		return !pyEq(l, r), nil
+	case "is":
+		return pyIs(l, r), nil
+	case "is not":
+		return !pyIs(l, r), nil
+	case "in":
+		return pyContains(r, l, line)
+	case "not in":
+		ok, err := pyContains(r, l, line)
+		return !ok, err
+	}
+	c, err := pyOrder(l, r, line)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("unsupported comparison %q", op)
+}
+
+func pyIs(l, r any) bool {
+	if l == nil || r == nil {
+		return l == nil && r == nil
+	}
+	if lb, ok := l.(bool); ok {
+		rb, ok2 := r.(bool)
+		return ok2 && lb == rb
+	}
+	return l == r
+}
+
+func pyEq(l, r any) bool {
+	l, r = boolNorm(l), boolNorm(r)
+	switch lv := l.(type) {
+	case nil:
+		return r == nil
+	case bool:
+		rv, ok := r.(bool)
+		return ok && lv == rv
+	case int64:
+		switch rv := r.(type) {
+		case int64:
+			return lv == rv
+		case float64:
+			return float64(lv) == rv
+		}
+		return false
+	case float64:
+		switch rv := r.(type) {
+		case int64:
+			return lv == float64(rv)
+		case float64:
+			return lv == rv
+		}
+		return false
+	case string:
+		rv, ok := r.(string)
+		return ok && lv == rv
+	case *List:
+		rv, ok := r.(*List)
+		return ok && seqEq(lv.E, rv.E)
+	case *Tuple:
+		rv, ok := r.(*Tuple)
+		return ok && seqEq(lv.E, rv.E)
+	case *Set:
+		rv, ok := r.(*Set)
+		if !ok || len(lv.E) != len(rv.E) {
+			return false
+		}
+		for _, e := range lv.E {
+			found := false
+			for _, f := range rv.E {
+				if pyEq(e, f) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	case *Dict:
+		rv, ok := r.(*Dict)
+		if !ok || lv.Len() != rv.Len() {
+			return false
+		}
+		eq := true
+		lv.Range(func(k string, v any) bool {
+			rvv, has := rv.Get(k)
+			if !has || !pyEq(v, rvv) {
+				eq = false
+				return false
+			}
+			return true
+		})
+		return eq
+	case *Exception:
+		rv, ok := r.(*Exception)
+		return ok && lv.Type == rv.Type && lv.Msg == rv.Msg
+	}
+	return l == r
+}
+
+// boolNorm keeps bool distinct from int for pyEq's type switch, except that
+// Python treats True == 1. We normalize bools to int for numeric comparison
+// only when the other side is numeric; handled by callers via boolToInt.
+func boolNorm(v any) any { return v }
+
+func seqEq(a, b []any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !pyEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func pyOrder(l, r any, line int) (int, error) {
+	ln, lok := toFloat(l)
+	rn, rok := toFloat(r)
+	if lok && rok {
+		switch {
+		case ln < rn:
+			return -1, nil
+		case ln > rn:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if ls, ok := l.(string); ok {
+		if rs, ok := r.(string); ok {
+			return strings.Compare(ls, rs), nil
+		}
+	}
+	la, laok := sequenceOf(l)
+	ra, raok := sequenceOf(r)
+	if laok && raok && pyTypeName(l) == pyTypeName(r) {
+		for i := 0; i < len(la) && i < len(ra); i++ {
+			c, err := pyOrder(la[i], ra[i], line)
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				return c, nil
+			}
+		}
+		switch {
+		case len(la) < len(ra):
+			return -1, nil
+		case len(la) > len(ra):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, raisef("TypeError", "'<' not supported between instances of '%s' and '%s' (line %d)", pyTypeName(l), pyTypeName(r), line)
+}
+
+func pyContains(container, item any, line int) (bool, error) {
+	switch c := container.(type) {
+	case string:
+		s, ok := item.(string)
+		if !ok {
+			return false, raisef("TypeError", "'in <string>' requires string as left operand (line %d)", line)
+		}
+		return strings.Contains(c, s), nil
+	case *List:
+		for _, e := range c.E {
+			if pyEq(e, item) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *Tuple:
+		for _, e := range c.E {
+			if pyEq(e, item) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *Set:
+		for _, e := range c.E {
+			if pyEq(e, item) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *Dict:
+		ks, err := dictKey(item)
+		if err != nil {
+			return false, err
+		}
+		return c.Has(ks), nil
+	case rangeVal:
+		n, ok := item.(int64)
+		if !ok {
+			return false, nil
+		}
+		if c.step > 0 {
+			return n >= c.start && n < c.stop && (n-c.start)%c.step == 0, nil
+		}
+		return n <= c.start && n > c.stop && (c.start-n)%(-c.step) == 0, nil
+	}
+	return false, raisef("TypeError", "argument of type '%s' is not iterable (line %d)", pyTypeName(container), line)
+}
+
+func pyGetItem(obj, key any, line int) (any, error) {
+	switch o := obj.(type) {
+	case *List:
+		i, ok := key.(int64)
+		if !ok {
+			return nil, raisef("TypeError", "list indices must be integers, not %s (line %d)", pyTypeName(key), line)
+		}
+		idx, err := normIndex(i, len(o.E))
+		if err != nil {
+			return nil, err
+		}
+		return o.E[idx], nil
+	case *Tuple:
+		i, ok := key.(int64)
+		if !ok {
+			return nil, raisef("TypeError", "tuple indices must be integers (line %d)", line)
+		}
+		idx, err := normIndex(i, len(o.E))
+		if err != nil {
+			return nil, err
+		}
+		return o.E[idx], nil
+	case string:
+		i, ok := key.(int64)
+		if !ok {
+			return nil, raisef("TypeError", "string indices must be integers (line %d)", line)
+		}
+		runes := []rune(o)
+		idx, err := normIndex(i, len(runes))
+		if err != nil {
+			return nil, err
+		}
+		return string(runes[idx]), nil
+	case *Dict:
+		ks, err := dictKey(key)
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := o.Get(ks); ok {
+			return v, nil
+		}
+		return nil, raisef("KeyError", "%s (line %d)", pyRepr(key), line)
+	case rangeVal:
+		i, ok := key.(int64)
+		if !ok {
+			return nil, raisef("TypeError", "range indices must be integers (line %d)", line)
+		}
+		n := o.length()
+		if i < 0 {
+			i += n
+		}
+		if i < 0 || i >= n {
+			return nil, raisef("IndexError", "range object index out of range (line %d)", line)
+		}
+		return o.start + i*o.step, nil
+	}
+	return nil, raisef("TypeError", "'%s' object is not subscriptable (line %d)", pyTypeName(obj), line)
+}
+
+// getAttr resolves method lookups and, as a CWL convenience extension, dict
+// item access via attribute syntax (File objects: f.basename).
+func (ip *Interp) getAttr(obj any, name string, line int) (any, error) {
+	switch o := obj.(type) {
+	case string:
+		if m, ok := strMethods[name]; ok {
+			return &boundPyMethod{name: name, recv: o, fn: m}, nil
+		}
+	case *List:
+		if m, ok := listMethods[name]; ok {
+			return &boundPyMethod{name: name, recv: o, fn: m}, nil
+		}
+	case *Tuple:
+		if m, ok := tupleMethods[name]; ok {
+			return &boundPyMethod{name: name, recv: o, fn: m}, nil
+		}
+	case *Set:
+		if m, ok := setMethods[name]; ok {
+			return &boundPyMethod{name: name, recv: o, fn: m}, nil
+		}
+	case *Dict:
+		if m, ok := dictMethods[name]; ok {
+			return &boundPyMethod{name: name, recv: o, fn: m}, nil
+		}
+		if v, ok := o.Get(name); ok {
+			return v, nil
+		}
+	case *Exception:
+		switch name {
+		case "args":
+			return &Tuple{E: []any{o.Msg}}, nil
+		case "message":
+			return o.Msg, nil
+		}
+	}
+	return nil, raisef("AttributeError", "'%s' object has no attribute '%s' (line %d)", pyTypeName(obj), name, line)
+}
+
+type pyMethod = func(ip *Interp, recv any, args []any, kw map[string]any) (any, error)
+
+func strM(fn func(s string, args []any) (any, error)) pyMethod {
+	return func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		return fn(recv.(string), args)
+	}
+}
+
+func pyArgStr(args []any, i int, name string) (string, error) {
+	if i >= len(args) {
+		return "", raisef("TypeError", "missing argument %q", name)
+	}
+	s, ok := args[i].(string)
+	if !ok {
+		return "", raisef("TypeError", "argument %q must be str, not %s", name, pyTypeName(args[i]))
+	}
+	return s, nil
+}
+
+var strMethods = map[string]pyMethod{
+	"upper": strM(func(s string, _ []any) (any, error) { return strings.ToUpper(s), nil }),
+	"lower": strM(func(s string, _ []any) (any, error) { return strings.ToLower(s), nil }),
+	"title": strM(func(s string, _ []any) (any, error) { return pyTitle(s), nil }),
+	"capitalize": strM(func(s string, _ []any) (any, error) {
+		if s == "" {
+			return s, nil
+		}
+		return strings.ToUpper(s[:1]) + strings.ToLower(s[1:]), nil
+	}),
+	"strip": strM(func(s string, args []any) (any, error) {
+		if len(args) == 0 {
+			return strings.TrimSpace(s), nil
+		}
+		cut, err := pyArgStr(args, 0, "chars")
+		if err != nil {
+			return nil, err
+		}
+		return strings.Trim(s, cut), nil
+	}),
+	"lstrip": strM(func(s string, args []any) (any, error) {
+		if len(args) == 0 {
+			return strings.TrimLeft(s, " \t\n\r\v\f"), nil
+		}
+		cut, err := pyArgStr(args, 0, "chars")
+		if err != nil {
+			return nil, err
+		}
+		return strings.TrimLeft(s, cut), nil
+	}),
+	"rstrip": strM(func(s string, args []any) (any, error) {
+		if len(args) == 0 {
+			return strings.TrimRight(s, " \t\n\r\v\f"), nil
+		}
+		cut, err := pyArgStr(args, 0, "chars")
+		if err != nil {
+			return nil, err
+		}
+		return strings.TrimRight(s, cut), nil
+	}),
+	"split": strM(func(s string, args []any) (any, error) {
+		if len(args) == 0 || args[0] == nil {
+			fields := strings.Fields(s)
+			out := &List{E: make([]any, len(fields))}
+			for i, f := range fields {
+				out.E[i] = f
+			}
+			return out, nil
+		}
+		sep, err := pyArgStr(args, 0, "sep")
+		if err != nil {
+			return nil, err
+		}
+		if sep == "" {
+			return nil, raisef("ValueError", "empty separator")
+		}
+		maxSplit := -1
+		if len(args) > 1 {
+			n, ok := args[1].(int64)
+			if !ok {
+				return nil, raisef("TypeError", "maxsplit must be int")
+			}
+			maxSplit = int(n)
+		}
+		var parts []string
+		if maxSplit < 0 {
+			parts = strings.Split(s, sep)
+		} else {
+			parts = strings.SplitN(s, sep, maxSplit+1)
+		}
+		out := &List{E: make([]any, len(parts))}
+		for i, p := range parts {
+			out.E[i] = p
+		}
+		return out, nil
+	}),
+	"splitlines": strM(func(s string, _ []any) (any, error) {
+		s = strings.ReplaceAll(s, "\r\n", "\n")
+		lines := strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+		out := &List{}
+		if s == "" {
+			return out, nil
+		}
+		for _, l := range lines {
+			out.E = append(out.E, l)
+		}
+		return out, nil
+	}),
+	"join": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		sep := recv.(string)
+		if len(args) == 0 {
+			return nil, raisef("TypeError", "join() takes exactly one argument")
+		}
+		items, err := iterValues(args[0], 0)
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]string, len(items))
+		for i, it := range items {
+			s, ok := it.(string)
+			if !ok {
+				return nil, raisef("TypeError", "sequence item %d: expected str instance, %s found", i, pyTypeName(it))
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, sep), nil
+	},
+	"replace": strM(func(s string, args []any) (any, error) {
+		old, err := pyArgStr(args, 0, "old")
+		if err != nil {
+			return nil, err
+		}
+		nw, err := pyArgStr(args, 1, "new")
+		if err != nil {
+			return nil, err
+		}
+		return strings.ReplaceAll(s, old, nw), nil
+	}),
+	"startswith": strM(func(s string, args []any) (any, error) {
+		switch p := arg0(args).(type) {
+		case string:
+			return strings.HasPrefix(s, p), nil
+		case *Tuple:
+			for _, e := range p.E {
+				if es, ok := e.(string); ok && strings.HasPrefix(s, es) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		return nil, raisef("TypeError", "startswith first arg must be str or a tuple of str")
+	}),
+	"endswith": strM(func(s string, args []any) (any, error) {
+		switch p := arg0(args).(type) {
+		case string:
+			return strings.HasSuffix(s, p), nil
+		case *Tuple:
+			for _, e := range p.E {
+				if es, ok := e.(string); ok && strings.HasSuffix(s, es) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		return nil, raisef("TypeError", "endswith first arg must be str or a tuple of str")
+	}),
+	"find": strM(func(s string, args []any) (any, error) {
+		sub, err := pyArgStr(args, 0, "sub")
+		if err != nil {
+			return nil, err
+		}
+		return int64(strings.Index(s, sub)), nil
+	}),
+	"rfind": strM(func(s string, args []any) (any, error) {
+		sub, err := pyArgStr(args, 0, "sub")
+		if err != nil {
+			return nil, err
+		}
+		return int64(strings.LastIndex(s, sub)), nil
+	}),
+	"index": strM(func(s string, args []any) (any, error) {
+		sub, err := pyArgStr(args, 0, "sub")
+		if err != nil {
+			return nil, err
+		}
+		i := strings.Index(s, sub)
+		if i < 0 {
+			return nil, raisef("ValueError", "substring not found")
+		}
+		return int64(i), nil
+	}),
+	"count": strM(func(s string, args []any) (any, error) {
+		sub, err := pyArgStr(args, 0, "sub")
+		if err != nil {
+			return nil, err
+		}
+		return int64(strings.Count(s, sub)), nil
+	}),
+	"zfill": strM(func(s string, args []any) (any, error) {
+		n, ok := arg0(args).(int64)
+		if !ok {
+			return nil, raisef("TypeError", "zfill width must be int")
+		}
+		neg := strings.HasPrefix(s, "-")
+		body := s
+		if neg {
+			body = s[1:]
+		}
+		for int64(len(body))+b2i(neg) < n {
+			body = "0" + body
+		}
+		if neg {
+			return "-" + body, nil
+		}
+		return body, nil
+	}),
+	"ljust":   justMethod(false),
+	"rjust":   justMethod(true),
+	"isdigit": classMethod(unicode.IsDigit),
+	"isalpha": classMethod(unicode.IsLetter),
+	"isspace": classMethod(unicode.IsSpace),
+	"isalnum": classMethod(func(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) }),
+	"islower": strM(func(s string, _ []any) (any, error) {
+		return s != "" && s == strings.ToLower(s) && s != strings.ToUpper(s), nil
+	}),
+	"isupper": strM(func(s string, _ []any) (any, error) {
+		return s != "" && s == strings.ToUpper(s) && s != strings.ToLower(s), nil
+	}),
+	"format": func(ip *Interp, recv any, args []any, kw map[string]any) (any, error) {
+		return pyStrFormat(recv.(string), args, kw)
+	},
+}
+
+func arg0(args []any) any {
+	if len(args) > 0 {
+		return args[0]
+	}
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func justMethod(right bool) pyMethod {
+	return strM(func(s string, args []any) (any, error) {
+		n, ok := arg0(args).(int64)
+		if !ok {
+			return nil, raisef("TypeError", "width must be int")
+		}
+		fill := " "
+		if len(args) > 1 {
+			f, ok := args[1].(string)
+			if !ok || len(f) != 1 {
+				return nil, raisef("TypeError", "fill character must be a single str")
+			}
+			fill = f
+		}
+		for int64(len(s)) < n {
+			if right {
+				s = fill + s
+			} else {
+				s = s + fill
+			}
+		}
+		return s, nil
+	})
+}
+
+func classMethod(pred func(rune) bool) pyMethod {
+	return strM(func(s string, _ []any) (any, error) {
+		if s == "" {
+			return false, nil
+		}
+		for _, r := range s {
+			if !pred(r) {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+}
+
+// pyTitle reproduces str.title(): capitalize the first letter of each run of
+// letters, lowercase the rest.
+func pyTitle(s string) string {
+	var b strings.Builder
+	prevLetter := false
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			if prevLetter {
+				b.WriteRune(unicode.ToLower(r))
+			} else {
+				b.WriteRune(unicode.ToUpper(r))
+			}
+			prevLetter = true
+		} else {
+			b.WriteRune(r)
+			prevLetter = false
+		}
+	}
+	return b.String()
+}
+
+// listMethods is populated in init to break the initialization cycle
+// through Interp.call.
+var listMethods map[string]pyMethod
+
+func init() {
+	listMethods = map[string]pyMethod{
+		"append": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			l.E = append(l.E, arg0(args))
+			return nil, nil
+		},
+		"extend": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			items, err := iterValues(arg0(args), 0)
+			if err != nil {
+				return nil, err
+			}
+			l.E = append(l.E, items...)
+			return nil, nil
+		},
+		"insert": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			i, ok := arg0(args).(int64)
+			if !ok || len(args) < 2 {
+				return nil, raisef("TypeError", "insert(index, item) requires an int index")
+			}
+			idx := int(i)
+			if idx < 0 {
+				idx += len(l.E)
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx > len(l.E) {
+				idx = len(l.E)
+			}
+			l.E = append(l.E[:idx], append([]any{args[1]}, l.E[idx:]...)...)
+			return nil, nil
+		},
+		"pop": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			if len(l.E) == 0 {
+				return nil, raisef("IndexError", "pop from empty list")
+			}
+			i := int64(len(l.E) - 1)
+			if len(args) > 0 {
+				n, ok := args[0].(int64)
+				if !ok {
+					return nil, raisef("TypeError", "pop index must be int")
+				}
+				i = n
+			}
+			idx, err := normIndex(i, len(l.E))
+			if err != nil {
+				return nil, err
+			}
+			v := l.E[idx]
+			l.E = append(l.E[:idx], l.E[idx+1:]...)
+			return v, nil
+		},
+		"remove": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			for i, e := range l.E {
+				if pyEq(e, arg0(args)) {
+					l.E = append(l.E[:i], l.E[i+1:]...)
+					return nil, nil
+				}
+			}
+			return nil, raisef("ValueError", "list.remove(x): x not in list")
+		},
+		"index": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			for i, e := range l.E {
+				if pyEq(e, arg0(args)) {
+					return int64(i), nil
+				}
+			}
+			return nil, raisef("ValueError", "%s is not in list", pyRepr(arg0(args)))
+		},
+		"count": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			n := int64(0)
+			for _, e := range l.E {
+				if pyEq(e, arg0(args)) {
+					n++
+				}
+			}
+			return n, nil
+		},
+		"reverse": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			for i, j := 0, len(l.E)-1; i < j; i, j = i+1, j-1 {
+				l.E[i], l.E[j] = l.E[j], l.E[i]
+			}
+			return nil, nil
+		},
+		"copy": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			return &List{E: append([]any{}, l.E...)}, nil
+		},
+		"clear": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+			l := recv.(*List)
+			l.E = nil
+			return nil, nil
+		},
+		"sort": func(ip *Interp, recv any, args []any, kw map[string]any) (any, error) {
+			l := recv.(*List)
+			sorted, err := sortSeq(ip, l.E, kw)
+			if err != nil {
+				return nil, err
+			}
+			l.E = sorted
+			return nil, nil
+		},
+	}
+}
+
+var tupleMethods = map[string]pyMethod{
+	"count": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		t := recv.(*Tuple)
+		n := int64(0)
+		for _, e := range t.E {
+			if pyEq(e, arg0(args)) {
+				n++
+			}
+		}
+		return n, nil
+	},
+	"index": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		t := recv.(*Tuple)
+		for i, e := range t.E {
+			if pyEq(e, arg0(args)) {
+				return int64(i), nil
+			}
+		}
+		return nil, raisef("ValueError", "tuple.index(x): x not in tuple")
+	},
+}
+
+var setMethods = map[string]pyMethod{
+	"add": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		setAdd(recv.(*Set), arg0(args))
+		return nil, nil
+	},
+	"discard": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		s := recv.(*Set)
+		for i, e := range s.E {
+			if pyEq(e, arg0(args)) {
+				s.E = append(s.E[:i], s.E[i+1:]...)
+				break
+			}
+		}
+		return nil, nil
+	},
+	"remove": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		s := recv.(*Set)
+		for i, e := range s.E {
+			if pyEq(e, arg0(args)) {
+				s.E = append(s.E[:i], s.E[i+1:]...)
+				return nil, nil
+			}
+		}
+		return nil, raisef("KeyError", "%s", pyRepr(arg0(args)))
+	},
+	"union": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		s := recv.(*Set)
+		out := &Set{E: append([]any{}, s.E...)}
+		for _, a := range args {
+			items, err := iterValues(a, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				setAdd(out, it)
+			}
+		}
+		return out, nil
+	},
+}
+
+var dictMethods = map[string]pyMethod{
+	"get": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		d := recv.(*Dict)
+		ks, err := dictKey(arg0(args))
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := d.Get(ks); ok {
+			return v, nil
+		}
+		if len(args) > 1 {
+			return args[1], nil
+		}
+		return nil, nil
+	},
+	"keys": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		d := recv.(*Dict)
+		out := &List{}
+		for _, k := range d.Keys() {
+			out.E = append(out.E, k)
+		}
+		return out, nil
+	},
+	"values": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		d := recv.(*Dict)
+		out := &List{}
+		for _, k := range d.Keys() {
+			out.E = append(out.E, d.Value(k))
+		}
+		return out, nil
+	},
+	"items": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		d := recv.(*Dict)
+		out := &List{}
+		for _, k := range d.Keys() {
+			out.E = append(out.E, &Tuple{E: []any{k, d.Value(k)}})
+		}
+		return out, nil
+	},
+	"update": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		d := recv.(*Dict)
+		if o, ok := arg0(args).(*Dict); ok {
+			o.Range(func(k string, v any) bool {
+				d.Set(k, v)
+				return true
+			})
+			return nil, nil
+		}
+		return nil, raisef("TypeError", "update() argument must be dict")
+	},
+	"pop": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		d := recv.(*Dict)
+		ks, err := dictKey(arg0(args))
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := d.Get(ks); ok {
+			d.Delete(ks)
+			return v, nil
+		}
+		if len(args) > 1 {
+			return args[1], nil
+		}
+		return nil, raisef("KeyError", "%s", pyRepr(arg0(args)))
+	},
+	"setdefault": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		d := recv.(*Dict)
+		ks, err := dictKey(arg0(args))
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := d.Get(ks); ok {
+			return v, nil
+		}
+		var def any
+		if len(args) > 1 {
+			def = args[1]
+		}
+		d.Set(ks, def)
+		return def, nil
+	},
+	"copy": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		return recv.(*Dict).Clone(), nil
+	},
+	"clear": func(_ *Interp, recv any, args []any, _ map[string]any) (any, error) {
+		d := recv.(*Dict)
+		for _, k := range append([]string{}, d.Keys()...) {
+			d.Delete(k)
+		}
+		return nil, nil
+	},
+}
+
+func sortSeq(ip *Interp, items []any, kw map[string]any) ([]any, error) {
+	out := append([]any{}, items...)
+	var keyFn any
+	reverse := false
+	if kw != nil {
+		if k, ok := kw["key"]; ok && k != nil {
+			keyFn = k
+		}
+		if r, ok := kw["reverse"]; ok {
+			reverse = pyTruthy(r)
+		}
+	}
+	keys := make([]any, len(out))
+	for i, e := range out {
+		if keyFn == nil {
+			keys[i] = e
+			continue
+		}
+		k, err := ip.call(keyFn, []any{e}, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	var sortErr error
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if sortErr != nil {
+			return false
+		}
+		c, err := pyOrder(keys[idx[a]], keys[idx[b]], 0)
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		if reverse {
+			return c > 0
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	sorted := make([]any, len(out))
+	for i, j := range idx {
+		sorted[i] = out[j]
+	}
+	return sorted, nil
+}
+
+func installPyBuiltins(g *penv) {
+	bi := func(name string, fn func(ip *Interp, args []any, kw map[string]any) (any, error)) {
+		g.vars[name] = &Builtin{Name: name, Fn: fn}
+	}
+	bi("len", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		switch x := arg0(args).(type) {
+		case string:
+			return int64(len([]rune(x))), nil
+		case *List:
+			return int64(len(x.E)), nil
+		case *Tuple:
+			return int64(len(x.E)), nil
+		case *Set:
+			return int64(len(x.E)), nil
+		case *Dict:
+			return int64(x.Len()), nil
+		case rangeVal:
+			return x.length(), nil
+		}
+		return nil, raisef("TypeError", "object of type '%s' has no len()", pyTypeName(arg0(args)))
+	})
+	bi("str", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		return pyStr(args[0]), nil
+	})
+	bi("repr", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		return pyRepr(arg0(args)), nil
+	})
+	bi("int", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		switch x := arg0(args).(type) {
+		case nil:
+			return int64(0), nil
+		case int64:
+			return x, nil
+		case float64:
+			return int64(math.Trunc(x)), nil
+		case bool:
+			return b2i(x), nil
+		case string:
+			n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+			if err != nil {
+				return nil, raisef("ValueError", "invalid literal for int() with base 10: %s", pyRepr(x))
+			}
+			return n, nil
+		}
+		return nil, raisef("TypeError", "int() argument must be a string or a number")
+	})
+	bi("float", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		switch x := arg0(args).(type) {
+		case nil:
+			return 0.0, nil
+		case int64:
+			return float64(x), nil
+		case float64:
+			return x, nil
+		case bool:
+			return float64(b2i(x)), nil
+		case string:
+			f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+			if err != nil {
+				return nil, raisef("ValueError", "could not convert string to float: %s", pyRepr(x))
+			}
+			return f, nil
+		}
+		return nil, raisef("TypeError", "float() argument must be a string or a number")
+	})
+	bi("bool", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		return pyTruthy(arg0(args)), nil
+	})
+	bi("abs", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		switch x := arg0(args).(type) {
+		case int64:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		case float64:
+			return math.Abs(x), nil
+		}
+		return nil, raisef("TypeError", "bad operand type for abs(): '%s'", pyTypeName(arg0(args)))
+	})
+	bi("round", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		f, ok := toFloat(arg0(args))
+		if !ok {
+			return nil, raisef("TypeError", "round() argument must be a number")
+		}
+		if len(args) > 1 {
+			nd, ok := args[1].(int64)
+			if !ok {
+				return nil, raisef("TypeError", "ndigits must be int")
+			}
+			scale := math.Pow(10, float64(nd))
+			return math.Round(f*scale) / scale, nil
+		}
+		return int64(math.Round(f)), nil
+	})
+	bi("min", extremum(true))
+	bi("max", extremum(false))
+	bi("sum", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		items, err := iterValues(arg0(args), 0)
+		if err != nil {
+			return nil, err
+		}
+		var acc any = int64(0)
+		if len(args) > 1 {
+			acc = args[1]
+		}
+		for _, it := range items {
+			acc, err = pyBinOp("+", acc, it, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	bi("range", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		get := func(i int) (int64, error) {
+			n, ok := args[i].(int64)
+			if !ok {
+				return 0, raisef("TypeError", "range() arguments must be integers")
+			}
+			return n, nil
+		}
+		switch len(args) {
+		case 1:
+			stop, err := get(0)
+			if err != nil {
+				return nil, err
+			}
+			return rangeVal{0, stop, 1}, nil
+		case 2:
+			start, err := get(0)
+			if err != nil {
+				return nil, err
+			}
+			stop, err := get(1)
+			if err != nil {
+				return nil, err
+			}
+			return rangeVal{start, stop, 1}, nil
+		case 3:
+			start, err := get(0)
+			if err != nil {
+				return nil, err
+			}
+			stop, err := get(1)
+			if err != nil {
+				return nil, err
+			}
+			step, err := get(2)
+			if err != nil {
+				return nil, err
+			}
+			if step == 0 {
+				return nil, raisef("ValueError", "range() arg 3 must not be zero")
+			}
+			return rangeVal{start, stop, step}, nil
+		}
+		return nil, raisef("TypeError", "range expected 1 to 3 arguments, got %d", len(args))
+	})
+	bi("enumerate", func(_ *Interp, args []any, kw map[string]any) (any, error) {
+		items, err := iterValues(arg0(args), 0)
+		if err != nil {
+			return nil, err
+		}
+		start := int64(0)
+		if len(args) > 1 {
+			if n, ok := args[1].(int64); ok {
+				start = n
+			}
+		} else if kw != nil {
+			if s, ok := kw["start"].(int64); ok {
+				start = s
+			}
+		}
+		out := &List{}
+		for i, it := range items {
+			out.E = append(out.E, &Tuple{E: []any{start + int64(i), it}})
+		}
+		return out, nil
+	})
+	bi("zip", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		var seqs [][]any
+		minLen := -1
+		for _, a := range args {
+			items, err := iterValues(a, 0)
+			if err != nil {
+				return nil, err
+			}
+			seqs = append(seqs, items)
+			if minLen < 0 || len(items) < minLen {
+				minLen = len(items)
+			}
+		}
+		out := &List{}
+		for i := 0; i < minLen; i++ {
+			row := &Tuple{}
+			for _, s := range seqs {
+				row.E = append(row.E, s[i])
+			}
+			out.E = append(out.E, row)
+		}
+		return out, nil
+	})
+	bi("sorted", func(ip *Interp, args []any, kw map[string]any) (any, error) {
+		items, err := iterValues(arg0(args), 0)
+		if err != nil {
+			return nil, err
+		}
+		out, err := sortSeq(ip, items, kw)
+		if err != nil {
+			return nil, err
+		}
+		return &List{E: out}, nil
+	})
+	bi("reversed", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		items, err := iterValues(arg0(args), 0)
+		if err != nil {
+			return nil, err
+		}
+		out := &List{E: make([]any, len(items))}
+		for i, it := range items {
+			out.E[len(items)-1-i] = it
+		}
+		return out, nil
+	})
+	bi("list", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		if len(args) == 0 {
+			return &List{}, nil
+		}
+		items, err := iterValues(args[0], 0)
+		if err != nil {
+			return nil, err
+		}
+		return &List{E: items}, nil
+	})
+	bi("tuple", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		if len(args) == 0 {
+			return &Tuple{}, nil
+		}
+		items, err := iterValues(args[0], 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Tuple{E: items}, nil
+	})
+	bi("set", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		out := &Set{}
+		if len(args) > 0 {
+			items, err := iterValues(args[0], 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				setAdd(out, it)
+			}
+		}
+		return out, nil
+	})
+	bi("dict", func(_ *Interp, args []any, kw map[string]any) (any, error) {
+		d := yamlx.NewMap()
+		if len(args) > 0 {
+			if o, ok := args[0].(*Dict); ok {
+				o.Range(func(k string, v any) bool {
+					d.Set(k, v)
+					return true
+				})
+			} else {
+				items, err := iterValues(args[0], 0)
+				if err != nil {
+					return nil, err
+				}
+				for _, it := range items {
+					pair, ok := sequenceOf(it)
+					if !ok || len(pair) != 2 {
+						return nil, raisef("TypeError", "dict() requires key/value pairs")
+					}
+					ks, err := dictKey(pair[0])
+					if err != nil {
+						return nil, err
+					}
+					d.Set(ks, pair[1])
+				}
+			}
+		}
+		keys := make([]string, 0, len(kw))
+		for k := range kw {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			d.Set(k, kw[k])
+		}
+		return d, nil
+	})
+	bi("any", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		items, err := iterValues(arg0(args), 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			if pyTruthy(it) {
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+	bi("all", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		items, err := iterValues(arg0(args), 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			if !pyTruthy(it) {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	bi("print", func(ip *Interp, args []any, kw map[string]any) (any, error) {
+		sep := " "
+		end := "\n"
+		if kw != nil {
+			if s, ok := kw["sep"].(string); ok {
+				sep = s
+			}
+			if e, ok := kw["end"].(string); ok {
+				end = e
+			}
+		}
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = pyStr(a)
+		}
+		ip.Stdout.WriteString(strings.Join(parts, sep) + end)
+		return nil, nil
+	})
+	bi("type", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		return pyTypeName(arg0(args)), nil
+	})
+	bi("isinstance", func(_ *Interp, args []any, _ map[string]any) (any, error) {
+		if len(args) != 2 {
+			return nil, raisef("TypeError", "isinstance expected 2 arguments")
+		}
+		name := pyTypeName(args[0])
+		check := func(cls any) bool {
+			b, ok := cls.(*Builtin)
+			if !ok {
+				return false
+			}
+			if b.Name == name {
+				return true
+			}
+			// int is acceptable where float is requested? No — but bool is
+			// a subclass of int in Python.
+			if b.Name == "int" && name == "bool" {
+				return true
+			}
+			return false
+		}
+		if t, ok := args[1].(*Tuple); ok {
+			for _, cls := range t.E {
+				if check(cls) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		return check(args[1]), nil
+	})
+	// Exception classes: calling one constructs an Exception value.
+	for _, name := range []string{
+		"Exception", "ValueError", "TypeError", "KeyError", "IndexError",
+		"RuntimeError", "ZeroDivisionError", "AttributeError", "NameError",
+		"FileNotFoundError", "NotImplementedError", "OverflowError",
+	} {
+		name := name
+		bi(name, func(_ *Interp, args []any, _ map[string]any) (any, error) {
+			msg := ""
+			if len(args) > 0 {
+				msg = pyStr(args[0])
+			}
+			return &Exception{Type: name, Msg: msg}, nil
+		})
+	}
+}
+
+func extremum(isMin bool) func(ip *Interp, args []any, kw map[string]any) (any, error) {
+	return func(ip *Interp, args []any, kw map[string]any) (any, error) {
+		var items []any
+		if len(args) == 1 {
+			var err error
+			items, err = iterValues(args[0], 0)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			items = args
+		}
+		if len(items) == 0 {
+			if isMin {
+				return nil, raisef("ValueError", "min() arg is an empty sequence")
+			}
+			return nil, raisef("ValueError", "max() arg is an empty sequence")
+		}
+		var keyFn any
+		if kw != nil {
+			keyFn = kw["key"]
+		}
+		keyOf := func(v any) (any, error) {
+			if keyFn == nil {
+				return v, nil
+			}
+			return ip.call(keyFn, []any{v}, nil, 0)
+		}
+		best := items[0]
+		bestKey, err := keyOf(best)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items[1:] {
+			k, err := keyOf(it)
+			if err != nil {
+				return nil, err
+			}
+			c, err := pyOrder(k, bestKey, 0)
+			if err != nil {
+				return nil, err
+			}
+			if (isMin && c < 0) || (!isMin && c > 0) {
+				best, bestKey = it, k
+			}
+		}
+		return best, nil
+	}
+}
+
+// formatValue applies an f-string/format() spec to a value.
+func formatValue(v any, spec string) (string, error) {
+	if spec == "" {
+		return pyStr(v), nil
+	}
+	return applyFormatSpec(v, spec)
+}
+
+func applySpec(s, spec string) string {
+	out, err := applyFormatSpec(s, spec)
+	if err != nil {
+		return s
+	}
+	return out
+}
+
+// applyFormatSpec supports the common subset: [[fill]align][0][width][,][.prec][type]
+func applyFormatSpec(v any, spec string) (string, error) {
+	fill := ' '
+	align := byte(0)
+	i := 0
+	if len(spec) >= 2 && (spec[1] == '<' || spec[1] == '>' || spec[1] == '^') {
+		fill = rune(spec[0])
+		align = spec[1]
+		i = 2
+	} else if len(spec) >= 1 && (spec[0] == '<' || spec[0] == '>' || spec[0] == '^') {
+		align = spec[0]
+		i = 1
+	}
+	zeroPad := false
+	if i < len(spec) && spec[i] == '0' {
+		zeroPad = true
+		i++
+	}
+	width := 0
+	for i < len(spec) && spec[i] >= '0' && spec[i] <= '9' {
+		width = width*10 + int(spec[i]-'0')
+		i++
+	}
+	comma := false
+	if i < len(spec) && spec[i] == ',' {
+		comma = true
+		i++
+	}
+	prec := -1
+	if i < len(spec) && spec[i] == '.' {
+		i++
+		prec = 0
+		for i < len(spec) && spec[i] >= '0' && spec[i] <= '9' {
+			prec = prec*10 + int(spec[i]-'0')
+			i++
+		}
+	}
+	typ := byte(0)
+	if i < len(spec) {
+		typ = spec[i]
+		i++
+	}
+	if i < len(spec) {
+		return "", raisef("ValueError", "invalid format spec %q", spec)
+	}
+	var body string
+	switch typ {
+	case 'd':
+		n, ok := v.(int64)
+		if !ok {
+			if b, isB := v.(bool); isB {
+				n = b2i(b)
+			} else {
+				return "", raisef("ValueError", "unknown format code 'd' for object of type '%s'", pyTypeName(v))
+			}
+		}
+		body = strconv.FormatInt(n, 10)
+		if comma {
+			body = addThousands(body)
+		}
+	case 'f', 'F':
+		f, ok := toFloat(v)
+		if !ok {
+			return "", raisef("ValueError", "unknown format code 'f' for object of type '%s'", pyTypeName(v))
+		}
+		p := 6
+		if prec >= 0 {
+			p = prec
+		}
+		body = strconv.FormatFloat(f, 'f', p, 64)
+	case 'e', 'E':
+		f, ok := toFloat(v)
+		if !ok {
+			return "", raisef("ValueError", "bad value for format code 'e'")
+		}
+		p := 6
+		if prec >= 0 {
+			p = prec
+		}
+		body = strconv.FormatFloat(f, byte(typ), p, 64)
+	case 'x':
+		n, ok := v.(int64)
+		if !ok {
+			return "", raisef("ValueError", "bad value for format code 'x'")
+		}
+		body = strconv.FormatInt(n, 16)
+	case 'X':
+		n, ok := v.(int64)
+		if !ok {
+			return "", raisef("ValueError", "bad value for format code 'X'")
+		}
+		body = strings.ToUpper(strconv.FormatInt(n, 16))
+	case 'o':
+		n, ok := v.(int64)
+		if !ok {
+			return "", raisef("ValueError", "bad value for format code 'o'")
+		}
+		body = strconv.FormatInt(n, 8)
+	case 'b':
+		n, ok := v.(int64)
+		if !ok {
+			return "", raisef("ValueError", "bad value for format code 'b'")
+		}
+		body = strconv.FormatInt(n, 2)
+	case 'g':
+		f, ok := toFloat(v)
+		if !ok {
+			return "", raisef("ValueError", "bad value for format code 'g'")
+		}
+		p := -1
+		if prec >= 0 {
+			p = prec
+		}
+		body = strconv.FormatFloat(f, 'g', p, 64)
+	case 's', 0:
+		body = pyStr(v)
+		if prec >= 0 && prec < len(body) {
+			body = body[:prec]
+		}
+	case '%':
+		f, ok := toFloat(v)
+		if !ok {
+			return "", raisef("ValueError", "bad value for format code '%%'")
+		}
+		p := 6
+		if prec >= 0 {
+			p = prec
+		}
+		body = strconv.FormatFloat(f*100, 'f', p, 64) + "%"
+	default:
+		return "", raisef("ValueError", "unknown format code %q", string(typ))
+	}
+	if zeroPad && align == 0 {
+		neg := strings.HasPrefix(body, "-")
+		if neg {
+			body = body[1:]
+		}
+		for len(body)+int(b2i(neg)) < width {
+			body = "0" + body
+		}
+		if neg {
+			body = "-" + body
+		}
+	}
+	for len([]rune(body)) < width {
+		switch align {
+		case '<':
+			body = body + string(fill)
+		case '^':
+			if (width-len([]rune(body)))%2 == 1 {
+				body = body + string(fill)
+			} else {
+				body = string(fill) + body
+			}
+		default: // '>' and numeric default
+			if typ == 's' || typ == 0 {
+				if align == '>' {
+					body = string(fill) + body
+				} else {
+					body = body + string(fill)
+				}
+			} else {
+				body = string(fill) + body
+			}
+		}
+	}
+	return body, nil
+}
+
+func addThousands(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// pyStrFormat implements str.format with positional {} / {0} and named {key}
+// fields plus format specs.
+func pyStrFormat(tmpl string, args []any, kw map[string]any) (string, error) {
+	var b strings.Builder
+	auto := 0
+	i := 0
+	for i < len(tmpl) {
+		c := tmpl[i]
+		if c == '{' {
+			if i+1 < len(tmpl) && tmpl[i+1] == '{' {
+				b.WriteByte('{')
+				i += 2
+				continue
+			}
+			j := strings.IndexByte(tmpl[i:], '}')
+			if j < 0 {
+				return "", raisef("ValueError", "single '{' encountered in format string")
+			}
+			field := tmpl[i+1 : i+j]
+			i += j + 1
+			name, spec := field, ""
+			if k := strings.IndexByte(field, ':'); k >= 0 {
+				name, spec = field[:k], field[k+1:]
+			}
+			var v any
+			switch {
+			case name == "":
+				if auto >= len(args) {
+					return "", raisef("IndexError", "Replacement index %d out of range", auto)
+				}
+				v = args[auto]
+				auto++
+			case isAllDigits(name):
+				n, _ := strconv.Atoi(name)
+				if n >= len(args) {
+					return "", raisef("IndexError", "Replacement index %d out of range", n)
+				}
+				v = args[n]
+			default:
+				vv, ok := kw[name]
+				if !ok {
+					return "", raisef("KeyError", "'%s'", name)
+				}
+				v = vv
+			}
+			s, err := formatValue(v, spec)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+			continue
+		}
+		if c == '}' {
+			if i+1 < len(tmpl) && tmpl[i+1] == '}' {
+				b.WriteByte('}')
+				i += 2
+				continue
+			}
+			return "", raisef("ValueError", "single '}' encountered in format string")
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String(), nil
+}
+
+func isAllDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// pyPercentFormat implements the "%" operator on strings for %s/%d/%f/%x/%%.
+func pyPercentFormat(tmpl string, right any) (any, error) {
+	var vals []any
+	if t, ok := right.(*Tuple); ok {
+		vals = t.E
+	} else {
+		vals = []any{right}
+	}
+	var b strings.Builder
+	vi := 0
+	for i := 0; i < len(tmpl); i++ {
+		c := tmpl[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(tmpl) {
+			return nil, raisef("ValueError", "incomplete format")
+		}
+		if tmpl[i] == '%' {
+			b.WriteByte('%')
+			continue
+		}
+		// precision like %.2f
+		spec := ""
+		for i < len(tmpl) && (tmpl[i] == '.' || (tmpl[i] >= '0' && tmpl[i] <= '9')) {
+			spec += string(tmpl[i])
+			i++
+		}
+		if i >= len(tmpl) {
+			return nil, raisef("ValueError", "incomplete format")
+		}
+		if vi >= len(vals) {
+			return nil, raisef("TypeError", "not enough arguments for format string")
+		}
+		v := vals[vi]
+		vi++
+		switch tmpl[i] {
+		case 's':
+			b.WriteString(pyStr(v))
+		case 'r':
+			b.WriteString(pyRepr(v))
+		case 'd', 'i':
+			f, ok := toFloat(v)
+			if !ok {
+				return nil, raisef("TypeError", "%%d format: a number is required, not %s", pyTypeName(v))
+			}
+			b.WriteString(strconv.FormatInt(int64(f), 10))
+		case 'f':
+			f, ok := toFloat(v)
+			if !ok {
+				return nil, raisef("TypeError", "float required")
+			}
+			p := 6
+			if strings.HasPrefix(spec, ".") {
+				if n, err := strconv.Atoi(spec[1:]); err == nil {
+					p = n
+				}
+			}
+			b.WriteString(strconv.FormatFloat(f, 'f', p, 64))
+		case 'x':
+			n, ok := v.(int64)
+			if !ok {
+				return nil, raisef("TypeError", "int required")
+			}
+			b.WriteString(strconv.FormatInt(n, 16))
+		default:
+			return nil, raisef("ValueError", "unsupported format character %q", string(tmpl[i]))
+		}
+	}
+	return b.String(), nil
+}

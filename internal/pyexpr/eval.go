@@ -1,0 +1,1285 @@
+package pyexpr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/yamlx"
+)
+
+// List is a mutable Python list.
+type List struct{ E []any }
+
+// NewList builds a list value.
+func NewList(elems ...any) *List { return &List{E: elems} }
+
+// Tuple is an immutable Python tuple.
+type Tuple struct{ E []any }
+
+// Set is a Python set with insertion-ordered elements (deterministic
+// iteration; membership uses value equality).
+type Set struct{ E []any }
+
+// Dict is a Python dict with insertion-ordered string keys. Non-string keys
+// are stored via their repr, which covers CWL usage.
+type Dict = yamlx.Map
+
+// Exception is a Python exception value.
+type Exception struct {
+	Type string // class name, e.g. "Exception", "ValueError"
+	Msg  string
+}
+
+func (e *Exception) String() string {
+	if e.Msg == "" {
+		return e.Type
+	}
+	return e.Type + ": " + e.Msg
+}
+
+// Raised is the Go error wrapping a raised Python exception.
+type Raised struct{ Exc *Exception }
+
+func (r *Raised) Error() string { return "python exception: " + r.Exc.String() }
+
+func raisef(typ, format string, args ...any) error {
+	return &Raised{Exc: &Exception{Type: typ, Msg: fmt.Sprintf(format, args...)}}
+}
+
+// PyFunc is a user-defined function.
+type PyFunc struct {
+	Name     string
+	Params   []string
+	Defaults []any // evaluated at def time, aligned to tail of Params
+	Body     []stmt
+	env      *penv
+	isLambda bool
+	lambdaX  expr
+}
+
+// Builtin is a native function exposed to Python code.
+type Builtin struct {
+	Name string
+	Fn   func(ip *Interp, args []any, kw map[string]any) (any, error)
+}
+
+// rangeVal is the lazy result of range().
+type rangeVal struct{ start, stop, step int64 }
+
+func (r rangeVal) length() int64 {
+	if r.step > 0 {
+		if r.stop <= r.start {
+			return 0
+		}
+		return (r.stop - r.start + r.step - 1) / r.step
+	}
+	if r.stop >= r.start {
+		return 0
+	}
+	return (r.start - r.stop - r.step - 1) / (-r.step)
+}
+
+type penv struct {
+	vars   map[string]any
+	parent *penv
+}
+
+func newPenv(parent *penv) *penv { return &penv{vars: map[string]any{}, parent: parent} }
+
+func (e *penv) lookup(name string) (any, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *penv) assign(name string, v any) {
+	// Python semantics-lite: assignment binds in the local scope unless the
+	// name already exists in an enclosing scope that we created via def
+	// nesting. For the CWL subset, local-bind is the right default; we update
+	// an existing binding if one is visible to keep loops working.
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[name]; ok {
+			env.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+// Interp is a Python interpreter instance holding the loaded expression
+// library. Not safe for concurrent use.
+type Interp struct {
+	global   *penv
+	steps    int
+	maxSteps int
+	// Stdout captures print() output.
+	Stdout strings.Builder
+}
+
+// DefaultMaxSteps bounds evaluation work per call.
+const DefaultMaxSteps = 5_000_000
+
+// New creates an interpreter with builtins installed.
+func New() *Interp {
+	ip := &Interp{maxSteps: DefaultMaxSteps}
+	ip.global = newPenv(nil)
+	installPyBuiltins(ip.global)
+	return ip
+}
+
+// SetMaxSteps overrides the evaluation budget.
+func (ip *Interp) SetMaxSteps(n int) { ip.maxSteps = n }
+
+// LoadLib executes expressionLib source (def statements, constants) in the
+// global scope.
+func (ip *Interp) LoadLib(src string) error {
+	prog, err := parsePyProgram(src)
+	if err != nil {
+		return err
+	}
+	ip.steps = 0
+	_, err = ip.execStmts(prog, ip.global)
+	return err
+}
+
+// EvalExpr evaluates one expression with vars in scope, returning a CWL
+// document value.
+func (ip *Interp) EvalExpr(src string, vars map[string]any) (any, error) {
+	node, err := parsePyExpression(src)
+	if err != nil {
+		return nil, err
+	}
+	env := ip.scopeWith(vars)
+	ip.steps = 0
+	v, err := ip.eval(node, env)
+	if err != nil {
+		return nil, err
+	}
+	return FromPy(v), nil
+}
+
+// EvalBody executes a statement block; the value of a top-level return (or
+// None) is converted back to document vocabulary.
+func (ip *Interp) EvalBody(src string, vars map[string]any) (any, error) {
+	prog, err := parsePyProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	env := ip.scopeWith(vars)
+	ip.steps = 0
+	c, err := ip.execStmts(prog, env)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil && c.kind == ctrlReturn {
+		return FromPy(c.value), nil
+	}
+	return nil, nil
+}
+
+// Call invokes a named function from the loaded library with document values.
+func (ip *Interp) Call(name string, args ...any) (any, error) {
+	fnv, ok := ip.global.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("python function %q is not defined", name)
+	}
+	pyArgs := make([]any, len(args))
+	for i, a := range args {
+		pyArgs[i] = ToPy(a)
+	}
+	ip.steps = 0
+	v, err := ip.call(fnv, pyArgs, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	return FromPy(v), nil
+}
+
+func (ip *Interp) scopeWith(vars map[string]any) *penv {
+	env := newPenv(ip.global)
+	for k, v := range vars {
+		env.vars[k] = ToPy(v)
+	}
+	return env
+}
+
+func (ip *Interp) tick(line int) error {
+	ip.steps++
+	if ip.steps > ip.maxSteps {
+		return fmt.Errorf("python evaluation exceeded %d steps (line %d): possible infinite loop", ip.maxSteps, line)
+	}
+	return nil
+}
+
+type ctrl struct {
+	kind  ctrlKind
+	value any
+}
+
+type ctrlKind int
+
+const (
+	ctrlReturn ctrlKind = iota + 1
+	ctrlBreak
+	ctrlContinue
+)
+
+func (ip *Interp) execStmts(stmts []stmt, env *penv) (*ctrl, error) {
+	for _, s := range stmts {
+		c, err := ip.exec(s, env)
+		if err != nil || c != nil {
+			return c, err
+		}
+	}
+	return nil, nil
+}
+
+func (ip *Interp) exec(s stmt, env *penv) (*ctrl, error) {
+	if err := ip.tick(s.stmtLine()); err != nil {
+		return nil, err
+	}
+	switch st := s.(type) {
+	case *exprStatement:
+		_, err := ip.eval(st.X, env)
+		return nil, err
+	case *passStmt:
+		return nil, nil
+	case *assignStmt:
+		val, err := ip.eval(st.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		if st.Op != "=" {
+			old, err := ip.eval(st.Target, env)
+			if err != nil {
+				return nil, err
+			}
+			val, err = pyBinOp(strings.TrimSuffix(st.Op, "="), old, val, st.Line)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nil, ip.assignTo(st.Target, val, env)
+	case *returnStatement:
+		var v any
+		if st.X != nil {
+			var err error
+			v, err = ip.eval(st.X, env)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ctrl{kind: ctrlReturn, value: v}, nil
+	case *breakStatement:
+		return &ctrl{kind: ctrlBreak}, nil
+	case *continueStatement:
+		return &ctrl{kind: ctrlContinue}, nil
+	case *raiseStmt:
+		if st.X == nil {
+			return nil, raisef("RuntimeError", "no active exception to re-raise")
+		}
+		v, err := ip.eval(st.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch exc := v.(type) {
+		case *Exception:
+			return nil, &Raised{Exc: exc}
+		case string:
+			return nil, &Raised{Exc: &Exception{Type: "Exception", Msg: exc}}
+		case *Builtin:
+			// raise ValueError  (class without call)
+			return nil, &Raised{Exc: &Exception{Type: exc.Name}}
+		}
+		return nil, raisef("TypeError", "exceptions must derive from BaseException")
+	case *ifStatement:
+		t, err := ip.eval(st.Test, env)
+		if err != nil {
+			return nil, err
+		}
+		if pyTruthy(t) {
+			return ip.execStmts(st.Then, env)
+		}
+		return ip.execStmts(st.Else, env)
+	case *whileStatement:
+		for {
+			if err := ip.tick(st.Line); err != nil {
+				return nil, err
+			}
+			t, err := ip.eval(st.Test, env)
+			if err != nil {
+				return nil, err
+			}
+			if !pyTruthy(t) {
+				return nil, nil
+			}
+			c, err := ip.execStmts(st.Body, env)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				switch c.kind {
+				case ctrlBreak:
+					return nil, nil
+				case ctrlContinue:
+					continue
+				default:
+					return c, nil
+				}
+			}
+		}
+	case *forStatement:
+		items, err := ip.iterate(st.Iter, env, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range items {
+			if err := ip.tick(st.Line); err != nil {
+				return nil, err
+			}
+			if err := bindLoopVars(env, st.Vars, item, st.Line); err != nil {
+				return nil, err
+			}
+			c, err := ip.execStmts(st.Body, env)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				switch c.kind {
+				case ctrlBreak:
+					return nil, nil
+				case ctrlContinue:
+					continue
+				default:
+					return c, nil
+				}
+			}
+		}
+		return nil, nil
+	case *defStatement:
+		defaults := make([]any, len(st.Defaults))
+		for i, d := range st.Defaults {
+			v, err := ip.eval(d, env)
+			if err != nil {
+				return nil, err
+			}
+			defaults[i] = v
+		}
+		env.vars[st.Name] = &PyFunc{
+			Name: st.Name, Params: st.Params, Defaults: defaults,
+			Body: st.Body, env: env,
+		}
+		return nil, nil
+	case *tryStatement:
+		c, err := ip.execStmts(st.Body, env)
+		if err != nil {
+			if raised, ok := err.(*Raised); ok {
+				for _, h := range st.Handlers {
+					if excMatches(h.Types, raised.Exc.Type) {
+						hEnv := env
+						if h.As != "" {
+							env.vars[h.As] = raised.Exc
+						}
+						c2, err2 := ip.execStmts(h.Body, hEnv)
+						fc, ferr := ip.execStmts(st.Finally, env)
+						if ferr != nil {
+							return nil, ferr
+						}
+						if fc != nil {
+							return fc, nil
+						}
+						return c2, err2
+					}
+				}
+			}
+			if _, ferr := ip.execStmts(st.Finally, env); ferr != nil {
+				return nil, ferr
+			}
+			return nil, err
+		}
+		fc, ferr := ip.execStmts(st.Finally, env)
+		if ferr != nil {
+			return nil, ferr
+		}
+		if fc != nil {
+			return fc, nil
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %T", s)
+}
+
+// excMatches reports whether an except clause with the given class names
+// catches excType. "Exception" and "BaseException" catch everything.
+func excMatches(types []string, excType string) bool {
+	if len(types) == 0 {
+		return true
+	}
+	for _, t := range types {
+		if t == excType || t == "Exception" || t == "BaseException" {
+			return true
+		}
+	}
+	return false
+}
+
+func bindLoopVars(env *penv, vars []string, item any, line int) error {
+	if len(vars) == 1 {
+		env.assign(vars[0], item)
+		return nil
+	}
+	elems, ok := sequenceOf(item)
+	if !ok {
+		return raisef("TypeError", "cannot unpack non-sequence (line %d)", line)
+	}
+	if len(elems) != len(vars) {
+		return raisef("ValueError", "expected %d values to unpack, got %d (line %d)", len(vars), len(elems), line)
+	}
+	for i, name := range vars {
+		env.assign(name, elems[i])
+	}
+	return nil
+}
+
+func sequenceOf(v any) ([]any, bool) {
+	switch x := v.(type) {
+	case *List:
+		return x.E, true
+	case *Tuple:
+		return x.E, true
+	}
+	return nil, false
+}
+
+func (ip *Interp) iterate(iterExpr expr, env *penv, line int) ([]any, error) {
+	v, err := ip.eval(iterExpr, env)
+	if err != nil {
+		return nil, err
+	}
+	return iterValues(v, line)
+}
+
+func iterValues(v any, line int) ([]any, error) {
+	switch x := v.(type) {
+	case *List:
+		return append([]any{}, x.E...), nil
+	case *Tuple:
+		return append([]any{}, x.E...), nil
+	case *Set:
+		return append([]any{}, x.E...), nil
+	case string:
+		out := make([]any, 0, len(x))
+		for _, r := range x {
+			out = append(out, string(r))
+		}
+		return out, nil
+	case *Dict:
+		out := make([]any, 0, x.Len())
+		for _, k := range x.Keys() {
+			out = append(out, k)
+		}
+		return out, nil
+	case rangeVal:
+		n := x.length()
+		if n > 50_000_000 {
+			return nil, raisef("OverflowError", "range too large (line %d)", line)
+		}
+		out := make([]any, 0, n)
+		for i, val := int64(0), x.start; i < n; i, val = i+1, val+x.step {
+			out = append(out, val)
+		}
+		return out, nil
+	}
+	return nil, raisef("TypeError", "'%s' object is not iterable (line %d)", pyTypeName(v), line)
+}
+
+func (ip *Interp) assignTo(target expr, val any, env *penv) error {
+	switch t := target.(type) {
+	case *nameRef:
+		env.assign(t.Name, val)
+		return nil
+	case *tupleLit:
+		elems, ok := sequenceOf(val)
+		if !ok {
+			return raisef("TypeError", "cannot unpack non-sequence")
+		}
+		if len(elems) != len(t.Elems) {
+			return raisef("ValueError", "expected %d values to unpack, got %d", len(t.Elems), len(elems))
+		}
+		for i, el := range t.Elems {
+			name := el.(*nameRef)
+			env.assign(name.Name, elems[i])
+		}
+		return nil
+	case *subscript:
+		obj, err := ip.eval(t.Obj, env)
+		if err != nil {
+			return err
+		}
+		key, err := ip.eval(t.Key, env)
+		if err != nil {
+			return err
+		}
+		switch o := obj.(type) {
+		case *List:
+			i, ok := key.(int64)
+			if !ok {
+				return raisef("TypeError", "list indices must be integers")
+			}
+			idx, err := normIndex(i, len(o.E))
+			if err != nil {
+				return err
+			}
+			o.E[idx] = val
+			return nil
+		case *Dict:
+			ks, err := dictKey(key)
+			if err != nil {
+				return err
+			}
+			o.Set(ks, val)
+			return nil
+		}
+		return raisef("TypeError", "'%s' object does not support item assignment", pyTypeName(obj))
+	case *attrRef:
+		obj, err := ip.eval(t.Obj, env)
+		if err != nil {
+			return err
+		}
+		if d, ok := obj.(*Dict); ok {
+			d.Set(t.Name, val)
+			return nil
+		}
+		return raisef("AttributeError", "cannot set attribute %q on %s", t.Name, pyTypeName(obj))
+	}
+	return fmt.Errorf("invalid assignment target %T", target)
+}
+
+func normIndex(i int64, n int) (int, error) {
+	if i < 0 {
+		i += int64(n)
+	}
+	if i < 0 || i >= int64(n) {
+		return 0, raisef("IndexError", "index out of range")
+	}
+	return int(i), nil
+}
+
+// dictKey converts a key to the string form Dict stores. Strings pass through;
+// other hashables use their repr, keeping lookups consistent.
+func dictKey(key any) (string, error) {
+	switch k := key.(type) {
+	case string:
+		return k, nil
+	case int64, float64, bool, nil:
+		return pyRepr(k), nil
+	case *Tuple:
+		return pyRepr(k), nil
+	}
+	return "", raisef("TypeError", "unhashable type: '%s'", pyTypeName(key))
+}
+
+func (ip *Interp) eval(e expr, env *penv) (any, error) {
+	if err := ip.tick(e.exprLine()); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *intLit:
+		return x.V, nil
+	case *floatLit:
+		return x.V, nil
+	case *strLit:
+		return x.V, nil
+	case *boolLit:
+		return x.V, nil
+	case *noneLit:
+		return nil, nil
+	case *nameRef:
+		if v, ok := env.lookup(x.Name); ok {
+			return v, nil
+		}
+		return nil, raisef("NameError", "name '%s' is not defined (line %d)", x.Name, x.Line)
+	case *fstrLit:
+		var b strings.Builder
+		for _, part := range x.Parts {
+			if part.Expr == nil {
+				b.WriteString(part.Text)
+				continue
+			}
+			v, err := ip.eval(part.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			if part.Conv == 'r' {
+				b.WriteString(applySpec(pyRepr(v), part.Spec))
+				continue
+			}
+			s, err := formatValue(v, part.Spec)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(s)
+		}
+		return b.String(), nil
+	case *listLit:
+		l := &List{}
+		for _, el := range x.Elems {
+			v, err := ip.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			l.E = append(l.E, v)
+		}
+		return l, nil
+	case *tupleLit:
+		t := &Tuple{}
+		for _, el := range x.Elems {
+			v, err := ip.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			t.E = append(t.E, v)
+		}
+		return t, nil
+	case *setLit:
+		s := &Set{}
+		for _, el := range x.Elems {
+			v, err := ip.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			setAdd(s, v)
+		}
+		return s, nil
+	case *dictLit:
+		d := yamlx.NewMap()
+		for i := range x.Keys {
+			k, err := ip.eval(x.Keys[i], env)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ip.eval(x.Vals[i], env)
+			if err != nil {
+				return nil, err
+			}
+			ks, err := dictKey(k)
+			if err != nil {
+				return nil, err
+			}
+			d.Set(ks, v)
+		}
+		return d, nil
+	case *attrRef:
+		obj, err := ip.eval(x.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		return ip.getAttr(obj, x.Name, x.Line)
+	case *subscript:
+		obj, err := ip.eval(x.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := ip.eval(x.Key, env)
+		if err != nil {
+			return nil, err
+		}
+		return pyGetItem(obj, key, x.Line)
+	case *sliceExpr:
+		obj, err := ip.eval(x.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		return ip.evalSlice(obj, x, env)
+	case *callExpr:
+		fn, err := ip.eval(x.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]any, 0, len(x.Args))
+		for _, a := range x.Args {
+			v, err := ip.eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, v)
+		}
+		var kw map[string]any
+		if len(x.KwName) > 0 {
+			kw = map[string]any{}
+			for i, name := range x.KwName {
+				v, err := ip.eval(x.KwVal[i], env)
+				if err != nil {
+					return nil, err
+				}
+				kw[name] = v
+			}
+		}
+		return ip.call(fn, args, kw, x.Line)
+	case *unaryOp:
+		v, err := ip.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "not":
+			return !pyTruthy(v), nil
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			case bool:
+				if n {
+					return int64(-1), nil
+				}
+				return int64(0), nil
+			}
+			return nil, raisef("TypeError", "bad operand type for unary -: '%s'", pyTypeName(v))
+		case "+":
+			switch v.(type) {
+			case int64, float64:
+				return v, nil
+			}
+			return nil, raisef("TypeError", "bad operand type for unary +: '%s'", pyTypeName(v))
+		}
+	case *binOp:
+		l, err := ip.eval(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ip.eval(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return pyBinOp(x.Op, l, r, x.Line)
+	case *boolOp:
+		l, err := ip.eval(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "and" {
+			if !pyTruthy(l) {
+				return l, nil
+			}
+			return ip.eval(x.R, env)
+		}
+		if pyTruthy(l) {
+			return l, nil
+		}
+		return ip.eval(x.R, env)
+	case *compare:
+		left, err := ip.eval(x.First, env)
+		if err != nil {
+			return nil, err
+		}
+		for i, op := range x.Ops {
+			right, err := ip.eval(x.Rest[i], env)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := pyCompare(op, left, right, x.Line)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return false, nil
+			}
+			left = right
+		}
+		return true, nil
+	case *ternary:
+		t, err := ip.eval(x.Test, env)
+		if err != nil {
+			return nil, err
+		}
+		if pyTruthy(t) {
+			return ip.eval(x.Then, env)
+		}
+		return ip.eval(x.Else, env)
+	case *lambdaExpr:
+		defaults := make([]any, len(x.Defaults))
+		for i, d := range x.Defaults {
+			v, err := ip.eval(d, env)
+			if err != nil {
+				return nil, err
+			}
+			defaults[i] = v
+		}
+		return &PyFunc{Name: "<lambda>", Params: x.Params, Defaults: defaults, env: env, isLambda: true, lambdaX: x.Body}, nil
+	case *listComp:
+		items, err := ip.iterate(x.Iter, env, x.Line)
+		if err != nil {
+			return nil, err
+		}
+		out := &List{}
+		compEnv := newPenv(env)
+		for _, item := range items {
+			if err := ip.tick(x.Line); err != nil {
+				return nil, err
+			}
+			if err := bindLoopVars(compEnv, x.Vars, item, x.Line); err != nil {
+				return nil, err
+			}
+			if x.Cond != nil {
+				c, err := ip.eval(x.Cond, compEnv)
+				if err != nil {
+					return nil, err
+				}
+				if !pyTruthy(c) {
+					continue
+				}
+			}
+			v, err := ip.eval(x.Out, compEnv)
+			if err != nil {
+				return nil, err
+			}
+			out.E = append(out.E, v)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported expression %T", e)
+}
+
+func (ip *Interp) evalSlice(obj any, x *sliceExpr, env *penv) (any, error) {
+	evalOr := func(e expr, def int64) (int64, error) {
+		if e == nil {
+			return def, nil
+		}
+		v, err := ip.eval(e, env)
+		if err != nil {
+			return 0, err
+		}
+		n, ok := v.(int64)
+		if !ok {
+			return 0, raisef("TypeError", "slice indices must be integers")
+		}
+		return n, nil
+	}
+	slice := func(n int) (int, int, int64, error) {
+		step, err := evalOr(x.Step_, 1)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if step == 0 {
+			return 0, 0, 0, raisef("ValueError", "slice step cannot be zero")
+		}
+		if step != 1 {
+			return 0, 0, step, nil // handled by caller via element walk
+		}
+		lo, err := evalOr(x.Low, 0)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		hi, err := evalOr(x.High, int64(n))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		norm := func(i int64) int {
+			if i < 0 {
+				i += int64(n)
+			}
+			if i < 0 {
+				i = 0
+			}
+			if i > int64(n) {
+				i = int64(n)
+			}
+			return int(i)
+		}
+		l, h := norm(lo), norm(hi)
+		if l > h {
+			h = l
+		}
+		return l, h, 1, nil
+	}
+	walk := func(elems []any) ([]any, error) {
+		n := len(elems)
+		lo, hi, step, err := slice(n)
+		if err != nil {
+			return nil, err
+		}
+		if step == 1 {
+			return append([]any{}, elems[lo:hi]...), nil
+		}
+		// General step (incl. negative).
+		loE, hiE := x.Low, x.High
+		var start, stop int64
+		if step > 0 {
+			start, stop = 0, int64(n)
+		} else {
+			start, stop = int64(n)-1, -1
+		}
+		if loE != nil {
+			v, err := evalOr(loE, 0)
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				v += int64(n)
+			}
+			start = v
+		}
+		if hiE != nil {
+			v, err := evalOr(hiE, 0)
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				v += int64(n)
+			}
+			stop = v
+		}
+		var out []any
+		if step > 0 {
+			for i := start; i < stop && i < int64(n); i += step {
+				if i >= 0 {
+					out = append(out, elems[i])
+				}
+			}
+		} else {
+			for i := start; i > stop && i >= 0; i += step {
+				if i < int64(n) {
+					out = append(out, elems[i])
+				}
+			}
+		}
+		return out, nil
+	}
+	switch o := obj.(type) {
+	case string:
+		runes := []rune(o)
+		elems := make([]any, len(runes))
+		for i, r := range runes {
+			elems[i] = string(r)
+		}
+		out, err := walk(elems)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for _, s := range out {
+			b.WriteString(s.(string))
+		}
+		return b.String(), nil
+	case *List:
+		out, err := walk(o.E)
+		if err != nil {
+			return nil, err
+		}
+		return &List{E: out}, nil
+	case *Tuple:
+		out, err := walk(o.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Tuple{E: out}, nil
+	}
+	return nil, raisef("TypeError", "'%s' object is not subscriptable", pyTypeName(obj))
+}
+
+func (ip *Interp) call(fn any, args []any, kw map[string]any, line int) (any, error) {
+	switch f := fn.(type) {
+	case *PyFunc:
+		fnEnv := newPenv(f.env)
+		nParams := len(f.Params)
+		firstDefault := nParams - len(f.Defaults)
+		if len(args) > nParams {
+			return nil, raisef("TypeError", "%s() takes %d arguments but %d were given", f.Name, nParams, len(args))
+		}
+		for i, p := range f.Params {
+			switch {
+			case i < len(args):
+				fnEnv.vars[p] = args[i]
+			case kw != nil && hasKw(kw, p):
+				fnEnv.vars[p] = kw[p]
+			case i >= firstDefault:
+				fnEnv.vars[p] = f.Defaults[i-firstDefault]
+			default:
+				return nil, raisef("TypeError", "%s() missing required argument: '%s'", f.Name, p)
+			}
+		}
+		for k := range kw {
+			if !contains(f.Params, k) {
+				return nil, raisef("TypeError", "%s() got an unexpected keyword argument '%s'", f.Name, k)
+			}
+		}
+		if f.isLambda {
+			return ip.eval(f.lambdaX, fnEnv)
+		}
+		c, err := ip.execStmts(f.Body, fnEnv)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil && c.kind == ctrlReturn {
+			return c.value, nil
+		}
+		return nil, nil
+	case *Builtin:
+		return f.Fn(ip, args, kw)
+	case *boundPyMethod:
+		return f.fn(ip, f.recv, args, kw)
+	}
+	return nil, raisef("TypeError", "'%s' object is not callable (line %d)", pyTypeName(fn), line)
+}
+
+func hasKw(kw map[string]any, name string) bool {
+	_, ok := kw[name]
+	return ok
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+type boundPyMethod struct {
+	name string
+	recv any
+	fn   func(ip *Interp, recv any, args []any, kw map[string]any) (any, error)
+}
+
+func setAdd(s *Set, v any) {
+	for _, e := range s.E {
+		if pyEq(e, v) {
+			return
+		}
+	}
+	s.E = append(s.E, v)
+}
+
+// pyTypeName returns the Python type name for error messages.
+func pyTypeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "NoneType"
+	case bool:
+		return "bool"
+	case int64:
+		return "int"
+	case float64:
+		return "float"
+	case string:
+		return "str"
+	case *List:
+		return "list"
+	case *Tuple:
+		return "tuple"
+	case *Set:
+		return "set"
+	case *Dict:
+		return "dict"
+	case *PyFunc, *Builtin, *boundPyMethod:
+		return "function"
+	case *Exception:
+		return "Exception"
+	case rangeVal:
+		return "range"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+func pyTruthy(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	case *List:
+		return len(x.E) > 0
+	case *Tuple:
+		return len(x.E) > 0
+	case *Set:
+		return len(x.E) > 0
+	case *Dict:
+		return x.Len() > 0
+	case rangeVal:
+		return x.length() > 0
+	default:
+		return true
+	}
+}
+
+// ToPy converts a CWL document value to Python-space values.
+func ToPy(v any) any {
+	switch x := v.(type) {
+	case nil, bool, int64, float64, string:
+		return x
+	case int:
+		return int64(x)
+	case []any:
+		l := &List{E: make([]any, len(x))}
+		for i, e := range x {
+			l.E[i] = ToPy(e)
+		}
+		return l
+	case []string:
+		l := &List{E: make([]any, len(x))}
+		for i, e := range x {
+			l.E[i] = e
+		}
+		return l
+	case *yamlx.Map:
+		d := yamlx.NewMap()
+		x.Range(func(k string, vv any) bool {
+			d.Set(k, ToPy(vv))
+			return true
+		})
+		return d
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		d := yamlx.NewMap()
+		for _, k := range keys {
+			d.Set(k, ToPy(x[k]))
+		}
+		return d
+	default:
+		return v
+	}
+}
+
+// FromPy converts interpreter values back to the CWL document vocabulary.
+func FromPy(v any) any {
+	switch x := v.(type) {
+	case *List:
+		out := make([]any, len(x.E))
+		for i, e := range x.E {
+			out[i] = FromPy(e)
+		}
+		return out
+	case *Tuple:
+		out := make([]any, len(x.E))
+		for i, e := range x.E {
+			out[i] = FromPy(e)
+		}
+		return out
+	case *Set:
+		out := make([]any, len(x.E))
+		for i, e := range x.E {
+			out[i] = FromPy(e)
+		}
+		return out
+	case *Dict:
+		d := yamlx.NewMap()
+		x.Range(func(k string, vv any) bool {
+			d.Set(k, FromPy(vv))
+			return true
+		})
+		return d
+	case rangeVal:
+		items, _ := iterValues(x, 0)
+		return FromPy(&List{E: items})
+	case *Exception:
+		return x.String()
+	default:
+		return v
+	}
+}
+
+// pyStr is str(v); pyRepr is repr(v).
+func pyStr(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "None"
+	case bool:
+		if x {
+			return "True"
+		}
+		return "False"
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		return formatPyFloat(x)
+	case string:
+		return x
+	case *Exception:
+		return x.Msg
+	default:
+		return pyRepr(v)
+	}
+}
+
+func pyRepr(v any) string {
+	switch x := v.(type) {
+	case string:
+		return "'" + strings.NewReplacer("\\", "\\\\", "'", "\\'", "\n", "\\n", "\t", "\\t").Replace(x) + "'"
+	case *List:
+		parts := make([]string, len(x.E))
+		for i, e := range x.E {
+			parts[i] = pyRepr(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *Tuple:
+		parts := make([]string, len(x.E))
+		for i, e := range x.E {
+			parts[i] = pyRepr(e)
+		}
+		if len(parts) == 1 {
+			return "(" + parts[0] + ",)"
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *Set:
+		if len(x.E) == 0 {
+			return "set()"
+		}
+		parts := make([]string, len(x.E))
+		for i, e := range x.E {
+			parts[i] = pyRepr(e)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *Dict:
+		parts := make([]string, 0, x.Len())
+		x.Range(func(k string, vv any) bool {
+			parts = append(parts, pyRepr(k)+": "+pyRepr(vv))
+			return true
+		})
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *Exception:
+		return x.Type + "(" + pyRepr(x.Msg) + ")"
+	case *PyFunc:
+		return "<function " + x.Name + ">"
+	case rangeVal:
+		if x.step == 1 {
+			return fmt.Sprintf("range(%d, %d)", x.start, x.stop)
+		}
+		return fmt.Sprintf("range(%d, %d, %d)", x.start, x.stop, x.step)
+	default:
+		return pyStr(v)
+	}
+}
+
+func formatPyFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(f) {
+		return "nan"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e16 {
+		return fmt.Sprintf("%.1f", f)
+	}
+	return fmt.Sprintf("%g", f)
+}

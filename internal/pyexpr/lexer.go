@@ -1,0 +1,411 @@
+// Package pyexpr implements the Python expression subset the paper's
+// InlinePythonRequirement embeds in CWL documents: def functions with
+// docstrings, f-strings, if/elif/else, for/while, try/except, raise,
+// comprehensions, and the string/list/dict method surface the listings use.
+//
+// Like the real feature (Python running inside the Parsl runner process),
+// evaluation happens in-process — the architectural property behind the
+// paper's Fig. 2 result.
+package pyexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tNewline
+	tIndent
+	tDedent
+	tNum
+	tStr
+	tFStr // raw f-string body, interpolations parsed later
+	tName
+	tOp
+)
+
+type token struct {
+	kind  tokKind
+	text  string
+	num   float64
+	isInt bool
+	ival  int64
+	line  int
+}
+
+// SyntaxError reports a Python parse failure.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("python syntax error at line %d: %s", e.Line, e.Msg)
+}
+
+var pyKeywords = map[string]bool{
+	"def": true, "return": true, "if": true, "elif": true, "else": true,
+	"for": true, "while": true, "in": true, "not": true, "and": true,
+	"or": true, "True": true, "False": true, "None": true, "break": true,
+	"continue": true, "pass": true, "raise": true, "try": true,
+	"except": true, "finally": true, "as": true, "lambda": true,
+	"is": true, "del": true, "global": true, "import": true, "from": true,
+	"class": true, "with": true, "yield": true, "assert": true,
+}
+
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	indents []int
+	toks    []token
+	paren   int // bracket nesting depth: newlines inside brackets are ignored
+}
+
+func lexPy(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, indents: []int{0}}
+	atLineStart := true
+	for {
+		if atLineStart && l.paren == 0 {
+			if err := l.handleIndent(); err != nil {
+				return nil, err
+			}
+			atLineStart = false
+			continue
+		}
+		l.skipSpaces()
+		if l.pos >= len(l.src) {
+			break
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\n':
+			l.pos++
+			l.line++
+			if l.paren == 0 {
+				// Collapse duplicate newlines.
+				if len(l.toks) > 0 && l.toks[len(l.toks)-1].kind != tNewline && l.toks[len(l.toks)-1].kind != tIndent && l.toks[len(l.toks)-1].kind != tDedent {
+					l.emit(token{kind: tNewline, line: l.line - 1})
+				}
+				atLineStart = true
+			}
+		case c == '\\' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '\n':
+			l.pos += 2
+			l.line++
+		case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDig(l.src[l.pos+1]):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(false); err != nil {
+				return nil, err
+			}
+		case (c == 'f' || c == 'F') && l.pos+1 < len(l.src) && (l.src[l.pos+1] == '"' || l.src[l.pos+1] == '\''):
+			l.pos++
+			if err := l.lexString(true); err != nil {
+				return nil, err
+			}
+		case (c == 'r' || c == 'R') && l.pos+1 < len(l.src) && (l.src[l.pos+1] == '"' || l.src[l.pos+1] == '\''):
+			l.pos++
+			if err := l.lexRawString(); err != nil {
+				return nil, err
+			}
+		case isNameStart(rune(c)) || c >= utf8.RuneSelf:
+			l.lexName()
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(l.toks) > 0 && l.toks[len(l.toks)-1].kind != tNewline {
+		l.emit(token{kind: tNewline, line: l.line})
+	}
+	for len(l.indents) > 1 {
+		l.indents = l.indents[:len(l.indents)-1]
+		l.emit(token{kind: tDedent, line: l.line})
+	}
+	l.emit(token{kind: tEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpaces() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+}
+
+// handleIndent processes the leading whitespace of a logical line, emitting
+// INDENT/DEDENT tokens.
+func (l *lexer) handleIndent() error {
+	for {
+		start := l.pos
+		width := 0
+		for l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case ' ':
+				width++
+			case '\t':
+				width += 8 - width%8
+			case '\r':
+			default:
+				goto measured
+			}
+			l.pos++
+		}
+	measured:
+		if l.pos >= len(l.src) {
+			return nil
+		}
+		if l.src[l.pos] == '\n' {
+			l.pos++
+			l.line++
+			continue // blank line: no indent change
+		}
+		if l.src[l.pos] == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		cur := l.indents[len(l.indents)-1]
+		switch {
+		case width > cur:
+			l.indents = append(l.indents, width)
+			l.emit(token{kind: tIndent, line: l.line})
+		case width < cur:
+			for len(l.indents) > 1 && l.indents[len(l.indents)-1] > width {
+				l.indents = l.indents[:len(l.indents)-1]
+				l.emit(token{kind: tDedent, line: l.line})
+			}
+			if l.indents[len(l.indents)-1] != width {
+				return &SyntaxError{Line: l.line, Msg: "inconsistent indentation"}
+			}
+		}
+		_ = start
+		return nil
+	}
+}
+
+func isDig(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isNamePart(r rune) bool  { return isNameStart(r) || unicode.IsDigit(r) }
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) && (isDig(l.src[l.pos]) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' && (l.pos+1 >= len(l.src) || l.src[l.pos+1] != '.') {
+		// not part of a name/method chain like 1..real; Python floats
+		nxt := byte(0)
+		if l.pos+1 < len(l.src) {
+			nxt = l.src[l.pos+1]
+		}
+		if isDig(nxt) || !isNameStart(rune(nxt)) {
+			isFloat = true
+			l.pos++
+			for l.pos < len(l.src) && (isDig(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDig(l.src[l.pos]) {
+			isFloat = true
+			for l.pos < len(l.src) && isDig(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return &SyntaxError{Line: l.line, Msg: "bad float literal " + text}
+		}
+		l.emit(token{kind: tNum, num: f, text: text, line: l.line})
+		return nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		f, ferr := strconv.ParseFloat(text, 64)
+		if ferr != nil {
+			return &SyntaxError{Line: l.line, Msg: "bad number literal " + text}
+		}
+		l.emit(token{kind: tNum, num: f, text: text, line: l.line})
+		return nil
+	}
+	l.emit(token{kind: tNum, isInt: true, ival: n, text: text, line: l.line})
+	return nil
+}
+
+func (l *lexer) lexString(isF bool) error {
+	quote := l.src[l.pos]
+	startLine := l.line
+	// Triple-quoted?
+	triple := strings.HasPrefix(l.src[l.pos:], strings.Repeat(string(quote), 3))
+	var body strings.Builder
+	if triple {
+		l.pos += 3
+		closing := strings.Repeat(string(quote), 3)
+		end := strings.Index(l.src[l.pos:], closing)
+		if end < 0 {
+			return &SyntaxError{Line: startLine, Msg: "unterminated triple-quoted string"}
+		}
+		raw := l.src[l.pos : l.pos+end]
+		l.line += strings.Count(raw, "\n")
+		l.pos += end + 3
+		if isF {
+			l.emit(token{kind: tFStr, text: raw, line: startLine})
+		} else {
+			l.emit(token{kind: tStr, text: raw, line: startLine})
+		}
+		return nil
+	}
+	l.pos++
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			kind := tStr
+			if isF {
+				kind = tFStr
+			}
+			l.emit(token{kind: kind, text: body.String(), line: startLine})
+			return nil
+		}
+		if c == '\n' {
+			return &SyntaxError{Line: startLine, Msg: "unterminated string literal"}
+		}
+		if c == '\\' && !isF {
+			l.pos++
+			if l.pos >= len(l.src) {
+				break
+			}
+			body.WriteString(unescapePy(l.src[l.pos]))
+			l.pos++
+			continue
+		}
+		if c == '\\' && isF {
+			// Keep escapes raw in f-strings; interpolation parsing handles them.
+			body.WriteByte(c)
+			l.pos++
+			if l.pos < len(l.src) {
+				body.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			continue
+		}
+		body.WriteByte(c)
+		l.pos++
+	}
+	return &SyntaxError{Line: startLine, Msg: "unterminated string literal"}
+}
+
+func (l *lexer) lexRawString() error {
+	quote := l.src[l.pos]
+	startLine := l.line
+	l.pos++
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		if l.src[l.pos] == '\n' {
+			return &SyntaxError{Line: startLine, Msg: "unterminated raw string"}
+		}
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return &SyntaxError{Line: startLine, Msg: "unterminated raw string"}
+	}
+	l.emit(token{kind: tStr, text: l.src[start:l.pos], line: startLine})
+	l.pos++
+	return nil
+}
+
+func unescapePy(c byte) string {
+	switch c {
+	case 'n':
+		return "\n"
+	case 't':
+		return "\t"
+	case 'r':
+		return "\r"
+	case '\\':
+		return "\\"
+	case '\'':
+		return "'"
+	case '"':
+		return "\""
+	case '0':
+		return "\x00"
+	case 'a':
+		return "\a"
+	case 'b':
+		return "\b"
+	case 'f':
+		return "\f"
+	case 'v':
+		return "\v"
+	default:
+		return "\\" + string(c)
+	}
+}
+
+func (l *lexer) lexName() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isNamePart(r) {
+			break
+		}
+		l.pos += size
+	}
+	l.emit(token{kind: tName, text: l.src[start:l.pos], line: l.line})
+}
+
+var pyOps = []string{
+	"**=", "//=", "...",
+	"**", "//", "==", "!=", "<=", ">=", "->", "+=", "-=", "*=", "/=", "%=",
+	"+", "-", "*", "/", "%", "(", ")", "[", "]", "{", "}", ",", ":", ";",
+	".", "<", ">", "=", "@", "&", "|", "^", "~",
+}
+
+func (l *lexer) lexOp() error {
+	for _, op := range pyOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			switch op {
+			case "(", "[", "{":
+				l.paren++
+			case ")", "]", "}":
+				if l.paren > 0 {
+					l.paren--
+				}
+			}
+			l.emit(token{kind: tOp, text: op, line: l.line})
+			l.pos += len(op)
+			return nil
+		}
+	}
+	return &SyntaxError{Line: l.line, Msg: fmt.Sprintf("unexpected character %q", l.src[l.pos])}
+}

@@ -1,0 +1,1062 @@
+package pyexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+type pparser struct {
+	toks []token
+	pos  int
+}
+
+// parsePyProgram parses a module (an expressionLib entry).
+func parsePyProgram(src string) ([]stmt, error) {
+	toks, err := lexPy(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &pparser{toks: toks}
+	var stmts []stmt
+	for !p.at(tEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	return stmts, nil
+}
+
+// parsePyExpression parses a single expression.
+func parsePyExpression(src string) (expr, error) {
+	toks, err := lexPy(strings.TrimSpace(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &pparser{toks: toks}
+	e, err := p.exprTop()
+	if err != nil {
+		return nil, err
+	}
+	p.eat(tNewline, "")
+	if !p.at(tEOF, "") {
+		return nil, p.errHere("unexpected token %q after expression", p.cur().text)
+	}
+	return e, nil
+}
+
+func (p *pparser) cur() token  { return p.toks[p.pos] }
+func (p *pparser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *pparser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *pparser) atKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tName && t.text == kw
+}
+
+func (p *pparser) eat(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *pparser) eatKw(kw string) bool {
+	if p.atKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *pparser) expect(kind tokKind, text string) error {
+	if p.eat(kind, text) {
+		return nil
+	}
+	found := p.cur().text
+	if p.cur().kind == tNewline {
+		found = "newline"
+	} else if p.cur().kind == tEOF {
+		found = "end of input"
+	} else if p.cur().kind == tIndent {
+		found = "indent"
+	} else if p.cur().kind == tDedent {
+		found = "dedent"
+	}
+	return p.errHere("expected %q, found %q", text, found)
+}
+
+func (p *pparser) errHere(format string, args ...any) error {
+	return &SyntaxError{Line: p.cur().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- Statements ---
+
+func (p *pparser) statement() (stmt, error) {
+	// Swallow stray newlines between statements.
+	for p.eat(tNewline, "") {
+	}
+	if p.at(tEOF, "") {
+		return nil, nil
+	}
+	t := p.cur()
+	if t.kind == tName {
+		switch t.text {
+		case "def":
+			return p.defStatementParse()
+		case "if":
+			return p.ifStatementParse()
+		case "while":
+			return p.whileStatementParse()
+		case "for":
+			return p.forStatementParse()
+		case "try":
+			return p.tryStatementParse()
+		case "return":
+			p.next()
+			var x expr
+			if !p.at(tNewline, "") && !p.at(tEOF, "") && !p.at(tOp, ";") {
+				var err error
+				x, err = p.exprTop()
+				if err != nil {
+					return nil, err
+				}
+			}
+			p.endSimple()
+			return &returnStatement{pos: pos{t.line}, X: x}, nil
+		case "pass":
+			p.next()
+			p.endSimple()
+			return &passStmt{pos: pos{t.line}}, nil
+		case "break":
+			p.next()
+			p.endSimple()
+			return &breakStatement{pos: pos{t.line}}, nil
+		case "continue":
+			p.next()
+			p.endSimple()
+			return &continueStatement{pos: pos{t.line}}, nil
+		case "raise":
+			p.next()
+			var x expr
+			if !p.at(tNewline, "") && !p.at(tEOF, "") {
+				var err error
+				x, err = p.exprTop()
+				if err != nil {
+					return nil, err
+				}
+			}
+			p.endSimple()
+			return &raiseStmt{pos: pos{t.line}, X: x}, nil
+		case "import", "from", "class", "with", "global", "yield", "assert", "del":
+			return nil, p.errHere("%q statements are not supported in CWL inline Python", t.text)
+		}
+	}
+	// Expression or assignment.
+	target, err := p.exprList()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "//=", "%=", "**="} {
+		if p.at(tOp, op) {
+			p.next()
+			val, err := p.exprList()
+			if err != nil {
+				return nil, err
+			}
+			if err := validTarget(target); err != nil {
+				return nil, &SyntaxError{Line: t.line, Msg: err.Error()}
+			}
+			p.endSimple()
+			return &assignStmt{pos: pos{t.line}, Target: target, Op: op, Value: val}, nil
+		}
+	}
+	p.endSimple()
+	return &exprStatement{pos: pos{t.line}, X: target}, nil
+}
+
+func validTarget(e expr) error {
+	switch x := e.(type) {
+	case *nameRef, *subscript, *attrRef:
+		return nil
+	case *tupleLit:
+		for _, el := range x.Elems {
+			if _, ok := el.(*nameRef); !ok {
+				return fmt.Errorf("unsupported assignment target in tuple")
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("invalid assignment target")
+}
+
+// endSimple consumes the statement terminator (newline or semicolon).
+func (p *pparser) endSimple() {
+	if p.eat(tOp, ";") {
+		return
+	}
+	p.eat(tNewline, "")
+}
+
+// suite parses ":" NEWLINE INDENT stmts DEDENT, or an inline simple statement.
+func (p *pparser) suite() ([]stmt, error) {
+	if err := p.expect(tOp, ":"); err != nil {
+		return nil, err
+	}
+	if !p.eat(tNewline, "") {
+		// Inline suite: one or more simple statements on the same line.
+		var stmts []stmt
+		for {
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				stmts = append(stmts, s)
+			}
+			if !p.at(tOp, ";") {
+				break
+			}
+		}
+		return stmts, nil
+	}
+	if !p.eat(tIndent, "") {
+		return nil, p.errHere("expected an indented block")
+	}
+	var stmts []stmt
+	for !p.at(tDedent, "") && !p.at(tEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	p.eat(tDedent, "")
+	return stmts, nil
+}
+
+func (p *pparser) defStatementParse() (stmt, error) {
+	t := p.next() // def
+	nameTok := p.cur()
+	if nameTok.kind != tName || pyKeywords[nameTok.text] {
+		return nil, p.errHere("expected function name")
+	}
+	p.next()
+	if err := p.expect(tOp, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	var defaults []expr
+	for !p.at(tOp, ")") {
+		pt := p.cur()
+		if pt.kind != tName || pyKeywords[pt.text] {
+			return nil, p.errHere("expected parameter name")
+		}
+		p.next()
+		params = append(params, pt.text)
+		if p.eat(tOp, "=") {
+			d, err := p.exprTop()
+			if err != nil {
+				return nil, err
+			}
+			defaults = append(defaults, d)
+		} else if len(defaults) > 0 {
+			return nil, p.errHere("non-default parameter after default parameter")
+		}
+		if !p.eat(tOp, ",") {
+			break
+		}
+	}
+	if err := p.expect(tOp, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &defStatement{pos: pos{t.line}, Name: nameTok.text, Params: params, Defaults: defaults, Body: body}, nil
+}
+
+func (p *pparser) ifStatementParse() (stmt, error) {
+	t := p.next() // if / elif
+	test, err := p.exprTop()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	node := &ifStatement{pos: pos{t.line}, Test: test, Then: then}
+	for p.eat(tNewline, "") {
+	}
+	if p.atKw("elif") {
+		elifStmt, err := p.ifStatementParse()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []stmt{elifStmt}
+	} else if p.atKw("else") {
+		p.next()
+		els, err := p.suite()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+func (p *pparser) whileStatementParse() (stmt, error) {
+	t := p.next()
+	test, err := p.exprTop()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &whileStatement{pos: pos{t.line}, Test: test, Body: body}, nil
+}
+
+func (p *pparser) forStatementParse() (stmt, error) {
+	t := p.next()
+	vars, err := p.targetNames()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eatKw("in") {
+		return nil, p.errHere("expected 'in' in for statement")
+	}
+	iter, err := p.exprList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &forStatement{pos: pos{t.line}, Vars: vars, Iter: iter, Body: body}, nil
+}
+
+func (p *pparser) targetNames() ([]string, error) {
+	var names []string
+	paren := p.eat(tOp, "(")
+	for {
+		t := p.cur()
+		if t.kind != tName || pyKeywords[t.text] {
+			return nil, p.errHere("expected loop variable name")
+		}
+		p.next()
+		names = append(names, t.text)
+		if !p.eat(tOp, ",") {
+			break
+		}
+	}
+	if paren {
+		if err := p.expect(tOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+func (p *pparser) tryStatementParse() (stmt, error) {
+	t := p.next() // try
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	node := &tryStatement{pos: pos{t.line}, Body: body}
+	for {
+		for p.eat(tNewline, "") {
+		}
+		if p.atKw("except") {
+			p.next()
+			var clause exceptClause
+			if !p.at(tOp, ":") {
+				paren := p.eat(tOp, "(")
+				for {
+					et := p.cur()
+					if et.kind != tName {
+						return nil, p.errHere("expected exception class name")
+					}
+					p.next()
+					clause.Types = append(clause.Types, et.text)
+					if !paren || !p.eat(tOp, ",") {
+						break
+					}
+				}
+				if paren {
+					if err := p.expect(tOp, ")"); err != nil {
+						return nil, err
+					}
+				}
+				if p.eatKw("as") {
+					at := p.cur()
+					if at.kind != tName {
+						return nil, p.errHere("expected name after 'as'")
+					}
+					p.next()
+					clause.As = at.text
+				}
+			}
+			cbody, err := p.suite()
+			if err != nil {
+				return nil, err
+			}
+			clause.Body = cbody
+			node.Handlers = append(node.Handlers, clause)
+			continue
+		}
+		if p.atKw("finally") {
+			p.next()
+			fbody, err := p.suite()
+			if err != nil {
+				return nil, err
+			}
+			node.Finally = fbody
+		}
+		break
+	}
+	if len(node.Handlers) == 0 && node.Finally == nil {
+		return nil, p.errHere("try without except or finally")
+	}
+	return node, nil
+}
+
+// --- Expressions ---
+
+// exprList parses comma-separated expressions into a tuple (Python's "1, 2").
+func (p *pparser) exprList() (expr, error) {
+	first, err := p.exprTop()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tOp, ",") {
+		return first, nil
+	}
+	tl := &tupleLit{pos: pos{p.cur().line}, Elems: []expr{first}}
+	for p.eat(tOp, ",") {
+		if p.at(tNewline, "") || p.at(tOp, "=") || p.at(tEOF, "") {
+			break
+		}
+		e, err := p.exprTop()
+		if err != nil {
+			return nil, err
+		}
+		tl.Elems = append(tl.Elems, e)
+	}
+	return tl, nil
+}
+
+// exprTop parses ternary / lambda level.
+func (p *pparser) exprTop() (expr, error) {
+	if p.atKw("lambda") {
+		t := p.next()
+		var params []string
+		var defaults []expr
+		for !p.at(tOp, ":") {
+			pt := p.cur()
+			if pt.kind != tName || pyKeywords[pt.text] {
+				return nil, p.errHere("expected lambda parameter")
+			}
+			p.next()
+			params = append(params, pt.text)
+			if p.eat(tOp, "=") {
+				d, err := p.exprTop()
+				if err != nil {
+					return nil, err
+				}
+				defaults = append(defaults, d)
+			}
+			if !p.eat(tOp, ",") {
+				break
+			}
+		}
+		if err := p.expect(tOp, ":"); err != nil {
+			return nil, err
+		}
+		body, err := p.exprTop()
+		if err != nil {
+			return nil, err
+		}
+		return &lambdaExpr{pos: pos{t.line}, Params: params, Defaults: defaults, Body: body}, nil
+	}
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.atKw("if") {
+		t := p.next()
+		test, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eatKw("else") {
+			return nil, p.errHere("expected 'else' in conditional expression")
+		}
+		els, err := p.exprTop()
+		if err != nil {
+			return nil, err
+		}
+		return &ternary{pos: pos{t.line}, Then: e, Test: test, Else: els}, nil
+	}
+	return e, nil
+}
+
+func (p *pparser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("or") {
+		t := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &boolOp{pos: pos{t.line}, Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *pparser) andExpr() (expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("and") {
+		t := p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &boolOp{pos: pos{t.line}, Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *pparser) notExpr() (expr, error) {
+	if p.atKw("not") {
+		t := p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryOp{pos: pos{t.line}, Op: "not", X: x}, nil
+	}
+	return p.comparison()
+}
+
+var compOps = map[string]bool{"==": true, "!=": true, "<": true, ">": true, "<=": true, ">=": true}
+
+func (p *pparser) comparison() (expr, error) {
+	l, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	var ops []string
+	var rest []expr
+	for {
+		var op string
+		switch {
+		case p.cur().kind == tOp && compOps[p.cur().text]:
+			op = p.next().text
+		case p.atKw("in"):
+			p.next()
+			op = "in"
+		case p.atKw("not"):
+			// "not in"
+			save := p.pos
+			p.next()
+			if !p.eatKw("in") {
+				p.pos = save
+				goto done
+			}
+			op = "not in"
+		case p.atKw("is"):
+			p.next()
+			if p.eatKw("not") {
+				op = "is not"
+			} else {
+				op = "is"
+			}
+		default:
+			goto done
+		}
+		r, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		rest = append(rest, r)
+	}
+done:
+	if len(ops) == 0 {
+		return l, nil
+	}
+	return &compare{pos: pos{l.exprLine()}, First: l, Ops: ops, Rest: rest}, nil
+}
+
+func (p *pparser) arith() (expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tOp, "+") || p.at(tOp, "-") {
+		t := p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &binOp{pos: pos{t.line}, Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *pparser) term() (expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tOp, "*") || p.at(tOp, "/") || p.at(tOp, "//") || p.at(tOp, "%") {
+		t := p.next()
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &binOp{pos: pos{t.line}, Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *pparser) factor() (expr, error) {
+	if p.at(tOp, "-") || p.at(tOp, "+") {
+		t := p.next()
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryOp{pos: pos{t.line}, Op: t.text, X: x}, nil
+	}
+	return p.power()
+}
+
+func (p *pparser) power() (expr, error) {
+	l, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tOp, "**") {
+		t := p.next()
+		r, err := p.factor() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &binOp{pos: pos{t.line}, Op: "**", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *pparser) postfix() (expr, error) {
+	x, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tOp, "."):
+			p.next()
+			t := p.cur()
+			if t.kind != tName {
+				return nil, p.errHere("expected attribute name after '.'")
+			}
+			p.next()
+			x = &attrRef{pos: pos{t.line}, Obj: x, Name: t.text}
+		case p.at(tOp, "["):
+			t := p.next()
+			// Slice or index.
+			var low, high, step expr
+			hasColon := false
+			if !p.at(tOp, ":") {
+				low, err = p.exprTop()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if p.eat(tOp, ":") {
+				hasColon = true
+				if !p.at(tOp, ":") && !p.at(tOp, "]") {
+					high, err = p.exprTop()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if p.eat(tOp, ":") {
+					if !p.at(tOp, "]") {
+						step, err = p.exprTop()
+						if err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			if err := p.expect(tOp, "]"); err != nil {
+				return nil, err
+			}
+			if hasColon {
+				x = &sliceExpr{pos: pos{t.line}, Obj: x, Low: low, High: high, Step_: step}
+			} else {
+				x = &subscript{pos: pos{t.line}, Obj: x, Key: low}
+			}
+		case p.at(tOp, "("):
+			t := p.next()
+			c := &callExpr{pos: pos{t.line}, Fn: x}
+			for !p.at(tOp, ")") {
+				// keyword argument?
+				if p.cur().kind == tName && !pyKeywords[p.cur().text] && p.toks[p.pos+1].kind == tOp && p.toks[p.pos+1].text == "=" {
+					kw := p.next().text
+					p.next() // =
+					v, err := p.exprTop()
+					if err != nil {
+						return nil, err
+					}
+					c.KwName = append(c.KwName, kw)
+					c.KwVal = append(c.KwVal, v)
+				} else {
+					a, err := p.exprTop()
+					if err != nil {
+						return nil, err
+					}
+					if len(c.KwName) > 0 {
+						return nil, p.errHere("positional argument after keyword argument")
+					}
+					c.Args = append(c.Args, a)
+				}
+				if !p.eat(tOp, ",") {
+					break
+				}
+			}
+			if err := p.expect(tOp, ")"); err != nil {
+				return nil, err
+			}
+			x = c
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *pparser) atom() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNum:
+		p.next()
+		if t.isInt {
+			return &intLit{pos: pos{t.line}, V: t.ival}, nil
+		}
+		return &floatLit{pos: pos{t.line}, V: t.num}, nil
+	case tStr:
+		p.next()
+		// Adjacent string literal concatenation.
+		s := t.text
+		for p.cur().kind == tStr {
+			s += p.next().text
+		}
+		return &strLit{pos: pos{t.line}, V: s}, nil
+	case tFStr:
+		p.next()
+		return parseFString(t.text, t.line)
+	case tName:
+		switch t.text {
+		case "True", "False":
+			p.next()
+			return &boolLit{pos: pos{t.line}, V: t.text == "True"}, nil
+		case "None":
+			p.next()
+			return &noneLit{pos: pos{t.line}}, nil
+		}
+		if pyKeywords[t.text] && t.text != "lambda" {
+			return nil, p.errHere("unexpected keyword %q", t.text)
+		}
+		p.next()
+		return &nameRef{pos: pos{t.line}, Name: t.text}, nil
+	case tOp:
+		switch t.text {
+		case "(":
+			p.next()
+			if p.eat(tOp, ")") {
+				return &tupleLit{pos: pos{t.line}}, nil
+			}
+			e, err := p.exprTop()
+			if err != nil {
+				return nil, err
+			}
+			if p.at(tOp, ",") {
+				tl := &tupleLit{pos: pos{t.line}, Elems: []expr{e}}
+				for p.eat(tOp, ",") {
+					if p.at(tOp, ")") {
+						break
+					}
+					e2, err := p.exprTop()
+					if err != nil {
+						return nil, err
+					}
+					tl.Elems = append(tl.Elems, e2)
+				}
+				if err := p.expect(tOp, ")"); err != nil {
+					return nil, err
+				}
+				return tl, nil
+			}
+			if err := p.expect(tOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			p.next()
+			if p.eat(tOp, "]") {
+				return &listLit{pos: pos{t.line}}, nil
+			}
+			first, err := p.exprTop()
+			if err != nil {
+				return nil, err
+			}
+			if p.atKw("for") {
+				// list comprehension
+				p.next()
+				vars, err := p.targetNames()
+				if err != nil {
+					return nil, err
+				}
+				if !p.eatKw("in") {
+					return nil, p.errHere("expected 'in' in comprehension")
+				}
+				iter, err := p.orExpr()
+				if err != nil {
+					return nil, err
+				}
+				var cond expr
+				if p.eatKw("if") {
+					cond, err = p.orExpr()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if err := p.expect(tOp, "]"); err != nil {
+					return nil, err
+				}
+				return &listComp{pos: pos{t.line}, Out: first, Vars: vars, Iter: iter, Cond: cond}, nil
+			}
+			ll := &listLit{pos: pos{t.line}, Elems: []expr{first}}
+			for p.eat(tOp, ",") {
+				if p.at(tOp, "]") {
+					break
+				}
+				e, err := p.exprTop()
+				if err != nil {
+					return nil, err
+				}
+				ll.Elems = append(ll.Elems, e)
+			}
+			if err := p.expect(tOp, "]"); err != nil {
+				return nil, err
+			}
+			return ll, nil
+		case "{":
+			p.next()
+			if p.eat(tOp, "}") {
+				return &dictLit{pos: pos{t.line}}, nil
+			}
+			firstKey, err := p.exprTop()
+			if err != nil {
+				return nil, err
+			}
+			if p.at(tOp, ":") {
+				p.next()
+				firstVal, err := p.exprTop()
+				if err != nil {
+					return nil, err
+				}
+				dl := &dictLit{pos: pos{t.line}, Keys: []expr{firstKey}, Vals: []expr{firstVal}}
+				for p.eat(tOp, ",") {
+					if p.at(tOp, "}") {
+						break
+					}
+					k, err := p.exprTop()
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expect(tOp, ":"); err != nil {
+						return nil, err
+					}
+					v, err := p.exprTop()
+					if err != nil {
+						return nil, err
+					}
+					dl.Keys = append(dl.Keys, k)
+					dl.Vals = append(dl.Vals, v)
+				}
+				if err := p.expect(tOp, "}"); err != nil {
+					return nil, err
+				}
+				return dl, nil
+			}
+			// set literal
+			sl := &setLit{pos: pos{t.line}, Elems: []expr{firstKey}}
+			for p.eat(tOp, ",") {
+				if p.at(tOp, "}") {
+					break
+				}
+				e, err := p.exprTop()
+				if err != nil {
+					return nil, err
+				}
+				sl.Elems = append(sl.Elems, e)
+			}
+			if err := p.expect(tOp, "}"); err != nil {
+				return nil, err
+			}
+			return sl, nil
+		}
+	}
+	found := t.text
+	switch t.kind {
+	case tNewline:
+		found = "newline"
+	case tEOF:
+		found = "end of input"
+	}
+	return nil, p.errHere("unexpected %q", found)
+}
+
+// parseFString splits an f-string body into literal and expression parts.
+func parseFString(body string, line int) (expr, error) {
+	node := &fstrLit{pos: pos{line}}
+	var lit strings.Builder
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		if c == '{' {
+			if i+1 < len(body) && body[i+1] == '{' {
+				lit.WriteByte('{')
+				i += 2
+				continue
+			}
+			if lit.Len() > 0 {
+				node.Parts = append(node.Parts, fstrPart{Text: unescapeLit(lit.String())})
+				lit.Reset()
+			}
+			// Find the matching close brace, respecting nesting and quotes.
+			depth := 1
+			j := i + 1
+			for j < len(body) && depth > 0 {
+				switch body[j] {
+				case '{':
+					depth++
+				case '}':
+					depth--
+				case '\'', '"':
+					q := body[j]
+					j++
+					for j < len(body) && body[j] != q {
+						j++
+					}
+				}
+				j++
+			}
+			if depth != 0 {
+				return nil, &SyntaxError{Line: line, Msg: "unbalanced braces in f-string"}
+			}
+			inner := body[i+1 : j-1]
+			part := fstrPart{}
+			// Conversion: !r or !s before format spec.
+			if k := strings.LastIndex(inner, "!"); k >= 0 && k+1 < len(inner) && (inner[k+1] == 'r' || inner[k+1] == 's') && (k+2 == len(inner) || inner[k+2] == ':') {
+				part.Conv = inner[k+1]
+				rest := inner[k+2:]
+				inner = inner[:k]
+				if strings.HasPrefix(rest, ":") {
+					part.Spec = rest[1:]
+				}
+			} else if k := topLevelColon(inner); k >= 0 {
+				part.Spec = inner[k+1:]
+				inner = inner[:k]
+			}
+			e, err := parsePyExpression(inner)
+			if err != nil {
+				return nil, err
+			}
+			part.Expr = e
+			node.Parts = append(node.Parts, part)
+			i = j
+			continue
+		}
+		if c == '}' {
+			if i+1 < len(body) && body[i+1] == '}' {
+				lit.WriteByte('}')
+				i += 2
+				continue
+			}
+			return nil, &SyntaxError{Line: line, Msg: "single '}' in f-string"}
+		}
+		lit.WriteByte(c)
+		i++
+	}
+	if lit.Len() > 0 {
+		node.Parts = append(node.Parts, fstrPart{Text: unescapeLit(lit.String())})
+	}
+	return node, nil
+}
+
+// topLevelColon finds a ':' outside brackets/quotes (format spec separator).
+func topLevelColon(s string) int {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		case '\'', '"':
+			q := s[i]
+			i++
+			for i < len(s) && s[i] != q {
+				i++
+			}
+		case ':':
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// unescapeLit processes backslash escapes kept raw during f-string lexing.
+func unescapeLit(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			b.WriteString(unescapePy(s[i+1]))
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

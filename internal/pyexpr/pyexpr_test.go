@@ -1,0 +1,820 @@
+package pyexpr
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/yamlx"
+)
+
+func evalP(t *testing.T, src string, vars map[string]any) any {
+	t.Helper()
+	v, err := New().EvalExpr(src, vars)
+	if err != nil {
+		t.Fatalf("EvalExpr(%q): %v", src, err)
+	}
+	return v
+}
+
+func bodyP(t *testing.T, src string, vars map[string]any) any {
+	t.Helper()
+	v, err := New().EvalBody(src, vars)
+	if err != nil {
+		t.Fatalf("EvalBody(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestPyLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-3", int64(-3)},
+		{"3.5", 3.5},
+		{"1_000_000", int64(1000000)},
+		{"1e3", 1000.0},
+		{`"hello"`, "hello"},
+		{"'world'", "world"},
+		{`"a\nb"`, "a\nb"},
+		{"True", true},
+		{"False", false},
+		{"None", nil},
+		{`"con" "cat"`, "concat"},
+		{`r"raw\n"`, `raw\n`},
+	}
+	for _, c := range cases {
+		if got := evalP(t, c.src, nil); got != c.want {
+			t.Errorf("%s = %#v (%T), want %#v", c.src, got, got, c.want)
+		}
+	}
+}
+
+func TestPyArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"1 + 2", int64(3)},
+		{"7 - 10", int64(-3)},
+		{"6 * 7", int64(42)},
+		{"7 / 2", 3.5}, // true division
+		{"7 // 2", int64(3)},
+		{"-7 // 2", int64(-4)}, // floor division
+		{"7 % 3", int64(1)},
+		{"-7 % 3", int64(2)}, // Python modulo sign
+		{"2 ** 10", int64(1024)},
+		{"2 ** -1", 0.5},
+		{"1 + 2 * 3", int64(7)},
+		{"(1 + 2) * 3", int64(9)},
+		{"1.5 + 1", 2.5},
+		{"True + 1", int64(2)},
+		{`"ab" + "cd"`, "abcd"},
+		{`"ab" * 3`, "ababab"},
+		{"10 / 4", 2.5},
+	}
+	for _, c := range cases {
+		if got := evalP(t, c.src, nil); got != c.want {
+			t.Errorf("%s = %#v (%T), want %#v", c.src, got, got, c.want)
+		}
+	}
+}
+
+func TestPyDivisionByZero(t *testing.T) {
+	for _, src := range []string{"1 / 0", "1 // 0", "1 % 0"} {
+		_, err := New().EvalExpr(src, nil)
+		r, ok := err.(*Raised)
+		if !ok || r.Exc.Type != "ZeroDivisionError" {
+			t.Errorf("%s: err = %v", src, err)
+		}
+	}
+}
+
+func TestPyComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"1 == 1.0", true},
+		{"1 != 2", true},
+		{`"a" < "b"`, true},
+		{"1 < 2 < 3", true},  // chained
+		{"1 < 2 > 3", false}, // chained
+		{"0 <= 5 <= 10", true},
+		{"[1, 2] == [1, 2]", true},
+		{"(1, 2) == (1, 2)", true},
+		{"[1, 2] < [1, 3]", true},
+		{"{'a': 1} == {'a': 1}", true},
+		{"None is None", true},
+		{"None is not None", false},
+		{"1 in [1, 2]", true},
+		{"3 not in [1, 2]", true},
+		{`"ell" in "hello"`, true},
+		{`"k" in {"k": 1}`, true},
+		{"2 in range(5)", true},
+		{"7 in range(5)", false},
+		{"True and False", false},
+		{"True or False", true},
+		{"not True", false},
+		{`"" or "fallback"`, "fallback"},
+		{"0 and 1", int64(0)},
+	}
+	for _, c := range cases {
+		if got := evalP(t, c.src, nil); got != c.want {
+			t.Errorf("%s = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPyTernaryAndLambda(t *testing.T) {
+	if got := evalP(t, `"yes" if 1 < 2 else "no"`, nil); got != "yes" {
+		t.Errorf("ternary = %#v", got)
+	}
+	if got := evalP(t, "(lambda x: x * 2)(21)", nil); got != int64(42) {
+		t.Errorf("lambda = %#v", got)
+	}
+	if got := evalP(t, "(lambda x, y=10: x + y)(5)", nil); got != int64(15) {
+		t.Errorf("lambda default = %#v", got)
+	}
+}
+
+func TestPyStringMethods(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{`"hello world".title()`, "Hello World"},
+		{`"hELLO wORLD".title()`, "Hello World"},
+		{`"hello".upper()`, "HELLO"},
+		{`"HELLO".lower()`, "hello"},
+		{`"hello".capitalize()`, "Hello"},
+		{`"  x  ".strip()`, "x"},
+		{`"xxhixx".strip("x")`, "hi"},
+		{`"  x".lstrip()`, "x"},
+		{`"x  ".rstrip()`, "x"},
+		{`"a,b,c".split(",")[1]`, "b"},
+		{`len("a b  c".split())`, int64(3)},
+		{`"a,b,c".split(",", 1)[1]`, "b,c"},
+		{`"-".join(["a", "b"])`, "a-b"},
+		{`"hello".replace("l", "L")`, "heLLo"},
+		{`"data.csv".endswith(".csv")`, true},
+		{`"data.csv".endswith((".tsv", ".csv"))`, true},
+		{`"data.csv".startswith("data")`, true},
+		{`"hello".find("ll")`, int64(2)},
+		{`"hello".find("z")`, int64(-1)},
+		{`"hello".count("l")`, int64(2)},
+		{`"5".zfill(3)`, "005"},
+		{`"-5".zfill(4)`, "-005"},
+		{`"abc".ljust(5, ".")`, "abc.."},
+		{`"abc".rjust(5, ".")`, "..abc"},
+		{`"123".isdigit()`, true},
+		{`"12a".isdigit()`, false},
+		{`"abc".isalpha()`, true},
+		{`"   ".isspace()`, true},
+		{`"abc123".isalnum()`, true},
+		{`"abc".islower()`, true},
+		{`"ABC".isupper()`, true},
+		{`"a\nb".splitlines()[1]`, "b"},
+		{`"{} and {}".format(1, "two")`, "1 and two"},
+		{`"{1}{0}".format("a", "b")`, "ba"},
+		{`"{name}!".format(name="hi")`, "hi!"},
+		{`"%s=%d" % ("x", 5)`, "x=5"},
+		{`"%.2f" % 3.14159`, "3.14"},
+		{`len("héllo")`, int64(5)}, // rune length
+		{`"hello"[1]`, "e"},
+		{`"hello"[-1]`, "o"},
+		{`"hello"[1:3]`, "el"},
+		{`"hello"[:2]`, "he"},
+		{`"hello"[2:]`, "llo"},
+		{`"hello"[::-1]`, "olleh"},
+		{`"hello"[::2]`, "hlo"},
+	}
+	for _, c := range cases {
+		if got := evalP(t, c.src, nil); got != c.want {
+			t.Errorf("%s = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPyFStrings(t *testing.T) {
+	vars := map[string]any{"name": "world", "n": int64(7), "pi": 3.14159}
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`f"hello {name}"`, "hello world"},
+		{`f"{n} + 1 = {n + 1}"`, "7 + 1 = 8"},
+		{`f"{pi:.2f}"`, "3.14"},
+		{`f"{n:04d}"`, "0007"},
+		{`f"{name:>10}"`, "     world"},
+		{`f"{name:<10}|"`, "world     |"},
+		{`f"{{literal}}"`, "{literal}"},
+		{`f"{name!r}"`, "'world'"},
+		{`f"{name.upper()}"`, "WORLD"},
+		{`f"{'a' + 'b'}"`, "ab"},
+		{`f""`, ""},
+		{`f"{1000000:,d}"`, "1,000,000"},
+	}
+	for _, c := range cases {
+		if got := evalP(t, c.src, vars); got != c.want {
+			t.Errorf("%s = %#v, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPyListsAndDicts(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // JSON
+	}{
+		{"[1, 2, 3]", "[1,2,3]"},
+		{"[1, 2][0]", "1"},
+		{"[1, 2, 3][-1]", "3"},
+		{"[1, 2, 3][1:]", "[2,3]"},
+		{"[3, 1, 2]", "[3,1,2]"},
+		{"sorted([3, 1, 2])", "[1,2,3]"},
+		{"sorted([3, 1, 2], reverse=True)", "[3,2,1]"},
+		{`sorted(["bb", "a"], key=lambda s: len(s))`, `["a","bb"]`},
+		{"list(range(4))", "[0,1,2,3]"},
+		{"list(range(1, 7, 2))", "[1,3,5]"},
+		{"list(range(5, 0, -1))", "[5,4,3,2,1]"},
+		{"len([1, 2])", "2"},
+		{"sum([1, 2, 3])", "6"},
+		{"min([3, 1, 2])", "1"},
+		{"max(3, 1, 2)", "3"},
+		{"any([False, True])", "true"},
+		{"all([True, True])", "true"},
+		{"list(reversed([1, 2, 3]))", "[3,2,1]"},
+		{"[x * 2 for x in [1, 2, 3]]", "[2,4,6]"},
+		{"[x for x in range(10) if x % 3 == 0]", "[0,3,6,9]"},
+		{"[k for k, v in {'a': 1, 'b': 2}.items()]", `["a","b"]`},
+		{`{"a": 1}["a"]`, "1"},
+		{`{"a": 1}.get("b", 99)`, "99"},
+		{`list({"a": 1, "b": 2}.keys())`, `["a","b"]`},
+		{`list({"a": 1, "b": 2}.values())`, "[1,2]"},
+		{"list(zip([1, 2], ['a', 'b']))[1]", `[2,"b"]`},
+		{"list(enumerate(['x', 'y']))[1]", `[1,"y"]`},
+		{"(1, 2, 3)[1]", "2"},
+		{"len(set([1, 2, 2, 3]))", "3"},
+		{"[1, 2] + [3]", "[1,2,3]"},
+		{"[0] * 3", "[0,0,0]"},
+	}
+	for _, c := range cases {
+		got := evalP(t, c.src, nil)
+		b, err := json.Marshal(got)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if string(b) != c.want {
+			t.Errorf("%s = %s, want %s", c.src, b, c.want)
+		}
+	}
+}
+
+func TestPyBuiltinConversions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{`int("42")`, int64(42)},
+		{"int(3.9)", int64(3)},
+		{"int(True)", int64(1)},
+		{`float("2.5")`, 2.5},
+		{"float(2)", 2.0},
+		{"str(42)", "42"},
+		{"str(2.5)", "2.5"},
+		{"str(None)", "None"},
+		{"str(True)", "True"},
+		{"str([1, 'a'])", "[1, 'a']"},
+		{"repr('x')", "'x'"},
+		{"bool([])", false},
+		{"bool([0])", true},
+		{"abs(-2.5)", 2.5},
+		{"round(2.675, 2)", 2.68},
+		{"round(2.5)", int64(3)},
+		{"type(1)", "int"},
+		{"type('x')", "str"},
+		{"isinstance(1, int)", true},
+		{"isinstance('a', str)", true},
+		{"isinstance(1, str)", false},
+		{"isinstance(1, (str, int))", true},
+		{"isinstance(True, int)", true},
+	}
+	for _, c := range cases {
+		if got := evalP(t, c.src, nil); got != c.want {
+			t.Errorf("%s = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPyIntError(t *testing.T) {
+	_, err := New().EvalExpr(`int("abc")`, nil)
+	r, ok := err.(*Raised)
+	if !ok || r.Exc.Type != "ValueError" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPyDefAndCall(t *testing.T) {
+	ip := New()
+	err := ip.LoadLib(`
+def double(x):
+    return x * 2
+
+def greet(name, punct="!"):
+    return "Hello, " + name + punct
+
+BASE = 100
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ip.EvalExpr("double(21)", nil); err != nil || v != int64(42) {
+		t.Errorf("double = %#v err=%v", v, err)
+	}
+	if v, err := ip.EvalExpr(`greet("CWL")`, nil); err != nil || v != "Hello, CWL!" {
+		t.Errorf("greet = %#v err=%v", v, err)
+	}
+	if v, err := ip.EvalExpr(`greet("CWL", punct="?")`, nil); err != nil || v != "Hello, CWL?" {
+		t.Errorf("greet kw = %#v err=%v", v, err)
+	}
+	if v, err := ip.EvalExpr("BASE + 1", nil); err != nil || v != int64(101) {
+		t.Errorf("BASE = %#v err=%v", v, err)
+	}
+}
+
+func TestPyCallAPI(t *testing.T) {
+	ip := New()
+	if err := ip.LoadLib("def add(a, b):\n    return a + b\n"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ip.Call("add", int64(2), int64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(5) {
+		t.Errorf("v = %#v", v)
+	}
+	if _, err := ip.Call("missing"); err == nil {
+		t.Error("expected error for missing function")
+	}
+}
+
+func TestPyControlFlow(t *testing.T) {
+	v := bodyP(t, `
+total = 0
+for i in range(1, 11):
+    if i % 2 == 0:
+        continue
+    if i > 8:
+        break
+    total += i
+return total
+`, nil)
+	if v != int64(16) { // 1+3+5+7
+		t.Errorf("total = %#v", v)
+	}
+}
+
+func TestPyWhile(t *testing.T) {
+	v := bodyP(t, `
+n = 1
+count = 0
+while n < 100:
+    n = n * 2
+    count += 1
+return count
+`, nil)
+	if v != int64(7) {
+		t.Errorf("count = %#v", v)
+	}
+}
+
+func TestPyElifChain(t *testing.T) {
+	src := `
+def classify(n):
+    if n < 0:
+        return "neg"
+    elif n == 0:
+        return "zero"
+    elif n < 10:
+        return "small"
+    else:
+        return "big"
+return [classify(-1), classify(0), classify(5), classify(50)]
+`
+	v := bodyP(t, src, nil)
+	b, _ := json.Marshal(v)
+	if string(b) != `["neg","zero","small","big"]` {
+		t.Errorf("got %s", b)
+	}
+}
+
+func TestPyRecursion(t *testing.T) {
+	v := bodyP(t, `
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+return fib(15)
+`, nil)
+	if v != int64(610) {
+		t.Errorf("fib = %#v", v)
+	}
+}
+
+func TestPyClosures(t *testing.T) {
+	v := bodyP(t, `
+def make_adder(n):
+    def add(x):
+        return x + n
+    return add
+add5 = make_adder(5)
+return add5(10)
+`, nil)
+	if v != int64(15) {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestPyTupleUnpack(t *testing.T) {
+	v := bodyP(t, `
+a, b = (1, 2)
+pairs = [(1, "x"), (2, "y")]
+out = []
+for n, s in pairs:
+    out.append(s * n)
+return [a, b, out]
+`, nil)
+	b, _ := json.Marshal(v)
+	if string(b) != `[1,2,["x","yy"]]` {
+		t.Errorf("got %s", b)
+	}
+}
+
+func TestPyRaiseAndCatch(t *testing.T) {
+	v := bodyP(t, `
+def risky(x):
+    if x < 0:
+        raise ValueError("negative input")
+    return x
+
+try:
+    risky(-1)
+except ValueError as e:
+    return "caught: " + str(e)
+`, nil)
+	if v != "caught: negative input" {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestPyUncaughtRaise(t *testing.T) {
+	_, err := New().EvalBody(`raise Exception("boom")`, nil)
+	r, ok := err.(*Raised)
+	if !ok || r.Exc.Type != "Exception" || r.Exc.Msg != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPyExceptHierarchy(t *testing.T) {
+	// except Exception catches ValueError.
+	v := bodyP(t, `
+try:
+    raise ValueError("ve")
+except Exception:
+    return "caught"
+`, nil)
+	if v != "caught" {
+		t.Errorf("v = %#v", v)
+	}
+	// except KeyError does NOT catch ValueError.
+	_, err := New().EvalBody(`
+try:
+    raise ValueError("ve")
+except KeyError:
+    return "wrong"
+`, nil)
+	if err == nil {
+		t.Error("ValueError should escape except KeyError")
+	}
+}
+
+func TestPyFinally(t *testing.T) {
+	ip := New()
+	v, err := ip.EvalBody(`
+log = []
+try:
+    log.append("try")
+    raise ValueError("x")
+except ValueError:
+    log.append("except")
+finally:
+    log.append("finally")
+return log
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(v)
+	if string(b) != `["try","except","finally"]` {
+		t.Errorf("got %s", b)
+	}
+}
+
+func TestPyRuntimeErrorsCatchable(t *testing.T) {
+	v := bodyP(t, `
+try:
+    x = [1, 2][10]
+except IndexError:
+    return "index"
+`, nil)
+	if v != "index" {
+		t.Errorf("v = %#v", v)
+	}
+	v = bodyP(t, `
+try:
+    x = {"a": 1}["b"]
+except KeyError:
+    return "key"
+`, nil)
+	if v != "key" {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestPyInfiniteLoopBudget(t *testing.T) {
+	ip := New()
+	ip.SetMaxSteps(10_000)
+	_, err := ip.EvalBody("while True:\n    pass\n", nil)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPySyntaxErrors(t *testing.T) {
+	bad := []string{
+		"def f(:\n    pass",
+		"1 +",
+		"if True\n    pass",
+		"import os",
+		"class X:\n    pass",
+		"x = = 2",
+		"'unterminated",
+	}
+	for _, src := range bad {
+		if _, err := New().EvalBody(src, nil); err == nil {
+			t.Errorf("EvalBody(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPyIndentationError(t *testing.T) {
+	_, err := New().EvalBody("if True:\n    x = 1\n   y = 2\n", nil)
+	if err == nil {
+		t.Fatal("expected inconsistent indentation error")
+	}
+}
+
+func TestPyPrintCapture(t *testing.T) {
+	ip := New()
+	_, err := ip.EvalBody(`print("a", 1, sep="-")`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Stdout.String() != "a-1\n" {
+		t.Errorf("stdout = %q", ip.Stdout.String())
+	}
+}
+
+func TestPyDocstringsIgnored(t *testing.T) {
+	ip := New()
+	err := ip.LoadLib(`
+def documented(x):
+    """
+    This is a docstring.
+
+    Args:
+        x: a thing
+    """
+    return x
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ip.Call("documented", int64(1)); err != nil || v != int64(1) {
+		t.Errorf("v = %#v err = %v", v, err)
+	}
+}
+
+func TestPaperListing5CapitalizeWords(t *testing.T) {
+	// Verbatim function from the paper's Listing 5.
+	ip := New()
+	err := ip.LoadLib(`
+def capitalize_words(message):
+    """
+    Capitalize each word in the given message.
+
+    Args:
+        message (str): The input message.
+
+    Returns:
+        str: The message with each word capitalized.
+    """
+    return message.title()
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ip.Call("capitalize_words", "hello, world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "Hello, World" {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestPaperListing6ValidFile(t *testing.T) {
+	// Verbatim function from the paper's Listing 6.
+	ip := New()
+	err := ip.LoadLib(`
+def valid_file(file, ext):
+    """
+    Check if a file is valid
+
+    Args:
+        file (str): Path to the file
+        ext (str): Expected file extension
+
+    Raises:
+        Exception: If the file is invalid
+    """
+    if not file.lower().endswith(ext):
+        raise Exception(f"Invalid file. Expected '{ext}'")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Call("valid_file", "data.CSV", ".csv"); err != nil {
+		t.Errorf("valid csv rejected: %v", err)
+	}
+	_, err = ip.Call("valid_file", "data.txt", ".csv")
+	r, ok := err.(*Raised)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(r.Exc.Msg, "Expected '.csv'") {
+		t.Errorf("msg = %q", r.Exc.Msg)
+	}
+}
+
+func TestPyConversionBoundary(t *testing.T) {
+	ip := New()
+	vars := map[string]any{
+		"inputs": yamlx.MapOf(
+			"count", int64(5),
+			"names", []any{"a", "b"},
+			"file", yamlx.MapOf("basename", "x.csv"),
+		),
+	}
+	// Dict attribute access extension: file.basename works like CWL users expect.
+	if v, err := ip.EvalExpr(`inputs["file"].basename`, vars); err != nil || v != "x.csv" {
+		t.Errorf("attr = %#v err=%v", v, err)
+	}
+	if v, err := ip.EvalExpr(`inputs["names"][1]`, vars); err != nil || v != "b" {
+		t.Errorf("idx = %#v err=%v", v, err)
+	}
+	// int64 stays int64 through the boundary (no float mangling like JS).
+	if v, err := ip.EvalExpr(`inputs["count"] + 1`, vars); err != nil || v != int64(6) {
+		t.Errorf("count = %#v err=%v", v, err)
+	}
+}
+
+// Property: Python arithmetic on int64 matches Go for + - * and Python
+// floor-division/modulo laws hold: (a//b)*b + a%b == a.
+func TestPyArithmeticProperty(t *testing.T) {
+	ip := New()
+	f := func(a, b int16) bool {
+		v, err := ip.EvalExpr("a + b * 3 - a * b", map[string]any{"a": int64(a), "b": int64(b)})
+		if err != nil {
+			return false
+		}
+		if v != int64(a)+int64(b)*3-int64(a)*int64(b) {
+			return false
+		}
+		if b == 0 {
+			return true
+		}
+		v2, err := ip.EvalExpr("(a // b) * b + a % b == a", map[string]any{"a": int64(a), "b": int64(b)})
+		if err != nil {
+			return false
+		}
+		return v2 == true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: title() is idempotent.
+func TestPyTitleIdempotentProperty(t *testing.T) {
+	f := func(words []string) bool {
+		s := strings.Join(words, " ")
+		once := pyTitle(s)
+		twice := pyTitle(once)
+		return once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ToPy/FromPy round-trips document values exactly (ints preserved).
+func TestPyConversionRoundTripProperty(t *testing.T) {
+	f := func(n int64, s string, b bool) bool {
+		in := []any{n, s, b, nil, []any{n, s}, map[string]any{"k": n}}
+		out := FromPy(ToPy(in))
+		outs, ok := out.([]any)
+		if !ok || len(outs) != 6 {
+			return false
+		}
+		if outs[0] != n || outs[1] != s || outs[2] != b || outs[3] != nil {
+			return false
+		}
+		inner, ok := outs[4].([]any)
+		if !ok || inner[0] != n || inner[1] != s {
+			return false
+		}
+		m, ok := outs[5].(*yamlx.Map)
+		return ok && m.Value("k") == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPySortStability(t *testing.T) {
+	v := bodyP(t, `
+pairs = [("b", 1), ("a", 2), ("b", 0), ("a", 1)]
+s = sorted(pairs, key=lambda p: p[0])
+return [p[1] for p in s]
+`, nil)
+	b, _ := json.Marshal(v)
+	if string(b) != "[2,1,1,0]" {
+		t.Errorf("got %s (stability violated)", b)
+	}
+}
+
+func TestPyListMutation(t *testing.T) {
+	v := bodyP(t, `
+l = [1, 2, 3]
+l.append(4)
+l.extend([5, 6])
+l.remove(2)
+l.insert(0, 0)
+popped = l.pop()
+l.reverse()
+return [l, popped, l.count(3), l.index(4)]
+`, nil)
+	b, _ := json.Marshal(v)
+	if string(b) != `[[5,4,3,1,0],6,1,1]` {
+		t.Errorf("got %s", b)
+	}
+}
+
+func TestPyDictMutation(t *testing.T) {
+	v := bodyP(t, `
+d = {"a": 1}
+d["b"] = 2
+d.update({"c": 3})
+d.setdefault("d", 4)
+d.pop("a")
+return d
+`, nil)
+	b, _ := json.Marshal(v)
+	if string(b) != `{"b":2,"c":3,"d":4}` {
+		t.Errorf("got %s", b)
+	}
+}
+
+func TestPyNameError(t *testing.T) {
+	_, err := New().EvalExpr("missing_name", nil)
+	r, ok := err.(*Raised)
+	if !ok || r.Exc.Type != "NameError" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPySemicolonsAndInlineSuites(t *testing.T) {
+	v := bodyP(t, "x = 1; y = 2\nif x < y: return \"lt\"\nreturn \"ge\"", nil)
+	if v != "lt" {
+		t.Errorf("v = %#v", v)
+	}
+}

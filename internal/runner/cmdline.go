@@ -1,0 +1,242 @@
+// Package runner implements the CWL execution semantics shared by every
+// engine in this repository (the Parsl-CWL integration and the cwltool/Toil
+// baseline architectures): input processing, command-line construction per
+// the CWL binding rules, job staging, output collection, and a dataflow
+// workflow engine. Runners differ in *how* jobs are dispatched, not in what
+// a job means — keeping CWL behaviour identical across the systems the paper
+// compares.
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cwl"
+	"repro/internal/cwlexpr"
+	"repro/internal/yamlx"
+)
+
+// cmdPart is one command-line element with its CWL sorting key: entries sort
+// by position, then arguments (numeric keys) before inputs (string keys),
+// then by key.
+type cmdPart struct {
+	position int
+	argIdx   int    // for arguments entries
+	inputKey string // for input entries ("" for arguments)
+	tokens   []string
+	noQuote  bool // shellQuote: false
+}
+
+// BuildCommandLine constructs the argv for a tool invocation following the
+// CWL v1.2 binding rules. inputs must already be processed (defaults applied,
+// types coerced). The returned parts preserve shellQuote information for
+// ShellCommandRequirement handling.
+func BuildCommandLine(tool *cwl.CommandLineTool, inputs *yamlx.Map, eng *cwlexpr.Engine, runtime *yamlx.Map) ([]string, []cmdPart, error) {
+	ctx := cwlexpr.Context{Inputs: inputs, Runtime: runtime}
+	var parts []cmdPart
+
+	for i, arg := range tool.Arguments {
+		p := cmdPart{argIdx: i}
+		b := arg.Binding
+		if b != nil {
+			if b.HasPosition {
+				pos, err := resolvePosition(b, eng, ctx)
+				if err != nil {
+					return nil, nil, fmt.Errorf("arguments[%d]: %w", i, err)
+				}
+				p.position = pos
+			}
+			p.noQuote = !b.ShellQuote
+		}
+		src := arg.ValueFrom
+		if src == "" {
+			continue
+		}
+		val := any(src)
+		if cwlexpr.NeedsEval(src) {
+			v, err := eng.Eval(src, ctx)
+			if err != nil {
+				return nil, nil, fmt.Errorf("arguments[%d]: %w", i, err)
+			}
+			val = v
+		}
+		tokens := valueTokens(val)
+		if b != nil && b.Prefix != "" {
+			tokens = applyPrefix(b, tokens)
+		}
+		p.tokens = tokens
+		if len(p.tokens) > 0 {
+			parts = append(parts, p)
+		}
+	}
+
+	for _, in := range tool.Inputs {
+		if in.Binding == nil {
+			continue
+		}
+		val, _ := inputs.Get(in.ID)
+		tokens, err := bindInput(in, val, eng, ctx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("input %q: %w", in.ID, err)
+		}
+		if len(tokens) == 0 {
+			continue
+		}
+		p := cmdPart{inputKey: in.ID, tokens: tokens, noQuote: !in.Binding.ShellQuote}
+		if in.Binding.HasPosition {
+			pos, err := resolvePosition(in.Binding, eng, ctx)
+			if err != nil {
+				return nil, nil, fmt.Errorf("input %q: %w", in.ID, err)
+			}
+			p.position = pos
+		}
+		parts = append(parts, p)
+	}
+
+	sort.SliceStable(parts, func(a, b int) bool {
+		pa, pb := parts[a], parts[b]
+		if pa.position != pb.position {
+			return pa.position < pb.position
+		}
+		// Numeric keys (arguments) sort before string keys (inputs).
+		aArg := pa.inputKey == ""
+		bArg := pb.inputKey == ""
+		if aArg != bArg {
+			return aArg
+		}
+		if aArg {
+			return pa.argIdx < pb.argIdx
+		}
+		return pa.inputKey < pb.inputKey
+	})
+
+	argv := append([]string{}, tool.BaseCommand...)
+	for _, p := range parts {
+		argv = append(argv, p.tokens...)
+	}
+	if len(argv) == 0 {
+		return nil, nil, fmt.Errorf("empty command line")
+	}
+	return argv, parts, nil
+}
+
+func resolvePosition(b *cwl.Binding, eng *cwlexpr.Engine, ctx cwlexpr.Context) (int, error) {
+	if b.PositionExpr == "" {
+		return b.Position, nil
+	}
+	v, err := eng.Eval(b.PositionExpr, ctx)
+	if err != nil {
+		return 0, err
+	}
+	switch n := v.(type) {
+	case int64:
+		return int(n), nil
+	case float64:
+		return int(n), nil
+	}
+	return 0, fmt.Errorf("position expression yielded %T, want int", v)
+}
+
+// bindInput renders one bound input into command tokens.
+func bindInput(in *cwl.InputParam, val any, eng *cwlexpr.Engine, ctx cwlexpr.Context) ([]string, error) {
+	b := in.Binding
+	if b.ValueFrom != "" {
+		vctx := ctx
+		vctx.Self = val
+		v, err := eng.Eval(b.ValueFrom, vctx)
+		if err != nil {
+			return nil, err
+		}
+		val = v
+	}
+	switch v := val.(type) {
+	case nil:
+		return nil, nil
+	case bool:
+		// boolean: true → prefix alone; false → nothing.
+		if !v {
+			return nil, nil
+		}
+		if b.Prefix == "" {
+			return nil, nil
+		}
+		return []string{b.Prefix}, nil
+	case []any:
+		if len(v) == 0 {
+			return nil, nil
+		}
+		items := make([]string, 0, len(v))
+		for _, e := range v {
+			items = append(items, cwlexpr.ValueToString(e))
+		}
+		if b.ItemSeparator != "" {
+			joined := strings.Join(items, b.ItemSeparator)
+			return applyPrefix(b, []string{joined}), nil
+		}
+		return applyPrefix(b, items), nil
+	default:
+		return applyPrefix(b, []string{cwlexpr.ValueToString(val)}), nil
+	}
+}
+
+// applyPrefix attaches the binding prefix to tokens, honouring separate.
+func applyPrefix(b *cwl.Binding, tokens []string) []string {
+	if b.Prefix == "" {
+		return tokens
+	}
+	if !b.Separate && len(tokens) > 0 {
+		out := append([]string{b.Prefix + tokens[0]}, tokens[1:]...)
+		return out
+	}
+	return append([]string{b.Prefix}, tokens...)
+}
+
+func valueTokens(val any) []string {
+	switch v := val.(type) {
+	case nil:
+		return nil
+	case []any:
+		out := make([]string, 0, len(v))
+		for _, e := range v {
+			out = append(out, cwlexpr.ValueToString(e))
+		}
+		return out
+	default:
+		return []string{cwlexpr.ValueToString(val)}
+	}
+}
+
+// ShellCommand joins argv into a single shell command string, quoting every
+// token except those from bindings with shellQuote: false.
+func ShellCommand(tool *cwl.CommandLineTool, argv []string, parts []cmdPart) string {
+	// Build a set of raw tokens (shellQuote: false).
+	raw := map[string]bool{}
+	for _, p := range parts {
+		if p.noQuote {
+			for _, t := range p.tokens {
+				raw[t] = true
+			}
+		}
+	}
+	quoted := make([]string, len(argv))
+	for i, a := range argv {
+		if raw[a] {
+			quoted[i] = a
+			continue
+		}
+		quoted[i] = shellQuote(a)
+	}
+	return strings.Join(quoted, " ")
+}
+
+// shellQuote quotes a token for POSIX sh.
+func shellQuote(s string) string {
+	if s == "" {
+		return "''"
+	}
+	if !strings.ContainsAny(s, " \t\n\"'`$&|;<>()*?[]#~=%\\{}") {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'"'"'`) + "'"
+}

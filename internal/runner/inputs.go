@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cwl"
+	"repro/internal/cwlexpr"
+	"repro/internal/yamlx"
+)
+
+// ProcessInputs applies defaults, coerces values against declared types,
+// normalizes File objects and runs the paper's validate: extension. The
+// returned map is job-ready.
+func ProcessInputs(params []*cwl.InputParam, provided *yamlx.Map, eng *cwlexpr.Engine, baseDir string) (*yamlx.Map, error) {
+	out := yamlx.NewMap()
+	if provided == nil {
+		provided = yamlx.NewMap()
+	}
+	for _, k := range provided.Keys() {
+		found := false
+		for _, p := range params {
+			if p.ID == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown input %q", k)
+		}
+	}
+	for _, p := range params {
+		val, has := provided.Get(p.ID)
+		if !has || val == nil {
+			if p.HasDef {
+				val = cloneValue(p.Default)
+			} else if p.Type != nil && !p.Type.Optional && p.Type.Name != "null" {
+				return nil, fmt.Errorf("missing required input %q (type %s)", p.ID, p.Type)
+			} else {
+				out.Set(p.ID, nil)
+				continue
+			}
+		}
+		if p.Type != nil {
+			coerced, err := p.Type.Accepts(val)
+			if err != nil {
+				return nil, fmt.Errorf("input %q: %w", p.ID, err)
+			}
+			val = coerced
+		}
+		val = normalizeFiles(val, baseDir)
+		out.Set(p.ID, val)
+	}
+	// validate: extension runs after all inputs resolve so expressions can
+	// reference sibling inputs.
+	for _, p := range params {
+		if p.Validate == "" {
+			continue
+		}
+		ctx := cwlexpr.Context{Inputs: out}
+		if err := eng.RunValidate(p.Validate, ctx); err != nil {
+			return nil, fmt.Errorf("input %q: %w", p.ID, err)
+		}
+	}
+	return out, nil
+}
+
+func cloneValue(v any) any {
+	switch x := v.(type) {
+	case *yamlx.Map:
+		return x.Clone()
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = cloneValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// normalizeFiles makes File/Directory paths absolute (against baseDir) and
+// fills in derived attributes.
+func normalizeFiles(v any, baseDir string) any {
+	switch x := v.(type) {
+	case *yamlx.Map:
+		cls := x.GetString("class")
+		if cls == "File" || cls == "Directory" {
+			path := x.GetString("path")
+			if path == "" {
+				path = x.GetString("location")
+			}
+			if path != "" && !filepath.IsAbs(path) && baseDir != "" {
+				path = filepath.Join(baseDir, path)
+			}
+			return MakeFileObject(cls, path)
+		}
+		out := yamlx.NewMap()
+		x.Range(func(k string, vv any) bool {
+			out.Set(k, normalizeFiles(vv, baseDir))
+			return true
+		})
+		return out
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalizeFiles(e, baseDir)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// MakeFileObject builds a CWL File/Directory object for a path, populating
+// basename/nameroot/nameext/dirname and size when the file exists.
+func MakeFileObject(class, path string) *yamlx.Map {
+	m := yamlx.NewMap()
+	m.Set("class", class)
+	m.Set("path", path)
+	m.Set("location", "file://"+path)
+	base := filepath.Base(path)
+	m.Set("basename", base)
+	m.Set("dirname", filepath.Dir(path))
+	if class == "File" {
+		ext := filepath.Ext(base)
+		m.Set("nameroot", base[:len(base)-len(ext)])
+		m.Set("nameext", ext)
+		if st, err := os.Stat(path); err == nil {
+			m.Set("size", st.Size())
+		}
+	}
+	return m
+}
+
+// LoadFileContents reads up to 64 KiB of a file into the File object's
+// contents field, per the CWL loadContents rules.
+func LoadFileContents(fileObj *yamlx.Map) error {
+	path := fileObj.GetString("path")
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 64*1024)
+	n, err := f.Read(buf)
+	if err != nil && n == 0 && err.Error() != "EOF" {
+		return err
+	}
+	fileObj.Set("contents", string(buf[:n]))
+	return nil
+}
+
+// RuntimeContext builds the CWL runtime object for a job.
+func RuntimeContext(outdir, tmpdir string, cores int, ramMB int) *yamlx.Map {
+	m := yamlx.NewMap()
+	m.Set("outdir", outdir)
+	m.Set("tmpdir", tmpdir)
+	m.Set("cores", int64(cores))
+	m.Set("ram", int64(ramMB))
+	return m
+}

@@ -1,0 +1,43 @@
+package runner
+
+import (
+	"repro/internal/cwl"
+	"repro/internal/yamlx"
+)
+
+// PoolSubmitter runs tool jobs through a ToolRunner with bounded
+// parallelism. It is the simplest Submitter and the building block the
+// baseline runners wrap with their architecture-specific overheads.
+type PoolSubmitter struct {
+	Runner *ToolRunner
+	sem    chan struct{}
+	// Hook, when set, observes every job just before execution (used by the
+	// baseline runner models and tests).
+	Hook func(tool *cwl.CommandLineTool)
+}
+
+// NewPoolSubmitter creates a submitter running at most parallelism jobs at
+// once.
+func NewPoolSubmitter(r *ToolRunner, parallelism int) *PoolSubmitter {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	return &PoolSubmitter{Runner: r, sem: make(chan struct{}, parallelism)}
+}
+
+// SubmitTool implements Submitter.
+func (s *PoolSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map, extraReqs *cwl.Requirements, done func(*yamlx.Map, error)) {
+	go func() {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		if s.Hook != nil {
+			s.Hook(tool)
+		}
+		res, err := s.Runner.RunTool(tool, inputs, RunOpts{ExtraReqs: extraReqs})
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(res.Outputs, nil)
+	}()
+}

@@ -1,0 +1,90 @@
+// Package cwltoolsim reproduces the execution architecture of cwltool, the
+// CWL reference runner, over this repository's shared CWL semantics. The
+// model follows how cwltool --parallel behaves in the paper's evaluation:
+//
+//   - a single coordinator process walks the workflow and dispatches ready
+//     steps serially (one dispatch at a time);
+//   - each step runs as a freshly spawned subprocess with non-trivial
+//     per-step setup cost (Python startup, staging, fork/exec);
+//   - parallelism is bounded by one node's cores — cwltool does not scale
+//     across nodes;
+//   - JavaScript expressions are evaluated by spawning a Node.js subprocess,
+//     the behaviour behind Fig. 2's superlinear curve.
+//
+// Functionally (wall-clock mode) the delays default to zero so tests run
+// fast; the benchmark harness uses the calibrated cost model in
+// internal/bench instead.
+package cwltoolsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cwl"
+	"repro/internal/runner"
+	"repro/internal/yamlx"
+)
+
+// Runner is a functional cwltool-architecture CWL runner.
+type Runner struct {
+	// Parallelism bounds concurrently running steps (cwltool --parallel);
+	// cwltool without --parallel is sequential (set 1).
+	Parallelism int
+	// WorkRoot hosts job directories.
+	WorkRoot string
+	// StepSetupDelay models per-step subprocess setup cost. Zero for tests.
+	StepSetupDelay time.Duration
+	// DispatchDelay models the coordinator's serial dispatch cost per step.
+	DispatchDelay time.Duration
+
+	dispatchMu sync.Mutex // cwltool dispatches from one loop
+	stepsRun   atomic.Int64
+}
+
+// StepsRun reports how many tool steps have been dispatched.
+func (r *Runner) StepsRun() int64 { return r.stepsRun.Load() }
+
+// RunDocument executes a CWL document with the given inputs.
+func (r *Runner) RunDocument(doc cwl.Document, inputs *yamlx.Map) (*yamlx.Map, error) {
+	switch d := doc.(type) {
+	case *cwl.CommandLineTool:
+		res, err := r.toolRunner().RunTool(d, inputs, runner.RunOpts{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Outputs, nil
+	case *cwl.Workflow:
+		eng := &runner.WorkflowEngine{Submitter: r.submitter()}
+		return eng.Execute(d, inputs)
+	default:
+		return nil, &cwl.ValidationError{Issues: []cwl.ValidationIssue{{
+			Severity: "error", Path: "/", Msg: "cwltool runner cannot execute class " + doc.Class(),
+		}}}
+	}
+}
+
+func (r *Runner) toolRunner() *runner.ToolRunner {
+	return &runner.ToolRunner{WorkRoot: r.WorkRoot}
+}
+
+func (r *Runner) submitter() runner.Submitter {
+	par := r.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	ps := runner.NewPoolSubmitter(r.toolRunner(), par)
+	ps.Hook = func(*cwl.CommandLineTool) {
+		// Serial dispatch through the coordinator, then per-step setup.
+		r.dispatchMu.Lock()
+		if r.DispatchDelay > 0 {
+			time.Sleep(r.DispatchDelay)
+		}
+		r.dispatchMu.Unlock()
+		if r.StepSetupDelay > 0 {
+			time.Sleep(r.StepSetupDelay)
+		}
+		r.stepsRun.Add(1)
+	}
+	return ps
+}

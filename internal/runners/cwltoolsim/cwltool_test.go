@@ -1,0 +1,125 @@
+package cwltoolsim
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cwl"
+	"repro/internal/yamlx"
+)
+
+const echoWF = `
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  words: string[]
+outputs:
+  all:
+    type: File[]
+    outputSource: say/out
+steps:
+  say:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      stdout: said.txt
+      inputs:
+        w: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: stdout
+    in:
+      w: words
+    scatter: w
+    out: [out]
+`
+
+func parse(t *testing.T, src string) cwl.Document {
+	t.Helper()
+	doc, err := cwl.ParseBytes([]byte(src), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestRunWorkflowParallel(t *testing.T) {
+	r := &Runner{Parallelism: 4, WorkRoot: t.TempDir()}
+	out, err := r.RunDocument(parse(t, echoWF), yamlx.MapOf("words", []any{"a", "b", "c", "d"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := out.Value("all").([]any)
+	if len(files) != 4 {
+		t.Fatalf("files = %d", len(files))
+	}
+	if r.StepsRun() != 4 {
+		t.Errorf("steps = %d", r.StepsRun())
+	}
+	for i, f := range files {
+		data, _ := os.ReadFile(f.(*yamlx.Map).GetString("path"))
+		want := string(rune('a' + i))
+		if strings.TrimSpace(string(data)) != want {
+			t.Errorf("file %d = %q, want %q", i, data, want)
+		}
+	}
+}
+
+func TestRunSingleTool(t *testing.T) {
+	tool := parse(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+stdout: o.txt
+inputs:
+  m: {type: string, inputBinding: {position: 1}}
+outputs:
+  out: stdout
+`)
+	r := &Runner{Parallelism: 1, WorkRoot: t.TempDir()}
+	out, err := r.RunDocument(tool, yamlx.MapOf("m", "single"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out.Value("out").(*yamlx.Map).GetString("path"))
+	if strings.TrimSpace(string(data)) != "single" {
+		t.Errorf("out = %q", data)
+	}
+}
+
+func TestSerialDispatchDelay(t *testing.T) {
+	// With a dispatch delay, total time is at least steps × delay even with
+	// high parallelism — cwltool's serial coordinator.
+	r := &Runner{
+		Parallelism:   8,
+		WorkRoot:      t.TempDir(),
+		DispatchDelay: 20 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := r.RunDocument(parse(t, echoWF), yamlx.MapOf("words", []any{"a", "b", "c", "d"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("elapsed = %v, want >= 80ms (serial dispatch)", elapsed)
+	}
+}
+
+func TestUnsupportedClass(t *testing.T) {
+	et := parse(t, `
+cwlVersion: v1.2
+class: ExpressionTool
+requirements:
+  - class: InlineJavascriptRequirement
+inputs: {}
+outputs: {}
+expression: "${ return {}; }"
+`)
+	r := &Runner{WorkRoot: t.TempDir()}
+	if _, err := r.RunDocument(et, yamlx.NewMap()); err == nil {
+		t.Fatal("expression tool at top level should be rejected")
+	}
+}

@@ -1,0 +1,149 @@
+// Package toilsim reproduces the execution architecture of toil-cwl-runner
+// configured with a batch system (the paper runs it against Slurm):
+//
+//   - every workflow step becomes one batch job: an sbatch submission, a
+//     scheduler wait, and job launch overhead precede the actual command;
+//   - Toil tracks every job in a job store on shared disk, adding
+//     bookkeeping writes per state transition;
+//   - parallelism comes from the batch system, so Toil does scale across
+//     nodes — at the cost of per-step scheduler latency, the behaviour
+//     behind Toil's position in Fig. 1.
+//
+// Functional mode keeps the job-store bookkeeping (real files) but defaults
+// all latencies to zero; the calibrated discrete-event model lives in
+// internal/bench.
+package toilsim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cwl"
+	"repro/internal/runner"
+	"repro/internal/yamlx"
+)
+
+// Runner is a functional Toil-architecture CWL runner.
+type Runner struct {
+	// WorkRoot hosts job directories.
+	WorkRoot string
+	// JobStoreDir holds per-job bookkeeping files (a temp dir when empty).
+	JobStoreDir string
+	// Parallelism models the batch system's usable slot count.
+	Parallelism int
+	// SubmitDelay models the sbatch round trip per job. Zero for tests.
+	SubmitDelay time.Duration
+	// SchedulerDelay models queue wait before a job starts. Zero for tests.
+	SchedulerDelay time.Duration
+
+	jobSeq atomic.Int64
+}
+
+// JobsSubmitted reports how many batch jobs were created.
+func (r *Runner) JobsSubmitted() int64 { return r.jobSeq.Load() }
+
+// RunDocument executes a CWL document with the given inputs.
+func (r *Runner) RunDocument(doc cwl.Document, inputs *yamlx.Map) (*yamlx.Map, error) {
+	if r.JobStoreDir == "" {
+		dir, err := os.MkdirTemp("", "toil-jobstore-")
+		if err != nil {
+			return nil, err
+		}
+		r.JobStoreDir = dir
+	}
+	if err := os.MkdirAll(r.JobStoreDir, 0o755); err != nil {
+		return nil, err
+	}
+	switch d := doc.(type) {
+	case *cwl.CommandLineTool:
+		sub := r.submitter()
+		ch := make(chan result, 1)
+		sub.SubmitTool(d, inputs, nil, func(out *yamlx.Map, err error) {
+			ch <- result{out, err}
+		})
+		res := <-ch
+		return res.out, res.err
+	case *cwl.Workflow:
+		eng := &runner.WorkflowEngine{Submitter: r.submitter()}
+		return eng.Execute(d, inputs)
+	default:
+		return nil, fmt.Errorf("toil runner cannot execute class %s", doc.Class())
+	}
+}
+
+type result struct {
+	out *yamlx.Map
+	err error
+}
+
+func (r *Runner) submitter() *batchSubmitter {
+	par := r.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	return &batchSubmitter{
+		runner: &runner.ToolRunner{WorkRoot: r.WorkRoot},
+		slots:  make(chan struct{}, par),
+		parent: r,
+	}
+}
+
+// batchSubmitter models one batch job per tool step with job-store
+// bookkeeping around each state transition.
+type batchSubmitter struct {
+	runner *runner.ToolRunner
+	slots  chan struct{}
+	parent *Runner
+}
+
+// SubmitTool implements runner.Submitter.
+func (s *batchSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map, extraReqs *cwl.Requirements, done func(*yamlx.Map, error)) {
+	go func() {
+		id := s.parent.jobSeq.Add(1)
+		entry := filepath.Join(s.parent.JobStoreDir, fmt.Sprintf("job-%06d", id))
+		// sbatch round trip.
+		if s.parent.SubmitDelay > 0 {
+			time.Sleep(s.parent.SubmitDelay)
+		}
+		if err := os.WriteFile(entry+".pending", []byte(toolID(tool)+"\n"), 0o644); err != nil {
+			done(nil, fmt.Errorf("job store: %w", err))
+			return
+		}
+		// Wait for a batch slot (queue), then launch latency.
+		s.slots <- struct{}{}
+		defer func() { <-s.slots }()
+		if s.parent.SchedulerDelay > 0 {
+			time.Sleep(s.parent.SchedulerDelay)
+		}
+		if err := os.Rename(entry+".pending", entry+".running"); err != nil {
+			done(nil, fmt.Errorf("job store: %w", err))
+			return
+		}
+		res, err := s.runner.RunTool(tool, inputs, runner.RunOpts{ExtraReqs: extraReqs})
+		final := ".done"
+		if err != nil {
+			final = ".failed"
+		}
+		if rerr := os.Rename(entry+".running", entry+final); rerr != nil && err == nil {
+			err = fmt.Errorf("job store: %w", rerr)
+		}
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(res.Outputs, nil)
+	}()
+}
+
+func toolID(tool *cwl.CommandLineTool) string {
+	if tool.ID != "" {
+		return tool.ID
+	}
+	if len(tool.BaseCommand) > 0 {
+		return tool.BaseCommand[0]
+	}
+	return "tool"
+}

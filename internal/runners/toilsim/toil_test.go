@@ -1,0 +1,157 @@
+package toilsim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cwl"
+	"repro/internal/yamlx"
+)
+
+const scatterWF = `
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  words: string[]
+outputs:
+  all:
+    type: File[]
+    outputSource: say/out
+steps:
+  say:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      stdout: said.txt
+      inputs:
+        w: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: stdout
+    in:
+      w: words
+    scatter: w
+    out: [out]
+`
+
+func parse(t *testing.T, src string) cwl.Document {
+	t.Helper()
+	doc, err := cwl.ParseBytes([]byte(src), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestRunWorkflowAsBatchJobs(t *testing.T) {
+	store := t.TempDir()
+	r := &Runner{Parallelism: 3, WorkRoot: t.TempDir(), JobStoreDir: store}
+	out, err := r.RunDocument(parse(t, scatterWF), yamlx.MapOf("words", []any{"x", "y", "z"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := out.Value("all").([]any)
+	if len(files) != 3 {
+		t.Fatalf("files = %d", len(files))
+	}
+	if r.JobsSubmitted() != 3 {
+		t.Errorf("jobs = %d", r.JobsSubmitted())
+	}
+	// Every job must have reached the done state in the job store.
+	done, err := filepath.Glob(filepath.Join(store, "job-*.done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 {
+		t.Errorf("done entries = %d", len(done))
+	}
+}
+
+func TestJobStoreRecordsFailure(t *testing.T) {
+	store := t.TempDir()
+	wf := parse(t, `
+cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs: {}
+steps:
+  boom:
+    run:
+      class: CommandLineTool
+      baseCommand: [sh, -c, "exit 1"]
+      inputs: {}
+      outputs: {}
+    in: {}
+    out: []
+`)
+	r := &Runner{Parallelism: 1, WorkRoot: t.TempDir(), JobStoreDir: store}
+	if _, err := r.RunDocument(wf, yamlx.NewMap()); err == nil {
+		t.Fatal("expected failure")
+	}
+	failed, _ := filepath.Glob(filepath.Join(store, "job-*.failed"))
+	if len(failed) != 1 {
+		t.Errorf("failed entries = %d", len(failed))
+	}
+}
+
+func TestSingleToolJob(t *testing.T) {
+	tool := parse(t, `
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+stdout: o.txt
+inputs:
+  m: {type: string, inputBinding: {position: 1}}
+outputs:
+  out: stdout
+`)
+	r := &Runner{Parallelism: 1, WorkRoot: t.TempDir(), JobStoreDir: t.TempDir()}
+	out, err := r.RunDocument(tool, yamlx.MapOf("m", "batch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out.Value("out").(*yamlx.Map).GetString("path"))
+	if strings.TrimSpace(string(data)) != "batch" {
+		t.Errorf("out = %q", data)
+	}
+}
+
+func TestSubmitDelayAccumulates(t *testing.T) {
+	r := &Runner{
+		Parallelism: 8,
+		WorkRoot:    t.TempDir(),
+		JobStoreDir: t.TempDir(),
+		SubmitDelay: 15 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := r.RunDocument(parse(t, scatterWF), yamlx.MapOf("words", []any{"a", "b", "c"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter jobs submit concurrently, but each pays the sbatch round trip.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("elapsed = %v", elapsed)
+	}
+}
+
+func TestParallelismBound(t *testing.T) {
+	// With one slot and a scheduler delay per job, jobs serialize.
+	r := &Runner{
+		Parallelism:    1,
+		WorkRoot:       t.TempDir(),
+		JobStoreDir:    t.TempDir(),
+		SchedulerDelay: 10 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := r.RunDocument(parse(t, scatterWF), yamlx.MapOf("words", []any{"a", "b", "c"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("elapsed = %v, want >= 30ms", elapsed)
+	}
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("end = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(2, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestZeroDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(0, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Errorf("ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d, func() { hits = append(hits, d) })
+	}
+	e.RunUntil(2.5)
+	if len(hits) != 2 || e.Now() != 2.5 {
+		t.Errorf("hits=%v now=%v", hits, e.Now())
+	}
+	e.Run()
+	if len(hits) != 4 {
+		t.Errorf("hits=%v", hits)
+	}
+}
+
+// Property: the clock never moves backwards regardless of scheduling pattern.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := -1.0
+		ok := true
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth >= len(delays) {
+				return
+			}
+			e.Schedule(float64(delays[depth]%100), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				schedule(depth + 1)
+			})
+		}
+		schedule(0)
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cores", 4)
+	granted := false
+	r.Acquire(2, func() { granted = true })
+	e.Run()
+	if !granted || r.InUse() != 2 || r.Free() != 2 {
+		t.Errorf("granted=%v inUse=%d", granted, r.InUse())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cores", 2)
+	var order []int
+	// Task 1 holds both cores for 10s; tasks 2 and 3 wait.
+	r.Acquire(2, func() {
+		order = append(order, 1)
+		e.Schedule(10, func() { r.Release(2) })
+	})
+	r.Acquire(1, func() {
+		order = append(order, 2)
+		e.Schedule(5, func() { r.Release(1) })
+	})
+	r.Acquire(1, func() {
+		order = append(order, 3)
+		e.Schedule(5, func() { r.Release(1) })
+	})
+	end := e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if end != 15 {
+		t.Errorf("end = %v", end)
+	}
+	if r.InUse() != 0 {
+		t.Errorf("inUse = %d", r.InUse())
+	}
+}
+
+func TestResourceFIFONoOvertake(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cores", 4)
+	var order []string
+	r.Acquire(4, func() {
+		order = append(order, "big1")
+		e.Schedule(10, func() { r.Release(4) })
+	})
+	// big2 needs all 4, queued first.
+	r.Acquire(4, func() {
+		order = append(order, "big2")
+		e.Schedule(10, func() { r.Release(4) })
+	})
+	// small could fit sooner, but FIFO means it must not overtake big2.
+	r.Acquire(1, func() {
+		order = append(order, "small")
+		e.Schedule(1, func() { r.Release(1) })
+	})
+	e.Run()
+	want := []string{"big1", "big2", "small"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cores", 2)
+	if !r.TryAcquire(2) {
+		t.Fatal("first TryAcquire failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire should fail when full")
+	}
+	r.Release(2)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestReleaseTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e := NewEngine()
+	r := NewResource(e, "cores", 2)
+	r.Release(1)
+}
+
+func TestUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cores", 2)
+	// One core busy for 10 of 10 seconds => utilization 0.5.
+	r.Acquire(1, func() {
+		e.Schedule(10, func() { r.Release(1) })
+	})
+	e.Run()
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+// Property: a random workload never oversubscribes the resource and always
+// completes with zero in use.
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		cap := 1 + rng.Intn(16)
+		r := NewResource(e, "cores", cap)
+		ok := true
+		n := 50
+		for i := 0; i < n; i++ {
+			need := 1 + rng.Intn(cap)
+			hold := float64(rng.Intn(20))
+			delay := float64(rng.Intn(30))
+			e.Schedule(delay, func() {
+				r.Acquire(need, func() {
+					if r.InUse() > r.Capacity() {
+						ok = false
+					}
+					e.Schedule(hold, func() { r.Release(need) })
+				})
+			})
+		}
+		e.Run()
+		return ok && r.InUse() == 0 && r.Waiting() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a single-unit resource, grant order equals request order.
+func TestResourceFIFOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource(e, "slot", 1)
+		var requested, granted []int
+		for i := 0; i < 30; i++ {
+			i := i
+			delay := float64(rng.Intn(5))
+			e.Schedule(delay, func() {
+				requested = append(requested, i)
+				r.Acquire(1, func() {
+					granted = append(granted, i)
+					e.Schedule(float64(rng.Intn(3)), func() { r.Release(1) })
+				})
+			})
+		}
+		e.Run()
+		if len(requested) != len(granted) {
+			return false
+		}
+		for i := range requested {
+			if requested[i] != granted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.Run()
+	if e.Events() != 5 {
+		t.Errorf("events = %d", e.Events())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestMakespanDeterminism(t *testing.T) {
+	run := func() float64 {
+		e := NewEngine()
+		r := NewResource(e, "cores", 3)
+		for i := 0; i < 100; i++ {
+			dur := float64(1 + i%7)
+			e.Schedule(float64(i%13), func() {
+				r.Acquire(1+i%3, func() {
+					e.Schedule(dur, func() { r.Release(1 + i%3) })
+				})
+			})
+		}
+		return e.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("nondeterministic makespans: %v vs %v", a, b)
+	}
+	sort.Float64s([]float64{a, b}) // keep sort import honest
+}

@@ -1,0 +1,322 @@
+// Package slurmsim simulates a Slurm-style batch scheduler over the cluster
+// model. Two of the paper's execution paths go through a batch system:
+//
+//   - toil-cwl-runner configured with the slurm batch system submits one batch
+//     job per workflow step;
+//   - Parsl's SlurmProvider submits pilot jobs (blocks) that then host many
+//     tasks without further scheduler involvement.
+//
+// The simulator reproduces the characteristics that matter for those paths:
+// submission latency (sbatch round trip), a periodic scheduling cycle, FIFO
+// order with simple backfill, whole-job node/core allocations, and polling
+// visibility (squeue).
+package slurmsim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// JobState is the lifecycle state of a batch job.
+type JobState int
+
+const (
+	// StatePending means the job is queued and waiting for resources.
+	StatePending JobState = iota
+	// StateRunning means the job has been allocated and started.
+	StateRunning
+	// StateCompleted means the job finished and released its allocation.
+	StateCompleted
+	// StateCancelled means the job was cancelled before or during execution.
+	StateCancelled
+)
+
+// String returns the squeue-style name of the state.
+func (s JobState) String() string {
+	switch s {
+	case StatePending:
+		return "PENDING"
+	case StateRunning:
+		return "RUNNING"
+	case StateCompleted:
+		return "COMPLETED"
+	case StateCancelled:
+		return "CANCELLED"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Job describes a batch request. Exactly one of the two shapes is used:
+// Nodes>0 requests whole nodes (pilot blocks); otherwise Cores requests that
+// many cores on a single node (per-step jobs).
+type Job struct {
+	Name  string
+	Nodes int // whole nodes wanted (0 = per-core job)
+	Cores int // cores on one node (ignored if Nodes > 0)
+
+	// Run is invoked when the allocation starts. The job holds its
+	// allocation until done is called. alloc lists granted node IDs.
+	Run func(alloc []string, done func())
+
+	id      int
+	state   JobState
+	submitT float64
+	startT  float64
+	endT    float64
+
+	grantedNodes []*cluster.Node // whole-node grants
+	grantedCore  *cluster.Node   // single-node core grant
+}
+
+// ID returns the job id assigned at submit time.
+func (j *Job) ID() int { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState { return j.state }
+
+// QueueWait returns the pending duration (start − submit); for unstarted jobs
+// it returns −1.
+func (j *Job) QueueWait() float64 {
+	if j.state == StatePending {
+		return -1
+	}
+	return j.startT - j.submitT
+}
+
+// Options configures the simulated scheduler.
+type Options struct {
+	// SubmitLatency is the sbatch round-trip before a job enters the queue.
+	SubmitLatency float64
+	// SchedInterval is the periodic scheduling cycle (Slurm's sched cycle).
+	SchedInterval float64
+	// StartOverhead is slurmd job-launch overhead once resources are granted.
+	StartOverhead float64
+	// Backfill lets later jobs start when the queue head does not fit.
+	Backfill bool
+}
+
+// DefaultOptions mirror a responsive but realistic Slurm configuration.
+func DefaultOptions() Options {
+	return Options{
+		SubmitLatency: 0.3,
+		SchedInterval: 2.0,
+		StartOverhead: 0.5,
+		Backfill:      true,
+	}
+}
+
+// Scheduler is the simulated batch system.
+type Scheduler struct {
+	eng     *sim.Engine
+	cluster *cluster.Cluster
+	opts    Options
+
+	queue    []*Job
+	jobs     map[int]*Job
+	nextID   int
+	cycling  bool
+	started  int
+	finished int
+}
+
+// New creates a scheduler over an existing simulated cluster.
+func New(eng *sim.Engine, cl *cluster.Cluster, opts Options) *Scheduler {
+	if opts.SchedInterval <= 0 {
+		opts.SchedInterval = 0.1
+	}
+	return &Scheduler{eng: eng, cluster: cl, opts: opts, jobs: map[int]*Job{}, nextID: 1}
+}
+
+// Cluster returns the underlying cluster.
+func (s *Scheduler) Cluster() *cluster.Cluster { return s.cluster }
+
+// Submit enqueues a job (after the submit latency) and returns its id
+// immediately, like sbatch printing a job id.
+func (s *Scheduler) Submit(j *Job) int {
+	j.id = s.nextID
+	s.nextID++
+	j.state = StatePending
+	s.jobs[j.id] = j
+	s.eng.Schedule(s.opts.SubmitLatency, func() {
+		j.submitT = s.eng.Now()
+		s.queue = append(s.queue, j)
+		s.kickCycle()
+	})
+	return j.id
+}
+
+// Cancel cancels a pending job (scancel). Running jobs keep their allocation
+// until their Run calls done; cancelling them only marks the state.
+func (s *Scheduler) Cancel(id int) {
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	switch j.state {
+	case StatePending:
+		j.state = StateCancelled
+		for i, q := range s.queue {
+			if q.id == id {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+	case StateRunning:
+		j.state = StateCancelled
+	}
+}
+
+// State reports a job's state (squeue/sacct).
+func (s *Scheduler) State(id int) (JobState, bool) {
+	j, ok := s.jobs[id]
+	if !ok {
+		return 0, false
+	}
+	return j.state, true
+}
+
+// QueueLength returns the number of pending jobs.
+func (s *Scheduler) QueueLength() int { return len(s.queue) }
+
+// Started returns how many jobs have started.
+func (s *Scheduler) Started() int { return s.started }
+
+// Finished returns how many jobs have completed or been cancelled while
+// running.
+func (s *Scheduler) Finished() int { return s.finished }
+
+// kickCycle schedules a scheduling cycle if one is not already pending.
+func (s *Scheduler) kickCycle() {
+	if s.cycling {
+		return
+	}
+	s.cycling = true
+	s.eng.Schedule(s.opts.SchedInterval, func() {
+		s.cycling = false
+		s.cycle()
+		if len(s.queue) > 0 {
+			s.kickCycle()
+		}
+	})
+}
+
+// cycle attempts to start queued jobs in FIFO order; with Backfill, jobs that
+// fit may start even when an earlier, larger job cannot.
+func (s *Scheduler) cycle() {
+	i := 0
+	for i < len(s.queue) {
+		j := s.queue[i]
+		if s.tryStart(j) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			continue
+		}
+		if !s.opts.Backfill {
+			return
+		}
+		i++
+	}
+}
+
+func (s *Scheduler) tryStart(j *Job) bool {
+	if j.Nodes > 0 {
+		// Whole-node allocation: need j.Nodes completely free nodes.
+		var free []*cluster.Node
+		for _, n := range s.cluster.Nodes {
+			if n.Cores.InUse() == 0 && n.Cores.Waiting() == 0 {
+				free = append(free, n)
+				if len(free) == j.Nodes {
+					break
+				}
+			}
+		}
+		if len(free) < j.Nodes {
+			return false
+		}
+		for _, n := range free {
+			if !n.Cores.TryAcquire(n.Cores.Capacity()) {
+				panic("slurmsim: free node refused acquire")
+			}
+		}
+		j.grantedNodes = free
+		s.launch(j, nodeIDs(free))
+		return true
+	}
+	cores := j.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	node := s.pickNode(cores)
+	if node == nil {
+		return false
+	}
+	if !node.Cores.TryAcquire(cores) {
+		return false
+	}
+	j.grantedCore = node
+	s.launch(j, []string{node.ID})
+	return true
+}
+
+func (s *Scheduler) pickNode(cores int) *cluster.Node {
+	var best *cluster.Node
+	for _, n := range s.cluster.Nodes {
+		if n.Cores.Free() < cores || n.Cores.Waiting() > 0 {
+			continue
+		}
+		if best == nil || n.Cores.Free() > best.Cores.Free() {
+			best = n
+		}
+	}
+	return best
+}
+
+func nodeIDs(nodes []*cluster.Node) []string {
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+func (s *Scheduler) launch(j *Job, alloc []string) {
+	s.eng.Schedule(s.opts.StartOverhead, func() {
+		if j.state == StateCancelled {
+			s.releaseJob(j)
+			return
+		}
+		j.state = StateRunning
+		j.startT = s.eng.Now()
+		s.started++
+		done := func() {
+			if j.state == StateRunning {
+				j.state = StateCompleted
+			}
+			j.endT = s.eng.Now()
+			s.finished++
+			s.releaseJob(j)
+			s.kickCycle()
+		}
+		if j.Run != nil {
+			j.Run(alloc, done)
+		} else {
+			done()
+		}
+	})
+}
+
+func (s *Scheduler) releaseJob(j *Job) {
+	for _, n := range j.grantedNodes {
+		n.Cores.Release(n.Cores.Capacity())
+	}
+	j.grantedNodes = nil
+	if j.grantedCore != nil {
+		cores := j.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+		j.grantedCore.Cores.Release(cores)
+		j.grantedCore = nil
+	}
+}

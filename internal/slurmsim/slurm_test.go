@@ -1,0 +1,249 @@
+package slurmsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newSched(nodes, cores int, opts Options) (*sim.Engine, *Scheduler) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, nodes, cores)
+	return eng, New(eng, cl, opts)
+}
+
+func TestSingleJobLifecycle(t *testing.T) {
+	eng, s := newSched(1, 4, DefaultOptions())
+	var allocSeen []string
+	j := &Job{Name: "step", Cores: 1, Run: func(alloc []string, done func()) {
+		allocSeen = alloc
+		eng.Schedule(10, done)
+	}}
+	id := s.Submit(j)
+	if id != 1 {
+		t.Errorf("id = %d", id)
+	}
+	if st, _ := s.State(id); st != StatePending {
+		t.Errorf("initial state = %v", st)
+	}
+	end := eng.Run()
+	if st, _ := s.State(id); st != StateCompleted {
+		t.Errorf("final state = %v", st)
+	}
+	if len(allocSeen) != 1 {
+		t.Errorf("alloc = %v", allocSeen)
+	}
+	// Makespan must include submit latency + sched cycle + start overhead + 10s run.
+	opts := DefaultOptions()
+	min := opts.SubmitLatency + opts.SchedInterval + opts.StartOverhead + 10
+	if end < min-1e-9 {
+		t.Errorf("end = %v < %v", end, min)
+	}
+	if j.QueueWait() < 0 {
+		t.Errorf("queue wait = %v", j.QueueWait())
+	}
+}
+
+func TestPerStepJobOverheadDominates(t *testing.T) {
+	// 10 sequential 0.1s steps as batch jobs: the batch overhead per job
+	// (submit + cycle + start) should dominate the 1s of compute. This is
+	// the architectural reason Toil-on-Slurm loses in Fig. 1.
+	opts := DefaultOptions()
+	eng, s := newSched(1, 4, opts)
+	var runNext func(i int)
+	runNext = func(i int) {
+		if i >= 10 {
+			return
+		}
+		s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+			eng.Schedule(0.1, func() {
+				done()
+				runNext(i + 1)
+			})
+		}})
+	}
+	runNext(0)
+	end := eng.Run()
+	perJob := opts.SubmitLatency + opts.StartOverhead + 0.1
+	if end < 10*perJob {
+		t.Errorf("end = %v, want >= %v", end, 10*perJob)
+	}
+}
+
+func TestWholeNodeAllocation(t *testing.T) {
+	eng, s := newSched(3, 48, DefaultOptions())
+	var alloc []string
+	s.Submit(&Job{Name: "pilot", Nodes: 2, Run: func(a []string, done func()) {
+		alloc = a
+		eng.Schedule(5, done)
+	}})
+	eng.Run()
+	if len(alloc) != 2 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+	if s.Cluster().FreeCores() != 144 {
+		t.Errorf("cores not returned: free = %d", s.Cluster().FreeCores())
+	}
+}
+
+func TestWholeNodeWaitsForFullNodes(t *testing.T) {
+	eng, s := newSched(2, 4, DefaultOptions())
+	var pilotStart float64
+	// A core job occupies node capacity first.
+	s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+		eng.Schedule(20, done)
+	}})
+	s.Submit(&Job{Nodes: 2, Run: func(_ []string, done func()) {
+		pilotStart = eng.Now()
+		eng.Schedule(1, done)
+	}})
+	eng.Run()
+	if pilotStart < 20 {
+		t.Errorf("pilot started at %v before node drained", pilotStart)
+	}
+}
+
+func TestBackfill(t *testing.T) {
+	// Head-of-queue pilot needs 2 free nodes; a 1-core job behind it should
+	// backfill onto the remaining capacity instead of waiting.
+	opts := DefaultOptions()
+	opts.Backfill = true
+	eng, s := newSched(2, 2, opts)
+	// Occupy one core so the 2-node pilot cannot start.
+	s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+		eng.Schedule(30, done)
+	}})
+	var pilotStart, smallStart float64 = -1, -1
+	s.Submit(&Job{Nodes: 2, Run: func(_ []string, done func()) {
+		pilotStart = eng.Now()
+		eng.Schedule(1, done)
+	}})
+	s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+		smallStart = eng.Now()
+		eng.Schedule(1, done)
+	}})
+	eng.Run()
+	if smallStart < 0 || pilotStart < 0 {
+		t.Fatalf("jobs did not run: small=%v pilot=%v", smallStart, pilotStart)
+	}
+	if smallStart >= pilotStart {
+		t.Errorf("backfill failed: small=%v pilot=%v", smallStart, pilotStart)
+	}
+}
+
+func TestNoBackfillFIFO(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Backfill = false
+	eng, s := newSched(2, 2, opts)
+	s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+		eng.Schedule(30, done)
+	}})
+	var pilotStart, smallStart float64 = -1, -1
+	s.Submit(&Job{Nodes: 2, Run: func(_ []string, done func()) {
+		pilotStart = eng.Now()
+		eng.Schedule(1, done)
+	}})
+	s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+		smallStart = eng.Now()
+		eng.Schedule(1, done)
+	}})
+	eng.Run()
+	if smallStart < pilotStart {
+		t.Errorf("strict FIFO violated: small=%v pilot=%v", smallStart, pilotStart)
+	}
+}
+
+func TestCancelPending(t *testing.T) {
+	eng, s := newSched(1, 1, DefaultOptions())
+	s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+		eng.Schedule(50, done)
+	}})
+	id := s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+		t.Error("cancelled job ran")
+		done()
+	}})
+	eng.Schedule(5, func() { s.Cancel(id) })
+	eng.Run()
+	if st, _ := s.State(id); st != StateCancelled {
+		t.Errorf("state = %v", st)
+	}
+}
+
+func TestCancelUnknownJob(t *testing.T) {
+	_, s := newSched(1, 1, DefaultOptions())
+	s.Cancel(999) // must not panic
+	if _, ok := s.State(999); ok {
+		t.Error("unknown job reported state")
+	}
+}
+
+func TestCountersAndQueueLength(t *testing.T) {
+	eng, s := newSched(1, 1, DefaultOptions())
+	for i := 0; i < 3; i++ {
+		s.Submit(&Job{Cores: 1, Run: func(_ []string, done func()) {
+			eng.Schedule(1, done)
+		}})
+	}
+	eng.Run()
+	if s.Started() != 3 || s.Finished() != 3 || s.QueueLength() != 0 {
+		t.Errorf("started=%d finished=%d q=%d", s.Started(), s.Finished(), s.QueueLength())
+	}
+}
+
+// Property: jobs never oversubscribe nodes and every submitted job reaches a
+// terminal state.
+func TestSchedulerConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		nodes := 1 + rng.Intn(3)
+		cores := 1 + rng.Intn(4)
+		cl := cluster.New(eng, nodes, cores)
+		s := New(eng, cl, DefaultOptions())
+		njobs := 30
+		var ids []int
+		for i := 0; i < njobs; i++ {
+			var j *Job
+			if rng.Intn(4) == 0 {
+				j = &Job{Nodes: 1 + rng.Intn(nodes)}
+			} else {
+				j = &Job{Cores: 1 + rng.Intn(cores)}
+			}
+			dur := float64(rng.Intn(5))
+			j.Run = func(_ []string, done func()) {
+				eng.Schedule(dur, done)
+			}
+			delay := float64(rng.Intn(10))
+			eng.Schedule(delay, func() { ids = append(ids, s.Submit(j)) })
+		}
+		eng.Run()
+		for _, id := range ids {
+			st, ok := s.State(id)
+			if !ok || (st != StateCompleted && st != StateCancelled) {
+				return false
+			}
+		}
+		return cl.FreeCores() == cl.TotalCores()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobStateString(t *testing.T) {
+	cases := map[JobState]string{
+		StatePending:   "PENDING",
+		StateRunning:   "RUNNING",
+		StateCompleted: "COMPLETED",
+		StateCancelled: "CANCELLED",
+		JobState(9):    "JobState(9)",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", int(st), st.String())
+		}
+	}
+}

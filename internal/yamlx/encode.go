@@ -1,0 +1,278 @@
+package yamlx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Marshal renders v as block-style YAML. It supports the value vocabulary the
+// decoder produces (nil, bool, int/int64, float64, string, []any, *Map) plus
+// map[string]any (encoded with sorted keys) and []string.
+func Marshal(v any) ([]byte, error) {
+	var b strings.Builder
+	if err := encodeNode(&b, v, 0, false); err != nil {
+		return nil, err
+	}
+	s := b.String()
+	if s != "" && !strings.HasSuffix(s, "\n") {
+		s += "\n"
+	}
+	return []byte(s), nil
+}
+
+// MarshalString is Marshal returning a string, for convenience in tests and
+// log output.
+func MarshalString(v any) string {
+	b, err := Marshal(v)
+	if err != nil {
+		return "!!error " + err.Error()
+	}
+	return string(b)
+}
+
+func encodeNode(b *strings.Builder, v any, indent int, inline bool) error {
+	switch val := v.(type) {
+	case nil:
+		b.WriteString("null\n")
+	case bool:
+		fmt.Fprintf(b, "%t\n", val)
+	case int:
+		fmt.Fprintf(b, "%d\n", val)
+	case int64:
+		fmt.Fprintf(b, "%d\n", val)
+	case float64:
+		b.WriteString(formatFloat(val))
+		b.WriteByte('\n')
+	case string:
+		b.WriteString(encodeString(val, indent))
+		b.WriteByte('\n')
+	case []any:
+		return encodeSeq(b, val, indent, inline)
+	case []string:
+		anyv := make([]any, len(val))
+		for i, s := range val {
+			anyv[i] = s
+		}
+		return encodeSeq(b, anyv, indent, inline)
+	case *Map:
+		return encodeMap(b, val.Keys(), val.Value, indent, inline)
+	case map[string]any:
+		keys := make([]string, 0, len(val))
+		for k := range val {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return encodeMap(b, keys, func(k string) any { return val[k] }, indent, inline)
+	default:
+		return fmt.Errorf("yamlx: cannot marshal %T", v)
+	}
+	return nil
+}
+
+func encodeSeq(b *strings.Builder, items []any, indent int, inline bool) error {
+	if len(items) == 0 {
+		b.WriteString("[]\n")
+		return nil
+	}
+	if inline {
+		b.WriteByte('\n')
+	}
+	pad := strings.Repeat("  ", indent)
+	for _, it := range items {
+		b.WriteString(pad)
+		b.WriteString("- ")
+		switch it.(type) {
+		case []any, []string, *Map, map[string]any:
+			// Nested collection: render compact starting on the same line
+			// only for maps; sequences go on the next line.
+			if isEmptyColl(it) {
+				if err := encodeNode(b, it, indent+1, false); err != nil {
+					return err
+				}
+				continue
+			}
+			if m, ok := collAsMap(it); ok {
+				if err := encodeMapInlineFirst(b, m, indent+1); err != nil {
+					return err
+				}
+				continue
+			}
+			b.WriteByte('\n')
+			if err := encodeNode(b, it, indent+1, false); err != nil {
+				return err
+			}
+		default:
+			if err := encodeNode(b, it, indent+1, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func isEmptyColl(v any) bool {
+	switch val := v.(type) {
+	case []any:
+		return len(val) == 0
+	case []string:
+		return len(val) == 0
+	case *Map:
+		return val.Len() == 0
+	case map[string]any:
+		return len(val) == 0
+	}
+	return false
+}
+
+func collAsMap(v any) (*Map, bool) {
+	switch val := v.(type) {
+	case *Map:
+		return val, true
+	case map[string]any:
+		m := NewMap()
+		keys := make([]string, 0, len(val))
+		for k := range val {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			m.Set(k, val[k])
+		}
+		return m, true
+	}
+	return nil, false
+}
+
+// encodeMapInlineFirst renders a map as a sequence item: the first key sits on
+// the dash line; later keys are indented below it.
+func encodeMapInlineFirst(b *strings.Builder, m *Map, indent int) error {
+	pad := strings.Repeat("  ", indent)
+	for i, k := range m.Keys() {
+		if i > 0 {
+			b.WriteString(pad)
+		}
+		if err := encodeEntry(b, k, m.Value(k), indent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeMap(b *strings.Builder, keys []string, get func(string) any, indent int, inline bool) error {
+	if len(keys) == 0 {
+		b.WriteString("{}\n")
+		return nil
+	}
+	if inline {
+		b.WriteByte('\n')
+	}
+	pad := strings.Repeat("  ", indent)
+	for _, k := range keys {
+		b.WriteString(pad)
+		if err := encodeEntry(b, k, get(k), indent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeEntry(b *strings.Builder, k string, v any, indent int) error {
+	b.WriteString(encodeKey(k))
+	b.WriteByte(':')
+	switch v.(type) {
+	case []any, []string, *Map, map[string]any:
+		if isEmptyColl(v) {
+			b.WriteByte(' ')
+			return encodeNode(b, v, indent+1, false)
+		}
+		return encodeNode(b, v, indent+1, true)
+	case string:
+		s := v.(string)
+		if strings.Contains(s, "\n") {
+			return encodeBlockString(b, s, indent+1)
+		}
+		b.WriteByte(' ')
+		return encodeNode(b, v, indent, false)
+	default:
+		b.WriteByte(' ')
+		return encodeNode(b, v, indent, false)
+	}
+}
+
+func encodeBlockString(b *strings.Builder, s string, indent int) error {
+	b.WriteString(" |")
+	if !strings.HasSuffix(s, "\n") {
+		b.WriteByte('-')
+	}
+	b.WriteByte('\n')
+	pad := strings.Repeat("  ", indent)
+	for _, ln := range strings.Split(strings.TrimSuffix(s, "\n"), "\n") {
+		b.WriteString(pad)
+		b.WriteString(ln)
+		b.WriteByte('\n')
+	}
+	return nil
+}
+
+func encodeKey(k string) string {
+	if needsQuoting(k) {
+		return strconv.Quote(k)
+	}
+	return k
+}
+
+func encodeString(s string, indent int) string {
+	if needsQuoting(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// needsQuoting reports whether a plain rendering of s would not round-trip.
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	if _, isStr := typedScalar(s).(string); !isStr {
+		return true // would re-parse as null/bool/number
+	}
+	if strings.TrimSpace(s) != s {
+		return true
+	}
+	switch s[0] {
+	case '-', '?', ':', '#', '&', '*', '!', '|', '>', '\'', '"', '%', '@', '`', '[', ']', '{', '}', ',':
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 {
+			return true
+		}
+		if c == ':' && (i+1 == len(s) || s[i+1] == ' ') {
+			return true
+		}
+		if c == '#' && i > 0 && s[i-1] == ' ' {
+			return true
+		}
+	}
+	return false
+}
+
+func formatFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return ".inf"
+	case math.IsInf(f, -1):
+		return "-.inf"
+	case math.IsNaN(f):
+		return ".nan"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

@@ -1,0 +1,349 @@
+package yamlx
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap()
+	if m.Len() != 0 {
+		t.Fatalf("empty len = %d", m.Len())
+	}
+	m.Set("a", 1)
+	m.Set("b", 2)
+	m.Set("a", 3) // overwrite keeps position
+	if !reflect.DeepEqual(m.Keys(), []string{"a", "b"}) {
+		t.Errorf("keys = %v", m.Keys())
+	}
+	if m.Value("a") != 3 {
+		t.Errorf("a = %v", m.Value("a"))
+	}
+	m.Delete("a")
+	if m.Has("a") || m.Len() != 1 {
+		t.Errorf("after delete: %v", m.Keys())
+	}
+	m.Delete("missing") // no-op
+}
+
+func TestMapRangeEarlyStop(t *testing.T) {
+	m := MapOf("a", 1, "b", 2, "c", 3)
+	var seen []string
+	m.Range(func(k string, v any) bool {
+		seen = append(seen, k)
+		return k != "b"
+	})
+	if !reflect.DeepEqual(seen, []string{"a", "b"}) {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestMapClone(t *testing.T) {
+	m := MapOf("x", 1, "y", "two")
+	c := m.Clone()
+	c.Set("x", 99)
+	if m.Value("x") != 1 {
+		t.Errorf("clone mutated original")
+	}
+	if c.Value("y") != "two" {
+		t.Errorf("clone missing values")
+	}
+}
+
+func TestMapJSON(t *testing.T) {
+	m := MapOf("z", 1, "a", []any{int64(1), "s"}, "m", MapOf("k", nil))
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"z":1,"a":[1,"s"],"m":{"k":null}}`
+	if string(b) != want {
+		t.Errorf("json = %s, want %s", b, want)
+	}
+}
+
+func TestMapGettersOnNil(t *testing.T) {
+	var m *Map
+	if m.Len() != 0 || m.Has("x") || m.Value("x") != nil {
+		t.Error("nil map accessors should be safe")
+	}
+	m.Range(func(string, any) bool { t.Error("range on nil visited"); return true })
+}
+
+func TestMapTypedGetters(t *testing.T) {
+	m := MapOf("s", "str", "i", int64(7), "f", 2.0, "b", true, "m", MapOf(), "l", []any{1})
+	if m.GetString("s") != "str" || m.GetString("i") != "" {
+		t.Error("GetString")
+	}
+	if m.GetInt("i", -1) != 7 || m.GetInt("f", -1) != 2 || m.GetInt("s", -1) != -1 {
+		t.Error("GetInt")
+	}
+	if !m.GetBool("b", false) || m.GetBool("s", true) != true {
+		t.Error("GetBool")
+	}
+	if m.GetMap("m") == nil || m.GetMap("s") != nil {
+		t.Error("GetMap")
+	}
+	if m.GetSlice("l") == nil || m.GetSlice("s") != nil {
+		t.Error("GetSlice")
+	}
+}
+
+func TestMapOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on odd args")
+		}
+	}()
+	MapOf("only-key")
+}
+
+// Property: keys set in any order are returned in exactly insertion order with
+// the last value winning.
+func TestMapInsertionOrderProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		m := NewMap()
+		var order []string
+		seen := map[string]bool{}
+		for i, k := range keys {
+			m.Set(k, i)
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+		}
+		if m.Len() != len(order) {
+			return false
+		}
+		got := m.Keys()
+		for i := range order {
+			if got[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scalar encode→decode round-trips for strings.
+func TestStringRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		if !isPlainText(s) {
+			return true // only check single-line printable strings here
+		}
+		doc := "v: " + encodeString(s, 0) + "\n"
+		v, err := DecodeString(doc)
+		if err != nil {
+			return false
+		}
+		m, ok := v.(*Map)
+		if !ok {
+			return false
+		}
+		return m.Value("v") == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isPlainText(s string) bool {
+	for _, r := range s {
+		if r == '\n' || r == '\r' || r == utf8Invalid {
+			return false
+		}
+	}
+	return strings.ToValidUTF8(s, "") == s
+}
+
+const utf8Invalid = '�'
+
+// Property: integers round-trip through Marshal/Decode.
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(n int64) bool {
+		b, err := Marshal(MapOf("n", n))
+		if err != nil {
+			return false
+		}
+		v, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return v.(*Map).Value("n") == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: finite floats round-trip through Marshal/Decode.
+func TestFloatRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		b, err := Marshal(MapOf("x", x))
+		if err != nil {
+			return false
+		}
+		v, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		got := v.(*Map).Value("x")
+		switch g := got.(type) {
+		case float64:
+			return g == x
+		case int64:
+			return float64(g) == x
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested structures round-trip through Marshal/Decode.
+func TestStructureRoundTripProperty(t *testing.T) {
+	type node struct {
+		depth int
+	}
+	var build func(r *rngSrc, depth int) any
+	build = func(r *rngSrc, depth int) any {
+		if depth <= 0 {
+			switch r.next() % 4 {
+			case 0:
+				return int64(r.next() % 1000)
+			case 1:
+				return fmt.Sprintf("s%d", r.next()%100)
+			case 2:
+				return r.next()%2 == 0
+			default:
+				return nil
+			}
+		}
+		switch r.next() % 2 {
+		case 0:
+			n := int(r.next() % 4)
+			items := make([]any, 0, n)
+			for i := 0; i < n; i++ {
+				items = append(items, build(r, depth-1))
+			}
+			return items
+		default:
+			n := int(r.next() % 4)
+			m := NewMap()
+			for i := 0; i < n; i++ {
+				m.Set(fmt.Sprintf("k%d", i), build(r, depth-1))
+			}
+			return m
+		}
+	}
+	for seed := uint64(1); seed <= 60; seed++ {
+		r := &rngSrc{state: seed}
+		v := build(r, 4)
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v\nvalue: %#v", seed, err, v)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v\nyaml:\n%s", seed, err, b)
+		}
+		if jsonDump(t, got) != jsonDump(t, v) {
+			t.Fatalf("seed %d: round-trip mismatch\nin:  %s\nout: %s\nyaml:\n%s",
+				seed, jsonDump(t, v), jsonDump(t, got), b)
+		}
+	}
+	_ = node{}
+}
+
+type rngSrc struct{ state uint64 }
+
+func (r *rngSrc) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 33
+}
+
+func jsonDump(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	return string(b)
+}
+
+func TestMarshalScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{nil, "null\n"},
+		{true, "true\n"},
+		{int64(42), "42\n"},
+		{3.5, "3.5\n"},
+		{"plain", "plain\n"},
+		{"42", "\"42\"\n"}, // must quote to stay a string
+		{"true", "\"true\"\n"},
+		{"", "\"\"\n"},
+		{"- dash", "\"- dash\"\n"},
+	}
+	for _, c := range cases {
+		b, err := Marshal(c.in)
+		if err != nil {
+			t.Fatalf("Marshal(%#v): %v", c.in, err)
+		}
+		if string(b) != c.want {
+			t.Errorf("Marshal(%#v) = %q, want %q", c.in, b, c.want)
+		}
+	}
+}
+
+func TestMarshalMultilineString(t *testing.T) {
+	b, err := Marshal(MapOf("s", "a\nb\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode %q: %v", b, err)
+	}
+	if got := v.(*Map).Value("s"); got != "a\nb\n" {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestMarshalUnsupported(t *testing.T) {
+	if _, err := Marshal(struct{}{}); err == nil {
+		t.Error("expected error for unsupported type")
+	}
+}
+
+func TestMarshalStringSliceAndPlainMap(t *testing.T) {
+	b, err := Marshal(map[string]any{"zz": []string{"a", "b"}, "aa": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(*Map)
+	// map[string]any encodes with sorted keys
+	if !reflect.DeepEqual(m.Keys(), []string{"aa", "zz"}) {
+		t.Errorf("keys = %v", m.Keys())
+	}
+	if got := jsonDump(t, m.Value("zz")); got != `["a","b"]` {
+		t.Errorf("zz = %s", got)
+	}
+}
