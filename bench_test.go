@@ -12,6 +12,7 @@
 package cwlparsl
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -218,6 +219,58 @@ stdout: cat.txt
 		if _, err := f2.Wait(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceSubmission measures the submission service's end-to-end
+// submit→complete latency at varying run concurrency — the baseline perf
+// trajectory for the service path (queue + store + doc cache + runner over a
+// shared DFK). Each op submits `conc` echo runs and waits for all of them.
+func BenchmarkServiceSubmission(b *testing.B) {
+	src := []byte(`cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [true]
+inputs: {}
+outputs: {}
+`)
+	for _, conc := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("concurrent=%d", conc), func(b *testing.B) {
+			dir := b.TempDir()
+			dfk, err := parsl.Load(parsl.Config{
+				Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 16)},
+				RunDir:    dir,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dfk.Cleanup()
+			svc, err := NewService(dfk, ServiceOptions{Workers: 8, QueueDepth: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close(context.Background())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, conc)
+				for j := 0; j < conc; j++ {
+					snap, err := svc.Submit(SubmitRequest{Source: src})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[j] = snap.ID
+				}
+				for _, id := range ids {
+					snap, err := svc.Wait(context.Background(), id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if snap.State != RunSucceeded {
+						b.Fatalf("run %s: %v (%s)", id, snap.State, snap.Error)
+					}
+				}
+			}
+			b.ReportMetric(float64(conc)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
 	}
 }
 

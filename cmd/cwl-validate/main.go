@@ -5,36 +5,44 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cwl"
 )
 
-func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: cwl-validate FILE.cwl [FILE.cwl ...]")
-		os.Exit(2)
+// run validates each path and returns the process exit code: 0 when all
+// documents are valid, 1 when any is invalid, 2 on usage errors.
+func run(args []string, out, errOut io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(errOut, "usage: cwl-validate FILE.cwl [FILE.cwl ...]")
+		return 2
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
+	for _, path := range args {
 		doc, err := cwl.LoadFile(path)
 		if err != nil {
-			fmt.Printf("%s: INVALID\n  %v\n", path, err)
+			fmt.Fprintf(out, "%s: INVALID\n  %v\n", path, err)
 			failed = true
 			continue
 		}
 		issues, err := cwl.Validate(doc)
 		for _, i := range issues {
-			fmt.Printf("%s: %s\n", path, i)
+			fmt.Fprintf(out, "%s: %s\n", path, i)
 		}
 		if err != nil {
-			fmt.Printf("%s: INVALID (%s)\n", path, doc.Class())
+			fmt.Fprintf(out, "%s: INVALID (%s)\n", path, doc.Class())
 			failed = true
 			continue
 		}
-		fmt.Printf("%s: valid %s\n", path, doc.Class())
+		fmt.Fprintf(out, "%s: valid %s\n", path, doc.Class())
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

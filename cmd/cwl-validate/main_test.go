@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validTool = `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message: {type: string, inputBinding: {position: 1}}
+outputs:
+  output: {type: stdout}
+stdout: out.txt
+`
+
+func TestValidateValidDocument(t *testing.T) {
+	dir := t.TempDir()
+	tool := writeFile(t, dir, "echo.cwl", validTool)
+	var out, errOut strings.Builder
+	if code := run([]string{tool}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "valid CommandLineTool") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestValidateInvalidDocument(t *testing.T) {
+	dir := t.TempDir()
+	// No baseCommand and no arguments: fails validation.
+	bad := writeFile(t, dir, "bad.cwl", "cwlVersion: v1.2\nclass: CommandLineTool\ninputs: {}\noutputs: {}\n")
+	var out, errOut strings.Builder
+	if code := run([]string{bad}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "INVALID") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestValidateMixedDocumentsStillChecksAll(t *testing.T) {
+	dir := t.TempDir()
+	good := writeFile(t, dir, "good.cwl", validTool)
+	bad := writeFile(t, dir, "bad.cwl", "class: Nope\n")
+	var out, errOut strings.Builder
+	if code := run([]string{bad, good}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	// The valid document after the invalid one is still reported.
+	if !strings.Contains(out.String(), "valid CommandLineTool") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestValidateMissingFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"/no/such/file.cwl"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestValidateUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}

@@ -1,0 +1,141 @@
+// Command parsl-cwl-serve runs the workflow submission service: an HTTP API
+// that accepts CWL documents and executes them as concurrent runs over one
+// shared Parsl DataFlowKernel.
+//
+//	parsl-cwl-serve -addr :8080 -config config.yml -workers 8
+//
+//	curl -s localhost:8080/runs -d '{"cwl": "...", "inputs": {"message": "hi"}}'
+//	curl -s localhost:8080/runs/run-000001?wait=1
+//
+// The executor configuration uses the same TaPS-style YAML as the parsl-cwl
+// command; without -config a thread-pool executor sized to the machine is
+// started.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/parsl"
+	"repro/internal/service"
+)
+
+type serveConfig struct {
+	addr       string
+	configPath string
+	workers    int
+	queueDepth int
+	cacheSize  int
+	workDir    string
+}
+
+func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
+	fs := flag.NewFlagSet("parsl-cwl-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := serveConfig{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.configPath, "config", "", "TaPS-style Parsl executor config (YAML)")
+	fs.IntVar(&cfg.workers, "workers", 8, "concurrent workflow runs")
+	fs.IntVar(&cfg.queueDepth, "queue", 64, "max queued runs before 429 backpressure")
+	fs.IntVar(&cfg.cacheSize, "cache", 128, "parsed-document cache capacity")
+	fs.StringVar(&cfg.workDir, "work-dir", "", "root for per-run job directories (default: executor run dir)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if fs.NArg() != 0 {
+		return cfg, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// newService builds the DFK and service from the parsed configuration.
+func newService(cfg serveConfig) (*parsl.DFK, *service.Service, error) {
+	spec := parsl.DefaultConfigSpec()
+	if cfg.configPath != "" {
+		loaded, err := parsl.LoadConfigFile(cfg.configPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec = loaded
+	}
+	pcfg, err := spec.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	dfk, err := parsl.Load(pcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	svc, err := service.New(dfk, service.Options{
+		Workers:    cfg.workers,
+		QueueDepth: cfg.queueDepth,
+		CacheSize:  cfg.cacheSize,
+		WorkRoot:   cfg.workDir,
+	})
+	if err != nil {
+		dfk.Cleanup()
+		return nil, nil, err
+	}
+	return dfk, svc, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+	dfk, svc, err := newService(cfg)
+	if err != nil {
+		return err
+	}
+	defer dfk.Cleanup()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(stdout, "parsl-cwl-serve listening on http://%s (%d workers, queue %d)\n",
+		ln.Addr(), cfg.workers, cfg.queueDepth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "shutting down: draining in-flight runs")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := svc.Close(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "parsl-cwl-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-workers", "3", "-queue", "5"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:0" || cfg.workers != 3 || cfg.queueDepth != 5 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"stray"}, io.Discard); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestNewServiceFromConfigAndServe(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "config.yml")
+	if err := os.WriteFile(cfgPath, []byte("executor: thread-pool\nworkers-per-node: 4\nrun-dir: "+dir+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dfk, svc, err := newService(serveConfig{configPath: cfgPath, workers: 2, queueDepth: 8, cacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		svc.Close(context.Background())
+		dfk.Cleanup()
+	}()
+
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	payload, _ := json.Marshal(map[string]any{
+		"cwl": `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message: {type: string, inputBinding: {position: 1}}
+outputs:
+  output: {type: stdout}
+stdout: out.txt
+`,
+		"inputs": map[string]any{"message": "served"},
+	})
+	resp, err = http.Post(srv.URL+"/runs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/runs/" + run.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if final.State != "succeeded" {
+		t.Fatalf("state = %q error %q", final.State, final.Error)
+	}
+}
+
+func TestNewServiceBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.yml")
+	if err := os.WriteFile(bad, []byte("executor: spark\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := newService(serveConfig{configPath: bad}); err == nil || !strings.Contains(err.Error(), "executor") {
+		t.Errorf("error = %v, want unknown-executor", err)
+	}
+	if _, _, err := newService(serveConfig{configPath: filepath.Join(dir, "missing.yml")}); err == nil {
+		t.Error("missing config file accepted")
+	}
+}

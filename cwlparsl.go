@@ -22,6 +22,14 @@
 //     document: f-string call sites, expressionLib functions, and validate:
 //     fields are handled by the embedded Python interpreter.
 //
+//   - Serve workflows over HTTP: NewService multiplexes many queued runs over
+//     one shared DFK with bounded concurrency, priority scheduling,
+//     cancellation, and a content-hash document cache (the parsl-cwl-serve
+//     command wraps this):
+//
+//     svc, _ := cwlparsl.NewService(dfk, cwlparsl.ServiceOptions{Workers: 8})
+//     http.ListenAndServe(":8080", svc.Handler())
+//
 // See the examples/ directory for complete programs and DESIGN.md for the
 // architecture.
 package cwlparsl
@@ -30,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cwl"
 	"repro/internal/parsl"
+	"repro/internal/service"
 	"repro/internal/yamlx"
 )
 
@@ -121,6 +130,41 @@ func NewRunner(dfk *DFK) *Runner { return core.NewRunner(dfk) }
 
 // LoadCWL parses a CWL document from disk.
 func LoadCWL(path string) (Document, error) { return cwl.LoadFile(path) }
+
+// Service is the workflow submission service: a run store, bounded
+// scheduler, and document cache multiplexing many runs over one shared DFK,
+// exposed as a REST API via Service.Handler.
+type Service = service.Service
+
+// ServiceOptions configures a Service.
+type ServiceOptions = service.Options
+
+// SubmitRequest is one workflow submission to a Service.
+type SubmitRequest = service.SubmitRequest
+
+// RunSnapshot is the immutable client view of one submitted run.
+type RunSnapshot = service.RunSnapshot
+
+// RunState is a run's lifecycle state
+// (queued → running → succeeded/failed/canceled).
+type RunState = service.RunState
+
+// Run lifecycle states.
+const (
+	RunQueued    = service.RunQueued
+	RunRunning   = service.RunRunning
+	RunSucceeded = service.RunSucceeded
+	RunFailed    = service.RunFailed
+	RunCanceled  = service.RunCanceled
+)
+
+// TaskEvent is one DFK monitoring record (a run's event log entry).
+type TaskEvent = parsl.TaskEvent
+
+// NewService builds the workflow submission service over a loaded DFK.
+func NewService(dfk *DFK, opts ServiceOptions) (*Service, error) {
+	return service.New(dfk, opts)
+}
 
 // Validate checks a CWL document, returning all issues and an error when any
 // issue is fatal.

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+// TestConcurrentRunnersShareDFK is the invariant the submission service's
+// scheduler depends on: many Runner.Run calls executing in parallel over one
+// shared DFK must be race-free and each produce its own correct outputs.
+// Run with -race.
+func TestConcurrentRunnersShareDFK(t *testing.T) {
+	dir := t.TempDir()
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 8)},
+		RunDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+
+	toolSrc := []byte(`cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message: {type: string, inputBinding: {position: 1}}
+outputs:
+  output: {type: stdout}
+stdout: out.txt
+`)
+	wfSrc := []byte(`cwlVersion: v1.2
+class: Workflow
+inputs:
+  message: string
+outputs:
+  final:
+    type: File
+    outputSource: relay/output
+steps:
+  greet:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        message: {type: string, inputBinding: {position: 1}}
+      outputs:
+        output: {type: stdout}
+      stdout: greet.txt
+    in: {message: message}
+    out: [output]
+  relay:
+    run:
+      class: CommandLineTool
+      baseCommand: cat
+      inputs:
+        infile: {type: File, inputBinding: {position: 1}}
+      outputs:
+        output: {type: stdout}
+      stdout: relay.txt
+    in: {infile: greet/output}
+    out: [output]
+`)
+	tool, err := cwl.ParseBytes(toolSrc, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := cwl.ParseBytes(wfSrc, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 12 // ≥ 8 parallel runs, tools and workflows interleaved
+	outputs := make([]*yamlx.Map, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &Runner{
+				DFK:      dfk,
+				WorkRoot: filepath.Join(dir, fmt.Sprintf("run-%d", i)),
+				Label:    fmt.Sprintf("run-%d", i),
+			}
+			doc := cwl.Document(tool)
+			if i%2 == 1 {
+				doc = wf
+			}
+			outputs[i], errs[i] = r.Run(doc, yamlx.MapOf("message", fmt.Sprintf("msg-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		key := "output"
+		if i%2 == 1 {
+			key = "final"
+		}
+		f, _ := outputs[i].Value(key).(*yamlx.Map)
+		if f == nil {
+			t.Fatalf("run %d outputs = %v", i, outputs[i])
+		}
+		data, err := os.ReadFile(f.GetString("path"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(string(data)) != fmt.Sprintf("msg-%d", i) {
+			t.Errorf("run %d output = %q, want msg-%d", i, data, i)
+		}
+	}
+
+	// Labels keep each run's events separable from the shared stream.
+	for i := 0; i < n; i++ {
+		evs := dfk.EventsFor(fmt.Sprintf("run-%d", i))
+		if len(evs) == 0 {
+			t.Errorf("run %d has no labeled events", i)
+		}
+	}
+}
+
+// TestWorkflowStepsDoNotShareMemo guards against step tasks colliding in the
+// memo table: all steps submit under one app name with empty args, so with
+// Memoize enabled they must opt out (CallOpts.NoMemo) or every step would
+// return the first step's result.
+func TestWorkflowStepsDoNotShareMemo(t *testing.T) {
+	dir := t.TempDir()
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 4)},
+		RunDir:    dir,
+		Memoize:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+
+	wf, err := cwl.ParseBytes([]byte(`cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs:
+  a: {type: File, outputSource: first/output}
+  b: {type: File, outputSource: second/output}
+steps:
+  first:
+    run:
+      class: CommandLineTool
+      baseCommand: [echo, alpha]
+      inputs: {}
+      outputs:
+        output: {type: stdout}
+      stdout: a.txt
+    in: {}
+    out: [output]
+  second:
+    run:
+      class: CommandLineTool
+      baseCommand: [echo, beta]
+      inputs: {}
+      outputs:
+        output: {type: stdout}
+      stdout: b.txt
+    in: {}
+    out: [output]
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewRunner(dfk).Run(wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{"a": "alpha", "b": "beta"} {
+		f, _ := out.Value(key).(*yamlx.Map)
+		if f == nil {
+			t.Fatalf("output %q = %v", key, out.Value(key))
+		}
+		data, err := os.ReadFile(f.GetString("path"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(string(data)) != want {
+			t.Errorf("output %q = %q, want %q (memo collision?)", key, data, want)
+		}
+	}
+}
+
+// TestRunContextCancelsMidRun covers the cancellation path the service's
+// DELETE /runs/{id} uses: a canceled context unblocks RunContext promptly.
+func TestRunContextCancelsMidRun(t *testing.T) {
+	dir := t.TempDir()
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 2)},
+		RunDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+
+	doc, err := cwl.ParseBytes([]byte(`cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [sleep, "2"]
+inputs: {}
+outputs: {}
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRunner(dfk)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunContext(ctx, doc, nil)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the task launch
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("error = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Errorf("cancellation took %v", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+}

@@ -44,6 +44,7 @@ type CWLApp struct {
 	name     string
 	workRoot string
 	executor string
+	label    string
 	seq      atomic.Int64
 	tr       *runner.ToolRunner
 }
@@ -59,6 +60,12 @@ func WithExecutor(label string) AppOpt {
 // WithWorkRoot sets where per-invocation job directories are created.
 func WithWorkRoot(dir string) AppOpt {
 	return func(a *CWLApp) { a.workRoot = dir }
+}
+
+// WithLabel tags every invocation's monitoring events with a submission
+// label, so one run's tasks can be isolated from a shared DFK's stream.
+func WithLabel(label string) AppOpt {
+	return func(a *CWLApp) { a.label = label }
 }
 
 // NewCWLApp loads a CommandLineTool definition from a .cwl file and wraps it
@@ -154,6 +161,7 @@ func (a *CWLApp) Call(args parsl.Args) *parsl.AppFuture {
 	outFiles, err := a.predictOutputs(callArgs, jobdir, stdoutOverride, stderrOverride)
 	opts := parsl.CallOpts{
 		Executor: a.executor,
+		Label:    a.label,
 		Outputs:  outFiles,
 		Stdout:   stdoutOverride,
 		Stderr:   stderrOverride,
@@ -161,7 +169,7 @@ func (a *CWLApp) Call(args parsl.Args) *parsl.AppFuture {
 	if err != nil {
 		// Fail through the future so call sites stay uniform.
 		failing := parsl.NewGoApp(a.name, func(parsl.Args) (any, error) { return nil, err })
-		return a.dfk.Submit(failing, parsl.Args{}, parsl.CallOpts{Executor: a.executor})
+		return a.dfk.Submit(failing, parsl.Args{}, parsl.CallOpts{Executor: a.executor, Label: a.label})
 	}
 
 	cwd, _ := os.Getwd()

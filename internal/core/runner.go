@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -24,6 +25,9 @@ type Runner struct {
 	InputsDir string
 	// Executor selects a specific executor label ("" = default).
 	Executor string
+	// Label tags every task this runner submits, so one run's monitoring
+	// events can be isolated from a shared DFK's stream (DFK.EventsFor).
+	Label string
 }
 
 // NewRunner builds a Runner over a loaded DFK.
@@ -38,11 +42,19 @@ func NewRunner(dfk *parsl.DFK) *Runner {
 
 // Run executes any supported CWL document with the given inputs.
 func (r *Runner) Run(doc cwl.Document, inputs *yamlx.Map) (*yamlx.Map, error) {
+	return r.RunContext(context.Background(), doc, inputs)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the run stops
+// waiting, submits no further tasks, and returns ctx's error. Tasks already
+// handed to an executor run to completion in the background (the shared DFK
+// stays consistent); their results are discarded.
+func (r *Runner) RunContext(ctx context.Context, doc cwl.Document, inputs *yamlx.Map) (*yamlx.Map, error) {
 	switch d := doc.(type) {
 	case *cwl.CommandLineTool:
-		return r.RunTool(d, inputs)
+		return r.RunToolContext(ctx, d, inputs)
 	case *cwl.Workflow:
-		return r.RunWorkflow(d, inputs)
+		return r.RunWorkflowContext(ctx, d, inputs)
 	default:
 		return nil, fmt.Errorf("parsl-cwl cannot execute class %s", doc.Class())
 	}
@@ -50,7 +62,12 @@ func (r *Runner) Run(doc cwl.Document, inputs *yamlx.Map) (*yamlx.Map, error) {
 
 // RunTool executes one CommandLineTool as a Parsl task and waits for it.
 func (r *Runner) RunTool(tool *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.Map, error) {
-	app, err := NewCWLAppFromTool(r.DFK, tool, WithWorkRoot(r.WorkRoot), WithExecutor(r.Executor))
+	return r.RunToolContext(context.Background(), tool, inputs)
+}
+
+// RunToolContext is RunTool with cancellation.
+func (r *Runner) RunToolContext(ctx context.Context, tool *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.Map, error) {
+	app, err := NewCWLAppFromTool(r.DFK, tool, WithWorkRoot(r.WorkRoot), WithExecutor(r.Executor), WithLabel(r.Label))
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +78,7 @@ func (r *Runner) RunTool(tool *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.M
 		}
 	}
 	fut := app.Call(args)
-	res, err := fut.Wait()
+	res, err := fut.Result(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -72,11 +89,17 @@ func (r *Runner) RunTool(tool *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.M
 // RunWorkflow executes a complete CWL Workflow with every tool invocation
 // dispatched as a Parsl task.
 func (r *Runner) RunWorkflow(wf *cwl.Workflow, inputs *yamlx.Map) (*yamlx.Map, error) {
+	return r.RunWorkflowContext(context.Background(), wf, inputs)
+}
+
+// RunWorkflowContext is RunWorkflow with cancellation: a cancelled ctx stops
+// new step submissions and unblocks every in-flight step wait.
+func (r *Runner) RunWorkflowContext(ctx context.Context, wf *cwl.Workflow, inputs *yamlx.Map) (*yamlx.Map, error) {
 	if _, err := cwl.Validate(wf); err != nil {
 		return nil, err
 	}
 	eng := &runner.WorkflowEngine{
-		Submitter: &ParslSubmitter{DFK: r.DFK, WorkRoot: r.WorkRoot, Executor: r.Executor, InputsDir: r.InputsDir},
+		Submitter: &ParslSubmitter{Ctx: ctx, DFK: r.DFK, WorkRoot: r.WorkRoot, Executor: r.Executor, InputsDir: r.InputsDir, Label: r.Label},
 		InputsDir: r.InputsDir,
 	}
 	return eng.Execute(wf, inputs)
@@ -85,14 +108,27 @@ func (r *Runner) RunWorkflow(wf *cwl.Workflow, inputs *yamlx.Map) (*yamlx.Map, e
 // ParslSubmitter adapts the Parsl DFK to the shared workflow engine: every
 // CWL step job becomes one Parsl task.
 type ParslSubmitter struct {
+	// Ctx, when non-nil, cancels pending submissions: a cancelled context
+	// rejects new steps and abandons waits on in-flight ones.
+	Ctx       context.Context
 	DFK       *parsl.DFK
 	WorkRoot  string
 	Executor  string
 	InputsDir string
+	// Label tags submitted tasks' monitoring events.
+	Label string
 }
 
 // SubmitTool implements runner.Submitter.
 func (s *ParslSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map, extraReqs *cwl.Requirements, done func(*yamlx.Map, error)) {
+	ctx := s.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		done(nil, err)
+		return
+	}
 	tr := &runner.ToolRunner{WorkRoot: s.WorkRoot}
 	app := parsl.NewGoApp("cwl-step", func(parsl.Args) (any, error) {
 		res, err := tr.RunTool(tool, inputs, runner.RunOpts{ExtraReqs: extraReqs, InputsDir: s.InputsDir})
@@ -101,9 +137,11 @@ func (s *ParslSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map
 		}
 		return res.Outputs, nil
 	})
-	fut := s.DFK.Submit(app, parsl.Args{}, parsl.CallOpts{Executor: s.Executor})
+	// Step tasks carry no distinguishing arguments (the tool and inputs are
+	// closed over), so memoizing them would collide every step onto one key.
+	fut := s.DFK.Submit(app, parsl.Args{}, parsl.CallOpts{Executor: s.Executor, Label: s.Label, NoMemo: true})
 	go func() {
-		res, err := fut.Wait()
+		res, err := fut.Result(ctx)
 		if err != nil {
 			done(nil, err)
 			return

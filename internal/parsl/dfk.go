@@ -55,6 +55,9 @@ type TaskEvent struct {
 	State  TaskState
 	Time   time.Time
 	Tries  int
+	// Label attributes the task to a submission group (CallOpts.Label),
+	// e.g. one service run multiplexed over a shared DFK.
+	Label string
 }
 
 // Config configures a DFK, following parsl.config.Config.
@@ -67,6 +70,11 @@ type Config struct {
 	Memoize bool
 	// RunDir is where BashApps run and redirect output by default.
 	RunDir string
+	// MaxEvents bounds the monitoring log: when exceeded, the oldest events
+	// are discarded so a long-lived DFK (e.g. under the submission service)
+	// does not grow without bound. 0 selects the default of 65536; negative
+	// retains everything.
+	MaxEvents int
 }
 
 // DFK is the DataFlowKernel: it tracks tasks, resolves dependencies and
@@ -80,9 +88,14 @@ type DFK struct {
 	nextID  int
 	states  map[int]TaskState
 	events  []TaskEvent
+	hooks   []*taskEventHook
 	memo    map[string]*AppFuture
 	pending sync.WaitGroup
 	cleaned bool
+}
+
+type taskEventHook struct {
+	fn func(TaskEvent)
 }
 
 // Load starts all executors and returns a ready DFK (parsl.load).
@@ -130,6 +143,13 @@ func (d *DFK) RunDir() string { return d.cfg.RunDir }
 type CallOpts struct {
 	// Executor label; "" uses the default executor.
 	Executor string
+	// Label tags the task's monitoring events so one submission group (e.g.
+	// a service run) can be isolated from the shared event stream.
+	Label string
+	// NoMemo exempts this task from memoization even when the DFK enables
+	// it — required when the app's identity is not captured by its name and
+	// arguments (e.g. workflow step tasks that close over their tool).
+	NoMemo bool
 	// Outputs declares files the invocation will produce; each becomes a
 	// DataFuture on the returned AppFuture.
 	Outputs []File
@@ -154,9 +174,14 @@ func (d *DFK) Submit(app App, args Args, opts CallOpts) *AppFuture {
 		fut.outputs = append(fut.outputs, &DataFuture{parent: fut, file: f})
 	}
 	d.states[id] = StatePending
-	d.events = append(d.events, TaskEvent{TaskID: id, App: app.Name(), State: StatePending, Time: time.Now()})
+	ev := TaskEvent{TaskID: id, App: app.Name(), State: StatePending, Time: time.Now(), Label: opts.Label}
+	d.appendEventLocked(ev)
+	hooks := d.hooks
 	d.pending.Add(1)
 	d.mu.Unlock()
+	for _, h := range hooks {
+		h.fn(ev)
+	}
 
 	deps := collectDeps(args)
 	go d.resolveAndLaunch(id, app, args, opts, fut, deps)
@@ -168,7 +193,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 	for _, dep := range deps {
 		<-dep.Done()
 		if _, err, _ := dep.TryResult(); err != nil {
-			d.setState(id, app.Name(), StateDepFail, 0)
+			d.setState(id, app.Name(), opts.Label, StateDepFail, 0)
 			fut.complete(nil, &DependencyError{TaskID: id, Dep: dep.taskID, Cause: err})
 			d.pending.Done()
 			return
@@ -178,7 +203,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 
 	// Memoization.
 	var memoKey string
-	if d.cfg.Memoize {
+	if d.cfg.Memoize && !opts.NoMemo {
 		memoKey = memoHash(app.Name(), resolved, opts)
 		d.mu.Lock()
 		if prior, ok := d.memo[memoKey]; ok {
@@ -186,7 +211,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 			<-prior.Done()
 			res, err, _ := prior.TryResult()
 			if err == nil {
-				d.setState(id, app.Name(), StateMemoHit, 0)
+				d.setState(id, app.Name(), opts.Label, StateMemoHit, 0)
 				fut.complete(res, nil)
 				d.pending.Done()
 				return
@@ -200,7 +225,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 
 	ex, err := d.Executor(opts.Executor)
 	if err != nil {
-		d.setState(id, app.Name(), StateFailed, 0)
+		d.setState(id, app.Name(), opts.Label, StateFailed, 0)
 		fut.complete(nil, err)
 		d.pending.Done()
 		return
@@ -210,7 +235,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 	tries := 0
 	var launch func()
 	launch = func() {
-		d.setState(id, app.Name(), StateLaunched, tries)
+		d.setState(id, app.Name(), opts.Label, StateLaunched, tries)
 		task := &Task{ID: id, Cores: opts.Cores, Fn: func() (any, error) {
 			return app.Execute(tc, resolved)
 		}}
@@ -221,9 +246,9 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 				return
 			}
 			if err != nil {
-				d.setState(id, app.Name(), StateFailed, tries)
+				d.setState(id, app.Name(), opts.Label, StateFailed, tries)
 			} else {
-				d.setState(id, app.Name(), StateDone, tries)
+				d.setState(id, app.Name(), opts.Label, StateDone, tries)
 			}
 			fut.complete(res, err)
 			d.pending.Done()
@@ -232,11 +257,72 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 	launch()
 }
 
-func (d *DFK) setState(id int, app string, s TaskState, tries int) {
+func (d *DFK) setState(id int, app, label string, s TaskState, tries int) {
 	d.mu.Lock()
 	d.states[id] = s
-	d.events = append(d.events, TaskEvent{TaskID: id, App: app, State: s, Time: time.Now(), Tries: tries})
+	ev := TaskEvent{TaskID: id, App: app, State: s, Time: time.Now(), Tries: tries, Label: label}
+	d.appendEventLocked(ev)
+	hooks := d.hooks
 	d.mu.Unlock()
+	for _, h := range hooks {
+		h.fn(ev)
+	}
+}
+
+// DefaultMaxEvents is the monitoring-log retention used when
+// Config.MaxEvents is 0.
+const DefaultMaxEvents = 65536
+
+// appendEventLocked records ev, discarding the oldest events once the log
+// doubles the retention cap (amortized O(1)). Caller holds d.mu. Hooks (and
+// the service's per-run stores) see every event regardless of truncation.
+func (d *DFK) appendEventLocked(ev TaskEvent) {
+	d.events = append(d.events, ev)
+	limit := d.cfg.MaxEvents
+	if limit == 0 {
+		limit = DefaultMaxEvents
+	}
+	if limit > 0 && len(d.events) > 2*limit {
+		d.events = append([]TaskEvent{}, d.events[len(d.events)-limit:]...)
+	}
+}
+
+// OnTaskEvent registers fn to be called for every subsequent task event and
+// returns a function that unregisters it (clients observing a shared DFK
+// must detach on shutdown or they are retained for the DFK's lifetime).
+// Callbacks run synchronously on the goroutine recording the event and must
+// be fast and non-blocking; they must not call back into the DFK. Events for
+// one task arrive in order; events for different tasks may interleave.
+func (d *DFK) OnTaskEvent(fn func(TaskEvent)) (remove func()) {
+	reg := &taskEventHook{fn: fn}
+	d.mu.Lock()
+	d.hooks = append(append([]*taskEventHook{}, d.hooks...), reg)
+	d.mu.Unlock()
+	return func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		kept := make([]*taskEventHook, 0, len(d.hooks))
+		for _, h := range d.hooks {
+			if h != reg {
+				kept = append(kept, h)
+			}
+		}
+		d.hooks = kept
+	}
+}
+
+// EventsFor returns the monitoring events recorded for one submission label,
+// in append order — the per-run slice of the shared event stream.
+func (d *DFK) EventsFor(label string) []TaskEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []TaskEvent
+	for _, ev := range d.events {
+		if ev.Label == label {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // TaskStates returns a snapshot of task states.

@@ -1,0 +1,87 @@
+package parsl
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestEventLogTruncation(t *testing.T) {
+	dfk, err := Load(Config{
+		Executors: []Executor{NewThreadPoolExecutor("threads", 2)},
+		MaxEvents: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+	app := NewGoApp("noop", func(Args) (any, error) { return nil, nil })
+	for i := 0; i < 20; i++ {
+		if _, err := dfk.Submit(app, Args{}, CallOpts{}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 tasks × 3 events each with a cap of 4: the log must have been
+	// truncated to at most 2×cap, keeping the most recent events.
+	events := dfk.Events()
+	if len(events) > 8 {
+		t.Errorf("event log holds %d events, cap 4 should bound it to ≤ 8", len(events))
+	}
+	last := events[len(events)-1]
+	if last.State != StateDone {
+		t.Errorf("newest event = %v, want exec_done", last.State)
+	}
+}
+
+func TestEventHookSeesAllEventsAndUnregisters(t *testing.T) {
+	dfk, err := Load(Config{
+		Executors: []Executor{NewThreadPoolExecutor("threads", 2)},
+		MaxEvents: 2, // aggressive truncation must not affect hooks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+	var seen atomic.Int64
+	remove := dfk.OnTaskEvent(func(TaskEvent) { seen.Add(1) })
+	app := NewGoApp("noop", func(Args) (any, error) { return nil, nil })
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := dfk.Submit(app, Args{}, CallOpts{}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := seen.Load(); got != 3*n { // pending, launched, exec_done
+		t.Errorf("hook saw %d events, want %d", got, 3*n)
+	}
+	remove()
+	if _, err := dfk.Submit(app, Args{}, CallOpts{}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := seen.Load(); got != 3*n {
+		t.Errorf("hook saw %d events after unregistering, want %d", got, 3*n)
+	}
+}
+
+func TestNoMemoOptBypassesMemoization(t *testing.T) {
+	dfk, err := Load(Config{
+		Executors: []Executor{NewThreadPoolExecutor("threads", 2)},
+		Memoize:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+	var calls atomic.Int64
+	app := NewGoApp("same-name", func(Args) (any, error) { return calls.Add(1), nil })
+	r1, _ := dfk.Submit(app, Args{}, CallOpts{NoMemo: true}).Wait()
+	r2, _ := dfk.Submit(app, Args{}, CallOpts{NoMemo: true}).Wait()
+	if r1 == r2 {
+		t.Errorf("NoMemo submissions shared a result: %v", r1)
+	}
+	// Without NoMemo the identical submission memo-hits.
+	r3, _ := dfk.Submit(app, Args{}, CallOpts{}).Wait()
+	r4, _ := dfk.Submit(app, Args{}, CallOpts{}).Wait()
+	if r3 != r4 {
+		t.Errorf("memoized submissions diverged: %v vs %v", r3, r4)
+	}
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/cwl"
+)
+
+// DocCache is a content-hash cache of parsed-and-validated CWL documents:
+// repeated submissions of byte-identical CWL source skip ParseBytes+Validate
+// on the hot submission path. Entries are evicted LRU past the capacity.
+//
+// Cached documents are shared across concurrent runs; the engine treats
+// parsed documents as read-only after load, which is what makes the sharing
+// sound. Parse/validate failures are cached too, so a client hammering the
+// service with a bad document pays the parse cost once.
+type DocCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	hits    int
+	misses  int
+}
+
+type docEntry struct {
+	hash string
+	doc  cwl.Document
+	err  error
+}
+
+// NewDocCache returns a cache holding up to capacity documents
+// (capacity <= 0 selects the default of 128).
+func NewDocCache(capacity int) *DocCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &DocCache{cap: capacity, entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// HashSource returns the content hash used as the cache key (hex sha256).
+func HashSource(source []byte) string {
+	sum := sha256.Sum256(source)
+	return hex.EncodeToString(sum[:])
+}
+
+// Load returns the parsed document for the given CWL source, its content
+// hash, and whether it was served from cache. Documents are parsed with file
+// references disabled — service submissions must be self-contained (inline
+// `run:` bodies or a packed $graph). A parse or validation failure is
+// returned wrapped in ErrInvalidDocument.
+func (c *DocCache) Load(source []byte) (doc cwl.Document, hash string, hit bool, err error) {
+	hash = HashSource(source)
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		ent := el.Value.(*docEntry)
+		c.mu.Unlock()
+		return ent.doc, hash, true, ent.err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock; concurrent misses on the same document may
+	// duplicate work, but never block unrelated submissions.
+	doc, err = parseAndValidate(source)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		// Another goroutine raced us; keep its entry.
+		ent := el.Value.(*docEntry)
+		return ent.doc, hash, false, ent.err
+	}
+	c.entries[hash] = c.lru.PushFront(&docEntry{hash: hash, doc: doc, err: err})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*docEntry).hash)
+	}
+	return doc, hash, false, err
+}
+
+func parseAndValidate(source []byte) (cwl.Document, error) {
+	doc, err := cwl.ParseBytes(source, "", nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidDocument, err)
+	}
+	if _, err := cwl.Validate(doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidDocument, err)
+	}
+	switch doc.(type) {
+	case *cwl.CommandLineTool, *cwl.Workflow:
+	default:
+		return nil, fmt.Errorf("%w: class %s cannot be submitted as a run", ErrInvalidDocument, doc.Class())
+	}
+	return doc, nil
+}
+
+// Stats reports cache effectiveness counters.
+func (c *DocCache) Stats() (hits, misses, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len()
+}

@@ -1,0 +1,290 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/yamlx"
+)
+
+// maxBodyBytes bounds request bodies so a single client cannot exhaust the
+// server's memory with one giant document.
+const maxBodyBytes = 8 << 20
+
+// submitBody is the JSON envelope accepted by POST /runs.
+type submitBody struct {
+	// CWL is the document source (YAML or JSON text).
+	CWL string `json:"cwl"`
+	// Inputs is the job order: a JSON object, or a string of YAML.
+	Inputs json.RawMessage `json:"inputs,omitempty"`
+	Name   string          `json:"name,omitempty"`
+	// Priority orders the queue (higher first).
+	Priority int `json:"priority,omitempty"`
+}
+
+// taskEventJSON is the wire form of one parsl.TaskEvent.
+type taskEventJSON struct {
+	TaskID int       `json:"taskId"`
+	App    string    `json:"app"`
+	State  string    `json:"state"`
+	Time   time.Time `json:"time"`
+	Tries  int       `json:"tries,omitempty"`
+}
+
+// Handler returns the REST API over this service:
+//
+//	POST   /runs             submit a run  {"cwl": "...", "inputs": {...}}
+//	GET    /runs             list all runs
+//	GET    /runs/{id}        one run (?wait=1 blocks until terminal)
+//	GET    /runs/{id}/events the run's DFK task-event log
+//	DELETE /runs/{id}        cancel a queued or running run
+//	GET    /healthz          liveness + load/cache stats
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
+	return mux
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": s.Stats()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("request body too large"))
+		return
+	}
+	req, err := parseSubmitBody(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap, err := s.Submit(req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/runs/"+snap.ID)
+	writeJSON(w, http.StatusCreated, snap)
+}
+
+// parseSubmitBody accepts either the JSON envelope or, for yaml/plain
+// content types, the raw CWL document itself (no inputs).
+func parseSubmitBody(contentType string, body []byte) (SubmitRequest, error) {
+	ct := strings.ToLower(strings.TrimSpace(strings.SplitN(contentType, ";", 2)[0]))
+	if strings.Contains(ct, "yaml") || ct == "text/plain" {
+		return SubmitRequest{Source: body}, nil
+	}
+	var env submitBody
+	if err := json.Unmarshal(body, &env); err != nil {
+		return SubmitRequest{}, fmt.Errorf("request body is not valid JSON: %w", err)
+	}
+	if strings.TrimSpace(env.CWL) == "" {
+		return SubmitRequest{}, errors.New(`request is missing the "cwl" field`)
+	}
+	inputs, err := decodeInputs(env.Inputs)
+	if err != nil {
+		return SubmitRequest{}, err
+	}
+	return SubmitRequest{
+		Source:   []byte(env.CWL),
+		Inputs:   inputs,
+		Name:     env.Name,
+		Priority: env.Priority,
+	}, nil
+}
+
+// decodeInputs turns the request's inputs field — a JSON object, a YAML
+// string, or null — into the ordered map form the engine accepts.
+func decodeInputs(raw json.RawMessage) (*yamlx.Map, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	if len(trimmed) == 0 || trimmed == "null" {
+		return nil, nil
+	}
+	if strings.HasPrefix(trimmed, `"`) {
+		// A string of YAML, e.g. "message: hi\n".
+		var text string
+		if err := json.Unmarshal(raw, &text); err != nil {
+			return nil, fmt.Errorf("inputs: %w", err)
+		}
+		v, err := yamlx.Decode([]byte(text))
+		if err != nil {
+			return nil, fmt.Errorf("inputs YAML: %w", err)
+		}
+		if v == nil {
+			return nil, nil
+		}
+		m, ok := v.(*yamlx.Map)
+		if !ok {
+			return nil, errors.New("inputs YAML must be a mapping")
+		}
+		return m, nil
+	}
+	dec := json.NewDecoder(strings.NewReader(trimmed))
+	dec.UseNumber()
+	v, err := decodeJSONValue(dec)
+	if err != nil {
+		return nil, fmt.Errorf("inputs: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("inputs: trailing data after JSON value")
+	}
+	m, ok := v.(*yamlx.Map)
+	if !ok {
+		return nil, errors.New("inputs must be a JSON object")
+	}
+	return m, nil
+}
+
+// decodeJSONValue decodes one JSON value preserving object key order (CWL
+// binding tie-breaks depend on it) and typing integers as int64 like the
+// YAML loader does.
+func decodeJSONValue(dec *json.Decoder) (any, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			m := yamlx.NewMap()
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key, _ := keyTok.(string)
+				val, err := decodeJSONValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				m.Set(key, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, err
+			}
+			return m, nil
+		case '[':
+			var list []any
+			for dec.More() {
+				val, err := decodeJSONValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			return list, nil
+		}
+		return nil, fmt.Errorf("unexpected delimiter %v", t)
+	case json.Number:
+		if n, err := t.Int64(); err == nil {
+			return n, nil
+		}
+		return t.Float64()
+	default:
+		return tok, nil // string, bool, nil
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": s.List()})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if wait := r.URL.Query().Get("wait"); wait != "" && wait != "0" && wait != "false" {
+		snap, err := s.Wait(r.Context(), id)
+		if errors.Is(err, ErrNotFound) {
+			writeServiceError(w, err)
+			return
+		}
+		// A client timeout still reports the run's current state.
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	snap, ok := s.Get(id)
+	if !ok {
+		writeServiceError(w, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, ok := s.Events(id)
+	if !ok {
+		writeServiceError(w, ErrNotFound)
+		return
+	}
+	out := make([]taskEventJSON, len(events))
+	for i, ev := range events {
+		out[i] = taskEventJSON{
+			TaskID: ev.TaskID,
+			App:    ev.App,
+			State:  ev.State.String(),
+			Time:   ev.Time,
+			Tries:  ev.Tries,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runId": id, "events": out})
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// writeServiceError maps the service's typed errors onto HTTP statuses.
+func writeServiceError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInvalidDocument):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrAlreadyFinished):
+		status = http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	}
+	writeError(w, status, err)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

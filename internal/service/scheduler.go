@@ -1,0 +1,197 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync"
+)
+
+// Scheduler runs queued jobs on a bounded pool of workers. Jobs dequeue by
+// descending priority, FIFO within a priority. Queued jobs can be removed,
+// running jobs can be signaled through their context, and Close drains the
+// pool gracefully.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobHeap
+	queued  map[string]*schedJob
+	running map[string]context.CancelFunc
+	seq     int64
+	depth   int
+	closed  bool
+	exec    func(ctx context.Context, id string)
+	wg      sync.WaitGroup
+}
+
+type schedJob struct {
+	id       string
+	priority int
+	seq      int64
+	canceled bool
+}
+
+// jobHeap orders by priority (higher first), then submission order.
+type jobHeap []*schedJob
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)        { *h = append(*h, x.(*schedJob)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// NewScheduler starts workers goroutines that call exec for each dequeued
+// job. depth bounds the number of queued (not yet running) jobs; depth <= 0
+// means unbounded. exec receives a per-job context canceled by Cancel.
+func NewScheduler(workers, depth int, exec func(ctx context.Context, id string)) *Scheduler {
+	if workers <= 0 {
+		workers = 1
+	}
+	s := &Scheduler{
+		queued:  map[string]*schedJob{},
+		running: map[string]context.CancelFunc{},
+		depth:   depth,
+		exec:    exec,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Enqueue adds a job. It fails with ErrDraining after Close and ErrQueueFull
+// when the queue is at capacity (the service's backpressure signal).
+func (s *Scheduler) Enqueue(id string, priority int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrDraining
+	}
+	if s.depth > 0 && len(s.queued) >= s.depth {
+		return ErrQueueFull
+	}
+	s.seq++
+	j := &schedJob{id: id, priority: priority, seq: s.seq}
+	heap.Push(&s.queue, j)
+	s.queued[id] = j
+	s.cond.Signal()
+	return nil
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for !s.closed && s.queue.Len() == 0 {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*schedJob)
+		if j.canceled {
+			continue
+		}
+		delete(s.queued, j.id)
+		ctx, cancel := context.WithCancel(context.Background())
+		s.running[j.id] = cancel
+		s.mu.Unlock()
+
+		s.exec(ctx, j.id)
+		cancel()
+
+		s.mu.Lock()
+		delete(s.running, j.id)
+	}
+}
+
+// CancelOutcome reports what Cancel found.
+type CancelOutcome int
+
+const (
+	// CancelNotFound means the job is neither queued nor running.
+	CancelNotFound CancelOutcome = iota
+	// CancelDequeued means the job was removed before any worker ran it.
+	CancelDequeued
+	// CancelSignaled means the job is running and its context was canceled.
+	CancelSignaled
+)
+
+// Cancel removes a queued job or cancels a running one's context.
+func (s *Scheduler) Cancel(id string) CancelOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.queued[id]; ok {
+		j.canceled = true // lazily skipped when popped
+		delete(s.queued, id)
+		return CancelDequeued
+	}
+	if cancel, ok := s.running[id]; ok {
+		cancel()
+		return CancelSignaled
+	}
+	return CancelNotFound
+}
+
+// Depths reports the queued and running job counts.
+func (s *Scheduler) Depths() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queued), len(s.running)
+}
+
+// Close drains the scheduler: no further Enqueue succeeds, every still-queued
+// job is dropped (their sorted IDs are returned so the caller can mark them
+// canceled), and in-flight jobs are awaited. If ctx expires first, running
+// jobs have their contexts canceled and Close waits for them to return,
+// reporting ctx's error.
+func (s *Scheduler) Close(ctx context.Context) ([]string, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	s.closed = true
+	var dropped []string
+	for id, j := range s.queued {
+		j.canceled = true
+		dropped = append(dropped, id)
+	}
+	s.queued = map[string]*schedJob{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	sort.Strings(dropped)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return dropped, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, cancel := range s.running {
+			cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return dropped, ctx.Err()
+	}
+}

@@ -1,0 +1,296 @@
+// Package service is the workflow submission service over the Parsl+CWL
+// engine: it turns the single-run parsl-cwl library into a servable system
+// that multiplexes many concurrent CWL runs over one shared DataFlowKernel.
+//
+// The subsystem has four pieces:
+//
+//   - RunStore tracks every submission through the
+//     queued → running → succeeded/failed/canceled lifecycle with per-run
+//     outputs, errors, and task-event logs sourced from the DFK's TaskEvent
+//     stream (attributed by submission label).
+//   - Scheduler bounds run concurrency with a worker pool over a
+//     priority+FIFO queue, supports cancellation of queued and running work,
+//     and drains gracefully on shutdown.
+//   - DocCache memoizes parse+validate by content hash so repeated
+//     submissions of the same CWL source skip the load path.
+//   - Handler (http.go) exposes the whole thing as a REST API:
+//     POST /runs, GET /runs, GET /runs/{id}, GET /runs/{id}/events,
+//     DELETE /runs/{id}, GET /healthz.
+//
+// One Service owns its RunStore/Scheduler/DocCache but deliberately shares
+// the DFK: executor capacity is the scarce resource the scheduler is
+// multiplexing, exactly the multi-workflow regime the paper's single-run
+// prototype could not express.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+// Typed errors the HTTP layer maps to status codes.
+var (
+	// ErrInvalidDocument wraps CWL parse/validation failures (HTTP 400).
+	ErrInvalidDocument = errors.New("invalid CWL document")
+	// ErrNotFound marks an unknown run ID (HTTP 404).
+	ErrNotFound = errors.New("no such run")
+	// ErrAlreadyFinished marks a cancel of a terminal run (HTTP 409).
+	ErrAlreadyFinished = errors.New("run already finished")
+	// ErrQueueFull is the backpressure signal (HTTP 429).
+	ErrQueueFull = errors.New("run queue is full")
+	// ErrDraining marks submissions during shutdown (HTTP 503).
+	ErrDraining = errors.New("service is draining")
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the number of runs executed concurrently (default 4).
+	// Tasks within a run still fan out across the DFK's executors; this
+	// bounds whole-run concurrency, not task concurrency.
+	Workers int
+	// QueueDepth bounds queued (not yet running) runs; submissions beyond it
+	// fail with ErrQueueFull. 0 selects the default of 64; negative means
+	// unbounded.
+	QueueDepth int
+	// CacheSize bounds the parsed-document cache (default 128 documents).
+	CacheSize int
+	// RetainRuns bounds how many terminal runs the store keeps — the oldest
+	// are evicted past the cap so a long-lived service does not grow without
+	// bound. 0 selects the default of 4096; negative retains everything.
+	RetainRuns int
+	// WorkRoot is where per-run job directories are created (default: the
+	// DFK run dir, else a directory under os.TempDir).
+	WorkRoot string
+	// InputsDir resolves relative input file paths (default WorkRoot).
+	InputsDir string
+	// Executor routes runs to a specific executor label ("" = default).
+	Executor string
+}
+
+// SubmitRequest is one workflow submission.
+type SubmitRequest struct {
+	// Source is the CWL document text (YAML or JSON). It must be
+	// self-contained: inline `run:` bodies or a packed $graph, no file refs.
+	Source []byte
+	// Inputs is the job order (may be nil for tools with defaults).
+	Inputs *yamlx.Map
+	// Name is an optional client-chosen display name.
+	Name string
+	// Priority orders the queue: higher dequeues first, FIFO within equal.
+	Priority int
+}
+
+// Stats is the service health/load summary served by /healthz.
+type Stats struct {
+	Runs        map[string]int `json:"runs"`
+	Queued      int            `json:"queued"`
+	Running     int            `json:"running"`
+	Workers     int            `json:"workers"`
+	CacheHits   int            `json:"cacheHits"`
+	CacheMisses int            `json:"cacheMisses"`
+	CacheSize   int            `json:"cacheSize"`
+}
+
+// Service is the workflow submission service: a run store, a bounded
+// scheduler, and a document cache over one shared DFK.
+type Service struct {
+	dfk   *parsl.DFK
+	opts  Options
+	store *RunStore
+	cache *DocCache
+	sched *Scheduler
+
+	workMu     sync.Mutex
+	work       map[string]*pendingRun
+	removeHook func()
+}
+
+// pendingRun is a run's execution payload between Submit and dequeue.
+type pendingRun struct {
+	doc    cwl.Document
+	inputs *yamlx.Map
+}
+
+// New builds a Service over a loaded DFK.
+func New(dfk *parsl.DFK, opts Options) (*Service, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.WorkRoot == "" {
+		if opts.WorkRoot = dfk.RunDir(); opts.WorkRoot == "" {
+			opts.WorkRoot = filepath.Join(os.TempDir(), "parsl-cwl-serve")
+		}
+	}
+	if err := os.MkdirAll(opts.WorkRoot, 0o755); err != nil {
+		return nil, fmt.Errorf("service work root: %w", err)
+	}
+	if opts.InputsDir == "" {
+		opts.InputsDir = opts.WorkRoot
+	}
+	if opts.RetainRuns == 0 {
+		opts.RetainRuns = 4096
+	}
+	s := &Service{
+		dfk:   dfk,
+		opts:  opts,
+		store: NewRunStore(opts.RetainRuns),
+		cache: NewDocCache(opts.CacheSize),
+		work:  map[string]*pendingRun{},
+	}
+	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
+	// Mirror this service's task events into its run records; events labeled
+	// for other DFK clients are ignored by the store.
+	s.removeHook = dfk.OnTaskEvent(s.store.AppendEvent)
+	return s, nil
+}
+
+// Submit validates, registers, and enqueues one run, returning its queued
+// snapshot immediately.
+func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
+	doc, hash, hit, err := s.cache.Load(req.Source)
+	if err != nil {
+		return RunSnapshot{}, err
+	}
+	snap := s.store.Create(req.Name, doc.Class(), hash, req.Priority, hit)
+	s.workMu.Lock()
+	s.work[snap.ID] = &pendingRun{doc: doc, inputs: req.Inputs}
+	s.workMu.Unlock()
+	if err := s.sched.Enqueue(snap.ID, req.Priority); err != nil {
+		s.dropWork(snap.ID)
+		s.store.Delete(snap.ID)
+		return RunSnapshot{}, err
+	}
+	return snap, nil
+}
+
+func (s *Service) takeWork(id string) *pendingRun {
+	s.workMu.Lock()
+	defer s.workMu.Unlock()
+	w := s.work[id]
+	delete(s.work, id)
+	return w
+}
+
+func (s *Service) dropWork(id string) {
+	s.workMu.Lock()
+	defer s.workMu.Unlock()
+	delete(s.work, id)
+}
+
+// execute is the scheduler worker body: one whole run on the shared DFK.
+func (s *Service) execute(ctx context.Context, id string) {
+	w := s.takeWork(id)
+	if w == nil || !s.store.MarkRunning(id) {
+		return // canceled between dequeue and start
+	}
+	r := &core.Runner{
+		DFK:       s.dfk,
+		WorkRoot:  filepath.Join(s.opts.WorkRoot, id),
+		InputsDir: s.opts.InputsDir,
+		Executor:  s.opts.Executor,
+		Label:     id,
+	}
+	outputs, err := r.RunContext(ctx, w.doc, w.inputs)
+	canceled := err != nil && ctx.Err() != nil
+	s.store.Finish(id, outputs, err, canceled)
+}
+
+// Get returns the current snapshot of a run.
+func (s *Service) Get(id string) (RunSnapshot, bool) { return s.store.Get(id) }
+
+// List returns every run, oldest first.
+func (s *Service) List() []RunSnapshot { return s.store.List() }
+
+// Events returns the run's task-event log from the DFK stream.
+func (s *Service) Events(id string) ([]parsl.TaskEvent, bool) { return s.store.Events(id) }
+
+// Cancel cancels a queued or running run and returns its snapshot.
+func (s *Service) Cancel(id string) (RunSnapshot, error) {
+	snap, ok := s.store.Get(id)
+	if !ok {
+		return RunSnapshot{}, ErrNotFound
+	}
+	switch s.sched.Cancel(id) {
+	case CancelDequeued:
+		s.dropWork(id)
+		snap, _ = s.store.Finish(id, nil, context.Canceled, true)
+		return snap, nil
+	case CancelSignaled:
+		// The worker observes the canceled context and finishes the run;
+		// report the current (running) snapshot without waiting. If the run
+		// beat the cancel to a terminal state, honor the 409 contract.
+		snap, _ = s.store.Get(id)
+		if snap.State.Terminal() && snap.State != RunCanceled {
+			return snap, ErrAlreadyFinished
+		}
+		return snap, nil
+	default:
+		snap, _ = s.store.Get(id)
+		if snap.State.Terminal() {
+			return snap, ErrAlreadyFinished
+		}
+		// The submission is between store registration and enqueue: mark it
+		// canceled and drop its payload so a later dequeue is a no-op.
+		s.dropWork(id)
+		snap, _ = s.store.Finish(id, nil, context.Canceled, true)
+		return snap, nil
+	}
+}
+
+// Wait blocks until the run reaches a terminal state or ctx is done.
+func (s *Service) Wait(ctx context.Context, id string) (RunSnapshot, error) {
+	done, ok := s.store.Done(id)
+	if !ok {
+		return RunSnapshot{}, ErrNotFound
+	}
+	select {
+	case <-done:
+		snap, _ := s.store.Get(id)
+		return snap, nil
+	case <-ctx.Done():
+		snap, _ := s.store.Get(id)
+		return snap, ctx.Err()
+	}
+}
+
+// Stats summarizes service load and cache effectiveness.
+func (s *Service) Stats() Stats {
+	hits, misses, size := s.cache.Stats()
+	queued, running := s.sched.Depths()
+	return Stats{
+		Runs:        s.store.Counts(),
+		Queued:      queued,
+		Running:     running,
+		Workers:     s.opts.Workers,
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CacheSize:   size,
+	}
+}
+
+// Close drains the service: new submissions are rejected, queued runs are
+// marked canceled, and in-flight runs are awaited until ctx expires (then
+// force-canceled and still awaited).
+func (s *Service) Close(ctx context.Context) error {
+	dropped, err := s.sched.Close(ctx)
+	for _, id := range dropped {
+		s.dropWork(id)
+		s.store.Finish(id, nil, ErrDraining, true)
+	}
+	if s.removeHook != nil {
+		s.removeHook() // detach from the shared DFK so the store can be freed
+	}
+	return err
+}

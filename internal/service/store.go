@@ -1,0 +1,283 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+// runSeq is process-global so run IDs — which double as DFK event labels —
+// stay unique even when several Services observe one shared DFK.
+var runSeq atomic.Int64
+
+// RunState is the lifecycle state of one submitted run.
+type RunState int
+
+const (
+	// RunQueued means the run is waiting for a scheduler worker.
+	RunQueued RunState = iota
+	// RunRunning means a worker is executing the run on the DFK.
+	RunRunning
+	// RunSucceeded means the run finished and produced outputs.
+	RunSucceeded
+	// RunFailed means execution returned an error.
+	RunFailed
+	// RunCanceled means the run was canceled (queued or mid-execution).
+	RunCanceled
+)
+
+// String names the state for the API.
+func (s RunState) String() string {
+	switch s {
+	case RunQueued:
+		return "queued"
+	case RunRunning:
+		return "running"
+	case RunSucceeded:
+		return "succeeded"
+	case RunFailed:
+		return "failed"
+	case RunCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("RunState(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s RunState) Terminal() bool {
+	return s == RunSucceeded || s == RunFailed || s == RunCanceled
+}
+
+// MarshalJSON renders the state as its string name.
+func (s RunState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// RunSnapshot is an immutable view of one run, safe to hand to API clients.
+type RunSnapshot struct {
+	ID       string     `json:"id"`
+	Name     string     `json:"name,omitempty"`
+	State    RunState   `json:"state"`
+	Class    string     `json:"class"`
+	DocHash  string     `json:"docHash"`
+	Priority int        `json:"priority"`
+	CacheHit bool       `json:"cacheHit"`
+	Created  time.Time  `json:"createdAt"`
+	Started  *time.Time `json:"startedAt,omitempty"`
+	Finished *time.Time `json:"finishedAt,omitempty"`
+	Outputs  *yamlx.Map `json:"outputs,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+type runRecord struct {
+	snap   RunSnapshot
+	events []parsl.TaskEvent
+	done   chan struct{}
+}
+
+// RunStore tracks every submitted run through the
+// queued → running → succeeded/failed/canceled lifecycle, with per-run
+// outputs, errors, and the task-event log sourced from the DFK's TaskEvent
+// stream (events are attributed by CallOpts.Label == run ID). Terminal runs
+// beyond the retention cap are evicted oldest-first so a long-lived service
+// does not grow without bound.
+type RunStore struct {
+	mu       sync.Mutex
+	runs     map[string]*runRecord
+	order    []string // creation order, for retention eviction and List
+	retain   int      // max terminal runs kept; <= 0 means unbounded
+	terminal int      // current terminal-run count
+}
+
+// NewRunStore returns an empty store retaining at most retain terminal runs
+// (retain <= 0 keeps everything).
+func NewRunStore(retain int) *RunStore {
+	return &RunStore{runs: map[string]*runRecord{}, retain: retain}
+}
+
+// Create registers a new queued run and returns its snapshot. The generated
+// ID doubles as the DFK submission label for event attribution; the sequence
+// is process-global so IDs never collide across stores sharing a DFK.
+func (st *RunStore) Create(name, class, docHash string, priority int, cacheHit bool) RunSnapshot {
+	id := fmt.Sprintf("run-%06d", runSeq.Add(1))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec := &runRecord{
+		snap: RunSnapshot{
+			ID:       id,
+			Name:     name,
+			State:    RunQueued,
+			Class:    class,
+			DocHash:  docHash,
+			Priority: priority,
+			CacheHit: cacheHit,
+			Created:  time.Now(),
+		},
+		done: make(chan struct{}),
+	}
+	st.runs[id] = rec
+	st.order = append(st.order, id)
+	return rec.snap
+}
+
+// Delete removes a run record entirely (used to roll back a submission the
+// scheduler rejected).
+func (st *RunStore) Delete(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.runs[id]; !ok {
+		return
+	}
+	delete(st.runs, id)
+	for i, oid := range st.order {
+		if oid == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns the current snapshot of a run.
+func (st *RunStore) Get(id string) (RunSnapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.runs[id]
+	if !ok {
+		return RunSnapshot{}, false
+	}
+	return rec.snap, true
+}
+
+// List returns snapshots of every retained run, oldest first.
+func (st *RunStore) List() []RunSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]RunSnapshot, 0, len(st.runs))
+	for _, id := range st.order {
+		if rec, ok := st.runs[id]; ok {
+			out = append(out, rec.snap)
+		}
+	}
+	return out
+}
+
+// MarkRunning moves a queued run to running. It reports false when the run
+// is unknown or no longer queued (e.g. canceled before a worker picked it up).
+func (st *RunStore) MarkRunning(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.runs[id]
+	if !ok || rec.snap.State != RunQueued {
+		return false
+	}
+	now := time.Now()
+	rec.snap.State = RunRunning
+	rec.snap.Started = &now
+	return true
+}
+
+// Finish moves a run to its terminal state: canceled when canceled is set,
+// failed when runErr is non-nil, succeeded otherwise. It is a no-op on runs
+// already terminal. The run's done channel closes exactly once.
+func (st *RunStore) Finish(id string, outputs *yamlx.Map, runErr error, canceled bool) (RunSnapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.runs[id]
+	if !ok {
+		return RunSnapshot{}, false
+	}
+	if rec.snap.State.Terminal() {
+		return rec.snap, true
+	}
+	now := time.Now()
+	rec.snap.Finished = &now
+	switch {
+	case canceled:
+		rec.snap.State = RunCanceled
+		if runErr != nil {
+			rec.snap.Error = runErr.Error()
+		}
+	case runErr != nil:
+		rec.snap.State = RunFailed
+		rec.snap.Error = runErr.Error()
+	default:
+		rec.snap.State = RunSucceeded
+		rec.snap.Outputs = outputs
+	}
+	close(rec.done)
+	st.terminal++
+	st.pruneLocked()
+	return rec.snap, true
+}
+
+// pruneLocked evicts the oldest terminal runs past the retention cap.
+// Caller holds st.mu.
+func (st *RunStore) pruneLocked() {
+	if st.retain <= 0 || st.terminal <= st.retain {
+		return
+	}
+	kept := make([]string, 0, len(st.order))
+	for _, id := range st.order {
+		rec, ok := st.runs[id]
+		if !ok {
+			continue // rolled back; compact it out
+		}
+		if st.terminal > st.retain && rec.snap.State.Terminal() {
+			delete(st.runs, id)
+			st.terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// AppendEvent records one DFK task event against the run whose ID matches
+// the event's label. Events for unknown labels are ignored, so one store can
+// safely observe a DFK shared with other clients.
+func (st *RunStore) AppendEvent(ev parsl.TaskEvent) {
+	if ev.Label == "" {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if rec, ok := st.runs[ev.Label]; ok {
+		rec.events = append(rec.events, ev)
+	}
+}
+
+// Events returns a copy of the run's task-event log.
+func (st *RunStore) Events(id string) ([]parsl.TaskEvent, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.runs[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]parsl.TaskEvent{}, rec.events...), true
+}
+
+// Done returns a channel closed when the run reaches a terminal state.
+func (st *RunStore) Done(id string) (<-chan struct{}, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.runs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.done, true
+}
+
+// Counts aggregates runs by state.
+func (st *RunStore) Counts() map[string]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := map[string]int{}
+	for _, rec := range st.runs {
+		out[rec.snap.State.String()]++
+	}
+	return out
+}
