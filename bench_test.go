@@ -274,6 +274,69 @@ outputs: {}
 	}
 }
 
+// BenchmarkHTEXThroughput measures end-to-end task throughput through the
+// pilot-job executor at varying block counts — the companion baseline to
+// BenchmarkServiceSubmission for the executor path (interchange → manager
+// pull loop → worker pool, with the heartbeat monitor running).
+func BenchmarkHTEXThroughput(b *testing.B) {
+	for _, blocks := range []int{1, 4} {
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			htex := parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
+				Label: "htex", WorkersPerNode: 4, MaxBlocks: blocks, InitBlocks: blocks,
+			})
+			dfk, err := parsl.Load(parsl.Config{Executors: []parsl.Executor{htex}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dfk.Cleanup()
+			app := parsl.NewGoApp("noop", func(parsl.Args) (any, error) { return nil, nil })
+			b.ResetTimer()
+			futs := make([]*parsl.AppFuture, 0, b.N)
+			for i := 0; i < b.N; i++ {
+				futs = append(futs, dfk.Submit(app, parsl.Args{}, parsl.CallOpts{}))
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
+}
+
+// BenchmarkEventsFor measures per-label event retrieval on a DFK shared by
+// many submission groups — the hot path behind the service's
+// /runs/{id}/events endpoint, which must stay O(per-run) as the shared log
+// grows.
+func BenchmarkEventsFor(b *testing.B) {
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 8)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dfk.Cleanup()
+	app := parsl.NewGoApp("noop", func(parsl.Args) (any, error) { return nil, nil })
+	const labels = 64
+	futs := make([]*parsl.AppFuture, 0, labels*16)
+	for i := 0; i < labels*16; i++ {
+		label := fmt.Sprintf("run-%03d", i%labels)
+		futs = append(futs, dfk.Submit(app, parsl.Args{}, parsl.CallOpts{Label: label}))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if evs := dfk.EventsFor(fmt.Sprintf("run-%03d", i%labels)); len(evs) == 0 {
+			b.Fatal("no events for label")
+		}
+	}
+}
+
 // BenchmarkYAMLDecode measures CWL document parse cost (load-time overhead
 // of the import path).
 func BenchmarkYAMLDecode(b *testing.B) {

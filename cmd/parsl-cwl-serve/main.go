@@ -6,10 +6,14 @@
 //
 //	curl -s localhost:8080/runs -d '{"cwl": "...", "inputs": {"message": "hi"}}'
 //	curl -s localhost:8080/runs/run-000001?wait=1
+//	curl -s localhost:8080/healthz   # load, cache, and per-executor stats
 //
 // The executor configuration uses the same TaPS-style YAML as the parsl-cwl
 // command; without -config a thread-pool executor sized to the machine is
-// started.
+// started. /healthz reports per-executor health — outstanding tasks, live
+// workers, and for HTEX the connected managers plus lost/scaled-in block and
+// re-dispatched task counters — so operators can watch elasticity and fault
+// recovery live.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -108,8 +113,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Fprintf(stdout, "parsl-cwl-serve listening on http://%s (%d workers, queue %d)\n",
-		ln.Addr(), cfg.workers, cfg.queueDepth)
+	var executors []string
+	for _, es := range dfk.ExecutorStats() {
+		executors = append(executors, es.Label)
+	}
+	fmt.Fprintf(stdout, "parsl-cwl-serve listening on http://%s (%d workers, queue %d, executors %s)\n",
+		ln.Addr(), cfg.workers, cfg.queueDepth, strings.Join(executors, ","))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -51,9 +51,25 @@ func TestNewServiceFromConfigAndServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	var health struct {
+		Stats struct {
+			Executors []struct {
+				Label   string `json:"label"`
+				Workers int    `json:"workers"`
+			} `json:"executors"`
+		} `json:"stats"`
+	}
 	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
 		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(health.Stats.Executors) != 1 || health.Stats.Executors[0].Label != "threads" ||
+		health.Stats.Executors[0].Workers != 4 {
+		t.Fatalf("healthz executor stats = %+v", health.Stats.Executors)
 	}
 
 	payload, _ := json.Marshal(map[string]any{

@@ -120,6 +120,22 @@ func NewThreadPoolExecutor(label string, workers int) Executor {
 	return parsl.NewThreadPoolExecutor(label, workers)
 }
 
+// HTEXConfig configures the pilot-job HighThroughputExecutor: block bounds
+// (MaxBlocks/MinBlocks/InitBlocks), per-node workers, heartbeat-driven fault
+// tolerance (HeartbeatPeriod/HeartbeatThreshold) and idle scale-in
+// (IdleTimeout).
+type HTEXConfig = parsl.HTEXConfig
+
+// NewHighThroughputExecutor creates the elastic, fault-tolerant pilot-job
+// executor (the paper's multi-node deployment, Fig. 1a).
+func NewHighThroughputExecutor(cfg HTEXConfig) Executor {
+	return parsl.NewHighThroughputExecutor(cfg)
+}
+
+// ExecutorStats is a point-in-time executor health summary (see
+// DFK.ExecutorStats and the service's /healthz).
+type ExecutorStats = parsl.ExecutorStats
+
 // NewCWLApp imports a CommandLineTool definition as a Parsl app.
 func NewCWLApp(dfk *DFK, path string, opts ...core.AppOpt) (*CWLApp, error) {
 	return core.NewCWLApp(dfk, path, opts...)

@@ -242,3 +242,55 @@ outputs: {}
 		t.Fatal("RunContext did not return after cancel")
 	}
 }
+
+// TestRunnerOnCleanedDFKFailsCleanly is the Runner/Cleanup interaction the
+// service's drain path depends on: a run racing (or following) DFK.Cleanup
+// must fail with an error — never panic on a closed executor queue and never
+// hang. Run with -race.
+func TestRunnerOnCleanedDFKFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 4)},
+		RunDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := cwl.ParseBytes([]byte(`cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [true]
+inputs: {}
+outputs: {}
+`), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runs racing Cleanup either succeed (submitted before shutdown) or fail
+	// cleanly with the DFK's shutdown error.
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := NewRunner(dfk)
+			r.WorkRoot = filepath.Join(dir, fmt.Sprintf("race-%d", i))
+			_, errs[i] = r.Run(doc, nil)
+		}(i)
+	}
+	if err := dfk.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !strings.Contains(err.Error(), "shut down") {
+			t.Errorf("run %d: unexpected error %v", i, err)
+		}
+	}
+	// After Cleanup, every run fails with the shutdown error.
+	r := NewRunner(dfk)
+	if _, err := r.Run(doc, nil); err == nil || !strings.Contains(err.Error(), "shut down") {
+		t.Errorf("run on cleaned DFK: err = %v, want shutdown error", err)
+	}
+}

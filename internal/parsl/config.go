@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/yamlx"
 )
@@ -19,6 +20,10 @@ import (
 //	nodes: 3
 //	provider: local
 //	prefetch: 0
+//	min-blocks: 0
+//	init-blocks: 1
+//	idle-timeout: 30s
+//	heartbeat-period: 5s
 type ConfigSpec struct {
 	Executor       string
 	RunDir         string
@@ -28,6 +33,14 @@ type ConfigSpec struct {
 	Nodes          int
 	Provider       string
 	Prefetch       int
+	// MinBlocks floors HTEX idle scale-in (default 0).
+	MinBlocks int
+	// InitBlocks is how many HTEX blocks start immediately (default 1).
+	InitBlocks int
+	// IdleTimeout releases HTEX blocks idle this long (0 disables scale-in).
+	IdleTimeout time.Duration
+	// HeartbeatPeriod is the HTEX manager liveness reporting period.
+	HeartbeatPeriod time.Duration
 }
 
 // DefaultConfigSpec returns single-node thread-pool defaults.
@@ -77,6 +90,22 @@ func ParseConfig(data []byte) (ConfigSpec, error) {
 			spec.Provider = fmt.Sprint(val)
 		case "prefetch":
 			spec.Prefetch = m.GetInt(k, spec.Prefetch)
+		case "min-blocks", "min_blocks":
+			spec.MinBlocks = m.GetInt(k, spec.MinBlocks)
+		case "init-blocks", "init_blocks":
+			spec.InitBlocks = m.GetInt(k, spec.InitBlocks)
+		case "idle-timeout", "idle_timeout":
+			d, err := parseDuration(val)
+			if err != nil {
+				return spec, fmt.Errorf("idle-timeout: %w", err)
+			}
+			spec.IdleTimeout = d
+		case "heartbeat-period", "heartbeat_period":
+			d, err := parseDuration(val)
+			if err != nil {
+				return spec, fmt.Errorf("heartbeat-period: %w", err)
+			}
+			spec.HeartbeatPeriod = d
 		default:
 			return spec, fmt.Errorf("unknown config key %q", k)
 		}
@@ -100,6 +129,27 @@ func LoadConfigFile(path string) (ConfigSpec, error) {
 	return spec, nil
 }
 
+// parseDuration accepts a Go duration string ("30s", "200ms") or a bare
+// number of seconds.
+func parseDuration(v any) (time.Duration, error) {
+	switch t := v.(type) {
+	case string:
+		d, err := time.ParseDuration(t)
+		if err != nil {
+			return 0, fmt.Errorf("%q is not a duration (want e.g. \"30s\")", t)
+		}
+		return d, nil
+	case int:
+		return time.Duration(t) * time.Second, nil
+	case int64:
+		return time.Duration(t) * time.Second, nil
+	case float64:
+		return time.Duration(t * float64(time.Second)), nil
+	default:
+		return 0, fmt.Errorf("%v is not a duration", v)
+	}
+}
+
 func (s ConfigSpec) validate() error {
 	switch s.Executor {
 	case "thread-pool", "threads", "htex", "high-throughput":
@@ -117,6 +167,24 @@ func (s ConfigSpec) validate() error {
 	if s.Nodes <= 0 {
 		return fmt.Errorf("nodes must be positive")
 	}
+	if s.MinBlocks < 0 {
+		return fmt.Errorf("min-blocks must be non-negative")
+	}
+	if s.MinBlocks > s.Nodes {
+		return fmt.Errorf("min-blocks (%d) cannot exceed nodes (%d)", s.MinBlocks, s.Nodes)
+	}
+	if s.InitBlocks < 0 {
+		return fmt.Errorf("init-blocks must be non-negative")
+	}
+	if s.InitBlocks > s.Nodes {
+		return fmt.Errorf("init-blocks (%d) cannot exceed nodes (%d)", s.InitBlocks, s.Nodes)
+	}
+	if s.IdleTimeout < 0 {
+		return fmt.Errorf("idle-timeout must be non-negative")
+	}
+	if s.HeartbeatPeriod < 0 {
+		return fmt.Errorf("heartbeat-period must be non-negative")
+	}
 	return nil
 }
 
@@ -131,12 +199,15 @@ func (s ConfigSpec) Build() (Config, error) {
 		cfg.Executors = []Executor{NewThreadPoolExecutor("threads", s.WorkersPerNode*s.Nodes)}
 	case "htex", "high-throughput":
 		cfg.Executors = []Executor{NewHighThroughputExecutor(HTEXConfig{
-			Label:          "htex",
-			Provider:       &LocalProvider{},
-			MaxBlocks:      s.Nodes,
-			InitBlocks:     1,
-			WorkersPerNode: s.WorkersPerNode,
-			Prefetch:       s.Prefetch,
+			Label:           "htex",
+			Provider:        &LocalProvider{},
+			MaxBlocks:       s.Nodes,
+			MinBlocks:       s.MinBlocks,
+			InitBlocks:      s.InitBlocks, // fill() defaults 0 to one block
+			WorkersPerNode:  s.WorkersPerNode,
+			Prefetch:        s.Prefetch,
+			IdleTimeout:     s.IdleTimeout,
+			HeartbeatPeriod: s.HeartbeatPeriod,
 		})}
 	}
 	return cfg, nil

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -75,6 +76,13 @@ type Config struct {
 	// does not grow without bound. 0 selects the default of 65536; negative
 	// retains everything.
 	MaxEvents int
+	// MaxLabels bounds how many distinct labels the per-label event index
+	// (EventsFor) holds; past it, the least-recently-active label is
+	// evicted. 0 selects the default of 65536 — far above the service's
+	// default run retention of 4096, so it acts as a leak backstop, not a
+	// working-set limit. Services retaining more runs than this should
+	// raise it. Negative means unbounded.
+	MaxLabels int
 }
 
 // DFK is the DataFlowKernel: it tracks tasks, resolves dependencies and
@@ -82,16 +90,29 @@ type Config struct {
 type DFK struct {
 	cfg       Config
 	executors map[string]Executor
+	order     []string // executor labels in Load order
 	defaultEx string
 
-	mu      sync.Mutex
-	nextID  int
-	states  map[int]TaskState
-	events  []TaskEvent
-	hooks   []*taskEventHook
-	memo    map[string]*AppFuture
-	pending sync.WaitGroup
-	cleaned bool
+	mu        sync.Mutex
+	nextID    int
+	states    map[int]TaskState
+	events    []TaskEvent
+	byLabel   map[string]*labelLog // per-label event index (EventsFor)
+	labelSeq  int64
+	hooks     []*taskEventHook
+	memo      map[string]*AppFuture
+	submitted int            // total Submit calls, immune to event truncation
+	perApp    map[string]int // per-app Submit counts, ditto
+	pending   sync.WaitGroup
+	cleaned   bool
+}
+
+// labelLog is one label's slice of the event stream plus its last-append
+// tick, used to evict the least-recently-active label once the index is
+// full — a straggler event recreating a forgotten label cannot leak forever.
+type labelLog struct {
+	events []TaskEvent
+	seq    int64
 }
 
 type taskEventHook struct {
@@ -107,7 +128,9 @@ func Load(cfg Config) (*DFK, error) {
 		cfg:       cfg,
 		executors: map[string]Executor{},
 		states:    map[int]TaskState{},
+		byLabel:   map[string]*labelLog{},
 		memo:      map[string]*AppFuture{},
+		perApp:    map[string]int{},
 	}
 	for i, ex := range cfg.Executors {
 		if _, dup := d.executors[ex.Label()]; dup {
@@ -117,11 +140,27 @@ func Load(cfg Config) (*DFK, error) {
 			return nil, fmt.Errorf("starting executor %q: %w", ex.Label(), err)
 		}
 		d.executors[ex.Label()] = ex
+		d.order = append(d.order, ex.Label())
 		if i == 0 {
 			d.defaultEx = ex.Label()
 		}
 	}
 	return d, nil
+}
+
+// ExecutorStats reports per-executor health stats in Load order, for
+// monitoring surfaces like the submission service's /healthz.
+func (d *DFK) ExecutorStats() []ExecutorStats {
+	out := make([]ExecutorStats, 0, len(d.order))
+	for _, label := range d.order {
+		ex := d.executors[label]
+		if sr, ok := ex.(StatsReporter); ok {
+			out = append(out, sr.Stats())
+			continue
+		}
+		out = append(out, ExecutorStats{Label: label, Outstanding: ex.Outstanding()})
+	}
+	return out
 }
 
 // Executor returns the executor with the given label ("" = default).
@@ -173,6 +212,22 @@ func (d *DFK) Submit(app App, args Args, opts CallOpts) *AppFuture {
 	for _, f := range opts.Outputs {
 		fut.outputs = append(fut.outputs, &DataFuture{parent: fut, file: f})
 	}
+	d.submitted++
+	d.perApp[app.Name()]++
+	if d.cleaned {
+		// The DFK is shut down: fail fast instead of racing Cleanup's
+		// pending.Wait and the executors' shutdown.
+		d.states[id] = StateFailed
+		ev := TaskEvent{TaskID: id, App: app.Name(), State: StateFailed, Time: time.Now(), Label: opts.Label}
+		d.appendEventLocked(ev)
+		hooks := d.hooks
+		d.mu.Unlock()
+		for _, h := range hooks {
+			h.fn(ev)
+		}
+		fut.complete(nil, fmt.Errorf("DFK is %w", ErrShutdown))
+		return fut
+	}
 	d.states[id] = StatePending
 	ev := TaskEvent{TaskID: id, App: app.Name(), State: StatePending, Time: time.Now(), Label: opts.Label}
 	d.appendEventLocked(ev)
@@ -201,12 +256,21 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 	}
 	resolved := resolveArgs(args)
 
-	// Memoization.
+	// Memoization. Failed entries must not poison the table: a waiter that
+	// observes a failed prior attempt evicts it and retries the lookup, so
+	// exactly one concurrent submission becomes the new owner and later
+	// identical submissions hit its (eventual) success.
 	var memoKey string
 	if d.cfg.Memoize && !opts.NoMemo {
 		memoKey = memoHash(app.Name(), resolved, opts)
-		d.mu.Lock()
-		if prior, ok := d.memo[memoKey]; ok {
+		for {
+			d.mu.Lock()
+			prior, ok := d.memo[memoKey]
+			if !ok {
+				d.memo[memoKey] = fut // this task owns the entry
+				d.mu.Unlock()
+				break
+			}
 			d.mu.Unlock()
 			<-prior.Done()
 			res, err, _ := prior.TryResult()
@@ -216,16 +280,33 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 				d.pending.Done()
 				return
 			}
-			// Fall through and execute if the memoized attempt failed.
-		} else {
-			d.memo[memoKey] = fut
+			// The memoized attempt failed: evict it (unless someone beat us
+			// to it) and loop to either become the owner or wait on the
+			// replacement.
+			d.mu.Lock()
+			if d.memo[memoKey] == prior {
+				delete(d.memo, memoKey)
+			}
 			d.mu.Unlock()
 		}
+	}
+	// evictMemo drops this task's memo entry when it fails terminally, so
+	// the failure is retried (not replayed) by later identical submissions.
+	evictMemo := func() {
+		if memoKey == "" {
+			return
+		}
+		d.mu.Lock()
+		if d.memo[memoKey] == fut {
+			delete(d.memo, memoKey)
+		}
+		d.mu.Unlock()
 	}
 
 	ex, err := d.Executor(opts.Executor)
 	if err != nil {
 		d.setState(id, app.Name(), opts.Label, StateFailed, 0)
+		evictMemo()
 		fut.complete(nil, err)
 		d.pending.Done()
 		return
@@ -233,22 +314,35 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 
 	tc := &TaskContext{DFK: d, TaskID: id, Opts: opts}
 	tries := 0
+	// launches numbers every launch of this task — DFK retries and
+	// executor-level re-dispatches alike — so the monitoring stream's Tries
+	// field is monotonic per task. It is atomic because Retried fires on
+	// executor goroutines; `tries` (the retry budget) stays separate.
+	var launches atomic.Int64
 	var launch func()
 	launch = func() {
-		d.setState(id, app.Name(), opts.Label, StateLaunched, tries)
+		d.setState(id, app.Name(), opts.Label, StateLaunched, int(launches.Add(1))-1)
 		task := &Task{ID: id, Cores: opts.Cores, Fn: func() (any, error) {
 			return app.Execute(tc, resolved)
 		}}
+		// Executor-level re-dispatch (e.g. HTEX manager loss) surfaces in
+		// the monitoring stream as an extra launch; it does not consume the
+		// configured retry budget.
+		task.Retried = func(error) {
+			d.setState(id, app.Name(), opts.Label, StateLaunched, int(launches.Add(1))-1)
+		}
 		ex.Submit(task, func(res any, err error) {
 			if err != nil && tries < d.cfg.Retries {
 				tries++
 				launch()
 				return
 			}
+			final := int(launches.Load()) - 1
 			if err != nil {
-				d.setState(id, app.Name(), opts.Label, StateFailed, tries)
+				d.setState(id, app.Name(), opts.Label, StateFailed, final)
+				evictMemo()
 			} else {
-				d.setState(id, app.Name(), opts.Label, StateDone, tries)
+				d.setState(id, app.Name(), opts.Label, StateDone, final)
 			}
 			fut.complete(res, err)
 			d.pending.Done()
@@ -273,17 +367,71 @@ func (d *DFK) setState(id int, app, label string, s TaskState, tries int) {
 // Config.MaxEvents is 0.
 const DefaultMaxEvents = 65536
 
+// DefaultMaxLabels is the per-label index retention used when
+// Config.MaxLabels is 0.
+const DefaultMaxLabels = 65536
+
 // appendEventLocked records ev, discarding the oldest events once the log
-// doubles the retention cap (amortized O(1)). Caller holds d.mu. Hooks (and
-// the service's per-run stores) see every event regardless of truncation.
+// doubles the retention cap (amortized O(1)). Caller holds d.mu. OnTaskEvent
+// hooks see every event regardless of truncation. Labeled events are
+// additionally indexed per label so EventsFor is O(label) rather than a scan
+// of the shared log; each label's slice is bounded by the same retention
+// cap, and the number of labels by MaxLabels — consumers needing unbounded
+// logs must mirror events via OnTaskEvent.
 func (d *DFK) appendEventLocked(ev TaskEvent) {
-	d.events = append(d.events, ev)
 	limit := d.cfg.MaxEvents
 	if limit == 0 {
 		limit = DefaultMaxEvents
 	}
+	d.events = append(d.events, ev)
 	if limit > 0 && len(d.events) > 2*limit {
 		d.events = append([]TaskEvent{}, d.events[len(d.events)-limit:]...)
+	}
+	if ev.Label != "" {
+		maxLabels := d.cfg.MaxLabels
+		if maxLabels == 0 {
+			maxLabels = DefaultMaxLabels
+		}
+		d.labelSeq++
+		ll := d.byLabel[ev.Label]
+		if ll == nil {
+			if maxLabels > 0 && len(d.byLabel) >= maxLabels {
+				d.evictLabelsLocked(maxLabels)
+			}
+			ll = &labelLog{}
+			d.byLabel[ev.Label] = ll
+		}
+		ll.seq = d.labelSeq
+		ll.events = append(ll.events, ev)
+		if limit > 0 && len(ll.events) > 2*limit {
+			ll.events = append([]TaskEvent{}, ll.events[len(ll.events)-limit:]...)
+		}
+	}
+}
+
+// evictLabelsLocked drops the least-recently-active ~1/16 of the label index
+// (at least one) so stragglers for long-forgotten labels cannot grow it
+// forever. Evicting a batch keeps the scan rare — amortized O(1) per new
+// label — instead of a full pass for every label at capacity. Caller holds
+// d.mu.
+func (d *DFK) evictLabelsLocked(maxLabels int) {
+	batch := maxLabels / 16
+	if batch < 1 {
+		batch = 1
+	}
+	seqs := make([]int64, 0, len(d.byLabel))
+	for _, e := range d.byLabel {
+		seqs = append(seqs, e.seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	if batch > len(seqs) {
+		batch = len(seqs)
+	}
+	cutoff := seqs[batch-1]
+	for l, e := range d.byLabel {
+		if e.seq <= cutoff {
+			delete(d.byLabel, l)
+		}
 	}
 }
 
@@ -312,17 +460,25 @@ func (d *DFK) OnTaskEvent(fn func(TaskEvent)) (remove func()) {
 }
 
 // EventsFor returns the monitoring events recorded for one submission label,
-// in append order — the per-run slice of the shared event stream.
+// in append order — the per-run slice of the shared event stream. It reads a
+// per-label index, so the cost is O(events for this label), not a scan of
+// the whole shared log.
 func (d *DFK) EventsFor(label string) []TaskEvent {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	var out []TaskEvent
-	for _, ev := range d.events {
-		if ev.Label == label {
-			out = append(out, ev)
-		}
+	ll := d.byLabel[label]
+	if ll == nil || len(ll.events) == 0 {
+		return nil
 	}
-	return out
+	return append([]TaskEvent{}, ll.events...)
+}
+
+// ForgetLabel drops the per-label event index for a retired submission group
+// (e.g. an evicted service run), freeing its memory in a long-lived DFK.
+func (d *DFK) ForgetLabel(label string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.byLabel, label)
 }
 
 // TaskStates returns a snapshot of task states.
@@ -494,21 +650,19 @@ func normalizeForHash(v any) any {
 }
 
 // UsageSummary renders an end-of-run report like Parsl's usage summary:
-// per-app invocation counts and the final state histogram.
+// per-app invocation counts and the final state histogram. Counts come from
+// dedicated counters maintained at Submit time, so they stay exact even
+// after MaxEvents truncation discards old monitoring events.
 func (d *DFK) UsageSummary() string {
 	d.mu.Lock()
-	perApp := map[string]int{}
-	finalState := map[string]int{}
-	for id, s := range d.states {
-		_ = id
-		finalState[s.String()]++
+	submitted := d.submitted
+	perApp := make(map[string]int, len(d.perApp))
+	for a, n := range d.perApp {
+		perApp[a] = n
 	}
-	seen := map[int]bool{}
-	for _, ev := range d.events {
-		if ev.State == StatePending && !seen[ev.TaskID] {
-			seen[ev.TaskID] = true
-			perApp[ev.App]++
-		}
+	finalState := map[string]int{}
+	for _, s := range d.states {
+		finalState[s.String()]++
 	}
 	d.mu.Unlock()
 
@@ -525,7 +679,7 @@ func (d *DFK) UsageSummary() string {
 
 	var b strings.Builder
 	b.WriteString("DFK usage summary\n")
-	fmt.Fprintf(&b, "  tasks submitted: %d\n", len(seen))
+	fmt.Fprintf(&b, "  tasks submitted: %d\n", submitted)
 	for _, a := range apps {
 		fmt.Fprintf(&b, "  app %-20s %d\n", a, perApp[a])
 	}

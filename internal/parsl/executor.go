@@ -11,6 +11,12 @@ type Task struct {
 	ID    int
 	Fn    func() (any, error)
 	Cores int // informational; used by resource-aware executors
+	// Retried, when set, is invoked by fault-tolerant executors each time
+	// the task is re-dispatched after a manager loss, before it re-enters
+	// the queue. The DFK uses it to surface executor-level retries in the
+	// monitoring stream. It may be called concurrently with Fn (the lost
+	// manager's execution may still be running) and must be non-blocking.
+	Retried func(reason error)
 }
 
 // Executor runs tasks, mirroring parsl.executors.base.ParslExecutor.
@@ -20,12 +26,48 @@ type Executor interface {
 	// Start brings up the executor's resources.
 	Start() error
 	// Submit enqueues a task; done is called exactly once with the outcome.
+	// Submitting to a shut-down executor is safe: done receives an error
+	// wrapping ErrShutdown (never a panic).
 	Submit(t *Task, done func(any, error))
 	// Outstanding reports queued plus running task count.
 	Outstanding() int
-	// Shutdown stops the executor after draining running tasks.
+	// Shutdown stops the executor after draining running tasks. In-flight
+	// done callbacks still fire exactly once.
 	Shutdown() error
 }
+
+// ExecutorStats is a point-in-time executor health summary, served by the
+// submission service's /healthz endpoint.
+type ExecutorStats struct {
+	Label       string `json:"label"`
+	Outstanding int    `json:"outstanding"`
+	// Workers is the live worker count (pool size, or managers × per-node).
+	Workers int `json:"workers"`
+	// The remaining fields are HTEX-only and zero for other executors.
+	ConnectedManagers int   `json:"connectedManagers,omitempty"`
+	BlocksLaunched    int   `json:"blocksLaunched,omitempty"`
+	ManagersLost      int64 `json:"managersLost,omitempty"`
+	BlocksScaledIn    int64 `json:"blocksScaledIn,omitempty"`
+	TasksRedispatched int64 `json:"tasksRedispatched,omitempty"`
+}
+
+// StatsReporter is implemented by executors that expose health stats.
+type StatsReporter interface {
+	Stats() ExecutorStats
+}
+
+// queued pairs a task with its completion callback. The fired flag makes the
+// callback (and the executor's in-flight accounting) exactly-once even when a
+// lost manager's zombie execution races the re-dispatched copy.
+type queued struct {
+	task *Task
+	done func(any, error)
+
+	fired atomic.Bool
+}
+
+// fire claims the right to complete the task; only the first caller wins.
+func (q *queued) fire() bool { return q.fired.CompareAndSwap(false, true) }
 
 // ThreadPoolExecutor runs tasks on a fixed pool of goroutines — the moral
 // equivalent of parsl.executors.threads.ThreadPoolExecutor, which the paper
@@ -33,16 +75,10 @@ type Executor interface {
 type ThreadPoolExecutor struct {
 	label    string
 	workers  int
-	queue    chan queued
+	queue    chan *queued
 	wg       sync.WaitGroup
-	started  atomic.Bool
-	stopped  atomic.Bool
+	lc       *lifecycle
 	inFlight atomic.Int64
-}
-
-type queued struct {
-	task *Task
-	done func(any, error)
 }
 
 // NewThreadPoolExecutor creates a pool with the given parallelism.
@@ -53,7 +89,12 @@ func NewThreadPoolExecutor(label string, workers int) *ThreadPoolExecutor {
 	if label == "" {
 		label = "threads"
 	}
-	return &ThreadPoolExecutor{label: label, workers: workers, queue: make(chan queued, 1024)}
+	return &ThreadPoolExecutor{
+		label:   label,
+		workers: workers,
+		queue:   make(chan *queued, 1024),
+		lc:      newLifecycle(),
+	}
 }
 
 // Label implements Executor.
@@ -64,7 +105,7 @@ func (e *ThreadPoolExecutor) Workers() int { return e.workers }
 
 // Start launches the worker goroutines.
 func (e *ThreadPoolExecutor) Start() error {
-	if !e.started.CompareAndSwap(false, true) {
+	if !e.lc.start() {
 		return nil
 	}
 	for i := 0; i < e.workers; i++ {
@@ -73,8 +114,10 @@ func (e *ThreadPoolExecutor) Start() error {
 			defer e.wg.Done()
 			for q := range e.queue {
 				res, err := runGuarded(q.task)
-				e.inFlight.Add(-1)
-				q.done(res, err)
+				if q.fire() {
+					e.inFlight.Add(-1)
+					q.done(res, err)
+				}
 			}
 		}()
 	}
@@ -92,22 +135,36 @@ func runGuarded(t *Task) (res any, err error) {
 	return t.Fn()
 }
 
-// Submit implements Executor.
+// Submit implements Executor. The enqueue happens under the lifecycle's read
+// gate, so it can never race Shutdown's close of the queue.
 func (e *ThreadPoolExecutor) Submit(t *Task, done func(any, error)) {
-	if e.stopped.Load() {
-		done(nil, fmt.Errorf("executor %s is shut down", e.label))
-		return
-	}
+	q := &queued{task: t, done: done}
 	e.inFlight.Add(1)
-	e.queue <- queued{task: t, done: done}
+	if !e.lc.submit(func() { e.queue <- q }) {
+		e.inFlight.Add(-1)
+		if q.fire() {
+			done(nil, fmt.Errorf("executor %s is %w", e.label, ErrShutdown))
+		}
+	}
 }
 
 // Outstanding implements Executor.
 func (e *ThreadPoolExecutor) Outstanding() int { return int(e.inFlight.Load()) }
 
-// Shutdown drains the queue and stops the workers.
+// Stats implements StatsReporter.
+func (e *ThreadPoolExecutor) Stats() ExecutorStats {
+	return ExecutorStats{
+		Label:       e.label,
+		Outstanding: e.Outstanding(),
+		Workers:     e.workers,
+	}
+}
+
+// Shutdown drains the queue and stops the workers. Safe to call concurrently
+// with Submit: the lifecycle gate guarantees no submitter is mid-send when
+// the queue closes.
 func (e *ThreadPoolExecutor) Shutdown() error {
-	if !e.stopped.CompareAndSwap(false, true) {
+	if !e.lc.stop() {
 		return nil
 	}
 	close(e.queue)

@@ -46,11 +46,19 @@ type HTEXConfig struct {
 	Label          string
 	Provider       Provider
 	MaxBlocks      int // maximum pilot blocks (nodes)
+	MinBlocks      int // floor the idle scale-in never goes below
 	InitBlocks     int // blocks to start immediately
 	WorkersPerNode int // workers hosted by each manager
 	Prefetch       int // tasks a manager buffers beyond busy workers
-	// HeartbeatPeriod is how often managers report liveness.
+	// HeartbeatPeriod is how often managers report liveness and how often
+	// the monitor reaps lost managers / rebalances blocks.
 	HeartbeatPeriod time.Duration
+	// HeartbeatThreshold is the silence after which a manager is declared
+	// lost and its tasks re-dispatched. Defaults to 3× HeartbeatPeriod.
+	HeartbeatThreshold time.Duration
+	// IdleTimeout releases a block whose manager has had no work for this
+	// long (never below MinBlocks). Zero disables scale-in.
+	IdleTimeout time.Duration
 }
 
 func (c *HTEXConfig) fill() {
@@ -63,8 +71,17 @@ func (c *HTEXConfig) fill() {
 	if c.MaxBlocks <= 0 {
 		c.MaxBlocks = 1
 	}
+	if c.MinBlocks < 0 {
+		c.MinBlocks = 0
+	}
+	if c.MinBlocks > c.MaxBlocks {
+		c.MinBlocks = c.MaxBlocks
+	}
 	if c.InitBlocks <= 0 {
 		c.InitBlocks = 1
+	}
+	if c.InitBlocks < c.MinBlocks {
+		c.InitBlocks = c.MinBlocks
 	}
 	if c.InitBlocks > c.MaxBlocks {
 		c.InitBlocks = c.MaxBlocks
@@ -78,33 +95,142 @@ func (c *HTEXConfig) fill() {
 	if c.HeartbeatPeriod <= 0 {
 		c.HeartbeatPeriod = 5 * time.Second
 	}
+	if c.HeartbeatThreshold <= 0 {
+		c.HeartbeatThreshold = 3 * c.HeartbeatPeriod
+	}
+	// A threshold at or below the beat period would reap healthy managers
+	// on every sweep (beats land right at the detection boundary).
+	if c.HeartbeatThreshold < 2*c.HeartbeatPeriod {
+		c.HeartbeatThreshold = 2 * c.HeartbeatPeriod
+	}
+	if c.IdleTimeout < 0 {
+		c.IdleTimeout = 0
+	}
 }
 
 // HighThroughputExecutor reproduces Parsl's pilot-job executor: tasks flow
 // through an interchange queue to per-block managers, each hosting a fixed
 // worker pool. Blocks are obtained from a Provider, decoupling task
 // submission from resource allocation.
+//
+// The executor is elastic and fault tolerant, per the Parsl paper's HTEX
+// contract: a single monitor goroutine owns every scaling decision — it
+// scales out (serialized, bounded by MaxBlocks, monotonic manager IDs) when
+// demand exceeds capacity, releases blocks idle past IdleTimeout (never below
+// MinBlocks), and declares managers silent past HeartbeatThreshold lost,
+// releasing their block and re-dispatching their buffered and in-flight
+// tasks. A re-dispatched task may execute twice if the lost manager was
+// secretly still running it; the queued.fired guard makes the completion
+// callback exactly-once regardless.
 type HighThroughputExecutor struct {
 	cfg HTEXConfig
 
-	interchange chan queued
-	mu          sync.Mutex
-	managers    []*manager
-	started     atomic.Bool
-	stopped     atomic.Bool
-	inFlight    atomic.Int64
-	scaleErr    error
+	lc          *lifecycle
+	interchange chan *queued
+	nudge       chan struct{} // submit → monitor demand hint
+
+	mu           sync.Mutex
+	managers     []*manager
+	nextID       int       // monotonic block/manager IDs, never reused
+	scaleErr     error     // last unrecovered provider error (for Shutdown)
+	scaleRetryAt time.Time // provider-error backoff for scaling attempts
+	parked       []*queued // re-dispatches awaiting interchange space
+
+	inFlight     atomic.Int64
+	lost         atomic.Int64
+	scaledIn     atomic.Int64
+	redispatched atomic.Int64
 
 	wg sync.WaitGroup
 }
 
+// manager is one pilot block: a pull loop feeding a bounded buffer, a fixed
+// worker pool, and a heartbeat. It tracks the tasks it has accepted but not
+// completed (owned) so the monitor can re-dispatch them if the block dies.
 type manager struct {
-	id        int
-	release   func()
-	tasks     chan queued
+	id      int
+	release func()
+
+	tasks    chan *queued
+	stop     chan struct{}
+	stopOnce sync.Once
+	relOnce  sync.Once
+
+	failed    atomic.Bool // FailSimulation: silently dead, stops heartbeating
 	lastBeat  atomic.Int64
+	lastBusy  atomic.Int64
 	completed atomic.Int64
-	stop      chan struct{}
+
+	ownedMu sync.Mutex
+	owned   map[*queued]struct{}
+	retired bool // set by takeOwned: no new ownership may be accepted
+}
+
+func newManager(id int, release func(), buffer int) *manager {
+	now := time.Now().UnixNano()
+	m := &manager{
+		id:      id,
+		release: release,
+		tasks:   make(chan *queued, buffer),
+		stop:    make(chan struct{}),
+		owned:   map[*queued]struct{}{},
+	}
+	m.lastBeat.Store(now)
+	m.lastBusy.Store(now)
+	return m
+}
+
+func (m *manager) beat() { m.lastBeat.Store(time.Now().UnixNano()) }
+
+func (m *manager) markBusy() { m.lastBusy.Store(time.Now().UnixNano()) }
+
+func (m *manager) kill() { m.stopOnce.Do(func() { close(m.stop) }) }
+
+func (m *manager) releaseBlock() {
+	if m.release != nil {
+		m.relOnce.Do(m.release)
+	}
+}
+
+// addOwned registers a task with this manager. It reports false — refusing
+// the task — once the reaper has swept the manager (takeOwned), closing the
+// race where a dying pull loop accepts a task after the sweep and strands it
+// in a dead buffer.
+func (m *manager) addOwned(q *queued) bool {
+	m.ownedMu.Lock()
+	defer m.ownedMu.Unlock()
+	if m.retired {
+		return false
+	}
+	m.owned[q] = struct{}{}
+	return true
+}
+
+func (m *manager) removeOwned(q *queued) {
+	m.ownedMu.Lock()
+	delete(m.owned, q)
+	m.ownedMu.Unlock()
+}
+
+func (m *manager) ownedCount() int {
+	m.ownedMu.Lock()
+	defer m.ownedMu.Unlock()
+	return len(m.owned)
+}
+
+// takeOwned retires the manager and drains its unfinished tasks. After it
+// returns, addOwned refuses new tasks, so exactly one party re-dispatches
+// every stranded task.
+func (m *manager) takeOwned() []*queued {
+	m.ownedMu.Lock()
+	defer m.ownedMu.Unlock()
+	m.retired = true
+	out := make([]*queued, 0, len(m.owned))
+	for q := range m.owned {
+		out = append(out, q)
+	}
+	m.owned = map[*queued]struct{}{}
+	return out
 }
 
 // NewHighThroughputExecutor builds an HTEX from config.
@@ -112,16 +238,18 @@ func NewHighThroughputExecutor(cfg HTEXConfig) *HighThroughputExecutor {
 	cfg.fill()
 	return &HighThroughputExecutor{
 		cfg:         cfg,
-		interchange: make(chan queued, 65536),
+		lc:          newLifecycle(),
+		interchange: make(chan *queued, 65536),
+		nudge:       make(chan struct{}, 1),
 	}
 }
 
 // Label implements Executor.
 func (e *HighThroughputExecutor) Label() string { return e.cfg.Label }
 
-// Start launches the initial pilot blocks.
+// Start launches the initial pilot blocks and the monitor.
 func (e *HighThroughputExecutor) Start() error {
-	if !e.started.CompareAndSwap(false, true) {
+	if !e.lc.start() {
 		return nil
 	}
 	for i := 0; i < e.cfg.InitBlocks; i++ {
@@ -129,107 +257,399 @@ func (e *HighThroughputExecutor) Start() error {
 			return err
 		}
 	}
+	e.wg.Add(1)
+	go e.monitor()
 	return nil
 }
 
+// Submit implements Executor. Tasks enter the interchange under the
+// lifecycle's read gate (no send can race Shutdown's close); a free manager
+// pulls them. Submission nudges the monitor for demand-based scale-out.
+func (e *HighThroughputExecutor) Submit(t *Task, done func(any, error)) {
+	q := &queued{task: t, done: done}
+	e.inFlight.Add(1)
+	if !e.lc.submit(func() { e.interchange <- q }) {
+		e.inFlight.Add(-1)
+		if q.fire() {
+			done(nil, fmt.Errorf("executor %s is %w", e.cfg.Label, ErrShutdown))
+		}
+		return
+	}
+	select {
+	case e.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// monitor is the single goroutine that owns every scaling decision: reaping
+// lost managers, demand-based scale-out, and idle scale-in. Serializing them
+// here is what makes MaxBlocks a hard bound and manager IDs unique.
+func (e *HighThroughputExecutor) monitor() {
+	defer e.wg.Done()
+	period := e.cfg.HeartbeatPeriod
+	if e.cfg.IdleTimeout > 0 && e.cfg.IdleTimeout < period {
+		period = e.cfg.IdleTimeout
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.lc.done:
+			return
+		case <-e.nudge:
+			e.scaleToDemand()
+		case <-ticker.C:
+			e.drainParked()
+			e.reapLost()
+			e.ensureMinBlocks()
+			e.scaleToDemand()
+			e.scaleInIdle()
+		}
+	}
+}
+
+// scaleWhile serially adds blocks while need(liveBlocks) holds, up to
+// MaxBlocks. A provider error records the failure for Shutdown and backs
+// scaling off for one heartbeat period — transient allocation failures must
+// not disable elasticity (or the MinBlocks floor) forever. Monitor goroutine
+// (or Start) only.
+func (e *HighThroughputExecutor) scaleWhile(need func(blocks int) bool) {
+	for !e.lc.stopped() {
+		e.mu.Lock()
+		blocks := len(e.managers)
+		retryAt := e.scaleRetryAt
+		e.mu.Unlock()
+		if blocks >= e.cfg.MaxBlocks || time.Now().Before(retryAt) || !need(blocks) {
+			return
+		}
+		if err := e.scaleOut(); err != nil {
+			e.mu.Lock()
+			e.scaleErr = err
+			e.scaleRetryAt = time.Now().Add(e.cfg.HeartbeatPeriod)
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Lock()
+		e.scaleErr = nil
+		e.mu.Unlock()
+	}
+}
+
+// scaleToDemand adds blocks while outstanding work exceeds capacity.
+// Monitor goroutine only.
+func (e *HighThroughputExecutor) scaleToDemand() {
+	perBlock := e.cfg.WorkersPerNode + e.cfg.Prefetch
+	e.scaleWhile(func(blocks int) bool {
+		return e.inFlight.Load() > int64(blocks*perBlock)
+	})
+}
+
 // scaleOut acquires one block from the provider and starts its manager.
+// Called from Start (before the monitor exists) and the monitor goroutine,
+// never concurrently — that serialization keeps IDs unique and MaxBlocks a
+// hard ceiling on simultaneously held blocks.
 func (e *HighThroughputExecutor) scaleOut() error {
 	e.mu.Lock()
 	if len(e.managers) >= e.cfg.MaxBlocks {
 		e.mu.Unlock()
 		return nil
 	}
-	id := len(e.managers)
 	e.mu.Unlock()
 
 	release, err := e.cfg.Provider.AcquireBlock()
 	if err != nil {
 		return fmt.Errorf("htex %s: provider %s: %w", e.cfg.Label, e.cfg.Provider.Name(), err)
 	}
-	m := &manager{
-		id:      id,
-		release: release,
-		tasks:   make(chan queued, e.cfg.WorkersPerNode+e.cfg.Prefetch),
-		stop:    make(chan struct{}),
-	}
+	// The ID is allocated only after a successful acquisition so the
+	// blocks-launched ledger counts blocks that actually existed.
 	e.mu.Lock()
+	id := e.nextID
+	e.nextID++
+	m := newManager(id, release, e.cfg.WorkersPerNode+e.cfg.Prefetch)
 	e.managers = append(e.managers, m)
 	e.mu.Unlock()
+	e.startManager(m)
+	return nil
+}
 
-	// Manager pull loop: moves tasks from the interchange into this
-	// manager's bounded buffer (capacity = workers + prefetch), which gives
-	// the same batching/backpressure behaviour as HTEX's manager protocol.
+// startManager launches the block's pull loop, worker pool and heartbeat.
+func (e *HighThroughputExecutor) startManager(m *manager) {
+	// Pull loop: moves tasks from the interchange into this manager's
+	// bounded buffer (capacity = workers + prefetch), which gives the same
+	// batching/backpressure behaviour as HTEX's manager protocol. Tasks are
+	// registered as owned before buffering so a dying manager can hand them
+	// back.
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
+		defer close(m.tasks)
 		for {
 			select {
+			case <-m.stop:
+				return
+			default:
+			}
+			select {
+			case <-m.stop:
+				return
 			case q, ok := <-e.interchange:
 				if !ok {
-					close(m.tasks)
 					return
 				}
-				m.lastBeat.Store(time.Now().UnixNano())
-				m.tasks <- q
-			case <-m.stop:
-				close(m.tasks)
-				return
+				m.beat()
+				m.markBusy()
+				if !m.addOwned(q) {
+					// Already swept by the reaper: hand the task straight
+					// back so it cannot strand in a dead buffer.
+					e.redispatch(q, fmt.Errorf("manager %d retired", m.id))
+					return
+				}
+				select {
+				case m.tasks <- q:
+				case <-m.stop:
+					// Killed mid-buffer. The reaper's sweep may or may not
+					// have collected this task; removeOwned tells us which
+					// side owns the re-dispatch.
+					m.ownedMu.Lock()
+					_, mine := m.owned[q]
+					delete(m.owned, q)
+					m.ownedMu.Unlock()
+					if mine {
+						e.redispatch(q, fmt.Errorf("manager %d stopped", m.id))
+					}
+					return
+				}
 			}
 		}
 	}()
-	// Workers.
+
+	// Workers. A killed manager's workers abandon the buffer (the monitor
+	// re-dispatches owned tasks); on graceful shutdown the buffer drains
+	// because m.tasks closes without m.stop. The non-blocking stop check
+	// makes death take priority over draining — a dead node must not keep
+	// executing its backlog.
 	for w := 0; w < e.cfg.WorkersPerNode; w++ {
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
-			for q := range m.tasks {
-				res, err := runGuarded(q.task)
-				m.completed.Add(1)
-				e.inFlight.Add(-1)
-				q.done(res, err)
+			for {
+				select {
+				case <-m.stop:
+					return
+				default:
+				}
+				select {
+				case <-m.stop:
+					return
+				case q, ok := <-m.tasks:
+					if !ok {
+						return
+					}
+					if q.fired.Load() { // lost-manager duplicate already done
+						m.removeOwned(q)
+						continue
+					}
+					m.markBusy()
+					res, err := runGuarded(q.task)
+					m.removeOwned(q)
+					m.markBusy()
+					if q.fire() {
+						m.completed.Add(1)
+						e.inFlight.Add(-1)
+						q.done(res, err)
+					}
+				}
 			}
 		}()
 	}
-	return nil
-}
 
-// Submit implements Executor. Tasks enter the interchange; a free manager
-// pulls them. Submission also triggers demand-based scale-out, mirroring
-// Parsl's scaling strategy.
-func (e *HighThroughputExecutor) Submit(t *Task, done func(any, error)) {
-	if e.stopped.Load() {
-		done(nil, fmt.Errorf("executor %s is shut down", e.cfg.Label))
-		return
-	}
-	e.inFlight.Add(1)
-	e.maybeScale()
-	e.interchange <- queued{task: t, done: done}
-}
-
-// maybeScale adds a block when outstanding work exceeds current capacity.
-func (e *HighThroughputExecutor) maybeScale() {
-	e.mu.Lock()
-	blocks := len(e.managers)
-	e.mu.Unlock()
-	if blocks >= e.cfg.MaxBlocks {
-		return
-	}
-	capacity := int64(blocks * (e.cfg.WorkersPerNode + e.cfg.Prefetch))
-	if e.inFlight.Load() > capacity {
-		go func() {
-			e.mu.Lock()
-			if e.scaleErr != nil {
-				e.mu.Unlock()
+	// Heartbeat: liveness reporting on HeartbeatPeriod. A failed manager
+	// (FailSimulation) goes silent, exactly like a crashed pilot job.
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		ticker := time.NewTicker(e.cfg.HeartbeatPeriod)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
 				return
+			case <-e.lc.done:
+				return
+			case <-ticker.C:
+				if !m.failed.Load() {
+					m.beat()
+				}
 			}
-			e.mu.Unlock()
-			if err := e.scaleOut(); err != nil {
-				e.mu.Lock()
-				e.scaleErr = err
-				e.mu.Unlock()
-			}
-		}()
+		}
+	}()
+}
+
+// redispatch re-enqueues a task stranded on a dead or retiring manager,
+// surfacing the retry through Task.Retried. The send is non-blocking so a
+// full interchange cannot wedge the monitor goroutine: a task that does not
+// fit is parked and re-attempted on every monitor sweep (the tasks came out
+// of the interchange, so the parked set is bounded by in-flight work). Only
+// a shut-down executor fails the task (exactly once).
+func (e *HighThroughputExecutor) redispatch(q *queued, reason error) {
+	if q.fired.Load() {
+		return
 	}
+	if q.task.Retried != nil {
+		q.task.Retried(reason)
+	}
+	if !e.tryRequeue(q, reason) {
+		e.mu.Lock()
+		e.parked = append(e.parked, q)
+		e.mu.Unlock()
+	}
+}
+
+// tryRequeue attempts a non-blocking re-enqueue. It reports false when the
+// interchange is full; a stopped executor fails the task instead (and
+// reports true — there is nothing left to park).
+func (e *HighThroughputExecutor) tryRequeue(q *queued, reason error) bool {
+	sent := false
+	accepted := e.lc.submit(func() {
+		select {
+		case e.interchange <- q:
+			sent = true
+		default:
+		}
+	})
+	if sent {
+		// Counted only on a successful re-enqueue so monitoring never
+		// reports a re-dispatch that did not happen.
+		e.redispatched.Add(1)
+		return true
+	}
+	if !accepted {
+		if q.fire() {
+			e.inFlight.Add(-1)
+			q.done(nil, fmt.Errorf("executor %s %w before task %d could be re-dispatched: %v",
+				e.cfg.Label, ErrShutdown, q.task.ID, reason))
+		}
+		return true
+	}
+	return false
+}
+
+// drainParked re-attempts parked re-dispatches in order, stopping at the
+// first that still does not fit. Monitor goroutine only.
+func (e *HighThroughputExecutor) drainParked() {
+	for {
+		e.mu.Lock()
+		if len(e.parked) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		q := e.parked[0]
+		e.parked = e.parked[1:]
+		e.mu.Unlock()
+		if q.fired.Load() {
+			continue
+		}
+		if !e.tryRequeue(q, fmt.Errorf("re-dispatch retried from parked queue")) {
+			e.mu.Lock()
+			e.parked = append([]*queued{q}, e.parked...)
+			e.mu.Unlock()
+			return
+		}
+	}
+}
+
+// reapLost declares managers silent past HeartbeatThreshold lost: their
+// block is released and their unfinished tasks re-enter the interchange.
+// Detection is purely heartbeat-driven — a FailSimulation'd manager is
+// caught because it stopped beating, exactly like a crashed pilot job.
+// Monitor goroutine only.
+func (e *HighThroughputExecutor) reapLost() {
+	threshold := int64(e.cfg.HeartbeatThreshold)
+	now := time.Now().UnixNano()
+	e.mu.Lock()
+	var lost []*manager
+	kept := e.managers[:0]
+	for _, m := range e.managers {
+		if now-m.lastBeat.Load() > threshold {
+			lost = append(lost, m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	e.managers = kept
+	e.mu.Unlock()
+	for _, m := range lost {
+		e.lost.Add(1)
+		e.retire(m, fmt.Errorf("manager %d lost: no heartbeat in %s", m.id, e.cfg.HeartbeatThreshold))
+	}
+}
+
+// ensureMinBlocks restores the MinBlocks floor after manager losses, so a
+// fault cannot permanently shrink the pool below the configured minimum.
+// Monitor goroutine only.
+func (e *HighThroughputExecutor) ensureMinBlocks() {
+	e.scaleWhile(func(blocks int) bool { return blocks < e.cfg.MinBlocks })
+}
+
+// scaleInIdle releases blocks whose manager has been idle past IdleTimeout,
+// never dropping below MinBlocks. Monitor goroutine only.
+func (e *HighThroughputExecutor) scaleInIdle() {
+	if e.cfg.IdleTimeout <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-e.cfg.IdleTimeout).UnixNano()
+	e.mu.Lock()
+	var idle []*manager
+	kept := e.managers[:0]
+	for _, m := range e.managers {
+		if len(e.managers)-len(idle) > e.cfg.MinBlocks &&
+			m.ownedCount() == 0 && m.lastBusy.Load() < cutoff {
+			idle = append(idle, m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	e.managers = kept
+	e.mu.Unlock()
+	for _, m := range idle {
+		e.scaledIn.Add(1)
+		e.retire(m, fmt.Errorf("manager %d scaled in", m.id))
+	}
+}
+
+// retire stops a manager (already removed from e.managers), releases its
+// block, and re-dispatches any task it still owned — the race-window task a
+// pull loop accepted between the idle check and the kill, or a lost
+// manager's whole buffer.
+func (e *HighThroughputExecutor) retire(m *manager, reason error) {
+	m.kill()
+	for _, q := range m.takeOwned() {
+		e.redispatch(q, reason)
+	}
+	m.releaseBlock()
+}
+
+// FailSimulation deterministically kills one pilot block for fault-injection
+// tests: the manager stops heartbeating and processing, exactly as if its
+// node died, and the monitor declares it lost once its heartbeat goes silent
+// past HeartbeatThreshold, re-dispatching its tasks. It reports whether a
+// live manager with that ID existed.
+func (e *HighThroughputExecutor) FailSimulation(managerID int) bool {
+	e.mu.Lock()
+	var victim *manager
+	for _, m := range e.managers {
+		if m.id == managerID {
+			victim = m
+			break
+		}
+	}
+	e.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	victim.failed.Store(true)
+	victim.kill()
+	return true
 }
 
 // Outstanding implements Executor.
@@ -241,6 +661,39 @@ func (e *HighThroughputExecutor) ConnectedManagers() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.managers)
+}
+
+// Redispatched reports tasks re-dispatched after manager loss or retirement.
+func (e *HighThroughputExecutor) Redispatched() int64 { return e.redispatched.Load() }
+
+// Stats implements StatsReporter.
+func (e *HighThroughputExecutor) Stats() ExecutorStats {
+	e.mu.Lock()
+	managers := len(e.managers)
+	launched := e.nextID
+	e.mu.Unlock()
+	return ExecutorStats{
+		Label:             e.cfg.Label,
+		Outstanding:       e.Outstanding(),
+		Workers:           managers * e.cfg.WorkersPerNode,
+		ConnectedManagers: managers,
+		BlocksLaunched:    launched,
+		ManagersLost:      e.lost.Load(),
+		BlocksScaledIn:    e.scaledIn.Load(),
+		TasksRedispatched: e.redispatched.Load(),
+	}
+}
+
+// ManagerQueueDepths reports each live manager's unfinished (buffered plus
+// running) task count, keyed by manager ID.
+func (e *HighThroughputExecutor) ManagerQueueDepths() map[int]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[int]int, len(e.managers))
+	for _, m := range e.managers {
+		out[m.id] = m.ownedCount()
+	}
+	return out
 }
 
 // CompletedByManager returns per-manager completed-task counts, useful for
@@ -256,19 +709,51 @@ func (e *HighThroughputExecutor) CompletedByManager() []int64 {
 }
 
 // Shutdown drains the interchange, stops managers and releases blocks.
+// In-flight done callbacks fire exactly once; tasks stranded on a killed but
+// not-yet-reaped manager fail with ErrShutdown rather than hanging.
 func (e *HighThroughputExecutor) Shutdown() error {
-	if !e.stopped.CompareAndSwap(false, true) {
+	if !e.lc.stop() {
 		return nil
 	}
+	// The gate guarantees no submitter (or re-dispatcher) is mid-send.
 	close(e.interchange)
-	e.wg.Wait()
+	e.wg.Wait() // monitor, pull loops, workers, heartbeats
+
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, m := range e.managers {
-		if m.release != nil {
-			m.release()
+	managers := e.managers
+	e.managers = nil
+	parked := e.parked
+	e.parked = nil
+	err := e.scaleErr
+	e.mu.Unlock()
+	for _, q := range parked {
+		if q.fire() {
+			e.inFlight.Add(-1)
+			q.done(nil, fmt.Errorf("executor %s %w with task %d parked for re-dispatch",
+				e.cfg.Label, ErrShutdown, q.task.ID))
 		}
 	}
-	e.managers = nil
-	return e.scaleErr
+	for _, m := range managers {
+		// Orphan sweep: a manager killed between FailSimulation/reap ticks
+		// may still own abandoned tasks whose callbacks must fire.
+		for _, q := range m.takeOwned() {
+			if q.fire() {
+				e.inFlight.Add(-1)
+				q.done(nil, fmt.Errorf("executor %s %w with task %d stranded on dead manager %d",
+					e.cfg.Label, ErrShutdown, q.task.ID, m.id))
+			}
+		}
+		m.releaseBlock()
+	}
+	// With zero live pull loops (every block scaled in or killed), tasks can
+	// still sit buffered in the now-closed interchange; their callbacks must
+	// fire too.
+	for q := range e.interchange {
+		if q.fire() {
+			e.inFlight.Add(-1)
+			q.done(nil, fmt.Errorf("executor %s %w with task %d still queued in the interchange",
+				e.cfg.Label, ErrShutdown, q.task.ID))
+		}
+	}
+	return err
 }

@@ -1,0 +1,83 @@
+package parsl
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrShutdown is the terminal-submission error: tasks handed to an executor
+// (or DFK) that has been shut down complete with an error wrapping it.
+var ErrShutdown = errors.New("shut down")
+
+// lifecycle is the shared submit/shutdown protocol for executors. It closes
+// the classic send-on-closed-channel window: Submit performs its channel send
+// while holding the read side of a gate, and stop() takes the write side
+// before the owner closes the queue, so a send can never race the close.
+//
+// States: new → started → stopped. Submissions are accepted in new and
+// started (queues are buffered, so tasks submitted before Start simply wait);
+// stopped rejects. The done channel is closed exactly once on stop and lets
+// long-lived goroutines (monitors, heartbeats) observe shutdown without
+// polling.
+type lifecycle struct {
+	mu    sync.RWMutex
+	state int
+	done  chan struct{}
+}
+
+const (
+	lifecycleNew = iota
+	lifecycleStarted
+	lifecycleStopped
+)
+
+func newLifecycle() *lifecycle { return &lifecycle{done: make(chan struct{})} }
+
+// start transitions new → started. It reports false when the transition
+// already happened (idempotent Start) or the lifecycle is stopped.
+func (l *lifecycle) start() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state != lifecycleNew {
+		return false
+	}
+	l.state = lifecycleStarted
+	return true
+}
+
+// submit runs send under the read gate. It reports false — without calling
+// send — once the lifecycle is stopped. While any submit is inside send,
+// stop() blocks, so the owner may close its queue channel after stop()
+// returns with no send able to hit the closed channel.
+func (l *lifecycle) submit(send func()) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.state == lifecycleStopped {
+		return false
+	}
+	send()
+	return true
+}
+
+// stop transitions to stopped, closes done, and waits out every in-flight
+// submit. It reports false when already stopped (idempotent Shutdown).
+func (l *lifecycle) stop() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state == lifecycleStopped {
+		return false
+	}
+	l.state = lifecycleStopped
+	close(l.done)
+	return true
+}
+
+// stopped reports whether stop has been called.
+func (l *lifecycle) stopped() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -252,6 +252,9 @@ func TestHTTPHealthz(t *testing.T) {
 	if health.Stats.Workers != 2 {
 		t.Errorf("workers = %d", health.Stats.Workers)
 	}
+	if len(health.Stats.Executors) == 0 || health.Stats.Executors[0].Label == "" {
+		t.Errorf("healthz is missing executor stats: %+v", health.Stats.Executors)
+	}
 }
 
 func TestHTTPNotFoundAndBadBody(t *testing.T) {

@@ -6,8 +6,9 @@
 //
 //   - RunStore tracks every submission through the
 //     queued → running → succeeded/failed/canceled lifecycle with per-run
-//     outputs, errors, and task-event logs sourced from the DFK's TaskEvent
-//     stream (attributed by submission label).
+//     outputs and errors; task-event logs are served from the DFK's
+//     per-label event index (attributed by submission label) and released
+//     when retention evicts the run.
 //   - Scheduler bounds run concurrency with a worker pool over a
 //     priority+FIFO queue, supports cancellation of queued and running work,
 //     and drains gracefully on shutdown.
@@ -98,6 +99,10 @@ type Stats struct {
 	CacheHits   int            `json:"cacheHits"`
 	CacheMisses int            `json:"cacheMisses"`
 	CacheSize   int            `json:"cacheSize"`
+	// Executors reports the shared DFK's executor health: outstanding
+	// tasks, live workers, and for HTEX the connected/lost/scaled-in block
+	// counts and re-dispatched task total.
+	Executors []parsl.ExecutorStats `json:"executors"`
 }
 
 // Service is the workflow submission service: a run store, a bounded
@@ -109,9 +114,8 @@ type Service struct {
 	cache *DocCache
 	sched *Scheduler
 
-	workMu     sync.Mutex
-	work       map[string]*pendingRun
-	removeHook func()
+	workMu sync.Mutex
+	work   map[string]*pendingRun
 }
 
 // pendingRun is a run's execution payload between Submit and dequeue.
@@ -150,9 +154,11 @@ func New(dfk *parsl.DFK, opts Options) (*Service, error) {
 		work:  map[string]*pendingRun{},
 	}
 	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
-	// Mirror this service's task events into its run records; events labeled
-	// for other DFK clients are ignored by the store.
-	s.removeHook = dfk.OnTaskEvent(s.store.AppendEvent)
+	// Per-run event logs live in the DFK's per-label index (runs are labeled
+	// with their ID); when retention evicts a run, drop its label index from
+	// the shared DFK too, so a long-lived service does not pin every past
+	// run's events.
+	s.store.SetOnEvict(dfk.ForgetLabel)
 	return s, nil
 }
 
@@ -213,8 +219,17 @@ func (s *Service) Get(id string) (RunSnapshot, bool) { return s.store.Get(id) }
 // List returns every run, oldest first.
 func (s *Service) List() []RunSnapshot { return s.store.List() }
 
-// Events returns the run's task-event log from the DFK stream.
-func (s *Service) Events(id string) ([]parsl.TaskEvent, bool) { return s.store.Events(id) }
+// Events returns the run's task-event log — the per-label slice of the
+// shared DFK stream (DFK.EventsFor is O(this run's events), not a scan of
+// the whole log). Logs are bounded by the DFK's MaxEvents cap per run and
+// MaxLabels runs overall; a service retaining more runs than the DFK's
+// MaxLabels should raise that cap.
+func (s *Service) Events(id string) ([]parsl.TaskEvent, bool) {
+	if _, ok := s.store.Get(id); !ok {
+		return nil, false
+	}
+	return s.dfk.EventsFor(id), true
+}
 
 // Cancel cancels a queued or running run and returns its snapshot.
 func (s *Service) Cancel(id string) (RunSnapshot, error) {
@@ -277,20 +292,21 @@ func (s *Service) Stats() Stats {
 		CacheHits:   hits,
 		CacheMisses: misses,
 		CacheSize:   size,
+		Executors:   s.dfk.ExecutorStats(),
 	}
 }
 
 // Close drains the service: new submissions are rejected, queued runs are
 // marked canceled, and in-flight runs are awaited until ctx expires (then
-// force-canceled and still awaited).
+// force-canceled and still awaited). Force-canceled runs may still have
+// tasks racing the DFK's executor shutdown — the executors' lifecycle
+// protocol guarantees those submissions fail cleanly (never panic) and their
+// callbacks fire exactly once, so drain-then-Cleanup is safe in any order.
 func (s *Service) Close(ctx context.Context) error {
 	dropped, err := s.sched.Close(ctx)
 	for _, id := range dropped {
 		s.dropWork(id)
 		s.store.Finish(id, nil, ErrDraining, true)
-	}
-	if s.removeHook != nil {
-		s.removeHook() // detach from the shared DFK so the store can be freed
 	}
 	return err
 }

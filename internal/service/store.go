@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/parsl"
 	"repro/internal/yamlx"
 )
 
@@ -73,29 +72,39 @@ type RunSnapshot struct {
 }
 
 type runRecord struct {
-	snap   RunSnapshot
-	events []parsl.TaskEvent
-	done   chan struct{}
+	snap RunSnapshot
+	done chan struct{}
 }
 
 // RunStore tracks every submitted run through the
 // queued → running → succeeded/failed/canceled lifecycle, with per-run
-// outputs, errors, and the task-event log sourced from the DFK's TaskEvent
-// stream (events are attributed by CallOpts.Label == run ID). Terminal runs
-// beyond the retention cap are evicted oldest-first so a long-lived service
-// does not grow without bound.
+// outputs and errors. Task-event logs stay in the DFK's per-label index
+// (events are attributed by CallOpts.Label == run ID) and are released via
+// the eviction callback. Terminal runs beyond the retention cap are evicted
+// oldest-first so a long-lived service does not grow without bound.
 type RunStore struct {
 	mu       sync.Mutex
 	runs     map[string]*runRecord
 	order    []string // creation order, for retention eviction and List
 	retain   int      // max terminal runs kept; <= 0 means unbounded
 	terminal int      // current terminal-run count
+	onEvict  func(id string)
 }
 
 // NewRunStore returns an empty store retaining at most retain terminal runs
 // (retain <= 0 keeps everything).
 func NewRunStore(retain int) *RunStore {
 	return &RunStore{runs: map[string]*runRecord{}, retain: retain}
+}
+
+// SetOnEvict registers fn to be called (under the store lock — it must not
+// call back into the store) with the ID of every run evicted by retention,
+// so companion per-run state (e.g. the DFK's per-label event index) can be
+// released alongside.
+func (st *RunStore) SetOnEvict(fn func(id string)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.onEvict = fn
 }
 
 // Create registers a new queued run and returns its snapshot. The generated
@@ -228,36 +237,14 @@ func (st *RunStore) pruneLocked() {
 		if st.terminal > st.retain && rec.snap.State.Terminal() {
 			delete(st.runs, id)
 			st.terminal--
+			if st.onEvict != nil {
+				st.onEvict(id)
+			}
 			continue
 		}
 		kept = append(kept, id)
 	}
 	st.order = kept
-}
-
-// AppendEvent records one DFK task event against the run whose ID matches
-// the event's label. Events for unknown labels are ignored, so one store can
-// safely observe a DFK shared with other clients.
-func (st *RunStore) AppendEvent(ev parsl.TaskEvent) {
-	if ev.Label == "" {
-		return
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if rec, ok := st.runs[ev.Label]; ok {
-		rec.events = append(rec.events, ev)
-	}
-}
-
-// Events returns a copy of the run's task-event log.
-func (st *RunStore) Events(id string) ([]parsl.TaskEvent, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	rec, ok := st.runs[id]
-	if !ok {
-		return nil, false
-	}
-	return append([]parsl.TaskEvent{}, rec.events...), true
 }
 
 // Done returns a channel closed when the run reaches a terminal state.
