@@ -1,0 +1,191 @@
+// Command benchgate is the CI benchmark-regression gate: it parses `go test
+// -bench` output, reduces repeated runs (-count=N) to the per-benchmark
+// minimum ns/op — the least noisy statistic on shared CI runners — and
+// compares it against a committed baseline with a relative tolerance,
+// failing when any benchmark regresses past it.
+//
+//	go test -run XXX -bench . -benchtime=1x -count=3 . | tee bench.txt
+//	benchgate -baseline BENCH_baseline.json -bench bench.txt -tolerance 0.25
+//
+// The GOMAXPROCS suffix (`-8`) is stripped from benchmark names so baselines
+// recorded on one machine shape still match results from another. -update
+// rewrites the baseline from the provided results instead of gating.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to the
+	// reference minimum ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// parseBench reduces bench output to the minimum ns/op per benchmark name.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(data), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in input")
+	}
+	return out, nil
+}
+
+// gateResult is one benchmark's verdict.
+type gateResult struct {
+	Name     string  `json:"name"`
+	Baseline float64 `json:"baselineNsPerOp"`
+	Current  float64 `json:"currentNsPerOp"`
+	Ratio    float64 `json:"ratio"`
+	Verdict  string  `json:"verdict"` // ok | regression | missing | new
+}
+
+// gate compares results against the baseline: a benchmark regresses when its
+// minimum ns/op exceeds baseline*(1+tolerance); a baseline benchmark absent
+// from the results fails too (the gate must not silently lose coverage).
+func gate(baseline, results map[string]float64, tolerance float64) (verdicts []gateResult, failed bool) {
+	names := make([]string, 0, len(baseline))
+	for n := range baseline {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base := baseline[n]
+		cur, ok := results[n]
+		switch {
+		case !ok:
+			verdicts = append(verdicts, gateResult{Name: n, Baseline: base, Verdict: "missing"})
+			failed = true
+		case base > 0 && cur > base*(1+tolerance):
+			verdicts = append(verdicts, gateResult{Name: n, Baseline: base, Current: cur, Ratio: cur / base, Verdict: "regression"})
+			failed = true
+		default:
+			r := 0.0
+			if base > 0 {
+				r = cur / base
+			}
+			verdicts = append(verdicts, gateResult{Name: n, Baseline: base, Current: cur, Ratio: r, Verdict: "ok"})
+		}
+	}
+	extras := make([]string, 0)
+	for n := range results {
+		if _, ok := baseline[n]; !ok {
+			extras = append(extras, n)
+		}
+	}
+	sort.Strings(extras)
+	for _, n := range extras {
+		verdicts = append(verdicts, gateResult{Name: n, Current: results[n], Verdict: "new"})
+	}
+	return verdicts, failed
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+	benchPath := fs.String("bench", "-", "go test -bench output (- reads stdin)")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed relative ns/op increase before failing")
+	update := fs.Bool("update", false, "rewrite the baseline from the results instead of gating")
+	outPath := fs.String("out", "", "write gate verdicts as JSON (CI artifact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(Baseline{Benchmarks: results}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s with %d benchmarks\n", *baselinePath, len(results))
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", *baselinePath, err)
+	}
+	verdicts, failed := gate(base.Benchmarks, results, *tolerance)
+	for _, v := range verdicts {
+		switch v.Verdict {
+		case "missing":
+			fmt.Fprintf(stdout, "MISSING    %-60s baseline %.0f ns/op, no result\n", v.Name, v.Baseline)
+		case "new":
+			fmt.Fprintf(stdout, "NEW        %-60s %.0f ns/op (not in baseline)\n", v.Name, v.Current)
+		case "regression":
+			fmt.Fprintf(stdout, "REGRESSION %-60s %.0f -> %.0f ns/op (%.2fx, tolerance %.2fx)\n",
+				v.Name, v.Baseline, v.Current, v.Ratio, 1+*tolerance)
+		default:
+			fmt.Fprintf(stdout, "ok         %-60s %.0f -> %.0f ns/op (%.2fx)\n", v.Name, v.Baseline, v.Current, v.Ratio)
+		}
+	}
+	if *outPath != "" {
+		data, err := json.MarshalIndent(verdicts, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression gate failed (tolerance %.0f%%)", *tolerance*100)
+	}
+	fmt.Fprintln(stdout, "benchmark gate passed")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkHTEXThroughput/blocks=1-8         	       1	    52000 ns/op	       61000 tasks/s
+BenchmarkHTEXThroughput/blocks=1-8         	       1	    48000 ns/op	       63000 tasks/s
+BenchmarkHTEXThroughput/blocks=1-8         	       1	    51000 ns/op	       60000 tasks/s
+BenchmarkServiceSubmission/concurrent=1-8  	       1	  1400000 ns/op	         730 runs/s
+BenchmarkServiceSubmission/concurrent=1-8  	       1	  1300000 ns/op	         750 runs/s
+PASS
+`
+
+func TestParseBenchTakesMinAndStripsProcSuffix(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkHTEXThroughput/blocks=1"]; got != 48000 {
+		t.Errorf("HTEX min = %v, want 48000", got)
+	}
+	if got := res["BenchmarkServiceSubmission/concurrent=1"]; got != 1300000 {
+		t.Errorf("Service min = %v, want 1300000", got)
+	}
+	if len(res) != 2 {
+		t.Errorf("parsed %d benchmarks, want 2: %v", len(res), res)
+	}
+}
+
+func TestParseBenchEmptyFails(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	baseline := map[string]float64{"A": 100, "B": 100, "C": 100}
+	results := map[string]float64{"A": 110, "B": 140, "D": 50}
+	verdicts, failed := gate(baseline, results, 0.25)
+	if !failed {
+		t.Error("gate passed despite regression and missing benchmark")
+	}
+	byName := map[string]string{}
+	for _, v := range verdicts {
+		byName[v.Name] = v.Verdict
+	}
+	want := map[string]string{"A": "ok", "B": "regression", "C": "missing", "D": "new"}
+	for n, w := range want {
+		if byName[n] != w {
+			t.Errorf("%s = %s, want %s", n, byName[n], w)
+		}
+	}
+
+	// Within tolerance everything passes; new benchmarks never fail the gate.
+	if _, failed := gate(map[string]float64{"A": 100}, map[string]float64{"A": 124, "D": 1}, 0.25); failed {
+		t.Error("gate failed within tolerance")
+	}
+}
+
+func TestRunUpdateThenGate(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(benchPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-update", "-baseline", basePath, "-bench", benchPath}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// Gating the same results against the fresh baseline passes and writes
+	// the artifact.
+	artifact := filepath.Join(dir, "verdicts.json")
+	out.Reset()
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath, "-out", artifact}, &out, io.Discard); err != nil {
+		t.Fatalf("gate failed against own baseline: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(artifact); err != nil {
+		t.Errorf("artifact not written: %v", err)
+	}
+
+	// A 2x slowdown fails.
+	slow := strings.ReplaceAll(sampleBench, "48000 ns/op", "148000 ns/op")
+	slow = strings.ReplaceAll(slow, "52000 ns/op", "152000 ns/op")
+	slow = strings.ReplaceAll(slow, "51000 ns/op", "151000 ns/op")
+	if err := os.WriteFile(benchPath, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath}, io.Discard, io.Discard); err == nil {
+		t.Error("gate passed a 3x regression")
+	}
+}

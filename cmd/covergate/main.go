@@ -1,0 +1,166 @@
+// Command covergate enforces per-package coverage floors in CI: it parses a
+// `go test -coverprofile` file, aggregates statement coverage per package,
+// prints a summary, and fails when a floored package is below its floor.
+//
+//	go test -coverprofile=coverage.out ./...
+//	covergate -profile coverage.out \
+//	    -floor repro/internal/persist=80 -floor repro/internal/service=70
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCoverage accumulates statement counts for one package.
+type pkgCoverage struct {
+	total   int
+	covered int
+}
+
+func (p pkgCoverage) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+// parseProfile aggregates a coverprofile by package directory. Profile lines
+// look like:
+//
+//	repro/internal/persist/persist.go:121.33,124.2 2 1
+//
+// where the trailing fields are the statement count and the hit count.
+func parseProfile(r io.Reader) (map[string]*pkgCoverage, error) {
+	out := map[string]*pkgCoverage{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		file, rest, ok := strings.Cut(text, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed %q", line, text)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: malformed %q", line, text)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: statement count: %w", line, err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: hit count: %w", line, err)
+		}
+		pkg := path.Dir(file)
+		pc := out[pkg]
+		if pc == nil {
+			pc = &pkgCoverage{}
+			out[pkg] = pc
+		}
+		pc.total += stmts
+		if hits > 0 {
+			pc.covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no coverage data found")
+	}
+	return out, nil
+}
+
+// floorList collects repeated -floor pkg=pct flags.
+type floorList map[string]float64
+
+func (f floorList) String() string { return fmt.Sprint(map[string]float64(f)) }
+
+func (f floorList) Set(s string) error {
+	pkg, pct, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(pct, 64)
+	if err != nil {
+		return fmt.Errorf("percent in %q: %w", s, err)
+	}
+	f[pkg] = v
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("covergate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profilePath := fs.String("profile", "coverage.out", "coverprofile to check (- reads stdin)")
+	floors := floorList{}
+	fs.Var(floors, "floor", "pkg=percent floor (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if *profilePath != "-" {
+		f, err := os.Open(*profilePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	pkgs, err := parseProfile(in)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(pkgs))
+	for n := range pkgs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, n := range names {
+		pc := pkgs[n]
+		mark := " "
+		if floor, ok := floors[n]; ok {
+			if pc.percent() < floor {
+				mark = "✗"
+				failures = append(failures, fmt.Sprintf("%s: %.1f%% < floor %.1f%%", n, pc.percent(), floor))
+			} else {
+				mark = "✓"
+			}
+		}
+		fmt.Fprintf(stdout, "%s %-50s %6.1f%% (%d/%d statements)\n", mark, n, pc.percent(), pc.covered, pc.total)
+	}
+	for pkg := range floors {
+		if _, ok := pkgs[pkg]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: floored package has no coverage data", pkg))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("coverage floors not met:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(stdout, "coverage gate passed")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: atomic
+repro/internal/persist/persist.go:10.2,12.3 3 5
+repro/internal/persist/persist.go:14.2,16.3 2 0
+repro/internal/service/store.go:20.2,22.3 4 1
+repro/internal/service/http.go:30.2,31.3 1 0
+`
+
+func TestParseProfileAggregatesPerPackage(t *testing.T) {
+	pkgs, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkgs["repro/internal/persist"]
+	if p == nil || p.total != 5 || p.covered != 3 {
+		t.Fatalf("persist = %+v, want 3/5", p)
+	}
+	s := pkgs["repro/internal/service"]
+	if s == nil || s.total != 5 || s.covered != 4 {
+		t.Fatalf("service = %+v, want 4/5", s)
+	}
+	if got := p.percent(); got != 60 {
+		t.Errorf("persist percent = %v, want 60", got)
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "mode: atomic\n", "not a profile line\n"} {
+		if _, err := parseProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("%q accepted", in)
+		}
+	}
+}
+
+func TestRunEnforcesFloors(t *testing.T) {
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "coverage.out")
+	if err := os.WriteFile(profile, []byte(sampleProfile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// 60% persist coverage passes a 50 floor, fails a 70 floor.
+	if err := run([]string{"-profile", profile, "-floor", "repro/internal/persist=50"}, &out, io.Discard); err != nil {
+		t.Errorf("floor 50 failed: %v\n%s", err, out.String())
+	}
+	if err := run([]string{"-profile", profile, "-floor", "repro/internal/persist=70"}, io.Discard, io.Discard); err == nil {
+		t.Error("floor 70 passed at 60% coverage")
+	}
+	// A floored package with no data fails loudly.
+	if err := run([]string{"-profile", profile, "-floor", "repro/internal/nonexistent=10"}, io.Discard, io.Discard); err == nil {
+		t.Error("missing floored package passed")
+	}
+	// Malformed floor flag.
+	if err := run([]string{"-profile", profile, "-floor", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Error("malformed -floor accepted")
+	}
+}

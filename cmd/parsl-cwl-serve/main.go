@@ -2,11 +2,11 @@
 // that accepts CWL documents and executes them as concurrent runs over one
 // shared Parsl DataFlowKernel.
 //
-//	parsl-cwl-serve -addr :8080 -config config.yml -workers 8
+//	parsl-cwl-serve -addr :8080 -config config.yml -workers 8 -data-dir /var/lib/parsl-cwl
 //
 //	curl -s localhost:8080/runs -d '{"cwl": "...", "inputs": {"message": "hi"}}'
 //	curl -s localhost:8080/runs/run-000001?wait=1
-//	curl -s localhost:8080/healthz   # load, cache, and per-executor stats
+//	curl -s localhost:8080/healthz   # load, cache, persistence, executor stats
 //
 // The executor configuration uses the same TaPS-style YAML as the parsl-cwl
 // command; without -config a thread-pool executor sized to the machine is
@@ -14,6 +14,15 @@
 // workers, and for HTEX the connected managers plus lost/scaled-in block and
 // re-dispatched task counters — so operators can watch elasticity and fault
 // recovery live.
+//
+// With -data-dir the service is durable: run lifecycle transitions and task
+// memoization results are journaled to an fsync-batched write-ahead log and
+// periodically compacted (-checkpoint-period) into snapshots. After a crash,
+// restarting against the same -data-dir restores run history, re-enqueues
+// runs that were queued or running, and reloads the memo table so completed
+// steps of an interrupted workflow are memo hits rather than re-executions.
+// /healthz gains a "persistence" section (journal size, last snapshot,
+// restored-run counts); -no-persist disables all of it.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -35,12 +45,16 @@ import (
 )
 
 type serveConfig struct {
-	addr       string
-	configPath string
-	workers    int
-	queueDepth int
-	cacheSize  int
-	workDir    string
+	addr             string
+	configPath       string
+	workers          int
+	queueDepth       int
+	cacheSize        int
+	cacheBytes       int64
+	workDir          string
+	dataDir          string
+	checkpointPeriod time.Duration
+	noPersist        bool
 }
 
 func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
@@ -51,13 +65,20 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.StringVar(&cfg.configPath, "config", "", "TaPS-style Parsl executor config (YAML)")
 	fs.IntVar(&cfg.workers, "workers", 8, "concurrent workflow runs")
 	fs.IntVar(&cfg.queueDepth, "queue", 64, "max queued runs before 429 backpressure")
-	fs.IntVar(&cfg.cacheSize, "cache", 128, "parsed-document cache capacity")
-	fs.StringVar(&cfg.workDir, "work-dir", "", "root for per-run job directories (default: executor run dir)")
+	fs.IntVar(&cfg.cacheSize, "cache", 128, "parsed-document cache capacity (entries)")
+	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "parsed-document cache byte cap (0 = 64 MiB default, negative = unbounded)")
+	fs.StringVar(&cfg.workDir, "work-dir", "", "root for per-run job directories (default: <data-dir>/work, else executor run dir)")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "directory for the run journal and checkpoints; enables durable, crash-resumable runs")
+	fs.DurationVar(&cfg.checkpointPeriod, "checkpoint-period", 30*time.Second, "how often the journal is compacted into a snapshot")
+	fs.BoolVar(&cfg.noPersist, "no-persist", false, "disable persistence even when -data-dir is set")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	if fs.NArg() != 0 {
 		return cfg, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.noPersist {
+		cfg.dataDir = ""
 	}
 	return cfg, nil
 }
@@ -72,6 +93,17 @@ func newService(cfg serveConfig) (*parsl.DFK, *service.Service, error) {
 		}
 		spec = loaded
 	}
+	if cfg.dataDir != "" {
+		// Durable runs depend on the memo table: crash resume re-executes
+		// interrupted runs, and restored memo entries are what make that
+		// re-execution cheap and consistent.
+		spec.Memoize = true
+		if cfg.workDir == "" {
+			// Job directories must survive restarts alongside the journal —
+			// restored memo results reference files inside them.
+			cfg.workDir = filepath.Join(cfg.dataDir, "work")
+		}
+	}
 	pcfg, err := spec.Build()
 	if err != nil {
 		return nil, nil, err
@@ -81,10 +113,13 @@ func newService(cfg serveConfig) (*parsl.DFK, *service.Service, error) {
 		return nil, nil, err
 	}
 	svc, err := service.New(dfk, service.Options{
-		Workers:    cfg.workers,
-		QueueDepth: cfg.queueDepth,
-		CacheSize:  cfg.cacheSize,
-		WorkRoot:   cfg.workDir,
+		Workers:          cfg.workers,
+		QueueDepth:       cfg.queueDepth,
+		CacheSize:        cfg.cacheSize,
+		CacheBytes:       cfg.cacheBytes,
+		WorkRoot:         cfg.workDir,
+		DataDir:          cfg.dataDir,
+		CheckpointPeriod: cfg.checkpointPeriod,
 	})
 	if err != nil {
 		dfk.Cleanup()
@@ -116,6 +151,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var executors []string
 	for _, es := range dfk.ExecutorStats() {
 		executors = append(executors, es.Label)
+	}
+	if p := svc.Stats().Persistence; p != nil {
+		fmt.Fprintf(stdout, "durable runs: journal in %s (%d restored, %d re-enqueued, %d memo entries)\n",
+			p.Dir, p.RestoredRuns, p.ResubmittedRuns, p.RestoredMemo)
 	}
 	fmt.Fprintf(stdout, "parsl-cwl-serve listening on http://%s (%d workers, queue %d, executors %s)\n",
 		ln.Addr(), cfg.workers, cfg.queueDepth, strings.Join(executors, ","))

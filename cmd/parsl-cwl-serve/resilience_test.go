@@ -1,0 +1,283 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestHelperServe is not a real test: when re-executed with
+// PARSL_CWL_SERVE_HELPER=1 it runs the server binary's main loop, so the
+// resilience test below can kill -9 a genuine child process.
+func TestHelperServe(t *testing.T) {
+	if os.Getenv("PARSL_CWL_SERVE_HELPER") != "1" {
+		t.Skip("helper process for TestKillNineResume")
+	}
+	args := strings.Split(os.Getenv("PARSL_CWL_SERVE_ARGS"), "\x1f")
+	if err := run(args, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startServer re-executes the test binary as a parsl-cwl-serve process and
+// returns it with its base URL once it is listening.
+func startServer(t *testing.T, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-workers", "2"}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperServe")
+	cmd.Env = append(os.Environ(),
+		"PARSL_CWL_SERVE_HELPER=1",
+		"PARSL_CWL_SERVE_ARGS="+strings.Join(args, "\x1f"),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on http://"); i >= 0 {
+				addr <- strings.Fields(line[i+len("listening on "):])[0]
+			}
+		}
+	}()
+	select {
+	case url := <-addr:
+		return cmd, url
+	case <-time.After(20 * time.Second):
+		t.Fatal("server never reported its listen address")
+		return nil, ""
+	}
+}
+
+func postRun(t *testing.T, base string, body map[string]any) map[string]any {
+	t.Helper()
+	data, _ := json.Marshal(body)
+	resp, err := http.Post(base+"/runs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /runs: %d %v", resp.StatusCode, out)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return out
+}
+
+// eventStates fetches the run's task-event state names.
+func eventStates(t *testing.T, base, id string) []string {
+	t.Helper()
+	out := getJSON(t, base+"/runs/"+id+"/events")
+	evs, _ := out["events"].([]any)
+	states := make([]string, 0, len(evs))
+	for _, e := range evs {
+		if m, ok := e.(map[string]any); ok {
+			if s, ok := m["state"].(string); ok {
+				states = append(states, s)
+			}
+		}
+	}
+	return states
+}
+
+// TestKillNineResume is the durability acceptance test: kill -9 a
+// parsl-cwl-serve mid-workflow, restart it against the same -data-dir, and
+// observe (1) prior completed runs listed, (2) the interrupted run
+// re-executed to success with at least one memo-hit task event, and (3) no
+// duplicate run IDs.
+func TestKillNineResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	dataDir := t.TempDir()
+
+	srv1, base := startServer(t, dataDir)
+
+	// A quick run that completes before the crash: it must survive as
+	// history.
+	quickTool := `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+stdout: quick.txt
+inputs:
+  message: {type: string, inputBinding: {position: 1}}
+outputs:
+  output: {type: stdout}
+`
+	quick := postRun(t, base, map[string]any{"cwl": quickTool, "inputs": map[string]any{"message": "survivor"}, "name": "quick"})
+	quickID := quick["id"].(string)
+	done := getJSON(t, base+"/runs/"+quickID+"?wait=1")
+	if done["state"] != "succeeded" {
+		t.Fatalf("quick run = %v", done)
+	}
+
+	// A two-step workflow: fast step, then a step that sleeps long enough to
+	// be interrupted.
+	slowWF := `cwlVersion: v1.2
+class: Workflow
+inputs:
+  message: string
+outputs:
+  final:
+    type: File
+    outputSource: slow/output
+steps:
+  greet:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      stdout: greet.txt
+      inputs:
+        message: {type: string, inputBinding: {position: 1}}
+      outputs:
+        output: {type: stdout}
+    in: {message: message}
+    out: [output]
+  slow:
+    run:
+      class: CommandLineTool
+      baseCommand: [sh, -c]
+      arguments: ["sleep 4; cat \"$0\""]
+      stdout: slow.txt
+      inputs:
+        infile: {type: File, inputBinding: {position: 1}}
+      outputs:
+        output: {type: stdout}
+    in: {infile: greet/output}
+    out: [output]
+`
+	wf := postRun(t, base, map[string]any{"cwl": slowWF, "inputs": map[string]any{"message": "durable"}, "name": "interrupted"})
+	wfID := wf["id"].(string)
+
+	// Wait until the first step has finished (its memo record is then in the
+	// journal) while the second still sleeps.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		states := eventStates(t, base, wfID)
+		execDone := 0
+		for _, s := range states {
+			if s == "exec_done" {
+				execDone++
+			}
+		}
+		if execDone >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first step never completed; states = %v", states)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // journal writes reach the OS
+
+	// The crash.
+	if err := srv1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Wait()
+
+	// The resurrection.
+	_, base2 := startServer(t, dataDir)
+
+	runsOut := getJSON(t, base2+"/runs")
+	runs, _ := runsOut["runs"].([]any)
+	seen := map[string]bool{}
+	var quickRestored map[string]any
+	for _, r := range runs {
+		m := r.(map[string]any)
+		id := m["id"].(string)
+		if seen[id] {
+			t.Errorf("duplicate run ID %s in restored listing", id)
+		}
+		seen[id] = true
+		if id == quickID {
+			quickRestored = m
+		}
+	}
+	if quickRestored == nil {
+		t.Fatalf("completed run %s missing after restart; runs = %v", quickID, runsOut)
+	}
+	if quickRestored["state"] != "succeeded" || quickRestored["restored"] != true {
+		t.Errorf("restored quick run = %v", quickRestored)
+	}
+	if !seen[wfID] {
+		t.Fatalf("interrupted run %s missing after restart", wfID)
+	}
+
+	// The interrupted run must re-execute to success...
+	final := getJSON(t, base2+"/runs/"+wfID+"?wait=1")
+	if final["state"] != "succeeded" {
+		t.Fatalf("re-executed run = %v", final)
+	}
+	// ...with the completed first step served from the restored memo table.
+	states := eventStates(t, base2, wfID)
+	memoHits := 0
+	for _, s := range states {
+		if s == "memo_done" {
+			memoHits++
+		}
+	}
+	if memoHits < 1 {
+		t.Errorf("re-execution had no memo-hit events; states = %v", states)
+	}
+
+	// New submissions keep the ID sequence moving: no collisions with
+	// restored runs.
+	fresh := postRun(t, base2, map[string]any{"cwl": quickTool, "inputs": map[string]any{"message": "post-crash"}})
+	if seen[fresh["id"].(string)] {
+		t.Errorf("fresh run reused restored ID %s", fresh["id"])
+	}
+	getJSON(t, base2+"/runs/"+fresh["id"].(string)+"?wait=1")
+
+	// The healthz persistence section reports the recovery.
+	health := getJSON(t, base2+"/healthz")
+	stats, _ := health["stats"].(map[string]any)
+	pers, _ := stats["persistence"].(map[string]any)
+	if pers == nil {
+		t.Fatalf("healthz has no persistence section: %v", health)
+	}
+	if n, _ := pers["resubmittedRuns"].(float64); n < 1 {
+		t.Errorf("persistence stats = %v", pers)
+	}
+}

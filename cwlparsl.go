@@ -25,9 +25,13 @@
 //   - Serve workflows over HTTP: NewService multiplexes many queued runs over
 //     one shared DFK with bounded concurrency, priority scheduling,
 //     cancellation, and a content-hash document cache (the parsl-cwl-serve
-//     command wraps this):
+//     command wraps this). With ServiceOptions.DataDir the service is
+//     durable: run lifecycle and memoized task results are journaled to a
+//     write-ahead log, and a restart restores history, re-enqueues
+//     interrupted runs, and reloads the memo table so completed steps are
+//     memo hits instead of re-executions (Parsl's checkpointing model):
 //
-//     svc, _ := cwlparsl.NewService(dfk, cwlparsl.ServiceOptions{Workers: 8})
+//     svc, _ := cwlparsl.NewService(dfk, cwlparsl.ServiceOptions{Workers: 8, DataDir: "data"})
 //     http.ListenAndServe(":8080", svc.Handler())
 //
 // See the examples/ directory for complete programs and DESIGN.md for the
@@ -176,6 +180,14 @@ const (
 
 // TaskEvent is one DFK monitoring record (a run's event log entry).
 type TaskEvent = parsl.TaskEvent
+
+// MemoEntry is one DFK memoization-table entry — the unit of cross-restart
+// checkpointing (see DFK.MemoSnapshot, DFK.RestoreMemo, DFK.OnMemoCommit).
+type MemoEntry = parsl.MemoEntry
+
+// PersistStats is the durability section of the service's /healthz stats:
+// journal size, last snapshot time, and restored-run counts.
+type PersistStats = service.PersistStats
 
 // NewService builds the workflow submission service over a loaded DFK.
 func NewService(dfk *DFK, opts ServiceOptions) (*Service, error) {

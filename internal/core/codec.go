@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+// ResultCodec serializes Parsl task results for cross-process memo
+// checkpointing (the DFK exports MemoEntry values; the persistence layer
+// stores what this codec can encode and skips the rest). Supported shapes —
+// which cover every result the CWL paths produce — round-trip exactly:
+//
+//   - *yamlx.Map   (tool/step output objects)     → "obj"
+//   - parsl.File                                  → "file"
+//   - parsl.BashResult                            → "bash"
+//   - nil, string, bool, int64/int, float64       → "val"
+//   - []any of the above (recursively)            → "list"
+//
+// Anything else (app-specific structs, channels, closures) is not
+// checkpointable: Encode reports false and the entry simply stays
+// process-local.
+type ResultCodec struct{}
+
+// taggedValue is the wire form: a type tag plus the encoded payload.
+type taggedValue struct {
+	T string          `json:"t"`
+	V json.RawMessage `json:"v,omitempty"`
+}
+
+// Encode serializes a task result, reporting false when the value is not a
+// supported shape.
+func (c ResultCodec) Encode(v any) (json.RawMessage, bool) {
+	switch t := v.(type) {
+	case nil:
+		return mustTag("val", json.RawMessage("null")), true
+	case *yamlx.Map:
+		raw, err := t.MarshalJSON()
+		if err != nil {
+			return nil, false
+		}
+		return mustTag("obj", raw), true
+	case parsl.File:
+		raw, err := json.Marshal(t.Path)
+		if err != nil {
+			return nil, false
+		}
+		return mustTag("file", raw), true
+	case parsl.BashResult:
+		raw, err := json.Marshal(t)
+		if err != nil {
+			return nil, false
+		}
+		return mustTag("bash", raw), true
+	case string, bool, int, int64, float64:
+		raw, err := json.Marshal(t)
+		if err != nil {
+			return nil, false
+		}
+		return mustTag("val", raw), true
+	case []any:
+		elems := make([]json.RawMessage, len(t))
+		for i, e := range t {
+			enc, ok := c.Encode(e)
+			if !ok {
+				return nil, false
+			}
+			elems[i] = enc
+		}
+		raw, err := json.Marshal(elems)
+		if err != nil {
+			return nil, false
+		}
+		return mustTag("list", raw), true
+	default:
+		return nil, false
+	}
+}
+
+func mustTag(tag string, raw json.RawMessage) json.RawMessage {
+	out, _ := json.Marshal(taggedValue{T: tag, V: raw})
+	return out
+}
+
+// Decode reverses Encode.
+func (c ResultCodec) Decode(raw json.RawMessage) (any, error) {
+	var tv taggedValue
+	if err := json.Unmarshal(raw, &tv); err != nil {
+		return nil, fmt.Errorf("result codec: %w", err)
+	}
+	switch tv.T {
+	case "val":
+		if len(tv.V) == 0 {
+			return nil, nil
+		}
+		// DecodeJSON types integers as int64, matching live results.
+		return yamlx.DecodeJSON(tv.V)
+	case "obj":
+		v, err := yamlx.DecodeJSON(tv.V)
+		if err != nil {
+			return nil, fmt.Errorf("result codec: obj: %w", err)
+		}
+		m, ok := v.(*yamlx.Map)
+		if !ok {
+			return nil, fmt.Errorf("result codec: obj payload is %T", v)
+		}
+		return m, nil
+	case "file":
+		var path string
+		if err := json.Unmarshal(tv.V, &path); err != nil {
+			return nil, fmt.Errorf("result codec: file: %w", err)
+		}
+		return parsl.NewFile(path), nil
+	case "bash":
+		var br parsl.BashResult
+		if err := json.Unmarshal(tv.V, &br); err != nil {
+			return nil, fmt.Errorf("result codec: bash: %w", err)
+		}
+		return br, nil
+	case "list":
+		var elems []json.RawMessage
+		if err := json.Unmarshal(tv.V, &elems); err != nil {
+			return nil, fmt.Errorf("result codec: list: %w", err)
+		}
+		out := make([]any, len(elems))
+		for i, e := range elems {
+			v, err := c.Decode(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("result codec: unknown tag %q", tv.T)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+func TestResultCodecRoundTrips(t *testing.T) {
+	c := ResultCodec{}
+	cases := []any{
+		nil,
+		"hello",
+		true,
+		int64(42),
+		2.5,
+		parsl.NewFile("/work/out.txt"),
+		parsl.BashResult{Command: "echo hi", ExitCode: 0, Stdout: "/tmp/o"},
+		[]any{int64(1), "two", nil, []any{false}},
+		yamlx.MapOf("out", yamlx.MapOf("class", "File", "path", "/work/x"), "count", int64(3)),
+	}
+	for _, in := range cases {
+		raw, ok := c.Encode(in)
+		if !ok {
+			t.Errorf("Encode(%#v) not supported", in)
+			continue
+		}
+		out, err := c.Decode(raw)
+		if err != nil {
+			t.Errorf("Decode(%s): %v", raw, err)
+			continue
+		}
+		// Maps compare via their canonical JSON (pointer identity differs).
+		if m, isMap := in.(*yamlx.Map); isMap {
+			om, okm := out.(*yamlx.Map)
+			if !okm {
+				t.Errorf("map decoded as %T", out)
+				continue
+			}
+			a, _ := m.MarshalJSON()
+			b, _ := om.MarshalJSON()
+			if string(a) != string(b) {
+				t.Errorf("map round trip: %s != %s", a, b)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Errorf("round trip %#v -> %#v", in, out)
+		}
+	}
+}
+
+func TestResultCodecIntWidens(t *testing.T) {
+	c := ResultCodec{}
+	raw, ok := c.Encode(7)
+	if !ok {
+		t.Fatal("int not encodable")
+	}
+	out, err := c.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != int64(7) {
+		t.Errorf("int decoded as %T %v, want int64 7", out, out)
+	}
+}
+
+func TestResultCodecRejectsUnsupported(t *testing.T) {
+	c := ResultCodec{}
+	type custom struct{ X int }
+	for _, v := range []any{custom{1}, make(chan int), func() {}, map[string]any{"a": 1}, []any{custom{}}} {
+		if _, ok := c.Encode(v); ok {
+			t.Errorf("Encode(%T) unexpectedly supported", v)
+		}
+	}
+}
+
+func TestResultCodecDecodeErrors(t *testing.T) {
+	c := ResultCodec{}
+	for _, raw := range []string{``, `{"t":"wat","v":1}`, `{"t":"obj","v":[1]}`, `{"t":"file","v":{}}`} {
+		if _, err := c.Decode([]byte(raw)); err == nil {
+			t.Errorf("Decode(%q) succeeded", raw)
+		}
+	}
+}

@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/cwl"
@@ -28,6 +31,12 @@ type Runner struct {
 	// Label tags every task this runner submits, so one run's monitoring
 	// events can be isolated from a shared DFK's stream (DFK.EventsFor).
 	Label string
+	// Scope is a stable content identity for the document being run (e.g.
+	// the service's source hash). When set — and the DFK memoizes — workflow
+	// step results are keyed on scope + step id + canonicalized inputs, so
+	// identical steps are memo hits across runs and, with the persistence
+	// layer restoring the memo table, across process restarts.
+	Scope string
 }
 
 // NewRunner builds a Runner over a loaded DFK.
@@ -101,6 +110,7 @@ func (r *Runner) RunWorkflowContext(ctx context.Context, wf *cwl.Workflow, input
 	eng := &runner.WorkflowEngine{
 		Submitter: &ParslSubmitter{Ctx: ctx, DFK: r.DFK, WorkRoot: r.WorkRoot, Executor: r.Executor, InputsDir: r.InputsDir, Label: r.Label},
 		InputsDir: r.InputsDir,
+		Scope:     r.Scope,
 	}
 	return eng.Execute(wf, inputs)
 }
@@ -140,6 +150,46 @@ func (s *ParslSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map
 	// Step tasks carry no distinguishing arguments (the tool and inputs are
 	// closed over), so memoizing them would collide every step onto one key.
 	fut := s.DFK.Submit(app, parsl.Args{}, parsl.CallOpts{Executor: s.Executor, Label: s.Label, NoMemo: true})
+	s.awaitStep(ctx, fut, done)
+}
+
+// SubmitToolKeyed implements runner.KeyedSubmitter: when the workflow engine
+// knows a stable document scope, the step job becomes memoizable. Its memo
+// identity is the app name (scope + step) plus the canonicalized job inputs
+// passed as a task argument — the tool body and merged requirements are fully
+// determined by the scope, so closing over them is safe. The job directory is
+// likewise derived from that identity, so a restarted process re-creates the
+// same paths and restored memo results stay valid on disk.
+func (s *ParslSubmitter) SubmitToolKeyed(inv runner.ToolInvocation, tool *cwl.CommandLineTool, inputs *yamlx.Map, extraReqs *cwl.Requirements, done func(*yamlx.Map, error)) {
+	ctx := s.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		done(nil, err)
+		return
+	}
+	jobJSON, err := inputs.MarshalJSON()
+	if err != nil {
+		// Inputs that cannot be canonicalized cannot be keyed; run unkeyed.
+		s.SubmitTool(tool, inputs, extraReqs, done)
+		return
+	}
+	jobdir := filepath.Join(s.WorkRoot, stepJobDir(inv, jobJSON))
+	app := parsl.NewGoApp("step:"+inv.Step, func(parsl.Args) (any, error) {
+		tr := &runner.ToolRunner{WorkRoot: s.WorkRoot}
+		res, err := tr.RunTool(tool, inputs, runner.RunOpts{ExtraReqs: extraReqs, InputsDir: s.InputsDir, OutDir: jobdir})
+		if err != nil {
+			return nil, err
+		}
+		return res.Outputs, nil
+	})
+	args := parsl.Args{"scope": inv.Scope, "step": inv.Step, "job": string(jobJSON)}
+	fut := s.DFK.Submit(app, args, parsl.CallOpts{Executor: s.Executor, Label: s.Label})
+	s.awaitStep(ctx, fut, done)
+}
+
+func (s *ParslSubmitter) awaitStep(ctx context.Context, fut *parsl.AppFuture, done func(*yamlx.Map, error)) {
 	go func() {
 		res, err := fut.Result(ctx)
 		if err != nil {
@@ -148,6 +198,30 @@ func (s *ParslSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map
 		}
 		done(res.(*yamlx.Map), nil)
 	}()
+}
+
+// stepJobDir derives a deterministic, collision-free job directory for one
+// keyed step job: the sanitized step id plus a short hash of the invocation
+// identity. Scatter siblings differ in inputs, so they get distinct
+// directories; a restarted run reproduces the same path, keeping restored
+// memo results (which reference files inside it) valid.
+func stepJobDir(inv runner.ToolInvocation, jobJSON []byte) string {
+	h := sha256.New()
+	h.Write([]byte(inv.Scope))
+	h.Write([]byte{0})
+	h.Write([]byte(inv.Step))
+	h.Write([]byte{0})
+	h.Write(jobJSON)
+	sum := h.Sum(nil)
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, inv.Step)
+	return fmt.Sprintf("%s-%s", safe, hex.EncodeToString(sum[:6]))
 }
 
 // ParseInputValues decodes a job-order document (inputs.yml) into the map

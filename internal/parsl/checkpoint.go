@@ -1,0 +1,96 @@
+package parsl
+
+// Memo checkpointing: the DFK's memoization table — Parsl's checkpointing
+// substrate — can be exported, observed, and restored, so identical tasks
+// across process restarts are memo hits instead of re-executions. The DFK
+// deals only in live Go values; serializing results for disk is the caller's
+// job (see the service persistence layer and core's ResultCodec), which keeps
+// this package free of any storage format.
+
+// MemoEntry is one memoization-table entry: the content-hashed key (app name
+// + canonicalized arguments) and the successful result it maps to.
+type MemoEntry struct {
+	// Key is the memoization hash (see memoHash).
+	Key string
+	// App is the app name that produced the result, for attribution.
+	App string
+	// Value is the task's result.
+	Value any
+}
+
+type memoHook struct {
+	fn func(MemoEntry)
+}
+
+// OnMemoCommit registers fn to be called whenever a memoized task completes
+// successfully — the moment its result becomes a durable checkpoint
+// candidate. It returns a function that unregisters the hook. Callbacks run
+// synchronously on the completing task's goroutine and must be fast and
+// non-blocking; they must not call back into the DFK.
+func (d *DFK) OnMemoCommit(fn func(MemoEntry)) (remove func()) {
+	reg := &memoHook{fn: fn}
+	d.mu.Lock()
+	d.memoHooks = append(append([]*memoHook{}, d.memoHooks...), reg)
+	d.mu.Unlock()
+	return func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		kept := make([]*memoHook, 0, len(d.memoHooks))
+		for _, h := range d.memoHooks {
+			if h != reg {
+				kept = append(kept, h)
+			}
+		}
+		d.memoHooks = kept
+	}
+}
+
+// fireMemoCommit notifies memo hooks of a fresh successful memo entry.
+func (d *DFK) fireMemoCommit(key, app string, value any) {
+	d.mu.Lock()
+	hooks := d.memoHooks
+	d.mu.Unlock()
+	for _, h := range hooks {
+		h.fn(MemoEntry{Key: key, App: app, Value: value})
+	}
+}
+
+// MemoSnapshot exports every completed, successful memoization entry — the
+// compacted checkpoint state. In-flight and failed entries are skipped.
+func (d *DFK) MemoSnapshot() []MemoEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]MemoEntry, 0, len(d.memo))
+	for key, fut := range d.memo {
+		res, err, done := fut.TryResult()
+		if !done || err != nil {
+			continue
+		}
+		out = append(out, MemoEntry{Key: key, App: fut.app, Value: res})
+	}
+	return out
+}
+
+// RestoreMemo loads checkpointed entries into the memoization table, so
+// subsequent identical submissions are memo hits (StateMemoHit) without
+// re-execution. Entries whose key is already present are skipped (live
+// results win). It returns how many entries were installed. Restoring into a
+// DFK with memoization disabled is a no-op for lookups but harmless.
+func (d *DFK) RestoreMemo(entries []MemoEntry) int {
+	restored := 0
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range entries {
+		if e.Key == "" {
+			continue
+		}
+		if _, exists := d.memo[e.Key]; exists {
+			continue
+		}
+		fut := newAppFuture(-1, e.App)
+		fut.complete(e.Value, nil)
+		d.memoPutLocked(e.Key, fut)
+		restored++
+	}
+	return restored
+}

@@ -83,6 +83,13 @@ type Config struct {
 	// working-set limit. Services retaining more runs than this should
 	// raise it. Negative means unbounded.
 	MaxLabels int
+	// MaxMemoEntries bounds the memoization table: past it, the
+	// least-recently-used completed entries are evicted (an evicted entry
+	// just re-executes on its next submission). This also bounds checkpoint
+	// snapshot size in a long-lived durable service. 0 selects the default
+	// of 65536; negative means unbounded. In-flight entries are never
+	// evicted.
+	MaxMemoEntries int
 }
 
 // DFK is the DataFlowKernel: it tracks tasks, resolves dependencies and
@@ -100,7 +107,10 @@ type DFK struct {
 	byLabel   map[string]*labelLog // per-label event index (EventsFor)
 	labelSeq  int64
 	hooks     []*taskEventHook
+	memoHooks []*memoHook
 	memo      map[string]*AppFuture
+	memoSeq   map[string]int64 // per-entry last-use tick, for LRU eviction
+	memoTick  int64
 	submitted int            // total Submit calls, immune to event truncation
 	perApp    map[string]int // per-app Submit counts, ditto
 	pending   sync.WaitGroup
@@ -130,6 +140,7 @@ func Load(cfg Config) (*DFK, error) {
 		states:    map[int]TaskState{},
 		byLabel:   map[string]*labelLog{},
 		memo:      map[string]*AppFuture{},
+		memoSeq:   map[string]int64{},
 		perApp:    map[string]int{},
 	}
 	for i, ex := range cfg.Executors {
@@ -267,10 +278,11 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 			d.mu.Lock()
 			prior, ok := d.memo[memoKey]
 			if !ok {
-				d.memo[memoKey] = fut // this task owns the entry
+				d.memoPutLocked(memoKey, fut) // this task owns the entry
 				d.mu.Unlock()
 				break
 			}
+			d.memoTouchLocked(memoKey)
 			d.mu.Unlock()
 			<-prior.Done()
 			res, err, _ := prior.TryResult()
@@ -286,6 +298,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 			d.mu.Lock()
 			if d.memo[memoKey] == prior {
 				delete(d.memo, memoKey)
+				delete(d.memoSeq, memoKey)
 			}
 			d.mu.Unlock()
 		}
@@ -299,6 +312,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 		d.mu.Lock()
 		if d.memo[memoKey] == fut {
 			delete(d.memo, memoKey)
+			delete(d.memoSeq, memoKey)
 		}
 		d.mu.Unlock()
 	}
@@ -343,6 +357,11 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 				evictMemo()
 			} else {
 				d.setState(id, app.Name(), opts.Label, StateDone, final)
+				if memoKey != "" {
+					// The result just became a checkpoint candidate: notify
+					// memo observers (e.g. the service's durability journal).
+					d.fireMemoCommit(memoKey, app.Name(), res)
+				}
 			}
 			fut.complete(res, err)
 			d.pending.Done()
@@ -432,6 +451,65 @@ func (d *DFK) evictLabelsLocked(maxLabels int) {
 		if e.seq <= cutoff {
 			delete(d.byLabel, l)
 		}
+	}
+}
+
+// DefaultMaxMemoEntries is the memoization-table retention used when
+// Config.MaxMemoEntries is 0.
+const DefaultMaxMemoEntries = 65536
+
+// memoPutLocked installs a memo entry, evicting least-recently-used
+// completed entries first when the table is at capacity. Caller holds d.mu.
+func (d *DFK) memoPutLocked(key string, fut *AppFuture) {
+	max := d.cfg.MaxMemoEntries
+	if max == 0 {
+		max = DefaultMaxMemoEntries
+	}
+	if _, exists := d.memo[key]; !exists && max > 0 && len(d.memo) >= max {
+		d.evictMemoLocked(max)
+	}
+	d.memo[key] = fut
+	d.memoTick++
+	d.memoSeq[key] = d.memoTick
+}
+
+// memoTouchLocked marks a memo entry recently used. Caller holds d.mu.
+func (d *DFK) memoTouchLocked(key string) {
+	if _, ok := d.memoSeq[key]; ok {
+		d.memoTick++
+		d.memoSeq[key] = d.memoTick
+	}
+}
+
+// evictMemoLocked drops the least-recently-used ~1/16 of completed memo
+// entries (at least one), so a long-lived memoizing DFK cannot grow its
+// table — or its checkpoint snapshots — without bound. In-flight entries are
+// never evicted (waiters coordinate through them); an evicted completed
+// entry simply re-executes on its next identical submission. Batch eviction
+// keeps the scan amortized O(1) per insert. Caller holds d.mu.
+func (d *DFK) evictMemoLocked(max int) {
+	batch := max / 16
+	if batch < 1 {
+		batch = 1
+	}
+	type cand struct {
+		key string
+		seq int64
+	}
+	cands := make([]cand, 0, len(d.memo))
+	for k, fut := range d.memo {
+		if _, _, done := fut.TryResult(); !done {
+			continue
+		}
+		cands = append(cands, cand{key: k, seq: d.memoSeq[k]})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	if batch > len(cands) {
+		batch = len(cands)
+	}
+	for _, c := range cands[:batch] {
+		delete(d.memo, c.key)
+		delete(d.memoSeq, c.key)
 	}
 }
 

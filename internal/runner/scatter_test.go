@@ -1,0 +1,270 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cwl"
+	"repro/internal/yamlx"
+)
+
+// fakeSubmitter runs tools as a pure function of their inputs, so scatter
+// shapes can be asserted without shelling out.
+type fakeSubmitter struct {
+	fn func(tool *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.Map, error)
+	// keyed records the ToolInvocations announced via SubmitToolKeyed.
+	keyed []ToolInvocation
+}
+
+func (f *fakeSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map, _ *cwl.Requirements, done func(*yamlx.Map, error)) {
+	go func() { done(f.fn(tool, inputs)) }()
+}
+
+func (f *fakeSubmitter) SubmitToolKeyed(inv ToolInvocation, tool *cwl.CommandLineTool, inputs *yamlx.Map, reqs *cwl.Requirements, done func(*yamlx.Map, error)) {
+	f.keyed = append(f.keyed, inv)
+	f.SubmitTool(tool, inputs, reqs, done)
+}
+
+const crossWF = `
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  nums: int[]
+  tags: string[]
+outputs:
+  grid:
+    type: string[]
+    outputSource: combine/out
+steps:
+  combine:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        n: {type: int}
+        tag: {type: string}
+      outputs:
+        out: {type: string}
+    in: {n: nums, tag: tags}
+    scatter: [n, tag]
+    scatterMethod: nested_crossproduct
+    out: [out]
+`
+
+func mustWorkflow(t *testing.T, src string) *cwl.Workflow {
+	t.Helper()
+	doc, err := cwl.ParseBytes([]byte(src), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.(*cwl.Workflow)
+}
+
+func combineSubmitter() *fakeSubmitter {
+	return &fakeSubmitter{fn: func(_ *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.Map, error) {
+		return yamlx.MapOf("out", fmt.Sprintf("%v%v", inputs.Value("n"), inputs.Value("tag"))), nil
+	}}
+}
+
+func TestNestedCrossproductReshapesEndToEnd(t *testing.T) {
+	wf := mustWorkflow(t, crossWF)
+	eng := &WorkflowEngine{Submitter: combineSubmitter()}
+	out, err := eng.Execute(wf, yamlx.MapOf(
+		"nums", []any{int64(1), int64(2)},
+		"tags", []any{"a", "b", "c"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{
+		[]any{"1a", "1b", "1c"},
+		[]any{"2a", "2b", "2c"},
+	}
+	if got := out.Value("grid"); !reflect.DeepEqual(got, want) {
+		t.Errorf("grid = %#v, want %#v", got, want)
+	}
+}
+
+func TestNestedCrossproductEmptyInnerDimension(t *testing.T) {
+	wf := mustWorkflow(t, crossWF)
+	eng := &WorkflowEngine{Submitter: combineSubmitter()}
+	out, err := eng.Execute(wf, yamlx.MapOf(
+		"nums", []any{int64(1), int64(2)},
+		"tags", []any{},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two outer rows, each empty: the shape survives even with zero jobs.
+	got, ok := out.Value("grid").([]any)
+	if !ok || len(got) != 2 {
+		t.Fatalf("grid = %#v, want 2 empty rows", out.Value("grid"))
+	}
+	for i, row := range got {
+		if r, ok := row.([]any); !ok || len(r) != 0 {
+			t.Errorf("row %d = %#v, want empty", i, row)
+		}
+	}
+}
+
+func TestNestedCrossproductEmptyOuterDimension(t *testing.T) {
+	wf := mustWorkflow(t, crossWF)
+	eng := &WorkflowEngine{Submitter: combineSubmitter()}
+	out, err := eng.Execute(wf, yamlx.MapOf(
+		"nums", []any{},
+		"tags", []any{"a", "b"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := out.Value("grid").([]any); !ok || len(got) != 0 {
+		t.Errorf("grid = %#v, want empty outer list", out.Value("grid"))
+	}
+}
+
+func TestScatterEmptyArrays(t *testing.T) {
+	step := &cwl.WorkflowStep{
+		Scatter: []string{"a", "b"},
+		In:      []*cwl.StepInput{{ID: "a"}, {ID: "b"}},
+	}
+	// Dotproduct over two empty arrays: zero jobs, no error.
+	jobs, _, err := scatterJobs(step, yamlx.MapOf("a", []any{}, "b", []any{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("dotproduct over empty arrays produced %d jobs", len(jobs))
+	}
+	// Flat crossproduct with one empty dimension: zero jobs.
+	step.ScatterMethod = "flat_crossproduct"
+	jobs, _, err = scatterJobs(step, yamlx.MapOf("a", []any{1, 2}, "b", []any{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("crossproduct with empty dimension produced %d jobs", len(jobs))
+	}
+	// Nested crossproduct records the dims even when empty.
+	step.ScatterMethod = "nested_crossproduct"
+	jobs, shape, err := scatterJobs(step, yamlx.MapOf("a", []any{1, 2}, "b", []any{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 || !reflect.DeepEqual(shape.dims, []int{2, 0}) {
+		t.Errorf("jobs = %d, dims = %v", len(jobs), shape.dims)
+	}
+	// A scalar where an array is required is an error, not a panic.
+	if _, _, err := scatterJobs(step, yamlx.MapOf("a", "not-an-array", "b", []any{}), 0); err == nil {
+		t.Error("non-array scatter input accepted")
+	}
+	// Unknown method.
+	step.ScatterMethod = "diagonal"
+	if _, _, err := scatterJobs(step, yamlx.MapOf("a", []any{1}, "b", []any{2}), 0); err == nil {
+		t.Error("unknown scatterMethod accepted")
+	}
+	// Width limit.
+	step.ScatterMethod = "flat_crossproduct"
+	if _, _, err := scatterJobs(step, yamlx.MapOf("a", []any{1, 2, 3}, "b", []any{4, 5, 6}), 4); err == nil {
+		t.Error("scatter width limit not enforced")
+	}
+}
+
+func TestReshapeScatterShapes(t *testing.T) {
+	// Three dimensions: 2x2x2.
+	flat := []any{1, 2, 3, 4, 5, 6, 7, 8}
+	out := reshapeScatter(flat, scatterShape{method: "nested_crossproduct", dims: []int{2, 2, 2}})
+	want := []any{
+		[]any{[]any{1, 2}, []any{3, 4}},
+		[]any{[]any{5, 6}, []any{7, 8}},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("2x2x2 = %#v", out)
+	}
+	// Single dimension and non-nested methods pass through untouched.
+	if got := reshapeScatter([]any{1, 2}, scatterShape{method: "nested_crossproduct", dims: []int{2}}); !reflect.DeepEqual(got, []any{1, 2}) {
+		t.Errorf("single-dim = %#v", got)
+	}
+	if got := reshapeScatter([]any{1, 2}, scatterShape{method: "flat_crossproduct", dims: []int{1, 2}}); !reflect.DeepEqual(got, []any{1, 2}) {
+		t.Errorf("flat = %#v", got)
+	}
+}
+
+func TestGatherSourcesCombinations(t *testing.T) {
+	values := map[string]any{
+		"s/one":    "v1",
+		"s/nil":    nil,
+		"s/arr":    []any{"a", "b"},
+		"s/arr2":   []any{"c"},
+		"s/scalar": "solo",
+	}
+	cases := []struct {
+		name      string
+		sources   []string
+		linkMerge string
+		pickValue string
+		want      any
+		wantErr   string
+	}{
+		{name: "single source passthrough", sources: []string{"s/one"}, want: "v1"},
+		{name: "multi default merge_nested", sources: []string{"s/one", "s/nil"}, want: []any{"v1", nil}},
+		{name: "explicit merge_nested single", sources: []string{"s/arr"}, linkMerge: "merge_nested", want: []any{[]any{"a", "b"}}},
+		{name: "merge_flattened arrays", sources: []string{"s/arr", "s/arr2"}, linkMerge: "merge_flattened", want: []any{"a", "b", "c"}},
+		{name: "merge_flattened mixed scalar", sources: []string{"s/arr", "s/scalar"}, linkMerge: "merge_flattened", want: []any{"a", "b", "solo"}},
+		{name: "first_non_null picks", sources: []string{"s/nil", "s/one"}, pickValue: "first_non_null", want: "v1"},
+		{name: "first_non_null scalar self", sources: []string{"s/scalar"}, pickValue: "first_non_null", want: "solo"},
+		{name: "first_non_null all null", sources: []string{"s/nil"}, pickValue: "first_non_null", wantErr: "all values are null"},
+		{name: "the_only_non_null ok", sources: []string{"s/nil", "s/one"}, pickValue: "the_only_non_null", want: "v1"},
+		{name: "the_only_non_null too many", sources: []string{"s/one", "s/scalar"}, pickValue: "the_only_non_null", wantErr: "2 non-null"},
+		{name: "all_non_null filters", sources: []string{"s/nil", "s/one", "s/scalar"}, pickValue: "all_non_null", want: []any{"v1", "solo"}},
+		{name: "all_non_null empty result", sources: []string{"s/nil"}, pickValue: "all_non_null", want: []any(nil)},
+		{name: "flattened then first_non_null", sources: []string{"s/arr", "s/arr2"}, linkMerge: "merge_flattened", pickValue: "first_non_null", want: "a"},
+		{name: "missing source", sources: []string{"s/ghost"}, wantErr: "not available"},
+		{name: "unknown linkMerge", sources: []string{"s/one", "s/arr"}, linkMerge: "merge_sideways", wantErr: "unknown linkMerge"},
+		{name: "unknown pickValue", sources: []string{"s/one"}, pickValue: "last_non_null", wantErr: "unknown pickValue"},
+		{name: "no sources", sources: nil, want: nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := gatherSources(values, tc.sources, tc.linkMerge, tc.pickValue)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %#v, want %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestKeyedSubmitterSelection pins when the engine announces step identities:
+// only with a Scope and a KeyedSubmitter, and subworkflow scopes nest.
+func TestKeyedSubmitterSelection(t *testing.T) {
+	wf := mustWorkflow(t, crossWF)
+	inputs := yamlx.MapOf("nums", []any{int64(1)}, "tags", []any{"a"})
+
+	unscoped := combineSubmitter()
+	if _, err := (&WorkflowEngine{Submitter: unscoped}).Execute(wf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if len(unscoped.keyed) != 0 {
+		t.Errorf("unscoped engine announced %d invocations, want 0", len(unscoped.keyed))
+	}
+
+	scoped := combineSubmitter()
+	if _, err := (&WorkflowEngine{Submitter: scoped, Scope: "hash123"}).Execute(wf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if len(scoped.keyed) != 1 || scoped.keyed[0] != (ToolInvocation{Scope: "hash123", Step: "combine"}) {
+		t.Errorf("scoped invocations = %+v", scoped.keyed)
+	}
+}

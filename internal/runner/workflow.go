@@ -22,6 +22,27 @@ type Submitter interface {
 	SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map, extraReqs *cwl.Requirements, done func(outputs *yamlx.Map, err error))
 }
 
+// ToolInvocation is a stable identity for one step job, independent of the
+// process that runs it: Scope is a content identity for the enclosing
+// document (the engine extends it with step paths when recursing into
+// subworkflows) and Step is the step id within that scope. Together with the
+// job's canonicalized inputs they form a cross-restart memoization key — the
+// tool body and merged requirements are fully determined by Scope+Step, so
+// they need not be hashed separately.
+type ToolInvocation struct {
+	Scope string
+	Step  string
+}
+
+// KeyedSubmitter is an optional Submitter extension: engines that know a
+// stable document identity (WorkflowEngine.Scope) announce each step job's
+// ToolInvocation, which lets submitters memoize or checkpoint results across
+// runs and process restarts. Submitters that don't implement it receive plain
+// SubmitTool calls.
+type KeyedSubmitter interface {
+	SubmitToolKeyed(inv ToolInvocation, tool *cwl.CommandLineTool, inputs *yamlx.Map, extraReqs *cwl.Requirements, done func(outputs *yamlx.Map, err error))
+}
+
 // WorkflowEngine executes CWL Workflows as a dataflow over a Submitter:
 // steps launch as soon as their sources resolve (never in document order),
 // scatter fans out sub-jobs, "when" guards steps, and subworkflows recurse.
@@ -31,6 +52,11 @@ type WorkflowEngine struct {
 	InputsDir string
 	// MaxScatterWidth bounds fan-out per step (0 = unlimited).
 	MaxScatterWidth int
+	// Scope is a stable content identity for the workflow document (e.g. its
+	// source hash). When set and the Submitter implements KeyedSubmitter,
+	// each step job is announced with a ToolInvocation so results can be
+	// memoized across runs and process restarts. Empty disables keying.
+	Scope string
 }
 
 type wfState struct {
@@ -259,19 +285,30 @@ func (we *WorkflowEngine) runStepJob(step *cwl.WorkflowStep, stepReqs cwl.Requir
 			out *yamlx.Map
 			err error
 		}, 1)
-		we.Submitter.SubmitTool(run, filterTo(run.Inputs), &stepReqs, func(out *yamlx.Map, err error) {
+		done := func(out *yamlx.Map, err error) {
 			ch <- struct {
 				out *yamlx.Map
 				err error
 			}{out, err}
-		})
+		}
+		if ks, ok := we.Submitter.(KeyedSubmitter); ok && we.Scope != "" {
+			ks.SubmitToolKeyed(ToolInvocation{Scope: we.Scope, Step: step.ID}, run, filterTo(run.Inputs), &stepReqs, done)
+		} else {
+			we.Submitter.SubmitTool(run, filterTo(run.Inputs), &stepReqs, done)
+		}
 		res := <-ch
 		if res.err != nil {
 			return nil, res.err
 		}
 		return mapToGo(res.out), nil
 	case *cwl.Workflow:
-		sub := &WorkflowEngine{Submitter: we.Submitter, InputsDir: we.InputsDir, MaxScatterWidth: we.MaxScatterWidth}
+		// Subworkflow steps extend the scope with their step path so a step
+		// id reused across nesting levels cannot collide.
+		subScope := ""
+		if we.Scope != "" {
+			subScope = we.Scope + "/" + step.ID
+		}
+		sub := &WorkflowEngine{Submitter: we.Submitter, InputsDir: we.InputsDir, MaxScatterWidth: we.MaxScatterWidth, Scope: subScope}
 		out, err := sub.Execute(run, filterTo(run.Inputs))
 		if err != nil {
 			return nil, err

@@ -12,34 +12,48 @@ import (
 
 // DocCache is a content-hash cache of parsed-and-validated CWL documents:
 // repeated submissions of byte-identical CWL source skip ParseBytes+Validate
-// on the hot submission path. Entries are evicted LRU past the capacity.
+// on the hot submission path. The cache is bounded two ways — an LRU entry
+// cap and a total-source-bytes cap — so sustained distinct-document traffic
+// cannot grow it without limit even when individual documents are large.
 //
 // Cached documents are shared across concurrent runs; the engine treats
 // parsed documents as read-only after load, which is what makes the sharing
 // sound. Parse/validate failures are cached too, so a client hammering the
 // service with a bad document pays the parse cost once.
 type DocCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*list.Element
-	lru     *list.List // front = most recently used
-	hits    int
-	misses  int
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64 // total source bytes retained; <= 0 disables the byte cap
+	bytes    int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	hits     int
+	misses   int
 }
 
 type docEntry struct {
 	hash string
 	doc  cwl.Document
 	err  error
+	// size approximates the entry's memory cost by its source length (the
+	// parsed tree is proportional to it).
+	size int64
 }
 
+// DefaultCacheBytes is the byte cap used when maxBytes is 0.
+const DefaultCacheBytes = 64 << 20
+
 // NewDocCache returns a cache holding up to capacity documents
-// (capacity <= 0 selects the default of 128).
-func NewDocCache(capacity int) *DocCache {
+// (capacity <= 0 selects the default of 128) totalling at most maxBytes of
+// source (0 selects DefaultCacheBytes; negative disables the byte cap).
+func NewDocCache(capacity int, maxBytes int64) *DocCache {
 	if capacity <= 0 {
 		capacity = 128
 	}
-	return &DocCache{cap: capacity, entries: map[string]*list.Element{}, lru: list.New()}
+	if maxBytes == 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &DocCache{cap: capacity, maxBytes: maxBytes, entries: map[string]*list.Element{}, lru: list.New()}
 }
 
 // HashSource returns the content hash used as the cache key (hex sha256).
@@ -77,11 +91,14 @@ func (c *DocCache) Load(source []byte) (doc cwl.Document, hash string, hit bool,
 		ent := el.Value.(*docEntry)
 		return ent.doc, hash, false, ent.err
 	}
-	c.entries[hash] = c.lru.PushFront(&docEntry{hash: hash, doc: doc, err: err})
-	for c.lru.Len() > c.cap {
+	c.entries[hash] = c.lru.PushFront(&docEntry{hash: hash, doc: doc, err: err, size: int64(len(source))})
+	c.bytes += int64(len(source))
+	for c.lru.Len() > 1 && (c.lru.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*docEntry).hash)
+		ent := oldest.Value.(*docEntry)
+		delete(c.entries, ent.hash)
+		c.bytes -= ent.size
 	}
 	return doc, hash, false, err
 }
@@ -102,9 +119,9 @@ func parseAndValidate(source []byte) (cwl.Document, error) {
 	return doc, nil
 }
 
-// Stats reports cache effectiveness counters.
-func (c *DocCache) Stats() (hits, misses, size int) {
+// Stats reports cache effectiveness counters and retained source bytes.
+func (c *DocCache) Stats() (hits, misses, size int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.lru.Len()
+	return c.hits, c.misses, c.lru.Len(), c.bytes
 }

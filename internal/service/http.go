@@ -135,74 +135,17 @@ func decodeInputs(raw json.RawMessage) (*yamlx.Map, error) {
 		}
 		return m, nil
 	}
-	dec := json.NewDecoder(strings.NewReader(trimmed))
-	dec.UseNumber()
-	v, err := decodeJSONValue(dec)
+	// JSON decoding preserves object key order and types integers as int64,
+	// matching the YAML loader (yamlx.DecodeJSON).
+	v, err := yamlx.DecodeJSON([]byte(trimmed))
 	if err != nil {
 		return nil, fmt.Errorf("inputs: %w", err)
-	}
-	if _, err := dec.Token(); err != io.EOF {
-		return nil, errors.New("inputs: trailing data after JSON value")
 	}
 	m, ok := v.(*yamlx.Map)
 	if !ok {
 		return nil, errors.New("inputs must be a JSON object")
 	}
 	return m, nil
-}
-
-// decodeJSONValue decodes one JSON value preserving object key order (CWL
-// binding tie-breaks depend on it) and typing integers as int64 like the
-// YAML loader does.
-func decodeJSONValue(dec *json.Decoder) (any, error) {
-	tok, err := dec.Token()
-	if err != nil {
-		return nil, err
-	}
-	switch t := tok.(type) {
-	case json.Delim:
-		switch t {
-		case '{':
-			m := yamlx.NewMap()
-			for dec.More() {
-				keyTok, err := dec.Token()
-				if err != nil {
-					return nil, err
-				}
-				key, _ := keyTok.(string)
-				val, err := decodeJSONValue(dec)
-				if err != nil {
-					return nil, err
-				}
-				m.Set(key, val)
-			}
-			if _, err := dec.Token(); err != nil { // consume '}'
-				return nil, err
-			}
-			return m, nil
-		case '[':
-			var list []any
-			for dec.More() {
-				val, err := decodeJSONValue(dec)
-				if err != nil {
-					return nil, err
-				}
-				list = append(list, val)
-			}
-			if _, err := dec.Token(); err != nil { // consume ']'
-				return nil, err
-			}
-			return list, nil
-		}
-		return nil, fmt.Errorf("unexpected delimiter %v", t)
-	case json.Number:
-		if n, err := t.Int64(); err == nil {
-			return n, nil
-		}
-		return t.Float64()
-	default:
-		return tok, nil // string, bool, nil
-	}
 }
 
 func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,459 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parsl"
+	"repro/internal/persist"
+	"repro/internal/yamlx"
+)
+
+// persister is the service's durability glue over a persist.Log. It journals
+// three record kinds as they happen —
+//
+//	submit  {run snapshot + CWL source + inputs}   at Submit, pre-enqueue
+//	reject  {id}                                   when the scheduler refuses
+//	run     {run snapshot}                         on running/terminal moves
+//	memo    {key, app, encoded result}             on DFK memo commits
+//
+// — and periodically compacts them into a snapshot of the full service state
+// (every retained run, payloads for non-terminal ones, the DFK memo table,
+// and the run-ID sequence). On startup, replay rebuilds the store, restores
+// the memo table, and re-enqueues runs that were queued or running at crash
+// time; their re-execution is cheap because step results hit the restored
+// memo table.
+//
+// Record application is idempotent (replay tolerates records already
+// reflected in the snapshot), which is what makes the persist.Log's
+// crash-windows safe.
+type persister struct {
+	log   *persist.Log
+	codec core.ResultCodec
+
+	mu       sync.Mutex
+	payloads map[string]payloadRec // non-terminal runs' submission payloads
+	lastErr  error                 // most recent journal failure, for /healthz
+
+	// Restore counters, reported by /healthz.
+	restoredRuns int // terminal runs recovered as history
+	resubmitted  int // interrupted runs re-enqueued
+	restoredMemo int // memo entries restored into the DFK
+
+	stop       chan struct{}
+	done       chan struct{}
+	closeOnce  sync.Once
+	removeMemo func() // detaches the DFK memo hook
+}
+
+type payloadRec struct {
+	source []byte
+	inputs *yamlx.Map
+}
+
+// runWire is the journal/snapshot form of one run (RunSnapshot plus, for
+// non-terminal runs, the payload needed to re-execute it).
+type runWire struct {
+	ID       string          `json:"id"`
+	Name     string          `json:"name,omitempty"`
+	State    string          `json:"state"`
+	Class    string          `json:"class,omitempty"`
+	DocHash  string          `json:"docHash,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	CacheHit bool            `json:"cacheHit,omitempty"`
+	Created  time.Time       `json:"createdAt"`
+	Started  *time.Time      `json:"startedAt,omitempty"`
+	Finished *time.Time      `json:"finishedAt,omitempty"`
+	Outputs  json.RawMessage `json:"outputs,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Source   string          `json:"source,omitempty"`
+	Inputs   json.RawMessage `json:"inputs,omitempty"`
+}
+
+type rejectWire struct {
+	ID string `json:"id"`
+}
+
+type memoWire struct {
+	Key   string          `json:"key"`
+	App   string          `json:"app"`
+	Value json.RawMessage `json:"value"`
+}
+
+type snapshotWire struct {
+	Seq  int64      `json:"seq"`
+	Runs []runWire  `json:"runs"`
+	Memo []memoWire `json:"memo"`
+}
+
+func toWire(snap RunSnapshot) runWire {
+	w := runWire{
+		ID:       snap.ID,
+		Name:     snap.Name,
+		State:    snap.State.String(),
+		Class:    snap.Class,
+		DocHash:  snap.DocHash,
+		Priority: snap.Priority,
+		CacheHit: snap.CacheHit,
+		Created:  snap.Created,
+		Started:  snap.Started,
+		Finished: snap.Finished,
+		Error:    snap.Error,
+	}
+	if snap.Outputs != nil {
+		if raw, err := snap.Outputs.MarshalJSON(); err == nil {
+			w.Outputs = raw
+		}
+	}
+	return w
+}
+
+func (w runWire) toSnapshot() (RunSnapshot, error) {
+	state, err := ParseRunState(w.State)
+	if err != nil {
+		return RunSnapshot{}, fmt.Errorf("run %s: %w", w.ID, err)
+	}
+	snap := RunSnapshot{
+		ID:       w.ID,
+		Name:     w.Name,
+		State:    state,
+		Class:    w.Class,
+		DocHash:  w.DocHash,
+		Priority: w.Priority,
+		CacheHit: w.CacheHit,
+		Created:  w.Created,
+		Started:  w.Started,
+		Finished: w.Finished,
+		Error:    w.Error,
+	}
+	if len(w.Outputs) > 0 {
+		v, err := yamlx.DecodeJSON(w.Outputs)
+		if err != nil {
+			return RunSnapshot{}, fmt.Errorf("run %s outputs: %w", w.ID, err)
+		}
+		if m, ok := v.(*yamlx.Map); ok {
+			snap.Outputs = m
+		}
+	}
+	return snap, nil
+}
+
+func newPersister(log *persist.Log) *persister {
+	return &persister{
+		log:      log,
+		payloads: map[string]payloadRec{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// --- journaling (called by the Service at each lifecycle transition) ---
+
+// runSubmitted journals a new submission. Its error is returned (unlike the
+// later transitions) so Submit can refuse to ACK a run the journal never
+// recorded — a durable service must not hand out IDs it would forget.
+func (p *persister) runSubmitted(snap RunSnapshot, source []byte, inputs *yamlx.Map) error {
+	w := toWire(snap)
+	w.Source = string(source)
+	if inputs != nil {
+		if raw, err := inputs.MarshalJSON(); err == nil {
+			w.Inputs = raw
+		}
+	}
+	p.mu.Lock()
+	p.payloads[snap.ID] = payloadRec{source: source, inputs: inputs}
+	p.mu.Unlock()
+	if err := p.append("submit", w); err != nil {
+		p.dropPayload(snap.ID)
+		return err
+	}
+	return nil
+}
+
+func (p *persister) runRejected(id string) {
+	p.dropPayload(id)
+	p.append("reject", rejectWire{ID: id})
+}
+
+// runChanged journals a running or terminal transition.
+func (p *persister) runChanged(snap RunSnapshot) {
+	if snap.State.Terminal() {
+		p.dropPayload(snap.ID)
+	}
+	p.append("run", toWire(snap))
+}
+
+func (p *persister) memoCommitted(e parsl.MemoEntry) {
+	raw, ok := p.codec.Encode(e.Value)
+	if !ok {
+		return // not a checkpointable result shape; stays process-local
+	}
+	p.append("memo", memoWire{Key: e.Key, App: e.App, Value: raw})
+}
+
+func (p *persister) dropPayload(id string) {
+	p.mu.Lock()
+	delete(p.payloads, id)
+	p.mu.Unlock()
+}
+
+func (p *persister) append(kind string, v any) error {
+	// Transition-record failures must not take down run execution (callers
+	// other than runSubmitted ignore the return); the error is retained and
+	// surfaced through the /healthz persistence section.
+	err := p.log.Append(kind, v)
+	if err != nil {
+		p.mu.Lock()
+		p.lastErr = err
+		p.mu.Unlock()
+	}
+	return err
+}
+
+// --- replay (startup) ---
+
+// replayState is the reconstructed service state: runs in creation order,
+// memo entries, and the highest run sequence seen.
+type replayState struct {
+	order []string
+	runs  map[string]*runWire
+	memo  []memoWire
+	seq   int64
+}
+
+func (p *persister) replay() (*replayState, error) {
+	st := &replayState{runs: map[string]*runWire{}}
+	add := func(w runWire) {
+		if _, ok := st.runs[w.ID]; !ok {
+			st.order = append(st.order, w.ID)
+		}
+		cp := w
+		st.runs[w.ID] = &cp
+	}
+	err := p.log.Replay(
+		func(data json.RawMessage) error {
+			var snap snapshotWire
+			if err := json.Unmarshal(data, &snap); err != nil {
+				return fmt.Errorf("state snapshot: %w", err)
+			}
+			st.seq = snap.Seq
+			for _, w := range snap.Runs {
+				add(w)
+			}
+			st.memo = append(st.memo, snap.Memo...)
+			return nil
+		},
+		func(rec persist.Record) error {
+			switch rec.Kind {
+			case "submit":
+				var w runWire
+				if err := json.Unmarshal(rec.Data, &w); err != nil {
+					return err
+				}
+				if prev, ok := st.runs[w.ID]; ok {
+					// Already known (snapshot + journal overlap): keep the
+					// later lifecycle state, refresh the payload.
+					prev.Source, prev.Inputs = w.Source, w.Inputs
+					return nil
+				}
+				add(w)
+			case "run":
+				var w runWire
+				if err := json.Unmarshal(rec.Data, &w); err != nil {
+					return err
+				}
+				prev, ok := st.runs[w.ID]
+				if !ok {
+					// A transition for a run we never saw submitted (a rare
+					// submit/cancel race at crash time): record it as-is so
+					// the ID stays burned.
+					add(w)
+					return nil
+				}
+				src, in := prev.Source, prev.Inputs
+				*prev = w
+				prev.Source, prev.Inputs = src, in
+			case "reject":
+				var r rejectWire
+				if err := json.Unmarshal(rec.Data, &r); err != nil {
+					return err
+				}
+				delete(st.runs, r.ID)
+			case "memo":
+				var m memoWire
+				if err := json.Unmarshal(rec.Data, &m); err != nil {
+					return err
+				}
+				st.memo = append(st.memo, m)
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	// Compact out rejected runs while preserving order.
+	kept := st.order[:0]
+	for _, id := range st.order {
+		if _, ok := st.runs[id]; ok {
+			kept = append(kept, id)
+		}
+	}
+	st.order = kept
+	for _, id := range st.order {
+		if n := parseRunID(id); n > st.seq {
+			st.seq = n
+		}
+	}
+	return st, nil
+}
+
+func parseRunID(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "run-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// restoreMemo decodes and installs checkpointed memo entries into the DFK.
+func (p *persister) restoreMemo(dfk *parsl.DFK, wires []memoWire) {
+	entries := make([]parsl.MemoEntry, 0, len(wires))
+	for _, w := range wires {
+		v, err := p.codec.Decode(w.Value)
+		if err != nil {
+			continue // skip undecodable entries; the task just re-executes
+		}
+		entries = append(entries, parsl.MemoEntry{Key: w.Key, App: w.App, Value: v})
+	}
+	p.restoredMemo = dfk.RestoreMemo(entries)
+}
+
+// --- snapshots ---
+
+// snapshot compacts the journal into a fresh state snapshot. The build runs
+// under the log's append gate, so no transition journaled before the
+// compaction can be lost by the truncation.
+func (p *persister) snapshot(s *Service) error {
+	return p.log.Compact(func() (any, error) {
+		p.mu.Lock()
+		payloads := make(map[string]payloadRec, len(p.payloads))
+		for id, pl := range p.payloads {
+			payloads[id] = pl
+		}
+		p.mu.Unlock()
+
+		snap := snapshotWire{Seq: runSeq.Load()}
+		for _, rs := range s.store.List() {
+			w := toWire(rs)
+			if !rs.State.Terminal() {
+				if pl, ok := payloads[rs.ID]; ok {
+					w.Source = string(pl.source)
+					if pl.inputs != nil {
+						if raw, err := pl.inputs.MarshalJSON(); err == nil {
+							w.Inputs = raw
+						}
+					}
+				}
+				// A non-terminal run with no payload (a transition raced this
+				// build) is snapshotted as-is; replay marks it failed rather
+				// than silently dropping it.
+			}
+			snap.Runs = append(snap.Runs, w)
+		}
+		for _, e := range s.dfk.MemoSnapshot() {
+			raw, ok := p.codec.Encode(e.Value)
+			if !ok {
+				continue
+			}
+			snap.Memo = append(snap.Memo, memoWire{Key: e.Key, App: e.App, Value: raw})
+		}
+		return snap, nil
+	})
+}
+
+// checkpointLoop writes periodic snapshots until stopped.
+func (p *persister) checkpointLoop(s *Service, period time.Duration) {
+	defer close(p.done)
+	if period <= 0 {
+		<-p.stop
+		return
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			_ = p.snapshot(s)
+		}
+	}
+}
+
+// close stops the checkpoint loop, writes the shutdown snapshot, and closes
+// the log. It is idempotent.
+func (p *persister) close(s *Service) error {
+	var err error
+	p.closeOnce.Do(func() {
+		if p.removeMemo != nil {
+			p.removeMemo()
+		}
+		close(p.stop)
+		<-p.done
+		err = p.snapshot(s)
+		if cerr := p.log.Close(); err == nil {
+			err = cerr
+		}
+	})
+	return err
+}
+
+// stats summarizes durability state for /healthz.
+func (p *persister) stats() *PersistStats {
+	ls := p.log.Stats()
+	st := &PersistStats{
+		Dir:             ls.Dir,
+		JournalBytes:    ls.JournalBytes,
+		JournalRecords:  ls.JournalRecords,
+		SnapshotBytes:   ls.SnapshotBytes,
+		RestoredRuns:    p.restoredRuns,
+		ResubmittedRuns: p.resubmitted,
+		RestoredMemo:    p.restoredMemo,
+	}
+	if !ls.LastSnapshot.IsZero() {
+		t := ls.LastSnapshot
+		st.LastSnapshot = &t
+	}
+	p.mu.Lock()
+	if p.lastErr != nil {
+		st.Error = p.lastErr.Error()
+	}
+	p.mu.Unlock()
+	return st
+}
+
+// PersistStats is the durability section of the service's /healthz stats.
+type PersistStats struct {
+	// Dir is the data directory backing the journal and snapshots.
+	Dir string `json:"dir"`
+	// JournalBytes/JournalRecords describe the current write-ahead log.
+	JournalBytes   int64 `json:"journalBytes"`
+	JournalRecords int64 `json:"journalRecords"`
+	// SnapshotBytes is the size of the last compacted snapshot.
+	SnapshotBytes int64 `json:"snapshotBytes"`
+	// LastSnapshot is when the last snapshot was written.
+	LastSnapshot *time.Time `json:"lastSnapshot,omitempty"`
+	// RestoredRuns counts terminal runs recovered as history at startup.
+	RestoredRuns int `json:"restoredRuns"`
+	// ResubmittedRuns counts interrupted runs re-enqueued at startup.
+	ResubmittedRuns int `json:"resubmittedRuns"`
+	// RestoredMemo counts checkpointed results loaded into the memo table.
+	RestoredMemo int `json:"restoredMemoEntries"`
+	// Error is the most recent journal failure ("" when healthy). A non-empty
+	// value means some transitions may be missing from the journal.
+	Error string `json:"error,omitempty"`
+}

@@ -76,12 +76,24 @@ func NewScheduler(workers, depth int, exec func(ctx context.Context, id string))
 // Enqueue adds a job. It fails with ErrDraining after Close and ErrQueueFull
 // when the queue is at capacity (the service's backpressure signal).
 func (s *Scheduler) Enqueue(id string, priority int) error {
+	return s.enqueue(id, priority, false)
+}
+
+// EnqueueRestored admits a job recovered from the persistence journal,
+// bypassing the depth cap: backpressure protects against new load, but the
+// pre-crash service had already accepted these runs and failing them on
+// restart would break the durability contract.
+func (s *Scheduler) EnqueueRestored(id string, priority int) error {
+	return s.enqueue(id, priority, true)
+}
+
+func (s *Scheduler) enqueue(id string, priority int, restored bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrDraining
 	}
-	if s.depth > 0 && len(s.queued) >= s.depth {
+	if !restored && s.depth > 0 && len(s.queued) >= s.depth {
 		return ErrQueueFull
 	}
 	s.seq++

@@ -2,7 +2,7 @@
 // engine: it turns the single-run parsl-cwl library into a servable system
 // that multiplexes many concurrent CWL runs over one shared DataFlowKernel.
 //
-// The subsystem has four pieces:
+// The subsystem has five pieces:
 //
 //   - RunStore tracks every submission through the
 //     queued → running → succeeded/failed/canceled lifecycle with per-run
@@ -17,6 +17,12 @@
 //   - Handler (http.go) exposes the whole thing as a REST API:
 //     POST /runs, GET /runs, GET /runs/{id}, GET /runs/{id}/events,
 //     DELETE /runs/{id}, GET /healthz.
+//   - persister (persist.go) makes runs durable when Options.DataDir is set:
+//     lifecycle transitions and memoized task results are journaled to an
+//     fsync-batched write-ahead log (internal/persist) with periodic
+//     compacted snapshots; on startup the journal replays — terminal runs
+//     return as history, interrupted runs are re-enqueued, and the restored
+//     memo table turns their completed steps into memo hits.
 //
 // One Service owns its RunStore/Scheduler/DocCache but deliberately shares
 // the DFK: executor capacity is the scarce resource the scheduler is
@@ -31,10 +37,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cwl"
 	"repro/internal/parsl"
+	"repro/internal/persist"
 	"repro/internal/yamlx"
 )
 
@@ -75,6 +83,25 @@ type Options struct {
 	InputsDir string
 	// Executor routes runs to a specific executor label ("" = default).
 	Executor string
+	// DataDir enables durable runs: run lifecycle transitions and memo
+	// commits are journaled to an fsync-batched write-ahead log here, and on
+	// startup the journal is replayed — terminal runs are restored as
+	// history, interrupted runs are re-enqueued, and the DFK memo table is
+	// reloaded so re-execution is mostly memo hits. Empty keeps the service
+	// in-memory only.
+	DataDir string
+	// CheckpointPeriod is how often the journal is compacted into a snapshot
+	// (default 30s; negative disables periodic compaction — a snapshot is
+	// still written at Close).
+	CheckpointPeriod time.Duration
+	// FsyncInterval is the journal's fsync batching window (default 25ms;
+	// negative fsyncs every append). Appended records survive a process kill
+	// regardless; the window only bounds loss on OS crash.
+	FsyncInterval time.Duration
+	// CacheBytes bounds the total CWL source bytes retained by the document
+	// cache (0 selects the default of 64 MiB; negative disables the byte
+	// cap, leaving only the entry-count cap).
+	CacheBytes int64
 }
 
 // SubmitRequest is one workflow submission.
@@ -99,10 +126,14 @@ type Stats struct {
 	CacheHits   int            `json:"cacheHits"`
 	CacheMisses int            `json:"cacheMisses"`
 	CacheSize   int            `json:"cacheSize"`
+	CacheBytes  int64          `json:"cacheBytes"`
 	// Executors reports the shared DFK's executor health: outstanding
 	// tasks, live workers, and for HTEX the connected/lost/scaled-in block
 	// counts and re-dispatched task total.
 	Executors []parsl.ExecutorStats `json:"executors"`
+	// Persistence reports durability state (journal size, last snapshot,
+	// restored-run counts); nil when the service runs in-memory only.
+	Persistence *PersistStats `json:"persistence,omitempty"`
 }
 
 // Service is the workflow submission service: a run store, a bounded
@@ -113,6 +144,7 @@ type Service struct {
 	store *RunStore
 	cache *DocCache
 	sched *Scheduler
+	pers  *persister // nil when running in-memory only
 
 	workMu sync.Mutex
 	work   map[string]*pendingRun
@@ -146,11 +178,14 @@ func New(dfk *parsl.DFK, opts Options) (*Service, error) {
 	if opts.RetainRuns == 0 {
 		opts.RetainRuns = 4096
 	}
+	if opts.CheckpointPeriod == 0 {
+		opts.CheckpointPeriod = 30 * time.Second
+	}
 	s := &Service{
 		dfk:   dfk,
 		opts:  opts,
 		store: NewRunStore(opts.RetainRuns),
-		cache: NewDocCache(opts.CacheSize),
+		cache: NewDocCache(opts.CacheSize, opts.CacheBytes),
 		work:  map[string]*pendingRun{},
 	}
 	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
@@ -159,7 +194,113 @@ func New(dfk *parsl.DFK, opts Options) (*Service, error) {
 	// the shared DFK too, so a long-lived service does not pin every past
 	// run's events.
 	s.store.SetOnEvict(dfk.ForgetLabel)
+
+	if opts.DataDir != "" {
+		if err := s.openPersistence(); err != nil {
+			s.sched.Close(context.Background())
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// openPersistence replays the journal in opts.DataDir into the store, the
+// scheduler, and the DFK memo table, then attaches the journaling hooks and
+// starts the checkpoint loop.
+func (s *Service) openPersistence() error {
+	log, err := persist.Open(s.opts.DataDir, persist.Options{FsyncInterval: s.opts.FsyncInterval})
+	if err != nil {
+		return err
+	}
+	p := newPersister(log)
+	state, err := p.replay()
+	if err != nil {
+		log.Close()
+		return fmt.Errorf("service: replaying %s: %w", s.opts.DataDir, err)
+	}
+	bumpRunSeq(state.seq)
+	p.restoreMemo(s.dfk, state.memo)
+
+	// Rebuild the store: terminal runs become history; runs that were queued
+	// or running at crash time are reset to queued and re-enqueued below
+	// (after the journal hooks attach, so their fresh transitions are
+	// recorded).
+	type resubmit struct {
+		id       string
+		priority int
+	}
+	var rerun []resubmit
+	now := time.Now()
+	for _, id := range state.order {
+		w := state.runs[id]
+		snap, err := w.toSnapshot()
+		if err != nil {
+			log.Close()
+			return fmt.Errorf("service: replaying %s: %w", s.opts.DataDir, err)
+		}
+		snap.Restored = true
+		if snap.State.Terminal() {
+			s.store.Restore(snap)
+			p.restoredRuns++
+			continue
+		}
+		fail := func(cause string) {
+			t := now
+			snap.State = RunFailed
+			snap.Finished = &t
+			snap.Error = cause
+			s.store.Restore(snap)
+			p.restoredRuns++
+		}
+		if w.Source == "" {
+			fail("recovered run lost its submission payload")
+			continue
+		}
+		doc, _, _, err := s.cache.Load([]byte(w.Source))
+		if err != nil {
+			fail(fmt.Sprintf("recovered run no longer validates: %v", err))
+			continue
+		}
+		var inputs *yamlx.Map
+		if len(w.Inputs) > 0 {
+			v, err := yamlx.DecodeJSON(w.Inputs)
+			if err != nil {
+				fail(fmt.Sprintf("recovered run has undecodable inputs: %v", err))
+				continue
+			}
+			inputs, _ = v.(*yamlx.Map)
+		}
+		snap.State = RunQueued
+		snap.Started = nil
+		s.store.Restore(snap)
+		s.workMu.Lock()
+		s.work[snap.ID] = &pendingRun{doc: doc, inputs: inputs}
+		s.workMu.Unlock()
+		p.mu.Lock()
+		p.payloads[snap.ID] = payloadRec{source: []byte(w.Source), inputs: inputs}
+		p.mu.Unlock()
+		rerun = append(rerun, resubmit{id: snap.ID, priority: snap.Priority})
+		p.resubmitted++
+	}
+
+	s.pers = p
+	p.removeMemo = s.dfk.OnMemoCommit(p.memoCommitted)
+	for _, r := range rerun {
+		if err := s.sched.EnqueueRestored(r.id, r.priority); err != nil {
+			s.finishRun(r.id, nil, fmt.Errorf("re-enqueue after restart: %w", err), false)
+		}
+	}
+	go p.checkpointLoop(s, s.opts.CheckpointPeriod)
+	return nil
+}
+
+// finishRun finalizes a run and journals the terminal transition.
+func (s *Service) finishRun(id string, outputs *yamlx.Map, runErr error, canceled bool) (RunSnapshot, bool) {
+	snap, ok := s.store.Finish(id, outputs, runErr, canceled)
+	if ok && s.pers != nil && snap.State.Terminal() {
+		s.pers.runChanged(snap)
+	}
+	return snap, ok
 }
 
 // Submit validates, registers, and enqueues one run, returning its queued
@@ -173,7 +314,20 @@ func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 	s.workMu.Lock()
 	s.work[snap.ID] = &pendingRun{doc: doc, inputs: req.Inputs}
 	s.workMu.Unlock()
+	// Journal the submission (with its payload) before it can start: the
+	// worker's own transitions must never precede the submit record, and a
+	// durable service must not ACK a run its journal failed to record.
+	if s.pers != nil {
+		if err := s.pers.runSubmitted(snap, req.Source, req.Inputs); err != nil {
+			s.dropWork(snap.ID)
+			s.store.Delete(snap.ID)
+			return RunSnapshot{}, fmt.Errorf("journaling submission: %w", err)
+		}
+	}
 	if err := s.sched.Enqueue(snap.ID, req.Priority); err != nil {
+		if s.pers != nil {
+			s.pers.runRejected(snap.ID)
+		}
 		s.dropWork(snap.ID)
 		s.store.Delete(snap.ID)
 		return RunSnapshot{}, err
@@ -201,16 +355,24 @@ func (s *Service) execute(ctx context.Context, id string) {
 	if w == nil || !s.store.MarkRunning(id) {
 		return // canceled between dequeue and start
 	}
+	snap, _ := s.store.Get(id)
+	if s.pers != nil {
+		s.pers.runChanged(snap)
+	}
 	r := &core.Runner{
 		DFK:       s.dfk,
 		WorkRoot:  filepath.Join(s.opts.WorkRoot, id),
 		InputsDir: s.opts.InputsDir,
 		Executor:  s.opts.Executor,
 		Label:     id,
+		// The document hash scopes workflow step tasks, making their results
+		// memoizable across runs and — with the restored memo table — across
+		// process restarts.
+		Scope: snap.DocHash,
 	}
 	outputs, err := r.RunContext(ctx, w.doc, w.inputs)
 	canceled := err != nil && ctx.Err() != nil
-	s.store.Finish(id, outputs, err, canceled)
+	s.finishRun(id, outputs, err, canceled)
 }
 
 // Get returns the current snapshot of a run.
@@ -240,7 +402,7 @@ func (s *Service) Cancel(id string) (RunSnapshot, error) {
 	switch s.sched.Cancel(id) {
 	case CancelDequeued:
 		s.dropWork(id)
-		snap, _ = s.store.Finish(id, nil, context.Canceled, true)
+		snap, _ = s.finishRun(id, nil, context.Canceled, true)
 		return snap, nil
 	case CancelSignaled:
 		// The worker observes the canceled context and finishes the run;
@@ -259,7 +421,7 @@ func (s *Service) Cancel(id string) (RunSnapshot, error) {
 		// The submission is between store registration and enqueue: mark it
 		// canceled and drop its payload so a later dequeue is a no-op.
 		s.dropWork(id)
-		snap, _ = s.store.Finish(id, nil, context.Canceled, true)
+		snap, _ = s.finishRun(id, nil, context.Canceled, true)
 		return snap, nil
 	}
 }
@@ -280,11 +442,11 @@ func (s *Service) Wait(ctx context.Context, id string) (RunSnapshot, error) {
 	}
 }
 
-// Stats summarizes service load and cache effectiveness.
+// Stats summarizes service load, cache effectiveness, and durability state.
 func (s *Service) Stats() Stats {
-	hits, misses, size := s.cache.Stats()
+	hits, misses, size, bytes := s.cache.Stats()
 	queued, running := s.sched.Depths()
-	return Stats{
+	st := Stats{
 		Runs:        s.store.Counts(),
 		Queued:      queued,
 		Running:     running,
@@ -292,8 +454,13 @@ func (s *Service) Stats() Stats {
 		CacheHits:   hits,
 		CacheMisses: misses,
 		CacheSize:   size,
+		CacheBytes:  bytes,
 		Executors:   s.dfk.ExecutorStats(),
 	}
+	if s.pers != nil {
+		st.Persistence = s.pers.stats()
+	}
+	return st
 }
 
 // Close drains the service: new submissions are rejected, queued runs are
@@ -302,11 +469,18 @@ func (s *Service) Stats() Stats {
 // tasks racing the DFK's executor shutdown — the executors' lifecycle
 // protocol guarantees those submissions fail cleanly (never panic) and their
 // callbacks fire exactly once, so drain-then-Cleanup is safe in any order.
+// A graceful close also writes a final compacted snapshot and closes the
+// journal, so the next start replays from a minimal, current state.
 func (s *Service) Close(ctx context.Context) error {
 	dropped, err := s.sched.Close(ctx)
 	for _, id := range dropped {
 		s.dropWork(id)
-		s.store.Finish(id, nil, ErrDraining, true)
+		s.finishRun(id, nil, ErrDraining, true)
+	}
+	if s.pers != nil {
+		if perr := s.pers.close(s); err == nil {
+			err = perr
+		}
 	}
 	return err
 }

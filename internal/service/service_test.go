@@ -225,7 +225,7 @@ func TestDocCacheHitSkipsReparse(t *testing.T) {
 }
 
 func TestDocCacheEvictsLRU(t *testing.T) {
-	c := NewDocCache(2)
+	c := NewDocCache(2, 0)
 	mk := func(msg string) []byte {
 		return []byte(strings.Replace(echoTool, "out.txt", msg+".txt", 1))
 	}
@@ -240,8 +240,40 @@ func TestDocCacheEvictsLRU(t *testing.T) {
 	if _, _, hit, _ := c.Load(mk("c")); !hit {
 		t.Error("recent entry was evicted")
 	}
-	if _, _, size := c.Stats(); size != 2 {
-		t.Errorf("size = %d, want 2", size)
+	if _, _, size, bytes := c.Stats(); size != 2 || bytes == 0 {
+		t.Errorf("size = %d bytes = %d, want 2 entries with nonzero bytes", size, bytes)
+	}
+}
+
+func TestDocCacheByteCapEvicts(t *testing.T) {
+	mk := func(msg string) []byte {
+		return []byte(strings.Replace(echoTool, "out.txt", msg+".txt", 1))
+	}
+	one := int64(len(mk("a")))
+	// Room for two documents by bytes, many by count.
+	c := NewDocCache(100, 2*one+1)
+	for _, m := range []string{"a", "b", "c"} {
+		if _, _, _, err := c.Load(mk(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, size, bytes := c.Stats(); size != 2 || bytes > 2*one+1 {
+		t.Errorf("size = %d bytes = %d, want 2 entries within the byte cap", size, bytes)
+	}
+	if _, _, hit, _ := c.Load(mk("a")); hit {
+		t.Error("byte-cap-evicted entry reported as hit")
+	}
+	if _, _, hit, _ := c.Load(mk("c")); !hit {
+		t.Error("recent entry was evicted")
+	}
+	// A single oversized document is still cached (the cap never evicts the
+	// newest entry itself).
+	big := NewDocCache(100, 10)
+	if _, _, _, err := big.Load(mk("oversized")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, hit, _ := big.Load(mk("oversized")); !hit {
+		t.Error("oversized sole entry was evicted")
 	}
 }
 

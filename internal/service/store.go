@@ -55,6 +55,42 @@ func (s RunState) Terminal() bool {
 // MarshalJSON renders the state as its string name.
 func (s RunState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
+// UnmarshalJSON parses the string name back into a state (the persistence
+// journal and API clients round-trip snapshots).
+func (s *RunState) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	st, err := ParseRunState(name)
+	if err != nil {
+		return err
+	}
+	*s = st
+	return nil
+}
+
+// ParseRunState maps a state name to its RunState.
+func ParseRunState(name string) (RunState, error) {
+	for _, s := range []RunState{RunQueued, RunRunning, RunSucceeded, RunFailed, RunCanceled} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown run state %q", name)
+}
+
+// bumpRunSeq raises the process-global run-ID sequence to at least n, so IDs
+// minted after a journal replay never collide with restored ones.
+func bumpRunSeq(n int64) {
+	for {
+		cur := runSeq.Load()
+		if cur >= n || runSeq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // RunSnapshot is an immutable view of one run, safe to hand to API clients.
 type RunSnapshot struct {
 	ID       string     `json:"id"`
@@ -69,6 +105,9 @@ type RunSnapshot struct {
 	Finished *time.Time `json:"finishedAt,omitempty"`
 	Outputs  *yamlx.Map `json:"outputs,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// Restored marks a run recovered from the persistence journal by a later
+	// process — either as history (terminal) or re-enqueued (interrupted).
+	Restored bool `json:"restored,omitempty"`
 }
 
 type runRecord struct {
@@ -130,6 +169,28 @@ func (st *RunStore) Create(name, class, docHash string, priority int, cacheHit b
 	st.runs[id] = rec
 	st.order = append(st.order, id)
 	return rec.snap
+}
+
+// Restore inserts a run recovered from the persistence journal, preserving
+// its recorded timestamps. Terminal runs become finished history (their done
+// channel is closed); non-terminal runs are registered as restartable (the
+// caller re-enqueues them). Runs whose ID is already present are skipped.
+// Restores happen at startup, so insertion order is journal order — which is
+// creation order — keeping List chronological.
+func (st *RunStore) Restore(snap RunSnapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.runs[snap.ID]; ok {
+		return
+	}
+	rec := &runRecord{snap: snap, done: make(chan struct{})}
+	st.runs[snap.ID] = rec
+	st.order = append(st.order, snap.ID)
+	if snap.State.Terminal() {
+		close(rec.done)
+		st.terminal++
+		st.pruneLocked()
+	}
 }
 
 // Delete removes a run record entirely (used to roll back a submission the

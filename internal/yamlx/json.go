@@ -1,0 +1,78 @@
+package yamlx
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DecodeJSON parses one JSON value into the same shapes the YAML decoder
+// produces: objects become *Map (preserving key order — CWL binding
+// tie-breaks depend on it), arrays []any, integers int64, other numbers
+// float64, plus string/bool/nil. It is the JSON twin of Decode, used for
+// service request bodies and the persistence layer's snapshots.
+func DecodeJSON(data []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	v, err := decodeJSONValue(dec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("trailing data after JSON value")
+	}
+	return v, nil
+}
+
+func decodeJSONValue(dec *json.Decoder) (any, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			m := NewMap()
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key, _ := keyTok.(string)
+				val, err := decodeJSONValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				m.Set(key, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, err
+			}
+			return m, nil
+		case '[':
+			var list []any
+			for dec.More() {
+				val, err := decodeJSONValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			return list, nil
+		}
+		return nil, fmt.Errorf("unexpected delimiter %v", t)
+	case json.Number:
+		if n, err := t.Int64(); err == nil {
+			return n, nil
+		}
+		return t.Float64()
+	default:
+		return tok, nil // string, bool, nil
+	}
+}

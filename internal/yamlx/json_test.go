@@ -1,0 +1,78 @@
+package yamlx
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDecodeJSONShapes(t *testing.T) {
+	v, err := DecodeJSON([]byte(`{"b": 1, "a": {"nested": [1, 2.5, "x", true, null]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := v.(*Map)
+	if !ok {
+		t.Fatalf("got %T, want *Map", v)
+	}
+	if got := m.Keys(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Errorf("key order = %v", got)
+	}
+	if n, ok := m.Value("b").(int64); !ok || n != 1 {
+		t.Errorf("integer decoded as %T %v, want int64 1", m.Value("b"), m.Value("b"))
+	}
+	nested := m.GetMap("a").GetSlice("nested")
+	want := []any{int64(1), 2.5, "x", true, nil}
+	if !reflect.DeepEqual(nested, want) {
+		t.Errorf("nested = %#v, want %#v", nested, want)
+	}
+}
+
+func TestDecodeJSONScalars(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want any
+	}{
+		{`"hi"`, "hi"},
+		{`42`, int64(42)},
+		{`4.5`, 4.5},
+		{`true`, true},
+		{`null`, nil},
+		{`[]`, []any(nil)},
+	} {
+		v, err := DecodeJSON([]byte(tc.in))
+		if err != nil {
+			t.Errorf("%s: %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(v, tc.want) {
+			t.Errorf("%s = %#v, want %#v", tc.in, v, tc.want)
+		}
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	for _, in := range []string{``, `{`, `{"a": 1} trailing`, `nope`} {
+		if _, err := DecodeJSON([]byte(in)); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestDecodeJSONRoundTripsMarshal(t *testing.T) {
+	m := MapOf("z", int64(1), "a", MapOf("k", "v"), "list", []any{int64(1), "two"})
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := back.(*Map).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("round trip changed JSON:\n  %s\n  %s", data, data2)
+	}
+}
