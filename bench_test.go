@@ -337,6 +337,49 @@ func BenchmarkEventsFor(b *testing.B) {
 	}
 }
 
+// benchHotPath measures one workflow execution per op over the inline
+// submitter — pure engine overhead (expression compilation, engine
+// construction, dataflow scheduling), no subprocesses.
+func benchHotPath(b *testing.B, kind string, n int) {
+	b.Helper()
+	wf, inputs, err := bench.BuildHotPathWorkflow(kind, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up once so one-time costs (doc parse already excluded, shared
+	// engine construction) don't skew the steady-state number.
+	if err := bench.ExecuteHotPath(wf, inputs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.ExecuteHotPath(wf, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkExprScatter is the expression-heavy scatter workload: one step,
+// scatter width 1024, a valueFrom that calls expressionLib functions. The
+// compile-once hot path (cached expression programs + shared engines) is
+// what this measures.
+func BenchmarkExprScatter(b *testing.B) {
+	benchHotPath(b, "expr-scatter", 1024)
+}
+
+// BenchmarkDeepChain is the scheduler workload: a 500-step linear chain
+// where per-completion readiness discovery dominates.
+func BenchmarkDeepChain(b *testing.B) {
+	benchHotPath(b, "deep-chain", 500)
+}
+
+// BenchmarkWideFanIn is the fan-in workload: 256 independent producers
+// feeding one merge_flattened consumer.
+func BenchmarkWideFanIn(b *testing.B) {
+	benchHotPath(b, "wide-fanin", 256)
+}
+
 // BenchmarkYAMLDecode measures CWL document parse cost (load-time overhead
 // of the import path).
 func BenchmarkYAMLDecode(b *testing.B) {

@@ -10,6 +10,7 @@
 //	bench-harness -exp abl-expr     # ablation: real interpreter eval times
 //	bench-harness -exp abl-scatter  # ablation: scatter width vs makespan
 //	bench-harness -exp abl-overhead # ablation: serial dispatch sweep
+//	bench-harness -exp hotpath      # engine overhead: expr scatter, deep chain, fan-in
 //	bench-harness -exp all
 package main
 
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1a|fig1b|fig2|abl-expr|abl-scatter|abl-overhead|all")
+	exp := flag.String("exp", "all", "experiment id: fig1a|fig1b|fig2|abl-expr|abl-scatter|abl-overhead|hotpath|all")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "bench-harness:", err)
@@ -84,6 +85,23 @@ func run(exp string) error {
 			fmt.Print(bench.FormatSeries(
 				"Ablation — serial dispatch cost sweep (500 images; x = sweep index over 1,5,10,20,50,100 ms)",
 				"idx", "seconds", series))
+		case "hotpath":
+			fmt.Println("# Hot path — engine overhead per workflow execution (inline submitter, no subprocesses)")
+			fmt.Printf("%-16s %8s %16s %14s\n", "workload", "n", "sec/execution", "tasks/s")
+			for _, w := range []struct {
+				kind string
+				n    int
+			}{
+				{"expr-scatter", 1024},
+				{"deep-chain", 500},
+				{"wide-fanin", 256},
+			} {
+				sec, err := bench.MeasureHotPath(w.kind, w.n, 5)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-16s %8d %16.6f %14.0f\n", w.kind, w.n, sec, float64(w.n)/sec)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -91,7 +109,7 @@ func run(exp string) error {
 		return nil
 	}
 	if exp == "all" {
-		for _, id := range []string{"fig1a", "fig1b", "fig2", "abl-expr", "abl-scatter", "abl-overhead"} {
+		for _, id := range []string{"fig1a", "fig1b", "fig2", "abl-expr", "abl-scatter", "abl-overhead", "hotpath"} {
 			if err := run(id); err != nil {
 				return err
 			}

@@ -107,6 +107,32 @@ func gate(baseline, results map[string]float64, tolerance float64) (verdicts []g
 	return verdicts, failed
 }
 
+// writeCompare renders a benchstat-style baseline-vs-current markdown table
+// (the PR comparison artifact).
+func writeCompare(path string, verdicts []gateResult) error {
+	var b []byte
+	app := func(s string) { b = append(b, s...) }
+	app("# Benchmark comparison (baseline vs this run)\n\n")
+	app("| benchmark | baseline ns/op | current ns/op | delta | verdict |\n")
+	app("|---|---:|---:|---:|---|\n")
+	for _, v := range verdicts {
+		switch v.Verdict {
+		case "missing":
+			app(fmt.Sprintf("| %s | %.0f | — | — | missing |\n", v.Name, v.Baseline))
+		case "new":
+			app(fmt.Sprintf("| %s | — | %.0f | — | new |\n", v.Name, v.Current))
+		default:
+			delta := "—"
+			if v.Baseline > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (v.Current/v.Baseline-1)*100)
+			}
+			app(fmt.Sprintf("| %s | %.0f | %.0f | %s | %s |\n", v.Name, v.Baseline, v.Current, delta, v.Verdict))
+		}
+	}
+	app("\nNegative delta = faster than baseline. Gate fails only on regressions past tolerance.\n")
+	return os.WriteFile(path, b, 0o644)
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -115,6 +141,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	tolerance := fs.Float64("tolerance", 0.25, "allowed relative ns/op increase before failing")
 	update := fs.Bool("update", false, "rewrite the baseline from the results instead of gating")
 	outPath := fs.String("out", "", "write gate verdicts as JSON (CI artifact)")
+	comparePath := fs.String("compare-out", "", "write a benchstat-style markdown comparison table (CI artifact)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,6 +200,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *comparePath != "" {
+		if err := writeCompare(*comparePath, verdicts); err != nil {
 			return err
 		}
 	}

@@ -99,3 +99,34 @@ func TestRunUpdateThenGate(t *testing.T) {
 		t.Error("gate passed a 3x regression")
 	}
 }
+
+func TestCompareArtifact(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(benchPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-update", "-baseline", basePath, "-bench", benchPath}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	compare := filepath.Join(dir, "compare.md")
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath, "-compare-out", compare}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(compare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{
+		"| benchmark | baseline ns/op | current ns/op | delta | verdict |",
+		"BenchmarkHTEXThroughput/blocks=1",
+		"+0.0%",
+		"| ok |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("comparison artifact missing %q:\n%s", want, md)
+		}
+	}
+}

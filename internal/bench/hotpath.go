@@ -1,0 +1,211 @@
+// Hot-path workloads: synthetic CWL workflows that stress the engine's
+// per-task overhead (expression compilation, engine construction, dataflow
+// scheduling) rather than process execution. Tool jobs are served by an
+// inline submitter that echoes inputs to outputs, so what the benchmarks
+// measure is exactly the compile/evaluate/schedule hot path the Parsl paper
+// identifies as the throughput ceiling.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cwl"
+	"repro/internal/runner"
+	"repro/internal/yamlx"
+)
+
+// InlineSubmitter completes every tool job synchronously, mapping each
+// declared output to the job's first input value. It isolates workflow-engine
+// overhead from process execution cost.
+type InlineSubmitter struct{}
+
+// SubmitTool implements runner.Submitter.
+func (InlineSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map, _ *cwl.Requirements, done func(*yamlx.Map, error)) {
+	var first any
+	if ks := inputs.Keys(); len(ks) > 0 {
+		first = inputs.Value(ks[0])
+	}
+	out := yamlx.NewMap()
+	for _, o := range tool.Outputs {
+		out.Set(o.ID, first)
+	}
+	done(out, nil)
+}
+
+// echoTool is the no-op CommandLineTool body each hot-path step runs.
+const echoTool = `
+      class: CommandLineTool
+      baseCommand: ["true"]
+      inputs:
+        x: {type: Any}
+      outputs:
+        out: {type: Any}
+`
+
+// hotPathLib is the expression library the scatter workload loads; it is
+// deliberately non-trivial so per-task library re-loading shows up as cost.
+const hotPathLib = `
+          function pad(v, width) {
+            var s = "" + v;
+            while (s.length < width) { s = "0" + s; }
+            return s;
+          }
+          function classify(v) {
+            if (v % 15 == 0) { return "fizzbuzz"; }
+            if (v % 3 == 0) { return "fizz"; }
+            if (v % 5 == 0) { return "buzz"; }
+            return "plain";
+          }
+          function fmt_sample(v) {
+            return "sample-" + pad(v, 8) + "." + classify(v);
+          }`
+
+// ExprScatterWorkflow builds a single-step workflow that scatters an
+// expression-heavy valueFrom over `width` items.
+func ExprScatterWorkflow(width int) (*cwl.Workflow, *yamlx.Map, error) {
+	var b strings.Builder
+	b.WriteString(`cwlVersion: v1.2
+class: Workflow
+requirements:
+  InlineJavascriptRequirement:
+    expressionLib:
+      - |` + hotPathLib + `
+  ScatterFeatureRequirement: {}
+  StepInputExpressionRequirement: {}
+inputs:
+  items: {type: {type: array, items: int}}
+outputs:
+  out: {type: Any, outputSource: work/out}
+steps:
+  work:
+    run:` + echoTool + `
+    scatter: x
+    in:
+      x:
+        source: items
+        valueFrom: '$(fmt_sample(self) + ":" + [self, self + 1, self + 2].map(function(i){ return pad(i * 2, 4); }).join("-"))'
+    out: [out]
+`)
+	wf, err := parseWorkflow(b.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	items := make([]any, width)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	return wf, yamlx.MapOf("items", items), nil
+}
+
+// DeepChainWorkflow builds a linear dependency chain of `depth` steps: the
+// scheduler workload, where readiness scanning cost dominates.
+func DeepChainWorkflow(depth int) (*cwl.Workflow, *yamlx.Map, error) {
+	var b strings.Builder
+	b.WriteString(`cwlVersion: v1.2
+class: Workflow
+inputs:
+  seed: {type: Any}
+outputs:
+  out: {type: Any, outputSource: ` + stepName(depth-1) + `/out}
+steps:
+`)
+	for i := 0; i < depth; i++ {
+		src := "seed"
+		if i > 0 {
+			src = stepName(i-1) + "/out"
+		}
+		fmt.Fprintf(&b, "  %s:\n    run:%s\n    in:\n      x: %s\n    out: [out]\n", stepName(i), echoTool, src)
+	}
+	wf, err := parseWorkflow(b.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	return wf, yamlx.MapOf("seed", int64(1)), nil
+}
+
+// WideFanInWorkflow builds `width` independent producer steps feeding one
+// consumer through a merge_flattened multi-source input.
+func WideFanInWorkflow(width int) (*cwl.Workflow, *yamlx.Map, error) {
+	var b strings.Builder
+	b.WriteString(`cwlVersion: v1.2
+class: Workflow
+requirements:
+  MultipleInputFeatureRequirement: {}
+inputs:
+  seed: {type: Any}
+outputs:
+  out: {type: Any, outputSource: sink/out}
+steps:
+`)
+	sources := make([]string, width)
+	for i := 0; i < width; i++ {
+		fmt.Fprintf(&b, "  %s:\n    run:%s\n    in:\n      x: seed\n    out: [out]\n", stepName(i), echoTool)
+		sources[i] = stepName(i) + "/out"
+	}
+	fmt.Fprintf(&b, "  sink:\n    run:%s\n    in:\n      x:\n        source: [%s]\n        linkMerge: merge_flattened\n    out: [out]\n",
+		echoTool, strings.Join(sources, ", "))
+	wf, err := parseWorkflow(b.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	return wf, yamlx.MapOf("seed", int64(1)), nil
+}
+
+func stepName(i int) string { return fmt.Sprintf("s%04d", i) }
+
+func parseWorkflow(src string) (*cwl.Workflow, error) {
+	doc, err := cwl.ParseBytes([]byte(src), "", nil)
+	if err != nil {
+		return nil, err
+	}
+	wf, ok := doc.(*cwl.Workflow)
+	if !ok {
+		return nil, fmt.Errorf("hot-path workload is %T, want *cwl.Workflow", doc)
+	}
+	return wf, nil
+}
+
+// BuildHotPathWorkflow dispatches by workload id: "expr-scatter",
+// "deep-chain", "wide-fanin".
+func BuildHotPathWorkflow(kind string, n int) (*cwl.Workflow, *yamlx.Map, error) {
+	switch kind {
+	case "expr-scatter":
+		return ExprScatterWorkflow(n)
+	case "deep-chain":
+		return DeepChainWorkflow(n)
+	case "wide-fanin":
+		return WideFanInWorkflow(n)
+	}
+	return nil, nil, fmt.Errorf("unknown hot-path workload %q", kind)
+}
+
+// ExecuteHotPath runs one workflow execution over the inline submitter.
+func ExecuteHotPath(wf *cwl.Workflow, inputs *yamlx.Map) error {
+	eng := &runner.WorkflowEngine{Submitter: InlineSubmitter{}}
+	_, err := eng.Execute(wf, inputs)
+	return err
+}
+
+// MeasureHotPath reports seconds per execution of the given workload,
+// averaged over `iters` runs (after one warm-up).
+func MeasureHotPath(kind string, n, iters int) (float64, error) {
+	wf, inputs, err := BuildHotPathWorkflow(kind, n)
+	if err != nil {
+		return 0, err
+	}
+	if err := ExecuteHotPath(wf, inputs); err != nil {
+		return 0, err
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := ExecuteHotPath(wf, inputs); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds() / float64(iters), nil
+}

@@ -234,7 +234,7 @@ func (a *CWLApp) predictOutputs(args parsl.Args, jobdir, stdoutOverride, stderrO
 		}
 	}
 	reqs := a.tool.Hints.Merge(a.tool.Requirements)
-	eng, err := cwlexpr.NewEngine(reqs)
+	eng, err := cwlexpr.SharedEngine(reqs)
 	if err != nil {
 		return nil, err
 	}

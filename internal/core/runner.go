@@ -37,6 +37,14 @@ type Runner struct {
 	// identical steps are memo hits across runs and, with the persistence
 	// layer restoring the memo table, across process restarts.
 	Scope string
+	// StepIndex is an optional prebuilt dataflow index for the workflow being
+	// run (runner.BuildStepIndex); the service's DocCache supplies it so
+	// repeated runs of a cached document skip graph construction. An index
+	// built for a different workflow is ignored.
+	StepIndex *runner.StepIndex
+	// ScatterWorkers bounds per-step scatter submission concurrency
+	// (0 = GOMAXPROCS-derived default).
+	ScatterWorkers int
 }
 
 // NewRunner builds a Runner over a loaded DFK.
@@ -108,9 +116,11 @@ func (r *Runner) RunWorkflowContext(ctx context.Context, wf *cwl.Workflow, input
 		return nil, err
 	}
 	eng := &runner.WorkflowEngine{
-		Submitter: &ParslSubmitter{Ctx: ctx, DFK: r.DFK, WorkRoot: r.WorkRoot, Executor: r.Executor, InputsDir: r.InputsDir, Label: r.Label},
-		InputsDir: r.InputsDir,
-		Scope:     r.Scope,
+		Submitter:      &ParslSubmitter{Ctx: ctx, DFK: r.DFK, WorkRoot: r.WorkRoot, Executor: r.Executor, InputsDir: r.InputsDir, Label: r.Label},
+		InputsDir:      r.InputsDir,
+		Scope:          r.Scope,
+		Index:          r.StepIndex,
+		ScatterWorkers: r.ScatterWorkers,
 	}
 	return eng.Execute(wf, inputs)
 }

@@ -10,8 +10,12 @@
 //   - f"..." call sites, the paper's InlinePythonRequirement form: a Python
 //     f-string in which $(...) references are substituted before evaluation.
 //
-// One Engine wraps one process's requirements (expression libraries are
-// loaded once) and is not safe for concurrent use; clone per worker.
+// One Engine wraps one process's requirements: expression libraries load
+// once at construction, and every expression source compiles once into a
+// bounded per-engine program cache. Engines are safe for concurrent use —
+// evaluation runs on per-call interpreter state — and the package-level
+// engine pool (SharedEngine) shares them across tool invocations with the
+// same requirement set.
 package cwlexpr
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/cwl"
 	"repro/internal/jsexpr"
@@ -49,22 +54,31 @@ func (c Context) vars() map[string]any {
 	return vars
 }
 
-// Engine evaluates CWL expressions for one process.
+// Engine evaluates CWL expressions for one process. It is goroutine-safe:
+// interpreters evaluate on per-call state, the program cache is internally
+// locked, and the eval counters are updated atomically.
 type Engine struct {
-	reqs cwl.Requirements
-	js   *jsexpr.Interp
-	py   *pyexpr.Interp
+	js *jsexpr.Interp
+	py *pyexpr.Interp
+
+	// progs caches compiled programs and interpolation splits by source text
+	// (bounded LRU; compile errors are cached too). Held behind an atomic
+	// pointer so SetProgramCacheCap can swap it while sharers evaluate.
+	progs atomic.Pointer[lruCache]
 
 	// Counters used by benchmarks and the simulated runners to model
 	// per-evaluation overhead (e.g. cwltool spawning a node process).
-	JSEvals int
-	PyEvals int
+	// Incremented atomically; read them only after evaluation settles.
+	JSEvals int64
+	PyEvals int64
 }
 
 // NewEngine builds an engine for a process's (merged) requirements, loading
-// any expression libraries.
+// any expression libraries. Most callers want SharedEngine, which pools
+// engines by requirement set so libraries load once per set, not per task.
 func NewEngine(reqs cwl.Requirements) (*Engine, error) {
-	e := &Engine{reqs: reqs}
+	e := &Engine{}
+	e.progs.Store(newProgCache(DefaultProgramCacheCap))
 	if reqs.InlineJavascript {
 		e.js = jsexpr.New()
 		for i, lib := range reqs.JSExpressionLib {
@@ -82,6 +96,66 @@ func NewEngine(reqs cwl.Requirements) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// SetProgramCacheCap rebounds the engine's compiled-program cache (clamped
+// to a minimum of 1 entry). The cache restarts empty. Safe to call while
+// other goroutines evaluate — note a pooled engine's cache is shared by
+// every user of that requirement set.
+func (e *Engine) SetProgramCacheCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.progs.Store(newProgCache(n))
+}
+
+// ProgramCacheLen reports how many compiled entries the engine retains.
+func (e *Engine) ProgramCacheLen() int { return e.progs.Load().len() }
+
+// jsExprProgram returns the cached compiled form of a $(...) body.
+func (e *Engine) jsExprProgram(src string) (*jsexpr.Program, error) {
+	v, err := e.progs.Load().cached(kindJSExpr+src, func() (any, error) {
+		return jsexpr.CompileExpr(src)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*jsexpr.Program), nil
+}
+
+// jsBodyProgram returns the cached compiled form of a ${...} body.
+func (e *Engine) jsBodyProgram(src string) (*jsexpr.Program, error) {
+	v, err := e.progs.Load().cached(kindJSBody+src, func() (any, error) {
+		return jsexpr.CompileBody(src)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*jsexpr.Program), nil
+}
+
+// pyExprProgram returns the cached compiled form of a Python expression.
+func (e *Engine) pyExprProgram(src string) (*pyexpr.Program, error) {
+	v, err := e.progs.Load().cached(kindPyExpr+src, func() (any, error) {
+		return pyexpr.CompileExpr(src)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*pyexpr.Program), nil
+}
+
+// segments returns the cached splitInterpolation result for a string. The
+// returned slice is shared and must be treated as read-only.
+func (e *Engine) segments(s string) ([]segment, error) {
+	v, err := e.progs.Load().cached(kindSegs+s, func() (any, error) {
+		segs, err := splitInterpolation(s)
+		return segs, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]segment), nil
 }
 
 // HasPython reports whether the engine has a Python interpreter loaded.
@@ -102,7 +176,7 @@ func (e *Engine) Eval(src string, ctx Context) (any, error) {
 	if strings.HasPrefix(trimmed, "${") && strings.HasSuffix(trimmed, "}") {
 		return e.evalBody(trimmed[2:len(trimmed)-1], ctx)
 	}
-	segs, err := splitInterpolation(src)
+	segs, err := e.segments(src)
 	if err != nil {
 		return nil, err
 	}
@@ -149,8 +223,12 @@ func (e *Engine) evalParen(inner string, ctx Context) (any, error) {
 		return v, err
 	}
 	if e.js != nil {
-		e.JSEvals++
-		v, err := e.js.EvalExpr(inner, ctx.vars())
+		atomic.AddInt64(&e.JSEvals, 1)
+		p, err := e.jsExprProgram(inner)
+		if err != nil {
+			return nil, fmt.Errorf("in expression $(%s): %w", inner, err)
+		}
+		v, err := e.js.RunProgram(p, ctx.vars())
 		if err != nil {
 			return nil, fmt.Errorf("in expression $(%s): %w", inner, err)
 		}
@@ -160,8 +238,12 @@ func (e *Engine) evalParen(inner string, ctx Context) (any, error) {
 		// Extension: with only InlinePythonRequirement, $() bodies evaluate
 		// as Python expressions with inputs/self/runtime in scope (dict
 		// attribute access makes inputs.count work as users expect).
-		e.PyEvals++
-		v, err := e.py.EvalExpr(inner, ctx.vars())
+		atomic.AddInt64(&e.PyEvals, 1)
+		p, err := e.pyExprProgram(inner)
+		if err != nil {
+			return nil, fmt.Errorf("in expression $(%s): %w", inner, err)
+		}
+		v, err := e.py.RunProgram(p, ctx.vars())
 		if err != nil {
 			return nil, fmt.Errorf("in expression $(%s): %w", inner, err)
 		}
@@ -175,8 +257,12 @@ func (e *Engine) evalBody(body string, ctx Context) (any, error) {
 	if e.js == nil {
 		return nil, fmt.Errorf("${...} expressions require InlineJavascriptRequirement")
 	}
-	e.JSEvals++
-	v, err := e.js.EvalBody(body, ctx.vars())
+	atomic.AddInt64(&e.JSEvals, 1)
+	p, err := e.jsBodyProgram(body)
+	if err != nil {
+		return nil, fmt.Errorf("in expression ${%s}: %w", body, err)
+	}
+	v, err := e.js.RunProgram(p, ctx.vars())
 	if err != nil {
 		return nil, fmt.Errorf("in expression ${%s}: %w", body, err)
 	}
@@ -188,9 +274,16 @@ func (e *Engine) evalFString(src string, ctx Context) (any, error) {
 	if e.py == nil {
 		return nil, fmt.Errorf("f-string expressions require InlinePythonRequirement")
 	}
-	e.PyEvals++
+	atomic.AddInt64(&e.PyEvals, 1)
+	// The rewrite substitutes per-call values into vars, but the rewritten
+	// source text only depends on which $(...) refs resolved — caching the
+	// compiled form by that text is safe and skips the re-parse.
 	rewritten, vars := rewriteRefs(src, ctx)
-	v, err := e.py.EvalExpr(rewritten, vars)
+	p, err := e.pyExprProgram(rewritten)
+	if err != nil {
+		return nil, fmt.Errorf("in expression %s: %w", src, err)
+	}
+	v, err := e.py.RunProgram(p, vars)
 	if err != nil {
 		return nil, fmt.Errorf("in expression %s: %w", src, err)
 	}

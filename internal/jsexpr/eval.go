@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/yamlx"
 )
@@ -57,6 +58,11 @@ func (t *ThrownError) Error() string {
 type environ struct {
 	vars   map[string]any
 	parent *environ
+	// frozen marks an environment as sealed for writes: the shared global
+	// scope after library loading. Assignments never touch a frozen
+	// environment; they bind into the innermost per-evaluation scope instead,
+	// which is what makes concurrent evaluation of one Program race-free.
+	frozen bool
 }
 
 func newEnviron(parent *environ) *environ {
@@ -73,7 +79,7 @@ func (e *environ) lookup(name string) (any, bool) {
 }
 
 func (e *environ) assign(name string, v any) bool {
-	for env := e; env != nil; env = env.parent {
+	for env := e; env != nil && !env.frozen; env = env.parent {
 		if _, ok := env.vars[name]; ok {
 			env.vars[name] = v
 			return true
@@ -84,13 +90,37 @@ func (e *environ) assign(name string, v any) bool {
 
 func (e *environ) define(name string, v any) { e.vars[name] = v }
 
+// defineOutermost binds name in the outermost writable scope of e's chain —
+// the stand-in for an implicit global when the true global is frozen.
+func defineOutermost(e *environ, name string, v any) {
+	target := e
+	for env := e; env != nil && !env.frozen; env = env.parent {
+		target = env
+	}
+	target.define(name, v)
+}
+
 // Interp is a JavaScript interpreter instance holding an expression library
-// (global functions and variables). Interp values are not safe for concurrent
-// use; create one per evaluation context.
+// (global functions and variables). Load libraries first (LoadLib), then
+// evaluate: the first evaluation seals the global scope, after which one
+// Interp may evaluate compiled Programs from many goroutines concurrently.
+//
+// Concurrency is fully parallel when the library consists of functions and
+// scalar constants (the overwhelmingly common case). A library that stores
+// mutable state reachable from globals — an object or array global, or a
+// closure over a non-global scope — can be mutated in place by expressions,
+// so evaluation on such an Interp is transparently serialized instead.
 type Interp struct {
 	global   *environ
 	steps    int
 	maxSteps int
+	sealOnce sync.Once
+	// builtinVals snapshots the builtin globals installed by New, so sealing
+	// can tell library-defined globals apart from the standard ones.
+	builtinVals map[string]any
+	// serialize (decided at seal time) forces evaluations to take evalMu.
+	serialize bool
+	evalMu    sync.Mutex
 }
 
 // DefaultMaxSteps bounds evaluation work per expression; generous for any
@@ -102,6 +132,10 @@ func New() *Interp {
 	ip := &Interp{maxSteps: DefaultMaxSteps}
 	ip.global = newEnviron(nil)
 	installBuiltins(ip.global)
+	ip.builtinVals = make(map[string]any, len(ip.global.vars))
+	for k, v := range ip.global.vars {
+		ip.builtinVals[k] = v
+	}
 	return ip
 }
 
@@ -109,8 +143,12 @@ func New() *Interp {
 func (ip *Interp) SetMaxSteps(n int) { ip.maxSteps = n }
 
 // LoadLib executes expressionLib source (function declarations, consts) into
-// the interpreter's global scope.
+// the interpreter's global scope. All libraries must load before the first
+// evaluation: evaluating seals the global scope for concurrent use.
 func (ip *Interp) LoadLib(src string) error {
+	if ip.global.frozen {
+		return errors.New("jsexpr: LoadLib called after evaluation started (global scope is sealed)")
+	}
 	prog, err := parseProgram(src)
 	if err != nil {
 		return err
@@ -122,38 +160,24 @@ func (ip *Interp) LoadLib(src string) error {
 
 // EvalExpr evaluates a single JavaScript expression (the inside of $(...))
 // with the given variables in scope. The result is converted back to plain Go
-// values (CWL document vocabulary).
+// values (CWL document vocabulary). It is a thin compile-then-run wrapper;
+// callers on a hot path should Compile once and RunProgram many times.
 func (ip *Interp) EvalExpr(src string, vars map[string]any) (any, error) {
-	node, err := parseExpression(src)
+	p, err := CompileExpr(src)
 	if err != nil {
 		return nil, err
 	}
-	env := ip.scopeWith(vars)
-	ip.steps = 0
-	v, err := ip.eval(node, env)
-	if err != nil {
-		return nil, err
-	}
-	return FromJS(v), nil
+	return ip.RunProgram(p, vars)
 }
 
 // EvalBody evaluates a ${...} function body: statements that should return a
-// value.
+// value. Like EvalExpr, it is a thin wrapper over CompileBody + RunProgram.
 func (ip *Interp) EvalBody(src string, vars map[string]any) (any, error) {
-	prog, err := parseProgram(src)
+	p, err := CompileBody(src)
 	if err != nil {
 		return nil, err
 	}
-	env := ip.scopeWith(vars)
-	ip.steps = 0
-	ret, err := ip.execStmts(prog, env)
-	if err != nil {
-		return nil, err
-	}
-	if ret == nil {
-		return nil, nil
-	}
-	return FromJS(ret.value), nil
+	return ip.RunProgram(p, vars)
 }
 
 func (ip *Interp) scopeWith(vars map[string]any) *environ {
@@ -586,8 +610,14 @@ func (ip *Interp) setTarget(target Node, val any, env *environ) error {
 	switch t := target.(type) {
 	case *ident:
 		if !env.assign(t.Name, val) {
-			// Implicit global, as sloppy-mode JS would.
-			ip.global.define(t.Name, val)
+			// Implicit global, as sloppy-mode JS would. Once the true global
+			// is sealed, the binding lands in the outermost per-eval scope so
+			// concurrent evaluations stay isolated.
+			if ip.global.frozen {
+				defineOutermost(env, t.Name, val)
+			} else {
+				ip.global.define(t.Name, val)
+			}
 		}
 		return nil
 	case *member:

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/yamlx"
 )
@@ -84,6 +85,10 @@ func (r rangeVal) length() int64 {
 type penv struct {
 	vars   map[string]any
 	parent *penv
+	// frozen marks the shared global scope after library loading: assignments
+	// never touch it, binding locally instead (closer to real Python scoping,
+	// and what makes concurrent evaluation race-free).
+	frozen bool
 }
 
 func newPenv(parent *penv) *penv { return &penv{vars: map[string]any{}, parent: parent} }
@@ -101,8 +106,10 @@ func (e *penv) assign(name string, v any) {
 	// Python semantics-lite: assignment binds in the local scope unless the
 	// name already exists in an enclosing scope that we created via def
 	// nesting. For the CWL subset, local-bind is the right default; we update
-	// an existing binding if one is visible to keep loops working.
-	for env := e; env != nil; env = env.parent {
+	// an existing binding if one is visible to keep loops working. Frozen
+	// (global) scopes are never written — a rebind of a library global binds
+	// locally, as real Python would without a `global` declaration.
+	for env := e; env != nil && !env.frozen; env = env.parent {
 		if _, ok := env.vars[name]; ok {
 			env.vars[name] = v
 			return
@@ -111,14 +118,72 @@ func (e *penv) assign(name string, v any) {
 	e.vars[name] = v
 }
 
+// Buffer is a concurrency-safe string sink; print() output from concurrent
+// evaluations is interleaved per-write but never torn. Retention is bounded:
+// pooled engines live for the process lifetime, so an unbounded sink would
+// leak under sustained print() traffic — past the cap the oldest half is
+// dropped (a "[...output trimmed...]\n" marker notes the cut).
+type Buffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+// BufferMaxBytes bounds how much print() output a Buffer retains.
+const BufferMaxBytes = 1 << 20
+
+// WriteString appends s (implements io.StringWriter).
+func (o *Buffer) WriteString(s string) (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.b.Len()+len(s) > BufferMaxBytes {
+		tail := o.b.String()
+		if len(tail) > BufferMaxBytes/2 {
+			tail = tail[len(tail)-BufferMaxBytes/2:]
+		}
+		o.b.Reset()
+		o.b.WriteString("[...output trimmed...]\n")
+		o.b.WriteString(tail)
+	}
+	return o.b.WriteString(s)
+}
+
+// String returns everything written so far.
+func (o *Buffer) String() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.b.String()
+}
+
+// Reset discards accumulated output.
+func (o *Buffer) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.b.Reset()
+}
+
 // Interp is a Python interpreter instance holding the loaded expression
-// library. Not safe for concurrent use.
+// library. Load libraries first (LoadLib), then evaluate: the first
+// evaluation seals the global scope, after which one Interp may evaluate
+// compiled Programs from many goroutines concurrently.
+//
+// Concurrency is fully parallel when the library consists of functions and
+// scalar constants. A library holding mutable state reachable from globals —
+// list/dict/set globals, mutable function defaults, or functions over
+// captured scopes — can be mutated in place by expressions, so evaluation on
+// such an Interp is transparently serialized instead.
 type Interp struct {
 	global   *penv
 	steps    int
 	maxSteps int
-	// Stdout captures print() output.
-	Stdout strings.Builder
+	sealOnce sync.Once
+	// builtinVals snapshots the installed builtins, so sealing can tell
+	// library-defined globals apart from the standard ones.
+	builtinVals map[string]any
+	// serialize (decided at seal time) forces evaluations to take evalMu.
+	serialize bool
+	evalMu    sync.Mutex
+	// Stdout captures print() output (shared across per-call evaluators).
+	Stdout *Buffer
 }
 
 // DefaultMaxSteps bounds evaluation work per call.
@@ -126,9 +191,13 @@ const DefaultMaxSteps = 5_000_000
 
 // New creates an interpreter with builtins installed.
 func New() *Interp {
-	ip := &Interp{maxSteps: DefaultMaxSteps}
+	ip := &Interp{maxSteps: DefaultMaxSteps, Stdout: &Buffer{}}
 	ip.global = newPenv(nil)
 	installPyBuiltins(ip.global)
+	ip.builtinVals = make(map[string]any, len(ip.global.vars))
+	for k, v := range ip.global.vars {
+		ip.builtinVals[k] = v
+	}
 	return ip
 }
 
@@ -136,8 +205,12 @@ func New() *Interp {
 func (ip *Interp) SetMaxSteps(n int) { ip.maxSteps = n }
 
 // LoadLib executes expressionLib source (def statements, constants) in the
-// global scope.
+// global scope. All libraries must load before the first evaluation:
+// evaluating seals the global scope for concurrent use.
 func (ip *Interp) LoadLib(src string) error {
+	if ip.global.frozen {
+		return fmt.Errorf("pyexpr: LoadLib called after evaluation started (global scope is sealed)")
+	}
 	prog, err := parsePyProgram(src)
 	if err != nil {
 		return err
@@ -148,42 +221,36 @@ func (ip *Interp) LoadLib(src string) error {
 }
 
 // EvalExpr evaluates one expression with vars in scope, returning a CWL
-// document value.
+// document value. It is a thin compile-then-run wrapper; callers on a hot
+// path should Compile once and RunProgram many times.
 func (ip *Interp) EvalExpr(src string, vars map[string]any) (any, error) {
-	node, err := parsePyExpression(src)
+	p, err := CompileExpr(src)
 	if err != nil {
 		return nil, err
 	}
-	env := ip.scopeWith(vars)
-	ip.steps = 0
-	v, err := ip.eval(node, env)
-	if err != nil {
-		return nil, err
-	}
-	return FromPy(v), nil
+	return ip.RunProgram(p, vars)
 }
 
 // EvalBody executes a statement block; the value of a top-level return (or
-// None) is converted back to document vocabulary.
+// None) is converted back to document vocabulary. Like EvalExpr, it is a
+// thin wrapper over CompileBody + RunProgram.
 func (ip *Interp) EvalBody(src string, vars map[string]any) (any, error) {
-	prog, err := parsePyProgram(src)
+	p, err := CompileBody(src)
 	if err != nil {
 		return nil, err
 	}
-	env := ip.scopeWith(vars)
-	ip.steps = 0
-	c, err := ip.execStmts(prog, env)
-	if err != nil {
-		return nil, err
-	}
-	if c != nil && c.kind == ctrlReturn {
-		return FromPy(c.value), nil
-	}
-	return nil, nil
+	return ip.RunProgram(p, vars)
 }
 
 // Call invokes a named function from the loaded library with document values.
+// Like RunProgram, it serializes on interpreters whose library holds mutable
+// state.
 func (ip *Interp) Call(name string, args ...any) (any, error) {
+	ev := ip.evaluator()
+	if ip.serialize {
+		ip.evalMu.Lock()
+		defer ip.evalMu.Unlock()
+	}
 	fnv, ok := ip.global.lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("python function %q is not defined", name)
@@ -192,8 +259,7 @@ func (ip *Interp) Call(name string, args ...any) (any, error) {
 	for i, a := range args {
 		pyArgs[i] = ToPy(a)
 	}
-	ip.steps = 0
-	v, err := ip.call(fnv, pyArgs, nil, 0)
+	v, err := ev.call(fnv, pyArgs, nil, 0)
 	if err != nil {
 		return nil, err
 	}

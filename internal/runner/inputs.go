@@ -66,10 +66,19 @@ func ProcessInputs(params []*cwl.InputParam, provided *yamlx.Map, eng *cwlexpr.E
 	return out, nil
 }
 
+// cloneValue deep-copies the mutable shapes of a CWL value (maps, slices),
+// preallocated to their known sizes; immutable scalars (strings, numbers,
+// bools, nil) are shared, not copied. Used for defaults on every step-input
+// resolution, so allocation count matters.
 func cloneValue(v any) any {
 	switch x := v.(type) {
 	case *yamlx.Map:
-		return x.Clone()
+		out := yamlx.NewMapCap(x.Len())
+		x.Range(func(k string, vv any) bool {
+			out.Set(k, cloneValue(vv))
+			return true
+		})
+		return out
 	case []any:
 		out := make([]any, len(x))
 		for i, e := range x {

@@ -157,7 +157,7 @@ func (r *ToolRunner) RunTool(tool *cwl.CommandLineTool, provided *yamlx.Map, opt
 	if opts.ExtraReqs != nil {
 		reqs = reqs.Merge(*opts.ExtraReqs)
 	}
-	eng, err := cwlexpr.NewEngine(reqs)
+	eng, err := cwlexpr.SharedEngine(reqs)
 	if err != nil {
 		return nil, fmt.Errorf("tool %s: %w", toolName(tool), err)
 	}
@@ -167,8 +167,9 @@ func (r *ToolRunner) RunTool(tool *cwl.CommandLineTool, provided *yamlx.Map, opt
 		return nil, fmt.Errorf("tool %s: %w", toolName(tool), err)
 	}
 
+	generated := opts.OutDir == ""
 	outdir := opts.OutDir
-	if outdir == "" {
+	if generated {
 		root := r.WorkRoot
 		if root == "" {
 			root = os.TempDir()
@@ -178,10 +179,16 @@ func (r *ToolRunner) RunTool(tool *cwl.CommandLineTool, provided *yamlx.Map, opt
 	if err := os.MkdirAll(outdir, 0o755); err != nil {
 		return nil, err
 	}
-	if !r.KeepDirs && opts.OutDir == "" {
-		// Caller inspects outputs via returned File objects; the directory
-		// stays (it holds the outputs) — only on error do we clean up.
-		defer func() {}()
+	// On success the directory stays — the caller inspects outputs via the
+	// returned File objects inside it. On failure a generated directory is
+	// debris; remove it unless KeepDirs asks to keep it for debugging.
+	succeeded := false
+	if generated && !r.KeepDirs {
+		defer func() {
+			if !succeeded {
+				os.RemoveAll(outdir)
+			}
+		}()
 	}
 
 	cores := r.Cores
@@ -266,6 +273,7 @@ func (r *ToolRunner) RunTool(tool *cwl.CommandLineTool, provided *yamlx.Map, opt
 	if err != nil {
 		return nil, fmt.Errorf("tool %s: %w", toolName(tool), err)
 	}
+	succeeded = true
 	return &ToolResult{Outputs: outputs, ExitCode: res.ExitCode, OutDir: outdir, Argv: argv}, nil
 }
 

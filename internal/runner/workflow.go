@@ -2,6 +2,7 @@ package runner
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -52,11 +53,57 @@ type WorkflowEngine struct {
 	InputsDir string
 	// MaxScatterWidth bounds fan-out per step (0 = unlimited).
 	MaxScatterWidth int
+	// ScatterWorkers bounds how many scatter jobs of one step run
+	// concurrently (0 selects a GOMAXPROCS-derived default). Tool execution
+	// happens in the Submitter, so this caps in-flight submissions — not
+	// executor parallelism — and keeps a 100k-wide scatter from spawning
+	// 100k goroutines at once.
+	ScatterWorkers int
 	// Scope is a stable content identity for the workflow document (e.g. its
 	// source hash). When set and the Submitter implements KeyedSubmitter,
 	// each step job is announced with a ToolInvocation so results can be
 	// memoized across runs and process restarts. Empty disables keying.
 	Scope string
+	// Index, when set to BuildStepIndex(wf) of the workflow being executed,
+	// skips rebuilding the dataflow index per Execute call (the service's
+	// DocCache prebuilds it per cached document). An index for a different
+	// workflow is ignored.
+	Index *StepIndex
+}
+
+// StepIndex is a workflow's precomputed dataflow graph: for every step, the
+// distinct value keys it consumes, and for every key, the steps waiting on
+// it. With it, scheduling is O(edges) per workflow execution — each
+// completion touches only its dependents — instead of rescanning every step
+// on every completion. A StepIndex is immutable after construction and
+// shareable across concurrent executions of the same workflow.
+type StepIndex struct {
+	wf *cwl.Workflow
+	// required lists each step's distinct source keys ("#"-prefix trimmed).
+	required [][]string
+	// deps maps a value key ("input" or "step/out") to the indexes of steps
+	// consuming it.
+	deps map[string][]int
+}
+
+// BuildStepIndex precomputes the dataflow index for a workflow.
+func BuildStepIndex(wf *cwl.Workflow) *StepIndex {
+	ix := &StepIndex{wf: wf, required: make([][]string, len(wf.Steps)), deps: map[string][]int{}}
+	for i, step := range wf.Steps {
+		seen := map[string]bool{}
+		for _, in := range step.In {
+			for _, src := range in.Source {
+				key := strings.TrimPrefix(src, "#")
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				ix.required[i] = append(ix.required[i], key)
+				ix.deps[key] = append(ix.deps[key], i)
+			}
+		}
+	}
+	return ix
 }
 
 type wfState struct {
@@ -66,13 +113,20 @@ type wfState struct {
 	launched    map[string]bool
 	outstanding int
 	err         error
+
+	// Indexed-scheduler state: the immutable dataflow index, the per-step
+	// count of still-unsatisfied source keys, and the launch context.
+	idx     *StepIndex
+	pending []int
+	wf      *cwl.Workflow
+	wfReqs  cwl.Requirements
 }
 
 // Execute runs the workflow with the provided inputs and returns the
 // workflow outputs.
 func (we *WorkflowEngine) Execute(wf *cwl.Workflow, provided *yamlx.Map) (*yamlx.Map, error) {
 	reqs := wf.Hints.Merge(wf.Requirements)
-	eng, err := cwlexpr.NewEngine(reqs)
+	eng, err := cwlexpr.SharedEngine(reqs)
 	if err != nil {
 		return nil, err
 	}
@@ -81,20 +135,36 @@ func (we *WorkflowEngine) Execute(wf *cwl.Workflow, provided *yamlx.Map) (*yamlx
 		return nil, fmt.Errorf("workflow %s: %w", wf.ID, err)
 	}
 
-	st := &wfState{values: map[string]any{}, launched: map[string]bool{}}
+	idx := we.Index
+	if idx == nil || idx.wf != wf {
+		idx = BuildStepIndex(wf)
+	}
+	st := &wfState{
+		values: make(map[string]any, len(wf.Inputs)+len(wf.Steps)), launched: make(map[string]bool, len(wf.Steps)),
+		idx: idx, pending: make([]int, len(wf.Steps)), wf: wf, wfReqs: reqs,
+	}
 	st.cond = sync.NewCond(&st.mu)
 	for _, in := range wf.Inputs {
 		st.values[in.ID] = inputs.Value(in.ID)
 	}
 
 	st.mu.Lock()
-	we.launchReady(wf, reqs, st)
+	// Seed pending counts against the initially-available values (workflow
+	// inputs) and launch every step that is already satisfied.
+	for i, keys := range idx.required {
+		n := 0
+		for _, k := range keys {
+			if _, ok := st.values[k]; !ok {
+				n++
+			}
+		}
+		st.pending[i] = n
+		if n == 0 {
+			we.launchStep(i, st)
+		}
+	}
 	for st.outstanding > 0 {
 		st.cond.Wait()
-		if st.err == nil {
-			// Completions may have unblocked more steps.
-			we.launchReady(wf, reqs, st)
-		}
 	}
 	err = st.err
 	st.mu.Unlock()
@@ -120,33 +190,20 @@ func (we *WorkflowEngine) Execute(wf *cwl.Workflow, provided *yamlx.Map) (*yamlx
 	return outputs, nil
 }
 
-// launchReady starts every step whose sources are all available. Caller
-// holds st.mu.
-func (we *WorkflowEngine) launchReady(wf *cwl.Workflow, wfReqs cwl.Requirements, st *wfState) {
-	for _, step := range wf.Steps {
-		if st.launched[step.ID] {
-			continue
-		}
-		if !we.stepReady(step, st) {
-			continue
-		}
-		st.launched[step.ID] = true
-		st.outstanding++
-		go we.runStep(wf, wfReqs, step, st)
+// launchStep starts step i. Caller holds st.mu.
+func (we *WorkflowEngine) launchStep(i int, st *wfState) {
+	step := st.wf.Steps[i]
+	if st.launched[step.ID] {
+		return
 	}
+	st.launched[step.ID] = true
+	st.outstanding++
+	go we.runStep(st.wf, st.wfReqs, step, st)
 }
 
-func (we *WorkflowEngine) stepReady(step *cwl.WorkflowStep, st *wfState) bool {
-	for _, in := range step.In {
-		for _, src := range in.Source {
-			if _, ok := st.values[strings.TrimPrefix(src, "#")]; !ok {
-				return false
-			}
-		}
-	}
-	return true
-}
-
+// finishStep records a step's outcome, pushes newly-satisfied dependents
+// onto the ready path, and wakes the executor. Each completion does
+// O(dependent edges) work.
 func (we *WorkflowEngine) finishStep(step *cwl.WorkflowStep, st *wfState, outputs map[string]any, err error) {
 	st.mu.Lock()
 	if err != nil {
@@ -155,7 +212,20 @@ func (we *WorkflowEngine) finishStep(step *cwl.WorkflowStep, st *wfState, output
 		}
 	} else {
 		for k, v := range outputs {
-			st.values[step.ID+"/"+k] = v
+			key := step.ID + "/" + k
+			if _, dup := st.values[key]; dup {
+				continue
+			}
+			st.values[key] = v
+			if st.err != nil {
+				continue // completions after a failure resolve values but launch nothing
+			}
+			for _, dep := range st.idx.deps[key] {
+				st.pending[dep]--
+				if st.pending[dep] == 0 {
+					we.launchStep(dep, st)
+				}
+			}
 		}
 	}
 	st.outstanding--
@@ -165,7 +235,7 @@ func (we *WorkflowEngine) finishStep(step *cwl.WorkflowStep, st *wfState, output
 
 func (we *WorkflowEngine) runStep(wf *cwl.Workflow, wfReqs cwl.Requirements, step *cwl.WorkflowStep, st *wfState) {
 	stepReqs := wfReqs.Merge(step.Requirements)
-	eng, err := cwlexpr.NewEngine(stepReqs)
+	eng, err := cwlexpr.SharedEngine(stepReqs)
 	if err != nil {
 		we.finishStep(step, st, nil, err)
 		return
@@ -200,17 +270,29 @@ func (we *WorkflowEngine) runStep(wf *cwl.Workflow, wfReqs cwl.Requirements, ste
 		we.finishStep(step, st, nil, err)
 		return
 	}
+	// A bounded worker pool drains the fan-out: submission-side concurrency
+	// stays capped no matter the scatter width. Workers block inside the
+	// Submitter waiting on results, so the cap is sized above GOMAXPROCS to
+	// keep executors saturated.
 	n := len(jobs)
 	results := make([]map[string]any, n)
 	errs := make([]error, n)
+	workers := we.scatterWorkerCount(n)
+	next := make(chan int)
 	var wg sync.WaitGroup
-	for i, jb := range jobs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = we.runStepJob(step, stepReqs, eng, jb)
+			for i := range next {
+				results[i], errs[i] = we.runStepJob(step, stepReqs, eng, jobs[i])
+			}
 		}()
 	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
@@ -308,7 +390,7 @@ func (we *WorkflowEngine) runStepJob(step *cwl.WorkflowStep, stepReqs cwl.Requir
 		if we.Scope != "" {
 			subScope = we.Scope + "/" + step.ID
 		}
-		sub := &WorkflowEngine{Submitter: we.Submitter, InputsDir: we.InputsDir, MaxScatterWidth: we.MaxScatterWidth, Scope: subScope}
+		sub := &WorkflowEngine{Submitter: we.Submitter, InputsDir: we.InputsDir, MaxScatterWidth: we.MaxScatterWidth, ScatterWorkers: we.ScatterWorkers, Scope: subScope}
 		out, err := sub.Execute(run, filterTo(run.Inputs))
 		if err != nil {
 			return nil, err
@@ -329,9 +411,26 @@ func mapToGo(m *yamlx.Map) map[string]any {
 	return out
 }
 
+// scatterWorkerCount resolves the scatter concurrency bound for a fan-out of
+// n jobs: the configured ScatterWorkers, else 4×GOMAXPROCS (minimum 8), and
+// never more workers than jobs.
+func (we *WorkflowEngine) scatterWorkerCount(n int) int {
+	w := we.ScatterWorkers
+	if w <= 0 {
+		w = 4 * runtime.GOMAXPROCS(0)
+		if w < 8 {
+			w = 8
+		}
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 func runExpressionTool(et *cwl.ExpressionTool, extra cwl.Requirements, provided *yamlx.Map) (map[string]any, error) {
 	reqs := extra.Merge(et.Requirements)
-	eng, err := cwlexpr.NewEngine(reqs)
+	eng, err := cwlexpr.SharedEngine(reqs)
 	if err != nil {
 		return nil, err
 	}

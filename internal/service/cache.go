@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/cwl"
+	"repro/internal/runner"
 )
 
 // DocCache is a content-hash cache of parsed-and-validated CWL documents:
@@ -34,7 +35,10 @@ type DocCache struct {
 type docEntry struct {
 	hash string
 	doc  cwl.Document
-	err  error
+	// idx is the prebuilt dataflow index when doc is a Workflow: cached runs
+	// skip rebuilding the source→dependents graph on every execution.
+	idx *runner.StepIndex
+	err error
 	// size approximates the entry's memory cost by its source length (the
 	// parsed tree is proportional to it).
 	size int64
@@ -68,6 +72,14 @@ func HashSource(source []byte) string {
 // `run:` bodies or a packed $graph). A parse or validation failure is
 // returned wrapped in ErrInvalidDocument.
 func (c *DocCache) Load(source []byte) (doc cwl.Document, hash string, hit bool, err error) {
+	doc, _, hash, hit, err = c.LoadIndexed(source)
+	return doc, hash, hit, err
+}
+
+// LoadIndexed is Load plus the document's prebuilt dataflow index (nil for
+// non-Workflow documents): one BuildStepIndex per cached document instead of
+// one per run.
+func (c *DocCache) LoadIndexed(source []byte) (doc cwl.Document, idx *runner.StepIndex, hash string, hit bool, err error) {
 	hash = HashSource(source)
 	c.mu.Lock()
 	if el, ok := c.entries[hash]; ok {
@@ -75,7 +87,7 @@ func (c *DocCache) Load(source []byte) (doc cwl.Document, hash string, hit bool,
 		c.hits++
 		ent := el.Value.(*docEntry)
 		c.mu.Unlock()
-		return ent.doc, hash, true, ent.err
+		return ent.doc, ent.idx, hash, true, ent.err
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -83,15 +95,18 @@ func (c *DocCache) Load(source []byte) (doc cwl.Document, hash string, hit bool,
 	// Parse outside the lock; concurrent misses on the same document may
 	// duplicate work, but never block unrelated submissions.
 	doc, err = parseAndValidate(source)
+	if wf, ok := doc.(*cwl.Workflow); ok && err == nil {
+		idx = runner.BuildStepIndex(wf)
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[hash]; ok {
 		// Another goroutine raced us; keep its entry.
 		ent := el.Value.(*docEntry)
-		return ent.doc, hash, false, ent.err
+		return ent.doc, ent.idx, hash, false, ent.err
 	}
-	c.entries[hash] = c.lru.PushFront(&docEntry{hash: hash, doc: doc, err: err, size: int64(len(source))})
+	c.entries[hash] = c.lru.PushFront(&docEntry{hash: hash, doc: doc, idx: idx, err: err, size: int64(len(source))})
 	c.bytes += int64(len(source))
 	for c.lru.Len() > 1 && (c.lru.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.lru.Back()
@@ -100,7 +115,7 @@ func (c *DocCache) Load(source []byte) (doc cwl.Document, hash string, hit bool,
 		delete(c.entries, ent.hash)
 		c.bytes -= ent.size
 	}
-	return doc, hash, false, err
+	return doc, idx, hash, false, err
 }
 
 func parseAndValidate(source []byte) (cwl.Document, error) {

@@ -43,6 +43,7 @@ import (
 	"repro/internal/cwl"
 	"repro/internal/parsl"
 	"repro/internal/persist"
+	"repro/internal/runner"
 	"repro/internal/yamlx"
 )
 
@@ -152,7 +153,9 @@ type Service struct {
 
 // pendingRun is a run's execution payload between Submit and dequeue.
 type pendingRun struct {
-	doc    cwl.Document
+	doc cwl.Document
+	// idx is the DocCache's prebuilt dataflow index (nil for tools).
+	idx    *runner.StepIndex
 	inputs *yamlx.Map
 }
 
@@ -256,7 +259,7 @@ func (s *Service) openPersistence() error {
 			fail("recovered run lost its submission payload")
 			continue
 		}
-		doc, _, _, err := s.cache.Load([]byte(w.Source))
+		doc, idx, _, _, err := s.cache.LoadIndexed([]byte(w.Source))
 		if err != nil {
 			fail(fmt.Sprintf("recovered run no longer validates: %v", err))
 			continue
@@ -274,7 +277,7 @@ func (s *Service) openPersistence() error {
 		snap.Started = nil
 		s.store.Restore(snap)
 		s.workMu.Lock()
-		s.work[snap.ID] = &pendingRun{doc: doc, inputs: inputs}
+		s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: inputs}
 		s.workMu.Unlock()
 		p.mu.Lock()
 		p.payloads[snap.ID] = payloadRec{source: []byte(w.Source), inputs: inputs}
@@ -306,13 +309,13 @@ func (s *Service) finishRun(id string, outputs *yamlx.Map, runErr error, cancele
 // Submit validates, registers, and enqueues one run, returning its queued
 // snapshot immediately.
 func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
-	doc, hash, hit, err := s.cache.Load(req.Source)
+	doc, idx, hash, hit, err := s.cache.LoadIndexed(req.Source)
 	if err != nil {
 		return RunSnapshot{}, err
 	}
 	snap := s.store.Create(req.Name, doc.Class(), hash, req.Priority, hit)
 	s.workMu.Lock()
-	s.work[snap.ID] = &pendingRun{doc: doc, inputs: req.Inputs}
+	s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: req.Inputs}
 	s.workMu.Unlock()
 	// Journal the submission (with its payload) before it can start: the
 	// worker's own transitions must never precede the submit record, and a
@@ -369,6 +372,9 @@ func (s *Service) execute(ctx context.Context, id string) {
 		// memoizable across runs and — with the restored memo table — across
 		// process restarts.
 		Scope: snap.DocHash,
+		// The cached document's prebuilt dataflow index skips per-run graph
+		// construction.
+		StepIndex: w.idx,
 	}
 	outputs, err := r.RunContext(ctx, w.doc, w.inputs)
 	canceled := err != nil && ctx.Err() != nil

@@ -55,6 +55,57 @@ func TestMapClone(t *testing.T) {
 	}
 }
 
+// TestMapCloneAllocs pins the clone hot path (one per scatter job) at a
+// constant allocation count — struct, keys slice, map header and its
+// buckets — regardless of entry count (pre-optimization it was ~2 per key).
+func TestMapCloneAllocs(t *testing.T) {
+	m := NewMapCap(32)
+	for i := 0; i < 32; i++ {
+		m.Set(fmt.Sprintf("key-%02d", i), i)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = m.Clone()
+	})
+	if allocs > 4 {
+		t.Errorf("Clone allocates %.0f per run for 32 entries, want <= 4", allocs)
+	}
+}
+
+// TestMapCloneKeyOrderAndIndependence verifies the preallocated clone keeps
+// insertion order and shares nothing mutable with the original.
+func TestMapCloneKeyOrderAndIndependence(t *testing.T) {
+	m := MapOf("c", 1, "a", 2, "b", 3)
+	c := m.Clone()
+	if !reflect.DeepEqual(c.Keys(), []string{"c", "a", "b"}) {
+		t.Errorf("clone keys = %v", c.Keys())
+	}
+	c.Set("d", 4)
+	c.Delete("a")
+	if m.Len() != 3 || !m.Has("a") {
+		t.Errorf("clone mutation leaked into original: %v", m)
+	}
+	if (&Map{}).Clone().Len() != 0 {
+		t.Error("cloning an empty map broke")
+	}
+	var nilMap *Map
+	if nilMap.Clone().Len() != 0 {
+		t.Error("cloning a nil map broke")
+	}
+}
+
+// BenchmarkMapClone tracks the per-clone cost (run with -benchmem); the
+// scatter path clones one map per job.
+func BenchmarkMapClone(b *testing.B) {
+	m := NewMapCap(16)
+	for i := 0; i < 16; i++ {
+		m.Set(fmt.Sprintf("key-%02d", i), i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Clone()
+	}
+}
+
 func TestMapJSON(t *testing.T) {
 	m := MapOf("z", 1, "a", []any{int64(1), "s"}, "m", MapOf("k", nil))
 	b, err := json.Marshal(m)

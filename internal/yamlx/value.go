@@ -29,6 +29,15 @@ type Map struct {
 // NewMap returns an empty ordered mapping.
 func NewMap() *Map { return &Map{vals: map[string]any{}} }
 
+// NewMapCap returns an empty ordered mapping preallocated for n entries —
+// use when the final size is known to avoid growth reallocations.
+func NewMapCap(n int) *Map {
+	if n < 0 {
+		n = 0
+	}
+	return &Map{keys: make([]string, 0, n), vals: make(map[string]any, n)}
+}
+
 // MapOf builds a Map from alternating key/value pairs. It panics if given an
 // odd number of arguments or a non-string key; it is intended for tests and
 // literals.
@@ -126,13 +135,21 @@ func (m *Map) Range(fn func(key string, value any) bool) {
 	}
 }
 
-// Clone returns a shallow copy.
+// Clone returns a shallow copy. Key order and capacity are preserved without
+// the per-key lookups Set would pay, keeping the step-input hot path (one
+// clone per scatter job) at three allocations regardless of size.
 func (m *Map) Clone() *Map {
-	c := NewMap()
-	m.Range(func(k string, v any) bool {
-		c.Set(k, v)
-		return true
-	})
+	if m == nil || len(m.keys) == 0 {
+		return NewMap()
+	}
+	c := &Map{
+		keys: make([]string, len(m.keys)),
+		vals: make(map[string]any, len(m.keys)),
+	}
+	copy(c.keys, m.keys)
+	for k, v := range m.vals {
+		c.vals[k] = v
+	}
 	return c
 }
 
