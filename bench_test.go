@@ -395,3 +395,33 @@ func BenchmarkYAMLDecode(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkProcessProviderThroughput measures the pipe-protocol overhead of
+// process-isolated workers: echo tasks dispatched through an HTEX whose
+// blocks are real worker subprocesses (this test binary re-executed in
+// worker mode). Gated against BENCH_baseline.json alongside the in-process
+// HTEX numbers, so protocol or framing regressions fail CI.
+func BenchmarkProcessProviderThroughput(b *testing.B) {
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	htex, prov, err := bench.BuildProviderHTEX("process",
+		[]string{exe}, []string{"PARSL_CWL_WORKER_PROCESS=1"}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := htex.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer htex.Shutdown()
+	b.ResetTimer()
+	if err := bench.RunEchoBatch(htex, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if prov.RemoteTasks() < int64(b.N) {
+		b.Fatalf("only %d of %d tasks crossed the worker pipe", prov.RemoteTasks(), b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}

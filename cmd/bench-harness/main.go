@@ -11,6 +11,7 @@
 //	bench-harness -exp abl-scatter  # ablation: scatter width vs makespan
 //	bench-harness -exp abl-overhead # ablation: serial dispatch sweep
 //	bench-harness -exp hotpath      # engine overhead: expr scatter, deep chain, fan-in
+//	bench-harness -exp provider     # provider layer: in-process vs pipe-protocol workers
 //	bench-harness -exp all
 package main
 
@@ -20,10 +21,20 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/provider"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1a|fig1b|fig2|abl-expr|abl-scatter|abl-overhead|hotpath|all")
+	// Worker mode: the provider experiment re-executes this binary as a
+	// protocol worker, so the harness needs no external parsl-cwl-worker.
+	if os.Getenv("PARSL_CWL_WORKER_PROCESS") == "1" {
+		if err := provider.RunWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-harness worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	exp := flag.String("exp", "all", "experiment id: fig1a|fig1b|fig2|abl-expr|abl-scatter|abl-overhead|hotpath|provider|all")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "bench-harness:", err)
@@ -102,6 +113,28 @@ func run(exp string) error {
 				}
 				fmt.Printf("%-16s %8d %16.6f %14.0f\n", w.kind, w.n, sec, float64(w.n)/sec)
 			}
+		case "provider":
+			fmt.Println("# Provider layer — echo-task throughput per backend (one block)")
+			fmt.Println("# process = real worker subprocess over the length-prefixed JSON pipe protocol")
+			self, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			env := []string{"PARSL_CWL_WORKER_PROCESS=1"}
+			fmt.Printf("%-10s %8s %14s\n", "provider", "workers", "tasks/s")
+			for _, row := range []struct {
+				name    string
+				workers int
+			}{
+				{"local", 1}, {"local", 8},
+				{"process", 1}, {"process", 8},
+			} {
+				res, err := bench.MeasureProviderThroughput(row.name, []string{self}, env, row.workers, 20000)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-10s %8d %14.0f\n", row.name, row.workers, res.TasksPerSec)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -109,7 +142,7 @@ func run(exp string) error {
 		return nil
 	}
 	if exp == "all" {
-		for _, id := range []string{"fig1a", "fig1b", "fig2", "abl-expr", "abl-scatter", "abl-overhead", "hotpath"} {
+		for _, id := range []string{"fig1a", "fig1b", "fig2", "abl-expr", "abl-scatter", "abl-overhead", "hotpath", "provider"} {
 			if err := run(id); err != nil {
 				return err
 			}

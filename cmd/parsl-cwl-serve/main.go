@@ -55,6 +55,8 @@ type serveConfig struct {
 	dataDir          string
 	checkpointPeriod time.Duration
 	noPersist        bool
+	providers        string
+	workerCmd        string
 }
 
 func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
@@ -71,6 +73,8 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.StringVar(&cfg.dataDir, "data-dir", "", "directory for the run journal and checkpoints; enables durable, crash-resumable runs")
 	fs.DurationVar(&cfg.checkpointPeriod, "checkpoint-period", 30*time.Second, "how often the journal is compacted into a snapshot")
 	fs.BoolVar(&cfg.noPersist, "no-persist", false, "disable persistence even when -data-dir is set")
+	fs.StringVar(&cfg.providers, "provider", "", "execution providers to offer, comma-separated (local|process|sim); first is the default; runs pin one via the submit body's \"provider\" field")
+	fs.StringVar(&cfg.workerCmd, "worker-cmd", "", "worker command line for the process provider (default: parsl-cwl-worker next to this binary or on PATH)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -104,7 +108,28 @@ func newService(cfg serveConfig) (*parsl.DFK, *service.Service, error) {
 			cfg.workDir = filepath.Join(cfg.dataDir, "work")
 		}
 	}
-	pcfg, err := spec.Build()
+	if cfg.workerCmd != "" {
+		spec.WorkerCmd = cfg.workerCmd
+	}
+	var (
+		pcfg           parsl.Config
+		providerLabels map[string]string
+		err            error
+	)
+	if cfg.providers != "" {
+		// Multi-backend mode: one HTEX per requested provider; a run pins one
+		// via the submit body, the first named provider is the default.
+		var names []string
+		for _, n := range strings.Split(cfg.providers, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		spec.Executor = "htex"
+		pcfg, providerLabels, err = spec.BuildMulti(names)
+	} else {
+		pcfg, err = spec.Build()
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -113,13 +138,14 @@ func newService(cfg serveConfig) (*parsl.DFK, *service.Service, error) {
 		return nil, nil, err
 	}
 	svc, err := service.New(dfk, service.Options{
-		Workers:          cfg.workers,
-		QueueDepth:       cfg.queueDepth,
-		CacheSize:        cfg.cacheSize,
-		CacheBytes:       cfg.cacheBytes,
-		WorkRoot:         cfg.workDir,
-		DataDir:          cfg.dataDir,
-		CheckpointPeriod: cfg.checkpointPeriod,
+		Workers:           cfg.workers,
+		QueueDepth:        cfg.queueDepth,
+		CacheSize:         cfg.cacheSize,
+		CacheBytes:        cfg.cacheBytes,
+		WorkRoot:          cfg.workDir,
+		DataDir:           cfg.dataDir,
+		CheckpointPeriod:  cfg.checkpointPeriod,
+		ProviderExecutors: providerLabels,
 	})
 	if err != nil {
 		dfk.Cleanup()

@@ -1,0 +1,40 @@
+// Command parsl-cwl-worker is the process-isolated execution endpoint of the
+// Parsl+CWL engine's ProcessProvider. The engine launches one worker per
+// pilot block and speaks a length-prefixed JSON protocol over the worker's
+// stdin/stdout:
+//
+//	frame   = 4-byte big-endian length + JSON body
+//	worker → engine:  {"proto":1,"pid":...}            (hello, once)
+//	engine → worker:  {"id":N,"spec":{"kind":...}}     (run request)
+//	worker → engine:  {"id":N,"ok":...,"result":...}   (one per request,
+//	                                                    completion order)
+//
+// Requests execute concurrently; closing stdin asks the worker to drain and
+// exit. The worker is stateless between tasks — a crash (segfault, OOM kill,
+// scancel) costs only the tasks in flight on it, which the engine detects
+// via the broken pipe and re-dispatches to another block.
+//
+// This binary is not meant to be run by hand; stdout belongs to the
+// protocol. Diagnostics go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/provider"
+)
+
+func main() {
+	printVersion := flag.Bool("version", false, "print the protocol version and exit")
+	flag.Parse()
+	if *printVersion {
+		fmt.Printf("parsl-cwl-worker protocol %d\n", provider.ProtoVersion)
+		return
+	}
+	if err := provider.RunWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "parsl-cwl-worker:", err)
+		os.Exit(1)
+	}
+}

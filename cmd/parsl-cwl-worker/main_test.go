@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/parsl"
+	"repro/internal/provider"
+)
+
+// TestWorkerBinaryEndToEnd builds the real binary and drives it through a
+// ProcessProvider-backed HTEX — the deployment shape parsl-cwl-serve uses.
+func TestWorkerBinaryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "parsl-cwl-worker")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	prov := provider.NewProcessProvider(provider.ProcessOptions{Command: []string{bin}})
+	htex := parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
+		Label: "htex", Provider: prov, WorkersPerNode: 2, MaxBlocks: 1,
+	})
+	if err := htex.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer htex.Shutdown()
+
+	spec, err := provider.NewEchoSpec("through-the-pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan any, 1)
+	htex.Submit(&parsl.Task{ID: 1, Remote: spec, Fn: func() (any, error) {
+		t.Error("in-process fallback ran despite a remote spec and live worker")
+		return nil, nil
+	}}, func(res any, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got <- res
+	})
+	if res := <-got; res != "through-the-pipe" {
+		t.Fatalf("result = %#v", res)
+	}
+	if st := htex.Stats(); st.Provider != "process" || len(st.Blocks) == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -6,12 +6,18 @@
 //
 //	parsl-cwl config.yml echo.cwl inputs.yml
 //	parsl-cwl config.yml echo.cwl --message='Hello'
+//	parsl-cwl -provider=process config.yml wf.cwl inputs.yml
+//
+// The optional flags (before the positional arguments) override the config:
+// -provider selects how HTEX pilot blocks run (local, process, or sim) and
+// -worker-cmd points the process provider at a worker binary.
 //
 // The outputs object is printed as JSON on stdout, like cwltool.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -30,12 +36,29 @@ func main() {
 }
 
 func run(args []string) error {
+	fs := flag.NewFlagSet("parsl-cwl", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	providerName := fs.String("provider", "", "execution provider for HTEX blocks: local|process|sim (overrides the config)")
+	workerCmd := fs.String("worker-cmd", "", "worker command line for the process provider")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	if len(args) < 2 {
-		return fmt.Errorf("usage: parsl-cwl CONFIG.yml PROCESS.cwl [INPUTS.yml | --name=value ...]")
+		return fmt.Errorf("usage: parsl-cwl [-provider=local|process|sim] [-worker-cmd=...] CONFIG.yml PROCESS.cwl [INPUTS.yml | --name=value ...]")
 	}
 	spec, err := parsl.LoadConfigFile(args[0])
 	if err != nil {
 		return err
+	}
+	if *providerName != "" {
+		spec.Provider = *providerName
+		if spec.Executor != "htex" && spec.Executor != "high-throughput" {
+			spec.Executor = "htex"
+		}
+	}
+	if *workerCmd != "" {
+		spec.WorkerCmd = *workerCmd
 	}
 	doc, err := cwl.LoadFile(args[1])
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cwl"
 	"repro/internal/imaging"
 	"repro/internal/parsl"
+	"repro/internal/provider"
 	"repro/internal/runners/cwltoolsim"
 	"repro/internal/runners/toilsim"
 	"repro/internal/yamlx"
@@ -24,6 +25,16 @@ import (
 var imgtoolOK bool
 
 func TestMain(m *testing.M) {
+	// Worker mode: the ProcessProvider benchmarks re-execute this test
+	// binary as a protocol worker instead of requiring a prebuilt
+	// parsl-cwl-worker on PATH.
+	if os.Getenv("PARSL_CWL_WORKER_PROCESS") == "1" {
+		if err := provider.RunWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	dir, err := os.MkdirTemp("", "imgtool-bin-")
 	if err == nil {
 		build := exec.Command("go", "build", "-o", filepath.Join(dir, "imgtool"), "./cmd/imgtool")

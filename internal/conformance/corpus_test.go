@@ -1,0 +1,648 @@
+package conformance
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/yamlx"
+)
+
+// Case is one golden workflow of the conformance corpus.
+type Case struct {
+	Name string
+	// Doc is the self-contained CWL source (inline step bodies only).
+	Doc string
+	// Fixture creates input files under the case's fixture directory.
+	Fixture func(t *testing.T, dir string)
+	// Inputs builds the job order (fixture = the fixture directory).
+	Inputs func(fixture string) *yamlx.Map
+	// Check asserts semantic expectations on the outputs (beyond the
+	// cross-provider byte comparison the harness always performs).
+	Check func(t *testing.T, outputs *yamlx.Map)
+	// NoToolRuns marks cases whose workflow legitimately executes zero
+	// command-line tools (skipped conditionals, empty scatters).
+	NoToolRuns bool
+}
+
+// MinToolRuns is the least number of tool invocations the case must ship to
+// process-isolated workers.
+func (c Case) MinToolRuns() int {
+	if c.NoToolRuns {
+		return 0
+	}
+	return 1
+}
+
+// Corpus is the conformance table. Every entry runs end to end — real
+// commands, real files — under the local, process, and sim providers.
+var Corpus = []Case{
+	{
+		Name: "echo-tool",
+		Doc: `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [echo, -n]
+inputs:
+  message: {type: string, inputBinding: {position: 1}}
+outputs:
+  out: {type: stdout}
+stdout: out.txt
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("message", "hello conformance") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "out"); got != "hello conformance" {
+				t.Errorf("out = %q", got)
+			}
+		},
+	},
+	{
+		Name: "two-step-chain",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+inputs:
+  message: string
+outputs:
+  final:
+    type: File
+    outputSource: upper/out
+steps:
+  greet:
+    run:
+      class: CommandLineTool
+      baseCommand: [echo, -n]
+      inputs:
+        m: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: greet.txt
+    in: {m: message}
+    out: [out]
+  upper:
+    run:
+      class: CommandLineTool
+      baseCommand: [tr, a-z, A-Z]
+      inputs:
+        infile: {type: File}
+      stdin: $(inputs.infile.path)
+      outputs:
+        out: {type: stdout}
+      stdout: upper.txt
+    in: {infile: greet/out}
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("message", "shout this") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "final"); got != "SHOUT THIS" {
+				t.Errorf("final = %q", got)
+			}
+		},
+	},
+	{
+		Name: "scatter-dotproduct",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  names: string[]
+  tags: string[]
+outputs:
+  labeled:
+    type: File[]
+    outputSource: label/out
+steps:
+  label:
+    run:
+      class: CommandLineTool
+      baseCommand: [printf, '%s=%s']
+      inputs:
+        name: {type: string, inputBinding: {position: 1}}
+        tag: {type: string, inputBinding: {position: 2}}
+      outputs:
+        out: {type: stdout}
+      stdout: pair.txt
+    in: {name: names, tag: tags}
+    scatter: [name, tag]
+    scatterMethod: dotproduct
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map {
+			return yamlx.MapOf(
+				"names", []any{"alpha", "beta", "gamma"},
+				"tags", []any{"1", "2", "3"},
+			)
+		},
+		Check: func(t *testing.T, out *yamlx.Map) {
+			files, _ := out.Value("labeled").([]any)
+			if len(files) != 3 {
+				t.Fatalf("labeled = %#v", out.Value("labeled"))
+			}
+			first, _ := files[0].(*yamlx.Map)
+			data, _ := os.ReadFile(first.GetString("path"))
+			if string(data) != "alpha=1" {
+				t.Errorf("first = %q", data)
+			}
+		},
+	},
+	{
+		Name: "scatter-flat-crossproduct",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  xs: string[]
+  ys: string[]
+outputs:
+  combos:
+    type: File[]
+    outputSource: combine/out
+steps:
+  combine:
+    run:
+      class: CommandLineTool
+      baseCommand: [printf, '%s%s']
+      inputs:
+        x: {type: string, inputBinding: {position: 1}}
+        y: {type: string, inputBinding: {position: 2}}
+      outputs:
+        out: {type: stdout}
+      stdout: combo.txt
+    in: {x: xs, y: ys}
+    scatter: [x, y]
+    scatterMethod: flat_crossproduct
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map {
+			return yamlx.MapOf("xs", []any{"a", "b"}, "ys", []any{"1", "2", "3"})
+		},
+		Check: func(t *testing.T, out *yamlx.Map) {
+			files, _ := out.Value("combos").([]any)
+			if len(files) != 6 {
+				t.Fatalf("combos = %d entries", len(files))
+			}
+		},
+	},
+	{
+		Name: "scatter-nested-crossproduct",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  rows: string[]
+  cols: string[]
+outputs:
+  grid:
+    type:
+      type: array
+      items: {type: array, items: File}
+    outputSource: cell/out
+steps:
+  cell:
+    run:
+      class: CommandLineTool
+      baseCommand: [printf, '%s:%s']
+      inputs:
+        r: {type: string, inputBinding: {position: 1}}
+        c: {type: string, inputBinding: {position: 2}}
+      outputs:
+        out: {type: stdout}
+      stdout: cell.txt
+    in: {r: rows, c: cols}
+    scatter: [r, c]
+    scatterMethod: nested_crossproduct
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map {
+			return yamlx.MapOf("rows", []any{"r1", "r2"}, "cols", []any{"c1", "c2", "c3"})
+		},
+		Check: func(t *testing.T, out *yamlx.Map) {
+			rows, _ := out.Value("grid").([]any)
+			if len(rows) != 2 {
+				t.Fatalf("grid rows = %#v", out.Value("grid"))
+			}
+			inner, _ := rows[1].([]any)
+			if len(inner) != 3 {
+				t.Fatalf("grid row 1 = %#v", rows[1])
+			}
+		},
+	},
+	{
+		Name:       "scatter-empty-input",
+		NoToolRuns: true,
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  names: string[]
+outputs:
+  echoed:
+    type: File[]
+    outputSource: say/out
+steps:
+  say:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        name: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: say.txt
+    in: {name: names}
+    scatter: [name]
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("names", []any{}) },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if files, _ := out.Value("echoed").([]any); len(files) != 0 {
+				t.Errorf("echoed = %#v, want empty", out.Value("echoed"))
+			}
+		},
+	},
+	{
+		Name: "fanin-merge-flattened",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: MultipleInputFeatureRequirement
+inputs:
+  a: string
+  b: string
+outputs:
+  both:
+    type: File[]
+    outputSource: [sayA/out, sayB/out]
+    linkMerge: merge_flattened
+steps:
+  sayA:
+    run:
+      class: CommandLineTool
+      baseCommand: [echo, -n]
+      inputs:
+        w: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: a.txt
+    in: {w: a}
+    out: [out]
+  sayB:
+    run:
+      class: CommandLineTool
+      baseCommand: [echo, -n]
+      inputs:
+        w: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: b.txt
+    in: {w: b}
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("a", "first", "b", "second") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			files, _ := out.Value("both").([]any)
+			if len(files) != 2 {
+				t.Fatalf("both = %#v", out.Value("both"))
+			}
+		},
+	},
+	{
+		Name: "conditional-when-runs",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: InlineJavascriptRequirement
+  - class: MultipleInputFeatureRequirement
+inputs:
+  useLoud: boolean
+  word: string
+outputs:
+  chosen:
+    type: File
+    outputSource: [loud/out, quiet/out]
+    pickValue: first_non_null
+steps:
+  loud:
+    run:
+      class: CommandLineTool
+      baseCommand: [sh, -c, 'printf "%s!!!" "$1"', shell]
+      inputs:
+        w: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: loud.txt
+    when: $(inputs.useLoud)
+    in: {useLoud: useLoud, w: word}
+    out: [out]
+  quiet:
+    run:
+      class: CommandLineTool
+      baseCommand: [printf, '%s']
+      inputs:
+        w: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: quiet.txt
+    when: $(!inputs.useLoud)
+    in: {useLoud: useLoud, w: word}
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("useLoud", true, "word", "hey") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "chosen"); got != "hey!!!" {
+				t.Errorf("chosen = %q", got)
+			}
+		},
+	},
+	{
+		Name:       "conditional-when-skips",
+		NoToolRuns: true,
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: InlineJavascriptRequirement
+inputs:
+  go: boolean
+  word: string
+outputs:
+  maybe:
+    type: File?
+    outputSource: step/out
+steps:
+  step:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        w: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: maybe.txt
+    when: $(inputs.go)
+    in: {go: go, w: word}
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("go", false, "word", "nope") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if out.Value("maybe") != nil {
+				t.Errorf("maybe = %#v, want null (step skipped)", out.Value("maybe"))
+			}
+		},
+	},
+	{
+		Name: "nested-subworkflow",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: SubworkflowFeatureRequirement
+inputs:
+  word: string
+outputs:
+  final:
+    type: File
+    outputSource: outer/result
+steps:
+  outer:
+    run:
+      class: Workflow
+      inputs:
+        w: string
+      outputs:
+        result:
+          type: File
+          outputSource: wrap/out
+      steps:
+        wrap:
+          run:
+            class: CommandLineTool
+            baseCommand: [sh, -c, 'printf "[%s]" "$1"', shell]
+            inputs:
+              v: {type: string, inputBinding: {position: 1}}
+            outputs:
+              out: {type: stdout}
+            stdout: wrapped.txt
+          in: {v: w}
+          out: [out]
+    in: {w: word}
+    out: [result]
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("word", "inner") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "final"); got != "[inner]" {
+				t.Errorf("final = %q", got)
+			}
+		},
+	},
+	{
+		Name: "expression-tool-step",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: InlineJavascriptRequirement
+inputs:
+  n: int
+outputs:
+  echoed:
+    type: File
+    outputSource: say/out
+steps:
+  calc:
+    run:
+      class: ExpressionTool
+      requirements:
+        - class: InlineJavascriptRequirement
+      inputs:
+        n: int
+      outputs:
+        tripled: int
+      expression: "${ return {tripled: inputs.n * 3}; }"
+    in: {n: n}
+    out: [tripled]
+  say:
+    run:
+      class: CommandLineTool
+      baseCommand: [printf, '%s']
+      inputs:
+        v: {type: int, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: n.txt
+    in: {v: calc/tripled}
+    out: [out]
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("n", int64(14)) },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "echoed"); got != "42" {
+				t.Errorf("echoed = %q", got)
+			}
+		},
+	},
+	{
+		Name: "inline-python-validate",
+		Doc: `cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib:
+      - |
+        def valid_file(file, ext):
+            if not file.lower().endswith(ext):
+                raise Exception(f"Invalid file. Expected '{ext}'")
+baseCommand: [cat]
+inputs:
+  data_file:
+    type: File
+    validate: |
+      f"{valid_file($(inputs.data_file), '.csv')}"
+    inputBinding: {position: 1}
+outputs:
+  validated: {type: stdout}
+stdout: validated.csv
+`,
+		Fixture: func(t *testing.T, dir string) {
+			writeFixture(t, dir, "table.csv", "x,y\n1,2\n")
+		},
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("data_file", "table.csv") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "validated"); got != "x,y\n1,2\n" {
+				t.Errorf("validated = %q", got)
+			}
+		},
+	},
+	{
+		Name: "initial-workdir-staging",
+		Doc: `cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InitialWorkDirRequirement
+    listing:
+      - entryname: config.ini
+        entry: "threshold=$(inputs.threshold)"
+baseCommand: [cat, config.ini]
+inputs:
+  threshold: {type: int}
+outputs:
+  out: {type: stdout}
+stdout: staged.txt
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("threshold", int64(7)) },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "out"); got != "threshold=7" {
+				t.Errorf("out = %q", got)
+			}
+		},
+	},
+	{
+		Name: "env-var-requirement",
+		Doc: `cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: EnvVarRequirement
+    envDef:
+      GREETING: $(inputs.word)
+baseCommand: [sh, -c, 'printf "%s" "$GREETING"']
+inputs:
+  word: {type: string}
+outputs:
+  out: {type: stdout}
+stdout: env.txt
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("word", "from-env") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "out"); got != "from-env" {
+				t.Errorf("out = %q", got)
+			}
+		},
+	},
+	{
+		Name: "file-input-staging",
+		Doc: `cwlVersion: v1.2
+class: Workflow
+inputs:
+  data: File
+outputs:
+  counted:
+    type: File
+    outputSource: count/out
+steps:
+  count:
+    run:
+      class: CommandLineTool
+      baseCommand: [wc, -c]
+      inputs:
+        f: {type: File, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: count.txt
+    in: {f: data}
+    out: [out]
+`,
+		Fixture: func(t *testing.T, dir string) {
+			writeFixture(t, dir, "data.bin", "0123456789")
+		},
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("data", "data.bin") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			got := readOutputFile(t, out, "counted")
+			if !strings.HasPrefix(strings.TrimSpace(got), "10") {
+				t.Errorf("counted = %q", got)
+			}
+		},
+	},
+	{
+		Name: "stdout-and-stderr",
+		Doc: `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [sh, -c, 'printf good; printf bad >&2']
+inputs: {}
+outputs:
+  outFile: {type: stdout}
+  errFile: {type: stderr}
+stdout: streams.out
+stderr: streams.err
+`,
+		Check: func(t *testing.T, out *yamlx.Map) {
+			if got := readOutputFile(t, out, "outFile"); got != "good" {
+				t.Errorf("stdout = %q", got)
+			}
+			if got := readOutputFile(t, out, "errFile"); got != "bad" {
+				t.Errorf("stderr = %q", got)
+			}
+		},
+	},
+	{
+		Name: "expression-glob-output",
+		Doc: `cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlineJavascriptRequirement
+baseCommand: [sh, -c, 'printf payload > "$1".bin', shell]
+inputs:
+  stem: {type: string, inputBinding: {position: 1}}
+outputs:
+  made:
+    type: File
+    outputBinding:
+      glob: $(inputs.stem).bin
+`,
+		Inputs: func(string) *yamlx.Map { return yamlx.MapOf("stem", "artifact") },
+		Check: func(t *testing.T, out *yamlx.Map) {
+			f, _ := out.Value("made").(*yamlx.Map)
+			if f == nil || f.GetString("basename") != "artifact.bin" {
+				t.Fatalf("made = %#v", out.Value("made"))
+			}
+			if got := readOutputFile(t, out, "made"); got != "payload" {
+				t.Errorf("made content = %q", got)
+			}
+		},
+	},
+}
+
+func writeFixture(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

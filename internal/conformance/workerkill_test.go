@@ -1,0 +1,190 @@
+package conformance
+
+import (
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/provider"
+	"repro/internal/yamlx"
+)
+
+// killWorkflow scatters slow tools so a worker can be SIGKILLed mid-task.
+const killWorkflow = `cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  names: string[]
+outputs:
+  stamped:
+    type: File[]
+    outputSource: stamp/out
+steps:
+  stamp:
+    run:
+      class: CommandLineTool
+      baseCommand: [sh, -c, 'sleep 0.4; printf "done-%s" "$1"', shell]
+      inputs:
+        name: {type: string, inputBinding: {position: 1}}
+      outputs:
+        out: {type: stdout}
+      stdout: stamp.txt
+    in: {name: names}
+    scatter: [name]
+    out: [out]
+`
+
+// TestProcessWorkerKillRedispatch is the worker-kill variant of the service's
+// TestKillNineResume: instead of restarting the whole engine, it SIGKILLs one
+// ProcessProvider worker while its tasks are in flight and asserts the
+// heartbeat/redispatch machinery recovers — the run succeeds, the lost tasks
+// re-dispatch to another worker, and the DFK monitoring stream records no
+// duplicate terminal events.
+func TestProcessWorkerKillRedispatch(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := provider.NewProcessProvider(provider.ProcessOptions{
+		Command: []string{exe},
+		Env:     []string{"PARSL_CWL_WORKER_PROCESS=1"},
+	})
+	htex := parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
+		Label:           "htex",
+		Provider:        prov,
+		WorkersPerNode:  2,
+		MaxBlocks:       2,
+		MinBlocks:       1,
+		InitBlocks:      2,
+		HeartbeatPeriod: 30 * time.Millisecond,
+	})
+	workRoot := t.TempDir()
+	dfk, err := parsl.Load(parsl.Config{Executors: []parsl.Executor{htex}, RunDir: workRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+
+	doc, err := cwl.ParseBytes([]byte(killWorkflow), workRoot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRunner(dfk)
+	r.WorkRoot = workRoot
+	r.Label = "kill-run"
+	// A scope keys step jobs onto deterministic directories, so a task
+	// re-dispatched after the kill lands in the same place it started.
+	r.Scope = "kill"
+	names := []any{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+	type result struct {
+		out *yamlx.Map
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, err := r.Run(doc, yamlx.MapOf("names", names))
+		done <- result{out, err}
+	}()
+
+	// Wait until tasks are genuinely in flight on the workers, then SIGKILL
+	// one worker process.
+	victim := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no busy worker to kill")
+		}
+		pids := prov.WorkerPids()
+		if len(pids) >= 1 && prov.RemoteTasks() >= 2 {
+			for _, pid := range pids {
+				victim = pid
+				break
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // land the kill mid-sleep
+	if err := syscall.Kill(victim, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("run failed after worker kill: %v", res.err)
+	}
+	files, _ := res.out.Value("stamped").([]any)
+	if len(files) != len(names) {
+		t.Fatalf("stamped = %d files, want %d", len(files), len(names))
+	}
+	for i, f := range files {
+		fm := f.(*yamlx.Map)
+		data, err := os.ReadFile(fm.GetString("path"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "done-" + names[i].(string)
+		if string(data) != want {
+			t.Errorf("file %d = %q, want %q", i, data, want)
+		}
+	}
+
+	st := htex.Stats()
+	if st.TasksRedispatched < 1 {
+		t.Errorf("redispatched = %d, want >= 1", st.TasksRedispatched)
+	}
+	if st.ManagersLost < 1 {
+		t.Errorf("managers lost = %d, want >= 1", st.ManagersLost)
+	}
+
+	// Exactly one terminal event per task: a killed worker's re-dispatched
+	// task must complete once, never twice.
+	terminal := map[int]int{}
+	launches := map[int]int{}
+	for _, ev := range dfk.EventsFor("kill-run") {
+		switch ev.State {
+		case parsl.StateDone, parsl.StateFailed, parsl.StateDepFail, parsl.StateMemoHit:
+			terminal[ev.TaskID]++
+		case parsl.StateLaunched:
+			launches[ev.TaskID]++
+		}
+	}
+	if len(terminal) != len(names) {
+		t.Errorf("terminal events for %d tasks, want %d", len(terminal), len(names))
+	}
+	for id, n := range terminal {
+		if n != 1 {
+			t.Errorf("task %d has %d terminal events", id, n)
+		}
+	}
+	// The kill must be visible as extra launch events on at least one task.
+	relaunched := 0
+	for _, n := range launches {
+		if n > 1 {
+			relaunched++
+		}
+	}
+	if relaunched == 0 {
+		t.Error("no task recorded an executor-level re-launch")
+	}
+
+	// The dead worker's job directory contents were rebuilt by the retry.
+	if entries, err := os.ReadDir(workRoot); err == nil {
+		found := false
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "stamp") {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("no stamp job directories in the work root")
+		}
+	}
+}

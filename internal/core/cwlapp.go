@@ -39,14 +39,15 @@ const (
 // Create one per tool definition and invoke it any number of times; each
 // invocation returns an AppFuture immediately.
 type CWLApp struct {
-	dfk      *parsl.DFK
-	tool     *cwl.CommandLineTool
-	name     string
-	workRoot string
-	executor string
-	label    string
-	seq      atomic.Int64
-	tr       *runner.ToolRunner
+	dfk       *parsl.DFK
+	tool      *cwl.CommandLineTool
+	name      string
+	workRoot  string
+	inputsDir string
+	executor  string
+	label     string
+	seq       atomic.Int64
+	tr        *runner.ToolRunner
 }
 
 // AppOpt customizes a CWLApp.
@@ -60,6 +61,12 @@ func WithExecutor(label string) AppOpt {
 // WithWorkRoot sets where per-invocation job directories are created.
 func WithWorkRoot(dir string) AppOpt {
 	return func(a *CWLApp) { a.workRoot = dir }
+}
+
+// WithInputsDir sets the directory relative input file paths resolve
+// against (default: the process working directory).
+func WithInputsDir(dir string) AppOpt {
+	return func(a *CWLApp) { a.inputsDir = dir }
 }
 
 // WithLabel tags every invocation's monitoring events with a submission
@@ -172,27 +179,20 @@ func (a *CWLApp) Call(args parsl.Args) *parsl.AppFuture {
 		return a.dfk.Submit(failing, parsl.Args{}, parsl.CallOpts{Executor: a.executor, Label: a.label})
 	}
 
-	cwd, _ := os.Getwd()
-	exec := parsl.NewGoApp(a.name, func(resolved parsl.Args) (any, error) {
-		inputs := yamlx.NewMap()
-		for k, v := range resolved {
-			inputs.Set(k, fromParslValue(v))
-		}
-		tr := a.tr
-		if tr == nil {
-			tr = &runner.ToolRunner{WorkRoot: a.workRoot}
-		}
-		res, err := tr.RunTool(a.tool, inputs, runner.RunOpts{
-			OutDir:     jobdir,
-			InputsDir:  cwd,
-			StdoutPath: stdoutOverride,
-			StderrPath: stderrOverride,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return res.Outputs, nil
-	})
+	inputsDir := a.inputsDir
+	if inputsDir == "" {
+		inputsDir, _ = os.Getwd()
+	}
+	exec := &toolApp{
+		name:      a.name,
+		tool:      a.tool,
+		workRoot:  a.workRoot,
+		inputsDir: inputsDir,
+		outDir:    jobdir,
+		stdout:    stdoutOverride,
+		stderr:    stderrOverride,
+		tr:        a.tr,
+	}
 	return a.dfk.Submit(exec, callArgs, opts)
 }
 

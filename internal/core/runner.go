@@ -84,7 +84,7 @@ func (r *Runner) RunTool(tool *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.M
 
 // RunToolContext is RunTool with cancellation.
 func (r *Runner) RunToolContext(ctx context.Context, tool *cwl.CommandLineTool, inputs *yamlx.Map) (*yamlx.Map, error) {
-	app, err := NewCWLAppFromTool(r.DFK, tool, WithWorkRoot(r.WorkRoot), WithExecutor(r.Executor), WithLabel(r.Label))
+	app, err := NewCWLAppFromTool(r.DFK, tool, WithWorkRoot(r.WorkRoot), WithExecutor(r.Executor), WithLabel(r.Label), WithInputsDir(r.InputsDir))
 	if err != nil {
 		return nil, err
 	}
@@ -149,14 +149,14 @@ func (s *ParslSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map
 		done(nil, err)
 		return
 	}
-	tr := &runner.ToolRunner{WorkRoot: s.WorkRoot}
-	app := parsl.NewGoApp("cwl-step", func(parsl.Args) (any, error) {
-		res, err := tr.RunTool(tool, inputs, runner.RunOpts{ExtraReqs: extraReqs, InputsDir: s.InputsDir})
-		if err != nil {
-			return nil, err
-		}
-		return res.Outputs, nil
-	})
+	app := &toolApp{
+		name:      "cwl-step",
+		tool:      tool,
+		inputs:    inputs,
+		extraReqs: extraReqs,
+		workRoot:  s.WorkRoot,
+		inputsDir: s.InputsDir,
+	}
 	// Step tasks carry no distinguishing arguments (the tool and inputs are
 	// closed over), so memoizing them would collide every step onto one key.
 	fut := s.DFK.Submit(app, parsl.Args{}, parsl.CallOpts{Executor: s.Executor, Label: s.Label, NoMemo: true})
@@ -186,14 +186,15 @@ func (s *ParslSubmitter) SubmitToolKeyed(inv runner.ToolInvocation, tool *cwl.Co
 		return
 	}
 	jobdir := filepath.Join(s.WorkRoot, stepJobDir(inv, jobJSON))
-	app := parsl.NewGoApp("step:"+inv.Step, func(parsl.Args) (any, error) {
-		tr := &runner.ToolRunner{WorkRoot: s.WorkRoot}
-		res, err := tr.RunTool(tool, inputs, runner.RunOpts{ExtraReqs: extraReqs, InputsDir: s.InputsDir, OutDir: jobdir})
-		if err != nil {
-			return nil, err
-		}
-		return res.Outputs, nil
-	})
+	app := &toolApp{
+		name:      "step:" + inv.Step,
+		tool:      tool,
+		inputs:    inputs,
+		extraReqs: extraReqs,
+		workRoot:  s.WorkRoot,
+		inputsDir: s.InputsDir,
+		outDir:    jobdir,
+	}
 	args := parsl.Args{"scope": inv.Scope, "step": inv.Step, "job": string(jobJSON)}
 	fut := s.DFK.Submit(app, args, parsl.CallOpts{Executor: s.Executor, Label: s.Label})
 	s.awaitStep(ctx, fut, done)

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/cwl"
+	"repro/internal/parsl"
+	"repro/internal/provider"
+	"repro/internal/runner"
+	"repro/internal/yamlx"
+)
+
+const echoToolSrc = `cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [echo, -n]
+inputs:
+  message:
+    type: string
+    inputBinding: {position: 1}
+outputs:
+  out:
+    type: stdout
+stdout: out.txt
+`
+
+func loadEchoTool(t *testing.T) *cwl.CommandLineTool {
+	t.Helper()
+	doc, err := cwl.ParseBytes([]byte(echoToolSrc), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, ok := doc.(*cwl.CommandLineTool)
+	if !ok {
+		t.Fatalf("parsed %T", doc)
+	}
+	return tool
+}
+
+// TestToolAppRemoteSpecMatchesInProcess proves provider independence at the
+// task level: executing the serialized invocation out of band produces the
+// same outputs object as the in-process Execute path.
+func TestToolAppRemoteSpecMatchesInProcess(t *testing.T) {
+	tool := loadEchoTool(t)
+	if tool.Raw == nil {
+		t.Fatal("parsed tool lost its raw source")
+	}
+	inputs := yamlx.NewMap()
+	inputs.Set("message", "same-everywhere")
+
+	inApp := &toolApp{name: "t", tool: tool, inputs: inputs, workRoot: t.TempDir()}
+	local, err := inApp.Execute(nil, parsl.Args{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remApp := &toolApp{name: "t", tool: tool, inputs: inputs, workRoot: t.TempDir()}
+	spec := remApp.RemoteSpec(parsl.Args{})
+	if spec == nil {
+		t.Fatal("no remote spec for a serializable invocation")
+	}
+	raw, err := provider.ExecuteRemote(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := provider.DecodeResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lm := local.(*yamlx.Map)
+	rm := remote.(*yamlx.Map)
+	lf, _ := lm.Value("out").(*yamlx.Map)
+	rf, _ := rm.Value("out").(*yamlx.Map)
+	if lf == nil || rf == nil {
+		t.Fatalf("missing out file: local=%v remote=%v", lm.Keys(), rm.Keys())
+	}
+	lb, err := os.ReadFile(lf.GetString("path"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(rf.GetString("path"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lb) != "same-everywhere" || string(lb) != string(rb) {
+		t.Fatalf("outputs differ: local=%q remote=%q", lb, rb)
+	}
+}
+
+// TestToolAppRemoteSpecDisabledForCustomBackend: a test-seam ToolRunner means
+// the invocation must stay in-process.
+func TestToolAppRemoteSpecDisabledForCustomBackend(t *testing.T) {
+	tool := loadEchoTool(t)
+	app := &toolApp{name: "t", tool: tool, tr: &runner.ToolRunner{}}
+	if app.RemoteSpec(parsl.Args{}) != nil {
+		t.Fatal("custom-backend app offered a remote spec")
+	}
+	tool.Raw = nil
+	app = &toolApp{name: "t", tool: tool}
+	if app.RemoteSpec(parsl.Args{}) != nil {
+		t.Fatal("raw-less tool offered a remote spec")
+	}
+}

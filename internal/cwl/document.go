@@ -197,6 +197,13 @@ type CommandLineTool struct {
 
 	// Path is where the document was loaded from ("" for in-memory docs).
 	Path string
+
+	// Raw is the source mapping the tool was parsed from (nil for tools
+	// constructed in memory). It is what lets a tool invocation be shipped to
+	// a process-isolated worker: the worker re-parses the same document, so
+	// the wire format never chases the parsed representation. Treat it as
+	// read-only.
+	Raw *yamlx.Map
 }
 
 // Class returns "CommandLineTool".

@@ -206,6 +206,7 @@ func parseCommandLineTool(m *yamlx.Map) (*CommandLineTool, error) {
 		Stdin:      m.GetString("stdin"),
 		Stdout:     m.GetString("stdout"),
 		Stderr:     m.GetString("stderr"),
+		Raw:        m,
 	}
 	switch bc := m.Value("baseCommand").(type) {
 	case string:

@@ -240,7 +240,15 @@ func validateWorkflow(w *Workflow) []ValidationIssue {
 			}
 			seenIn[in.ID] = true
 			if !runIns[in.ID] {
-				issues = append(issues, errIssue(p, "step input %q does not exist on the run process", in.ID))
+				// A step may carry inputs the run process does not declare
+				// when the step has a `when` guard or the input feeds a
+				// valueFrom expression — both evaluate against the full step
+				// input object (CWL v1.2 §WorkflowStepInput).
+				if s.When == "" && in.ValueFrom == "" {
+					issues = append(issues, errIssue(p, "step input %q does not exist on the run process", in.ID))
+				} else {
+					issues = append(issues, warnIssue(p, "step input %q is not consumed by the run process (available to when/valueFrom only)", in.ID))
+				}
 			}
 			for _, src := range in.Source {
 				if !validSource(src) {

@@ -1,0 +1,85 @@
+package cwlexpr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSplitInterpolation hammers the $()-interpolation splitter: no input may
+// panic it, and on success the segments must reassemble to the input (modulo
+// the documented "\$(" escape). Crashers found by `go test
+// -fuzz=FuzzSplitInterpolation` become seeds here.
+func FuzzSplitInterpolation(f *testing.F) {
+	seeds := []string{
+		"",
+		"plain text",
+		"$(inputs.message)",
+		"pre $(inputs.a) mid $(inputs.b) post",
+		`\$(escaped)`,
+		"$(nested(parens(deep)))",
+		"$(unbalanced",
+		"$",
+		"$(",
+		"$()",
+		"$$(double)",
+		`\$(`,
+		"$(a)$(b)$(c)",
+		"text with ) stray paren",
+		"$(strings \"with)\" quoted parens)",
+		"$('single ) quote')",
+		"$(/* comment ) */ x)",
+		"emoji 🎉 $(inputs.x) ✓",
+		"$(" + strings.Repeat("(", 100) + strings.Repeat(")", 100) + ")",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		segs, err := splitInterpolation(s)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if len(segs) == 0 {
+			t.Fatalf("no segments for %q", s)
+		}
+		// Reassembly: literals verbatim, expressions re-wrapped. The "\$("
+		// escape collapses to "$(" by design, so compare against the input
+		// with escapes collapsed.
+		var b strings.Builder
+		for _, seg := range segs {
+			if seg.isExpr {
+				b.WriteString("$(")
+				b.WriteString(seg.text)
+				b.WriteString(")")
+			} else {
+				b.WriteString(seg.text)
+			}
+		}
+		want := strings.ReplaceAll(s, `\$(`, "$(")
+		if got := b.String(); got != want {
+			t.Fatalf("segments do not reassemble:\ninput: %q\nwant:  %q\ngot:   %q", s, want, got)
+		}
+	})
+}
+
+// FuzzNeedsEval pairs the splitter fuzzer with the cheap pre-check the hot
+// path uses to skip engine evaluation entirely.
+func FuzzNeedsEval(f *testing.F) {
+	for _, s := range []string{"", "x", "$(a)", "${body}", `\$(x)`, "$ (", "${", "f\"{x}\""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// Must never panic; and a string the splitter finds expressions in
+		// must be flagged as needing evaluation.
+		needs := NeedsEval(s)
+		segs, err := splitInterpolation(s)
+		if err != nil || needs {
+			return
+		}
+		for _, seg := range segs {
+			if seg.isExpr {
+				t.Fatalf("NeedsEval(%q) = false but the splitter found expression %q", s, seg.text)
+			}
+		}
+	})
+}

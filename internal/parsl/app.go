@@ -6,6 +6,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/provider"
 )
 
 // Args are keyword arguments for an app invocation.
@@ -24,6 +26,15 @@ type App interface {
 	Name() string
 	// Execute runs the invocation with resolved arguments.
 	Execute(tc *TaskContext, args Args) (any, error)
+}
+
+// RemoteSpecer is an optional App extension: apps that can describe an
+// invocation in serializable form return a RemoteSpec for it, letting
+// process-isolated workers (HTEX over a ProcessProvider) execute the task
+// out of process. Called after dependency resolution with the resolved
+// arguments; returning nil keeps the invocation in-process.
+type RemoteSpecer interface {
+	RemoteSpec(args Args) *provider.RemoteSpec
 }
 
 // GoApp wraps a Go function as an app — the analogue of @python_app.

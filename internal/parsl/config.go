@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/provider"
 	"repro/internal/yamlx"
 )
 
@@ -18,7 +20,8 @@ import (
 //	memoize: false
 //	workers-per-node: 48
 //	nodes: 3
-//	provider: local
+//	provider: local | process | sim
+//	worker-cmd: /usr/local/bin/parsl-cwl-worker
 //	prefetch: 0
 //	min-blocks: 0
 //	init-blocks: 1
@@ -31,8 +34,15 @@ type ConfigSpec struct {
 	Memoize        bool
 	WorkersPerNode int
 	Nodes          int
-	Provider       string
-	Prefetch       int
+	// Provider selects how HTEX blocks run: "local" (in-process goroutine
+	// managers), "process" (parsl-cwl-worker subprocesses over the pipe
+	// protocol), or "sim" (pilot jobs in the simulated Slurm cluster).
+	Provider string
+	// WorkerCmd overrides the worker command line for the process provider
+	// (whitespace-split; default: parsl-cwl-worker next to the binary or on
+	// PATH).
+	WorkerCmd string
+	Prefetch  int
 	// MinBlocks floors HTEX idle scale-in (default 0).
 	MinBlocks int
 	// InitBlocks is how many HTEX blocks start immediately (default 1).
@@ -88,6 +98,8 @@ func ParseConfig(data []byte) (ConfigSpec, error) {
 			spec.Nodes = m.GetInt(k, spec.Nodes)
 		case "provider":
 			spec.Provider = fmt.Sprint(val)
+		case "worker-cmd", "worker_cmd":
+			spec.WorkerCmd = fmt.Sprint(val)
 		case "prefetch":
 			spec.Prefetch = m.GetInt(k, spec.Prefetch)
 		case "min-blocks", "min_blocks":
@@ -157,9 +169,16 @@ func (s ConfigSpec) validate() error {
 		return fmt.Errorf("unknown executor %q (want thread-pool or htex)", s.Executor)
 	}
 	switch s.Provider {
-	case "local", "":
+	case "local", "process", "sim", "":
 	default:
-		return fmt.Errorf("unknown provider %q (only \"local\" is supported for live execution)", s.Provider)
+		return fmt.Errorf("unknown provider %q (want local, process, or sim)", s.Provider)
+	}
+	if s.Provider != "" && s.Provider != "local" {
+		switch s.Executor {
+		case "htex", "high-throughput":
+		default:
+			return fmt.Errorf("provider %q requires the htex executor", s.Provider)
+		}
 	}
 	if s.WorkersPerNode <= 0 {
 		return fmt.Errorf("workers-per-node must be positive")
@@ -188,6 +207,46 @@ func (s ConfigSpec) validate() error {
 	return nil
 }
 
+// BuildProvider materializes the spec's provider selection ("" = local).
+func (s ConfigSpec) BuildProvider(name string) (provider.ExecutionProvider, error) {
+	switch name {
+	case "local", "":
+		return &provider.LocalProvider{}, nil
+	case "process":
+		var cmd []string
+		if s.WorkerCmd != "" {
+			cmd = strings.Fields(s.WorkerCmd)
+		}
+		return provider.NewProcessProvider(provider.ProcessOptions{Command: cmd}), nil
+	case "sim":
+		return provider.NewSimProvider(provider.SimOptions{
+			Nodes:        s.Nodes,
+			CoresPerNode: s.WorkersPerNode,
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown provider %q (want local, process, or sim)", name)
+	}
+}
+
+// buildHTEX constructs one HTEX executor over the named provider.
+func (s ConfigSpec) buildHTEX(label, providerName string) (Executor, error) {
+	prov, err := s.BuildProvider(providerName)
+	if err != nil {
+		return nil, err
+	}
+	return NewHighThroughputExecutor(HTEXConfig{
+		Label:           label,
+		Provider:        prov,
+		MaxBlocks:       s.Nodes,
+		MinBlocks:       s.MinBlocks,
+		InitBlocks:      s.InitBlocks, // fill() defaults 0 to one block
+		WorkersPerNode:  s.WorkersPerNode,
+		Prefetch:        s.Prefetch,
+		IdleTimeout:     s.IdleTimeout,
+		HeartbeatPeriod: s.HeartbeatPeriod,
+	}), nil
+}
+
 // Build materializes the spec into a DFK Config.
 func (s ConfigSpec) Build() (Config, error) {
 	if err := s.validate(); err != nil {
@@ -198,17 +257,40 @@ func (s ConfigSpec) Build() (Config, error) {
 	case "thread-pool", "threads":
 		cfg.Executors = []Executor{NewThreadPoolExecutor("threads", s.WorkersPerNode*s.Nodes)}
 	case "htex", "high-throughput":
-		cfg.Executors = []Executor{NewHighThroughputExecutor(HTEXConfig{
-			Label:           "htex",
-			Provider:        &LocalProvider{},
-			MaxBlocks:       s.Nodes,
-			MinBlocks:       s.MinBlocks,
-			InitBlocks:      s.InitBlocks, // fill() defaults 0 to one block
-			WorkersPerNode:  s.WorkersPerNode,
-			Prefetch:        s.Prefetch,
-			IdleTimeout:     s.IdleTimeout,
-			HeartbeatPeriod: s.HeartbeatPeriod,
-		})}
+		ex, err := s.buildHTEX("htex", s.Provider)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Executors = []Executor{ex}
 	}
 	return cfg, nil
+}
+
+// BuildMulti materializes the spec with one HTEX executor per named provider
+// — the submission service's multi-backend mode, where a run can pin the
+// provider it executes on. Executor labels are "htex-<provider>"; the
+// returned map gives provider name → executor label, and the first name is
+// the DFK's default executor.
+func (s ConfigSpec) BuildMulti(providers []string) (Config, map[string]string, error) {
+	if err := s.validate(); err != nil {
+		return Config{}, nil, err
+	}
+	if len(providers) == 0 {
+		return Config{}, nil, fmt.Errorf("no providers requested")
+	}
+	cfg := Config{Retries: s.Retries, Memoize: s.Memoize, RunDir: s.RunDir}
+	labels := make(map[string]string, len(providers))
+	for _, name := range providers {
+		if _, dup := labels[name]; dup {
+			return Config{}, nil, fmt.Errorf("provider %q listed twice", name)
+		}
+		label := "htex-" + name
+		ex, err := s.buildHTEX(label, name)
+		if err != nil {
+			return Config{}, nil, err
+		}
+		labels[name] = label
+		cfg.Executors = append(cfg.Executors, ex)
+	}
+	return cfg, labels, nil
 }

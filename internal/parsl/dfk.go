@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/provider"
 )
 
 // TaskState is the lifecycle state of one DFK task.
@@ -327,6 +329,17 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 	}
 
 	tc := &TaskContext{DFK: d, TaskID: id, Opts: opts}
+	// Apps that can describe this invocation in serializable form make the
+	// task shippable to process-isolated workers; the in-process Fn remains
+	// the fallback. The spec is only built when the target executor can
+	// actually ship it — serializing every invocation under a purely
+	// in-process executor would tax the hot path for nothing.
+	var remote *provider.RemoteSpec
+	if rs, ok := app.(RemoteSpecer); ok {
+		if tgt, ok := ex.(RemoteSpecTarget); ok && tgt.AcceptsRemoteSpecs() {
+			remote = rs.RemoteSpec(resolved)
+		}
+	}
 	tries := 0
 	// launches numbers every launch of this task — DFK retries and
 	// executor-level re-dispatches alike — so the monitoring stream's Tries
@@ -336,7 +349,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 	var launch func()
 	launch = func() {
 		d.setState(id, app.Name(), opts.Label, StateLaunched, int(launches.Add(1))-1)
-		task := &Task{ID: id, Cores: opts.Cores, Fn: func() (any, error) {
+		task := &Task{ID: id, Cores: opts.Cores, Remote: remote, Fn: func() (any, error) {
 			return app.Execute(tc, resolved)
 		}}
 		// Executor-level re-dispatch (e.g. HTEX manager loss) surfaces in

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/provider"
 )
 
 // Task is one unit of work handed to an executor.
@@ -11,6 +13,11 @@ type Task struct {
 	ID    int
 	Fn    func() (any, error)
 	Cores int // informational; used by resource-aware executors
+	// Remote, when non-nil, is the task in serializable form: executors whose
+	// blocks are process-isolated workers (HTEX over a ProcessProvider) ship
+	// it across the pipe protocol instead of calling Fn. Executors that stay
+	// in-process ignore it.
+	Remote *provider.RemoteSpec
 	// Retried, when set, is invoked by fault-tolerant executors each time
 	// the task is re-dispatched after a manager loss, before it re-enters
 	// the queue. The DFK uses it to surface executor-level retries in the
@@ -49,11 +56,36 @@ type ExecutorStats struct {
 	ManagersLost      int64 `json:"managersLost,omitempty"`
 	BlocksScaledIn    int64 `json:"blocksScaledIn,omitempty"`
 	TasksRedispatched int64 `json:"tasksRedispatched,omitempty"`
+	// Provider names the execution provider backing the executor's blocks
+	// ("local", "process", "sim").
+	Provider string `json:"provider,omitempty"`
+	// Blocks is the provider's per-block view (queued/running/dead/closed,
+	// provider detail such as a worker pid or sim allocation) merged with
+	// each live manager's unfinished-task depth.
+	Blocks []BlockHealth `json:"blocks,omitempty"`
+}
+
+// BlockHealth is one pilot block's state in an ExecutorStats report.
+type BlockHealth struct {
+	ID     int    `json:"id"`
+	State  string `json:"state"`
+	Detail string `json:"detail,omitempty"`
+	// Queued is the block's unfinished (buffered plus running) task count;
+	// only meaningful while the block is live.
+	Queued int `json:"queued,omitempty"`
 }
 
 // StatsReporter is implemented by executors that expose health stats.
 type StatsReporter interface {
 	Stats() ExecutorStats
+}
+
+// RemoteSpecTarget is implemented by executors that can ship serialized
+// tasks out of process. The DFK only pays for building a RemoteSpec when
+// the target executor reports true — local and thread-pool execution must
+// not re-serialize every invocation on the hot path.
+type RemoteSpecTarget interface {
+	AcceptsRemoteSpecs() bool
 }
 
 // queued pairs a task with its completion callback. The fired flag makes the

@@ -1,50 +1,24 @@
 package parsl
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/provider"
 )
-
-// Provider acquires and releases blocks of compute resources, mirroring
-// parsl.providers.base.ExecutionProvider. A block hosts one manager.
-type Provider interface {
-	// Name identifies the provider ("local", "slurm", ...).
-	Name() string
-	// AcquireBlock requests one block (e.g. one node). It blocks until the
-	// resources are granted (for a batch provider this includes queue time)
-	// and returns a release function.
-	AcquireBlock() (release func(), err error)
-}
-
-// LocalProvider grants blocks immediately — the paper's single-machine and
-// in-allocation deployments.
-type LocalProvider struct {
-	// Latency optionally models block startup cost (worker pool launch).
-	Latency time.Duration
-	granted atomic.Int64
-}
-
-// Name implements Provider.
-func (p *LocalProvider) Name() string { return "local" }
-
-// AcquireBlock implements Provider.
-func (p *LocalProvider) AcquireBlock() (func(), error) {
-	if p.Latency > 0 {
-		time.Sleep(p.Latency)
-	}
-	p.granted.Add(1)
-	return func() { p.granted.Add(-1) }, nil
-}
-
-// Granted reports currently held blocks.
-func (p *LocalProvider) Granted() int { return int(p.granted.Load()) }
 
 // HTEXConfig configures the HighThroughputExecutor.
 type HTEXConfig struct {
-	Label          string
-	Provider       Provider
+	Label string
+	// Provider launches pilot blocks: in-process goroutines
+	// (provider.LocalProvider), worker subprocesses
+	// (provider.ProcessProvider), or simulated batch allocations
+	// (provider.SimProvider). Defaults to a LocalProvider.
+	Provider       provider.ExecutionProvider
 	MaxBlocks      int // maximum pilot blocks (nodes)
 	MinBlocks      int // floor the idle scale-in never goes below
 	InitBlocks     int // blocks to start immediately
@@ -66,7 +40,7 @@ func (c *HTEXConfig) fill() {
 		c.Label = "htex"
 	}
 	if c.Provider == nil {
-		c.Provider = &LocalProvider{}
+		c.Provider = &provider.LocalProvider{}
 	}
 	if c.MaxBlocks <= 0 {
 		c.MaxBlocks = 1
@@ -132,6 +106,7 @@ type HighThroughputExecutor struct {
 	mu           sync.Mutex
 	managers     []*manager
 	nextID       int       // monotonic block/manager IDs, never reused
+	launched     int       // blocks successfully launched (the ledger)
 	scaleErr     error     // last unrecovered provider error (for Shutdown)
 	scaleRetryAt time.Time // provider-error backoff for scaling attempts
 	parked       []*queued // re-dispatches awaiting interchange space
@@ -145,18 +120,20 @@ type HighThroughputExecutor struct {
 }
 
 // manager is one pilot block: a pull loop feeding a bounded buffer, a fixed
-// worker pool, and a heartbeat. It tracks the tasks it has accepted but not
-// completed (owned) so the monitor can re-dispatch them if the block dies.
+// worker pool draining it through the provider's ManagerHandle, and a
+// heartbeat. It tracks the tasks it has accepted but not completed (owned) so
+// the monitor can re-dispatch them if the block dies.
 type manager struct {
-	id      int
-	release func()
+	id     int
+	handle provider.ManagerHandle
 
 	tasks    chan *queued
 	stop     chan struct{}
 	stopOnce sync.Once
 	relOnce  sync.Once
 
-	failed    atomic.Bool // FailSimulation: silently dead, stops heartbeating
+	failed    atomic.Bool // known-dead block (worker lost): reaped on next sweep
+	silent    atomic.Bool // FailSimulation: stops heartbeating, detected by silence
 	lastBeat  atomic.Int64
 	lastBusy  atomic.Int64
 	completed atomic.Int64
@@ -166,14 +143,14 @@ type manager struct {
 	retired bool // set by takeOwned: no new ownership may be accepted
 }
 
-func newManager(id int, release func(), buffer int) *manager {
+func newManager(id int, handle provider.ManagerHandle, buffer int) *manager {
 	now := time.Now().UnixNano()
 	m := &manager{
-		id:      id,
-		release: release,
-		tasks:   make(chan *queued, buffer),
-		stop:    make(chan struct{}),
-		owned:   map[*queued]struct{}{},
+		id:     id,
+		handle: handle,
+		tasks:  make(chan *queued, buffer),
+		stop:   make(chan struct{}),
+		owned:  map[*queued]struct{}{},
 	}
 	m.lastBeat.Store(now)
 	m.lastBusy.Store(now)
@@ -187,8 +164,8 @@ func (m *manager) markBusy() { m.lastBusy.Store(time.Now().UnixNano()) }
 func (m *manager) kill() { m.stopOnce.Do(func() { close(m.stop) }) }
 
 func (m *manager) releaseBlock() {
-	if m.release != nil {
-		m.relOnce.Do(m.release)
+	if m.handle != nil {
+		m.relOnce.Do(func() { m.handle.Close() })
 	}
 }
 
@@ -247,6 +224,13 @@ func NewHighThroughputExecutor(cfg HTEXConfig) *HighThroughputExecutor {
 // Label implements Executor.
 func (e *HighThroughputExecutor) Label() string { return e.cfg.Label }
 
+// AcceptsRemoteSpecs implements RemoteSpecTarget: true when the provider's
+// blocks execute serialized tasks out of process.
+func (e *HighThroughputExecutor) AcceptsRemoteSpecs() bool {
+	rc, ok := e.cfg.Provider.(provider.RemoteCapable)
+	return ok && rc.RemoteCapable()
+}
+
 // Start launches the initial pilot blocks and the monitor.
 func (e *HighThroughputExecutor) Start() error {
 	if !e.lc.start() {
@@ -297,6 +281,11 @@ func (e *HighThroughputExecutor) monitor() {
 		case <-e.lc.done:
 			return
 		case <-e.nudge:
+			// A nudge signals demand (Submit) or a block death observed by a
+			// worker goroutine (failBlock): reap promptly so stranded tasks
+			// re-dispatch without waiting out a heartbeat period.
+			e.reapLost()
+			e.ensureMinBlocks()
 			e.scaleToDemand()
 		case <-ticker.C:
 			e.drainParked()
@@ -344,7 +333,7 @@ func (e *HighThroughputExecutor) scaleToDemand() {
 	})
 }
 
-// scaleOut acquires one block from the provider and starts its manager.
+// scaleOut launches one block through the provider and starts its manager.
 // Called from Start (before the monitor exists) and the monitor goroutine,
 // never concurrently — that serialization keeps IDs unique and MaxBlocks a
 // hard ceiling on simultaneously held blocks.
@@ -354,22 +343,35 @@ func (e *HighThroughputExecutor) scaleOut() error {
 		e.mu.Unlock()
 		return nil
 	}
+	// The block id is assigned before Launch so the provider can key its
+	// Status map; a failed launch burns the id (monotonic, never reused) but
+	// only successful launches count in the blocks-launched ledger.
+	id := e.nextID
+	e.nextID++
 	e.mu.Unlock()
 
-	release, err := e.cfg.Provider.AcquireBlock()
+	handle, err := e.cfg.Provider.Launch(id)
 	if err != nil {
 		return fmt.Errorf("htex %s: provider %s: %w", e.cfg.Label, e.cfg.Provider.Name(), err)
 	}
-	// The ID is allocated only after a successful acquisition so the
-	// blocks-launched ledger counts blocks that actually existed.
 	e.mu.Lock()
-	id := e.nextID
-	e.nextID++
-	m := newManager(id, release, e.cfg.WorkersPerNode+e.cfg.Prefetch)
+	e.launched++
+	m := newManager(id, handle, e.cfg.WorkersPerNode+e.cfg.Prefetch)
 	e.managers = append(e.managers, m)
 	e.mu.Unlock()
 	e.startManager(m)
 	return nil
+}
+
+// failBlock marks a manager's block dead after a worker goroutine observed
+// provider.ErrWorkerLost, and nudges the monitor to reap it now.
+func (e *HighThroughputExecutor) failBlock(m *manager) {
+	m.failed.Store(true)
+	m.kill()
+	select {
+	case e.nudge <- struct{}{}:
+	default:
+	}
 }
 
 // startManager launches the block's pull loop, worker pool and heartbeat.
@@ -423,11 +425,13 @@ func (e *HighThroughputExecutor) startManager(m *manager) {
 		}
 	}()
 
-	// Workers. A killed manager's workers abandon the buffer (the monitor
-	// re-dispatches owned tasks); on graceful shutdown the buffer drains
-	// because m.tasks closes without m.stop. The non-blocking stop check
-	// makes death take priority over draining — a dead node must not keep
-	// executing its backlog.
+	// Workers. Each drains the manager's buffer through the provider's
+	// ManagerHandle — an in-process call for local blocks, a pipe round trip
+	// for process blocks. A killed manager's workers abandon the buffer (the
+	// monitor re-dispatches owned tasks); on graceful shutdown the buffer
+	// drains because m.tasks closes without m.stop. The non-blocking stop
+	// check makes death take priority over draining — a dead node must not
+	// keep executing its backlog.
 	for w := 0; w < e.cfg.WorkersPerNode; w++ {
 		e.wg.Add(1)
 		go func() {
@@ -450,7 +454,26 @@ func (e *HighThroughputExecutor) startManager(m *manager) {
 						continue
 					}
 					m.markBusy()
-					res, err := runGuarded(q.task)
+					res, err := m.handle.Run(&provider.Task{
+						ID:     q.task.ID,
+						Fn:     func() (any, error) { return runGuarded(q.task) },
+						Remote: q.task.Remote,
+					})
+					if err != nil && errors.Is(err, provider.ErrWorkerLost) {
+						// The block died under the task (worker process gone,
+						// sim node preempted/walltimed). Re-dispatch unless
+						// the reaper's sweep already collected it, fail the
+						// block, and stop this worker — its endpoint is gone.
+						m.ownedMu.Lock()
+						_, mine := m.owned[q]
+						delete(m.owned, q)
+						m.ownedMu.Unlock()
+						if mine {
+							e.redispatch(q, err)
+						}
+						e.failBlock(m)
+						return
+					}
 					m.removeOwned(q)
 					m.markBusy()
 					if q.fire() {
@@ -463,8 +486,9 @@ func (e *HighThroughputExecutor) startManager(m *manager) {
 		}()
 	}
 
-	// Heartbeat: liveness reporting on HeartbeatPeriod. A failed manager
-	// (FailSimulation) goes silent, exactly like a crashed pilot job.
+	// Heartbeat: liveness reporting on HeartbeatPeriod, gated on the
+	// provider handle's health. A failed manager (dead worker process,
+	// FailSimulation) goes silent, exactly like a crashed pilot job.
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
@@ -477,8 +501,13 @@ func (e *HighThroughputExecutor) startManager(m *manager) {
 			case <-e.lc.done:
 				return
 			case <-ticker.C:
-				if !m.failed.Load() {
+				if m.failed.Load() || m.silent.Load() {
+					continue
+				}
+				if m.handle.Alive() {
 					m.beat()
+				} else {
+					e.failBlock(m)
 				}
 			}
 		}
@@ -558,11 +587,11 @@ func (e *HighThroughputExecutor) drainParked() {
 	}
 }
 
-// reapLost declares managers silent past HeartbeatThreshold lost: their
-// block is released and their unfinished tasks re-enter the interchange.
-// Detection is purely heartbeat-driven — a FailSimulation'd manager is
-// caught because it stopped beating, exactly like a crashed pilot job.
-// Monitor goroutine only.
+// reapLost declares managers lost when their block is known dead (failed —
+// a worker goroutine or heartbeat observed the death) or their heartbeat has
+// been silent past HeartbeatThreshold: their block is released and their
+// unfinished tasks re-enter the interchange. A FailSimulation'd manager is
+// caught exactly like a crashed pilot job. Monitor goroutine only.
 func (e *HighThroughputExecutor) reapLost() {
 	threshold := int64(e.cfg.HeartbeatThreshold)
 	now := time.Now().UnixNano()
@@ -570,7 +599,7 @@ func (e *HighThroughputExecutor) reapLost() {
 	var lost []*manager
 	kept := e.managers[:0]
 	for _, m := range e.managers {
-		if now-m.lastBeat.Load() > threshold {
+		if m.failed.Load() || now-m.lastBeat.Load() > threshold {
 			lost = append(lost, m)
 		} else {
 			kept = append(kept, m)
@@ -647,7 +676,7 @@ func (e *HighThroughputExecutor) FailSimulation(managerID int) bool {
 	if victim == nil {
 		return false
 	}
-	victim.failed.Store(true)
+	victim.silent.Store(true)
 	victim.kill()
 	return true
 }
@@ -666,12 +695,34 @@ func (e *HighThroughputExecutor) ConnectedManagers() int {
 // Redispatched reports tasks re-dispatched after manager loss or retirement.
 func (e *HighThroughputExecutor) Redispatched() int64 { return e.redispatched.Load() }
 
-// Stats implements StatsReporter.
+// Stats implements StatsReporter: executor counters plus the provider's
+// per-block view, merged with live managers' queue depths.
 func (e *HighThroughputExecutor) Stats() ExecutorStats {
 	e.mu.Lock()
 	managers := len(e.managers)
-	launched := e.nextID
+	launched := e.launched
+	depths := make(map[int]int, len(e.managers))
+	for _, m := range e.managers {
+		depths[m.id] = m.ownedCount()
+	}
 	e.mu.Unlock()
+
+	status := e.cfg.Provider.Status()
+	ids := make([]int, 0, len(status))
+	for id := range status {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	blocks := make([]BlockHealth, 0, len(ids))
+	for _, id := range ids {
+		st := status[id]
+		bh := BlockHealth{ID: id, State: string(st.State), Detail: st.Detail}
+		if q, live := depths[id]; live {
+			bh.Queued = q
+		}
+		blocks = append(blocks, bh)
+	}
+
 	return ExecutorStats{
 		Label:             e.cfg.Label,
 		Outstanding:       e.Outstanding(),
@@ -681,6 +732,8 @@ func (e *HighThroughputExecutor) Stats() ExecutorStats {
 		ManagersLost:      e.lost.Load(),
 		BlocksScaledIn:    e.scaledIn.Load(),
 		TasksRedispatched: e.redispatched.Load(),
+		Provider:          e.cfg.Provider.Name(),
+		Blocks:            blocks,
 	}
 }
 
@@ -754,6 +807,11 @@ func (e *HighThroughputExecutor) Shutdown() error {
 			q.done(nil, fmt.Errorf("executor %s %w with task %d still queued in the interchange",
 				e.cfg.Label, ErrShutdown, q.task.ID))
 		}
+	}
+	// Tear down anything the provider still tracks (queued sim jobs, worker
+	// processes a failed launch left behind).
+	if cerr := e.cfg.Provider.Cancel(); cerr != nil && err == nil {
+		err = cerr
 	}
 	return err
 }

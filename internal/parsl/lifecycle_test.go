@@ -8,11 +8,14 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/provider"
 )
 
 // trackingProvider wraps block accounting with peak tracking so tests can
 // assert MaxBlocks is a hard ceiling on simultaneously held blocks.
 type trackingProvider struct {
+	inner   provider.LocalProvider
 	mu      sync.Mutex
 	granted int
 	peak    int
@@ -21,7 +24,11 @@ type trackingProvider struct {
 
 func (p *trackingProvider) Name() string { return "tracking" }
 
-func (p *trackingProvider) AcquireBlock() (func(), error) {
+func (p *trackingProvider) Launch(block int) (provider.ManagerHandle, error) {
+	h, err := p.inner.Launch(block)
+	if err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	p.granted++
 	p.total++
@@ -29,14 +36,25 @@ func (p *trackingProvider) AcquireBlock() (func(), error) {
 		p.peak = p.granted
 	}
 	p.mu.Unlock()
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			p.mu.Lock()
-			p.granted--
-			p.mu.Unlock()
-		})
-	}, nil
+	return &trackingHandle{ManagerHandle: h, p: p}, nil
+}
+
+func (p *trackingProvider) Status() map[int]provider.BlockStatus { return p.inner.Status() }
+func (p *trackingProvider) Cancel() error                        { return p.inner.Cancel() }
+
+type trackingHandle struct {
+	provider.ManagerHandle
+	p    *trackingProvider
+	once sync.Once
+}
+
+func (h *trackingHandle) Close() error {
+	h.once.Do(func() {
+		h.p.mu.Lock()
+		h.p.granted--
+		h.p.mu.Unlock()
+	})
+	return h.ManagerHandle.Close()
 }
 
 func (p *trackingProvider) snapshot() (granted, peak, total int) {

@@ -12,6 +12,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/provider"
 )
 
 func loadTest(t *testing.T, cfg Config) *DFK {
@@ -316,9 +318,8 @@ func TestHTEXBasic(t *testing.T) {
 }
 
 func TestHTEXScalesOut(t *testing.T) {
-	provider := &LocalProvider{}
 	htex := NewHighThroughputExecutor(HTEXConfig{
-		Label: "htex", Provider: provider,
+		Label: "htex", Provider: &provider.LocalProvider{},
 		WorkersPerNode: 2, MaxBlocks: 3, InitBlocks: 1,
 	})
 	d := loadTest(t, Config{Executors: []Executor{htex}})
@@ -576,9 +577,11 @@ func TestUsageSummary(t *testing.T) {
 type failingProvider struct{}
 
 func (failingProvider) Name() string { return "failing" }
-func (failingProvider) AcquireBlock() (func(), error) {
+func (failingProvider) Launch(int) (provider.ManagerHandle, error) {
 	return nil, errors.New("allocation denied")
 }
+func (failingProvider) Status() map[int]provider.BlockStatus { return nil }
+func (failingProvider) Cancel() error                        { return nil }
 
 func TestHTEXProviderFailureSurfacesOnStart(t *testing.T) {
 	htex := NewHighThroughputExecutor(HTEXConfig{

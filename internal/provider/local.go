@@ -1,0 +1,101 @@
+package provider
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LocalProvider grants in-process blocks immediately — the paper's
+// single-machine and in-allocation deployments. Tasks execute as plain
+// function calls on the executor's worker goroutines.
+type LocalProvider struct {
+	// Latency optionally models block startup cost (worker pool launch).
+	Latency time.Duration
+
+	granted atomic.Int64
+
+	mu     sync.Mutex
+	blocks map[int]*localHandle
+}
+
+// Name implements ExecutionProvider.
+func (p *LocalProvider) Name() string { return "local" }
+
+// Launch implements ExecutionProvider.
+func (p *LocalProvider) Launch(block int) (ManagerHandle, error) {
+	if p.Latency > 0 {
+		time.Sleep(p.Latency)
+	}
+	h := &localHandle{provider: p, block: block}
+	p.mu.Lock()
+	if p.blocks == nil {
+		p.blocks = map[int]*localHandle{}
+	}
+	p.blocks[block] = h
+	p.mu.Unlock()
+	p.granted.Add(1)
+	return h, nil
+}
+
+// Granted reports currently held blocks.
+func (p *LocalProvider) Granted() int { return int(p.granted.Load()) }
+
+// Status implements ExecutionProvider.
+func (p *LocalProvider) Status() map[int]BlockStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]BlockStatus, len(p.blocks))
+	for id, h := range p.blocks {
+		st := BlockRunning
+		if h.closed.Load() {
+			st = BlockClosed
+		}
+		out[id] = BlockStatus{State: st, Detail: "in-process"}
+	}
+	return out
+}
+
+// Cancel implements ExecutionProvider.
+func (p *LocalProvider) Cancel() error {
+	p.mu.Lock()
+	blocks := make([]*localHandle, 0, len(p.blocks))
+	for _, h := range p.blocks {
+		blocks = append(blocks, h)
+	}
+	p.mu.Unlock()
+	for _, h := range blocks {
+		h.Close()
+	}
+	return nil
+}
+
+// localHandle executes tasks in the engine process.
+type localHandle struct {
+	provider *LocalProvider
+	block    int
+	closed   atomic.Bool
+}
+
+// Block implements ManagerHandle.
+func (h *localHandle) Block() int { return h.block }
+
+// Run implements ManagerHandle: a guarded in-process call.
+func (h *localHandle) Run(t *Task) (any, error) {
+	if h.closed.Load() {
+		return nil, fmt.Errorf("local block %d closed: %w", h.block, ErrWorkerLost)
+	}
+	return guard(t.Fn)
+}
+
+// Alive implements ManagerHandle.
+func (h *localHandle) Alive() bool { return !h.closed.Load() }
+
+// Close implements ManagerHandle.
+func (h *localHandle) Close() error {
+	if h.closed.CompareAndSwap(false, true) {
+		h.provider.granted.Add(-1)
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+package provider
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProcessOptions configures a ProcessProvider.
+type ProcessOptions struct {
+	// Command is the worker command line; Command[0] is the binary. Empty
+	// selects DefaultWorkerCommand.
+	Command []string
+	// Env is extra environment (KEY=VALUE) appended to the engine's.
+	Env []string
+	// Dir is the workers' working directory ("" = inherit).
+	Dir string
+	// HelloTimeout bounds how long Launch waits for the worker's hello frame
+	// (default 10s).
+	HelloTimeout time.Duration
+	// Stderr receives the workers' stderr ("" inherits the engine's stderr;
+	// useful diagnostics either way since the protocol owns stdout).
+	Stderr io.Writer
+}
+
+// DefaultWorkerCommand locates the parsl-cwl-worker binary: next to the
+// current executable first, then on PATH.
+func DefaultWorkerCommand() ([]string, error) {
+	const name = "parsl-cwl-worker"
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), name)
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return []string{cand}, nil
+		}
+	}
+	if p, err := exec.LookPath(name); err == nil {
+		return []string{p}, nil
+	}
+	return nil, fmt.Errorf("cannot locate %s (next to the executable or on PATH); set worker-cmd", name)
+}
+
+// ProcessProvider launches each block as a real OS subprocess running the
+// parsl-cwl-worker binary, speaking the length-prefixed JSON task protocol
+// over stdin/stdout pipes. A worker crash is contained: every task in flight
+// on that worker fails with ErrWorkerLost and the executor re-dispatches.
+type ProcessProvider struct {
+	opts ProcessOptions
+
+	// remoteTasks counts tasks actually shipped across the pipe protocol
+	// (as opposed to in-process fallbacks for unserializable closures).
+	remoteTasks atomic.Int64
+
+	mu     sync.Mutex
+	blocks map[int]*processHandle
+}
+
+// NewProcessProvider builds a ProcessProvider.
+func NewProcessProvider(opts ProcessOptions) *ProcessProvider {
+	if opts.HelloTimeout <= 0 {
+		opts.HelloTimeout = 10 * time.Second
+	}
+	return &ProcessProvider{opts: opts, blocks: map[int]*processHandle{}}
+}
+
+// Name implements ExecutionProvider.
+func (p *ProcessProvider) Name() string { return "process" }
+
+// RemoteCapable implements provider.RemoteCapable: tasks with a RemoteSpec
+// cross the pipe.
+func (p *ProcessProvider) RemoteCapable() bool { return true }
+
+// Launch implements ExecutionProvider: start one worker subprocess and wait
+// for its hello frame.
+func (p *ProcessProvider) Launch(block int) (ManagerHandle, error) {
+	argv := p.opts.Command
+	if len(argv) == 0 {
+		def, err := DefaultWorkerCommand()
+		if err != nil {
+			return nil, err
+		}
+		argv = def
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Dir = p.opts.Dir
+	cmd.Env = append(os.Environ(), p.opts.Env...)
+	if p.opts.Stderr != nil {
+		cmd.Stderr = p.opts.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("worker stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting worker %q: %w", argv[0], err)
+	}
+	h := &processHandle{
+		provider: p,
+		block:    block,
+		cmd:      cmd,
+		in:       newFrameWriter(stdin),
+		inClose:  stdin,
+		dead:     make(chan struct{}),
+		waitDone: make(chan struct{}),
+		pending:  map[int64]chan workerResponse{},
+	}
+
+	// The hello frame proves the binary speaks the protocol before the block
+	// is handed to the executor.
+	helloCh := make(chan error, 1)
+	reader := bufio.NewReader(stdout)
+	go func() {
+		var hello workerHello
+		if err := readFrame(reader, &hello); err != nil {
+			helloCh <- fmt.Errorf("reading worker hello: %w", err)
+			return
+		}
+		if hello.Proto != ProtoVersion {
+			helloCh <- fmt.Errorf("worker speaks protocol %d, engine wants %d", hello.Proto, ProtoVersion)
+			return
+		}
+		h.pid.Store(int64(hello.PID))
+		helloCh <- nil
+		h.readLoop(reader)
+	}()
+	select {
+	case err := <-helloCh:
+		if err != nil {
+			h.destroy()
+			return nil, fmt.Errorf("worker block %d: %w", block, err)
+		}
+	case <-time.After(p.opts.HelloTimeout):
+		h.destroy()
+		return nil, fmt.Errorf("worker block %d: no hello within %s", block, p.opts.HelloTimeout)
+	}
+
+	p.mu.Lock()
+	p.blocks[block] = h
+	p.mu.Unlock()
+	return h, nil
+}
+
+// Status implements ExecutionProvider.
+func (p *ProcessProvider) Status() map[int]BlockStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]BlockStatus, len(p.blocks))
+	for id, h := range p.blocks {
+		out[id] = h.status()
+	}
+	return out
+}
+
+// RemoteTasks reports how many tasks were shipped to workers over the pipe
+// protocol — the observable difference between genuine process isolation and
+// the in-process fallback for unserializable tasks.
+func (p *ProcessProvider) RemoteTasks() int64 { return p.remoteTasks.Load() }
+
+// WorkerPids reports the live workers' process ids by block — fault-injection
+// tests use it to SIGKILL a genuine worker.
+func (p *ProcessProvider) WorkerPids() map[int]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := map[int]int{}
+	for id, h := range p.blocks {
+		if h.Alive() {
+			out[id] = int(h.pid.Load())
+		}
+	}
+	return out
+}
+
+// Cancel implements ExecutionProvider.
+func (p *ProcessProvider) Cancel() error {
+	p.mu.Lock()
+	blocks := make([]*processHandle, 0, len(p.blocks))
+	for _, h := range p.blocks {
+		blocks = append(blocks, h)
+	}
+	p.mu.Unlock()
+	for _, h := range blocks {
+		h.Close()
+	}
+	return nil
+}
+
+// processHandle is one live worker subprocess.
+type processHandle struct {
+	provider *ProcessProvider
+	block    int
+	cmd      *exec.Cmd
+	in       *frameWriter
+	inClose  io.Closer
+	pid      atomic.Int64
+
+	dead     chan struct{} // closed when the worker is gone
+	deadOnce sync.Once
+	closed   atomic.Bool   // Close was called (intentional teardown)
+	waitOnce sync.Once     // exactly one goroutine calls cmd.Wait
+	waitDone chan struct{} // closed once cmd.Wait has returned
+
+	mu      sync.Mutex
+	seq     int64
+	pending map[int64]chan workerResponse
+}
+
+// Block implements ManagerHandle.
+func (h *processHandle) Block() int { return h.block }
+
+// Pid returns the worker's process id.
+func (h *processHandle) Pid() int { return int(h.pid.Load()) }
+
+// readLoop pumps responses from the worker until the pipe breaks, then marks
+// the handle dead (which fails every in-flight Run with ErrWorkerLost).
+func (h *processHandle) readLoop(r *bufio.Reader) {
+	for {
+		var resp workerResponse
+		if err := readFrame(r, &resp); err != nil {
+			h.markDead()
+			return
+		}
+		h.mu.Lock()
+		ch := h.pending[resp.ID]
+		delete(h.pending, resp.ID)
+		h.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (h *processHandle) markDead() {
+	h.deadOnce.Do(func() { close(h.dead) })
+	h.reap()
+}
+
+// reap waits for the child exactly once (dead workers must not linger as
+// zombies) and publishes completion through waitDone.
+func (h *processHandle) reap() {
+	h.waitOnce.Do(func() {
+		go func() {
+			_ = h.cmd.Wait()
+			close(h.waitDone)
+		}()
+	})
+}
+
+// Run implements ManagerHandle. Tasks with a RemoteSpec cross the pipe; tasks
+// without one (non-serializable closures) run in the engine process — process
+// isolation applies to what the protocol can express.
+func (h *processHandle) Run(t *Task) (any, error) {
+	if t.Remote == nil {
+		select {
+		case <-h.dead:
+			return nil, fmt.Errorf("worker block %d is gone: %w", h.block, ErrWorkerLost)
+		default:
+		}
+		return guard(t.Fn)
+	}
+	ch := make(chan workerResponse, 1)
+	h.mu.Lock()
+	h.seq++
+	id := h.seq
+	h.pending[id] = ch
+	h.mu.Unlock()
+	if h.provider != nil {
+		h.provider.remoteTasks.Add(1)
+	}
+	cleanup := func() {
+		h.mu.Lock()
+		delete(h.pending, id)
+		h.mu.Unlock()
+	}
+	// Encoding failures (unmarshalable spec, frame over the protocol cap)
+	// are the task's own problem: the worker is healthy, so they must not
+	// be reported as worker loss — that would kill the block and redispatch
+	// the same doomed task onto a fresh worker forever.
+	body, err := encodeFrame(workerRequest{ID: id, Spec: t.Remote})
+	if err != nil {
+		cleanup()
+		return nil, fmt.Errorf("task %d cannot be shipped to worker block %d: %w", t.ID, h.block, err)
+	}
+	if err := h.in.sendEncoded(body); err != nil {
+		cleanup()
+		h.markDead()
+		return nil, fmt.Errorf("worker block %d write failed (%v): %w", h.block, err, ErrWorkerLost)
+	}
+	select {
+	case resp := <-ch:
+		if !resp.OK {
+			return nil, fmt.Errorf("task %d: %s", t.ID, resp.Error)
+		}
+		return DecodeResult(resp.Result)
+	case <-h.dead:
+		cleanup()
+		return nil, fmt.Errorf("worker block %d (pid %d) died mid-task: %w", h.block, h.pid.Load(), ErrWorkerLost)
+	}
+}
+
+// Alive implements ManagerHandle.
+func (h *processHandle) Alive() bool {
+	select {
+	case <-h.dead:
+		return false
+	default:
+		return true
+	}
+}
+
+func (h *processHandle) status() BlockStatus {
+	switch {
+	case h.closed.Load():
+		return BlockStatus{State: BlockClosed, Detail: fmt.Sprintf("pid %d", h.pid.Load())}
+	case !h.Alive():
+		return BlockStatus{State: BlockDead, Detail: fmt.Sprintf("pid %d exited", h.pid.Load())}
+	default:
+		return BlockStatus{State: BlockRunning, Detail: fmt.Sprintf("pid %d", h.pid.Load())}
+	}
+}
+
+// Close implements ManagerHandle: ask the worker to drain by closing its
+// stdin, then make sure it is gone.
+func (h *processHandle) Close() error {
+	if !h.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	_ = h.inClose.Close() // EOF asks the worker to drain and exit
+	h.reap()
+	select {
+	case <-h.waitDone:
+	case <-time.After(5 * time.Second):
+		if h.cmd.Process != nil {
+			_ = h.cmd.Process.Kill()
+		}
+		<-h.waitDone
+	}
+	h.deadOnce.Do(func() { close(h.dead) })
+	return nil
+}
+
+// destroy tears down a handle whose launch failed.
+func (h *processHandle) destroy() {
+	if h.cmd.Process != nil {
+		_ = h.cmd.Process.Kill()
+	}
+	h.reap()
+	h.deadOnce.Do(func() { close(h.dead) })
+}

@@ -1,0 +1,182 @@
+package provider
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The worker protocol: each side writes frames of a 4-byte big-endian length
+// followed by that many bytes of JSON. On startup the worker writes one hello
+// frame; afterwards the engine writes run requests and the worker writes one
+// response per request, in completion order (requests execute concurrently
+// and responses are matched by id). Closing the worker's stdin asks it to
+// drain and exit.
+
+// ProtoVersion is the worker protocol version; the engine refuses workers
+// that announce a different one.
+const ProtoVersion = 1
+
+// maxFrameBytes bounds one frame so a corrupt length prefix cannot make
+// either side allocate unbounded memory.
+const maxFrameBytes = 64 << 20
+
+// workerHello is the worker's first frame.
+type workerHello struct {
+	Proto int `json:"proto"`
+	PID   int `json:"pid"`
+}
+
+// workerRequest is one engine → worker run request.
+type workerRequest struct {
+	ID   int64       `json:"id"`
+	Spec *RemoteSpec `json:"spec"`
+}
+
+// workerResponse is one worker → engine result.
+type workerResponse struct {
+	ID     int64           `json:"id"`
+	OK     bool            `json:"ok"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// writeFrame writes one length-prefixed JSON frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrameBytes {
+		return fmt.Errorf("frame of %d bytes exceeds the %d byte protocol limit", len(body), maxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return fmt.Errorf("frame of %d bytes exceeds the %d byte protocol limit", n, maxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// encodeFrame renders a frame body, enforcing the size cap. Encoding errors
+// are local to the value being sent — they say nothing about the health of
+// the stream.
+func encodeFrame(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxFrameBytes {
+		return nil, fmt.Errorf("frame of %d bytes exceeds the %d byte protocol limit", len(body), maxFrameBytes)
+	}
+	return body, nil
+}
+
+// frameWriter serializes concurrent frame writes onto one stream.
+type frameWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{w: bufio.NewWriter(w)}
+}
+
+func (fw *frameWriter) send(v any) error {
+	body, err := encodeFrame(v)
+	if err != nil {
+		return err
+	}
+	return fw.sendEncoded(body)
+}
+
+// sendEncoded writes one pre-encoded frame; an error here is a genuine
+// stream failure.
+func (fw *frameWriter) sendEncoded(body []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(body); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// RunWorker is the parsl-cwl-worker main loop: announce the protocol, then
+// execute run requests from r concurrently, writing one response per request
+// to w. It returns when r reaches EOF (engine closed the pipe) after all
+// in-flight tasks finish, or with the first protocol-level error.
+func RunWorker(r io.Reader, w io.Writer) error {
+	out := newFrameWriter(w)
+	if err := out.send(workerHello{Proto: ProtoVersion, PID: os.Getpid()}); err != nil {
+		return fmt.Errorf("worker hello: %w", err)
+	}
+	in := bufio.NewReader(r)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var req workerRequest
+		if err := readFrame(in, &req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("worker read: %w", err)
+		}
+		wg.Add(1)
+		go func(req workerRequest) {
+			defer wg.Done()
+			resp := workerResponse{ID: req.ID}
+			if req.Spec == nil {
+				resp.Error = "request carries no task spec"
+			} else {
+				res, err := executeGuarded(req.Spec)
+				if err != nil {
+					resp.Error = err.Error()
+				} else {
+					resp.OK = true
+					resp.Result = res
+				}
+			}
+			// A write failure means the engine is gone; the process is about
+			// to exit anyway, so the error is unreportable by design.
+			_ = out.send(resp)
+		}(req)
+	}
+}
+
+// executeGuarded runs one remote task converting panics to errors, so a bad
+// document cannot kill a worker hosting other in-flight tasks.
+func executeGuarded(spec *RemoteSpec) (res json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("remote task panicked: %v", r)
+		}
+	}()
+	return ExecuteRemote(spec)
+}

@@ -174,7 +174,16 @@ func (r *ToolRunner) RunTool(tool *cwl.CommandLineTool, provided *yamlx.Map, opt
 		if root == "" {
 			root = os.TempDir()
 		}
-		outdir = filepath.Join(root, fmt.Sprintf("%s-%03d", toolName(tool), r.seq.Add(1)))
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return nil, err
+		}
+		// MkdirTemp makes the directory unique across ToolRunner instances
+		// and processes: concurrent invocations (scatter siblings, separate
+		// worker processes) must never share a job directory.
+		outdir, err = os.MkdirTemp(root, fmt.Sprintf("%s-%03d-", toolName(tool), r.seq.Add(1)))
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := os.MkdirAll(outdir, 0o755); err != nil {
 		return nil, err

@@ -25,6 +25,9 @@ type submitBody struct {
 	Name   string          `json:"name,omitempty"`
 	// Priority orders the queue (higher first).
 	Priority int `json:"priority,omitempty"`
+	// Provider pins the run to one of the service's execution providers
+	// (local|process|sim, as configured); "" uses the default.
+	Provider string `json:"provider,omitempty"`
 }
 
 // taskEventJSON is the wire form of one parsl.TaskEvent.
@@ -106,6 +109,7 @@ func parseSubmitBody(contentType string, body []byte) (SubmitRequest, error) {
 		Inputs:   inputs,
 		Name:     env.Name,
 		Priority: env.Priority,
+		Provider: env.Provider,
 	}, nil
 }
 
@@ -205,7 +209,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 func writeServiceError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrInvalidDocument):
+	case errors.Is(err, ErrInvalidDocument), errors.Is(err, ErrUnknownProvider):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound

@@ -69,6 +69,7 @@ type runWire struct {
 	Finished *time.Time      `json:"finishedAt,omitempty"`
 	Outputs  json.RawMessage `json:"outputs,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	Provider string          `json:"provider,omitempty"`
 	Source   string          `json:"source,omitempty"`
 	Inputs   json.RawMessage `json:"inputs,omitempty"`
 }
@@ -102,6 +103,7 @@ func toWire(snap RunSnapshot) runWire {
 		Started:  snap.Started,
 		Finished: snap.Finished,
 		Error:    snap.Error,
+		Provider: snap.Provider,
 	}
 	if snap.Outputs != nil {
 		if raw, err := snap.Outputs.MarshalJSON(); err == nil {
@@ -128,6 +130,7 @@ func (w runWire) toSnapshot() (RunSnapshot, error) {
 		Started:  w.Started,
 		Finished: w.Finished,
 		Error:    w.Error,
+		Provider: w.Provider,
 	}
 	if len(w.Outputs) > 0 {
 		v, err := yamlx.DecodeJSON(w.Outputs)

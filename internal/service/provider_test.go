@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/parsl"
+	"repro/internal/yamlx"
+)
+
+// TestProviderPinning routes runs onto per-provider executors and rejects
+// unknown providers at submission time.
+func TestProviderPinning(t *testing.T) {
+	dir := t.TempDir()
+	spec := parsl.DefaultConfigSpec()
+	spec.Executor = "htex"
+	spec.WorkersPerNode = 4
+	spec.RunDir = dir
+	cfg, labels, err := spec.BuildMulti([]string{"local", "sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfk, err := parsl.Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(dfk, Options{Workers: 2, WorkRoot: dir, ProviderExecutors: labels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		svc.Close(context.Background())
+		dfk.Cleanup()
+	})
+
+	if _, err := svc.Submit(SubmitRequest{Source: []byte(echoTool), Provider: "bogus"}); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("bogus provider: err = %v", err)
+	}
+
+	for _, prov := range []string{"", "local", "sim"} {
+		snap, err := svc.Submit(SubmitRequest{
+			Source:   []byte(echoTool),
+			Inputs:   yamlx.MapOf("message", "via "+prov),
+			Provider: prov,
+		})
+		if err != nil {
+			t.Fatalf("provider %q: %v", prov, err)
+		}
+		if snap.Provider != prov {
+			t.Fatalf("snapshot provider = %q, want %q", snap.Provider, prov)
+		}
+		final := waitTerminal(t, svc, snap.ID)
+		if final.State != RunSucceeded {
+			t.Fatalf("provider %q: state %s (%s)", prov, final.State, final.Error)
+		}
+	}
+
+	// /healthz surface: per-executor provider names and block states.
+	st := svc.Stats()
+	byLabel := map[string]parsl.ExecutorStats{}
+	for _, es := range st.Executors {
+		byLabel[es.Label] = es
+	}
+	if byLabel["htex-local"].Provider != "local" || byLabel["htex-sim"].Provider != "sim" {
+		t.Fatalf("executor providers = %+v", st.Executors)
+	}
+	if len(byLabel["htex-sim"].Blocks) == 0 {
+		t.Fatalf("sim executor reports no blocks: %+v", byLabel["htex-sim"])
+	}
+}

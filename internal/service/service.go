@@ -57,6 +57,9 @@ var (
 	ErrAlreadyFinished = errors.New("run already finished")
 	// ErrQueueFull is the backpressure signal (HTTP 429).
 	ErrQueueFull = errors.New("run queue is full")
+	// ErrUnknownProvider marks a run pinned to a provider the service does
+	// not offer (HTTP 400).
+	ErrUnknownProvider = errors.New("unknown execution provider")
 	// ErrDraining marks submissions during shutdown (HTTP 503).
 	ErrDraining = errors.New("service is draining")
 )
@@ -84,6 +87,10 @@ type Options struct {
 	InputsDir string
 	// Executor routes runs to a specific executor label ("" = default).
 	Executor string
+	// ProviderExecutors maps execution-provider labels to executor labels
+	// (e.g. {"process": "htex-process"}): a submission pinning a provider
+	// runs on the mapped executor. Empty means provider pinning is refused.
+	ProviderExecutors map[string]string
 	// DataDir enables durable runs: run lifecycle transitions and memo
 	// commits are journaled to an fsync-batched write-ahead log here, and on
 	// startup the journal is replayed — terminal runs are restored as
@@ -116,6 +123,9 @@ type SubmitRequest struct {
 	Name string
 	// Priority orders the queue: higher dequeues first, FIFO within equal.
 	Priority int
+	// Provider pins the run to one of the service's execution providers
+	// (Options.ProviderExecutors key); "" uses the default executor.
+	Provider string
 }
 
 // Stats is the service health/load summary served by /healthz.
@@ -157,6 +167,8 @@ type pendingRun struct {
 	// idx is the DocCache's prebuilt dataflow index (nil for tools).
 	idx    *runner.StepIndex
 	inputs *yamlx.Map
+	// provider is the pinned execution provider ("" = default executor).
+	provider string
 }
 
 // New builds a Service over a loaded DFK.
@@ -277,7 +289,7 @@ func (s *Service) openPersistence() error {
 		snap.Started = nil
 		s.store.Restore(snap)
 		s.workMu.Lock()
-		s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: inputs}
+		s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: inputs, provider: snap.Provider}
 		s.workMu.Unlock()
 		p.mu.Lock()
 		p.payloads[snap.ID] = payloadRec{source: []byte(w.Source), inputs: inputs}
@@ -306,16 +318,31 @@ func (s *Service) finishRun(id string, outputs *yamlx.Map, runErr error, cancele
 	return snap, ok
 }
 
+// executorFor resolves a pinned provider label to an executor label.
+func (s *Service) executorFor(providerLabel string) (string, error) {
+	if providerLabel == "" {
+		return s.opts.Executor, nil
+	}
+	label, ok := s.opts.ProviderExecutors[providerLabel]
+	if !ok {
+		return "", fmt.Errorf("%w %q", ErrUnknownProvider, providerLabel)
+	}
+	return label, nil
+}
+
 // Submit validates, registers, and enqueues one run, returning its queued
 // snapshot immediately.
 func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
+	if _, err := s.executorFor(req.Provider); err != nil {
+		return RunSnapshot{}, err
+	}
 	doc, idx, hash, hit, err := s.cache.LoadIndexed(req.Source)
 	if err != nil {
 		return RunSnapshot{}, err
 	}
-	snap := s.store.Create(req.Name, doc.Class(), hash, req.Priority, hit)
+	snap := s.store.Create(req.Name, doc.Class(), hash, req.Priority, hit, req.Provider)
 	s.workMu.Lock()
-	s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: req.Inputs}
+	s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: req.Inputs, provider: req.Provider}
 	s.workMu.Unlock()
 	// Journal the submission (with its payload) before it can start: the
 	// worker's own transitions must never precede the submit record, and a
@@ -362,11 +389,18 @@ func (s *Service) execute(ctx context.Context, id string) {
 	if s.pers != nil {
 		s.pers.runChanged(snap)
 	}
+	executor, err := s.executorFor(w.provider)
+	if err != nil {
+		// The provider disappeared between restarts (a restored run pinned a
+		// backend this process does not offer).
+		s.finishRun(id, nil, err, false)
+		return
+	}
 	r := &core.Runner{
 		DFK:       s.dfk,
 		WorkRoot:  filepath.Join(s.opts.WorkRoot, id),
 		InputsDir: s.opts.InputsDir,
-		Executor:  s.opts.Executor,
+		Executor:  executor,
 		Label:     id,
 		// The document hash scopes workflow step tasks, making their results
 		// memoizable across runs and — with the restored memo table — across

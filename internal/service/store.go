@@ -105,6 +105,9 @@ type RunSnapshot struct {
 	Finished *time.Time `json:"finishedAt,omitempty"`
 	Outputs  *yamlx.Map `json:"outputs,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// Provider is the execution-provider label the run was pinned to at
+	// submission ("" = the service default executor).
+	Provider string `json:"provider,omitempty"`
 	// Restored marks a run recovered from the persistence journal by a later
 	// process — either as history (terminal) or re-enqueued (interrupted).
 	Restored bool `json:"restored,omitempty"`
@@ -149,7 +152,7 @@ func (st *RunStore) SetOnEvict(fn func(id string)) {
 // Create registers a new queued run and returns its snapshot. The generated
 // ID doubles as the DFK submission label for event attribution; the sequence
 // is process-global so IDs never collide across stores sharing a DFK.
-func (st *RunStore) Create(name, class, docHash string, priority int, cacheHit bool) RunSnapshot {
+func (st *RunStore) Create(name, class, docHash string, priority int, cacheHit bool, provider string) RunSnapshot {
 	id := fmt.Sprintf("run-%06d", runSeq.Add(1))
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -162,6 +165,7 @@ func (st *RunStore) Create(name, class, docHash string, priority int, cacheHit b
 			DocHash:  docHash,
 			Priority: priority,
 			CacheHit: cacheHit,
+			Provider: provider,
 			Created:  time.Now(),
 		},
 		done: make(chan struct{}),

@@ -157,16 +157,29 @@ func splitKey(text string) (key, rest string, ok bool) {
 	if n == 0 {
 		return "", "", false
 	}
-	// Quoted key.
+	// Quoted key. Escapes are scanned forward ('\\' consumes the next byte)
+	// so an escaped backslash before the closing quote — "k\\" — terminates
+	// correctly; a backward text[i-1] check misreads it. Found by FuzzDecode.
 	if text[0] == '"' || text[0] == '\'' {
 		q := text[0]
 		i = 1
 		for i < n {
-			if q == '\'' && text[i] == '\'' && i+1 < n && text[i+1] == '\'' {
+			if q == '\'' {
+				if text[i] == '\'' {
+					if i+1 < n && text[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					break
+				}
+				i++
+				continue
+			}
+			if text[i] == '\\' {
 				i += 2
 				continue
 			}
-			if text[i] == q && (q != '"' || text[i-1] != '\\') {
+			if text[i] == '"' {
 				break
 			}
 			i++
@@ -799,6 +812,13 @@ func (p *parser) parseFlow(s string, lnum int) (any, string, error) {
 		i := 0
 		for i < len(s) && s[i] != ',' && s[i] != ']' && s[i] != '}' {
 			i++
+		}
+		if i == 0 {
+			// s starts with a terminator the caller did not consume (a stray
+			// '}' inside [...], a leading ','): returning a zero-length
+			// scalar would hand the caller back its own input and loop
+			// forever. Found by FuzzDecode.
+			return nil, "", errf(lnum, "unexpected %q in flow value", s[0])
 		}
 		return typedScalar(strings.TrimSpace(s[:i])), s[i:], nil
 	}

@@ -1,0 +1,73 @@
+package yamlx
+
+import (
+	"testing"
+)
+
+// FuzzDecode hammers the YAML document parser: no input may panic it, and
+// anything it accepts must survive a marshal → decode round trip (the
+// property the persistence and wire layers rely on). Crashers found by `go
+// test -fuzz=FuzzDecode` become seeds here.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"",
+		"a: 1\nb: two\n",
+		"- 1\n- 2\n- x\n",
+		"cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: [echo, -n]\n",
+		"nested:\n  deep:\n    deeper: [1, {k: v}, 'q']\n",
+		"key: |\n  block\n  text\n",
+		"key: >\n  folded\n  text\n",
+		"a: {inline: [1, 2], b: {c: d}}\n",
+		"s: \"quo\\\"ted\"\nt: 'single'\n",
+		"n: null\nb: true\nf: 1.5\ni: -3\n",
+		"# comment only\n",
+		"a:\n- 1\n-\n",
+		"\t",
+		"a: b: c",
+		"---\na: 1\n",
+		"x: [",
+		"y: {",
+		"'",
+		"a: !!str 1",
+		"&anchor x",
+		"key:\n  - {a: [}\n",
+		"0:\n 0:\n  0:\n   0:\n    0:\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		out, err := Marshal(v)
+		if err != nil {
+			// Values produced by Decode must always be encodable.
+			t.Fatalf("decoded value %T does not marshal: %v", v, err)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("marshal output does not re-decode: %v\ninput: %q\nmarshaled: %q", err, data, out)
+		}
+	})
+}
+
+// FuzzDecodeJSON covers the JSON entry point the worker protocol and
+// persistence layers decode untrusted bytes with.
+func FuzzDecodeJSON(f *testing.F) {
+	for _, s := range []string{
+		`{}`, `[]`, `null`, `{"a":1,"b":[true,null,"x"]}`, `{"nested":{"k":1.5}}`,
+		`[[[[[]]]]]`, `{"a":`, `"lone`, `{"dup":1,"dup":2}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeJSON(data)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(v); err != nil {
+			t.Fatalf("decoded JSON value %T does not marshal: %v", v, err)
+		}
+	})
+}
