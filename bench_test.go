@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cwl"
 	"repro/internal/cwlexpr"
+	"repro/internal/obs"
 	"repro/internal/parsl"
 	"repro/internal/yamlx"
 )
@@ -424,4 +425,26 @@ func BenchmarkProcessProviderThroughput(b *testing.B) {
 		b.Fatalf("only %d of %d tasks crossed the worker pipe", prov.RemoteTasks(), b.N)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkMetricsHotPath gates the cost of the obs instrumentation the
+// engine layers now run on every task event: a plain counter increment, a
+// labeled-counter lookup+increment, and a histogram observation. Each op is
+// a batch of 100k update triples so the single-shot CI run (-benchtime=1x)
+// still measures real work rather than timer noise.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_ops_total", "Plain counter.")
+	vec := reg.CounterVec("bench_ops_by_state_total", "Labeled counter.", "state")
+	hist := reg.Histogram("bench_latency_seconds", "Histogram.", nil)
+	const batch = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			ctr.Inc()
+			vec.With("launched").Inc()
+			hist.Observe(float64(j%1000) / 1000)
+		}
+	}
+	b.ReportMetric(3*batch, "updates/op")
 }

@@ -31,8 +31,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -57,6 +59,9 @@ type serveConfig struct {
 	noPersist        bool
 	providers        string
 	workerCmd        string
+	metrics          bool
+	pprofAddr        string
+	logFormat        string
 }
 
 func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
@@ -75,11 +80,17 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.BoolVar(&cfg.noPersist, "no-persist", false, "disable persistence even when -data-dir is set")
 	fs.StringVar(&cfg.providers, "provider", "", "execution providers to offer, comma-separated (local|process|sim); first is the default; runs pin one via the submit body's \"provider\" field")
 	fs.StringVar(&cfg.workerCmd, "worker-cmd", "", "worker command line for the process provider (default: parsl-cwl-worker next to this binary or on PATH)")
+	fs.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus text exposition on GET /metrics")
+	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "log format: text or json (structured, with run IDs attached)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	if fs.NArg() != 0 {
 		return cfg, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.logFormat != "text" && cfg.logFormat != "json" {
+		return cfg, fmt.Errorf("invalid -log-format %q (want text or json)", cfg.logFormat)
 	}
 	if cfg.noPersist {
 		cfg.dataDir = ""
@@ -87,8 +98,17 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	return cfg, nil
 }
 
+// newLogger builds the process logger from -log-format. JSON output is one
+// structured record per line, with run IDs attached by the service.
+func newLogger(format string, w io.Writer) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
 // newService builds the DFK and service from the parsed configuration.
-func newService(cfg serveConfig) (*parsl.DFK, *service.Service, error) {
+func newService(cfg serveConfig, logger *slog.Logger) (*parsl.DFK, *service.Service, error) {
 	spec := parsl.DefaultConfigSpec()
 	if cfg.configPath != "" {
 		loaded, err := parsl.LoadConfigFile(cfg.configPath)
@@ -146,6 +166,8 @@ func newService(cfg serveConfig) (*parsl.DFK, *service.Service, error) {
 		DataDir:           cfg.dataDir,
 		CheckpointPeriod:  cfg.checkpointPeriod,
 		ProviderExecutors: providerLabels,
+		DisableMetrics:    !cfg.metrics,
+		Logger:            logger,
 	})
 	if err != nil {
 		dfk.Cleanup()
@@ -159,7 +181,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	dfk, svc, err := newService(cfg)
+	logger := newLogger(cfg.logFormat, stderr)
+	dfk, svc, err := newService(cfg, logger)
 	if err != nil {
 		return err
 	}
@@ -168,6 +191,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
+	}
+
+	// pprof rides on its own listener and its own mux — never the API mux and
+	// never http.DefaultServeMux — so profiling endpoints are opt-in and can
+	// be bound to loopback while the API is public.
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofServer := &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		defer pprofServer.Close()
+		go func() { _ = pprofServer.Serve(pln) }()
+		fmt.Fprintf(stdout, "pprof listening on http://%s/debug/pprof/\n", pln.Addr())
 	}
 	server := &http.Server{
 		Handler:           svc.Handler(),

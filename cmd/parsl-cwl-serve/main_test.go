@@ -29,13 +29,50 @@ func TestParseFlags(t *testing.T) {
 	}
 }
 
+func TestParseFlagsObservability(t *testing.T) {
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.metrics || cfg.pprofAddr != "" || cfg.logFormat != "text" {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-metrics=false", "-pprof-addr", "127.0.0.1:0", "-log-format", "json"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.metrics || cfg.pprofAddr != "127.0.0.1:0" || cfg.logFormat != "json" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-log-format", "xml"}, io.Discard); err == nil {
+		t.Error("invalid -log-format accepted")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	newLogger("json", &buf).Info("run started", "runId", "run-000001")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line did not parse: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "run started" || rec["runId"] != "run-000001" {
+		t.Errorf("record = %v", rec)
+	}
+	buf.Reset()
+	newLogger("text", &buf).Info("hello")
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Errorf("text log = %q", buf.String())
+	}
+}
+
 func TestNewServiceFromConfigAndServe(t *testing.T) {
 	dir := t.TempDir()
 	cfgPath := filepath.Join(dir, "config.yml")
 	if err := os.WriteFile(cfgPath, []byte("executor: thread-pool\nworkers-per-node: 4\nrun-dir: "+dir+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	dfk, svc, err := newService(serveConfig{configPath: cfgPath, workers: 2, queueDepth: 8, cacheSize: 4})
+	dfk, svc, err := newService(serveConfig{configPath: cfgPath, workers: 2, queueDepth: 8, cacheSize: 4, metrics: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,10 +158,10 @@ func TestNewServiceBadConfig(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("executor: spark\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := newService(serveConfig{configPath: bad}); err == nil || !strings.Contains(err.Error(), "executor") {
+	if _, _, err := newService(serveConfig{configPath: bad}, nil); err == nil || !strings.Contains(err.Error(), "executor") {
 		t.Errorf("error = %v, want unknown-executor", err)
 	}
-	if _, _, err := newService(serveConfig{configPath: filepath.Join(dir, "missing.yml")}); err == nil {
+	if _, _, err := newService(serveConfig{configPath: filepath.Join(dir, "missing.yml")}, nil); err == nil {
 		t.Error("missing config file accepted")
 	}
 }

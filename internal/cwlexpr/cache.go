@@ -45,6 +45,11 @@ type lruCache struct {
 	l      *list.List // front = most recently used
 	hits   int64
 	misses int64
+	// onHit/onMiss mirror lookups into process-wide metrics; both caches
+	// built from this type feed different counter families. Called with the
+	// lock held — must be a cheap atomic increment, nothing more.
+	onHit  func()
+	onMiss func()
 }
 
 func newProgCache(capacity int) *lruCache {
@@ -60,9 +65,15 @@ func (c *lruCache) get(key string) (any, error, bool) {
 	el, ok := c.m[key]
 	if !ok {
 		c.misses++
+		if c.onMiss != nil {
+			c.onMiss()
+		}
 		return nil, nil, false
 	}
 	c.hits++
+	if c.onHit != nil {
+		c.onHit()
+	}
 	c.l.MoveToFront(el)
 	ent := el.Value.(*cacheEntry)
 	return ent.val, ent.err, true
@@ -144,7 +155,21 @@ const (
 
 // --- Engine pool ---
 
-var enginePool = newProgCache(DefaultEnginePoolCap)
+var enginePool = func() *lruCache {
+	c := newProgCache(DefaultEnginePoolCap)
+	c.onHit = metEnginePoolHits.Inc
+	c.onMiss = metEnginePoolMisses.Inc
+	return c
+}()
+
+// newProgramCache builds a per-engine compiled-program cache wired to the
+// process-wide program-cache counters.
+func newProgramCache(capacity int) *lruCache {
+	c := newProgCache(capacity)
+	c.onHit = metProgCacheHits.Inc
+	c.onMiss = metProgCacheMisses.Inc
+	return c
+}
 
 // engineKey canonicalizes the expression-relevant requirement fields. Two
 // requirement sets with the same flags and the same expressionLib sources

@@ -78,7 +78,7 @@ type Engine struct {
 // engines by requirement set so libraries load once per set, not per task.
 func NewEngine(reqs cwl.Requirements) (*Engine, error) {
 	e := &Engine{}
-	e.progs.Store(newProgCache(DefaultProgramCacheCap))
+	e.progs.Store(newProgramCache(DefaultProgramCacheCap))
 	if reqs.InlineJavascript {
 		e.js = jsexpr.New()
 		for i, lib := range reqs.JSExpressionLib {
@@ -106,7 +106,7 @@ func (e *Engine) SetProgramCacheCap(n int) {
 	if n < 1 {
 		n = 1
 	}
-	e.progs.Store(newProgCache(n))
+	e.progs.Store(newProgramCache(n))
 }
 
 // ProgramCacheLen reports how many compiled entries the engine retains.
@@ -224,6 +224,7 @@ func (e *Engine) evalParen(inner string, ctx Context) (any, error) {
 	}
 	if e.js != nil {
 		atomic.AddInt64(&e.JSEvals, 1)
+		metJSEvals.Inc()
 		p, err := e.jsExprProgram(inner)
 		if err != nil {
 			return nil, fmt.Errorf("in expression $(%s): %w", inner, err)
@@ -239,6 +240,7 @@ func (e *Engine) evalParen(inner string, ctx Context) (any, error) {
 		// as Python expressions with inputs/self/runtime in scope (dict
 		// attribute access makes inputs.count work as users expect).
 		atomic.AddInt64(&e.PyEvals, 1)
+		metPyEvals.Inc()
 		p, err := e.pyExprProgram(inner)
 		if err != nil {
 			return nil, fmt.Errorf("in expression $(%s): %w", inner, err)
@@ -258,6 +260,7 @@ func (e *Engine) evalBody(body string, ctx Context) (any, error) {
 		return nil, fmt.Errorf("${...} expressions require InlineJavascriptRequirement")
 	}
 	atomic.AddInt64(&e.JSEvals, 1)
+	metJSEvals.Inc()
 	p, err := e.jsBodyProgram(body)
 	if err != nil {
 		return nil, fmt.Errorf("in expression ${%s}: %w", body, err)
@@ -275,6 +278,7 @@ func (e *Engine) evalFString(src string, ctx Context) (any, error) {
 		return nil, fmt.Errorf("f-string expressions require InlinePythonRequirement")
 	}
 	atomic.AddInt64(&e.PyEvals, 1)
+	metPyEvals.Inc()
 	// The rewrite substitutes per-call values into vars, but the rewritten
 	// source text only depends on which $(...) refs resolved — caching the
 	// compiled form by that text is safe and skips the re-parse.

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders families in the Prometheus text exposition format
+// (version 0.0.4): one # HELP / # TYPE header per family, then one line per
+// series; histograms expand into _bucket/_sum/_count series with cumulative
+// le buckets ending at +Inf.
+func WritePrometheus(w io.Writer, fams []Family) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			writeSample(bw, f.Name, s.Labels, "", s.Value)
+		}
+		for _, h := range f.Hist {
+			for i, ub := range h.Bounds {
+				writeSample(bw, f.Name+"_bucket", h.Labels, formatFloat(ub), float64(h.Counts[i]))
+			}
+			writeSample(bw, f.Name+"_bucket", h.Labels, "+Inf", float64(h.Count))
+			writeSample(bw, f.Name+"_sum", h.Labels, "", h.Sum)
+			writeSample(bw, f.Name+"_count", h.Labels, "", float64(h.Count))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w io.Writer, name string, labels []Label, le string, v float64) {
+	io.WriteString(w, name)
+	if len(labels) > 0 || le != "" {
+		io.WriteString(w, "{")
+		first := true
+		for _, l := range labels {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, `%s="%s"`, l.Name, escapeLabel(l.Value))
+		}
+		if le != "" {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, `le="%s"`, le)
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatFloat(v))
+	io.WriteString(w, "\n")
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// escapeLabel escapes the three characters the exposition grammar reserves
+// inside quoted label values.
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// ContentType is the value served with exposition responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the merged families of the given registries as a
+// Prometheus /metrics endpoint. Passing several registries composes the
+// process-wide Default registry with component-scoped ones.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var fams []Family
+		for _, r := range regs {
+			fams = append(fams, r.Gather()...)
+		}
+		fams = MergeFamilies(fams)
+		w.Header().Set("Content-Type", ContentType)
+		_ = WritePrometheus(w, fams)
+	})
+}

@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSeries is one scraped series: a metric name, its sorted label pairs,
+// and the value.
+type ParsedSeries struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ParsedFamily is one scraped metric family.
+type ParsedFamily struct {
+	Name   string
+	Help   string
+	Type   string
+	Series []ParsedSeries
+}
+
+// ParseExposition strictly parses Prometheus text exposition (as produced by
+// WritePrometheus) and validates it:
+//
+//   - metric and label names must match the Prometheus grammar
+//   - every sample must belong to a family declared with # TYPE first, and a
+//     family may be declared only once
+//   - histogram samples may only use the _bucket/_sum/_count suffixes, their
+//     buckets must be cumulative and end with le="+Inf" equal to _count
+//   - counter values must be non-negative and finite
+//   - duplicate series (same name and label set) are rejected
+//
+// CI lints /metrics output with it, so a malformed or duplicated series is a
+// test failure, not a scrape-time surprise.
+func ParseExposition(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams := map[string]*ParsedFamily{}
+	seen := map[string]bool{} // duplicate-series detection: name + sorted labels
+	var current *ParsedFamily
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 64<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: family %q declared twice", lineNo, name)
+			}
+			current = &ParsedFamily{Name: name, Type: typ}
+			fams[name] = current
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, base, err := familyFor(fams, current, s.Name)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if fam.Type == "counter" && (s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0)) {
+			return nil, fmt.Errorf("line %d: counter %s has non-monotonic value %v", lineNo, s.Name, s.Value)
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		_ = base
+		fam.Series = append(fam.Series, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyFor resolves which declared family a sample belongs to: its own name,
+// or — for histogram sub-series — the name with _bucket/_sum/_count stripped.
+func familyFor(fams map[string]*ParsedFamily, current *ParsedFamily, name string) (*ParsedFamily, string, error) {
+	if f, ok := fams[name]; ok {
+		if f.Type == "histogram" {
+			return nil, "", fmt.Errorf("histogram family %q sampled without a _bucket/_sum/_count suffix", name)
+		}
+		return f, name, nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok {
+			if f.Type != "histogram" && f.Type != "summary" {
+				return nil, "", fmt.Errorf("series %q uses suffix %q but family %q is a %s", name, suffix, base, f.Type)
+			}
+			return f, base, nil
+		}
+	}
+	return nil, "", fmt.Errorf("series %q has no preceding # TYPE declaration", name)
+}
+
+// parseSample parses `name{label="value",...} value`.
+func parseSample(line string) (ParsedSeries, error) {
+	var s ParsedSeries
+	i := 0
+	for i < len(line) && isNameChar(line[i], i) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+func isNameChar(c byte, pos int) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return pos > 0
+	}
+	return false
+}
+
+// parseLabels parses a {name="value",...} block, returning the index just
+// past the closing brace.
+func parseLabels(s string) (int, []Label, error) {
+	var labels []Label
+	i := 1 // past '{'
+	names := map[string]bool{}
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i-start) {
+			i++
+		}
+		if i == start {
+			return 0, nil, fmt.Errorf("malformed labels in %q", s)
+		}
+		name := s[start:i]
+		if names[name] {
+			return 0, nil, fmt.Errorf("label %q repeated in %q", name, s)
+		}
+		names[name] = true
+		if i >= len(s) || s[i] != '=' {
+			return 0, nil, fmt.Errorf("label %q missing '=' in %q", name, s)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q value is not quoted in %q", name, s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("invalid escape \\%c in %q", s[i+1], s)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+	}
+}
+
+// seriesKey canonicalizes name + labels for duplicate detection.
+func seriesKey(s ParsedSeries) string {
+	labels := append([]Label{}, s.Labels...)
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, l := range labels {
+		b.WriteString("{")
+		b.WriteString(l.Name)
+		b.WriteString("=")
+		b.WriteString(l.Value)
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// checkHistogram validates one histogram family: per label set, buckets must
+// be cumulative (non-decreasing by ascending le), include le="+Inf", and the
+// +Inf bucket must equal the _count series.
+func checkHistogram(f *ParsedFamily) error {
+	type histState struct {
+		buckets []ParsedSeries
+		count   *float64
+	}
+	groups := map[string]*histState{}
+	groupOf := func(s ParsedSeries, dropLe bool) *histState {
+		labels := make([]Label, 0, len(s.Labels))
+		for _, l := range s.Labels {
+			if dropLe && l.Name == "le" {
+				continue
+			}
+			labels = append(labels, l)
+		}
+		key := seriesKey(ParsedSeries{Name: f.Name, Labels: labels})
+		g := groups[key]
+		if g == nil {
+			g = &histState{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range f.Series {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			g := groupOf(s, true)
+			g.buckets = append(g.buckets, s)
+		case strings.HasSuffix(s.Name, "_count"):
+			g := groupOf(s, false)
+			v := s.Value
+			g.count = &v
+		}
+	}
+	for key, g := range groups {
+		if len(g.buckets) == 0 {
+			if g.count != nil {
+				return fmt.Errorf("histogram %s has _count but no buckets", key)
+			}
+			continue
+		}
+		type bound struct {
+			le  float64
+			val float64
+		}
+		bounds := make([]bound, 0, len(g.buckets))
+		hasInf := false
+		var infVal float64
+		for _, b := range g.buckets {
+			var leStr string
+			for _, l := range b.Labels {
+				if l.Name == "le" {
+					leStr = l.Value
+				}
+			}
+			if leStr == "" {
+				return fmt.Errorf("histogram %s bucket is missing its le label", key)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %s has unparsable le=%q", key, leStr)
+			}
+			if math.IsInf(le, 1) {
+				hasInf = true
+				infVal = b.Value
+			}
+			bounds = append(bounds, bound{le: le, val: b.Value})
+		}
+		if !hasInf {
+			return fmt.Errorf("histogram %s is missing its le=\"+Inf\" bucket", key)
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i].val < bounds[i-1].val {
+				return fmt.Errorf("histogram %s buckets are not cumulative", key)
+			}
+		}
+		if g.count != nil && *g.count != infVal {
+			return fmt.Errorf("histogram %s +Inf bucket (%v) disagrees with _count (%v)", key, infVal, *g.count)
+		}
+	}
+	return nil
+}

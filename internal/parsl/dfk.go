@@ -61,6 +61,13 @@ type TaskEvent struct {
 	// Label attributes the task to a submission group (CallOpts.Label),
 	// e.g. one service run multiplexed over a shared DFK.
 	Label string
+	// WaitDur is set on the first StateLaunched event (and on terminal
+	// events of tasks that never launched, like memo hits and dep
+	// failures): time from submission to this transition.
+	WaitDur time.Duration
+	// ExecDur is set on terminal events of launched tasks: time from first
+	// launch to this transition, including executor retries/re-dispatches.
+	ExecDur time.Duration
 }
 
 // Config configures a DFK, following parsl.config.Config.
@@ -113,8 +120,10 @@ type DFK struct {
 	memo      map[string]*AppFuture
 	memoSeq   map[string]int64 // per-entry last-use tick, for LRU eviction
 	memoTick  int64
-	submitted int            // total Submit calls, immune to event truncation
-	perApp    map[string]int // per-app Submit counts, ditto
+	pendingAt map[int]time.Time // submit time per live task, for WaitDur
+	launchAt  map[int]time.Time // first-launch time per live task, for ExecDur
+	submitted int               // total Submit calls, immune to event truncation
+	perApp    map[string]int    // per-app Submit counts, ditto
 	pending   sync.WaitGroup
 	cleaned   bool
 }
@@ -144,6 +153,8 @@ func Load(cfg Config) (*DFK, error) {
 		memo:      map[string]*AppFuture{},
 		memoSeq:   map[string]int64{},
 		perApp:    map[string]int{},
+		pendingAt: map[int]time.Time{},
+		launchAt:  map[int]time.Time{},
 	}
 	for i, ex := range cfg.Executors {
 		if _, dup := d.executors[ex.Label()]; dup {
@@ -227,11 +238,13 @@ func (d *DFK) Submit(app App, args Args, opts CallOpts) *AppFuture {
 	}
 	d.submitted++
 	d.perApp[app.Name()]++
+	metTasksSubmitted.Inc()
 	if d.cleaned {
 		// The DFK is shut down: fail fast instead of racing Cleanup's
 		// pending.Wait and the executors' shutdown.
 		d.states[id] = StateFailed
 		ev := TaskEvent{TaskID: id, App: app.Name(), State: StateFailed, Time: time.Now(), Label: opts.Label}
+		metTaskTransitions.With(StateFailed.String()).Inc()
 		d.appendEventLocked(ev)
 		hooks := d.hooks
 		d.mu.Unlock()
@@ -243,6 +256,8 @@ func (d *DFK) Submit(app App, args Args, opts CallOpts) *AppFuture {
 	}
 	d.states[id] = StatePending
 	ev := TaskEvent{TaskID: id, App: app.Name(), State: StatePending, Time: time.Now(), Label: opts.Label}
+	d.pendingAt[id] = ev.Time
+	metTaskTransitions.With(StatePending.String()).Inc()
 	d.appendEventLocked(ev)
 	hooks := d.hooks
 	d.pending.Add(1)
@@ -387,6 +402,32 @@ func (d *DFK) setState(id int, app, label string, s TaskState, tries int) {
 	d.mu.Lock()
 	d.states[id] = s
 	ev := TaskEvent{TaskID: id, App: app, State: s, Time: time.Now(), Tries: tries, Label: label}
+	metTaskTransitions.With(s.String()).Inc()
+	switch s {
+	case StateLaunched:
+		if _, launched := d.launchAt[id]; !launched {
+			d.launchAt[id] = ev.Time
+			if p, ok := d.pendingAt[id]; ok {
+				ev.WaitDur = ev.Time.Sub(p)
+				metTaskWait.Observe(ev.WaitDur.Seconds())
+			}
+		}
+	case StateDone, StateFailed, StateDepFail, StateMemoHit:
+		if s == StateMemoHit {
+			metMemoHits.Inc()
+		}
+		if l, ok := d.launchAt[id]; ok {
+			ev.ExecDur = ev.Time.Sub(l)
+			metTaskExec.Observe(ev.ExecDur.Seconds())
+		} else if p, ok := d.pendingAt[id]; ok {
+			// Never launched (memo hit, dep failure): the whole lifetime
+			// was wait.
+			ev.WaitDur = ev.Time.Sub(p)
+			metTaskWait.Observe(ev.WaitDur.Seconds())
+		}
+		delete(d.pendingAt, id)
+		delete(d.launchAt, id)
+	}
 	d.appendEventLocked(ev)
 	hooks := d.hooks
 	d.mu.Unlock()
@@ -570,6 +611,38 @@ func (d *DFK) ForgetLabel(label string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.byLabel, label)
+}
+
+// IndexStats sizes the DFK's bounded in-memory structures, for monitoring.
+type IndexStats struct {
+	// Events is the shared monitoring-log length.
+	Events int
+	// Labels is how many labels the per-label event index holds.
+	Labels int
+	// LabelEvents is the total event count across the per-label index.
+	LabelEvents int
+	// MemoEntries is the memoization-table size.
+	MemoEntries int
+	// Tasks is how many tasks have recorded states.
+	Tasks int
+}
+
+// IndexStats reports the current sizes of the event log, per-label index and
+// memo table. Exposed as gauges on /metrics so operators can watch the
+// bounded structures approach their caps.
+func (d *DFK) IndexStats() IndexStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := IndexStats{
+		Events:      len(d.events),
+		Labels:      len(d.byLabel),
+		MemoEntries: len(d.memo),
+		Tasks:       len(d.states),
+	}
+	for _, ll := range d.byLabel {
+		st.LabelEvents += len(ll.events)
+	}
+	return st
 }
 
 // TaskStates returns a snapshot of task states.

@@ -1,6 +1,7 @@
 package parsl
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -59,6 +60,88 @@ func TestEventHookSeesAllEventsAndUnregisters(t *testing.T) {
 	}
 	if got := seen.Load(); got != 3*n {
 		t.Errorf("hook saw %d events after unregistering, want %d", got, 3*n)
+	}
+}
+
+// TestLabelIndexChurnConcurrent hammers the per-label event index from every
+// side at once: submitters forcing LRU label eviction (MaxLabels far below
+// the label count), a ForgetLabel churner, and readers streaming EventsFor
+// and IndexStats. Run under -race it proves the index survives concurrent
+// eviction + explicit forgetting + reads; functionally it checks the bound
+// holds and reads never surface another label's events.
+func TestLabelIndexChurnConcurrent(t *testing.T) {
+	const maxLabels = 8
+	dfk, err := Load(Config{
+		Executors: []Executor{NewThreadPoolExecutor("threads", 4)},
+		MaxEvents: 64,
+		MaxLabels: maxLabels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+	app := NewGoApp("churn", func(Args) (any, error) { return nil, nil })
+	labelOf := func(i int) string { return "run-" + string(rune('a'+i%26)) }
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Readers: stream EventsFor and IndexStats while writers churn.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				label := labelOf(i + r)
+				for _, ev := range dfk.EventsFor(label) {
+					if ev.Label != label {
+						t.Errorf("EventsFor(%q) surfaced event labelled %q", label, ev.Label)
+						return
+					}
+				}
+				dfk.IndexStats()
+			}
+		}(r)
+	}
+	// Forgetter: retire labels while submissions for them may be in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			dfk.ForgetLabel(labelOf(i))
+		}
+	}()
+	// Submitters: 26 distinct labels against a cap of 8 forces constant
+	// LRU eviction.
+	var futs []*AppFuture
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 50; i++ {
+			futs = append(futs, dfk.Submit(app, Args{}, CallOpts{Label: labelOf(w*50 + i)}))
+		}
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := dfk.IndexStats()
+	if st.Labels > maxLabels {
+		t.Errorf("label index holds %d labels after churn, cap %d", st.Labels, maxLabels)
+	}
+	if st.LabelEvents > st.Labels*2*64 {
+		t.Errorf("per-label event retention exceeded: %d events across %d labels", st.LabelEvents, st.Labels)
 	}
 }
 

@@ -1,0 +1,27 @@
+package parsl
+
+import "repro/internal/obs"
+
+// Package-level instruments on the Default registry. They aggregate across
+// every DFK in the process (exactly like Prometheus client counters); the
+// per-instance breakdown lives in ExecutorStats / the service collectors.
+var (
+	metTasksSubmitted = obs.Default().Counter(
+		"pcwl_dfk_tasks_submitted_total",
+		"Tasks submitted to any DFK in this process.")
+	metTaskTransitions = obs.Default().CounterVec(
+		"pcwl_dfk_task_transitions_total",
+		"Task state transitions recorded by the DFK monitoring stream.",
+		"state")
+	metMemoHits = obs.Default().Counter(
+		"pcwl_dfk_memo_hits_total",
+		"Task results served from the DFK memoization table.")
+	metTaskWait = obs.Default().Histogram(
+		"pcwl_dfk_task_wait_seconds",
+		"Time from task submission to first launch (dependency + queue wait).",
+		nil)
+	metTaskExec = obs.Default().Histogram(
+		"pcwl_dfk_task_exec_seconds",
+		"Time from first launch to terminal state, including executor retries.",
+		obs.ExpBuckets(0.005, 3, 12))
+)

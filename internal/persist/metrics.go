@@ -1,0 +1,18 @@
+package persist
+
+import "repro/internal/obs"
+
+// Package-level instruments on the Default registry, aggregated across every
+// Log in the process. Per-instance sizes (journal bytes, snapshot age) are
+// exported by component collectors reading Stats().
+var (
+	metAppends = obs.Default().Counter(
+		"pcwl_wal_appends_total",
+		"Records appended to any write-ahead log in this process.")
+	metFsyncBatches = obs.Default().Counter(
+		"pcwl_wal_fsync_batches_total",
+		"Journal fsync batches flushed to disk (one fsync amortizes many appends).")
+	metCompactions = obs.Default().Counter(
+		"pcwl_wal_compactions_total",
+		"Snapshot compactions completed.")
+)

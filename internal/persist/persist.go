@@ -394,6 +394,7 @@ func (l *Log) Append(kind string, v any) error {
 	l.stats.JournalBytes += int64(len(line))
 	l.stats.JournalRecords++
 	l.stats.AppendedRecords++
+	metAppends.Inc()
 	if l.opts.FsyncInterval < 0 {
 		return l.syncLocked()
 	}
@@ -418,6 +419,7 @@ func (l *Log) syncLocked() error {
 		return fmt.Errorf("persist: %w", err)
 	}
 	l.dirty = false
+	metFsyncBatches.Inc()
 	return nil
 }
 
@@ -536,6 +538,7 @@ func (l *Log) Compact(build func() (any, error)) error {
 	l.stats.SnapshotBytes = int64(len(env))
 	l.stats.LastSnapshot = now
 	l.stats.Compactions++
+	metCompactions.Inc()
 	l.mu.Unlock()
 	return nil
 }

@@ -36,6 +36,7 @@ func (p *LocalProvider) Launch(block int) (ManagerHandle, error) {
 	p.blocks[block] = h
 	p.mu.Unlock()
 	p.granted.Add(1)
+	metBlocksLaunched.With("local").Inc()
 	return h, nil
 }
 

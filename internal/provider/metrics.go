@@ -1,0 +1,44 @@
+package provider
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Package-level instruments on the Default registry, aggregated across every
+// provider instance in the process.
+var (
+	metBlocksLaunched = obs.Default().CounterVec(
+		"pcwl_provider_blocks_launched_total",
+		"Blocks successfully launched, by provider kind.",
+		"provider")
+	metWorkerLost = obs.Default().CounterVec(
+		"pcwl_provider_worker_lost_total",
+		"Workers lost outside an orderly shutdown (crash, preemption, walltime), by provider kind.",
+		"provider")
+	metFramesSent = obs.Default().Counter(
+		"pcwl_provider_frames_sent_total",
+		"Task-request frames written to worker subprocess pipes.")
+	metFramesReceived = obs.Default().Counter(
+		"pcwl_provider_frames_received_total",
+		"Response frames read from worker subprocess pipes.")
+	metRemoteTasks = obs.Default().Counter(
+		"pcwl_provider_remote_tasks_total",
+		"Tasks shipped to worker subprocesses over the pipe protocol.")
+	metRemoteRoundtrip = obs.Default().Histogram(
+		"pcwl_provider_remote_roundtrip_seconds",
+		"Round-trip time of one task over the worker pipe protocol (send to response).",
+		nil)
+	metSimPreemptions = obs.Default().Counter(
+		"pcwl_sim_preemptions_total",
+		"Simulated node preemptions injected into SimProvider blocks.")
+	metSimWalltimeKills = obs.Default().Counter(
+		"pcwl_sim_walltime_kills_total",
+		"SimProvider blocks killed by simulated walltime expiry.")
+)
+
+// observeRoundtrip records one pipe-protocol round trip.
+func observeRoundtrip(start time.Time) {
+	metRemoteRoundtrip.Observe(time.Since(start).Seconds())
+}

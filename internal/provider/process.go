@@ -148,6 +148,7 @@ func (p *ProcessProvider) Launch(block int) (ManagerHandle, error) {
 	p.mu.Lock()
 	p.blocks[block] = h
 	p.mu.Unlock()
+	metBlocksLaunched.With("process").Inc()
 	return h, nil
 }
 
@@ -230,6 +231,7 @@ func (h *processHandle) readLoop(r *bufio.Reader) {
 			h.markDead()
 			return
 		}
+		metFramesReceived.Inc()
 		h.mu.Lock()
 		ch := h.pending[resp.ID]
 		delete(h.pending, resp.ID)
@@ -241,7 +243,12 @@ func (h *processHandle) readLoop(r *bufio.Reader) {
 }
 
 func (h *processHandle) markDead() {
-	h.deadOnce.Do(func() { close(h.dead) })
+	h.deadOnce.Do(func() {
+		close(h.dead)
+		if !h.closed.Load() {
+			metWorkerLost.With("process").Inc()
+		}
+	})
 	h.reap()
 }
 
@@ -277,6 +284,7 @@ func (h *processHandle) Run(t *Task) (any, error) {
 	if h.provider != nil {
 		h.provider.remoteTasks.Add(1)
 	}
+	metRemoteTasks.Inc()
 	cleanup := func() {
 		h.mu.Lock()
 		delete(h.pending, id)
@@ -291,13 +299,16 @@ func (h *processHandle) Run(t *Task) (any, error) {
 		cleanup()
 		return nil, fmt.Errorf("task %d cannot be shipped to worker block %d: %w", t.ID, h.block, err)
 	}
+	start := time.Now()
 	if err := h.in.sendEncoded(body); err != nil {
 		cleanup()
 		h.markDead()
 		return nil, fmt.Errorf("worker block %d write failed (%v): %w", h.block, err, ErrWorkerLost)
 	}
+	metFramesSent.Inc()
 	select {
 	case resp := <-ch:
+		observeRoundtrip(start)
 		if !resp.OK {
 			return nil, fmt.Errorf("task %d: %s", t.ID, resp.Error)
 		}

@@ -146,6 +146,7 @@ func (p *SimProvider) Launch(block int) (ManagerHandle, error) {
 	})
 	select {
 	case <-granted:
+		metBlocksLaunched.With("sim").Inc()
 		return h, nil
 	case <-p.stop:
 		return nil, fmt.Errorf("sim provider canceled while block %d was queued", block)
@@ -265,6 +266,13 @@ func (h *simHandle) die(reason string) {
 	if h.state.Load() != int32(stateRunning) {
 		return
 	}
+	switch reason {
+	case "walltime exceeded":
+		metSimWalltimeKills.Inc()
+	case "node preempted":
+		metSimPreemptions.Inc()
+	}
+	metWorkerLost.With("sim").Inc()
 	h.reason = reason
 	h.state.Store(int32(stateDead))
 	h.deadOnce.Do(func() { close(h.dead) })

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/yamlx"
 )
 
@@ -37,6 +38,11 @@ type taskEventJSON struct {
 	State  string    `json:"state"`
 	Time   time.Time `json:"time"`
 	Tries  int       `json:"tries,omitempty"`
+	// WaitSeconds rides on the first launched event (submission → launch)
+	// and on terminal events of tasks that never launched.
+	WaitSeconds float64 `json:"waitSeconds,omitempty"`
+	// ExecSeconds rides on terminal events (first launch → terminal).
+	ExecSeconds float64 `json:"execSeconds,omitempty"`
 }
 
 // Handler returns the REST API over this service:
@@ -47,9 +53,13 @@ type taskEventJSON struct {
 //	GET    /runs/{id}/events the run's DFK task-event log
 //	DELETE /runs/{id}        cancel a queued or running run
 //	GET    /healthz          liveness + load/cache stats
+//	GET    /metrics          Prometheus text exposition (unless disabled)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if !s.opts.DisableMetrics {
+		mux.Handle("GET /metrics", obs.Handler(obs.Default(), s.reg))
+	}
 	mux.HandleFunc("POST /runs", s.handleSubmit)
 	mux.HandleFunc("GET /runs", s.handleList)
 	mux.HandleFunc("GET /runs/{id}", s.handleGet)
@@ -186,14 +196,17 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	out := make([]taskEventJSON, len(events))
 	for i, ev := range events {
 		out[i] = taskEventJSON{
-			TaskID: ev.TaskID,
-			App:    ev.App,
-			State:  ev.State.String(),
-			Time:   ev.Time,
-			Tries:  ev.Tries,
+			TaskID:      ev.TaskID,
+			App:         ev.App,
+			State:       ev.State.String(),
+			Time:        ev.Time,
+			Tries:       ev.Tries,
+			WaitSeconds: ev.WaitDur.Seconds(),
+			ExecSeconds: ev.ExecDur.Seconds(),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"runId": id, "events": out})
+	spans, _ := s.Spans(id)
+	writeJSON(w, http.StatusOK, map[string]any{"runId": id, "events": out, "spans": spans})
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

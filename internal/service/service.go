@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -41,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cwl"
+	"repro/internal/obs"
 	"repro/internal/parsl"
 	"repro/internal/persist"
 	"repro/internal/runner"
@@ -110,6 +112,13 @@ type Options struct {
 	// cache (0 selects the default of 64 MiB; negative disables the byte
 	// cap, leaving only the entry-count cap).
 	CacheBytes int64
+	// DisableMetrics removes the GET /metrics route from Handler. The
+	// registry and tracer still run (they back /healthz and span-augmented
+	// /runs/{id}/events); only the exposition endpoint is withheld.
+	DisableMetrics bool
+	// Logger, when set, receives structured log records for run lifecycle
+	// transitions and span events (see cmd/parsl-cwl-serve -log-format).
+	Logger *slog.Logger
 }
 
 // SubmitRequest is one workflow submission.
@@ -157,6 +166,15 @@ type Service struct {
 	sched *Scheduler
 	pers  *persister // nil when running in-memory only
 
+	// reg is the service-scoped metrics registry: gather-time collectors
+	// over the same sources /healthz reads. Merged with obs.Default() (the
+	// engine layers' process-wide counters) on GET /metrics.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	// removeSpanHook detaches the span recorder from the shared DFK at
+	// Close, so a closed service is not retained by the DFK's hook list.
+	removeSpanHook func()
+
 	workMu sync.Mutex
 	work   map[string]*pendingRun
 }
@@ -197,22 +215,39 @@ func New(dfk *parsl.DFK, opts Options) (*Service, error) {
 		opts.CheckpointPeriod = 30 * time.Second
 	}
 	s := &Service{
-		dfk:   dfk,
-		opts:  opts,
-		store: NewRunStore(opts.RetainRuns),
-		cache: NewDocCache(opts.CacheSize, opts.CacheBytes),
-		work:  map[string]*pendingRun{},
+		dfk:    dfk,
+		opts:   opts,
+		store:  NewRunStore(opts.RetainRuns),
+		cache:  NewDocCache(opts.CacheSize, opts.CacheBytes),
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(opts.RetainRuns, 0),
+		work:   map[string]*pendingRun{},
 	}
 	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
+	s.registerCollectors()
+	if opts.Logger != nil {
+		logger := opts.Logger
+		s.tracer.SetSink(func(sp obs.Span) {
+			logger.Debug("span",
+				"runId", sp.Trace, "span", sp.ID, "name", sp.Name,
+				"kind", string(sp.Kind), "durSeconds", sp.Duration().Seconds())
+		})
+	}
+	recorder := newSpanRecorder(s.tracer)
+	s.removeSpanHook = dfk.OnTaskEvent(recorder.onEvent)
 	// Per-run event logs live in the DFK's per-label index (runs are labeled
 	// with their ID); when retention evicts a run, drop its label index from
-	// the shared DFK too, so a long-lived service does not pin every past
-	// run's events.
-	s.store.SetOnEvict(dfk.ForgetLabel)
+	// the shared DFK — and its trace from the tracer — so a long-lived
+	// service does not pin every past run's events.
+	s.store.SetOnEvict(func(id string) {
+		dfk.ForgetLabel(id)
+		s.tracer.Forget(id)
+	})
 
 	if opts.DataDir != "" {
 		if err := s.openPersistence(); err != nil {
 			s.sched.Close(context.Background())
+			s.removeSpanHook()
 			return nil, err
 		}
 	}
@@ -312,6 +347,14 @@ func (s *Service) openPersistence() error {
 // finishRun finalizes a run and journals the terminal transition.
 func (s *Service) finishRun(id string, outputs *yamlx.Map, runErr error, canceled bool) (RunSnapshot, bool) {
 	snap, ok := s.store.Finish(id, outputs, runErr, canceled)
+	if ok && snap.State.Terminal() {
+		if snap.Started != nil && snap.Finished != nil {
+			metRunDuration.With(snap.State.String()).Observe(snap.Finished.Sub(*snap.Started).Seconds())
+		}
+		if logger := s.opts.Logger; logger != nil {
+			logger.Info("run finished", "runId", id, "state", snap.State.String(), "error", snap.Error)
+		}
+	}
 	if ok && s.pers != nil && snap.State.Terminal() {
 		s.pers.runChanged(snap)
 	}
@@ -334,10 +377,12 @@ func (s *Service) executorFor(providerLabel string) (string, error) {
 // snapshot immediately.
 func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 	if _, err := s.executorFor(req.Provider); err != nil {
+		metRunsRejected.With(rejectReason(err)).Inc()
 		return RunSnapshot{}, err
 	}
 	doc, idx, hash, hit, err := s.cache.LoadIndexed(req.Source)
 	if err != nil {
+		metRunsRejected.With(rejectReason(err)).Inc()
 		return RunSnapshot{}, err
 	}
 	snap := s.store.Create(req.Name, doc.Class(), hash, req.Priority, hit, req.Provider)
@@ -351,6 +396,7 @@ func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 		if err := s.pers.runSubmitted(snap, req.Source, req.Inputs); err != nil {
 			s.dropWork(snap.ID)
 			s.store.Delete(snap.ID)
+			metRunsRejected.With("journal").Inc()
 			return RunSnapshot{}, fmt.Errorf("journaling submission: %w", err)
 		}
 	}
@@ -360,8 +406,10 @@ func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 		}
 		s.dropWork(snap.ID)
 		s.store.Delete(snap.ID)
+		metRunsRejected.With(rejectReason(err)).Inc()
 		return RunSnapshot{}, err
 	}
+	metRunsAdmitted.Inc()
 	return snap, nil
 }
 
@@ -386,6 +434,12 @@ func (s *Service) execute(ctx context.Context, id string) {
 		return // canceled between dequeue and start
 	}
 	snap, _ := s.store.Get(id)
+	if snap.Started != nil {
+		metRunQueueWait.Observe(snap.Started.Sub(snap.Created).Seconds())
+	}
+	if logger := s.opts.Logger; logger != nil {
+		logger.Info("run started", "runId", id, "class", snap.Class, "provider", snap.Provider)
+	}
 	if s.pers != nil {
 		s.pers.runChanged(snap)
 	}
@@ -483,25 +537,45 @@ func (s *Service) Wait(ctx context.Context, id string) (RunSnapshot, error) {
 }
 
 // Stats summarizes service load, cache effectiveness, and durability state.
+// The numeric fields are projected from the obs registry — the same gather
+// the /metrics endpoint serves — so /healthz and /metrics cannot drift; the
+// structured fields (per-executor block detail, persistence dir/timestamps)
+// carry what a flat metric sample cannot, read from the same sources the
+// registry's collectors read.
 func (s *Service) Stats() Stats {
-	hits, misses, size, bytes := s.cache.Stats()
-	queued, running := s.sched.Depths()
+	fams := s.reg.Gather()
+	intOf := func(name string) int {
+		v, _ := obs.Value(fams, name)
+		return int(v)
+	}
 	st := Stats{
-		Runs:        s.store.Counts(),
-		Queued:      queued,
-		Running:     running,
-		Workers:     s.opts.Workers,
-		CacheHits:   hits,
-		CacheMisses: misses,
-		CacheSize:   size,
-		CacheBytes:  bytes,
+		Runs:        map[string]int{},
+		Queued:      intOf("pcwl_sched_queue_depth"),
+		Running:     intOf("pcwl_sched_running"),
+		Workers:     intOf("pcwl_sched_workers"),
+		CacheHits:   intOf("pcwl_doccache_hits_total"),
+		CacheMisses: intOf("pcwl_doccache_misses_total"),
+		CacheSize:   intOf("pcwl_doccache_entries"),
+		CacheBytes:  int64(intOf("pcwl_doccache_bytes")),
 		Executors:   s.dfk.ExecutorStats(),
+	}
+	for _, smp := range obs.Samples(fams, "pcwl_runs") {
+		for _, l := range smp.Labels {
+			if l.Name == "state" {
+				st.Runs[l.Value] = int(smp.Value)
+			}
+		}
 	}
 	if s.pers != nil {
 		st.Persistence = s.pers.stats()
 	}
 	return st
 }
+
+// Registry returns the service-scoped metrics registry (gauges and
+// collectors tied to this Service's lifetime). Merge it with obs.Default()
+// for a full exposition page.
+func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // Close drains the service: new submissions are rejected, queued runs are
 // marked canceled, and in-flight runs are awaited until ctx expires (then
@@ -522,5 +596,6 @@ func (s *Service) Close(ctx context.Context) error {
 			err = perr
 		}
 	}
+	s.removeSpanHook()
 	return err
 }
