@@ -427,6 +427,31 @@ func BenchmarkProcessProviderThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
 }
 
+// BenchmarkNetProviderThroughput measures the network fabric's overhead:
+// echo tasks dispatched through an HTEX whose single block is a worker
+// dialing the engine's interchange over loopback TCP with shared-secret
+// authentication. The companion to BenchmarkProcessProviderThroughput for
+// the socket transport, gated against BENCH_baseline.json the same way.
+func BenchmarkNetProviderThroughput(b *testing.B) {
+	htex, prov, err := bench.BuildNetHTEX(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := htex.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer htex.Shutdown()
+	b.ResetTimer()
+	if err := bench.RunEchoBatch(htex, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if prov.RemoteTasks() < int64(b.N) {
+		b.Fatalf("only %d of %d tasks crossed the network session", prov.RemoteTasks(), b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
 // BenchmarkMetricsHotPath gates the cost of the obs instrumentation the
 // engine layers now run on every task event: a plain counter increment, a
 // labeled-counter lookup+increment, and a histogram observation. Each op is

@@ -59,6 +59,11 @@ type serveConfig struct {
 	noPersist        bool
 	providers        string
 	workerCmd        string
+	netListen        string
+	netSecret        string
+	netCert          string
+	netKey           string
+	netSpawn         bool
 	metrics          bool
 	pprofAddr        string
 	logFormat        string
@@ -78,8 +83,13 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.StringVar(&cfg.dataDir, "data-dir", "", "directory for the run journal and checkpoints; enables durable, crash-resumable runs")
 	fs.DurationVar(&cfg.checkpointPeriod, "checkpoint-period", 30*time.Second, "how often the journal is compacted into a snapshot")
 	fs.BoolVar(&cfg.noPersist, "no-persist", false, "disable persistence even when -data-dir is set")
-	fs.StringVar(&cfg.providers, "provider", "", "execution providers to offer, comma-separated (local|process|sim); first is the default; runs pin one via the submit body's \"provider\" field")
-	fs.StringVar(&cfg.workerCmd, "worker-cmd", "", "worker command line for the process provider (default: parsl-cwl-worker next to this binary or on PATH)")
+	fs.StringVar(&cfg.providers, "provider", "", "execution providers to offer, comma-separated (local|process|sim|net); first is the default; runs pin one via the submit body's \"provider\" field")
+	fs.StringVar(&cfg.workerCmd, "worker-cmd", "", "worker command line for the process and net providers (default: parsl-cwl-worker next to this binary or on PATH)")
+	fs.StringVar(&cfg.netListen, "net-listen", "", "net provider interchange listen address (default 127.0.0.1:0)")
+	fs.StringVar(&cfg.netSecret, "net-secret", os.Getenv("PCWL_NET_SECRET"), "shared secret net workers must present (default $PCWL_NET_SECRET; empty disables authentication)")
+	fs.StringVar(&cfg.netCert, "net-cert", "", "TLS certificate (PEM) for the interchange listener")
+	fs.StringVar(&cfg.netKey, "net-key", "", "TLS private key (PEM) for the interchange listener")
+	fs.BoolVar(&cfg.netSpawn, "net-spawn", true, "spawn a local parsl-cwl-worker -connect per net block (disable when remote workers dial in)")
 	fs.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus text exposition on GET /metrics")
 	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "log format: text or json (structured, with run IDs attached)")
@@ -130,6 +140,19 @@ func newService(cfg serveConfig, logger *slog.Logger) (*parsl.DFK, *service.Serv
 	}
 	if cfg.workerCmd != "" {
 		spec.WorkerCmd = cfg.workerCmd
+	}
+	if cfg.netListen != "" {
+		spec.NetListen = cfg.netListen
+	}
+	if cfg.netSecret != "" {
+		spec.NetSecret = cfg.netSecret
+	}
+	if cfg.netCert != "" || cfg.netKey != "" {
+		spec.NetCertFile = cfg.netCert
+		spec.NetKeyFile = cfg.netKey
+	}
+	if !cfg.netSpawn {
+		spec.NetSpawn = false
 	}
 	var (
 		pcfg           parsl.Config

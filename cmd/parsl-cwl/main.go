@@ -9,8 +9,8 @@
 //	parsl-cwl -provider=process config.yml wf.cwl inputs.yml
 //
 // The optional flags (before the positional arguments) override the config:
-// -provider selects how HTEX pilot blocks run (local, process, or sim) and
-// -worker-cmd points the process provider at a worker binary.
+// -provider selects how HTEX pilot blocks run (local, process, sim, or net)
+// and -worker-cmd points the process and net providers at a worker binary.
 //
 // The outputs object is printed as JSON on stdout, like cwltool.
 package main
@@ -38,14 +38,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("parsl-cwl", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	providerName := fs.String("provider", "", "execution provider for HTEX blocks: local|process|sim (overrides the config)")
-	workerCmd := fs.String("worker-cmd", "", "worker command line for the process provider")
+	providerName := fs.String("provider", "", "execution provider for HTEX blocks: local|process|sim|net (overrides the config)")
+	workerCmd := fs.String("worker-cmd", "", "worker command line for the process and net providers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	args = fs.Args()
 	if len(args) < 2 {
-		return fmt.Errorf("usage: parsl-cwl [-provider=local|process|sim] [-worker-cmd=...] CONFIG.yml PROCESS.cwl [INPUTS.yml | --name=value ...]")
+		return fmt.Errorf("usage: parsl-cwl [-provider=local|process|sim|net] [-worker-cmd=...] CONFIG.yml PROCESS.cwl [INPUTS.yml | --name=value ...]")
 	}
 	spec, err := parsl.LoadConfigFile(args[0])
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/parsl"
 	"repro/internal/provider"
 )
@@ -48,6 +49,45 @@ func BuildProviderHTEX(providerName string, workerCmd, env []string, workers int
 		InitBlocks:     1,
 	})
 	return htex, pp, nil
+}
+
+// BuildNetHTEX constructs (without starting) a one-block HTEX over a
+// loopback network fabric: Launch spawns an in-process worker goroutine that
+// dials the interchange over real TCP and authenticates with a shared
+// secret, so the benchmark exercises the full frame + socket path without
+// subprocess noise.
+func BuildNetHTEX(workers int) (*parsl.HighThroughputExecutor, *fabric.NetProvider, error) {
+	const secret = "bench-secret"
+	opts := fabric.Options{
+		Addr:            "127.0.0.1:0",
+		Secret:          secret,
+		HeartbeatPeriod: time.Second,
+		AdoptTimeout:    10 * time.Second,
+	}
+	var np *fabric.NetProvider
+	opts.Spawn = func(block int) error {
+		go func() {
+			_ = fabric.RunWorker(fabric.ConnectOptions{
+				Addr:   np.Addr(),
+				Secret: secret,
+				ID:     fmt.Sprintf("bench-%d", block),
+			})
+		}()
+		return nil
+	}
+	np, err := fabric.Listen(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	htex := parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
+		Label:          "bench-net",
+		Provider:       np,
+		WorkersPerNode: workers,
+		Prefetch:       workers,
+		MaxBlocks:      1,
+		InitBlocks:     1,
+	})
+	return htex, np, nil
 }
 
 // RunEchoBatch submits `tasks` echo tasks (with an in-process fallback Fn)

@@ -1,9 +1,10 @@
 // Package conformance is the engine's cross-provider conformance corpus: a
 // table of golden CWL workflows executed end to end under every execution
 // provider (local in-process managers, process-isolated workers, simulated
-// batch allocations). The same workflow must produce byte-identical canonical
-// outputs on all backends — the property that makes "which provider" an
-// operational choice instead of a semantic one.
+// batch allocations, network workers over loopback TCP). The same workflow
+// must produce byte-identical canonical outputs on all backends — the
+// property that makes "which provider" an operational choice instead of a
+// semantic one.
 package conformance
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cwl"
+	"repro/internal/fabric"
 	"repro/internal/parsl"
 	"repro/internal/provider"
 	"repro/internal/yamlx"
@@ -36,7 +38,11 @@ func TestMain(m *testing.M) {
 }
 
 // providerNames lists every backend the corpus must agree across.
-var providerNames = []string{"local", "process", "sim"}
+var providerNames = []string{"local", "process", "sim", "net"}
+
+// netSecret authenticates the loopback conformance workers to the
+// interchange.
+const netSecret = "conformance-secret"
 
 // buildProvider constructs one execution provider for a conformance run.
 func buildProvider(t *testing.T, name string) provider.ExecutionProvider {
@@ -59,6 +65,33 @@ func buildProvider(t *testing.T, name string) provider.ExecutionProvider {
 			CoresPerNode: 4,
 			TimeScale:    200 * time.Microsecond,
 		})
+	case "net":
+		// Loopback network fabric: each Launch spawns an in-process worker
+		// goroutine that dials the interchange over real TCP and
+		// authenticates with the shared secret, so every tool invocation
+		// crosses an authenticated socket.
+		opts := fabric.Options{
+			Addr:            "127.0.0.1:0",
+			Secret:          netSecret,
+			HeartbeatPeriod: 50 * time.Millisecond,
+			AdoptTimeout:    10 * time.Second,
+		}
+		var np *fabric.NetProvider
+		opts.Spawn = func(block int) error {
+			go func() {
+				_ = fabric.RunWorker(fabric.ConnectOptions{
+					Addr:   np.Addr(),
+					Secret: netSecret,
+					ID:     fmt.Sprintf("conf-%d", block),
+				})
+			}()
+			return nil
+		}
+		np, err := fabric.Listen(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return np
 	default:
 		t.Fatalf("unknown provider %q", name)
 		return nil
@@ -115,12 +148,13 @@ func runUnderProvider(t *testing.T, name string, c Case, fixture string) []byte 
 	if c.Check != nil {
 		c.Check(t, outputs)
 	}
-	// Process isolation must be real, not a silent in-process fallback:
-	// every tool invocation the workflow performs has to cross the pipe.
-	if pp, ok := prov.(*provider.ProcessProvider); ok {
-		if got := pp.RemoteTasks(); got < int64(c.MinToolRuns()) {
-			t.Errorf("%s: only %d tasks crossed the worker pipe, want >= %d",
-				c.Name, got, c.MinToolRuns())
+	// Remote execution must be real, not a silent in-process fallback: every
+	// tool invocation the workflow performs has to cross the pipe (process
+	// provider) or the TCP session (net provider).
+	if rc, ok := prov.(interface{ RemoteTasks() int64 }); ok {
+		if got := rc.RemoteTasks(); got < int64(c.MinToolRuns()) {
+			t.Errorf("%s: only %d tasks crossed the %s worker transport, want >= %d",
+				c.Name, got, name, c.MinToolRuns())
 		}
 	}
 	return canonicalize(t, outputs, workRoot, fixture)

@@ -3,10 +3,12 @@ package parsl
 import (
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/provider"
 	"repro/internal/yamlx"
 )
@@ -20,8 +22,13 @@ import (
 //	memoize: false
 //	workers-per-node: 48
 //	nodes: 3
-//	provider: local | process | sim
+//	provider: local | process | sim | net
 //	worker-cmd: /usr/local/bin/parsl-cwl-worker
+//	net-listen: 127.0.0.1:0
+//	net-secret: s3cret
+//	net-cert: server.crt
+//	net-key: server.key
+//	net-spawn: true
 //	prefetch: 0
 //	min-blocks: 0
 //	init-blocks: 1
@@ -36,7 +43,9 @@ type ConfigSpec struct {
 	Nodes          int
 	// Provider selects how HTEX blocks run: "local" (in-process goroutine
 	// managers), "process" (parsl-cwl-worker subprocesses over the pipe
-	// protocol), or "sim" (pilot jobs in the simulated Slurm cluster).
+	// protocol), "sim" (pilot jobs in the simulated Slurm cluster), or "net"
+	// (remote workers dialing the engine's interchange listener over
+	// TCP/TLS).
 	Provider string
 	// WorkerCmd overrides the worker command line for the process provider
 	// (whitespace-split; default: parsl-cwl-worker next to the binary or on
@@ -51,6 +60,19 @@ type ConfigSpec struct {
 	IdleTimeout time.Duration
 	// HeartbeatPeriod is the HTEX manager liveness reporting period.
 	HeartbeatPeriod time.Duration
+	// NetListen is the net provider's interchange listen address (default
+	// loopback on an ephemeral port).
+	NetListen string
+	// NetSecret is the shared secret net workers must present ("" disables
+	// authentication — loopback only).
+	NetSecret string
+	// NetCertFile/NetKeyFile enable TLS on the interchange listener.
+	NetCertFile string
+	NetKeyFile  string
+	// NetSpawn makes the net provider spawn a local parsl-cwl-worker
+	// -connect subprocess per block (default true); disable it when blocks
+	// are remote workers dialing in on their own.
+	NetSpawn bool
 }
 
 // DefaultConfigSpec returns single-node thread-pool defaults.
@@ -60,6 +82,7 @@ func DefaultConfigSpec() ConfigSpec {
 		WorkersPerNode: runtime.NumCPU(),
 		Nodes:          1,
 		Provider:       "local",
+		NetSpawn:       true,
 	}
 }
 
@@ -118,6 +141,16 @@ func ParseConfig(data []byte) (ConfigSpec, error) {
 				return spec, fmt.Errorf("heartbeat-period: %w", err)
 			}
 			spec.HeartbeatPeriod = d
+		case "net-listen", "net_listen":
+			spec.NetListen = fmt.Sprint(val)
+		case "net-secret", "net_secret":
+			spec.NetSecret = fmt.Sprint(val)
+		case "net-cert", "net_cert":
+			spec.NetCertFile = fmt.Sprint(val)
+		case "net-key", "net_key":
+			spec.NetKeyFile = fmt.Sprint(val)
+		case "net-spawn", "net_spawn":
+			spec.NetSpawn = m.GetBool(k, spec.NetSpawn)
 		default:
 			return spec, fmt.Errorf("unknown config key %q", k)
 		}
@@ -169,9 +202,12 @@ func (s ConfigSpec) validate() error {
 		return fmt.Errorf("unknown executor %q (want thread-pool or htex)", s.Executor)
 	}
 	switch s.Provider {
-	case "local", "process", "sim", "":
+	case "local", "process", "sim", "net", "":
 	default:
-		return fmt.Errorf("unknown provider %q (want local, process, or sim)", s.Provider)
+		return fmt.Errorf("unknown provider %q (want local, process, sim, or net)", s.Provider)
+	}
+	if (s.NetCertFile == "") != (s.NetKeyFile == "") {
+		return fmt.Errorf("net-cert and net-key must be set together")
 	}
 	if s.Provider != "" && s.Provider != "local" {
 		switch s.Executor {
@@ -223,9 +259,64 @@ func (s ConfigSpec) BuildProvider(name string) (provider.ExecutionProvider, erro
 			Nodes:        s.Nodes,
 			CoresPerNode: s.WorkersPerNode,
 		}), nil
+	case "net":
+		return s.buildNetProvider()
 	default:
-		return nil, fmt.Errorf("unknown provider %q (want local, process, or sim)", name)
+		return nil, fmt.Errorf("unknown provider %q (want local, process, sim, or net)", name)
 	}
+}
+
+// buildNetProvider opens the interchange listener and, unless net-spawn is
+// off, arranges for Launch to spawn a local parsl-cwl-worker -connect
+// subprocess per block. With net-spawn off, blocks are adopted from whatever
+// workers dial in on their own.
+func (s ConfigSpec) buildNetProvider() (provider.ExecutionProvider, error) {
+	addr := s.NetListen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	opts := fabric.Options{
+		Addr:     addr,
+		Secret:   s.NetSecret,
+		CertFile: s.NetCertFile,
+		KeyFile:  s.NetKeyFile,
+	}
+	var np *fabric.NetProvider // late-bound: Spawn only runs after Listen returns
+	if s.NetSpawn {
+		argv, err := s.netWorkerCommand()
+		if err != nil {
+			return nil, err
+		}
+		opts.Spawn = func(block int) error {
+			args := append(argv[1:], "-connect", np.Addr(), "-id", fmt.Sprintf("block-%d", block))
+			if s.NetCertFile != "" {
+				// Self-signed operation: the server certificate doubles as the
+				// worker's trust anchor.
+				args = append(args, "-tls-ca", s.NetCertFile)
+			}
+			cmd := exec.Command(argv[0], args...)
+			cmd.Stderr = os.Stderr
+			if s.NetSecret != "" {
+				cmd.Env = append(os.Environ(), "PCWL_NET_SECRET="+s.NetSecret)
+			}
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("starting net worker %q: %w", argv[0], err)
+			}
+			go func() { _ = cmd.Wait() }() // reap; lifecycle is the session's
+			return nil
+		}
+	}
+	var err error
+	np, err = fabric.Listen(opts)
+	return np, err
+}
+
+// netWorkerCommand resolves the worker command line for spawned net workers.
+func (s ConfigSpec) netWorkerCommand() ([]string, error) {
+	if s.WorkerCmd != "" {
+		return strings.Fields(s.WorkerCmd), nil
+	}
+	return provider.DefaultWorkerCommand()
 }
 
 // buildHTEX constructs one HTEX executor over the named provider.

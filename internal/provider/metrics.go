@@ -19,16 +19,16 @@ var (
 		"provider")
 	metFramesSent = obs.Default().Counter(
 		"pcwl_provider_frames_sent_total",
-		"Task-request frames written to worker subprocess pipes.")
+		"Task-request frames written to worker sessions (pipe or network).")
 	metFramesReceived = obs.Default().Counter(
 		"pcwl_provider_frames_received_total",
-		"Response frames read from worker subprocess pipes.")
+		"Response frames read from worker sessions (pipe or network).")
 	metRemoteTasks = obs.Default().Counter(
 		"pcwl_provider_remote_tasks_total",
-		"Tasks shipped to worker subprocesses over the pipe protocol.")
+		"Tasks shipped to out-of-process workers over the session protocol.")
 	metRemoteRoundtrip = obs.Default().Histogram(
 		"pcwl_provider_remote_roundtrip_seconds",
-		"Round-trip time of one task over the worker pipe protocol (send to response).",
+		"Round-trip time of one task over the worker session protocol (send to response).",
 		nil)
 	metSimPreemptions = obs.Default().Counter(
 		"pcwl_sim_preemptions_total",
@@ -38,7 +38,16 @@ var (
 		"SimProvider blocks killed by simulated walltime expiry.")
 )
 
-// observeRoundtrip records one pipe-protocol round trip.
+// observeRoundtrip records one session-protocol round trip.
 func observeRoundtrip(start time.Time) {
 	metRemoteRoundtrip.Observe(time.Since(start).Seconds())
 }
+
+// RecordBlockLaunched counts a successful block launch for an out-of-package
+// provider (the network fabric), keeping every provider kind in the same
+// pcwl_provider_* families.
+func RecordBlockLaunched(kind string) { metBlocksLaunched.With(kind).Inc() }
+
+// RecordWorkerLost counts a worker lost outside an orderly shutdown for an
+// out-of-package provider.
+func RecordWorkerLost(kind string) { metWorkerLost.With(kind).Inc() }

@@ -1,7 +1,6 @@
 package provider
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -46,8 +45,8 @@ func DefaultWorkerCommand() ([]string, error) {
 }
 
 // ProcessProvider launches each block as a real OS subprocess running the
-// parsl-cwl-worker binary, speaking the length-prefixed JSON task protocol
-// over stdin/stdout pipes. A worker crash is contained: every task in flight
+// parsl-cwl-worker binary, speaking the worker session protocol over
+// stdin/stdout pipes. A worker crash is contained: every task in flight
 // on that worker fails with ErrWorkerLost and the executor re-dispatches.
 type ProcessProvider struct {
 	opts ProcessOptions
@@ -75,8 +74,8 @@ func (p *ProcessProvider) Name() string { return "process" }
 // cross the pipe.
 func (p *ProcessProvider) RemoteCapable() bool { return true }
 
-// Launch implements ExecutionProvider: start one worker subprocess and wait
-// for its hello frame.
+// Launch implements ExecutionProvider: start one worker subprocess and
+// complete the session handshake with it.
 func (p *ProcessProvider) Launch(block int) (ManagerHandle, error) {
 	argv := p.opts.Command
 	if len(argv) == 0 {
@@ -109,37 +108,34 @@ func (p *ProcessProvider) Launch(block int) (ManagerHandle, error) {
 		provider: p,
 		block:    block,
 		cmd:      cmd,
-		in:       newFrameWriter(stdin),
 		inClose:  stdin,
-		dead:     make(chan struct{}),
 		waitDone: make(chan struct{}),
-		pending:  map[int64]chan workerResponse{},
 	}
 
-	// The hello frame proves the binary speaks the protocol before the block
-	// is handed to the executor.
-	helloCh := make(chan error, 1)
-	reader := bufio.NewReader(stdout)
+	// The handshake proves the binary speaks the protocol before the block
+	// is handed to the executor. Pipes have no read deadlines, so the accept
+	// runs in a goroutine raced against the hello timeout.
+	fc := NewFrameConn(stdout, stdin, nil)
+	type acceptResult struct {
+		sess  *ManagerSession
+		hello Hello
+		err   error
+	}
+	helloCh := make(chan acceptResult, 1)
 	go func() {
-		var hello workerHello
-		if err := readFrame(reader, &hello); err != nil {
-			helloCh <- fmt.Errorf("reading worker hello: %w", err)
-			return
-		}
-		if hello.Proto != ProtoVersion {
-			helloCh <- fmt.Errorf("worker speaks protocol %d, engine wants %d", hello.Proto, ProtoVersion)
-			return
-		}
-		h.pid.Store(int64(hello.PID))
-		helloCh <- nil
-		h.readLoop(reader)
+		sess, hello, err := AcceptWorkerSession(fc, AcceptOptions{})
+		helloCh <- acceptResult{sess, hello, err}
 	}()
 	select {
-	case err := <-helloCh:
-		if err != nil {
+	case res := <-helloCh:
+		if res.err != nil {
 			h.destroy()
-			return nil, fmt.Errorf("worker block %d: %w", block, err)
+			return nil, fmt.Errorf("worker block %d: %w", block, res.err)
 		}
+		h.pid.Store(int64(res.hello.PID))
+		h.sess = res.sess
+		h.sess.OnDead = h.onSessionDead
+		go h.sess.ReadLoop()
 	case <-time.After(p.opts.HelloTimeout):
 		h.destroy()
 		return nil, fmt.Errorf("worker block %d: no hello within %s", block, p.opts.HelloTimeout)
@@ -196,24 +192,19 @@ func (p *ProcessProvider) Cancel() error {
 	return nil
 }
 
-// processHandle is one live worker subprocess.
+// processHandle is one live worker subprocess: a ManagerSession over the
+// child's stdin/stdout plus the process bookkeeping (reaping, kill-on-close).
 type processHandle struct {
 	provider *ProcessProvider
 	block    int
 	cmd      *exec.Cmd
-	in       *frameWriter
+	sess     *ManagerSession
 	inClose  io.Closer
 	pid      atomic.Int64
 
-	dead     chan struct{} // closed when the worker is gone
-	deadOnce sync.Once
 	closed   atomic.Bool   // Close was called (intentional teardown)
 	waitOnce sync.Once     // exactly one goroutine calls cmd.Wait
 	waitDone chan struct{} // closed once cmd.Wait has returned
-
-	mu      sync.Mutex
-	seq     int64
-	pending map[int64]chan workerResponse
 }
 
 // Block implements ManagerHandle.
@@ -222,38 +213,18 @@ func (h *processHandle) Block() int { return h.block }
 // Pid returns the worker's process id.
 func (h *processHandle) Pid() int { return int(h.pid.Load()) }
 
-// readLoop pumps responses from the worker until the pipe breaks, then marks
-// the handle dead (which fails every in-flight Run with ErrWorkerLost).
-func (h *processHandle) readLoop(r *bufio.Reader) {
-	for {
-		var resp workerResponse
-		if err := readFrame(r, &resp); err != nil {
-			h.markDead()
-			return
-		}
-		metFramesReceived.Inc()
-		h.mu.Lock()
-		ch := h.pending[resp.ID]
-		delete(h.pending, resp.ID)
-		h.mu.Unlock()
-		if ch != nil {
-			ch <- resp
-		}
+// onSessionDead runs once when the pipe session ends: count an unexpected
+// death and reap the child either way (dead workers must not linger as
+// zombies).
+func (h *processHandle) onSessionDead(graceful bool) {
+	if !graceful && !h.closed.Load() {
+		metWorkerLost.With("process").Inc()
 	}
-}
-
-func (h *processHandle) markDead() {
-	h.deadOnce.Do(func() {
-		close(h.dead)
-		if !h.closed.Load() {
-			metWorkerLost.With("process").Inc()
-		}
-	})
 	h.reap()
 }
 
-// reap waits for the child exactly once (dead workers must not linger as
-// zombies) and publishes completion through waitDone.
+// reap waits for the child exactly once and publishes completion through
+// waitDone.
 func (h *processHandle) reap() {
 	h.waitOnce.Do(func() {
 		go func() {
@@ -268,66 +239,23 @@ func (h *processHandle) reap() {
 // isolation applies to what the protocol can express.
 func (h *processHandle) Run(t *Task) (any, error) {
 	if t.Remote == nil {
-		select {
-		case <-h.dead:
+		if !h.sess.Alive() {
 			return nil, fmt.Errorf("worker block %d is gone: %w", h.block, ErrWorkerLost)
-		default:
 		}
 		return guard(t.Fn)
 	}
-	ch := make(chan workerResponse, 1)
-	h.mu.Lock()
-	h.seq++
-	id := h.seq
-	h.pending[id] = ch
-	h.mu.Unlock()
 	if h.provider != nil {
 		h.provider.remoteTasks.Add(1)
 	}
-	metRemoteTasks.Inc()
-	cleanup := func() {
-		h.mu.Lock()
-		delete(h.pending, id)
-		h.mu.Unlock()
+	res, err := h.sess.Roundtrip(t.ID, t.Remote)
+	if err != nil && isWorkerLostErr(err) {
+		return nil, fmt.Errorf("worker block %d (pid %d): %w", h.block, h.pid.Load(), err)
 	}
-	// Encoding failures (unmarshalable spec, frame over the protocol cap)
-	// are the task's own problem: the worker is healthy, so they must not
-	// be reported as worker loss — that would kill the block and redispatch
-	// the same doomed task onto a fresh worker forever.
-	body, err := encodeFrame(workerRequest{ID: id, Spec: t.Remote})
-	if err != nil {
-		cleanup()
-		return nil, fmt.Errorf("task %d cannot be shipped to worker block %d: %w", t.ID, h.block, err)
-	}
-	start := time.Now()
-	if err := h.in.sendEncoded(body); err != nil {
-		cleanup()
-		h.markDead()
-		return nil, fmt.Errorf("worker block %d write failed (%v): %w", h.block, err, ErrWorkerLost)
-	}
-	metFramesSent.Inc()
-	select {
-	case resp := <-ch:
-		observeRoundtrip(start)
-		if !resp.OK {
-			return nil, fmt.Errorf("task %d: %s", t.ID, resp.Error)
-		}
-		return DecodeResult(resp.Result)
-	case <-h.dead:
-		cleanup()
-		return nil, fmt.Errorf("worker block %d (pid %d) died mid-task: %w", h.block, h.pid.Load(), ErrWorkerLost)
-	}
+	return res, err
 }
 
 // Alive implements ManagerHandle.
-func (h *processHandle) Alive() bool {
-	select {
-	case <-h.dead:
-		return false
-	default:
-		return true
-	}
-}
+func (h *processHandle) Alive() bool { return h.sess.Alive() }
 
 func (h *processHandle) status() BlockStatus {
 	switch {
@@ -356,15 +284,15 @@ func (h *processHandle) Close() error {
 		}
 		<-h.waitDone
 	}
-	h.deadOnce.Do(func() { close(h.dead) })
+	h.sess.MarkDead(true)
 	return nil
 }
 
-// destroy tears down a handle whose launch failed.
+// destroy tears down a handle whose launch failed (no session exists yet).
 func (h *processHandle) destroy() {
+	h.closed.Store(true)
 	if h.cmd.Process != nil {
 		_ = h.cmd.Process.Kill()
 	}
 	h.reap()
-	h.deadOnce.Do(func() { close(h.dead) })
 }

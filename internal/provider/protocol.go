@@ -2,57 +2,124 @@ package provider
 
 import (
 	"bufio"
+	"crypto/subtle"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// The worker protocol: each side writes frames of a 4-byte big-endian length
-// followed by that many bytes of JSON. On startup the worker writes one hello
-// frame; afterwards the engine writes run requests and the worker writes one
-// response per request, in completion order (requests execute concurrently
-// and responses are matched by id). Closing the worker's stdin asks it to
-// drain and exit.
+// The worker protocol is a transport-agnostic session layer: each side writes
+// frames of a 4-byte big-endian length followed by that many bytes of JSON.
+// A session opens with a handshake — the worker writes one hello frame
+// (protocol version, identity, capacity, shared secret) and the engine
+// answers with an ack accepting or rejecting it — and then carries task
+// traffic: the engine writes run requests, the worker writes one response per
+// request in completion order (requests execute concurrently; responses are
+// matched by id). Sessions with a negotiated heartbeat interval additionally
+// carry worker → engine heartbeat frames, and either side can end the session
+// gracefully: the engine with a drain frame (or by closing its write side),
+// the worker by finishing its in-flight tasks and sending a bye frame.
+//
+// The same session runs over any byte stream. ProcessProvider speaks it over
+// a worker subprocess's stdin/stdout pipes; the network fabric
+// (internal/fabric) speaks it over TCP/TLS connections.
 
 // ProtoVersion is the worker protocol version; the engine refuses workers
-// that announce a different one.
-const ProtoVersion = 1
+// that announce a different one. Version 2 added the session layer: hello
+// acknowledgement, worker identity/capacity/secret in the hello, and
+// heartbeat/drain/bye frames.
+const ProtoVersion = 2
 
 // maxFrameBytes bounds one frame so a corrupt length prefix cannot make
 // either side allocate unbounded memory.
 const maxFrameBytes = 64 << 20
 
-// workerHello is the worker's first frame.
-type workerHello struct {
+// maxHelloBytes bounds the first (pre-authentication) frame of a session:
+// an unauthenticated peer must not be able to make the engine allocate a
+// task-sized buffer.
+const maxHelloBytes = 64 << 10
+
+// ErrHelloRejected marks a handshake the engine refused — wrong protocol
+// version or failed authentication. Workers must treat it as terminal
+// (retrying with the same credentials cannot succeed).
+var ErrHelloRejected = errors.New("hello rejected")
+
+// ErrBadSecret marks a hello whose shared secret did not match the
+// engine's. It wraps ErrHelloRejected.
+var ErrBadSecret = fmt.Errorf("%w: shared secret mismatch", ErrHelloRejected)
+
+// Hello is the worker's first frame: protocol announcement, identity and
+// credentials. Over pipes only Proto and PID are meaningful; network workers
+// additionally carry an identity, a capacity hint and the shared secret.
+type Hello struct {
 	Proto int `json:"proto"`
 	PID   int `json:"pid"`
+	// ID names the worker across reconnects ("" for pipe workers, whose
+	// identity is the process itself).
+	ID string `json:"id,omitempty"`
+	// Capacity is how many tasks the worker is willing to run concurrently
+	// (advisory; 0 = unstated).
+	Capacity int `json:"capacity,omitempty"`
+	// Secret authenticates the worker to the engine. Verified before any
+	// task frame is exchanged.
+	Secret string `json:"secret,omitempty"`
 }
 
-// workerRequest is one engine → worker run request.
+// HelloAck is the engine's answer to a hello: acceptance or rejection, and
+// the session parameters the worker must follow.
+type HelloAck struct {
+	Proto int    `json:"proto"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// HeartbeatMs asks the worker to send a heartbeat frame this often
+	// (0 = no heartbeats, the pipe transport's mode).
+	HeartbeatMs int `json:"heartbeatMs,omitempty"`
+}
+
+// Engine → worker frame kinds.
+const (
+	frameKindTask  = ""      // run request (the default, version-1 shape)
+	frameKindDrain = "drain" // finish in-flight tasks, send bye, end session
+)
+
+// Worker → engine frame kinds.
+const (
+	frameKindResp = ""    // task response (the default, version-1 shape)
+	frameKindBeat = "hb"  // liveness heartbeat
+	frameKindBye  = "bye" // graceful deregistration: in-flight work is done
+)
+
+// workerRequest is one engine → worker frame: a run request (Kind "") or a
+// session-control frame.
 type workerRequest struct {
-	ID   int64       `json:"id"`
-	Spec *RemoteSpec `json:"spec"`
+	Kind string      `json:"kind,omitempty"`
+	ID   int64       `json:"id,omitempty"`
+	Spec *RemoteSpec `json:"spec,omitempty"`
 }
 
-// workerResponse is one worker → engine result.
+// workerResponse is one worker → engine frame: a task result (Kind "") or a
+// session-control frame (heartbeat, bye).
 type workerResponse struct {
-	ID     int64           `json:"id"`
-	OK     bool            `json:"ok"`
+	Kind   string          `json:"kind,omitempty"`
+	ID     int64           `json:"id,omitempty"`
+	OK     bool            `json:"ok,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Busy is the worker's in-flight task count, carried on heartbeats.
+	Busy int `json:"busy,omitempty"`
 }
 
 // writeFrame writes one length-prefixed JSON frame.
 func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
+	body, err := encodeFrame(v)
 	if err != nil {
 		return err
-	}
-	if len(body) > maxFrameBytes {
-		return fmt.Errorf("frame of %d bytes exceeds the %d byte protocol limit", len(body), maxFrameBytes)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -94,80 +161,252 @@ func encodeFrame(v any) ([]byte, error) {
 	return body, nil
 }
 
-// frameWriter serializes concurrent frame writes onto one stream.
-type frameWriter struct {
-	mu sync.Mutex
-	w  *bufio.Writer
+// FrameConn frames one bidirectional byte stream: reads are single-consumer
+// and reuse a per-connection scratch buffer (the hot read loops run one frame
+// per task, so a fresh allocation per frame is pure garbage); writes are
+// serialized by a mutex so concurrent task goroutines can share the stream.
+type FrameConn struct {
+	r       *bufio.Reader
+	scratch []byte
+	closer  io.Closer
+
+	wmu sync.Mutex
+	w   *bufio.Writer
 }
 
-func newFrameWriter(w io.Writer) *frameWriter {
-	return &frameWriter{w: bufio.NewWriter(w)}
+// NewFrameConn builds a FrameConn over a read and a write stream. closer,
+// when non-nil, is what Close closes (for a net.Conn, the conn itself).
+// At most one goroutine may call Read concurrently; Send is safe for
+// concurrent use.
+func NewFrameConn(r io.Reader, w io.Writer, closer io.Closer) *FrameConn {
+	return &FrameConn{r: bufio.NewReader(r), w: bufio.NewWriter(w), closer: closer}
 }
 
-func (fw *frameWriter) send(v any) error {
+// Read reads one frame into v.
+func (fc *FrameConn) Read(v any) error { return fc.readMax(v, maxFrameBytes) }
+
+// readMax reads one frame of at most max bytes into v. The body is decoded
+// from the connection's scratch buffer; json.Unmarshal copies everything it
+// keeps (including json.RawMessage fields), so reusing the buffer across
+// frames is safe.
+func (fc *FrameConn) readMax(v any, max int) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > max {
+		return fmt.Errorf("frame of %d bytes exceeds the %d byte limit", n, max)
+	}
+	if cap(fc.scratch) < n {
+		fc.scratch = make([]byte, n)
+	}
+	body := fc.scratch[:n]
+	if _, err := io.ReadFull(fc.r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Send writes one frame.
+func (fc *FrameConn) Send(v any) error {
 	body, err := encodeFrame(v)
 	if err != nil {
 		return err
 	}
-	return fw.sendEncoded(body)
+	return fc.SendEncoded(body)
 }
 
-// sendEncoded writes one pre-encoded frame; an error here is a genuine
+// SendEncoded writes one pre-encoded frame; an error here is a genuine
 // stream failure.
-func (fw *frameWriter) sendEncoded(body []byte) error {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+func (fc *FrameConn) SendEncoded(body []byte) error {
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := fw.w.Write(hdr[:]); err != nil {
+	if _, err := fc.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := fw.w.Write(body); err != nil {
+	if _, err := fc.w.Write(body); err != nil {
 		return err
 	}
-	return fw.w.Flush()
+	return fc.w.Flush()
 }
 
-// RunWorker is the parsl-cwl-worker main loop: announce the protocol, then
-// execute run requests from r concurrently, writing one response per request
-// to w. It returns when r reaches EOF (engine closed the pipe) after all
-// in-flight tasks finish, or with the first protocol-level error.
-func RunWorker(r io.Reader, w io.Writer) error {
-	out := newFrameWriter(w)
-	if err := out.send(workerHello{Proto: ProtoVersion, PID: os.Getpid()}); err != nil {
-		return fmt.Errorf("worker hello: %w", err)
+// Close closes the underlying stream, if the FrameConn owns one.
+func (fc *FrameConn) Close() error {
+	if fc.closer != nil {
+		return fc.closer.Close()
 	}
-	in := bufio.NewReader(r)
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	for {
-		var req workerRequest
-		if err := readFrame(in, &req); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("worker read: %w", err)
+	return nil
+}
+
+// VerifyHello is the single place protocol negotiation happens: version
+// check, then constant-time shared-secret comparison. An empty engine secret
+// disables authentication (the pipe transport, where the kernel already
+// guarantees who is on the other end).
+func VerifyHello(h Hello, secret string) error {
+	if h.Proto != ProtoVersion {
+		return fmt.Errorf("%w: worker speaks protocol %d, engine wants %d", ErrHelloRejected, h.Proto, ProtoVersion)
+	}
+	if secret != "" && subtle.ConstantTimeCompare([]byte(h.Secret), []byte(secret)) != 1 {
+		return ErrBadSecret
+	}
+	return nil
+}
+
+// DialWorkerSession performs the worker side of the handshake: send hello,
+// await the engine's ack. The hello's Proto is forced to ProtoVersion. A
+// rejection surfaces as an error wrapping ErrHelloRejected.
+func DialWorkerSession(fc *FrameConn, hello Hello) (HelloAck, error) {
+	hello.Proto = ProtoVersion
+	if err := fc.Send(hello); err != nil {
+		return HelloAck{}, fmt.Errorf("worker hello: %w", err)
+	}
+	var ack HelloAck
+	if err := fc.readMax(&ack, maxHelloBytes); err != nil {
+		return HelloAck{}, fmt.Errorf("reading hello ack: %w", err)
+	}
+	if !ack.OK {
+		msg := ack.Error
+		if msg == "" {
+			msg = "engine refused the session"
 		}
-		wg.Add(1)
-		go func(req workerRequest) {
-			defer wg.Done()
-			resp := workerResponse{ID: req.ID}
-			if req.Spec == nil {
-				resp.Error = "request carries no task spec"
-			} else {
-				res, err := executeGuarded(req.Spec)
-				if err != nil {
-					resp.Error = err.Error()
-				} else {
-					resp.OK = true
-					resp.Result = res
+		return ack, fmt.Errorf("%w: %s", ErrHelloRejected, msg)
+	}
+	if ack.Proto != ProtoVersion {
+		return ack, fmt.Errorf("%w: engine speaks protocol %d, worker wants %d", ErrHelloRejected, ack.Proto, ProtoVersion)
+	}
+	return ack, nil
+}
+
+// WorkerSessionOptions configures the worker side of one session.
+type WorkerSessionOptions struct {
+	// Heartbeat, when positive, sends a heartbeat frame this often (the
+	// interval the engine announced in its hello ack).
+	Heartbeat time.Duration
+	// Drain, when non-nil, triggers a graceful drain when closed: stop
+	// accepting requests, finish in-flight tasks, send final responses and a
+	// bye frame, return nil. Used for SIGTERM/SIGINT shutdown.
+	Drain <-chan struct{}
+}
+
+// ServeWorkerSession runs the worker side of an established session: execute
+// run requests concurrently, one response per request. It returns nil after
+// a graceful end — engine EOF/drain frame, or the Drain channel closing —
+// with every in-flight task finished and its response sent, or the first
+// protocol-level error otherwise.
+func ServeWorkerSession(fc *FrameConn, opts WorkerSessionOptions) error {
+	var wg sync.WaitGroup
+	var inflight atomic.Int64
+
+	// The reader runs in its own goroutine so the main loop can also honor
+	// the drain signal; after a drain it may stay blocked in a read until
+	// the process exits or the caller closes the connection.
+	sessDone := make(chan struct{})
+	defer close(sessDone)
+	frames := make(chan workerRequest)
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			var req workerRequest
+			if err := fc.Read(&req); err != nil {
+				readErr <- err
+				return
+			}
+			select {
+			case frames <- req:
+			case <-sessDone:
+				return
+			}
+		}
+	}()
+
+	stopBeats := make(chan struct{})
+	defer close(stopBeats)
+	if opts.Heartbeat > 0 {
+		go func() {
+			ticker := time.NewTicker(opts.Heartbeat)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopBeats:
+					return
+				case <-ticker.C:
+					// A failed heartbeat write means the engine is gone; the
+					// read side will observe the same failure and end the
+					// session.
+					_ = fc.Send(workerResponse{Kind: frameKindBeat, Busy: int(inflight.Load())})
 				}
 			}
-			// A write failure means the engine is gone; the process is about
-			// to exit anyway, so the error is unreportable by design.
-			_ = out.send(resp)
-		}(req)
+		}()
 	}
+
+	drain := func() error {
+		wg.Wait()
+		// Best-effort goodbye: the engine may already be gone, and the
+		// session is over either way.
+		_ = fc.Send(workerResponse{Kind: frameKindBye})
+		return nil
+	}
+
+	for {
+		select {
+		case <-opts.Drain:
+			return drain()
+		case err := <-readErr:
+			if err == io.EOF {
+				return drain()
+			}
+			wg.Wait()
+			return fmt.Errorf("worker read: %w", err)
+		case req := <-frames:
+			if req.Kind == frameKindDrain {
+				return drain()
+			}
+			wg.Add(1)
+			inflight.Add(1)
+			go func(req workerRequest) {
+				defer wg.Done()
+				defer inflight.Add(-1)
+				resp := workerResponse{ID: req.ID}
+				if req.Spec == nil {
+					resp.Error = "request carries no task spec"
+				} else {
+					res, err := executeGuarded(req.Spec)
+					if err != nil {
+						resp.Error = err.Error()
+					} else {
+						resp.OK = true
+						resp.Result = res
+					}
+				}
+				// A write failure means the engine is gone; the session is
+				// about to end anyway, so the error is unreportable by design.
+				_ = fc.Send(resp)
+			}(req)
+		}
+	}
+}
+
+// RunWorker is the parsl-cwl-worker pipe-mode main loop: handshake on
+// stdin/stdout, then serve the session until the engine closes the pipe.
+func RunWorker(r io.Reader, w io.Writer) error {
+	return RunPipeWorker(r, w, nil)
+}
+
+// RunPipeWorker runs a pipe-transport worker session with an optional drain
+// trigger (closed on SIGTERM/SIGINT by the worker binary).
+func RunPipeWorker(r io.Reader, w io.Writer, drain <-chan struct{}) error {
+	fc := NewFrameConn(r, w, nil)
+	ack, err := DialWorkerSession(fc, Hello{PID: os.Getpid()})
+	if err != nil {
+		return err
+	}
+	return ServeWorkerSession(fc, WorkerSessionOptions{
+		Heartbeat: time.Duration(ack.HeartbeatMs) * time.Millisecond,
+		Drain:     drain,
+	})
 }
 
 // executeGuarded runs one remote task converting panics to errors, so a bad

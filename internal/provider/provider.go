@@ -17,6 +17,11 @@
 //     scheduler over the simulated cluster (internal/slurmsim,
 //     internal/cluster), so queue delays, walltime kills, and node preemption
 //     become testable scenarios.
+//
+// A fourth implementation — the network fabric's NetProvider, where remote
+// workers dial the engine's interchange listener over TCP/TLS — lives in
+// internal/fabric and builds on this package's transport-agnostic worker
+// session layer (FrameConn, AcceptWorkerSession, ManagerSession).
 package provider
 
 import (
@@ -88,7 +93,7 @@ type BlockStatus struct {
 // ExecutionProvider launches and tracks pilot blocks, mirroring
 // parsl.providers.base.ExecutionProvider's submit/status/cancel contract.
 type ExecutionProvider interface {
-	// Name identifies the provider ("local", "process", "sim").
+	// Name identifies the provider ("local", "process", "sim", "net").
 	Name() string
 	// Launch starts one block with the executor-assigned id and returns its
 	// handle. It blocks until the block is usable — for a batch provider this
@@ -108,6 +113,17 @@ type ExecutionProvider interface {
 // that run every task in-process (local, sim) simply do not implement it.
 type RemoteCapable interface {
 	RemoteCapable() bool
+}
+
+// isWorkerLostErr reports whether err marks an execution-infrastructure
+// failure (ErrWorkerLost anywhere in its chain).
+func isWorkerLostErr(err error) bool { return errors.Is(err, ErrWorkerLost) }
+
+// Guard runs fn converting panics to errors, so a bad task cannot kill the
+// hosting worker goroutine. Exported for out-of-package providers (the
+// network fabric) that need the same in-process fallback behavior.
+func Guard(fn func() (any, error)) (res any, err error) {
+	return guard(fn)
 }
 
 // guard runs fn converting panics to errors, so a bad task cannot kill the

@@ -1,0 +1,199 @@
+package provider
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AcceptOptions configures the engine side of a session handshake.
+type AcceptOptions struct {
+	// Secret, when non-empty, is the shared secret every hello must carry.
+	// Verified in constant time before the session is accepted; a rejected
+	// peer receives a negative ack and never sees a task frame.
+	Secret string
+	// Heartbeat, when positive, is the heartbeat interval announced to the
+	// worker (0 = no heartbeats, the pipe transport's mode).
+	Heartbeat time.Duration
+}
+
+// AcceptWorkerSession performs the engine side of the handshake on an
+// established stream: read the hello (under the pre-authentication size
+// cap), verify protocol version and secret, and ack. On success it returns
+// the session — the caller starts its read loop — and the worker's hello;
+// on failure the worker has been sent a rejection ack and the returned error
+// wraps ErrHelloRejected (or reports the stream failure).
+func AcceptWorkerSession(fc *FrameConn, opts AcceptOptions) (*ManagerSession, Hello, error) {
+	var hello Hello
+	if err := fc.readMax(&hello, maxHelloBytes); err != nil {
+		return nil, hello, fmt.Errorf("reading worker hello: %w", err)
+	}
+	if err := VerifyHello(hello, opts.Secret); err != nil {
+		_ = fc.Send(HelloAck{Proto: ProtoVersion, OK: false, Error: err.Error()})
+		return nil, hello, err
+	}
+	ack := HelloAck{Proto: ProtoVersion, OK: true, HeartbeatMs: int(opts.Heartbeat / time.Millisecond)}
+	if err := fc.Send(ack); err != nil {
+		return nil, hello, fmt.Errorf("sending hello ack: %w", err)
+	}
+	return newManagerSession(fc), hello, nil
+}
+
+// ManagerSession is the engine side of one established worker session: the
+// per-session state every transport shares — the in-flight request table,
+// the response read loop, liveness from heartbeats, and death/drain
+// bookkeeping. ProcessProvider wraps one per worker subprocess; the network
+// fabric wraps one per TCP connection.
+type ManagerSession struct {
+	fc *FrameConn
+
+	// OnDead, when set before ReadLoop starts, runs exactly once when the
+	// session dies; graceful reports whether the worker deregistered with a
+	// bye frame (as opposed to the stream breaking under it).
+	OnDead func(graceful bool)
+
+	dead     chan struct{}
+	deadOnce sync.Once
+	graceful atomic.Bool // bye received before the stream broke
+	lastBeat atomic.Int64
+	busy     atomic.Int64
+
+	mu      sync.Mutex
+	seq     int64
+	pending map[int64]chan workerResponse
+}
+
+func newManagerSession(fc *FrameConn) *ManagerSession {
+	s := &ManagerSession{
+		fc:      fc,
+		dead:    make(chan struct{}),
+		pending: map[int64]chan workerResponse{},
+	}
+	s.lastBeat.Store(time.Now().UnixNano())
+	return s
+}
+
+// ReadLoop pumps worker frames until the session ends: responses complete
+// in-flight Roundtrips, heartbeats refresh liveness, a bye marks a graceful
+// deregistration. It owns the connection's read side; run it in exactly one
+// goroutine.
+func (s *ManagerSession) ReadLoop() {
+	for {
+		var resp workerResponse
+		if err := s.fc.Read(&resp); err != nil {
+			s.MarkDead(false)
+			return
+		}
+		s.lastBeat.Store(time.Now().UnixNano())
+		switch resp.Kind {
+		case frameKindResp:
+			metFramesReceived.Inc()
+			s.mu.Lock()
+			ch := s.pending[resp.ID]
+			delete(s.pending, resp.ID)
+			s.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
+		case frameKindBeat:
+			s.busy.Store(int64(resp.Busy))
+		case frameKindBye:
+			// The worker drained: every response it owed has been sent.
+			s.MarkDead(true)
+			return
+		}
+	}
+}
+
+// Roundtrip ships one task over the session and waits for its response or
+// the session's death. Errors wrapping ErrWorkerLost report that the session
+// died (re-dispatch); any other error is the task's own failure.
+func (s *ManagerSession) Roundtrip(taskID int, spec *RemoteSpec) (any, error) {
+	ch := make(chan workerResponse, 1)
+	s.mu.Lock()
+	s.seq++
+	id := s.seq
+	s.pending[id] = ch
+	s.mu.Unlock()
+	metRemoteTasks.Inc()
+	cleanup := func() {
+		s.mu.Lock()
+		delete(s.pending, id)
+		s.mu.Unlock()
+	}
+	// Encoding failures (unmarshalable spec, frame over the protocol cap)
+	// are the task's own problem: the worker is healthy, so they must not
+	// be reported as worker loss — that would kill the block and redispatch
+	// the same doomed task onto a fresh worker forever.
+	body, err := encodeFrame(workerRequest{ID: id, Spec: spec})
+	if err != nil {
+		cleanup()
+		return nil, fmt.Errorf("task %d cannot be shipped to the worker: %w", taskID, err)
+	}
+	start := time.Now()
+	if err := s.fc.SendEncoded(body); err != nil {
+		cleanup()
+		s.MarkDead(false)
+		return nil, fmt.Errorf("session write failed (%v): %w", err, ErrWorkerLost)
+	}
+	metFramesSent.Inc()
+	select {
+	case resp := <-ch:
+		observeRoundtrip(start)
+		if !resp.OK {
+			return nil, fmt.Errorf("task %d: %s", taskID, resp.Error)
+		}
+		return DecodeResult(resp.Result)
+	case <-s.dead:
+		cleanup()
+		return nil, fmt.Errorf("session died mid-task: %w", ErrWorkerLost)
+	}
+}
+
+// SendDrain asks the worker to finish in-flight tasks, send a bye and end
+// the session — the graceful teardown for transports where closing the
+// stream would sever in-flight responses.
+func (s *ManagerSession) SendDrain() error {
+	return s.fc.Send(workerRequest{Kind: frameKindDrain})
+}
+
+// MarkDead ends the session exactly once, failing every in-flight Roundtrip
+// with ErrWorkerLost and firing OnDead. graceful records that the worker
+// deregistered cleanly rather than dying.
+func (s *ManagerSession) MarkDead(graceful bool) {
+	if graceful {
+		s.graceful.Store(true)
+	}
+	s.deadOnce.Do(func() {
+		close(s.dead)
+		if s.OnDead != nil {
+			s.OnDead(s.graceful.Load())
+		}
+	})
+}
+
+// Alive reports whether the session is still usable.
+func (s *ManagerSession) Alive() bool {
+	select {
+	case <-s.dead:
+		return false
+	default:
+		return true
+	}
+}
+
+// Dead is closed when the session ends.
+func (s *ManagerSession) Dead() <-chan struct{} { return s.dead }
+
+// Drained reports whether the worker deregistered gracefully (bye frame).
+func (s *ManagerSession) Drained() bool { return s.graceful.Load() }
+
+// LastBeat is when the worker last proved liveness (any frame counts; the
+// session's creation seeds it).
+func (s *ManagerSession) LastBeat() time.Time {
+	return time.Unix(0, s.lastBeat.Load())
+}
+
+// Busy is the worker's last self-reported in-flight task count.
+func (s *ManagerSession) Busy() int { return int(s.busy.Load()) }
