@@ -1,0 +1,171 @@
+// Command doclint enforces the repository's godoc contract: every package it
+// is pointed at must have a package comment, and every exported identifier —
+// functions, methods on exported types, types, and top-level var/const
+// names — must carry a doc comment. A doc comment on a grouped declaration
+// satisfies every spec in the group, matching godoc's rendering.
+//
+//	go run ./cmd/doclint ./internal/provider ./internal/fabric ./internal/obs .
+//
+// Each argument is one package directory (not recursive — list the packages
+// whose API surface is meant to be read). Test files are ignored. Exit
+// status is 1 when anything exported is undocumented, so CI can gate on it.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		ps, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifier(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and returns one problem line per
+// undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		problems = append(problems, lintPackage(fset, dir, pkg)...)
+	}
+	return problems, nil
+}
+
+// lintPackage checks the package comment and every exported top-level
+// identifier of one parsed package.
+func lintPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+			break
+		}
+	}
+	if !hasPkgDoc {
+		problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+	}
+
+	// Exported types, so methods on them can be checked below.
+	exportedTypes := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.IsExported() {
+					exportedTypes[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if recv := receiverType(d); recv != "" && !exportedTypes[recv] {
+					continue // method on an unexported type: not API surface
+				}
+				if d.Doc == nil {
+					what := "function"
+					if d.Recv != nil {
+						what = "method"
+					}
+					report(d.Pos(), "exported %s %s has no doc comment", what, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				switch d.Tok {
+				case token.TYPE:
+					for _, spec := range d.Specs {
+						ts := spec.(*ast.TypeSpec)
+						if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+							report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+						}
+					}
+				case token.VAR, token.CONST:
+					// A doc comment on the group documents every spec in it.
+					if d.Doc != nil {
+						continue
+					}
+					for _, spec := range d.Specs {
+						vs := spec.(*ast.ValueSpec)
+						if vs.Doc != nil || vs.Comment != nil {
+							continue
+						}
+						for _, n := range vs.Names {
+							if n.IsExported() {
+								report(n.Pos(), "exported %s %s has no doc comment", strings.ToLower(d.Tok.String()), n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverType names a method's receiver type ("" for plain functions).
+func receiverType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

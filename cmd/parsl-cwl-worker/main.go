@@ -44,7 +44,15 @@ func main() {
 	tlsServerName := flag.String("tls-server-name", "", "expected TLS server name (default: the -connect host)")
 	tlsInsecure := flag.Bool("tls-insecure", false, "dial TLS without verifying the server certificate (implies TLS; testing only)")
 	reconnect := flag.Bool("reconnect", true, "redial the interchange when the connection breaks (network mode)")
+	noBatch := flag.Bool("no-batch", false, "do not offer the batched-frames capability (debugging; forces one frame per task)")
+	codec := flag.String("codec", "auto", "frame codec to offer: auto (binary when the engine accepts) or json")
 	flag.Parse()
+
+	if *codec != "auto" && *codec != "json" {
+		fmt.Fprintf(os.Stderr, "parsl-cwl-worker: -codec must be auto or json, got %q\n", *codec)
+		os.Exit(2)
+	}
+	noBinary := *codec == "json"
 
 	if *printVersion {
 		fmt.Printf("parsl-cwl-worker protocol %d\n", provider.ProtoVersion)
@@ -68,21 +76,27 @@ func main() {
 
 	var err error
 	if *connect == "" {
-		err = provider.RunPipeWorker(os.Stdin, os.Stdout, drain)
+		err = provider.RunPipeWorkerOpts(os.Stdin, os.Stdout, provider.PipeWorkerOptions{
+			Drain:         drain,
+			DisableBatch:  *noBatch,
+			DisableBinary: noBinary,
+		})
 	} else {
 		tlsConf, terr := clientTLS(*useTLS, *tlsCA, *tlsServerName, *tlsInsecure)
 		if terr != nil {
 			logger.Fatalln(terr)
 		}
 		err = fabric.RunWorker(fabric.ConnectOptions{
-			Addr:      *connect,
-			Secret:    *secret,
-			TLS:       tlsConf,
-			ID:        *id,
-			Capacity:  *capacity,
-			Reconnect: *reconnect,
-			Drain:     drain,
-			Logf:      logger.Printf,
+			Addr:          *connect,
+			Secret:        *secret,
+			TLS:           tlsConf,
+			ID:            *id,
+			Capacity:      *capacity,
+			Reconnect:     *reconnect,
+			Drain:         drain,
+			DisableBatch:  *noBatch,
+			DisableBinary: noBinary,
+			Logf:          logger.Printf,
 		})
 	}
 	if err != nil {

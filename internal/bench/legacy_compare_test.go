@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/parsl"
+	"repro/internal/provider"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("PARSL_CWL_WORKER_PROCESS") == "1" {
+		if err := provider.RunWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestCompareLegacyThroughput(t *testing.T) {
+	if os.Getenv("LEGACY_COMPARE") == "" {
+		t.Skip("set LEGACY_COMPARE=1 to run")
+	}
+	exe, _ := os.Executable()
+	for _, mode := range []string{"modern", "legacy"} {
+		opts := provider.ProcessOptions{Command: []string{exe}, Env: []string{"PARSL_CWL_WORKER_PROCESS=1"}}
+		if mode == "legacy" {
+			opts.Dispatch = provider.DispatchOptions{Codec: provider.CodecJSON, NoBatch: true}
+		}
+		pp := provider.NewProcessProvider(opts)
+		htex := parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
+			Label: "cmp-" + mode, Provider: pp, WorkersPerNode: 8, Prefetch: 8, MaxBlocks: 1, InitBlocks: 1,
+		})
+		if err := htex.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunEchoBatch(htex, 16); err != nil {
+			t.Fatal(err)
+		}
+		const n = 8192
+		best := 0.0
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			if err := RunEchoBatch(htex, n); err != nil {
+				t.Fatal(err)
+			}
+			if tps := float64(n) / time.Since(start).Seconds(); tps > best {
+				best = tps
+			}
+		}
+		t.Logf("process/%s: best %.0f tasks/s", mode, best)
+		htex.Shutdown()
+	}
+}

@@ -75,7 +75,10 @@ func (a *toolApp) RemoteSpec(args parsl.Args) *provider.RemoteSpec {
 	if a.tr != nil || a.tool == nil || a.tool.Raw == nil {
 		return nil
 	}
-	toolJSON, err := a.tool.Raw.MarshalJSON()
+	// The document JSON and hash are cached on the tool (RawDoc), so scatter
+	// siblings sharing one tool serialize it once; the shared-doc spec lets
+	// binary worker sessions ship it once per session as well.
+	toolJSON, docHash, err := a.tool.RawDoc()
 	if err != nil {
 		return nil
 	}
@@ -91,7 +94,7 @@ func (a *toolApp) RemoteSpec(args parsl.Args) *provider.RemoteSpec {
 		}
 		reqsJSON = b
 	}
-	spec, err := provider.NewCWLToolSpec(provider.CWLToolPayload{
+	spec, err := provider.NewSharedDocToolSpec(provider.CWLToolPayload{
 		Tool:      toolJSON,
 		Path:      a.tool.Path,
 		Inputs:    inputsJSON,
@@ -101,7 +104,7 @@ func (a *toolApp) RemoteSpec(args parsl.Args) *provider.RemoteSpec {
 		OutDir:    a.outDir,
 		Stdout:    a.stdout,
 		Stderr:    a.stderr,
-	})
+	}, docHash)
 	if err != nil {
 		return nil
 	}

@@ -1,8 +1,11 @@
 package cwl
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/yamlx"
 )
@@ -204,6 +207,33 @@ type CommandLineTool struct {
 	// the wire format never chases the parsed representation. Treat it as
 	// read-only.
 	Raw *yamlx.Map
+
+	// RawDoc's lazily computed cache: scatter siblings share one tool
+	// pointer, so the document serializes and hashes once per tool, not once
+	// per invocation.
+	rawOnce sync.Once
+	rawJSON []byte
+	rawHash string
+	rawErr  error
+}
+
+// RawDoc returns Raw's JSON encoding and its content hash (the same
+// sha256-hex form service-layer doc caching uses), computed once per tool.
+// Dispatch layers use the hash to ship a shared document a single time per
+// worker session. Returns an error for in-memory tools without raw source.
+func (t *CommandLineTool) RawDoc() (doc []byte, hash string, err error) {
+	t.rawOnce.Do(func() {
+		if t.Raw == nil {
+			t.rawErr = fmt.Errorf("tool %s has no raw source document", t.ID)
+			return
+		}
+		t.rawJSON, t.rawErr = t.Raw.MarshalJSON()
+		if t.rawErr == nil {
+			sum := sha256.Sum256(t.rawJSON)
+			t.rawHash = hex.EncodeToString(sum[:])
+		}
+	})
+	return t.rawJSON, t.rawHash, t.rawErr
 }
 
 // Class returns "CommandLineTool".

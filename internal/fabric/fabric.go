@@ -58,8 +58,16 @@ type Options struct {
 	DrainTimeout time.Duration
 	// Spawn, when set, is called by Launch before waiting for a
 	// registration — a hook to start a worker expected to dial in (a local
-	// subprocess with -connect, a cloud instance, a batch job).
+	// subprocess with -connect, a cloud instance, a batch job). A negative
+	// block id asks for a warm-pool spare not yet bound to any block.
 	Spawn func(block int) error
+	// Dispatch tunes frame batching and codec for worker sessions.
+	Dispatch provider.DispatchOptions
+	// WarmPool, when positive and Spawn is set, keeps this many registered
+	// spare workers on hand: Listen pre-spawns them, Launch adopts one
+	// instead of paying spawn+dial+hello latency, and each adoption (or
+	// spare death) triggers an asynchronous replacement.
+	WarmPool int
 }
 
 func (o *Options) fill() error {
@@ -131,7 +139,25 @@ func Listen(opts Options) (*NetProvider, error) {
 		seen:     map[string]struct{}{},
 	}
 	go p.acceptLoop()
+	if opts.WarmPool > 0 && opts.Spawn != nil {
+		for i := 0; i < opts.WarmPool; i++ {
+			go p.spawnSpare()
+		}
+	}
 	return p, nil
+}
+
+// spawnSpare asks the Spawn hook for one warm-pool worker (block id -1).
+// Failures are swallowed: the pool is an optimization, and a cold Launch
+// surfaces spawn errors on its own.
+func (p *NetProvider) spawnSpare() {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed || p.opts.Spawn == nil {
+		return
+	}
+	_ = p.opts.Spawn(-1)
 }
 
 // Addr is the listener's bound address (resolves ":0" ports).
@@ -185,6 +211,7 @@ func (p *NetProvider) handleConn(c net.Conn) {
 	sess, hello, err := provider.AcceptWorkerSession(fc, provider.AcceptOptions{
 		Secret:    p.opts.Secret,
 		Heartbeat: p.opts.HeartbeatPeriod,
+		Dispatch:  p.opts.Dispatch,
 	})
 	if err != nil {
 		metRejects.With(rejectReason(err)).Inc()
@@ -245,15 +272,21 @@ func (p *NetProvider) onConnDead(wc *workerConn, graceful bool) {
 	metWorkers.Add(-1)
 	p.mu.Lock()
 	h := wc.handle
+	wasPending := false
 	for i, cand := range p.pending {
 		if cand == wc {
 			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			wasPending = true
 			break
 		}
 	}
 	p.mu.Unlock()
 	if h != nil && !graceful && !h.closed.Load() {
 		provider.RecordWorkerLost("net")
+	}
+	// A dead warm spare leaves the pool short; ask for a replacement.
+	if wasPending && p.opts.WarmPool > 0 {
+		go p.spawnSpare()
 	}
 }
 
@@ -275,6 +308,16 @@ func (p *NetProvider) Launch(block int) (provider.ManagerHandle, error) {
 		p.mu.Unlock()
 	}()
 
+	// Warm pool: adopt an already-registered spare and replace it in the
+	// background instead of spawning for this block and waiting out the
+	// worker's startup + dial + hello.
+	if p.opts.WarmPool > 0 {
+		if h := p.tryAdoptPending(block); h != nil {
+			provider.RecordWarmHit("net")
+			go p.spawnSpare()
+			return h, nil
+		}
+	}
 	if p.opts.Spawn != nil {
 		if err := p.opts.Spawn(block); err != nil {
 			return nil, fmt.Errorf("spawning net worker for block %d: %w", block, err)
@@ -335,6 +378,21 @@ func (p *NetProvider) Launch(block int) (provider.ManagerHandle, error) {
 			return nil, fmt.Errorf("net provider is closed")
 		}
 	}
+}
+
+// tryAdoptPending adopts the first live registered-but-unadopted worker, or
+// returns nil without waiting.
+func (p *NetProvider) tryAdoptPending(block int) *netHandle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.pending) > 0 {
+		cand := p.pending[0]
+		p.pending = p.pending[1:]
+		if cand.sess.Alive() {
+			return p.adoptLocked(block, cand)
+		}
+	}
+	return nil
 }
 
 func (p *NetProvider) dropWaiter(w chan *workerConn) {
@@ -507,7 +565,7 @@ func (h *netHandle) status() provider.BlockStatus {
 		return provider.BlockStatus{State: provider.BlockDead, Detail: fmt.Sprintf("worker %s at %s lost", id, h.wc.remote)}
 	default:
 		return provider.BlockStatus{State: provider.BlockRunning,
-			Detail: fmt.Sprintf("worker %s at %s, busy %d", id, h.wc.remote, h.wc.sess.Busy())}
+			Detail: fmt.Sprintf("worker %s at %s, busy %d, codec %s", id, h.wc.remote, h.wc.sess.Busy(), h.wc.sess.Codec())}
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 // SpanKind classifies a span within the run→step→task hierarchy.
 type SpanKind string
 
+// The three levels of the span hierarchy: one run span per workflow run,
+// one step span per workflow step, one task span per DFK task.
 const (
 	KindRun  SpanKind = "run"
 	KindStep SpanKind = "step"

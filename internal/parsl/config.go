@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fabric"
@@ -34,6 +35,10 @@ import (
 //	init-blocks: 1
 //	idle-timeout: 30s
 //	heartbeat-period: 5s
+//	batch-max: 64
+//	batch-linger: 1ms
+//	dispatch-codec: binary
+//	warm-pool: 2
 type ConfigSpec struct {
 	Executor       string
 	RunDir         string
@@ -73,6 +78,19 @@ type ConfigSpec struct {
 	// -connect subprocess per block (default true); disable it when blocks
 	// are remote workers dialing in on their own.
 	NetSpawn bool
+	// BatchMax caps tasks per dispatch frame for process/net workers
+	// (0 = protocol default, 64).
+	BatchMax int
+	// BatchLinger lets a partially filled dispatch batch wait this long for
+	// more tasks (0 = send greedily).
+	BatchLinger time.Duration
+	// DispatchCodec selects the worker wire codec: "" or "binary" prefers
+	// the compact binary codec when workers offer it; "json" forces the
+	// baseline JSON codec.
+	DispatchCodec string
+	// WarmPool keeps this many spare pre-started workers per provider so
+	// block launches skip exec/dial+hello latency (0 disables).
+	WarmPool int
 }
 
 // DefaultConfigSpec returns single-node thread-pool defaults.
@@ -151,6 +169,18 @@ func ParseConfig(data []byte) (ConfigSpec, error) {
 			spec.NetKeyFile = fmt.Sprint(val)
 		case "net-spawn", "net_spawn":
 			spec.NetSpawn = m.GetBool(k, spec.NetSpawn)
+		case "batch-max", "batch_max":
+			spec.BatchMax = m.GetInt(k, spec.BatchMax)
+		case "batch-linger", "batch_linger":
+			d, err := parseDuration(val)
+			if err != nil {
+				return spec, fmt.Errorf("batch-linger: %w", err)
+			}
+			spec.BatchLinger = d
+		case "dispatch-codec", "dispatch_codec":
+			spec.DispatchCodec = fmt.Sprint(val)
+		case "warm-pool", "warm_pool":
+			spec.WarmPool = m.GetInt(k, spec.WarmPool)
 		default:
 			return spec, fmt.Errorf("unknown config key %q", k)
 		}
@@ -240,7 +270,30 @@ func (s ConfigSpec) validate() error {
 	if s.HeartbeatPeriod < 0 {
 		return fmt.Errorf("heartbeat-period must be non-negative")
 	}
+	if s.BatchMax < 0 {
+		return fmt.Errorf("batch-max must be non-negative")
+	}
+	if s.BatchLinger < 0 {
+		return fmt.Errorf("batch-linger must be non-negative")
+	}
+	switch s.DispatchCodec {
+	case "", provider.CodecBinary, provider.CodecJSON:
+	default:
+		return fmt.Errorf("unknown dispatch-codec %q (want binary or json)", s.DispatchCodec)
+	}
+	if s.WarmPool < 0 {
+		return fmt.Errorf("warm-pool must be non-negative")
+	}
 	return nil
+}
+
+// dispatchOptions renders the spec's dispatch tuning for worker sessions.
+func (s ConfigSpec) dispatchOptions() provider.DispatchOptions {
+	return provider.DispatchOptions{
+		BatchMax:    s.BatchMax,
+		BatchLinger: s.BatchLinger,
+		Codec:       s.DispatchCodec,
+	}
 }
 
 // BuildProvider materializes the spec's provider selection ("" = local).
@@ -253,7 +306,11 @@ func (s ConfigSpec) BuildProvider(name string) (provider.ExecutionProvider, erro
 		if s.WorkerCmd != "" {
 			cmd = strings.Fields(s.WorkerCmd)
 		}
-		return provider.NewProcessProvider(provider.ProcessOptions{Command: cmd}), nil
+		return provider.NewProcessProvider(provider.ProcessOptions{
+			Command:  cmd,
+			Dispatch: s.dispatchOptions(),
+			WarmPool: s.WarmPool,
+		}), nil
 	case "sim":
 		return provider.NewSimProvider(provider.SimOptions{
 			Nodes:        s.Nodes,
@@ -280,15 +337,24 @@ func (s ConfigSpec) buildNetProvider() (provider.ExecutionProvider, error) {
 		Secret:   s.NetSecret,
 		CertFile: s.NetCertFile,
 		KeyFile:  s.NetKeyFile,
+		Dispatch: s.dispatchOptions(),
 	}
 	var np *fabric.NetProvider // late-bound: Spawn only runs after Listen returns
 	if s.NetSpawn {
+		opts.WarmPool = s.WarmPool
 		argv, err := s.netWorkerCommand()
 		if err != nil {
 			return nil, err
 		}
+		var warmSeq atomic.Int64
 		opts.Spawn = func(block int) error {
-			args := append(argv[1:], "-connect", np.Addr(), "-id", fmt.Sprintf("block-%d", block))
+			// block < 0 is a warm-pool spare, named after a spawn counter
+			// since it is not yet bound to any block.
+			id := fmt.Sprintf("block-%d", block)
+			if block < 0 {
+				id = fmt.Sprintf("warm-%d", warmSeq.Add(1))
+			}
+			args := append(argv[1:], "-connect", np.Addr(), "-id", id)
 			if s.NetCertFile != "" {
 				// Self-signed operation: the server certificate doubles as the
 				// worker's trust anchor.

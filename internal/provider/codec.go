@@ -1,0 +1,592 @@
+package provider
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the protocol's dispatch plane: the optional capabilities a
+// version-2 hello may negotiate on top of the baseline JSON single-frame
+// session — batched task/result frames and a compact binary codec — plus the
+// frameBatcher both sides use to coalesce queued records into frames. The
+// normative description of everything here lives in docs/PROTOCOL.md, which
+// a conformance test (docs_test.go) keeps in sync with these constants.
+
+// Capability names a worker may offer in its hello and the engine may grant
+// back in the ack. A session only uses a capability both sides named; an
+// empty intersection is the baseline protocol (one JSON frame per task),
+// which is how mixed fleets of old and new workers coexist on one engine.
+const (
+	// capBatch: task and result frames may carry multiple records.
+	capBatch = "batch"
+	// capBinary: frames use the compact binary codec instead of JSON.
+	capBinary = "binary"
+)
+
+// Codec names accepted by DispatchOptions.Codec.
+const (
+	// CodecBinary selects the compact binary codec (the default when the
+	// worker offers it).
+	CodecBinary = "binary"
+	// CodecJSON forces the baseline JSON codec even for workers that offer
+	// binary — a debugging escape hatch and the mixed-fleet fallback.
+	CodecJSON = "json"
+)
+
+// defaultBatchMax is how many task or result records one frame may carry
+// when the engine does not configure a limit.
+const defaultBatchMax = 64
+
+// maxRecordBytes bounds one encoded record so that a single-record frame
+// (record plus frame envelope) always fits under maxFrameBytes.
+const maxRecordBytes = maxFrameBytes - 1024
+
+// Binary-codec frame kinds: the first byte of every binary frame body.
+const (
+	binKindTaskBatch byte = 0x01 // engine → worker: uvarint count, task records
+	binKindRespBatch byte = 0x02 // worker → engine: uvarint count, response records
+	binKindBeat      byte = 0x03 // worker → engine: uvarint in-flight count
+	binKindDrain     byte = 0x04 // engine → worker: drain request (no body)
+	binKindBye       byte = 0x05 // worker → engine: graceful goodbye (no body)
+)
+
+// Binary task-record flag bits.
+const (
+	// binFlagSharedDoc: the payload omits the tool document; a document hash
+	// follows the payload and the worker must splice the document back in
+	// from its session cache.
+	binFlagSharedDoc byte = 1 << 0
+	// binFlagDocInline: the document bytes follow the hash — sent the first
+	// time a session ships a given document, cached by the worker after.
+	binFlagDocInline byte = 1 << 1
+)
+
+// DispatchOptions tunes how an engine-side session acceptor uses the
+// capabilities workers offer: frame batching, codec choice, and the
+// batch size/linger caps. The zero value grants everything a worker
+// offers with the default batch cap and no linger.
+type DispatchOptions struct {
+	// BatchMax caps how many tasks one frame may carry (default 64).
+	BatchMax int
+	// BatchLinger, when positive, lets a partially filled batch wait this
+	// long for more tasks before the frame is sent. 0 sends greedily: a
+	// frame carries whatever queued while the previous frame was in flight.
+	BatchLinger time.Duration
+	// Codec selects the frame codec: "" or CodecBinary prefers binary when
+	// the worker offers it; CodecJSON forces the baseline JSON codec.
+	Codec string
+	// NoBatch disables frame batching even for workers that offer it.
+	NoBatch bool
+}
+
+// sessionCaps is the negotiated result of one hello/ack exchange.
+type sessionCaps struct {
+	batch    bool
+	binary   bool
+	batchMax int
+	linger   time.Duration
+}
+
+// negotiateCaps intersects what the worker offered with what the engine's
+// dispatch options allow. Never grants a capability the worker did not
+// offer.
+func negotiateCaps(offered []string, d DispatchOptions) sessionCaps {
+	c := sessionCaps{batchMax: d.BatchMax, linger: d.BatchLinger}
+	if c.batchMax <= 0 {
+		c.batchMax = defaultBatchMax
+	}
+	c.batch = hasCap(offered, capBatch) && !d.NoBatch
+	c.binary = hasCap(offered, capBinary) && d.Codec != CodecJSON
+	return c
+}
+
+// list renders the granted capabilities for the hello ack.
+func (c sessionCaps) list() []string {
+	var out []string
+	if c.batch {
+		out = append(out, capBatch)
+	}
+	if c.binary {
+		out = append(out, capBinary)
+	}
+	return out
+}
+
+func hasCap(caps []string, name string) bool {
+	for _, c := range caps {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// WorkerCaps is the capability list a worker of this build announces in its
+// hello, minus any the caller withholds. Withholding a capability is how a
+// legacy JSON-only worker is emulated in tests and how operators force the
+// baseline wire form for debugging.
+func WorkerCaps(noBatch, noBinary bool) []string {
+	var caps []string
+	if !noBatch {
+		caps = append(caps, capBatch)
+	}
+	if !noBinary {
+		caps = append(caps, capBinary)
+	}
+	return caps
+}
+
+// SessionOptionsFromAck derives the serve options a granted hello ack
+// implies: heartbeat interval plus the capabilities the engine granted.
+func SessionOptionsFromAck(ack HelloAck, drain <-chan struct{}) WorkerSessionOptions {
+	return WorkerSessionOptions{
+		Heartbeat: time.Duration(ack.HeartbeatMs) * time.Millisecond,
+		Drain:     drain,
+		Batch:     hasCap(ack.Caps, capBatch),
+		Binary:    hasCap(ack.Caps, capBinary),
+		BatchMax:  ack.BatchMax,
+	}
+}
+
+// --- binary codec: encoding ---
+
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func appendLenBytes(dst []byte, p []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+func appendLenString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendBinaryTask renders one task record: uvarint id, length-prefixed
+// kind, flags byte, length-prefixed payload, then — when flagged — the
+// shared-document hash and, on first transfer, the document bytes.
+func appendBinaryTask(dst []byte, id int64, kind string, payload []byte, docHash string, doc []byte) []byte {
+	dst = appendUvarint(dst, uint64(id))
+	dst = appendLenString(dst, kind)
+	var flags byte
+	if docHash != "" {
+		flags |= binFlagSharedDoc
+	}
+	if doc != nil {
+		flags |= binFlagDocInline
+	}
+	dst = append(dst, flags)
+	dst = appendLenBytes(dst, payload)
+	if docHash != "" {
+		dst = appendLenString(dst, docHash)
+	}
+	if doc != nil {
+		dst = appendLenBytes(dst, doc)
+	}
+	return dst
+}
+
+// appendBinaryResponse renders one response record: uvarint id, status byte
+// (1 = ok), length-prefixed body (result JSON on success, error text on
+// failure).
+func appendBinaryResponse(dst []byte, resp workerResponse) []byte {
+	dst = appendUvarint(dst, uint64(resp.ID))
+	if resp.OK {
+		dst = append(dst, 1)
+		return appendLenBytes(dst, resp.Result)
+	}
+	dst = append(dst, 0)
+	return appendLenString(dst, resp.Error)
+}
+
+// binBatchFrame assembles a binary batch frame: kind byte, uvarint record
+// count, then the self-delimiting records.
+func binBatchFrame(kind byte, records [][]byte) []byte {
+	size := 1 + binary.MaxVarintLen64
+	for _, r := range records {
+		size += len(r)
+	}
+	dst := make([]byte, 0, size)
+	dst = append(dst, kind)
+	dst = appendUvarint(dst, uint64(len(records)))
+	for _, r := range records {
+		dst = append(dst, r...)
+	}
+	return dst
+}
+
+// binBeatFrame renders a binary heartbeat carrying the in-flight count.
+func binBeatFrame(busy int) []byte {
+	return appendUvarint([]byte{binKindBeat}, uint64(busy))
+}
+
+// --- binary codec: decoding ---
+
+// binReader is a cursor over one binary frame body; the first decode error
+// sticks and every later read returns zero values.
+type binReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("binary frame truncated reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *binReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) byte(what string) byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// lenBytes reads a length-prefixed byte string; the result aliases the
+// frame body.
+func (r *binReader) lenBytes(what string) []byte {
+	n := int(r.uvarint(what))
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	v := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *binReader) done() bool { return r.err != nil || r.off >= len(r.b) }
+
+// decodeRequests parses one engine → worker frame body into its requests.
+// body aliases the connection scratch buffer; the binary path copies it
+// first (task goroutines hold payload slices across frames), and the JSON
+// path relies on json.Unmarshal copying everything it keeps. docs is the
+// worker's per-session shared-document cache, owned by the read goroutine.
+func decodeRequests(body []byte, binaryCodec bool, docs map[string][]byte) ([]workerRequest, error) {
+	if !binaryCodec {
+		var req workerRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Kind != frameKindBatch {
+			return []workerRequest{req}, nil
+		}
+		reqs := make([]workerRequest, 0, len(req.Items))
+		for _, item := range req.Items {
+			var r workerRequest
+			if err := json.Unmarshal(item, &r); err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, r)
+		}
+		return reqs, nil
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("empty binary frame")
+	}
+	buf := append([]byte(nil), body...)
+	switch buf[0] {
+	case binKindDrain:
+		return []workerRequest{{Kind: frameKindDrain}}, nil
+	case binKindTaskBatch:
+		r := &binReader{b: buf, off: 1}
+		count := int(r.uvarint("record count"))
+		if r.err != nil {
+			return nil, r.err
+		}
+		reqs := make([]workerRequest, 0, min(count, 4096))
+		for i := 0; i < count; i++ {
+			id := r.uvarint("task id")
+			kind := string(r.lenBytes("task kind"))
+			flags := r.byte("task flags")
+			payload := r.lenBytes("task payload")
+			req := workerRequest{ID: int64(id), Spec: &RemoteSpec{Kind: kind, Payload: payload}}
+			if flags&binFlagSharedDoc != 0 {
+				hash := string(r.lenBytes("document hash"))
+				if flags&binFlagDocInline != 0 {
+					// The document outlives this frame in the session cache;
+					// detach it so the cache does not pin whole frames.
+					doc := append([]byte(nil), r.lenBytes("document")...)
+					if r.err == nil {
+						docs[hash] = doc
+						req.Spec.Doc = doc
+					}
+				} else if doc, ok := docs[hash]; ok {
+					req.Spec.Doc = doc
+				} else {
+					req.DocErr = fmt.Sprintf("shared document %s is not in the session cache", hash)
+				}
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			reqs = append(reqs, req)
+		}
+		return reqs, nil
+	default:
+		return nil, fmt.Errorf("unknown binary frame kind 0x%02x", buf[0])
+	}
+}
+
+// decodeResponses parses one worker → engine frame body into its responses.
+// Copying discipline mirrors decodeRequests.
+func decodeResponses(body []byte, binaryCodec bool) ([]workerResponse, error) {
+	if !binaryCodec {
+		var resp workerResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, err
+		}
+		if resp.Kind != frameKindBatch {
+			return []workerResponse{resp}, nil
+		}
+		resps := make([]workerResponse, 0, len(resp.Items))
+		for _, item := range resp.Items {
+			var r workerResponse
+			if err := json.Unmarshal(item, &r); err != nil {
+				return nil, err
+			}
+			resps = append(resps, r)
+		}
+		return resps, nil
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("empty binary frame")
+	}
+	buf := append([]byte(nil), body...)
+	switch buf[0] {
+	case binKindBye:
+		return []workerResponse{{Kind: frameKindBye}}, nil
+	case binKindBeat:
+		r := &binReader{b: buf, off: 1}
+		busy := int(r.uvarint("busy count"))
+		if r.err != nil {
+			return nil, r.err
+		}
+		return []workerResponse{{Kind: frameKindBeat, Busy: busy}}, nil
+	case binKindRespBatch:
+		r := &binReader{b: buf, off: 1}
+		count := int(r.uvarint("record count"))
+		if r.err != nil {
+			return nil, r.err
+		}
+		resps := make([]workerResponse, 0, min(count, 4096))
+		for i := 0; i < count; i++ {
+			id := r.uvarint("response id")
+			status := r.byte("response status")
+			bodyBytes := r.lenBytes("response body")
+			if r.err != nil {
+				return nil, r.err
+			}
+			resp := workerResponse{ID: int64(id)}
+			if status == 1 {
+				resp.OK = true
+				resp.Result = bodyBytes
+			} else {
+				resp.Error = string(bodyBytes)
+			}
+			resps = append(resps, resp)
+		}
+		return resps, nil
+	default:
+		return nil, fmt.Errorf("unknown binary frame kind 0x%02x", buf[0])
+	}
+}
+
+// --- frame batching ---
+
+// batcherConfig configures one frameBatcher.
+type batcherConfig struct {
+	binary bool
+	kind   byte // binary batch frame kind (task or response)
+	max    int
+	linger time.Duration
+	// onDead, when set, runs once after a frame write fails; queued and
+	// future records are dropped (the session is over).
+	onDead func()
+}
+
+// frameBatcher coalesces pre-encoded records into batch frames on one
+// FrameConn. Producers enqueue concurrently; a single writer goroutine
+// drains greedily — each frame carries every record that queued while the
+// previous frame was being written, up to the batch cap — which keeps
+// latency at one write under light load and amortizes framing under heavy
+// load without any timer in the hot path.
+type frameBatcher struct {
+	fc  *FrameConn
+	cfg batcherConfig
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	stopOnce sync.Once
+
+	mu    sync.Mutex
+	queue [][]byte
+	dead  bool
+}
+
+func newFrameBatcher(fc *FrameConn, cfg batcherConfig) *frameBatcher {
+	if cfg.max <= 0 {
+		cfg.max = defaultBatchMax
+	}
+	b := &frameBatcher{
+		fc:   fc,
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// enqueue queues one pre-encoded record, reporting false when the writer has
+// stopped (the record will never be sent).
+func (b *frameBatcher) enqueue(rec []byte) bool {
+	b.mu.Lock()
+	if b.dead {
+		b.mu.Unlock()
+		return false
+	}
+	b.queue = append(b.queue, rec)
+	b.mu.Unlock()
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// close flushes queued records and stops the writer, blocking until it has
+// exited. Graceful-teardown path (worker drain).
+func (b *frameBatcher) close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+// kill stops the writer without flushing or blocking — the session is dead,
+// so queued records are undeliverable. Safe to call from the writer's own
+// failure path.
+func (b *frameBatcher) kill() {
+	b.mu.Lock()
+	b.dead = true
+	b.queue = nil
+	b.mu.Unlock()
+	b.stopOnce.Do(func() { close(b.stop) })
+}
+
+func (b *frameBatcher) run() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.stop:
+			b.flush()
+			b.mu.Lock()
+			b.dead = true
+			b.mu.Unlock()
+			return
+		case <-b.kick:
+			if !b.flush() {
+				return
+			}
+		}
+	}
+}
+
+// take dequeues up to max records whose combined size (plus base) stays
+// under the frame cap. A single over-budget record is still taken alone;
+// the per-record cap (maxRecordBytes) keeps it frameable.
+func (b *frameBatcher) take(max, base int) [][]byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n, size := 0, base
+	for n < len(b.queue) && n < max {
+		size += len(b.queue[n]) + 2*binary.MaxVarintLen64
+		if n > 0 && size > maxRecordBytes {
+			break
+		}
+		n++
+	}
+	recs := b.queue[:n:n]
+	b.queue = b.queue[n:]
+	return recs
+}
+
+// flush drains the queue into frames; false means the connection failed and
+// the writer must exit.
+func (b *frameBatcher) flush() bool {
+	for {
+		recs := b.take(b.cfg.max, 0)
+		if len(recs) == 0 {
+			return true
+		}
+		if b.cfg.linger > 0 && len(recs) < b.cfg.max {
+			size := 0
+			for _, r := range recs {
+				size += len(r)
+			}
+			time.Sleep(b.cfg.linger)
+			recs = append(recs, b.take(b.cfg.max-len(recs), size)...)
+		}
+		var frame []byte
+		if b.cfg.binary {
+			frame = binBatchFrame(b.cfg.kind, recs)
+		} else {
+			frame = jsonBatchFrame(recs)
+		}
+		observeBatch(len(recs), b.cfg.binary)
+		if err := b.fc.SendEncoded(frame); err != nil {
+			b.mu.Lock()
+			b.dead = true
+			b.queue = nil
+			b.mu.Unlock()
+			if b.cfg.onDead != nil {
+				b.cfg.onDead()
+			}
+			return false
+		}
+		metFramesSent.Inc()
+	}
+}
+
+// jsonBatchFrame assembles a JSON batch envelope by concatenating the
+// pre-encoded records: {"kind":"batch","items":[r1,r2,...]}.
+func jsonBatchFrame(records [][]byte) []byte {
+	size := len(`{"kind":"batch","items":[]}`) + len(records)
+	for _, r := range records {
+		size += len(r)
+	}
+	dst := make([]byte, 0, size)
+	dst = append(dst, `{"kind":"batch","items":[`...)
+	for i, r := range records {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, r...)
+	}
+	return append(dst, `]}`...)
+}

@@ -1,0 +1,426 @@
+package provider
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNegotiateCaps(t *testing.T) {
+	full := WorkerCaps(false, false)
+	cases := []struct {
+		name     string
+		offered  []string
+		opts     DispatchOptions
+		batch    bool
+		binary   bool
+		batchMax int
+	}{
+		{"full offer, default options", full, DispatchOptions{}, true, true, defaultBatchMax},
+		{"legacy worker offers nothing", nil, DispatchOptions{}, false, false, defaultBatchMax},
+		{"engine forces json", full, DispatchOptions{Codec: CodecJSON}, true, false, defaultBatchMax},
+		{"engine disables batching", full, DispatchOptions{NoBatch: true}, false, true, defaultBatchMax},
+		{"worker withholds binary", WorkerCaps(false, true), DispatchOptions{}, true, false, defaultBatchMax},
+		{"worker withholds batch", WorkerCaps(true, false), DispatchOptions{}, false, true, defaultBatchMax},
+		{"custom batch cap", full, DispatchOptions{BatchMax: 7}, true, true, 7},
+		// The engine must never grant what was not offered, whatever its
+		// own preferences say.
+		{"engine wants binary, worker cannot", []string{capBatch}, DispatchOptions{Codec: CodecBinary}, true, false, defaultBatchMax},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := negotiateCaps(tc.offered, tc.opts)
+			if c.batch != tc.batch || c.binary != tc.binary || c.batchMax != tc.batchMax {
+				t.Fatalf("negotiateCaps(%v, %+v) = %+v", tc.offered, tc.opts, c)
+			}
+			// The ack list round-trips through SessionOptionsFromAck.
+			so := SessionOptionsFromAck(HelloAck{Caps: c.list(), BatchMax: c.batchMax}, nil)
+			if so.Batch != tc.batch || so.Binary != tc.binary {
+				t.Fatalf("ack round trip lost caps: %+v", so)
+			}
+		})
+	}
+}
+
+func TestBinaryTaskRecordRoundTrip(t *testing.T) {
+	docs := map[string][]byte{}
+	rec := appendBinaryTask(nil, 42, KindEcho, []byte(`{"a":1}`), "", nil)
+	reqs, err := decodeRequests(binBatchFrame(binKindTaskBatch, [][]byte{rec}), true, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0].ID != 42 || reqs[0].Spec.Kind != KindEcho || string(reqs[0].Spec.Payload) != `{"a":1}` {
+		t.Fatalf("round trip mangled the record: %+v", reqs)
+	}
+}
+
+func TestBinarySharedDocCache(t *testing.T) {
+	docs := map[string][]byte{}
+	doc := []byte(`{"class":"CommandLineTool"}`)
+	slim := []byte(`{"tool":null}`)
+
+	// First record carries the document inline; it lands in the cache.
+	first := appendBinaryTask(nil, 1, KindCWLTool, slim, "h1", doc)
+	// Second references it by hash only.
+	second := appendBinaryTask(nil, 2, KindCWLTool, slim, "h1", nil)
+	// Third references a hash the session never transferred.
+	third := appendBinaryTask(nil, 3, KindCWLTool, slim, "missing", nil)
+
+	reqs, err := decodeRequests(binBatchFrame(binKindTaskBatch, [][]byte{first, second, third}), true, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	if string(reqs[0].Spec.Doc) != string(doc) || string(docs["h1"]) != string(doc) {
+		t.Fatalf("inline document not cached: %q / cache %q", reqs[0].Spec.Doc, docs["h1"])
+	}
+	if string(reqs[1].Spec.Doc) != string(doc) || reqs[1].DocErr != "" {
+		t.Fatalf("hash reference not resolved: %+v", reqs[1])
+	}
+	if reqs[2].DocErr == "" || reqs[2].Spec.Doc != nil {
+		t.Fatalf("unknown hash must set DocErr: %+v", reqs[2])
+	}
+
+	// The cache survives across frames — the point of the amortization.
+	later := appendBinaryTask(nil, 4, KindCWLTool, slim, "h1", nil)
+	reqs, err = decodeRequests(binBatchFrame(binKindTaskBatch, [][]byte{later}), true, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reqs[0].Spec.Doc) != string(doc) {
+		t.Fatal("cache did not survive across frames")
+	}
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	ok := workerResponse{ID: 7, OK: true, Result: json.RawMessage(`{"x":2}`)}
+	bad := workerResponse{ID: 8, Error: "boom"}
+	frame := binBatchFrame(binKindRespBatch, [][]byte{
+		appendBinaryResponse(nil, ok),
+		appendBinaryResponse(nil, bad),
+	})
+	resps, err := decodeResponses(frame, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	if !resps[0].OK || resps[0].ID != 7 || string(resps[0].Result) != `{"x":2}` {
+		t.Fatalf("ok response mangled: %+v", resps[0])
+	}
+	if resps[1].OK || resps[1].ID != 8 || resps[1].Error != "boom" {
+		t.Fatalf("error response mangled: %+v", resps[1])
+	}
+
+	if resps, err = decodeResponses(binBeatFrame(5), true); err != nil || resps[0].Kind != frameKindBeat || resps[0].Busy != 5 {
+		t.Fatalf("beat frame: %+v, %v", resps, err)
+	}
+	if resps, err = decodeResponses([]byte{binKindBye}, true); err != nil || resps[0].Kind != frameKindBye {
+		t.Fatalf("bye frame: %+v, %v", resps, err)
+	}
+}
+
+func TestBinaryDecodeRejectsCorruptFrames(t *testing.T) {
+	for _, body := range [][]byte{
+		{},                       // empty
+		{0x7f},                   // unknown kind
+		{binKindTaskBatch},       // missing count
+		{binKindTaskBatch, 2},    // count without records
+		{binKindRespBatch, 1, 9}, // truncated record
+	} {
+		// Every one of these is malformed for both directions (a task-batch
+		// kind is unknown to the response decoder and vice versa).
+		if _, err := decodeRequests(body, true, map[string][]byte{}); err == nil {
+			t.Errorf("decodeRequests(%v) accepted a corrupt frame", body)
+		}
+		if _, err := decodeResponses(body, true); err == nil {
+			t.Errorf("decodeResponses(%v) accepted a corrupt frame", body)
+		}
+	}
+}
+
+func TestJSONBatchEnvelopeRoundTrip(t *testing.T) {
+	r1, _ := json.Marshal(workerRequest{ID: 1, Spec: &RemoteSpec{Kind: KindEcho, Payload: json.RawMessage(`"a"`)}})
+	r2, _ := json.Marshal(workerRequest{ID: 2, Spec: &RemoteSpec{Kind: KindEcho, Payload: json.RawMessage(`"b"`)}})
+	reqs, err := decodeRequests(jsonBatchFrame([][]byte{r1, r2}), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[0].ID != 1 || reqs[1].ID != 2 || string(reqs[1].Spec.Payload) != `"b"` {
+		t.Fatalf("request envelope mangled: %+v", reqs)
+	}
+
+	p1, _ := json.Marshal(workerResponse{ID: 1, OK: true, Result: json.RawMessage(`"r"`)})
+	resps, err := decodeResponses(jsonBatchFrame([][]byte{p1}), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 1 || !resps[0].OK || string(resps[0].Result) != `"r"` {
+		t.Fatalf("response envelope mangled: %+v", resps)
+	}
+
+	// A plain (non-batch) frame still decodes as a single item.
+	single, err := decodeRequests(r1, false, nil)
+	if err != nil || len(single) != 1 || single[0].ID != 1 {
+		t.Fatalf("single frame: %+v, %v", single, err)
+	}
+}
+
+func TestFrameBatcherCoalesces(t *testing.T) {
+	var buf bytes.Buffer
+	fc := NewFrameConn(bytes.NewReader(nil), &buf, nil)
+	b := newFrameBatcher(fc, batcherConfig{binary: true, kind: binKindTaskBatch, max: 8})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if !b.enqueue(appendBinaryTask(nil, int64(i), KindEcho, []byte(`1`), "", nil)) {
+			t.Fatal("enqueue refused on a live batcher")
+		}
+	}
+	b.close() // flushes the queue and stops the writer
+
+	frames, total := 0, 0
+	fr := NewFrameConn(&buf, io.Discard, nil)
+	for {
+		body, err := fr.ReadRaw()
+		if err != nil {
+			break
+		}
+		reqs, err := decodeRequests(body, true, map[string][]byte{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) > 8 {
+			t.Fatalf("frame carries %d records, max is 8", len(reqs))
+		}
+		frames++
+		total += len(reqs)
+	}
+	if total != n {
+		t.Fatalf("records out = %d, want %d", total, n)
+	}
+	if frames >= n {
+		t.Fatalf("no coalescing: %d frames for %d records", frames, n)
+	}
+	if b.enqueue([]byte{1}) {
+		t.Fatal("enqueue accepted after close")
+	}
+}
+
+// errWriter fails every write after the first n bytes-of-call budget.
+type errWriter struct{ calls int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return 0, errors.New("sink broke")
+}
+
+func TestFrameBatcherWriteFailureRunsOnDead(t *testing.T) {
+	died := make(chan struct{})
+	fc := NewFrameConn(bytes.NewReader(nil), &errWriter{}, nil)
+	b := newFrameBatcher(fc, batcherConfig{binary: true, kind: binKindTaskBatch, max: 8,
+		onDead: func() { close(died) }})
+	if !b.enqueue([]byte{0x01}) {
+		t.Fatal("first enqueue refused")
+	}
+	select {
+	case <-died:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onDead never ran after a write failure")
+	}
+	// The writer is gone; later enqueues must refuse rather than queue
+	// records nobody will send.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.enqueue([]byte{0x02}) {
+		if time.Now().After(deadline) {
+			t.Fatal("enqueue still accepting after the writer died")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFrameBatcherLingerFillsFrames(t *testing.T) {
+	var buf bytes.Buffer
+	fc := NewFrameConn(bytes.NewReader(nil), &buf, nil)
+	b := newFrameBatcher(fc, batcherConfig{binary: true, kind: binKindTaskBatch, max: 64,
+		linger: 50 * time.Millisecond})
+	// Sequential enqueue: all 16 records land within one linger window even
+	// on a heavily loaded machine, so the frame-count bound below is safe.
+	for i := 0; i < 16; i++ {
+		b.enqueue(appendBinaryTask(nil, int64(i), KindEcho, []byte(`1`), "", nil))
+	}
+	b.close()
+
+	fr := NewFrameConn(&buf, io.Discard, nil)
+	frames := 0
+	for {
+		if _, err := fr.ReadRaw(); err != nil {
+			break
+		}
+		frames++
+	}
+	// 16 records arriving within one linger window should land in very few
+	// frames — allow slack for scheduling, but 16 singletons means the
+	// linger did nothing.
+	if frames > 4 {
+		t.Fatalf("linger did not coalesce: %d frames for 16 records", frames)
+	}
+}
+
+// TestSessionCodecMatrix drives a full engine↔worker session in-process over
+// pipes for every capability combination: same tasks, same results, every
+// wire form.
+func TestSessionCodecMatrix(t *testing.T) {
+	cases := []struct {
+		name     string
+		worker   PipeWorkerOptions
+		dispatch DispatchOptions
+		codec    string
+		batching bool
+	}{
+		{"binary batched (default)", PipeWorkerOptions{}, DispatchOptions{}, CodecBinary, true},
+		{"json batched", PipeWorkerOptions{DisableBinary: true}, DispatchOptions{}, CodecJSON, true},
+		{"binary unbatched", PipeWorkerOptions{DisableBatch: true}, DispatchOptions{}, CodecBinary, false},
+		{"legacy json worker", PipeWorkerOptions{DisableBatch: true, DisableBinary: true}, DispatchOptions{}, CodecJSON, false},
+		{"engine forces json", PipeWorkerOptions{}, DispatchOptions{Codec: CodecJSON}, CodecJSON, true},
+		{"engine forces no batch", PipeWorkerOptions{}, DispatchOptions{NoBatch: true}, CodecBinary, false},
+		{"linger", PipeWorkerOptions{}, DispatchOptions{BatchLinger: 200 * time.Microsecond}, CodecBinary, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// engine → worker pipe and worker → engine pipe
+			ewR, ewW := io.Pipe()
+			weR, weW := io.Pipe()
+			workerDone := make(chan error, 1)
+			go func() {
+				workerDone <- RunPipeWorkerOpts(ewR, weW, tc.worker)
+			}()
+
+			fc := NewFrameConn(weR, ewW, nil)
+			sess, _, err := AcceptWorkerSession(fc, AcceptOptions{Dispatch: tc.dispatch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go sess.ReadLoop()
+			if sess.Codec() != tc.codec || sess.Batching() != tc.batching {
+				t.Fatalf("negotiated codec=%s batching=%v, want %s/%v",
+					sess.Codec(), sess.Batching(), tc.codec, tc.batching)
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 32)
+			for i := 0; i < 32; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					spec, err := NewEchoSpec(map[string]any{"i": i})
+					if err != nil {
+						errs <- err
+						return
+					}
+					res, err := sess.Roundtrip(i, spec)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got := fmt.Sprint(res); got != fmt.Sprintf("map[i:%d]", i) &&
+						!resultHasI(res, i) {
+						errs <- fmt.Errorf("task %d echoed %v", i, res)
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Graceful teardown: drain → bye → session dead, worker exits nil.
+			if err := sess.SendDrain(); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-sess.Dead():
+			case <-time.After(10 * time.Second):
+				t.Fatal("session never observed the bye")
+			}
+			if !sess.Drained() {
+				t.Fatal("drain not recorded as graceful")
+			}
+			select {
+			case err := <-workerDone:
+				if err != nil {
+					t.Fatalf("worker exit: %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("worker never exited after drain")
+			}
+		})
+	}
+}
+
+// resultHasI reports whether a decoded echo result carries {"i": i} — result
+// maps decode as *yamlx.Map, compared structurally to stay independent of
+// its String rendering.
+func resultHasI(res any, i int) bool {
+	type intGetter interface{ GetInt(string, int) int }
+	if m, ok := res.(intGetter); ok {
+		return m.GetInt("i", -1) == i
+	}
+	return reflect.DeepEqual(res, map[string]any{"i": i})
+}
+
+// TestSessionSharedDocSentOncePerSession asserts the engine-side half of the
+// amortization: two specs sharing one DocHash produce one inline document on
+// the wire.
+func TestSessionSharedDocSentOncePerSession(t *testing.T) {
+	var buf bytes.Buffer
+	fc := NewFrameConn(bytes.NewReader(nil), &buf, nil)
+	sess := newManagerSession(fc, sessionCaps{binary: true, batchMax: defaultBatchMax})
+
+	doc := []byte(`{"class":"CommandLineTool"}`)
+	mk := func() *RemoteSpec {
+		return &RemoteSpec{Kind: KindCWLTool, Payload: []byte(`{"full":true}`),
+			Slim: []byte(`{"tool":null}`), Doc: doc, DocHash: "h"}
+	}
+	if err := sess.ship(1, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ship(2, mk()); err != nil {
+		t.Fatal(err)
+	}
+
+	docs := map[string][]byte{}
+	fr := NewFrameConn(&buf, io.Discard, nil)
+	var all []workerRequest
+	for {
+		body, err := fr.ReadRaw()
+		if err != nil {
+			break
+		}
+		reqs, err := decodeRequests(body, true, docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, reqs...)
+	}
+	if len(all) != 2 {
+		t.Fatalf("got %d records", len(all))
+	}
+	if len(docs) != 1 {
+		t.Fatalf("document cache holds %d entries, want 1", len(docs))
+	}
+	for i, req := range all {
+		if req.DocErr != "" || string(req.Spec.Doc) != string(doc) {
+			t.Fatalf("record %d did not resolve the shared doc: %+v", i, req)
+		}
+	}
+}

@@ -30,6 +30,21 @@ var (
 		"pcwl_provider_remote_roundtrip_seconds",
 		"Round-trip time of one task over the worker session protocol (send to response).",
 		nil)
+	metBatchFrames = obs.Default().CounterVec(
+		"pcwl_provider_batch_frames_total",
+		"Batch frames written to worker sessions, by codec.",
+		"codec")
+	metBatchTasks = obs.Default().Histogram(
+		"pcwl_provider_batch_tasks",
+		"Records carried per batch frame (task and result batches).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	metDocsAmortized = obs.Default().Counter(
+		"pcwl_provider_docs_amortized_total",
+		"Task records that referenced a shared tool document by hash instead of re-shipping it.")
+	metWarmHits = obs.Default().CounterVec(
+		"pcwl_provider_warm_hits_total",
+		"Block launches satisfied from a warm worker pool, by provider kind.",
+		"provider")
 	metSimPreemptions = obs.Default().Counter(
 		"pcwl_sim_preemptions_total",
 		"Simulated node preemptions injected into SimProvider blocks.")
@@ -42,6 +57,19 @@ var (
 func observeRoundtrip(start time.Time) {
 	metRemoteRoundtrip.Observe(time.Since(start).Seconds())
 }
+
+// observeBatch records one batch frame: its record count and codec.
+func observeBatch(records int, binaryCodec bool) {
+	metBatchTasks.Observe(float64(records))
+	if binaryCodec {
+		metBatchFrames.With(CodecBinary).Inc()
+	} else {
+		metBatchFrames.With(CodecJSON).Inc()
+	}
+}
+
+// RecordWarmHit counts a block launch satisfied from a warm worker pool.
+func RecordWarmHit(kind string) { metWarmHits.With(kind).Inc() }
 
 // RecordBlockLaunched counts a successful block launch for an out-of-package
 // provider (the network fabric), keeping every provider kind in the same

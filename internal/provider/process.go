@@ -26,6 +26,12 @@ type ProcessOptions struct {
 	// Stderr receives the workers' stderr ("" inherits the engine's stderr;
 	// useful diagnostics either way since the protocol owns stdout).
 	Stderr io.Writer
+	// Dispatch tunes frame batching and codec for worker sessions.
+	Dispatch DispatchOptions
+	// WarmPool, when positive, keeps this many spare workers pre-forked and
+	// handshaken; Launch adopts a spare instead of paying exec+hello
+	// latency, and the pool refills asynchronously.
+	WarmPool int
 }
 
 // DefaultWorkerCommand locates the parsl-cwl-worker binary: next to the
@@ -55,8 +61,11 @@ type ProcessProvider struct {
 	// (as opposed to in-process fallbacks for unserializable closures).
 	remoteTasks atomic.Int64
 
-	mu     sync.Mutex
-	blocks map[int]*processHandle
+	mu      sync.Mutex
+	blocks  map[int]*processHandle
+	spares  []*processHandle // warm pool: handshaken workers awaiting a block
+	filling bool             // a fillWarm goroutine is running
+	closed  bool             // Cancel was called
 }
 
 // NewProcessProvider builds a ProcessProvider.
@@ -64,7 +73,11 @@ func NewProcessProvider(opts ProcessOptions) *ProcessProvider {
 	if opts.HelloTimeout <= 0 {
 		opts.HelloTimeout = 10 * time.Second
 	}
-	return &ProcessProvider{opts: opts, blocks: map[int]*processHandle{}}
+	p := &ProcessProvider{opts: opts, blocks: map[int]*processHandle{}}
+	if opts.WarmPool > 0 {
+		go p.fillWarm()
+	}
+	return p
 }
 
 // Name implements ExecutionProvider.
@@ -74,9 +87,38 @@ func (p *ProcessProvider) Name() string { return "process" }
 // cross the pipe.
 func (p *ProcessProvider) RemoteCapable() bool { return true }
 
-// Launch implements ExecutionProvider: start one worker subprocess and
-// complete the session handshake with it.
+// Launch implements ExecutionProvider: adopt a warm spare worker when the
+// pool has one, otherwise start a worker subprocess and complete the session
+// handshake with it.
 func (p *ProcessProvider) Launch(block int) (ManagerHandle, error) {
+	if h := p.takeSpare(); h != nil {
+		h.block = block
+		p.mu.Lock()
+		p.blocks[block] = h
+		p.mu.Unlock()
+		metBlocksLaunched.With("process").Inc()
+		metWarmHits.With("process").Inc()
+		go p.fillWarm()
+		return h, nil
+	}
+	h, err := p.spawnWorker(block)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.blocks[block] = h
+	p.mu.Unlock()
+	metBlocksLaunched.With("process").Inc()
+	return h, nil
+}
+
+// spawnWorker starts one worker subprocess and completes the handshake.
+// block < 0 marks a warm spare not yet bound to a block.
+func (p *ProcessProvider) spawnWorker(block int) (*processHandle, error) {
+	name := fmt.Sprintf("worker block %d", block)
+	if block < 0 {
+		name = "warm worker"
+	}
 	argv := p.opts.Command
 	if len(argv) == 0 {
 		def, err := DefaultWorkerCommand()
@@ -123,14 +165,14 @@ func (p *ProcessProvider) Launch(block int) (ManagerHandle, error) {
 	}
 	helloCh := make(chan acceptResult, 1)
 	go func() {
-		sess, hello, err := AcceptWorkerSession(fc, AcceptOptions{})
+		sess, hello, err := AcceptWorkerSession(fc, AcceptOptions{Dispatch: p.opts.Dispatch})
 		helloCh <- acceptResult{sess, hello, err}
 	}()
 	select {
 	case res := <-helloCh:
 		if res.err != nil {
 			h.destroy()
-			return nil, fmt.Errorf("worker block %d: %w", block, res.err)
+			return nil, fmt.Errorf("%s: %w", name, res.err)
 		}
 		h.pid.Store(int64(res.hello.PID))
 		h.sess = res.sess
@@ -138,14 +180,80 @@ func (p *ProcessProvider) Launch(block int) (ManagerHandle, error) {
 		go h.sess.ReadLoop()
 	case <-time.After(p.opts.HelloTimeout):
 		h.destroy()
-		return nil, fmt.Errorf("worker block %d: no hello within %s", block, p.opts.HelloTimeout)
+		return nil, fmt.Errorf("%s: no hello within %s", name, p.opts.HelloTimeout)
 	}
-
-	p.mu.Lock()
-	p.blocks[block] = h
-	p.mu.Unlock()
-	metBlocksLaunched.With("process").Inc()
 	return h, nil
+}
+
+// takeSpare pops the first live warm worker, if any.
+func (p *ProcessProvider) takeSpare() *processHandle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.spares) > 0 {
+		h := p.spares[0]
+		p.spares = p.spares[1:]
+		if h.Alive() {
+			return h
+		}
+	}
+	return nil
+}
+
+// fillWarm tops the warm pool back up to its target size. One filler runs at
+// a time; a spawn failure stops it (the next cold Launch surfaces the error).
+func (p *ProcessProvider) fillWarm() {
+	p.mu.Lock()
+	if p.filling || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.filling = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.filling = false
+		p.mu.Unlock()
+	}()
+	for {
+		p.mu.Lock()
+		need := !p.closed && len(p.spares) < p.opts.WarmPool
+		p.mu.Unlock()
+		if !need {
+			return
+		}
+		h, err := p.spawnWorker(-1)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = h.Close()
+			return
+		}
+		p.spares = append(p.spares, h)
+		p.mu.Unlock()
+	}
+}
+
+// removeSpare drops a dead worker from the warm pool (no-op for adopted
+// handles).
+func (p *ProcessProvider) removeSpare(h *processHandle) {
+	p.mu.Lock()
+	for i, cand := range p.spares {
+		if cand == h {
+			p.spares = append(p.spares[:i], p.spares[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// WarmWorkers reports the current warm-pool size (tests and status).
+func (p *ProcessProvider) WarmWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.spares)
 }
 
 // Status implements ExecutionProvider.
@@ -181,10 +289,13 @@ func (p *ProcessProvider) WorkerPids() map[int]int {
 // Cancel implements ExecutionProvider.
 func (p *ProcessProvider) Cancel() error {
 	p.mu.Lock()
-	blocks := make([]*processHandle, 0, len(p.blocks))
+	p.closed = true
+	blocks := make([]*processHandle, 0, len(p.blocks)+len(p.spares))
 	for _, h := range p.blocks {
 		blocks = append(blocks, h)
 	}
+	blocks = append(blocks, p.spares...)
+	p.spares = nil
 	p.mu.Unlock()
 	for _, h := range blocks {
 		h.Close()
@@ -219,6 +330,9 @@ func (h *processHandle) Pid() int { return int(h.pid.Load()) }
 func (h *processHandle) onSessionDead(graceful bool) {
 	if !graceful && !h.closed.Load() {
 		metWorkerLost.With("process").Inc()
+	}
+	if h.provider != nil {
+		h.provider.removeSpare(h)
 	}
 	h.reap()
 }
@@ -264,7 +378,7 @@ func (h *processHandle) status() BlockStatus {
 	case !h.Alive():
 		return BlockStatus{State: BlockDead, Detail: fmt.Sprintf("pid %d exited", h.pid.Load())}
 	default:
-		return BlockStatus{State: BlockRunning, Detail: fmt.Sprintf("pid %d", h.pid.Load())}
+		return BlockStatus{State: BlockRunning, Detail: fmt.Sprintf("pid %d, codec %s", h.pid.Load(), h.sess.Codec())}
 	}
 }
 

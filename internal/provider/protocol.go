@@ -26,6 +26,11 @@ import (
 // gracefully: the engine with a drain frame (or by closing its write side),
 // the worker by finishing its in-flight tasks and sending a bye frame.
 //
+// The hello/ack exchange also negotiates optional capabilities (codec.go):
+// batched task/result frames and a compact binary codec. A session uses only
+// what both sides named, so old JSON-only workers and new binary workers
+// coexist on one engine. docs/PROTOCOL.md is the normative spec.
+//
 // The same session runs over any byte stream. ProcessProvider speaks it over
 // a worker subprocess's stdin/stdout pipes; the network fabric
 // (internal/fabric) speaks it over TCP/TLS connections.
@@ -69,6 +74,11 @@ type Hello struct {
 	// Secret authenticates the worker to the engine. Verified before any
 	// task frame is exchanged.
 	Secret string `json:"secret,omitempty"`
+	// Caps lists the optional protocol capabilities this worker supports
+	// (batched frames, binary codec). The engine grants a subset in its ack;
+	// an absent list is the baseline protocol, which is how workers built
+	// before the capability exchange keep working unchanged.
+	Caps []string `json:"caps,omitempty"`
 }
 
 // HelloAck is the engine's answer to a hello: acceptance or rejection, and
@@ -80,6 +90,12 @@ type HelloAck struct {
 	// HeartbeatMs asks the worker to send a heartbeat frame this often
 	// (0 = no heartbeats, the pipe transport's mode).
 	HeartbeatMs int `json:"heartbeatMs,omitempty"`
+	// Caps is the subset of the hello's capabilities the engine granted;
+	// the whole session after this ack speaks the granted form.
+	Caps []string `json:"caps,omitempty"`
+	// BatchMax caps the records per batch frame when the batch capability
+	// is granted (0 = the protocol default).
+	BatchMax int `json:"batchMax,omitempty"`
 }
 
 // Engine → worker frame kinds.
@@ -95,12 +111,23 @@ const (
 	frameKindBye  = "bye" // graceful deregistration: in-flight work is done
 )
 
+// frameKindBatch is a frame carrying multiple task or response frames in its
+// items array. Either direction; only sent on sessions that negotiated the
+// batch capability.
+const frameKindBatch = "batch"
+
 // workerRequest is one engine → worker frame: a run request (Kind "") or a
 // session-control frame.
 type workerRequest struct {
 	Kind string      `json:"kind,omitempty"`
 	ID   int64       `json:"id,omitempty"`
 	Spec *RemoteSpec `json:"spec,omitempty"`
+	// Items carries the batched requests of a frameKindBatch frame.
+	Items []json.RawMessage `json:"items,omitempty"`
+	// DocErr is set by the binary decoder when a task referenced a shared
+	// document the session never transferred: the task must fail without
+	// executing. Never serialized.
+	DocErr string `json:"-"`
 }
 
 // workerResponse is one worker → engine frame: a task result (Kind "") or a
@@ -113,6 +140,8 @@ type workerResponse struct {
 	Error  string          `json:"error,omitempty"`
 	// Busy is the worker's in-flight task count, carried on heartbeats.
 	Busy int `json:"busy,omitempty"`
+	// Items carries the batched responses of a frameKindBatch frame.
+	Items []json.RawMessage `json:"items,omitempty"`
 }
 
 // writeFrame writes one length-prefixed JSON frame.
@@ -190,22 +219,35 @@ func (fc *FrameConn) Read(v any) error { return fc.readMax(v, maxFrameBytes) }
 // keeps (including json.RawMessage fields), so reusing the buffer across
 // frames is safe.
 func (fc *FrameConn) readMax(v any, max int) error {
+	body, err := fc.readRawMax(max)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// ReadRaw reads one frame body without decoding it. The returned slice
+// aliases the connection's scratch buffer and is only valid until the next
+// read; decoders must copy whatever outlives the frame.
+func (fc *FrameConn) ReadRaw() ([]byte, error) { return fc.readRawMax(maxFrameBytes) }
+
+func (fc *FrameConn) readRawMax(max int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > max {
-		return fmt.Errorf("frame of %d bytes exceeds the %d byte limit", n, max)
+		return nil, fmt.Errorf("frame of %d bytes exceeds the %d byte limit", n, max)
 	}
 	if cap(fc.scratch) < n {
 		fc.scratch = make([]byte, n)
 	}
 	body := fc.scratch[:n]
 	if _, err := io.ReadFull(fc.r, body); err != nil {
-		return err
+		return nil, err
 	}
-	return json.Unmarshal(body, v)
+	return body, nil
 }
 
 // Send writes one frame.
@@ -289,6 +331,13 @@ type WorkerSessionOptions struct {
 	// accepting requests, finish in-flight tasks, send final responses and a
 	// bye frame, return nil. Used for SIGTERM/SIGINT shutdown.
 	Drain <-chan struct{}
+	// Batch/Binary mirror the capabilities the engine granted in its hello
+	// ack (use SessionOptionsFromAck); the session's frames follow them.
+	Batch  bool
+	Binary bool
+	// BatchMax caps records per result frame when Batch is set (0 = the
+	// protocol default).
+	BatchMax int
 }
 
 // ServeWorkerSession runs the worker side of an established session: execute
@@ -308,19 +357,55 @@ func ServeWorkerSession(fc *FrameConn, opts WorkerSessionOptions) error {
 	frames := make(chan workerRequest)
 	readErr := make(chan error, 1)
 	go func() {
+		// docs is the session's shared-document cache (binary codec): the
+		// engine ships each tool document once, later tasks reference it by
+		// hash. Owned by this goroutine — decodeRequests is its only writer.
+		docs := map[string][]byte{}
 		for {
-			var req workerRequest
-			if err := fc.Read(&req); err != nil {
+			body, err := fc.ReadRaw()
+			if err != nil {
 				readErr <- err
 				return
 			}
-			select {
-			case frames <- req:
-			case <-sessDone:
+			reqs, err := decodeRequests(body, opts.Binary, docs)
+			if err != nil {
+				readErr <- fmt.Errorf("decoding engine frame: %w", err)
 				return
+			}
+			for i := range reqs {
+				select {
+				case frames <- reqs[i]:
+				case <-sessDone:
+					return
+				}
 			}
 		}
 	}()
+
+	// respond ships one response in the session's negotiated form: through
+	// the result batcher when batching is on, as a single frame otherwise.
+	// A write failure means the engine is gone; the session is about to end
+	// anyway, so the error is unreportable by design.
+	var respBatcher *frameBatcher
+	if opts.Batch {
+		respBatcher = newFrameBatcher(fc, batcherConfig{
+			binary: opts.Binary,
+			kind:   binKindRespBatch,
+			max:    opts.BatchMax,
+		})
+		defer respBatcher.kill()
+	}
+	respond := func(resp workerResponse) {
+		if respBatcher != nil {
+			_ = respBatcher.enqueue(encodeResponseRecord(resp, opts.Binary))
+			return
+		}
+		if opts.Binary {
+			_ = fc.SendEncoded(binBatchFrame(binKindRespBatch, [][]byte{appendBinaryResponse(nil, resp)}))
+			return
+		}
+		_ = fc.Send(resp)
+	}
 
 	stopBeats := make(chan struct{})
 	defer close(stopBeats)
@@ -336,7 +421,12 @@ func ServeWorkerSession(fc *FrameConn, opts WorkerSessionOptions) error {
 					// A failed heartbeat write means the engine is gone; the
 					// read side will observe the same failure and end the
 					// session.
-					_ = fc.Send(workerResponse{Kind: frameKindBeat, Busy: int(inflight.Load())})
+					busy := int(inflight.Load())
+					if opts.Binary {
+						_ = fc.SendEncoded(binBeatFrame(busy))
+					} else {
+						_ = fc.Send(workerResponse{Kind: frameKindBeat, Busy: busy})
+					}
 				}
 			}
 		}()
@@ -344,9 +434,16 @@ func ServeWorkerSession(fc *FrameConn, opts WorkerSessionOptions) error {
 
 	drain := func() error {
 		wg.Wait()
+		if respBatcher != nil {
+			respBatcher.close() // flush the final result batch
+		}
 		// Best-effort goodbye: the engine may already be gone, and the
 		// session is over either way.
-		_ = fc.Send(workerResponse{Kind: frameKindBye})
+		if opts.Binary {
+			_ = fc.SendEncoded([]byte{binKindBye})
+		} else {
+			_ = fc.Send(workerResponse{Kind: frameKindBye})
+		}
 		return nil
 	}
 
@@ -370,9 +467,12 @@ func ServeWorkerSession(fc *FrameConn, opts WorkerSessionOptions) error {
 				defer wg.Done()
 				defer inflight.Add(-1)
 				resp := workerResponse{ID: req.ID}
-				if req.Spec == nil {
+				switch {
+				case req.DocErr != "":
+					resp.Error = req.DocErr
+				case req.Spec == nil:
 					resp.Error = "request carries no task spec"
-				} else {
+				default:
 					res, err := executeGuarded(req.Spec)
 					if err != nil {
 						resp.Error = err.Error()
@@ -381,12 +481,29 @@ func ServeWorkerSession(fc *FrameConn, opts WorkerSessionOptions) error {
 						resp.Result = res
 					}
 				}
-				// A write failure means the engine is gone; the session is
-				// about to end anyway, so the error is unreportable by design.
-				_ = fc.Send(resp)
+				respond(resp)
 			}(req)
 		}
 	}
+}
+
+// encodeResponseRecord renders one response in the session's codec: a
+// standalone JSON object (also a valid batch item) or a binary record.
+// Responses over the frame cap are replaced with a task error — the frame
+// layer would refuse them anyway, and the engine must not lose the id.
+func encodeResponseRecord(resp workerResponse, binaryCodec bool) []byte {
+	var rec []byte
+	if binaryCodec {
+		rec = appendBinaryResponse(nil, resp)
+	} else {
+		rec, _ = json.Marshal(resp) // field types make encode errors impossible
+	}
+	if len(rec) > maxRecordBytes {
+		over := workerResponse{ID: resp.ID,
+			Error: fmt.Sprintf("task result of %d bytes exceeds the %d byte frame limit", len(rec), maxFrameBytes)}
+		return encodeResponseRecord(over, binaryCodec)
+	}
+	return rec
 }
 
 // RunWorker is the parsl-cwl-worker pipe-mode main loop: handshake on
@@ -398,15 +515,34 @@ func RunWorker(r io.Reader, w io.Writer) error {
 // RunPipeWorker runs a pipe-transport worker session with an optional drain
 // trigger (closed on SIGTERM/SIGINT by the worker binary).
 func RunPipeWorker(r io.Reader, w io.Writer, drain <-chan struct{}) error {
+	return RunPipeWorkerOpts(r, w, PipeWorkerOptions{Drain: drain})
+}
+
+// PipeWorkerOptions configures RunPipeWorkerOpts.
+type PipeWorkerOptions struct {
+	// Drain, when non-nil, triggers a graceful drain when closed (see
+	// WorkerSessionOptions.Drain).
+	Drain <-chan struct{}
+	// DisableBatch/DisableBinary withhold the corresponding capability from
+	// the hello, forcing the baseline wire form — how a legacy worker is
+	// emulated in tests and how operators debug codec issues.
+	DisableBatch  bool
+	DisableBinary bool
+}
+
+// RunPipeWorkerOpts runs a pipe-transport worker session: handshake on the
+// given streams, announce capabilities, serve in whatever form the engine
+// granted.
+func RunPipeWorkerOpts(r io.Reader, w io.Writer, o PipeWorkerOptions) error {
 	fc := NewFrameConn(r, w, nil)
-	ack, err := DialWorkerSession(fc, Hello{PID: os.Getpid()})
+	ack, err := DialWorkerSession(fc, Hello{
+		PID:  os.Getpid(),
+		Caps: WorkerCaps(o.DisableBatch, o.DisableBinary),
+	})
 	if err != nil {
 		return err
 	}
-	return ServeWorkerSession(fc, WorkerSessionOptions{
-		Heartbeat: time.Duration(ack.HeartbeatMs) * time.Millisecond,
-		Drain:     drain,
-	})
+	return ServeWorkerSession(fc, SessionOptionsFromAck(ack, o.Drain))
 }
 
 // executeGuarded runs one remote task converting panics to errors, so a bad

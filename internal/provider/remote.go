@@ -16,6 +16,19 @@ import (
 type RemoteSpec struct {
 	Kind    string          `json:"kind"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// The fields below support the binary codec's shared-document
+	// amortization and never cross the wire as JSON: Payload stays fully
+	// self-contained for baseline sessions.
+	//
+	// Doc is the tool document; DocHash its content hash; Slim the payload
+	// with the document elided. A binary session ships Slim plus the hash,
+	// transferring Doc only the first time the session sees that hash —
+	// scatter siblings sharing one tool serialize its document once. On the
+	// worker, Doc is the document resolved from the session cache.
+	Doc     json.RawMessage `json:"-"`
+	DocHash string          `json:"-"`
+	Slim    json.RawMessage `json:"-"`
 }
 
 // Remote task kinds understood by ExecuteRemote (and so by the
@@ -68,6 +81,24 @@ func NewCWLToolSpec(p CWLToolPayload) (*RemoteSpec, error) {
 	return &RemoteSpec{Kind: KindCWLTool, Payload: raw}, nil
 }
 
+// NewSharedDocToolSpec packages one tool invocation whose document can be
+// amortized across a session. Payload is the full self-contained form (what
+// baseline JSON sessions send); Slim elides the document, which binary
+// sessions transfer once per DocHash and reference by hash after.
+func NewSharedDocToolSpec(p CWLToolPayload, docHash string) (*RemoteSpec, error) {
+	full, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	doc := p.Tool
+	p.Tool = nil
+	slim, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSpec{Kind: KindCWLTool, Payload: full, Doc: doc, DocHash: docHash, Slim: slim}, nil
+}
+
 // NewEchoSpec packages a JSON value as a KindEcho task.
 func NewEchoSpec(value any) (*RemoteSpec, error) {
 	raw, err := json.Marshal(value)
@@ -117,10 +148,24 @@ func ExecuteRemote(spec *RemoteSpec) (json.RawMessage, error) {
 		if err := json.Unmarshal(spec.Payload, &p); err != nil {
 			return nil, fmt.Errorf("cwltool payload: %w", err)
 		}
+		// A slim payload (binary codec, shared document) carries no Tool;
+		// splice in the document the session transferred separately.
+		if isEmptyJSON(p.Tool) && len(spec.Doc) > 0 {
+			p.Tool = spec.Doc
+		}
+		if isEmptyJSON(p.Tool) {
+			return nil, fmt.Errorf("cwltool payload carries no tool document")
+		}
 		return runRemoteTool(p)
 	default:
 		return nil, fmt.Errorf("unknown remote task kind %q", spec.Kind)
 	}
+}
+
+// isEmptyJSON reports whether a raw message carries no value (absent or
+// JSON null — the slim payload's elided tool field encodes as null).
+func isEmptyJSON(raw json.RawMessage) bool {
+	return len(raw) == 0 || string(raw) == "null"
 }
 
 // runRemoteTool reconstructs and executes one CommandLineTool invocation.

@@ -1,6 +1,7 @@
 package provider
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,9 @@ type AcceptOptions struct {
 	// Heartbeat, when positive, is the heartbeat interval announced to the
 	// worker (0 = no heartbeats, the pipe transport's mode).
 	Heartbeat time.Duration
+	// Dispatch tunes batching and codec for the sessions this acceptor
+	// creates; the zero value grants everything the worker offers.
+	Dispatch DispatchOptions
 }
 
 // AcceptWorkerSession performs the engine side of the handshake on an
@@ -33,11 +37,20 @@ func AcceptWorkerSession(fc *FrameConn, opts AcceptOptions) (*ManagerSession, He
 		_ = fc.Send(HelloAck{Proto: ProtoVersion, OK: false, Error: err.Error()})
 		return nil, hello, err
 	}
-	ack := HelloAck{Proto: ProtoVersion, OK: true, HeartbeatMs: int(opts.Heartbeat / time.Millisecond)}
+	caps := negotiateCaps(hello.Caps, opts.Dispatch)
+	ack := HelloAck{
+		Proto:       ProtoVersion,
+		OK:          true,
+		HeartbeatMs: int(opts.Heartbeat / time.Millisecond),
+		Caps:        caps.list(),
+	}
+	if caps.batch {
+		ack.BatchMax = caps.batchMax
+	}
 	if err := fc.Send(ack); err != nil {
 		return nil, hello, fmt.Errorf("sending hello ack: %w", err)
 	}
-	return newManagerSession(fc), hello, nil
+	return newManagerSession(fc, caps), hello, nil
 }
 
 // ManagerSession is the engine side of one established worker session: the
@@ -46,7 +59,12 @@ func AcceptWorkerSession(fc *FrameConn, opts AcceptOptions) (*ManagerSession, He
 // bookkeeping. ProcessProvider wraps one per worker subprocess; the network
 // fabric wraps one per TCP connection.
 type ManagerSession struct {
-	fc *FrameConn
+	fc   *FrameConn
+	caps sessionCaps
+
+	// batcher coalesces task records into batch frames; nil when the
+	// session did not negotiate batching (records are sent directly).
+	batcher *frameBatcher
 
 	// OnDead, when set before ReadLoop starts, runs exactly once when the
 	// session dies; graceful reports whether the worker deregistered with a
@@ -62,17 +80,44 @@ type ManagerSession struct {
 	mu      sync.Mutex
 	seq     int64
 	pending map[int64]chan workerResponse
+
+	// docMu guards docsSent and orders doc-bearing records ahead of records
+	// that reference the same document by hash (binary codec only).
+	docMu    sync.Mutex
+	docsSent map[string]struct{}
 }
 
-func newManagerSession(fc *FrameConn) *ManagerSession {
+func newManagerSession(fc *FrameConn, caps sessionCaps) *ManagerSession {
 	s := &ManagerSession{
-		fc:      fc,
-		dead:    make(chan struct{}),
-		pending: map[int64]chan workerResponse{},
+		fc:       fc,
+		caps:     caps,
+		dead:     make(chan struct{}),
+		pending:  map[int64]chan workerResponse{},
+		docsSent: map[string]struct{}{},
+	}
+	if caps.batch {
+		s.batcher = newFrameBatcher(fc, batcherConfig{
+			binary: caps.binary,
+			kind:   binKindTaskBatch,
+			max:    caps.batchMax,
+			linger: caps.linger,
+			onDead: func() { s.MarkDead(false) },
+		})
 	}
 	s.lastBeat.Store(time.Now().UnixNano())
 	return s
 }
+
+// Codec names the frame codec this session negotiated.
+func (s *ManagerSession) Codec() string {
+	if s.caps.binary {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+// Batching reports whether the session negotiated batched frames.
+func (s *ManagerSession) Batching() bool { return s.caps.batch }
 
 // ReadLoop pumps worker frames until the session ends: responses complete
 // in-flight Roundtrips, heartbeats refresh liveness, a bye marks a graceful
@@ -80,28 +125,38 @@ func newManagerSession(fc *FrameConn) *ManagerSession {
 // goroutine.
 func (s *ManagerSession) ReadLoop() {
 	for {
-		var resp workerResponse
-		if err := s.fc.Read(&resp); err != nil {
+		body, err := s.fc.ReadRaw()
+		if err != nil {
+			s.MarkDead(false)
+			return
+		}
+		resps, err := decodeResponses(body, s.caps.binary)
+		if err != nil {
+			// A frame the engine cannot decode means the stream is corrupt or
+			// the worker broke protocol; the session cannot continue.
 			s.MarkDead(false)
 			return
 		}
 		s.lastBeat.Store(time.Now().UnixNano())
-		switch resp.Kind {
-		case frameKindResp:
-			metFramesReceived.Inc()
-			s.mu.Lock()
-			ch := s.pending[resp.ID]
-			delete(s.pending, resp.ID)
-			s.mu.Unlock()
-			if ch != nil {
-				ch <- resp
+		metFramesReceived.Inc()
+		for i := range resps {
+			resp := resps[i]
+			switch resp.Kind {
+			case frameKindResp:
+				s.mu.Lock()
+				ch := s.pending[resp.ID]
+				delete(s.pending, resp.ID)
+				s.mu.Unlock()
+				if ch != nil {
+					ch <- resp
+				}
+			case frameKindBeat:
+				s.busy.Store(int64(resp.Busy))
+			case frameKindBye:
+				// The worker drained: every response it owed has been sent.
+				s.MarkDead(true)
+				return
 			}
-		case frameKindBeat:
-			s.busy.Store(int64(resp.Busy))
-		case frameKindBye:
-			// The worker drained: every response it owed has been sent.
-			s.MarkDead(true)
-			return
 		}
 	}
 }
@@ -122,22 +177,18 @@ func (s *ManagerSession) Roundtrip(taskID int, spec *RemoteSpec) (any, error) {
 		delete(s.pending, id)
 		s.mu.Unlock()
 	}
-	// Encoding failures (unmarshalable spec, frame over the protocol cap)
-	// are the task's own problem: the worker is healthy, so they must not
-	// be reported as worker loss — that would kill the block and redispatch
-	// the same doomed task onto a fresh worker forever.
-	body, err := encodeFrame(workerRequest{ID: id, Spec: spec})
-	if err != nil {
+	start := time.Now()
+	if err := s.ship(id, spec); err != nil {
 		cleanup()
+		if errors.Is(err, ErrWorkerLost) {
+			return nil, err
+		}
+		// Encoding failures (unmarshalable spec, record over the protocol
+		// cap) are the task's own problem: the worker is healthy, so they
+		// must not be reported as worker loss — that would kill the block
+		// and redispatch the same doomed task onto a fresh worker forever.
 		return nil, fmt.Errorf("task %d cannot be shipped to the worker: %w", taskID, err)
 	}
-	start := time.Now()
-	if err := s.fc.SendEncoded(body); err != nil {
-		cleanup()
-		s.MarkDead(false)
-		return nil, fmt.Errorf("session write failed (%v): %w", err, ErrWorkerLost)
-	}
-	metFramesSent.Inc()
 	select {
 	case resp := <-ch:
 		observeRoundtrip(start)
@@ -151,10 +202,79 @@ func (s *ManagerSession) Roundtrip(taskID int, spec *RemoteSpec) (any, error) {
 	}
 }
 
+// ship encodes one task in the session's codec and hands it to the writer.
+// Errors wrapping ErrWorkerLost report session death; any other error is the
+// task's own encode failure.
+func (s *ManagerSession) ship(id int64, spec *RemoteSpec) error {
+	if !s.caps.binary {
+		rec, err := encodeFrame(workerRequest{ID: id, Spec: spec})
+		if err != nil {
+			return err
+		}
+		return s.send(rec)
+	}
+	// Shared-document amortization: a spec carrying a slim payload plus the
+	// document and its hash ships the document once per session; siblings
+	// reference it by hash. docMu makes check-and-enqueue atomic so the
+	// doc-bearing record is always queued (FIFO) ahead of its references.
+	if spec.DocHash != "" && len(spec.Slim) > 0 && len(spec.Doc) > 0 {
+		s.docMu.Lock()
+		defer s.docMu.Unlock()
+		_, sent := s.docsSent[spec.DocHash]
+		var doc []byte
+		if !sent {
+			doc = spec.Doc
+		}
+		rec := appendBinaryTask(nil, id, spec.Kind, spec.Slim, spec.DocHash, doc)
+		if len(rec) > maxRecordBytes {
+			return fmt.Errorf("task record of %d bytes exceeds the %d byte frame limit", len(rec), maxFrameBytes)
+		}
+		if err := s.send(rec); err != nil {
+			return err
+		}
+		if sent {
+			metDocsAmortized.Inc()
+		} else {
+			s.docsSent[spec.DocHash] = struct{}{}
+		}
+		return nil
+	}
+	rec := appendBinaryTask(nil, id, spec.Kind, spec.Payload, "", nil)
+	if len(rec) > maxRecordBytes {
+		return fmt.Errorf("task record of %d bytes exceeds the %d byte frame limit", len(rec), maxFrameBytes)
+	}
+	return s.send(rec)
+}
+
+// send hands one encoded task record to the batcher, or writes it as a
+// single frame on sessions without batching.
+func (s *ManagerSession) send(rec []byte) error {
+	if s.batcher != nil {
+		if !s.batcher.enqueue(rec) {
+			return fmt.Errorf("session writer stopped: %w", ErrWorkerLost)
+		}
+		return nil
+	}
+	frame := rec
+	if s.caps.binary {
+		frame = binBatchFrame(binKindTaskBatch, [][]byte{rec})
+	}
+	if err := s.fc.SendEncoded(frame); err != nil {
+		s.MarkDead(false)
+		return fmt.Errorf("session write failed (%v): %w", err, ErrWorkerLost)
+	}
+	metFramesSent.Inc()
+	return nil
+}
+
 // SendDrain asks the worker to finish in-flight tasks, send a bye and end
 // the session — the graceful teardown for transports where closing the
-// stream would sever in-flight responses.
+// stream would sever in-flight responses. It overtakes any still-queued
+// batched tasks; those fail over to redispatch when the session ends.
 func (s *ManagerSession) SendDrain() error {
+	if s.caps.binary {
+		return s.fc.SendEncoded([]byte{binKindDrain})
+	}
 	return s.fc.Send(workerRequest{Kind: frameKindDrain})
 }
 
@@ -166,6 +286,9 @@ func (s *ManagerSession) MarkDead(graceful bool) {
 		s.graceful.Store(true)
 	}
 	s.deadOnce.Do(func() {
+		if s.batcher != nil {
+			s.batcher.kill()
+		}
 		close(s.dead)
 		if s.OnDead != nil {
 			s.OnDead(s.graceful.Load())
