@@ -51,6 +51,9 @@ type serveConfig struct {
 	configPath       string
 	workers          int
 	queueDepth       int
+	maxInFlight      int
+	taskWalltime     time.Duration
+	maxRedispatch    int
 	cacheSize        int
 	cacheBytes       int64
 	workDir          string
@@ -81,6 +84,9 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.StringVar(&cfg.configPath, "config", "", "TaPS-style Parsl executor config (YAML)")
 	fs.IntVar(&cfg.workers, "workers", 8, "concurrent workflow runs")
 	fs.IntVar(&cfg.queueDepth, "queue", 64, "max queued runs before 429 backpressure")
+	fs.IntVar(&cfg.maxInFlight, "max-inflight", 0, "max queued+running runs before submissions are shed with 429 (0 = queue limit only)")
+	fs.DurationVar(&cfg.taskWalltime, "task-walltime", 0, "default per-task walltime, ToolTimeLimit style (0 = unbounded; CWL ToolTimeLimit and the submit body's walltimeSeconds still apply)")
+	fs.IntVar(&cfg.maxRedispatch, "max-redispatch", 0, "worker-loss re-dispatches per task before poison-task quarantine (0 = default 3, negative = unbounded)")
 	fs.IntVar(&cfg.cacheSize, "cache", 128, "parsed-document cache capacity (entries)")
 	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "parsed-document cache byte cap (0 = 64 MiB default, negative = unbounded)")
 	fs.StringVar(&cfg.workDir, "work-dir", "", "root for per-run job directories (default: <data-dir>/work, else executor run dir)")
@@ -149,6 +155,12 @@ func newService(cfg serveConfig, logger *slog.Logger) (*parsl.DFK, *service.Serv
 	if cfg.workerCmd != "" {
 		spec.WorkerCmd = cfg.workerCmd
 	}
+	if cfg.taskWalltime != 0 {
+		spec.TaskWalltime = cfg.taskWalltime
+	}
+	if cfg.maxRedispatch != 0 {
+		spec.MaxRedispatch = cfg.maxRedispatch
+	}
 	if cfg.netListen != "" {
 		spec.NetListen = cfg.netListen
 	}
@@ -203,6 +215,7 @@ func newService(cfg serveConfig, logger *slog.Logger) (*parsl.DFK, *service.Serv
 	svc, err := service.New(dfk, service.Options{
 		Workers:           cfg.workers,
 		QueueDepth:        cfg.queueDepth,
+		MaxInFlight:       cfg.maxInFlight,
 		CacheSize:         cfg.cacheSize,
 		CacheBytes:        cfg.cacheBytes,
 		WorkRoot:          cfg.workDir,

@@ -44,6 +44,8 @@ func main() {
 	tlsServerName := flag.String("tls-server-name", "", "expected TLS server name (default: the -connect host)")
 	tlsInsecure := flag.Bool("tls-insecure", false, "dial TLS without verifying the server certificate (implies TLS; testing only)")
 	reconnect := flag.Bool("reconnect", true, "redial the interchange when the connection breaks (network mode)")
+	reconnectWait := flag.Duration("reconnect-wait", 0, "initial delay between redial attempts, doubling to 30s with ±25% jitter (0 = default 1s)")
+	maxAttempts := flag.Int("max-attempts", 0, "consecutive failed sessions before giving up when reconnecting (0 = unlimited)")
 	noBatch := flag.Bool("no-batch", false, "do not offer the batched-frames capability (debugging; forces one frame per task)")
 	codec := flag.String("codec", "auto", "frame codec to offer: auto (binary when the engine accepts) or json")
 	flag.Parse()
@@ -93,6 +95,8 @@ func main() {
 			ID:            *id,
 			Capacity:      *capacity,
 			Reconnect:     *reconnect,
+			ReconnectWait: *reconnectWait,
+			MaxAttempts:   *maxAttempts,
 			Drain:         drain,
 			DisableBatch:  *noBatch,
 			DisableBinary: noBinary,

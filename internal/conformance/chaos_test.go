@@ -1,0 +1,49 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/provider"
+)
+
+// chaosSeed pins the injected-delay schedule so the CI chaos-smoke job is
+// reproducible: a failure here replays locally with the same seed.
+const chaosSeed = 20240808
+
+// TestConformanceCorpusUnderChaos reruns the whole corpus on a local provider
+// wrapped in the deterministic fault injector: workers are killed mid-run
+// (every 2nd execution on a handle, bounded at 3 kills per case) and every
+// execution gets a small seeded delay. The failure-policy layer — worker-loss
+// redispatch, block relaunch, bounded redispatch budgets — must absorb the
+// churn and still produce outputs byte-identical to the undisturbed baseline.
+func TestConformanceCorpusUnderChaos(t *testing.T) {
+	for _, c := range Corpus {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			fixture := t.TempDir()
+			if c.Fixture != nil {
+				c.Fixture(t, fixture)
+			}
+			baseline := runUnderProvider(t, "local", c, fixture)
+			prov := chaos.Wrap(&provider.LocalProvider{}, chaos.Config{
+				Seed:       chaosSeed,
+				KillEveryN: 2,
+				// Three kills keeps every task inside the default redispatch
+				// budget (MaxRedispatch 3), so churn never escalates to a
+				// quarantine: the run must merely survive, not give up.
+				MaxKills: 3,
+				MaxDelay: time.Millisecond,
+			})
+			got := runWithProvider(t, "chaos+local", prov, c, fixture)
+			if !bytes.Equal(baseline, got) {
+				t.Errorf("canonical outputs diverge under chaos:\nlocal: %s\nchaos: %s", baseline, got)
+			}
+			if kills := prov.Stats().Kills; kills < 1 {
+				t.Logf("note: no kill fired for %s (fewer than 2 executions per handle)", c.Name)
+			}
+		})
+	}
+}

@@ -108,11 +108,18 @@ func buildProvider(t *testing.T, name string) provider.ExecutionProvider {
 }
 
 // runUnderProvider executes one corpus case on the named backend and returns
-// its canonical output bytes. Every provider reuses the same work root path
-// (wiped in between), so job directories — which are keyed on scope + step +
-// canonical inputs — land on identical absolute paths and the outputs can be
-// compared byte for byte.
+// its canonical output bytes.
 func runUnderProvider(t *testing.T, name string, c Case, fixture string) []byte {
+	t.Helper()
+	return runWithProvider(t, name, buildProvider(t, name), c, fixture)
+}
+
+// runWithProvider executes one corpus case on an already-built provider and
+// returns its canonical output bytes. Every provider reuses the same work
+// root path (wiped in between), so job directories — which are keyed on
+// scope + step + canonical inputs — land on identical absolute paths and the
+// outputs can be compared byte for byte.
+func runWithProvider(t *testing.T, name string, prov provider.ExecutionProvider, c Case, fixture string) []byte {
 	t.Helper()
 	workRoot := filepath.Join(fixture, "work")
 	if err := os.RemoveAll(workRoot); err != nil {
@@ -122,7 +129,6 @@ func runUnderProvider(t *testing.T, name string, c Case, fixture string) []byte 
 		t.Fatal(err)
 	}
 
-	prov := buildProvider(t, name)
 	htex := parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
 		Label:           "htex",
 		Provider:        prov,

@@ -1,0 +1,96 @@
+package conformance
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/parsl"
+	"repro/internal/provider"
+)
+
+// remoteApp ships a fixed RemoteSpec to the worker; the in-process fallback
+// must never run for it.
+type remoteApp struct {
+	name string
+	spec *provider.RemoteSpec
+}
+
+func (a *remoteApp) Name() string { return a.name }
+
+func (a *remoteApp) Execute(*parsl.TaskContext, parsl.Args) (any, error) {
+	return nil, errors.New("remoteApp must execute on a worker, not in-process")
+}
+
+func (a *remoteApp) RemoteSpec(parsl.Args) *provider.RemoteSpec { return a.spec }
+
+// TestProcessWorkerPoisonQuarantine runs a task whose RemoteSpec
+// deterministically kills the worker process executing it (os.Exit from
+// inside the worker — the subprocess analogue of a segfault). The bounded
+// redispatch policy must quarantine it with ErrPoisonTask after burning its
+// budget, while co-resident remote tasks on the same executor — some of them
+// stranded on the killed workers — all complete.
+func TestProcessWorkerPoisonQuarantine(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := provider.NewProcessProvider(provider.ProcessOptions{
+		Command: []string{exe},
+		Env:     []string{"PARSL_CWL_WORKER_PROCESS=1"},
+	})
+	const maxRedispatch = 2
+	htex := parsl.NewHighThroughputExecutor(parsl.HTEXConfig{
+		Label:           "htex",
+		Provider:        prov,
+		WorkersPerNode:  2,
+		MaxBlocks:       2,
+		MinBlocks:       1,
+		InitBlocks:      1,
+		HeartbeatPeriod: 30 * time.Millisecond,
+		MaxRedispatch:   maxRedispatch,
+	})
+	dfk, err := parsl.Load(parsl.Config{Executors: []parsl.Executor{htex}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dfk.Cleanup()
+
+	crash, err := provider.NewCrashSpec(137, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfut := dfk.Submit(&remoteApp{name: "crash", spec: crash}, parsl.Args{}, parsl.CallOpts{})
+
+	var futs []*parsl.AppFuture
+	for i := 0; i < 8; i++ {
+		spec, err := provider.NewEchoSpec(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, dfk.Submit(&remoteApp{name: "echo", spec: spec}, parsl.Args{}, parsl.CallOpts{}))
+	}
+
+	if _, perr := pfut.Wait(); !errors.Is(perr, parsl.ErrPoisonTask) {
+		t.Fatalf("crash task error = %v, want ErrPoisonTask", perr)
+	}
+	for i, f := range futs {
+		res, ferr := f.Wait()
+		if ferr != nil {
+			t.Fatalf("co-resident echo %d failed: %v", i, ferr)
+		}
+		// Remote echo results decode as JSON integers (int64).
+		if got, ok := res.(int64); !ok || int(got) != i {
+			t.Fatalf("echo %d = %v (%T), want the echoed index", i, res, res)
+		}
+	}
+
+	st := htex.Stats()
+	if st.TasksQuarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.TasksQuarantined)
+	}
+	if len(st.Quarantined) != 1 || st.Quarantined[0].Redispatches != maxRedispatch {
+		t.Fatalf("quarantine records = %+v, want one with exactly %d redispatches", st.Quarantined, maxRedispatch)
+	}
+}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -155,7 +156,16 @@ func (a *CWLApp) OutputIDs() []string {
 // Outputs() carry one DataFuture per predictable File-producing output, in
 // declaration order.
 func (a *CWLApp) Call(args parsl.Args) *parsl.AppFuture {
+	return a.CallContext(context.Background(), args)
+}
+
+// CallContext is Call with deadline propagation: when ctx carries a deadline
+// (e.g. an HTTP request timeout on a service run), each task submitted under
+// it inherits that deadline, so the engine-side watchdog fails tasks that
+// outlive the request instead of letting them run on as zombies.
+func (a *CWLApp) CallContext(ctx context.Context, args parsl.Args) *parsl.AppFuture {
 	seq := a.seq.Add(1)
+	deadline, _ := ctx.Deadline()
 	jobdir := filepath.Join(a.workRoot, fmt.Sprintf("%s-%04d", a.name, seq))
 
 	callArgs := parsl.Args{}
@@ -172,6 +182,7 @@ func (a *CWLApp) Call(args parsl.Args) *parsl.AppFuture {
 		Outputs:  outFiles,
 		Stdout:   stdoutOverride,
 		Stderr:   stderrOverride,
+		Deadline: deadline,
 	}
 	if err != nil {
 		// Fail through the future so call sites stay uniform.
@@ -191,6 +202,7 @@ func (a *CWLApp) Call(args parsl.Args) *parsl.AppFuture {
 		outDir:    jobdir,
 		stdout:    stdoutOverride,
 		stderr:    stderrOverride,
+		walltime:  a.dfk.TaskWalltime(),
 		tr:        a.tr,
 	}
 	return a.dfk.Submit(exec, callArgs, opts)

@@ -94,7 +94,7 @@ func (r *Runner) RunToolContext(ctx context.Context, tool *cwl.CommandLineTool, 
 			args[k] = inputs.Value(k)
 		}
 	}
-	fut := app.Call(args)
+	fut := app.CallContext(ctx, args)
 	res, err := fut.Result(ctx)
 	if err != nil {
 		return nil, err
@@ -156,10 +156,12 @@ func (s *ParslSubmitter) SubmitTool(tool *cwl.CommandLineTool, inputs *yamlx.Map
 		extraReqs: extraReqs,
 		workRoot:  s.WorkRoot,
 		inputsDir: s.InputsDir,
+		walltime:  s.DFK.TaskWalltime(),
 	}
+	deadline, _ := ctx.Deadline()
 	// Step tasks carry no distinguishing arguments (the tool and inputs are
 	// closed over), so memoizing them would collide every step onto one key.
-	fut := s.DFK.Submit(app, parsl.Args{}, parsl.CallOpts{Executor: s.Executor, Label: s.Label, NoMemo: true})
+	fut := s.DFK.Submit(app, parsl.Args{}, parsl.CallOpts{Executor: s.Executor, Label: s.Label, NoMemo: true, Deadline: deadline})
 	s.awaitStep(ctx, fut, done)
 }
 
@@ -194,9 +196,11 @@ func (s *ParslSubmitter) SubmitToolKeyed(inv runner.ToolInvocation, tool *cwl.Co
 		workRoot:  s.WorkRoot,
 		inputsDir: s.InputsDir,
 		outDir:    jobdir,
+		walltime:  s.DFK.TaskWalltime(),
 	}
+	deadline, _ := ctx.Deadline()
 	args := parsl.Args{"scope": inv.Scope, "step": inv.Step, "job": string(jobJSON)}
-	fut := s.DFK.Submit(app, args, parsl.CallOpts{Executor: s.Executor, Label: s.Label})
+	fut := s.DFK.Submit(app, args, parsl.CallOpts{Executor: s.Executor, Label: s.Label, Deadline: deadline})
 	s.awaitStep(ctx, fut, done)
 }
 

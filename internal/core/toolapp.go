@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"time"
 
 	"repro/internal/cwl"
 	"repro/internal/parsl"
@@ -27,6 +28,10 @@ type toolApp struct {
 	outDir    string
 	stdout    string
 	stderr    string
+	// walltime bounds each invocation's tool process (0 = unbounded); it is
+	// enforced wherever the tool actually runs — in-process or on a worker —
+	// and is tightened further by the document's own ToolTimeLimit.
+	walltime time.Duration
 	// tr overrides the tool runner (test seam). A custom runner cannot cross
 	// a process boundary, so it also disables RemoteSpec.
 	tr *runner.ToolRunner
@@ -60,6 +65,7 @@ func (a *toolApp) Execute(_ *parsl.TaskContext, args parsl.Args) (any, error) {
 		OutDir:     a.outDir,
 		StdoutPath: a.stdout,
 		StderrPath: a.stderr,
+		Walltime:   a.walltime,
 	})
 	if err != nil {
 		return nil, err
@@ -95,15 +101,16 @@ func (a *toolApp) RemoteSpec(args parsl.Args) *provider.RemoteSpec {
 		reqsJSON = b
 	}
 	spec, err := provider.NewSharedDocToolSpec(provider.CWLToolPayload{
-		Tool:      toolJSON,
-		Path:      a.tool.Path,
-		Inputs:    inputsJSON,
-		ExtraReqs: reqsJSON,
-		WorkRoot:  a.workRoot,
-		InputsDir: a.inputsDir,
-		OutDir:    a.outDir,
-		Stdout:    a.stdout,
-		Stderr:    a.stderr,
+		Tool:       toolJSON,
+		Path:       a.tool.Path,
+		Inputs:     inputsJSON,
+		ExtraReqs:  reqsJSON,
+		WorkRoot:   a.workRoot,
+		InputsDir:  a.inputsDir,
+		OutDir:     a.outDir,
+		Stdout:     a.stdout,
+		Stderr:     a.stderr,
+		WalltimeMs: int(a.walltime / time.Millisecond),
 	}, docHash)
 	if err != nil {
 		return nil

@@ -404,6 +404,9 @@ type Requirements struct {
 	Resource            *ResourceReq
 	Docker              *DockerReq
 	WorkDir             *InitialWorkDir
+	// TimeLimitSec is ToolTimeLimit's walltime bound in seconds (CWL v1.1):
+	// past it the tool invocation is killed and fails. 0 = unbounded.
+	TimeLimitSec int64
 	// Unknown lists requirement classes the engine does not implement;
 	// validation reports them (errors for requirements, warnings for hints).
 	Unknown []string
@@ -431,6 +434,9 @@ func (r Requirements) Merge(child Requirements) Requirements {
 	}
 	if child.WorkDir != nil {
 		out.WorkDir = child.WorkDir
+	}
+	if child.TimeLimitSec != 0 {
+		out.TimeLimitSec = child.TimeLimitSec
 	}
 	out.Unknown = append(append([]string{}, r.Unknown...), child.Unknown...)
 	return out
@@ -521,6 +527,17 @@ func parseRequirements(v any) (Requirements, error) {
 			r.Docker = &DockerReq{
 				Pull: m.GetString("dockerPull"),
 				Load: m.GetString("dockerLoad"),
+			}
+		case "ToolTimeLimit":
+			switch t := m.Value("timelimit").(type) {
+			case int64:
+				r.TimeLimitSec = t
+			case int:
+				r.TimeLimitSec = int64(t)
+			case float64:
+				r.TimeLimitSec = int64(t)
+			default:
+				return r, fmt.Errorf("ToolTimeLimit timelimit must be a number of seconds, got %T", t)
 			}
 		case "InitialWorkDirRequirement":
 			wd := &InitialWorkDir{}

@@ -451,6 +451,11 @@ func (p *NetProvider) LiveBlocks() []int {
 // no goodbye — simulating a network partition or a remote host loss.
 // Fault-injection tests use it the way process tests use SIGKILL. It
 // reports whether a live block with that id existed.
+//
+// The close is an RST, not a FIN: a plain Close would read as EOF on the
+// worker, and worker sessions treat engine EOF as the graceful-drain signal
+// — the opposite of the abrupt loss this simulates. The reset makes the
+// worker observe a real error, so its reconnect loop engages.
 func (p *NetProvider) KillConnection(block int) bool {
 	p.mu.Lock()
 	h := p.blocks[block]
@@ -458,8 +463,21 @@ func (p *NetProvider) KillConnection(block int) bool {
 	if h == nil || !h.wc.sess.Alive() {
 		return false
 	}
-	_ = h.wc.conn.Close()
+	abortConn(h.wc.conn)
 	return true
+}
+
+// abortConn closes a connection with an immediate TCP reset when the
+// transport supports it (plain TCP or TLS over TCP).
+func abortConn(conn net.Conn) {
+	c := conn
+	if tc, ok := c.(*tls.Conn); ok {
+		c = tc.NetConn()
+	}
+	if lc, ok := c.(interface{ SetLinger(int) error }); ok {
+		_ = lc.SetLinger(0)
+	}
+	_ = conn.Close()
 }
 
 // Cancel implements ExecutionProvider: stop the listener and sever every

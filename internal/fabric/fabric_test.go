@@ -410,3 +410,85 @@ func TestNetProviderCancel(t *testing.T) {
 		t.Fatalf("second Cancel: %v", err)
 	}
 }
+
+// TestDrainRacingReconnect severs a reconnecting worker's session and then
+// fires its drain signal while two Launch calls compete for the fresh
+// registration. Whatever interleaving the scheduler picks, the invariants
+// hold: one worker identity is adopted by at most one block, the worker
+// process exits exactly once and cleanly, and no ghost registration survives.
+func TestDrainRacingReconnect(t *testing.T) {
+	for iter := 0; iter < 6; iter++ {
+		opts := testOptions("s")
+		opts.AdoptTimeout = 300 * time.Millisecond
+		p, err := Listen(opts)
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		drain := make(chan struct{})
+		done := startWorker(t, ConnectOptions{
+			Addr: p.Addr(), Secret: "s", ID: "racer",
+			Reconnect: true, ReconnectWait: 2 * time.Millisecond,
+			Drain: drain,
+		})
+		h, err := p.Launch(1)
+		if err != nil {
+			t.Fatalf("Launch: %v", err)
+		}
+		if res, err := h.Run(echoTask(t, 1, "pre")); err != nil || res != "pre" {
+			t.Fatalf("Run before the race = %v, %v; want pre, nil", res, err)
+		}
+
+		if !p.KillConnection(1) {
+			t.Fatal("KillConnection found no live block 1")
+		}
+		waitFor(t, "the severed worker to re-register", func() bool {
+			return p.RegisteredWorkers() == 1
+		})
+
+		// The race: two adoptions compete for one registration while the
+		// worker is told to drain.
+		adopted := make(chan provider.ManagerHandle, 2)
+		for b := 2; b <= 3; b++ {
+			go func(block int) {
+				nh, err := p.Launch(block)
+				if err != nil {
+					adopted <- nil
+					return
+				}
+				adopted <- nh
+			}(b)
+		}
+		close(drain)
+
+		var handles []provider.ManagerHandle
+		for i := 0; i < 2; i++ {
+			if nh := <-adopted; nh != nil {
+				handles = append(handles, nh)
+			}
+		}
+		if len(handles) > 1 {
+			t.Fatalf("iter %d: one worker registration adopted by %d blocks", iter, len(handles))
+		}
+		// Exactly one clean exit: RunWorker must return nil (drain wins over
+		// the reconnect loop) no matter which side observed the drain first.
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("iter %d: worker exit = %v, want a clean drain", iter, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iter %d: worker never exited after drain", iter)
+		}
+		// The drained session must fully deregister: any adopted block reads
+		// dead, and no pending registration lingers for a later Launch to
+		// adopt as a ghost.
+		for _, nh := range handles {
+			got := nh
+			waitFor(t, "the adopted block to observe the drain", func() bool { return !got.Alive() })
+		}
+		waitFor(t, "pending registrations to clear", func() bool {
+			return p.RegisteredWorkers() == 0
+		})
+		p.Cancel()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"sync/atomic"
@@ -33,7 +34,8 @@ type ConnectOptions struct {
 	// rejected hello (wrong secret, wrong protocol) is always terminal.
 	Reconnect bool
 	// ReconnectWait is the initial backoff between reconnect attempts
-	// (default 1s, doubling to 30s).
+	// (default 1s, doubling to 30s, with ±25% jitter per attempt so a
+	// severed fleet does not reconnect in lockstep).
 	ReconnectWait time.Duration
 	// MaxAttempts caps consecutive failed sessions when reconnecting
 	// (0 = unlimited).
@@ -103,16 +105,27 @@ func RunWorker(opts ConnectOptions) error {
 		if !opts.Reconnect || (opts.MaxAttempts > 0 && attempts >= opts.MaxAttempts) {
 			return err
 		}
-		logf("session with %s ended (%v); reconnecting in %s", opts.Addr, err, wait)
+		sleep := jitterWait(wait)
+		logf("session with %s ended (%v); reconnecting in %s", opts.Addr, err, sleep.Round(time.Millisecond))
 		select {
 		case <-opts.Drain:
 			return nil
-		case <-time.After(wait):
+		case <-time.After(sleep):
 		}
 		if wait *= 2; wait > maxWait {
 			wait = maxWait
 		}
 	}
+}
+
+// jitterWait spreads a reconnect delay over [0.75d, 1.25d) so a worker fleet
+// severed by one engine restart does not re-dial in lockstep and hammer the
+// fresh listener in synchronized waves.
+func jitterWait(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
 // runSession runs one dial → handshake → serve cycle.

@@ -39,6 +39,8 @@ import (
 //	batch-linger: 1ms
 //	dispatch-codec: binary
 //	warm-pool: 2
+//	max-redispatch: 3
+//	task-walltime: 10m
 type ConfigSpec struct {
 	Executor       string
 	RunDir         string
@@ -91,6 +93,12 @@ type ConfigSpec struct {
 	// WarmPool keeps this many spare pre-started workers per provider so
 	// block launches skip exec/dial+hello latency (0 disables).
 	WarmPool int
+	// MaxRedispatch caps worker-loss re-dispatches per task before it is
+	// quarantined as poison (0 = the HTEX default of 3; negative = unbounded).
+	MaxRedispatch int
+	// TaskWalltime is the default per-task walltime, CWL ToolTimeLimit style:
+	// tasks running past it fail with a deadline error (0 disables).
+	TaskWalltime time.Duration
 }
 
 // DefaultConfigSpec returns single-node thread-pool defaults.
@@ -181,6 +189,14 @@ func ParseConfig(data []byte) (ConfigSpec, error) {
 			spec.DispatchCodec = fmt.Sprint(val)
 		case "warm-pool", "warm_pool":
 			spec.WarmPool = m.GetInt(k, spec.WarmPool)
+		case "max-redispatch", "max_redispatch":
+			spec.MaxRedispatch = m.GetInt(k, spec.MaxRedispatch)
+		case "task-walltime", "task_walltime":
+			d, err := parseDuration(val)
+			if err != nil {
+				return spec, fmt.Errorf("task-walltime: %w", err)
+			}
+			spec.TaskWalltime = d
 		default:
 			return spec, fmt.Errorf("unknown config key %q", k)
 		}
@@ -283,6 +299,9 @@ func (s ConfigSpec) validate() error {
 	}
 	if s.WarmPool < 0 {
 		return fmt.Errorf("warm-pool must be non-negative")
+	}
+	if s.TaskWalltime < 0 {
+		return fmt.Errorf("task-walltime must be non-negative")
 	}
 	return nil
 }
@@ -401,6 +420,7 @@ func (s ConfigSpec) buildHTEX(label, providerName string) (Executor, error) {
 		Prefetch:        s.Prefetch,
 		IdleTimeout:     s.IdleTimeout,
 		HeartbeatPeriod: s.HeartbeatPeriod,
+		MaxRedispatch:   s.MaxRedispatch,
 	}), nil
 }
 
@@ -409,7 +429,7 @@ func (s ConfigSpec) Build() (Config, error) {
 	if err := s.validate(); err != nil {
 		return Config{}, err
 	}
-	cfg := Config{Retries: s.Retries, Memoize: s.Memoize, RunDir: s.RunDir}
+	cfg := Config{Retries: s.Retries, Memoize: s.Memoize, RunDir: s.RunDir, TaskWalltime: s.TaskWalltime}
 	switch s.Executor {
 	case "thread-pool", "threads":
 		cfg.Executors = []Executor{NewThreadPoolExecutor("threads", s.WorkersPerNode*s.Nodes)}
@@ -435,7 +455,7 @@ func (s ConfigSpec) BuildMulti(providers []string) (Config, map[string]string, e
 	if len(providers) == 0 {
 		return Config{}, nil, fmt.Errorf("no providers requested")
 	}
-	cfg := Config{Retries: s.Retries, Memoize: s.Memoize, RunDir: s.RunDir}
+	cfg := Config{Retries: s.Retries, Memoize: s.Memoize, RunDir: s.RunDir, TaskWalltime: s.TaskWalltime}
 	labels := make(map[string]string, len(providers))
 	for _, name := range providers {
 		if _, dup := labels[name]; dup {

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +14,20 @@ import (
 
 	"repro/internal/provider"
 )
+
+// taskDeadline combines a submission's explicit deadline with the DFK-wide
+// walltime default, keeping whichever bound is tighter. The walltime clock
+// starts at launch, so each DFK-level retry gets a fresh budget.
+func taskDeadline(explicit time.Time, walltime time.Duration) time.Time {
+	if walltime <= 0 {
+		return explicit
+	}
+	wt := time.Now().Add(walltime)
+	if explicit.IsZero() || wt.Before(explicit) {
+		return wt
+	}
+	return explicit
+}
 
 // TaskState is the lifecycle state of one DFK task.
 type TaskState int
@@ -99,6 +114,11 @@ type Config struct {
 	// of 65536; negative means unbounded. In-flight entries are never
 	// evicted.
 	MaxMemoEntries int
+	// TaskWalltime is the default per-task walltime (CWL ToolTimeLimit
+	// style): every launch of a task must finish within this much time or be
+	// failed with ErrDeadlineExceeded by a deadline-aware executor. Zero
+	// disables the default; CallOpts.Deadline tightens it per submission.
+	TaskWalltime time.Duration
 }
 
 // DFK is the DataFlowKernel: it tracks tasks, resolves dependencies and
@@ -202,6 +222,9 @@ func (d *DFK) Executor(label string) (Executor, error) {
 // RunDir returns the configured run directory.
 func (d *DFK) RunDir() string { return d.cfg.RunDir }
 
+// TaskWalltime returns the configured default per-task walltime (0 = none).
+func (d *DFK) TaskWalltime() time.Duration { return d.cfg.TaskWalltime }
+
 // CallOpts adjusts one submission.
 type CallOpts struct {
 	// Executor label; "" uses the default executor.
@@ -221,6 +244,11 @@ type CallOpts struct {
 	Stderr string
 	// Cores is the resource hint forwarded to the executor.
 	Cores int
+	// Deadline, when non-zero, bounds the task's walltime: each launch must
+	// finish by this absolute time or fail with ErrDeadlineExceeded. The
+	// service derives it from the run request's deadline; it combines with
+	// (and can only tighten) the DFK's TaskWalltime default.
+	Deadline time.Time
 }
 
 // Submit registers an invocation of app with args and returns its future
@@ -364,7 +392,7 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 	var launch func()
 	launch = func() {
 		d.setState(id, app.Name(), opts.Label, StateLaunched, int(launches.Add(1))-1)
-		task := &Task{ID: id, Cores: opts.Cores, Remote: remote, Fn: func() (any, error) {
+		task := &Task{ID: id, Cores: opts.Cores, Remote: remote, Deadline: taskDeadline(opts.Deadline, d.cfg.TaskWalltime), Fn: func() (any, error) {
 			return app.Execute(tc, resolved)
 		}}
 		// Executor-level re-dispatch (e.g. HTEX manager loss) surfaces in
@@ -374,7 +402,10 @@ func (d *DFK) resolveAndLaunch(id int, app App, args Args, opts CallOpts, fut *A
 			d.setState(id, app.Name(), opts.Label, StateLaunched, int(launches.Add(1))-1)
 		}
 		ex.Submit(task, func(res any, err error) {
-			if err != nil && tries < d.cfg.Retries {
+			// A quarantined poison task is never retried: the executor already
+			// proved that every block it lands on dies, so burning the retry
+			// budget would only kill more workers.
+			if err != nil && tries < d.cfg.Retries && !errors.Is(err, ErrPoisonTask) {
 				tries++
 				launch()
 				return

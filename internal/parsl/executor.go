@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/provider"
 )
@@ -13,6 +14,11 @@ type Task struct {
 	ID    int
 	Fn    func() (any, error)
 	Cores int // informational; used by resource-aware executors
+	// Deadline, when non-zero, is the task's walltime bound. Deadline-aware
+	// executors (HTEX) fail the task with ErrDeadlineExceeded once it passes —
+	// the engine-side fallback behind the worker-side process kill, and the
+	// only enforcement for tasks running in-process.
+	Deadline time.Time
 	// Remote, when non-nil, is the task in serializable form: executors whose
 	// blocks are process-isolated workers (HTEX over a ProcessProvider) ship
 	// it across the pipe protocol instead of calling Fn. Executors that stay
@@ -56,6 +62,15 @@ type ExecutorStats struct {
 	ManagersLost      int64 `json:"managersLost,omitempty"`
 	BlocksScaledIn    int64 `json:"blocksScaledIn,omitempty"`
 	TasksRedispatched int64 `json:"tasksRedispatched,omitempty"`
+	// TasksQuarantined counts tasks that exhausted their redispatch budget
+	// and failed with ErrPoisonTask instead of being handed another block.
+	TasksQuarantined int64 `json:"tasksQuarantined,omitempty"`
+	// TasksParked is the current size of the redispatch overflow set: tasks
+	// awaiting interchange space after a manager loss. A persistently
+	// non-zero value means the interchange is wedged.
+	TasksParked int `json:"tasksParked,omitempty"`
+	// Quarantined holds the most recent poison-task records (bounded).
+	Quarantined []QuarantineRecord `json:"quarantined,omitempty"`
 	// Provider names the execution provider backing the executor's blocks
 	// ("local", "process", "sim").
 	Provider string `json:"provider,omitempty"`
@@ -63,6 +78,16 @@ type ExecutorStats struct {
 	// provider detail such as a worker pid or sim allocation) merged with
 	// each live manager's unfinished-task depth.
 	Blocks []BlockHealth `json:"blocks,omitempty"`
+}
+
+// QuarantineRecord describes one poison task: a task that killed (or was
+// stranded on) more blocks than its redispatch budget allows and was failed
+// with ErrPoisonTask instead of being re-dispatched again.
+type QuarantineRecord struct {
+	TaskID       int       `json:"taskId"`
+	Redispatches int       `json:"redispatches"`
+	LastError    string    `json:"lastError"`
+	Time         time.Time `json:"time"`
 }
 
 // BlockHealth is one pilot block's state in an ExecutorStats report.
@@ -96,6 +121,9 @@ type queued struct {
 	done func(any, error)
 
 	fired atomic.Bool
+	// redispatches counts worker-loss re-dispatches of this task, checked
+	// against the executor's MaxRedispatch budget before each re-enqueue.
+	redispatches atomic.Int64
 }
 
 // fire claims the right to complete the task; only the first caller wins.

@@ -3,6 +3,7 @@ package parsl
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,15 @@ import (
 
 	"repro/internal/provider"
 )
+
+// ErrPoisonTask marks a task quarantined after exhausting its redispatch
+// budget: every block it landed on died under it, so handing it yet another
+// block would only kill more workers. The DFK does not retry poison tasks.
+var ErrPoisonTask = errors.New("poison task quarantined")
+
+// ErrDeadlineExceeded marks a task failed by its walltime deadline — the
+// engine-side enforcement behind the worker-side process kill.
+var ErrDeadlineExceeded = errors.New("task deadline exceeded")
 
 // HTEXConfig configures the HighThroughputExecutor.
 type HTEXConfig struct {
@@ -33,6 +43,11 @@ type HTEXConfig struct {
 	// IdleTimeout releases a block whose manager has had no work for this
 	// long (never below MinBlocks). Zero disables scale-in.
 	IdleTimeout time.Duration
+	// MaxRedispatch caps worker-loss re-dispatches per task. Past the cap the
+	// task fails with ErrPoisonTask and is quarantined instead of being handed
+	// another block to kill. 0 uses the default (3); negative disables the
+	// cap, restoring the old unbounded behavior.
+	MaxRedispatch int
 }
 
 func (c *HTEXConfig) fill() {
@@ -80,7 +95,19 @@ func (c *HTEXConfig) fill() {
 	if c.IdleTimeout < 0 {
 		c.IdleTimeout = 0
 	}
+	if c.MaxRedispatch == 0 {
+		c.MaxRedispatch = defaultMaxRedispatch
+	}
 }
+
+// defaultMaxRedispatch is the redispatch budget when HTEXConfig leaves
+// MaxRedispatch zero: enough to survive a few genuine node losses, small
+// enough that a poison task cannot SIGKILL-cycle the fleet.
+const defaultMaxRedispatch = 3
+
+// maxQuarantineRecords bounds the per-executor quarantine history kept for
+// Stats()//healthz.
+const maxQuarantineRecords = 64
 
 // HighThroughputExecutor reproduces Parsl's pilot-job executor: tasks flow
 // through an interchange queue to per-block managers, each hosting a fixed
@@ -109,12 +136,16 @@ type HighThroughputExecutor struct {
 	launched     int       // blocks successfully launched (the ledger)
 	scaleErr     error     // last unrecovered provider error (for Shutdown)
 	scaleRetryAt time.Time // provider-error backoff for scaling attempts
+	scaleFails   int       // consecutive failed scale-outs (backoff exponent)
 	parked       []*queued // re-dispatches awaiting interchange space
+	quarRecords  []QuarantineRecord
 
 	inFlight     atomic.Int64
 	lost         atomic.Int64
 	scaledIn     atomic.Int64
 	redispatched atomic.Int64
+	quarantined  atomic.Int64
+	deadlined    atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -299,9 +330,10 @@ func (e *HighThroughputExecutor) monitor() {
 
 // scaleWhile serially adds blocks while need(liveBlocks) holds, up to
 // MaxBlocks. A provider error records the failure for Shutdown and backs
-// scaling off for one heartbeat period — transient allocation failures must
-// not disable elasticity (or the MinBlocks floor) forever. Monitor goroutine
-// (or Start) only.
+// scaling off exponentially with jitter — transient allocation failures must
+// not disable elasticity (or the MinBlocks floor) forever, but a provider in
+// sustained failure must not be hammered once per heartbeat either. Monitor
+// goroutine (or Start) only.
 func (e *HighThroughputExecutor) scaleWhile(need func(blocks int) bool) {
 	for !e.lc.stopped() {
 		e.mu.Lock()
@@ -314,14 +346,40 @@ func (e *HighThroughputExecutor) scaleWhile(need func(blocks int) bool) {
 		if err := e.scaleOut(); err != nil {
 			e.mu.Lock()
 			e.scaleErr = err
-			e.scaleRetryAt = time.Now().Add(e.cfg.HeartbeatPeriod)
+			e.scaleFails++
+			e.scaleRetryAt = time.Now().Add(scaleBackoff(e.cfg.HeartbeatPeriod, e.scaleFails))
 			e.mu.Unlock()
 			return
 		}
 		e.mu.Lock()
 		e.scaleErr = nil
+		e.scaleFails = 0
+		e.scaleRetryAt = time.Time{}
 		e.mu.Unlock()
 	}
+}
+
+// maxScaleBackoff caps the wait between block-relaunch attempts against a
+// failing provider.
+const maxScaleBackoff = 2 * time.Minute
+
+// scaleBackoff is the wait before the next scale-out attempt after fails
+// consecutive provider errors: exponential from the heartbeat period, capped,
+// with ±25% jitter so executors recovering from a shared provider outage do
+// not relaunch in lockstep.
+func scaleBackoff(base time.Duration, fails int) time.Duration {
+	if fails < 1 {
+		fails = 1
+	}
+	d := base
+	for i := 1; i < fails && d < maxScaleBackoff; i++ {
+		d *= 2
+	}
+	if d > maxScaleBackoff {
+		d = maxScaleBackoff
+	}
+	// Jitter in [0.75d, 1.25d).
+	return d - d/4 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // scaleToDemand adds blocks while outstanding work exceeds capacity.
@@ -402,8 +460,9 @@ func (e *HighThroughputExecutor) startManager(m *manager) {
 				m.markBusy()
 				if !m.addOwned(q) {
 					// Already swept by the reaper: hand the task straight
-					// back so it cannot strand in a dead buffer.
-					e.redispatch(q, fmt.Errorf("manager %d retired", m.id))
+					// back so it cannot strand in a dead buffer. The task
+					// never ran here, so its redispatch budget is untouched.
+					e.requeueRetired(q, fmt.Errorf("manager %d retired", m.id))
 					return
 				}
 				select {
@@ -417,7 +476,7 @@ func (e *HighThroughputExecutor) startManager(m *manager) {
 					delete(m.owned, q)
 					m.ownedMu.Unlock()
 					if mine {
-						e.redispatch(q, fmt.Errorf("manager %d stopped", m.id))
+						e.requeueRetired(q, fmt.Errorf("manager %d stopped", m.id))
 					}
 					return
 				}
@@ -453,12 +512,26 @@ func (e *HighThroughputExecutor) startManager(m *manager) {
 						m.removeOwned(q)
 						continue
 					}
+					if !m.handle.Alive() {
+						// The block died between dispatch and execution. The
+						// task never ran on it, so this death says nothing
+						// about the task: requeue without touching its
+						// redispatch budget and let the reaper take the block.
+						m.removeOwned(q)
+						e.requeueRetired(q, fmt.Errorf("manager %d found dead before execution", m.id))
+						e.failBlock(m)
+						return
+					}
 					m.markBusy()
+					stopTimer := e.armDeadline(q)
 					res, err := m.handle.Run(&provider.Task{
 						ID:     q.task.ID,
 						Fn:     func() (any, error) { return runGuarded(q.task) },
 						Remote: q.task.Remote,
 					})
+					if stopTimer != nil {
+						close(stopTimer)
+					}
 					if err != nil && errors.Is(err, provider.ErrWorkerLost) {
 						// The block died under the task (worker process gone,
 						// sim node preempted/walltimed). Re-dispatch unless
@@ -514,13 +587,74 @@ func (e *HighThroughputExecutor) startManager(m *manager) {
 	}()
 }
 
+// armDeadline starts the engine-side walltime watchdog for one execution of a
+// deadline-carrying task: if the deadline (plus a short grace for the
+// worker-side kill to report first) passes while the task is still running,
+// the task completes with ErrDeadlineExceeded. The zombie execution keeps its
+// worker slot until the provider call returns — a deliberate choice: the
+// fallback exists for unresponsive workers, whose block the heartbeat
+// machinery will reap anyway. Returns nil for tasks without a deadline, else
+// a channel the caller must close when the provider call returns.
+func (e *HighThroughputExecutor) armDeadline(q *queued) chan struct{} {
+	if q.task.Deadline.IsZero() {
+		return nil
+	}
+	stop := make(chan struct{})
+	grace := e.cfg.HeartbeatPeriod / 2
+	go func() {
+		t := time.NewTimer(time.Until(q.task.Deadline) + grace)
+		defer t.Stop()
+		select {
+		case <-stop:
+		case <-t.C:
+			if q.fire() {
+				e.inFlight.Add(-1)
+				e.deadlined.Add(1)
+				metDeadlineExpired.Inc()
+				q.done(nil, fmt.Errorf("task %d ran past its walltime deadline %s: %w",
+					q.task.ID, q.task.Deadline.Format(time.RFC3339), ErrDeadlineExceeded))
+			}
+		}
+	}()
+	return stop
+}
+
 // redispatch re-enqueues a task stranded on a dead or retiring manager,
-// surfacing the retry through Task.Retried. The send is non-blocking so a
-// full interchange cannot wedge the monitor goroutine: a task that does not
-// fit is parked and re-attempted on every monitor sweep (the tasks came out
-// of the interchange, so the parked set is bounded by in-flight work). Only
-// a shut-down executor fails the task (exactly once).
+// surfacing the retry through Task.Retried. Re-dispatches are bounded: a task
+// past its MaxRedispatch budget is a poison task — every block it touches
+// dies — and is quarantined (failed with ErrPoisonTask) instead of being
+// handed a fresh block to kill. The budget therefore only counts deaths that
+// happened while the task was executing; a task that merely landed on an
+// already-dead manager goes through requeueRetired instead, because routing
+// bad luck is not evidence of poison. The send is non-blocking so a full
+// interchange cannot wedge the monitor goroutine: a task that does not fit is
+// parked and re-attempted on every monitor sweep (the tasks came out of the
+// interchange, so the parked set is bounded by in-flight work). Only a
+// shut-down executor fails the task (exactly once).
 func (e *HighThroughputExecutor) redispatch(q *queued, reason error) {
+	if q.fired.Load() {
+		return
+	}
+	if n := q.redispatches.Add(1); e.cfg.MaxRedispatch >= 0 && n > int64(e.cfg.MaxRedispatch) {
+		e.quarantine(q, reason)
+		return
+	}
+	if q.task.Retried != nil {
+		q.task.Retried(reason)
+	}
+	if !e.tryRequeue(q, reason) {
+		e.mu.Lock()
+		e.parked = append(e.parked, q)
+		e.mu.Unlock()
+	}
+}
+
+// requeueRetired re-enqueues a task that was dispatched to a manager already
+// known dead — the task never started executing there, so the attempt is
+// free: only deaths under a running task consume its redispatch budget.
+// Task.Retried still fires because the task will be launched again and
+// monitoring must see every launch.
+func (e *HighThroughputExecutor) requeueRetired(q *queued, reason error) {
 	if q.fired.Load() {
 		return
 	}
@@ -532,6 +666,31 @@ func (e *HighThroughputExecutor) redispatch(q *queued, reason error) {
 		e.parked = append(e.parked, q)
 		e.mu.Unlock()
 	}
+}
+
+// quarantine fails a poison task exactly once with ErrPoisonTask, records it
+// for Stats()//healthz, and counts it in pcwl_htex_quarantined_total.
+func (e *HighThroughputExecutor) quarantine(q *queued, reason error) {
+	if !q.fire() {
+		return
+	}
+	e.inFlight.Add(-1)
+	e.quarantined.Add(1)
+	metQuarantined.Inc()
+	rec := QuarantineRecord{
+		TaskID:       q.task.ID,
+		Redispatches: int(q.redispatches.Load()) - 1,
+		LastError:    reason.Error(),
+		Time:         time.Now(),
+	}
+	e.mu.Lock()
+	e.quarRecords = append(e.quarRecords, rec)
+	if len(e.quarRecords) > maxQuarantineRecords {
+		e.quarRecords = e.quarRecords[len(e.quarRecords)-maxQuarantineRecords:]
+	}
+	e.mu.Unlock()
+	q.done(nil, fmt.Errorf("task %d killed %d blocks and exhausted its %d re-dispatches (last: %v): %w",
+		q.task.ID, rec.Redispatches+1, rec.Redispatches, reason, ErrPoisonTask))
 }
 
 // tryRequeue attempts a non-blocking re-enqueue. It reports false when the
@@ -701,6 +860,8 @@ func (e *HighThroughputExecutor) Stats() ExecutorStats {
 	e.mu.Lock()
 	managers := len(e.managers)
 	launched := e.launched
+	parked := len(e.parked)
+	quarantined := append([]QuarantineRecord(nil), e.quarRecords...)
 	depths := make(map[int]int, len(e.managers))
 	for _, m := range e.managers {
 		depths[m.id] = m.ownedCount()
@@ -732,10 +893,16 @@ func (e *HighThroughputExecutor) Stats() ExecutorStats {
 		ManagersLost:      e.lost.Load(),
 		BlocksScaledIn:    e.scaledIn.Load(),
 		TasksRedispatched: e.redispatched.Load(),
+		TasksQuarantined:  e.quarantined.Load(),
+		TasksParked:       parked,
+		Quarantined:       quarantined,
 		Provider:          e.cfg.Provider.Name(),
 		Blocks:            blocks,
 	}
 }
+
+// Quarantined reports how many tasks this executor has quarantined as poison.
+func (e *HighThroughputExecutor) Quarantined() int64 { return e.quarantined.Load() }
 
 // ManagerQueueDepths reports each live manager's unfinished (buffered plus
 // running) task count, keyed by manager ID.

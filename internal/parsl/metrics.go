@@ -24,4 +24,10 @@ var (
 		"pcwl_dfk_task_exec_seconds",
 		"Time from first launch to terminal state, including executor retries.",
 		obs.ExpBuckets(0.005, 3, 12))
+	metQuarantined = obs.Default().Counter(
+		"pcwl_htex_quarantined_total",
+		"Tasks quarantined as poison after exhausting their redispatch budget.")
+	metDeadlineExpired = obs.Default().Counter(
+		"pcwl_htex_deadline_expired_total",
+		"Tasks failed by the engine-side walltime deadline watchdog.")
 )

@@ -80,6 +80,10 @@ type Options struct {
 	// disk within this interval (they survive an OS crash). 0 selects
 	// DefaultFsyncInterval; negative fsyncs on every append.
 	FsyncInterval time.Duration
+	// SyncHook replaces the journal fsync call (fault injection: the chaos
+	// harness uses it to simulate disk-sync failures and verify they surface
+	// as append errors instead of silent data loss). Nil uses File.Sync.
+	SyncHook func(f *os.File) error
 }
 
 // Stats is a point-in-time durability summary, served by the service's
@@ -415,7 +419,11 @@ func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	sync := l.opts.SyncHook
+	if sync == nil {
+		sync = func(f *os.File) error { return f.Sync() }
+	}
+	if err := sync(l.f); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	l.dirty = false

@@ -1,0 +1,69 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestSyncHookFaultInjectionDirect: with per-append fsync, an injected fsync
+// failure surfaces on the Append that triggered it.
+func TestSyncHookFaultInjectionDirect(t *testing.T) {
+	boom := errors.New("injected fsync failure")
+	fails := 0
+	l, err := Open(t.TempDir(), Options{
+		FsyncInterval: -1, // sync on every append
+		SyncHook: func(f *os.File) error {
+			fails++
+			if fails > 1 {
+				return boom
+			}
+			return f.Sync()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if err := l.Append("kv", kv{K: "a", V: 1}); err != nil {
+		t.Fatalf("first append (hook passes through): %v", err)
+	}
+	if err := l.Append("kv", kv{K: "b", V: 2}); !errors.Is(err, boom) {
+		t.Fatalf("second append err = %v, want injected failure", err)
+	}
+}
+
+// TestSyncHookFaultInjectionBatched: with batched fsync the failure happens in
+// the background flush loop and must surface on a later Append, so callers
+// learn their journal is no longer durable.
+func TestSyncHookFaultInjectionBatched(t *testing.T) {
+	boom := errors.New("injected fsync failure")
+	l, err := Open(t.TempDir(), Options{
+		FsyncInterval: time.Millisecond,
+		SyncHook:      func(*os.File) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if err := l.Append("kv", kv{K: "a", V: 1}); err != nil && !errors.Is(err, boom) {
+		t.Fatalf("append: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := l.Append("kv", kv{K: "b", V: 2})
+		if errors.Is(err, boom) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("append failed with foreign error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background fsync failure never surfaced on Append")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

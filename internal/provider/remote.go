@@ -3,6 +3,7 @@ package provider
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -43,6 +44,12 @@ const (
 	// KindSleep sleeps payload.ms milliseconds, then returns payload.value —
 	// fault-injection tests that need a task to be killable mid-flight.
 	KindSleep = "sleep"
+	// KindCrash terminates the executing process with payload.exitCode. It
+	// only ever makes sense inside a disposable worker process: it is the
+	// deterministic "poison task" — every worker that picks it up dies, so
+	// redispatch-bound and quarantine tests do not need to race external
+	// signals.
+	KindCrash = "crash"
 )
 
 // CWLToolPayload is the wire form of one CommandLineTool invocation.
@@ -64,12 +71,30 @@ type CWLToolPayload struct {
 	// Stdout/Stderr override the tool's stdout/stderr destinations.
 	Stdout string `json:"stdout,omitempty"`
 	Stderr string `json:"stderr,omitempty"`
+	// WalltimeMs bounds the tool's process execution (CWL ToolTimeLimit):
+	// past it the worker kills the tool's process group and fails the task.
+	// It rides inside the payload — not on RemoteSpec — because both codecs
+	// ship the payload opaquely.
+	WalltimeMs int `json:"walltimeMs,omitempty"`
 }
 
 // SleepPayload is the wire form of a KindSleep task.
 type SleepPayload struct {
 	Ms    int             `json:"ms"`
 	Value json.RawMessage `json:"value,omitempty"`
+	// WalltimeMs, when positive and smaller than Ms, makes the sleep fail
+	// with a walltime error after WalltimeMs — the cheap vehicle for
+	// deadline tests that never fork a real tool process.
+	WalltimeMs int `json:"walltimeMs,omitempty"`
+}
+
+// CrashPayload is the wire form of a KindCrash task.
+type CrashPayload struct {
+	ExitCode int `json:"exitCode"`
+	// DelayMs lets the task be adopted and reported running before the
+	// process dies, so the engine observes a worker loss, not a launch
+	// failure.
+	DelayMs int `json:"delayMs,omitempty"`
 }
 
 // NewCWLToolSpec packages one tool invocation as a RemoteSpec.
@@ -121,6 +146,15 @@ func NewSleepSpec(d time.Duration, value any) (*RemoteSpec, error) {
 	return &RemoteSpec{Kind: KindSleep, Payload: p}, nil
 }
 
+// NewCrashSpec packages a KindCrash task.
+func NewCrashSpec(exitCode int, delay time.Duration) (*RemoteSpec, error) {
+	p, err := json.Marshal(CrashPayload{ExitCode: exitCode, DelayMs: int(delay / time.Millisecond)})
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSpec{Kind: KindCrash, Payload: p}, nil
+}
+
 // ExecuteRemote interprets one RemoteSpec and returns the task result as
 // JSON. It is the worker binary's execution core; the engine-side
 // ProcessProvider decodes the JSON back with DecodeResult.
@@ -136,6 +170,11 @@ func ExecuteRemote(spec *RemoteSpec) (json.RawMessage, error) {
 		if err := json.Unmarshal(spec.Payload, &p); err != nil {
 			return nil, fmt.Errorf("sleep payload: %w", err)
 		}
+		if p.WalltimeMs > 0 && p.Ms > p.WalltimeMs {
+			time.Sleep(time.Duration(p.WalltimeMs) * time.Millisecond)
+			return nil, fmt.Errorf("task exceeded its %dms walltime and was killed",
+				p.WalltimeMs)
+		}
 		if p.Ms > 0 {
 			time.Sleep(time.Duration(p.Ms) * time.Millisecond)
 		}
@@ -143,6 +182,16 @@ func ExecuteRemote(spec *RemoteSpec) (json.RawMessage, error) {
 			return json.RawMessage("null"), nil
 		}
 		return p.Value, nil
+	case KindCrash:
+		var p CrashPayload
+		if err := json.Unmarshal(spec.Payload, &p); err != nil {
+			return nil, fmt.Errorf("crash payload: %w", err)
+		}
+		if p.DelayMs > 0 {
+			time.Sleep(time.Duration(p.DelayMs) * time.Millisecond)
+		}
+		os.Exit(p.ExitCode)
+		return nil, nil // unreachable
 	case KindCWLTool:
 		var p CWLToolPayload
 		if err := json.Unmarshal(spec.Payload, &p); err != nil {
@@ -220,6 +269,7 @@ func runRemoteTool(p CWLToolPayload) (json.RawMessage, error) {
 		OutDir:     p.OutDir,
 		StdoutPath: p.Stdout,
 		StderrPath: p.Stderr,
+		Walltime:   time.Duration(p.WalltimeMs) * time.Millisecond,
 	})
 	if err != nil {
 		return nil, err

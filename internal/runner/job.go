@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/cwl"
 	"repro/internal/cwlexpr"
@@ -23,6 +25,11 @@ type ExecSpec struct {
 	Stdin    string   // path or ""
 	Stdout   string   // path or ""
 	Stderr   string   // path or ""
+	// Walltime, when positive, bounds the invocation: past it the whole
+	// process group is SIGKILLed and Run returns a walltime error. The
+	// process group (not just the direct child) is killed so a tool that
+	// forks cannot outlive its deadline.
+	Walltime time.Duration
 }
 
 // ExecResult is the outcome of a process invocation.
@@ -93,10 +100,30 @@ func (RealBackend) Run(spec ExecSpec) (ExecResult, error) {
 		}
 		cmd.Stderr = f
 	}
-	err := cmd.Run()
+	var walltimed atomic.Bool
+	var err error
+	if spec.Walltime > 0 {
+		// Walltime-bounded tools run in their own process group so the
+		// deadline kill reaps the whole tree, not just the direct child.
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		if err = cmd.Start(); err == nil {
+			pgid := cmd.Process.Pid
+			timer := time.AfterFunc(spec.Walltime, func() {
+				walltimed.Store(true)
+				_ = syscall.Kill(-pgid, syscall.SIGKILL)
+			})
+			err = cmd.Wait()
+			timer.Stop()
+		}
+	} else {
+		err = cmd.Run()
+	}
 	res := ExecResult{}
 	if cmd.ProcessState != nil {
 		res.ExitCode = cmd.ProcessState.ExitCode()
+	}
+	if walltimed.Load() && err != nil {
+		return res, fmt.Errorf("command exceeded its %s walltime and was killed", spec.Walltime)
 	}
 	if err != nil {
 		if _, isExit := err.(*exec.ExitError); isExit {
@@ -144,6 +171,10 @@ type RunOpts struct {
 	// job directory.
 	StdoutPath string
 	StderrPath string
+	// Walltime bounds the tool's process execution (CWL ToolTimeLimit
+	// style): past it the process group is killed and the invocation fails
+	// (0 = unbounded).
+	Walltime time.Duration
 }
 
 // RunTool executes one CommandLineTool invocation end to end: input
@@ -234,7 +265,7 @@ func (r *ToolRunner) RunTool(tool *cwl.CommandLineTool, provided *yamlx.Map, opt
 		return nil, fmt.Errorf("tool %s: %w", toolName(tool), err)
 	}
 
-	spec := ExecSpec{Argv: argv, Dir: outdir}
+	spec := ExecSpec{Argv: argv, Dir: outdir, Walltime: effectiveWalltime(opts.Walltime, reqs.TimeLimitSec)}
 	if reqs.ShellCommand {
 		spec.UseShell = true
 		spec.ShellCmd = ShellCommand(tool, argv, parts)
@@ -284,6 +315,19 @@ func (r *ToolRunner) RunTool(tool *cwl.CommandLineTool, provided *yamlx.Map, opt
 	}
 	succeeded = true
 	return &ToolResult{Outputs: outputs, ExitCode: res.ExitCode, OutDir: outdir, Argv: argv}, nil
+}
+
+// effectiveWalltime combines the caller's walltime bound with the document's
+// ToolTimeLimit: whichever is tighter wins; 0 means unbounded on either side.
+func effectiveWalltime(opt time.Duration, limitSec int64) time.Duration {
+	lim := time.Duration(limitSec) * time.Second
+	if lim <= 0 {
+		return opt
+	}
+	if opt <= 0 || lim < opt {
+		return lim
+	}
+	return opt
 }
 
 func toolName(tool *cwl.CommandLineTool) string {

@@ -29,6 +29,10 @@ type submitBody struct {
 	// Provider pins the run to one of the service's execution providers
 	// (local|process|sim, as configured); "" uses the default.
 	Provider string `json:"provider,omitempty"`
+	// WalltimeSeconds bounds the whole run: past it the run context expires,
+	// in-flight tasks are failed by the deadline watchdog, and the run fails
+	// (0 = unbounded).
+	WalltimeSeconds float64 `json:"walltimeSeconds,omitempty"`
 }
 
 // taskEventJSON is the wire form of one parsl.TaskEvent.
@@ -87,6 +91,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// An HTTP request deadline (server write timeout, client timeout header
+	// middleware) becomes the run deadline when the body set none.
+	if dl, ok := r.Context().Deadline(); ok && req.Deadline.IsZero() {
+		req.Deadline = dl
+	}
 	snap, err := s.Submit(req)
 	if err != nil {
 		writeServiceError(w, err)
@@ -114,13 +123,17 @@ func parseSubmitBody(contentType string, body []byte) (SubmitRequest, error) {
 	if err != nil {
 		return SubmitRequest{}, err
 	}
-	return SubmitRequest{
+	req := SubmitRequest{
 		Source:   []byte(env.CWL),
 		Inputs:   inputs,
 		Name:     env.Name,
 		Priority: env.Priority,
 		Provider: env.Provider,
-	}, nil
+	}
+	if env.WalltimeSeconds > 0 {
+		req.Deadline = time.Now().Add(time.Duration(env.WalltimeSeconds * float64(time.Second)))
+	}
+	return req, nil
 }
 
 // decodeInputs turns the request's inputs field — a JSON object, a YAML
@@ -228,7 +241,7 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrAlreadyFinished):
 		status = http.StatusConflict
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrDraining):

@@ -21,6 +21,10 @@ var (
 		"pcwl_runs_rejected_total",
 		"Runs rejected at submission, by reason.",
 		"reason")
+	metShed = obs.Default().CounterVec(
+		"pcwl_service_shed_total",
+		"Submissions shed by admission control (backpressure), by reason.",
+		"reason")
 	metRunQueueWait = obs.Default().Histogram(
 		"pcwl_run_queue_wait_seconds",
 		"Time a run spent queued before a scheduler worker picked it up.",
@@ -39,6 +43,8 @@ func rejectReason(err error) string {
 		return ""
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
 	case errors.Is(err, ErrInvalidDocument):
 		return "invalid_document"
 	case errors.Is(err, ErrUnknownProvider):
@@ -128,6 +134,8 @@ func executorFamilies(stats []parsl.ExecutorStats) []obs.Family {
 	lost := obs.Family{Name: "pcwl_htex_managers_lost_total", Help: "HTEX managers reaped as lost, per executor.", Type: obs.TypeCounter}
 	scaledIn := obs.Family{Name: "pcwl_htex_blocks_scaled_in_total", Help: "Idle blocks scaled in by HTEX, per executor.", Type: obs.TypeCounter}
 	redispatched := obs.Family{Name: "pcwl_htex_tasks_redispatched_total", Help: "Tasks re-dispatched after manager loss, per executor.", Type: obs.TypeCounter}
+	quarantined := obs.Family{Name: "pcwl_htex_tasks_quarantined_total", Help: "Tasks quarantined as poison after exhausting their redispatch budget, per executor.", Type: obs.TypeCounter}
+	parked := obs.Family{Name: "pcwl_htex_parked_tasks", Help: "Re-dispatched tasks parked awaiting interchange space, per executor.", Type: obs.TypeGauge}
 	for _, st := range stats {
 		l := []obs.Label{{Name: "executor", Value: st.Label}}
 		outstanding.Samples = append(outstanding.Samples, obs.Sample{Labels: l, Value: float64(st.Outstanding)})
@@ -140,9 +148,11 @@ func executorFamilies(stats []parsl.ExecutorStats) []obs.Family {
 		lost.Samples = append(lost.Samples, obs.Sample{Labels: l, Value: float64(st.ManagersLost)})
 		scaledIn.Samples = append(scaledIn.Samples, obs.Sample{Labels: l, Value: float64(st.BlocksScaledIn)})
 		redispatched.Samples = append(redispatched.Samples, obs.Sample{Labels: l, Value: float64(st.TasksRedispatched)})
+		quarantined.Samples = append(quarantined.Samples, obs.Sample{Labels: l, Value: float64(st.TasksQuarantined)})
+		parked.Samples = append(parked.Samples, obs.Sample{Labels: l, Value: float64(st.TasksParked)})
 	}
 	fams := []obs.Family{outstanding, workers}
-	for _, f := range []obs.Family{managers, launched, lost, scaledIn, redispatched} {
+	for _, f := range []obs.Family{managers, launched, lost, scaledIn, redispatched, quarantined, parked} {
 		if len(f.Samples) > 0 {
 			fams = append(fams, f)
 		}

@@ -59,6 +59,9 @@ var (
 	ErrAlreadyFinished = errors.New("run already finished")
 	// ErrQueueFull is the backpressure signal (HTTP 429).
 	ErrQueueFull = errors.New("run queue is full")
+	// ErrOverloaded is the admission-control signal: the service is past its
+	// in-flight cap and is shedding load (HTTP 429 + Retry-After).
+	ErrOverloaded = errors.New("service is overloaded")
 	// ErrUnknownProvider marks a run pinned to a provider the service does
 	// not offer (HTTP 400).
 	ErrUnknownProvider = errors.New("unknown execution provider")
@@ -76,6 +79,13 @@ type Options struct {
 	// fail with ErrQueueFull. 0 selects the default of 64; negative means
 	// unbounded.
 	QueueDepth int
+	// MaxInFlight bounds admitted-but-unfinished runs (queued + running):
+	// submissions past it are shed with ErrOverloaded before any parse or
+	// journal work happens. 0 means no extra cap — QueueDepth and Workers
+	// still bound the system naturally. It exists to let operators set an
+	// admission ceiling tighter than queue capacity (graceful degradation
+	// under sustained overload rather than a full queue of doomed work).
+	MaxInFlight int
 	// CacheSize bounds the parsed-document cache (default 128 documents).
 	CacheSize int
 	// RetainRuns bounds how many terminal runs the store keeps — the oldest
@@ -135,6 +145,12 @@ type SubmitRequest struct {
 	// Provider pins the run to one of the service's execution providers
 	// (Options.ProviderExecutors key); "" uses the default executor.
 	Provider string
+	// Deadline, when set, bounds the whole run: the run context expires at
+	// this instant, every task submitted under it inherits it (the engine
+	// deadline watchdog fails stragglers), and the run fails with a deadline
+	// error. The HTTP layer fills it from the request's walltimeSeconds
+	// field, or from the request context's own deadline.
+	Deadline time.Time
 }
 
 // Stats is the service health/load summary served by /healthz.
@@ -187,6 +203,8 @@ type pendingRun struct {
 	inputs *yamlx.Map
 	// provider is the pinned execution provider ("" = default executor).
 	provider string
+	// deadline bounds the whole run (zero = unbounded).
+	deadline time.Time
 }
 
 // New builds a Service over a loaded DFK.
@@ -376,6 +394,17 @@ func (s *Service) executorFor(providerLabel string) (string, error) {
 // Submit validates, registers, and enqueues one run, returning its queued
 // snapshot immediately.
 func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
+	// Admission control runs first: a shed submission must cost nothing — no
+	// parse, no store entry, no journal record.
+	if s.opts.MaxInFlight > 0 {
+		queued, running := s.sched.Depths()
+		if queued+running >= s.opts.MaxInFlight {
+			err := fmt.Errorf("%w: %d runs in flight (cap %d)", ErrOverloaded, queued+running, s.opts.MaxInFlight)
+			metShed.With("inflight_cap").Inc()
+			metRunsRejected.With(rejectReason(err)).Inc()
+			return RunSnapshot{}, err
+		}
+	}
 	if _, err := s.executorFor(req.Provider); err != nil {
 		metRunsRejected.With(rejectReason(err)).Inc()
 		return RunSnapshot{}, err
@@ -387,7 +416,7 @@ func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 	}
 	snap := s.store.Create(req.Name, doc.Class(), hash, req.Priority, hit, req.Provider)
 	s.workMu.Lock()
-	s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: req.Inputs, provider: req.Provider}
+	s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: req.Inputs, provider: req.Provider, deadline: req.Deadline}
 	s.workMu.Unlock()
 	// Journal the submission (with its payload) before it can start: the
 	// worker's own transitions must never precede the submit record, and a
@@ -406,6 +435,9 @@ func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 		}
 		s.dropWork(snap.ID)
 		s.store.Delete(snap.ID)
+		if errors.Is(err, ErrQueueFull) {
+			metShed.With("queue_full").Inc()
+		}
 		metRunsRejected.With(rejectReason(err)).Inc()
 		return RunSnapshot{}, err
 	}
@@ -464,8 +496,18 @@ func (s *Service) execute(ctx context.Context, id string) {
 		// construction.
 		StepIndex: w.idx,
 	}
+	if !w.deadline.IsZero() {
+		// The run-level deadline flows through the run context: submissions
+		// under it carry it as the per-task deadline (engine watchdog), and
+		// the context itself expiring fails the run.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, w.deadline)
+		defer cancel()
+	}
 	outputs, err := r.RunContext(ctx, w.doc, w.inputs)
-	canceled := err != nil && ctx.Err() != nil
+	// A deadline expiry is a failure, not a cancellation — only an operator
+	// cancel (scheduler context canceled) reports RunCanceled.
+	canceled := err != nil && errors.Is(ctx.Err(), context.Canceled)
 	s.finishRun(id, outputs, err, canceled)
 }
 
