@@ -273,6 +273,57 @@ outputs: {}
 			b.ReportMetric(float64(conc)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
 		})
 	}
+
+	// The multi-tenant variant: 8 authenticated tenants submitting through
+	// the fair-share scheduler. Comparing against concurrent=8 above isolates
+	// the tenancy overhead (registry lookup, per-tenant sub-queues, weighted
+	// round-robin) at the same offered load.
+	b.Run("tenants=8", func(b *testing.B) {
+		const tenants = 8
+		members := make([]Tenant, tenants)
+		for i := range members {
+			members[i] = Tenant{Name: fmt.Sprintf("t%d", i), Key: fmt.Sprintf("key-%d", i), Weight: 1 + i%3}
+		}
+		reg, err := NewTenantRegistry(members...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir := b.TempDir()
+		dfk, err := parsl.Load(parsl.Config{
+			Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 16)},
+			RunDir:    dir,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dfk.Cleanup()
+		svc, err := NewService(dfk, ServiceOptions{Workers: 8, QueueDepth: -1, Tenants: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close(context.Background())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ids := make([]string, tenants)
+			for j := 0; j < tenants; j++ {
+				snap, err := svc.Submit(SubmitRequest{Source: src, Tenant: members[j].Name})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[j] = snap.ID
+			}
+			for _, id := range ids {
+				snap, err := svc.Wait(context.Background(), id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if snap.State != RunSucceeded {
+					b.Fatalf("run %s: %v (%s)", id, snap.State, snap.Error)
+				}
+			}
+		}
+		b.ReportMetric(float64(tenants)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+	})
 }
 
 // BenchmarkHTEXThroughput measures end-to-end task throughput through the

@@ -22,7 +22,15 @@
 // runs that were queued or running, and reloads the memo table so completed
 // steps of an interrupted workflow are memo hits rather than re-executions.
 // /healthz gains a "persistence" section (journal size, last snapshot,
-// restored-run counts); -no-persist disables all of it.
+// restored-run counts); -no-persist disables all of it. The journal is
+// partitioned into -wal-shards independent write-ahead logs so concurrent
+// runs do not serialize on one fsync queue.
+//
+// With -tenant-config the service is multi-tenant: requests authenticate
+// with per-tenant API keys (Authorization: Bearer), the scheduler fair-shares
+// capacity by tenant weight, per-tenant quotas (queue depth, concurrency,
+// CPU seconds) are enforced at admission, and -result-cache shares whole-run
+// results across tenants submitting identical work. See docs/TENANCY.md.
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 
 	"repro/internal/parsl"
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
 type serveConfig struct {
@@ -60,6 +69,9 @@ type serveConfig struct {
 	dataDir          string
 	checkpointPeriod time.Duration
 	noPersist        bool
+	walShards        int
+	tenantConfig     string
+	resultCache      int
 	providers        string
 	workerCmd        string
 	netListen        string
@@ -93,6 +105,9 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.StringVar(&cfg.dataDir, "data-dir", "", "directory for the run journal and checkpoints; enables durable, crash-resumable runs")
 	fs.DurationVar(&cfg.checkpointPeriod, "checkpoint-period", 30*time.Second, "how often the journal is compacted into a snapshot")
 	fs.BoolVar(&cfg.noPersist, "no-persist", false, "disable persistence even when -data-dir is set")
+	fs.IntVar(&cfg.walShards, "wal-shards", 0, "independent WAL shards under -data-dir, keyed by run-ID hash (0 = default 4; an existing unsharded data dir is kept as-is)")
+	fs.StringVar(&cfg.tenantConfig, "tenant-config", "", "YAML tenant registry (API keys, fair-share weights, quotas); enables multi-tenant mode")
+	fs.IntVar(&cfg.resultCache, "result-cache", 1024, "shared cross-tenant whole-run result cache capacity (entries; 0 disables result sharing)")
 	fs.StringVar(&cfg.providers, "provider", "", "execution providers to offer, comma-separated (local|process|sim|net); first is the default; runs pin one via the submit body's \"provider\" field")
 	fs.StringVar(&cfg.workerCmd, "worker-cmd", "", "worker command line for the process and net providers (default: parsl-cwl-worker next to this binary or on PATH)")
 	fs.StringVar(&cfg.netListen, "net-listen", "", "net provider interchange listen address (default 127.0.0.1:0)")
@@ -208,6 +223,12 @@ func newService(cfg serveConfig, logger *slog.Logger) (*parsl.DFK, *service.Serv
 	if err != nil {
 		return nil, nil, err
 	}
+	var tenants *tenant.Registry
+	if cfg.tenantConfig != "" {
+		if tenants, err = tenant.Load(cfg.tenantConfig); err != nil {
+			return nil, nil, err
+		}
+	}
 	dfk, err := parsl.Load(pcfg)
 	if err != nil {
 		return nil, nil, err
@@ -221,8 +242,11 @@ func newService(cfg serveConfig, logger *slog.Logger) (*parsl.DFK, *service.Serv
 		WorkRoot:          cfg.workDir,
 		DataDir:           cfg.dataDir,
 		CheckpointPeriod:  cfg.checkpointPeriod,
+		WALShards:         cfg.walShards,
 		ProviderExecutors: providerLabels,
 		DisableMetrics:    !cfg.metrics,
+		Tenants:           tenants,
+		ResultCacheSize:   cfg.resultCache,
 		Logger:            logger,
 	})
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
@@ -33,7 +34,9 @@ func TestHelperServe(t *testing.T) {
 // returns it with its base URL once it is listening.
 func startServer(t *testing.T, dataDir string) (*exec.Cmd, string) {
 	t.Helper()
-	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-workers", "2"}
+	// Two WAL shards: the kill -9 cycle below also proves the sharded journal
+	// layout replays correctly after a crash.
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-workers", "2", "-wal-shards", "2"}
 	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperServe")
 	cmd.Env = append(os.Environ(),
 		"PARSL_CWL_SERVE_HELPER=1",
@@ -279,5 +282,27 @@ steps:
 	}
 	if n, _ := pers["resubmittedRuns"].(float64); n < 1 {
 		t.Errorf("persistence stats = %v", pers)
+	}
+	if n, _ := pers["shards"].(float64); n != 2 {
+		t.Errorf("persistence shards = %v, want 2", pers["shards"])
+	}
+
+	// The journal really is partitioned on disk: both shard directories exist
+	// and at least one holds WAL segments (run records spread by ID hash).
+	walFiles := 0
+	for i := 0; i < 2; i++ {
+		shardDir := filepath.Join(dataDir, fmt.Sprintf("shard-%02d", i))
+		entries, err := os.ReadDir(shardDir)
+		if err != nil {
+			t.Fatalf("shard dir missing: %v", err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".jsonl") {
+				walFiles++
+			}
+		}
+	}
+	if walFiles == 0 {
+		t.Error("no WAL segments found in any shard directory")
 	}
 }

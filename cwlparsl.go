@@ -43,6 +43,7 @@ import (
 	"repro/internal/cwl"
 	"repro/internal/parsl"
 	"repro/internal/service"
+	"repro/internal/tenant"
 	"repro/internal/yamlx"
 )
 
@@ -188,6 +189,23 @@ type MemoEntry = parsl.MemoEntry
 // PersistStats is the durability section of the service's /healthz stats:
 // journal size, last snapshot time, and restored-run counts.
 type PersistStats = service.PersistStats
+
+// Tenant is one tenant of a multi-tenant Service: its API key, fair-share
+// weight, and admission quotas (queue depth, concurrency, CPU-seconds
+// budget). See docs/TENANCY.md.
+type Tenant = tenant.Tenant
+
+// TenantRegistry holds a Service's tenants and authenticates API keys.
+type TenantRegistry = tenant.Registry
+
+// NewTenantRegistry builds a registry from an explicit tenant list.
+func NewTenantRegistry(tenants ...Tenant) (*TenantRegistry, error) {
+	return tenant.NewRegistry(tenants...)
+}
+
+// LoadTenants reads a YAML tenant-registry file (the -tenant-config format
+// of parsl-cwl-serve).
+func LoadTenants(path string) (*TenantRegistry, error) { return tenant.Load(path) }
 
 // NewService builds the workflow submission service over a loaded DFK.
 func NewService(dfk *DFK, opts ServiceOptions) (*Service, error) {

@@ -1,0 +1,203 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// DefaultShards is the shard count used when OpenSharded is asked for zero.
+const DefaultShards = 4
+
+// shardsFile records the shard count in the data directory root. The stored
+// count always wins on reopen: records are routed by key hash modulo the
+// count, so changing it between runs would strand records in the wrong shard.
+const shardsFile = "SHARDS"
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+// ShardedLog partitions a journal across N independent Logs by key hash, so
+// concurrent appenders whose records hash to different shards never contend
+// on one writer mutex or one fsync queue. Each shard is a full Log — its own
+// directory, LOCK, segments, snapshot, and fsync batch — and per-key record
+// ordering is preserved because a key always routes to the same shard.
+// Cross-shard ordering is NOT preserved; callers that need a global order
+// must encode a sequence number in the records and sort at replay (the
+// service orders runs by their run-ID sequence).
+//
+// A data directory that already holds a legacy single-writer layout
+// (top-level wal-* segments or snapshot.json) is opened as one shard rooted
+// at the directory itself, so pre-sharding deployments upgrade in place
+// without migration.
+type ShardedLog struct {
+	dir    string
+	shards []*Log
+	legacy bool
+}
+
+// OpenSharded opens (creating if needed) a sharded log under dir with n
+// shards (n <= 0 selects DefaultShards). The shard count is persisted in a
+// SHARDS file on first open; on reopen the stored count wins over n, keeping
+// key→shard routing stable. Directories holding a legacy unsharded Log are
+// opened as a single shard in place.
+func OpenSharded(dir string, n int, opts Options) (*ShardedLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if legacyLayout(dir) {
+		l, err := Open(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedLog{dir: dir, shards: []*Log{l}, legacy: true}, nil
+	}
+	if n <= 0 {
+		n = DefaultShards
+	}
+	metaPath := filepath.Join(dir, shardsFile)
+	if data, err := os.ReadFile(metaPath); err == nil {
+		stored, err := strconv.Atoi(strings.TrimSpace(string(data)))
+		if err != nil || stored <= 0 {
+			return nil, fmt.Errorf("persist: %s: malformed shard count %q", metaPath, strings.TrimSpace(string(data)))
+		}
+		n = stored
+	} else {
+		if err := os.WriteFile(metaPath, []byte(strconv.Itoa(n)+"\n"), 0o644); err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+	}
+	s := &ShardedLog{dir: dir, shards: make([]*Log, n)}
+	for i := range s.shards {
+		l, err := Open(filepath.Join(dir, shardDirName(i)), opts)
+		if err != nil {
+			for _, open := range s.shards[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		s.shards[i] = l
+	}
+	return s, nil
+}
+
+// legacyLayout reports whether dir holds a pre-sharding single-Log layout.
+func legacyLayout(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err == nil {
+		return true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Shards reports the shard count.
+func (s *ShardedLog) Shards() int { return len(s.shards) }
+
+// Legacy reports whether the directory was opened as an in-place legacy
+// single-writer layout.
+func (s *ShardedLog) Legacy() bool { return s.legacy }
+
+// ShardOf maps a record key to its shard index. The mapping is stable for
+// the life of the data directory (the shard count is pinned by SHARDS).
+func (s *ShardedLog) ShardOf(key string) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Append journals one record on the shard owning key. Records sharing a key
+// keep their relative order; records with different keys may interleave
+// arbitrarily across shards.
+func (s *ShardedLog) Append(key, kind string, v any) error {
+	return s.shards[s.ShardOf(key)].Append(kind, v)
+}
+
+// Sync forces every shard's journal to disk.
+func (s *ShardedLog) Sync() error {
+	var first error
+	for _, l := range s.shards {
+		if err := l.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Replay delivers each shard's state in shard order: shard i's snapshot (if
+// any), then its journal records, then shard i+1. Within a shard the replay
+// contract matches Log.Replay; across shards no ordering is implied, so the
+// caller must reorder by its own sequence numbers where global order matters.
+func (s *ShardedLog) Replay(snapshot func(shard int, data json.RawMessage) error, record func(shard int, rec Record) error) error {
+	for i, l := range s.shards {
+		i := i
+		err := l.Replay(
+			func(data json.RawMessage) error { return snapshot(i, data) },
+			func(rec Record) error { return record(i, rec) },
+		)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact snapshots every shard. build is called once per shard and must
+// return that shard's subset of the state (records keyed to other shards are
+// replayed from their own snapshots). A failed shard compaction aborts the
+// sweep; already-compacted shards keep their new snapshots, which is safe
+// because each shard is independently consistent.
+func (s *ShardedLog) Compact(build func(shard int) (any, error)) error {
+	for i, l := range s.shards {
+		i := i
+		if err := l.Compact(func() (any, error) { return build(i) }); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates durability stats across shards: byte and record counts
+// sum, LastSnapshot is the oldest shard snapshot (the conservative answer to
+// "how stale could recovery be"), and Dir is the root directory.
+func (s *ShardedLog) Stats() Stats {
+	agg := Stats{Dir: s.dir}
+	for i, l := range s.shards {
+		st := l.Stats()
+		agg.JournalBytes += st.JournalBytes
+		agg.JournalRecords += st.JournalRecords
+		agg.AppendedRecords += st.AppendedRecords
+		agg.SnapshotBytes += st.SnapshotBytes
+		agg.Compactions += st.Compactions
+		if i == 0 || (st.LastSnapshot.Before(agg.LastSnapshot)) {
+			agg.LastSnapshot = st.LastSnapshot
+		}
+	}
+	return agg
+}
+
+// Close releases every shard. The first error is returned; all shards are
+// closed regardless.
+func (s *ShardedLog) Close() error {
+	var first error
+	for _, l := range s.shards {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,259 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type shardPayload struct {
+	Key string `json:"key"`
+	N   int    `json:"n"`
+}
+
+func TestShardedAppendReplayRoutesByKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 3, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 3 || s.Legacy() {
+		t.Fatalf("shards=%d legacy=%v", s.Shards(), s.Legacy())
+	}
+	keys := []string{"run-000001", "run-000002", "run-000003", "run-000004", "memo/abc"}
+	// Per-key ordering: append three generations of each key.
+	for gen := 0; gen < 3; gen++ {
+		for _, k := range keys {
+			if err := s.Append(k, "upd", shardPayload{Key: k, N: gen}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSharded(dir, 3, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	lastGen := map[string]int{}
+	perShard := map[int]int{}
+	err = s2.Replay(
+		func(int, json.RawMessage) error { t.Fatal("unexpected snapshot"); return nil },
+		func(shard int, rec Record) error {
+			var p shardPayload
+			if err := json.Unmarshal(rec.Data, &p); err != nil {
+				return err
+			}
+			if shard != s2.ShardOf(p.Key) {
+				t.Errorf("key %q replayed from shard %d, routed to %d", p.Key, shard, s2.ShardOf(p.Key))
+			}
+			if prev, seen := lastGen[p.Key]; seen && p.N != prev+1 {
+				t.Errorf("key %q: generation %d after %d (per-key order broken)", p.Key, p.N, prev)
+			}
+			lastGen[p.Key] = p.N
+			perShard[shard]++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lastGen) != len(keys) {
+		t.Errorf("replayed %d keys, want %d", len(lastGen), len(keys))
+	}
+	total := 0
+	for _, n := range perShard {
+		total += n
+	}
+	if total != 3*len(keys) {
+		t.Errorf("replayed %d records, want %d", total, 3*len(keys))
+	}
+	if len(perShard) < 2 {
+		t.Errorf("all records landed on one shard: %v", perShard)
+	}
+}
+
+func TestShardedStoredCountWinsOverRequested(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 2, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", "x", shardPayload{Key: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Reopen asking for a different count: the SHARDS file pins routing.
+	s2, err := OpenSharded(dir, 8, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Shards() != 2 {
+		t.Errorf("reopen shards = %d, want stored 2", s2.Shards())
+	}
+}
+
+func TestShardedMalformedShardsFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, shardsFile), []byte("banana\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(dir, 2, Options{FsyncInterval: -1}); err == nil {
+		t.Fatal("malformed SHARDS file accepted")
+	}
+}
+
+func TestShardedLegacyLayoutOpensInPlace(t *testing.T) {
+	dir := t.TempDir()
+	// Build a legacy single-writer journal at the directory root.
+	l, err := Open(dir, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Append("legacy", shardPayload{Key: fmt.Sprintf("k%d", i), N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenSharded(dir, 4, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Legacy() || s.Shards() != 1 {
+		t.Fatalf("legacy=%v shards=%d, want in-place single shard", s.Legacy(), s.Shards())
+	}
+	// Every key routes to shard 0 in a single-shard log.
+	if got := s.ShardOf("anything"); got != 0 {
+		t.Errorf("ShardOf = %d", got)
+	}
+	// No SHARDS file or shard dirs were created alongside the legacy layout.
+	if _, err := os.Stat(filepath.Join(dir, shardsFile)); err == nil {
+		t.Error("legacy open wrote a SHARDS file")
+	}
+	count := 0
+	err = s.Replay(
+		func(int, json.RawMessage) error { return nil },
+		func(shard int, rec Record) error { count++; return nil })
+	if err != nil || count != 4 {
+		t.Errorf("legacy replay: count=%d err=%v", count, err)
+	}
+	// The legacy log still accepts appends.
+	if err := s.Append("more", "legacy", shardPayload{Key: "more"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardedCompactPerShardSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 2, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	for _, k := range keys {
+		if err := s.Append(k, "upd", shardPayload{Key: k, N: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot: each shard stores only the keys it owns.
+	err = s.Compact(func(shard int) (any, error) {
+		var own []string
+		for _, k := range keys {
+			if s.ShardOf(k) == shard {
+				own = append(own, k)
+			}
+		}
+		return own, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Compactions != 2 || st.JournalRecords != 0 || st.SnapshotBytes == 0 || st.LastSnapshot.IsZero() {
+		t.Errorf("stats after compact = %+v", st)
+	}
+	s.Close()
+
+	s2, err := OpenSharded(dir, 2, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	restored := map[string]bool{}
+	err = s2.Replay(
+		func(shard int, data json.RawMessage) error {
+			var own []string
+			if err := json.Unmarshal(data, &own); err != nil {
+				return err
+			}
+			for _, k := range own {
+				if s2.ShardOf(k) != shard {
+					t.Errorf("snapshot for shard %d holds foreign key %q", shard, k)
+				}
+				restored[k] = true
+			}
+			return nil
+		},
+		func(int, Record) error { t.Error("journal record survived compaction"); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(keys) {
+		t.Errorf("restored %d keys from snapshots, want %d", len(restored), len(keys))
+	}
+}
+
+func TestShardedCompactAbortsOnBuildError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 3, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	calls := 0
+	err = s.Compact(func(shard int) (any, error) {
+		calls++
+		if shard == 1 {
+			return nil, fmt.Errorf("boom")
+		}
+		return []string{}, nil
+	})
+	if err == nil {
+		t.Fatal("Compact swallowed a build error")
+	}
+	if calls != 2 {
+		t.Errorf("build called %d times, want sweep aborted after shard 1", calls)
+	}
+}
+
+func TestShardedStatsAggregates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 2, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Append(fmt.Sprintf("k%d", i), "x", shardPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.AppendedRecords != 10 || st.JournalRecords != 10 || st.JournalBytes == 0 {
+		t.Errorf("aggregate stats = %+v", st)
+	}
+	if st.Dir != dir {
+		t.Errorf("Dir = %q", st.Dir)
+	}
+}

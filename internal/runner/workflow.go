@@ -106,6 +106,31 @@ func BuildStepIndex(wf *cwl.Workflow) *StepIndex {
 	return ix
 }
 
+// SizeEstimate approximates the index's memory footprint in bytes (map and
+// slice headers plus key strings and edge ints), so byte-bounded caches that
+// retain prebuilt indexes can account for them. A nil index costs nothing.
+func (ix *StepIndex) SizeEstimate() int64 {
+	if ix == nil {
+		return 0
+	}
+	const (
+		sliceHeader = 24
+		intSize     = 8
+		mapOverhead = 48 // per-bucket bookkeeping, amortized
+	)
+	size := int64(sliceHeader + mapOverhead)
+	for _, keys := range ix.required {
+		size += sliceHeader
+		for _, k := range keys {
+			size += sliceHeader + int64(len(k))
+		}
+	}
+	for k, steps := range ix.deps {
+		size += mapOverhead + int64(len(k)) + sliceHeader + intSize*int64(len(steps))
+	}
+	return size
+}
+
 type wfState struct {
 	mu          sync.Mutex
 	cond        *sync.Cond

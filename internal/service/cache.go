@@ -39,8 +39,10 @@ type docEntry struct {
 	// skip rebuilding the source→dependents graph on every execution.
 	idx *runner.StepIndex
 	err error
-	// size approximates the entry's memory cost by its source length (the
-	// parsed tree is proportional to it).
+	// size approximates the entry's memory cost: source length (the parsed
+	// tree is proportional to it) plus the prebuilt StepIndex estimate —
+	// scatter-heavy workflows can carry indexes far larger than their source,
+	// and the byte cap must see them.
 	size int64
 }
 
@@ -106,8 +108,9 @@ func (c *DocCache) LoadIndexed(source []byte) (doc cwl.Document, idx *runner.Ste
 		ent := el.Value.(*docEntry)
 		return ent.doc, ent.idx, hash, false, ent.err
 	}
-	c.entries[hash] = c.lru.PushFront(&docEntry{hash: hash, doc: doc, idx: idx, err: err, size: int64(len(source))})
-	c.bytes += int64(len(source))
+	size := int64(len(source)) + idx.SizeEstimate()
+	c.entries[hash] = c.lru.PushFront(&docEntry{hash: hash, doc: doc, idx: idx, err: err, size: size})
+	c.bytes += size
 	for c.lru.Len() > 1 && (c.lru.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tenant"
 	"repro/internal/yamlx"
 )
 
@@ -52,12 +53,18 @@ type taskEventJSON struct {
 // Handler returns the REST API over this service:
 //
 //	POST   /runs             submit a run  {"cwl": "...", "inputs": {...}}
-//	GET    /runs             list all runs
+//	GET    /runs             list runs (the caller's own, in tenant mode)
 //	GET    /runs/{id}        one run (?wait=1 blocks until terminal)
 //	GET    /runs/{id}/events the run's DFK task-event log
 //	DELETE /runs/{id}        cancel a queued or running run
 //	GET    /healthz          liveness + load/cache stats
 //	GET    /metrics          Prometheus text exposition (unless disabled)
+//
+// With a tenant registry configured, every /runs* route requires an API key
+// (Authorization: Bearer <key>, or X-API-Key) unless the registry defines
+// the reserved default tenant for anonymous traffic; each tenant sees and
+// controls only its own runs. /healthz and /metrics stay open — they are the
+// operator surface, typically firewalled separately.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -76,7 +83,68 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": s.Stats()})
 }
 
+// authTenant resolves the request's tenant. Without a registry every request
+// is the default tenant; with one, the API key must authenticate — except
+// anonymous requests, which map to the reserved default tenant when the
+// registry chooses to define it.
+func (s *Service) authTenant(r *http.Request) (string, error) {
+	reg := s.opts.Tenants
+	if reg == nil {
+		return tenant.DefaultName, nil
+	}
+	key := apiKey(r)
+	if key == "" {
+		if _, ok := reg.Get(tenant.DefaultName); ok {
+			return tenant.DefaultName, nil
+		}
+		return "", ErrUnauthorized
+	}
+	t, ok := reg.Authenticate(key)
+	if !ok {
+		return "", ErrUnauthorized
+	}
+	return t.Name, nil
+}
+
+// apiKey extracts the client credential: an Authorization Bearer token, or
+// the X-API-Key header.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if rest, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(rest)
+		}
+		return strings.TrimSpace(h)
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authorizeRun checks that the request's tenant owns the run. A foreign run
+// reports ErrNotFound, not 403 — run IDs are sequential, and a 403 would
+// confirm another tenant's run exists.
+func (s *Service) authorizeRun(r *http.Request, id string) error {
+	tn, err := s.authTenant(r)
+	if err != nil {
+		return err
+	}
+	if s.opts.Tenants == nil {
+		return nil
+	}
+	snap, ok := s.store.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	if tenantLabel(snap.Tenant) != tn {
+		return ErrNotFound
+	}
+	return nil
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.authTenant(r)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
@@ -96,6 +164,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if dl, ok := r.Context().Deadline(); ok && req.Deadline.IsZero() {
 		req.Deadline = dl
 	}
+	req.Tenant = tn
 	snap, err := s.Submit(req)
 	if err != nil {
 		writeServiceError(w, err)
@@ -175,12 +244,31 @@ func decodeInputs(raw json.RawMessage) (*yamlx.Map, error) {
 	return m, nil
 }
 
-func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"runs": s.List()})
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.authTenant(r)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	runs := s.List()
+	if s.opts.Tenants != nil {
+		own := runs[:0]
+		for _, snap := range runs {
+			if tenantLabel(snap.Tenant) == tn {
+				own = append(own, snap)
+			}
+		}
+		runs = own
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if err := s.authorizeRun(r, id); err != nil {
+		writeServiceError(w, err)
+		return
+	}
 	if wait := r.URL.Query().Get("wait"); wait != "" && wait != "0" && wait != "false" {
 		snap, err := s.Wait(r.Context(), id)
 		if errors.Is(err, ErrNotFound) {
@@ -201,6 +289,10 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if err := s.authorizeRun(r, id); err != nil {
+		writeServiceError(w, err)
+		return
+	}
 	events, ok := s.Events(id)
 	if !ok {
 		writeServiceError(w, ErrNotFound)
@@ -223,6 +315,10 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.authorizeRun(r, r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
+		return
+	}
 	snap, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeServiceError(w, err)
@@ -237,13 +333,24 @@ func writeServiceError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrInvalidDocument), errors.Is(err, ErrUnknownProvider):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrUnauthorized):
+		status = http.StatusUnauthorized
+		w.Header().Set("WWW-Authenticate", `Bearer realm="parsl-cwl-serve"`)
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrAlreadyFinished):
 		status = http.StatusConflict
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded), errors.Is(err, ErrQuotaExceeded):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		// Retry-After comes from the service's drain-rate estimate when the
+		// error carries one (queue depth / completion rate); the constant is
+		// only the fallback for errors raised outside the admission path.
+		after := "1"
+		var ra interface{ RetryAfterSeconds() int }
+		if errors.As(err, &ra) {
+			after = fmt.Sprint(ra.RetryAfterSeconds())
+		}
+		w.Header().Set("Retry-After", after)
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
 	}

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/parsl"
+	"repro/internal/tenant"
+)
+
+// startTenantServer runs a two-tenant service on a loopback listener.
+func startTenantServer(t *testing.T, opts Options) (*httptest.Server, *Service) {
+	t.Helper()
+	dir := t.TempDir()
+	dfk, err := parsl.Load(parsl.Config{
+		Executors: []parsl.Executor{parsl.NewThreadPoolExecutor("threads", 8)},
+		RunDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.WorkRoot == "" {
+		opts.WorkRoot = dir
+	}
+	svc, err := New(dfk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close(context.Background())
+		dfk.Cleanup()
+	})
+	return srv, svc
+}
+
+// doReq performs a request with an optional API key and returns the response
+// with its decoded JSON body.
+func doReq(t *testing.T, method, url, key string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]json.RawMessage{}
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestHTTPTenantAuth(t *testing.T) {
+	reg, err := tenant.NewRegistry(
+		tenant.Tenant{Name: "alpha", Key: "alpha-key"},
+		tenant.Tenant{Name: "beta", Key: "beta-key"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, svc := startTenantServer(t, Options{Workers: 2, Tenants: reg})
+	submit := map[string]any{"cwl": echoTool, "inputs": map[string]any{"message": "hi"}}
+
+	// No credential: 401 with a challenge. The registry defines no default
+	// tenant, so anonymous traffic is refused.
+	resp, _ := doReq(t, "POST", srv.URL+"/runs", "", submit)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anonymous submit = %d, want 401", resp.StatusCode)
+	}
+	if !strings.Contains(resp.Header.Get("WWW-Authenticate"), "Bearer") {
+		t.Errorf("WWW-Authenticate = %q", resp.Header.Get("WWW-Authenticate"))
+	}
+	if resp, _ := doReq(t, "GET", srv.URL+"/runs", "", nil); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("anonymous list = %d, want 401", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, "POST", srv.URL+"/runs", "wrong-key", submit); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("bad key submit = %d, want 401", resp.StatusCode)
+	}
+
+	// The operator surface stays open.
+	if resp, _ := doReq(t, "GET", srv.URL+"/healthz", "", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("anonymous healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Alpha submits and owns the run.
+	resp, body := doReq(t, "POST", srv.URL+"/runs", "alpha-key", submit)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("alpha submit = %d body %v", resp.StatusCode, body)
+	}
+	var id, tn string
+	json.Unmarshal(body["id"], &id)
+	json.Unmarshal(body["tenant"], &tn)
+	if tn != "alpha" {
+		t.Errorf("run tenant = %q", tn)
+	}
+	if resp, _ := doReq(t, "GET", srv.URL+"/runs/"+id, "alpha-key", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("owner get = %d", resp.StatusCode)
+	}
+	// Foreign runs are invisible, not forbidden: 404, never a 403 that would
+	// confirm the run exists.
+	if resp, _ := doReq(t, "GET", srv.URL+"/runs/"+id, "beta-key", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("foreign get = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, "DELETE", srv.URL+"/runs/"+id, "beta-key", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("foreign cancel = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, "GET", srv.URL+"/runs/"+id+"/events", "beta-key", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("foreign events = %d, want 404", resp.StatusCode)
+	}
+
+	// X-API-Key is accepted as the credential too.
+	req, _ := http.NewRequest("GET", srv.URL+"/runs/"+id, nil)
+	req.Header.Set("X-API-Key", "alpha-key")
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("X-API-Key get = %v %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Lists are tenant-scoped.
+	_, betaBody := doReq(t, "POST", srv.URL+"/runs", "beta-key", submit)
+	var betaID string
+	json.Unmarshal(betaBody["id"], &betaID)
+	resp, listBody := doReq(t, "GET", srv.URL+"/runs", "beta-key", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("beta list = %d", resp.StatusCode)
+	}
+	var runs []struct {
+		ID     string `json:"id"`
+		Tenant string `json:"tenant"`
+	}
+	json.Unmarshal(listBody["runs"], &runs)
+	for _, r := range runs {
+		if r.Tenant != "beta" {
+			t.Errorf("beta's list leaked run %s of tenant %q", r.ID, r.Tenant)
+		}
+	}
+	if len(runs) != 1 || runs[0].ID != betaID {
+		t.Errorf("beta list = %+v", runs)
+	}
+
+	waitTerminal(t, svc, id)
+	waitTerminal(t, svc, betaID)
+
+	// Per-tenant metrics appear on the open /metrics endpoint.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		`pcwl_tenant_runs_admitted_total{tenant="alpha"}`,
+		`pcwl_tenant_runs_admitted_total{tenant="beta"}`,
+		`pcwl_tenant_queue_depth{tenant="alpha"}`,
+		`pcwl_tenant_running{tenant="beta"}`,
+		`pcwl_tenant_cpu_seconds_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics is missing %s", want)
+		}
+	}
+}
+
+func TestHTTPAnonymousMapsToDefaultTenant(t *testing.T) {
+	reg, err := tenant.NewRegistry(
+		tenant.Tenant{Name: "vip", Key: "vip-key", Weight: 4},
+		tenant.Tenant{Name: tenant.DefaultName, MaxQueued: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, svc := startTenantServer(t, Options{Workers: 2, Tenants: reg})
+	resp, body := doReq(t, "POST", srv.URL+"/runs", "",
+		map[string]any{"cwl": echoTool, "inputs": map[string]any{"message": "anon"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("anonymous submit with default tenant = %d body %v", resp.StatusCode, body)
+	}
+	var id, tn string
+	json.Unmarshal(body["id"], &id)
+	json.Unmarshal(body["tenant"], &tn)
+	if tn != tenant.DefaultName {
+		t.Errorf("tenant = %q", tn)
+	}
+	waitTerminal(t, svc, id)
+}
+
+func TestHTTPShedCarriesDerivedRetryAfter(t *testing.T) {
+	srv, svc := startTenantServer(t, Options{Workers: 1, QueueDepth: 1})
+	// One running + one queued saturates depth; the next submission sheds.
+	submit := map[string]any{"cwl": sleepTool}
+	var ids []string
+	saturated := false
+	var retryAfter string
+	deadline := time.Now().Add(10 * time.Second)
+	for !saturated {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never saturated")
+		}
+		resp, body := doReq(t, "POST", srv.URL+"/runs", "", submit)
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			var id string
+			json.Unmarshal(body["id"], &id)
+			ids = append(ids, id)
+		case http.StatusTooManyRequests:
+			saturated = true
+			retryAfter = resp.Header.Get("Retry-After")
+		default:
+			t.Fatalf("submit = %d body %v", resp.StatusCode, body)
+		}
+	}
+	secs, err := strconv.Atoi(retryAfter)
+	if err != nil || secs < minRetryAfter || secs > maxRetryAfter {
+		t.Errorf("Retry-After = %q, want integer in [%d,%d]", retryAfter, minRetryAfter, maxRetryAfter)
+	}
+	for _, id := range ids {
+		svc.Cancel(id)
+	}
+}

@@ -34,6 +34,22 @@ var (
 		"Whole-run execution time (start to terminal state), by outcome.",
 		obs.ExpBuckets(0.01, 3, 13),
 		"state")
+
+	// Per-tenant admission and usage counters. The tenant label is the
+	// registry name (or "default" in single-tenant mode), so cardinality is
+	// operator-bounded.
+	metTenantAdmitted = obs.Default().CounterVec(
+		"pcwl_tenant_runs_admitted_total",
+		"Runs accepted by Submit, by tenant.",
+		"tenant")
+	metTenantShed = obs.Default().CounterVec(
+		"pcwl_tenant_shed_total",
+		"Submissions shed by admission control, by tenant and reason.",
+		"tenant", "reason")
+	metTenantResultHits = obs.Default().CounterVec(
+		"pcwl_tenant_result_cache_hits_total",
+		"Submissions answered whole from the shared result cache, by tenant.",
+		"tenant")
 )
 
 // rejectReason maps a Submit error onto the rejected-counter reason label.
@@ -51,6 +67,12 @@ func rejectReason(err error) string {
 		return "unknown_provider"
 	case errors.Is(err, ErrDraining):
 		return "draining"
+	case errors.Is(err, ErrQuotaExceeded):
+		return "tenant_quota"
+	case errors.Is(err, ErrUnauthorized):
+		return "unauthorized"
+	case errors.Is(err, ErrDuplicateRun):
+		return "duplicate"
 	default:
 		return "other"
 	}
@@ -89,8 +111,62 @@ func (s *Service) registerCollectors() {
 			counterFam("pcwl_doccache_hits_total", "Parsed-document cache hits.", float64(hits)),
 			counterFam("pcwl_doccache_misses_total", "Parsed-document cache misses (each one parses and validates).", float64(misses)),
 			gaugeFam("pcwl_doccache_entries", "Documents currently cached.", float64(size)),
-			gaugeFam("pcwl_doccache_bytes", "CWL source bytes retained by the document cache.", float64(bytes)),
+			gaugeFam("pcwl_doccache_bytes", "Bytes retained by the document cache (source plus prebuilt index estimate).", float64(bytes)),
 		)
+
+		if s.results != nil {
+			rcHits, rcMisses, rcEntries := s.results.Stats()
+			fams = append(fams,
+				counterFam("pcwl_resultcache_hits_total", "Whole-run submissions answered from the shared result cache.", float64(rcHits)),
+				counterFam("pcwl_resultcache_misses_total", "Whole-run result-cache lookups that missed.", float64(rcMisses)),
+				gaugeFam("pcwl_resultcache_entries", "Run results held by the shared result cache.", float64(rcEntries)),
+			)
+		}
+
+		if depths := s.sched.TenantDepths(); len(depths) > 0 || s.opts.Tenants != nil {
+			tq := obs.Family{Name: "pcwl_tenant_queue_depth", Help: "Runs queued per tenant.", Type: obs.TypeGauge}
+			tr := obs.Family{Name: "pcwl_tenant_running", Help: "Runs executing per tenant.", Type: obs.TypeGauge}
+			names := make([]string, 0, len(depths))
+			for name := range depths {
+				names = append(names, name)
+			}
+			if s.opts.Tenants != nil {
+				// Registered tenants always appear, even idle, so dashboards
+				// see a continuous series per tenant.
+				for _, name := range s.opts.Tenants.Names() {
+					if _, ok := depths[name]; !ok {
+						names = append(names, name)
+					}
+				}
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				l := []obs.Label{{Name: "tenant", Value: tenantLabel(name)}}
+				d := depths[name]
+				tq.Samples = append(tq.Samples, obs.Sample{Labels: l, Value: float64(d.Queued)})
+				tr.Samples = append(tr.Samples, obs.Sample{Labels: l, Value: float64(d.Running)})
+			}
+			fams = append(fams, tq, tr)
+		}
+
+		// CPU seconds are fractional, so they live here as a gather-time
+		// counter family over the service's float accumulator rather than an
+		// integer counter vector.
+		if cpu := s.cpuUsedByTenant(); len(cpu) > 0 {
+			fam := obs.Family{Name: "pcwl_tenant_cpu_seconds_total", Help: "Whole-run execution seconds consumed, by tenant.", Type: obs.TypeCounter}
+			names := make([]string, 0, len(cpu))
+			for name := range cpu {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fam.Samples = append(fam.Samples, obs.Sample{
+					Labels: []obs.Label{{Name: "tenant", Value: name}},
+					Value:  cpu[name],
+				})
+			}
+			fams = append(fams, fam)
+		}
 
 		fams = append(fams, executorFamilies(s.dfk.ExecutorStats())...)
 

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -27,11 +28,18 @@ import (
 // time; their re-execution is cheap because step results hit the restored
 // memo table.
 //
+// The journal is sharded (persist.ShardedLog): records are routed to one of
+// N independent WALs by their key — run records by run ID, memo records by
+// memo key — so concurrent runs' fsync batches stop serializing on a single
+// writer. Per-run record order is preserved (one run, one shard); the global
+// run order is recovered at replay by sorting on the run-ID sequence, and
+// every shard's snapshot carries the sequence high-water mark.
+//
 // Record application is idempotent (replay tolerates records already
 // reflected in the snapshot), which is what makes the persist.Log's
 // crash-windows safe.
 type persister struct {
-	log   *persist.Log
+	log   *persist.ShardedLog
 	codec core.ResultCodec
 
 	mu       sync.Mutex
@@ -57,21 +65,23 @@ type payloadRec struct {
 // runWire is the journal/snapshot form of one run (RunSnapshot plus, for
 // non-terminal runs, the payload needed to re-execute it).
 type runWire struct {
-	ID       string          `json:"id"`
-	Name     string          `json:"name,omitempty"`
-	State    string          `json:"state"`
-	Class    string          `json:"class,omitempty"`
-	DocHash  string          `json:"docHash,omitempty"`
-	Priority int             `json:"priority,omitempty"`
-	CacheHit bool            `json:"cacheHit,omitempty"`
-	Created  time.Time       `json:"createdAt"`
-	Started  *time.Time      `json:"startedAt,omitempty"`
-	Finished *time.Time      `json:"finishedAt,omitempty"`
-	Outputs  json.RawMessage `json:"outputs,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Provider string          `json:"provider,omitempty"`
-	Source   string          `json:"source,omitempty"`
-	Inputs   json.RawMessage `json:"inputs,omitempty"`
+	ID           string          `json:"id"`
+	Name         string          `json:"name,omitempty"`
+	State        string          `json:"state"`
+	Class        string          `json:"class,omitempty"`
+	DocHash      string          `json:"docHash,omitempty"`
+	Priority     int             `json:"priority,omitempty"`
+	CacheHit     bool            `json:"cacheHit,omitempty"`
+	Created      time.Time       `json:"createdAt"`
+	Started      *time.Time      `json:"startedAt,omitempty"`
+	Finished     *time.Time      `json:"finishedAt,omitempty"`
+	Outputs      json.RawMessage `json:"outputs,omitempty"`
+	Error        string          `json:"error,omitempty"`
+	Provider     string          `json:"provider,omitempty"`
+	Tenant       string          `json:"tenant,omitempty"`
+	ResultCached bool            `json:"resultCached,omitempty"`
+	Source       string          `json:"source,omitempty"`
+	Inputs       json.RawMessage `json:"inputs,omitempty"`
 }
 
 type rejectWire struct {
@@ -92,18 +102,20 @@ type snapshotWire struct {
 
 func toWire(snap RunSnapshot) runWire {
 	w := runWire{
-		ID:       snap.ID,
-		Name:     snap.Name,
-		State:    snap.State.String(),
-		Class:    snap.Class,
-		DocHash:  snap.DocHash,
-		Priority: snap.Priority,
-		CacheHit: snap.CacheHit,
-		Created:  snap.Created,
-		Started:  snap.Started,
-		Finished: snap.Finished,
-		Error:    snap.Error,
-		Provider: snap.Provider,
+		ID:           snap.ID,
+		Name:         snap.Name,
+		State:        snap.State.String(),
+		Class:        snap.Class,
+		DocHash:      snap.DocHash,
+		Priority:     snap.Priority,
+		CacheHit:     snap.CacheHit,
+		Created:      snap.Created,
+		Started:      snap.Started,
+		Finished:     snap.Finished,
+		Error:        snap.Error,
+		Provider:     snap.Provider,
+		Tenant:       snap.Tenant,
+		ResultCached: snap.ResultCached,
 	}
 	if snap.Outputs != nil {
 		if raw, err := snap.Outputs.MarshalJSON(); err == nil {
@@ -119,18 +131,20 @@ func (w runWire) toSnapshot() (RunSnapshot, error) {
 		return RunSnapshot{}, fmt.Errorf("run %s: %w", w.ID, err)
 	}
 	snap := RunSnapshot{
-		ID:       w.ID,
-		Name:     w.Name,
-		State:    state,
-		Class:    w.Class,
-		DocHash:  w.DocHash,
-		Priority: w.Priority,
-		CacheHit: w.CacheHit,
-		Created:  w.Created,
-		Started:  w.Started,
-		Finished: w.Finished,
-		Error:    w.Error,
-		Provider: w.Provider,
+		ID:           w.ID,
+		Name:         w.Name,
+		State:        state,
+		Class:        w.Class,
+		DocHash:      w.DocHash,
+		Priority:     w.Priority,
+		CacheHit:     w.CacheHit,
+		Created:      w.Created,
+		Started:      w.Started,
+		Finished:     w.Finished,
+		Error:        w.Error,
+		Provider:     w.Provider,
+		Tenant:       w.Tenant,
+		ResultCached: w.ResultCached,
 	}
 	if len(w.Outputs) > 0 {
 		v, err := yamlx.DecodeJSON(w.Outputs)
@@ -144,7 +158,7 @@ func (w runWire) toSnapshot() (RunSnapshot, error) {
 	return snap, nil
 }
 
-func newPersister(log *persist.Log) *persister {
+func newPersister(log *persist.ShardedLog) *persister {
 	return &persister{
 		log:      log,
 		payloads: map[string]payloadRec{},
@@ -169,7 +183,7 @@ func (p *persister) runSubmitted(snap RunSnapshot, source []byte, inputs *yamlx.
 	p.mu.Lock()
 	p.payloads[snap.ID] = payloadRec{source: source, inputs: inputs}
 	p.mu.Unlock()
-	if err := p.append("submit", w); err != nil {
+	if err := p.append(snap.ID, "submit", w); err != nil {
 		p.dropPayload(snap.ID)
 		return err
 	}
@@ -178,7 +192,7 @@ func (p *persister) runSubmitted(snap RunSnapshot, source []byte, inputs *yamlx.
 
 func (p *persister) runRejected(id string) {
 	p.dropPayload(id)
-	p.append("reject", rejectWire{ID: id})
+	p.append(id, "reject", rejectWire{ID: id})
 }
 
 // runChanged journals a running or terminal transition.
@@ -186,7 +200,7 @@ func (p *persister) runChanged(snap RunSnapshot) {
 	if snap.State.Terminal() {
 		p.dropPayload(snap.ID)
 	}
-	p.append("run", toWire(snap))
+	p.append(snap.ID, "run", toWire(snap))
 }
 
 func (p *persister) memoCommitted(e parsl.MemoEntry) {
@@ -194,7 +208,7 @@ func (p *persister) memoCommitted(e parsl.MemoEntry) {
 	if !ok {
 		return // not a checkpointable result shape; stays process-local
 	}
-	p.append("memo", memoWire{Key: e.Key, App: e.App, Value: raw})
+	p.append(e.Key, "memo", memoWire{Key: e.Key, App: e.App, Value: raw})
 }
 
 func (p *persister) dropPayload(id string) {
@@ -203,11 +217,14 @@ func (p *persister) dropPayload(id string) {
 	p.mu.Unlock()
 }
 
-func (p *persister) append(kind string, v any) error {
+// append journals one record on the shard owning key (run records key on
+// their run ID, memo records on their memo key, so per-run and per-result
+// ordering survive sharding).
+func (p *persister) append(key, kind string, v any) error {
 	// Transition-record failures must not take down run execution (callers
 	// other than runSubmitted ignore the return); the error is retained and
 	// surfaced through the /healthz persistence section.
-	err := p.log.Append(kind, v)
+	err := p.log.Append(key, kind, v)
 	if err != nil {
 		p.mu.Lock()
 		p.lastErr = err
@@ -237,19 +254,23 @@ func (p *persister) replay() (*replayState, error) {
 		st.runs[w.ID] = &cp
 	}
 	err := p.log.Replay(
-		func(data json.RawMessage) error {
+		func(_ int, data json.RawMessage) error {
 			var snap snapshotWire
 			if err := json.Unmarshal(data, &snap); err != nil {
 				return fmt.Errorf("state snapshot: %w", err)
 			}
-			st.seq = snap.Seq
+			// Every shard snapshot stores the global sequence high-water mark
+			// as of its compaction; the max across shards wins.
+			if snap.Seq > st.seq {
+				st.seq = snap.Seq
+			}
 			for _, w := range snap.Runs {
 				add(w)
 			}
 			st.memo = append(st.memo, snap.Memo...)
 			return nil
 		},
-		func(rec persist.Record) error {
+		func(_ int, rec persist.Record) error {
 			switch rec.Kind {
 			case "submit":
 				var w runWire
@@ -298,7 +319,9 @@ func (p *persister) replay() (*replayState, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Compact out rejected runs while preserving order.
+	// Compact out rejected runs, then restore global creation order: shards
+	// replay independently, so cross-shard interleaving is arbitrary until
+	// sorted by the run-ID sequence.
 	kept := st.order[:0]
 	for _, id := range st.order {
 		if _, ok := st.runs[id]; ok {
@@ -306,6 +329,9 @@ func (p *persister) replay() (*replayState, error) {
 		}
 	}
 	st.order = kept
+	sort.SliceStable(st.order, func(i, j int) bool {
+		return parseRunID(st.order[i]) < parseRunID(st.order[j])
+	})
 	for _, id := range st.order {
 		if n := parseRunID(id); n > st.seq {
 			st.seq = n
@@ -337,11 +363,13 @@ func (p *persister) restoreMemo(dfk *parsl.DFK, wires []memoWire) {
 
 // --- snapshots ---
 
-// snapshot compacts the journal into a fresh state snapshot. The build runs
-// under the log's append gate, so no transition journaled before the
-// compaction can be lost by the truncation.
+// snapshot compacts every journal shard into a fresh state snapshot. Each
+// shard's build runs under that shard's append gate, so no transition
+// journaled before its compaction can be lost by the truncation; each shard
+// snapshots only the runs and memo entries its key routing owns, plus the
+// global run-ID sequence high-water mark (replay takes the max).
 func (p *persister) snapshot(s *Service) error {
-	return p.log.Compact(func() (any, error) {
+	return p.log.Compact(func(shard int) (any, error) {
 		p.mu.Lock()
 		payloads := make(map[string]payloadRec, len(p.payloads))
 		for id, pl := range p.payloads {
@@ -351,6 +379,9 @@ func (p *persister) snapshot(s *Service) error {
 
 		snap := snapshotWire{Seq: runSeq.Load()}
 		for _, rs := range s.store.List() {
+			if p.log.ShardOf(rs.ID) != shard {
+				continue
+			}
 			w := toWire(rs)
 			if !rs.State.Terminal() {
 				if pl, ok := payloads[rs.ID]; ok {
@@ -368,6 +399,9 @@ func (p *persister) snapshot(s *Service) error {
 			snap.Runs = append(snap.Runs, w)
 		}
 		for _, e := range s.dfk.MemoSnapshot() {
+			if p.log.ShardOf(e.Key) != shard {
+				continue
+			}
 			raw, ok := p.codec.Encode(e.Value)
 			if !ok {
 				continue
@@ -420,6 +454,7 @@ func (p *persister) stats() *PersistStats {
 	ls := p.log.Stats()
 	st := &PersistStats{
 		Dir:             ls.Dir,
+		Shards:          p.log.Shards(),
 		JournalBytes:    ls.JournalBytes,
 		JournalRecords:  ls.JournalRecords,
 		SnapshotBytes:   ls.SnapshotBytes,
@@ -443,6 +478,8 @@ func (p *persister) stats() *PersistStats {
 type PersistStats struct {
 	// Dir is the data directory backing the journal and snapshots.
 	Dir string `json:"dir"`
+	// Shards is the WAL shard count (1 for a legacy unsharded directory).
+	Shards int `json:"shards"`
 	// JournalBytes/JournalRecords describe the current write-ahead log.
 	JournalBytes   int64 `json:"journalBytes"`
 	JournalRecords int64 `json:"journalRecords"`

@@ -98,7 +98,8 @@ func TestPersistenceRestoresHistoryAcrossRestart(t *testing.T) {
 }
 
 // copyDir simulates the on-disk state a kill -9 leaves behind: the journal
-// files as they are mid-run, with no graceful shutdown snapshot.
+// files (including every WAL shard directory) as they are mid-run, with no
+// graceful shutdown snapshot.
 func copyDir(t *testing.T, src, dst string) {
 	t.Helper()
 	entries, err := os.ReadDir(src)
@@ -107,6 +108,11 @@ func copyDir(t *testing.T, src, dst string) {
 	}
 	for _, e := range entries {
 		if e.IsDir() {
+			sub := filepath.Join(dst, e.Name())
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyDir(t, filepath.Join(src, e.Name()), sub)
 			continue
 		}
 		in, err := os.Open(filepath.Join(src, e.Name()))
@@ -250,12 +256,12 @@ steps:
 }
 
 func TestEnqueueRestoredBypassesDepthCap(t *testing.T) {
-	sched := NewScheduler(1, 1, func(ctx context.Context, id string) {
+	sched := NewScheduler(1, 1, nil, func(ctx context.Context, id string) {
 		<-ctx.Done()
 	})
 	defer sched.Close(context.Background())
 	// Fill the worker and the depth-1 queue.
-	if err := sched.Enqueue("a", 0); err != nil {
+	if err := sched.Enqueue("a", "default", 0); err != nil {
 		t.Fatal(err)
 	}
 	waitDepth := time.Now().Add(2 * time.Second)
@@ -268,15 +274,15 @@ func TestEnqueueRestoredBypassesDepthCap(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := sched.Enqueue("b", 0); err != nil {
+	if err := sched.Enqueue("b", "default", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Enqueue("c", 0); err == nil {
+	if err := sched.Enqueue("c", "default", 0); err == nil {
 		t.Fatal("queue over depth accepted a normal enqueue")
 	}
 	// Restored work bypasses backpressure: the pre-crash service had already
 	// accepted it.
-	if err := sched.EnqueueRestored("d", 0); err != nil {
+	if err := sched.EnqueueRestored("d", "default", 0); err != nil {
 		t.Errorf("EnqueueRestored failed at depth cap: %v", err)
 	}
 	sched.Cancel("a")

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// drainWindow is how far back the drain-rate estimate looks. Completions
+// older than this say little about the service's current pace.
+const drainWindow = 30 * time.Second
+
+// drainRingSize bounds the completion-timestamp ring. With the window above,
+// this caps the measurable rate at ~8 runs/s; faster drains are clamped to
+// the Retry-After floor anyway.
+const drainRingSize = 256
+
+// drainEstimator tracks recent run-completion times so shed responses can
+// tell clients how long the current backlog actually takes to drain, instead
+// of a constant backoff that is too eager under load and too lazy when idle.
+type drainEstimator struct {
+	mu    sync.Mutex
+	times [drainRingSize]time.Time
+	next  int
+	count int
+}
+
+// record notes one run completion.
+func (d *drainEstimator) record(t time.Time) {
+	d.mu.Lock()
+	d.times[d.next] = t
+	d.next = (d.next + 1) % drainRingSize
+	if d.count < drainRingSize {
+		d.count++
+	}
+	d.mu.Unlock()
+}
+
+// ratePerSecond estimates the completion rate over the trailing window
+// (0 when no completion landed inside it).
+func (d *drainEstimator) ratePerSecond(now time.Time) float64 {
+	cutoff := now.Add(-drainWindow)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	recent := 0
+	oldest := now
+	for i := 0; i < d.count; i++ {
+		t := d.times[i]
+		if t.After(cutoff) {
+			recent++
+			if t.Before(oldest) {
+				oldest = t
+			}
+		}
+	}
+	if recent == 0 {
+		return 0
+	}
+	span := now.Sub(oldest).Seconds()
+	if span < 1 {
+		span = 1
+	}
+	return float64(recent) / span
+}
+
+// Retry-After bounds: never tell a client to come back sooner than a second
+// or later than a minute.
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 60
+)
+
+// retryAfter derives the Retry-After seconds for a shed submission: the
+// current queue depth divided by the measured drain rate, clamped to
+// [minRetryAfter, maxRetryAfter]. With no measurable drain (cold service or
+// a stalled pool) it falls back to scaling with depth alone, so a deep dead
+// queue still pushes clients further out than a shallow one.
+func (s *Service) retryAfter() int {
+	queued, running := s.sched.Depths()
+	backlog := queued + running
+	rate := s.drain.ratePerSecond(time.Now())
+	var est float64
+	if rate > 0 {
+		est = float64(backlog) / rate
+	} else {
+		est = float64(backlog) / 4 // assume a default worker pool's pace
+	}
+	secs := int(est + 0.5)
+	if secs < minRetryAfter {
+		return minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return secs
+}
+
+// retryAfterError decorates a shed error with the derived backoff, which the
+// HTTP layer surfaces as the Retry-After header.
+type retryAfterError struct {
+	err   error
+	after int
+}
+
+func (e *retryAfterError) Error() string { return fmt.Sprintf("%v (retry after %ds)", e.err, e.after) }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// RetryAfterSeconds exposes the backoff to errors.As callers.
+func (e *retryAfterError) RetryAfterSeconds() int { return e.after }
+
+// withRetryAfter attaches the current derived backoff to a shed error.
+func (s *Service) withRetryAfter(err error) error {
+	return &retryAfterError{err: err, after: s.retryAfter()}
+}

@@ -3,32 +3,114 @@ package service
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 )
 
-// Scheduler runs queued jobs on a bounded pool of workers. Jobs dequeue by
-// descending priority, FIFO within a priority. Queued jobs can be removed,
-// running jobs can be signaled through their context, and Close drains the
-// pool gracefully.
+// Priority bounds for client-supplied queue priorities. Values outside the
+// range are clamped at admission: priority orders runs only within one
+// tenant's queue, while cross-tenant capacity is governed by fair-share
+// weights — so no client value, however large, can starve another tenant.
+const (
+	MinPriority = -100
+	MaxPriority = 100
+)
+
+// ClampPriority clamps a client-supplied priority into
+// [MinPriority, MaxPriority].
+func ClampPriority(p int) int {
+	if p > MaxPriority {
+		return MaxPriority
+	}
+	if p < MinPriority {
+		return MinPriority
+	}
+	return p
+}
+
+// TenantLimits is the scheduler-relevant slice of one tenant's policy.
+type TenantLimits struct {
+	// Weight is the fair-share weight: a tenant with weight w dequeues w
+	// runs per round-robin cycle while it has queued work (<= 0 selects 1).
+	Weight int
+	// MaxQueued bounds the tenant's queued runs (<= 0 = unlimited).
+	MaxQueued int
+	// MaxRunning bounds the tenant's concurrently executing runs
+	// (<= 0 = unlimited); a capped tenant's queue is skipped, not blocking.
+	MaxRunning int
+}
+
+func (l TenantLimits) weight() int {
+	if l.Weight <= 0 {
+		return 1
+	}
+	return l.Weight
+}
+
+// Scheduler runs queued jobs on a bounded pool of workers, fairly across
+// tenants. Each tenant has its own priority+FIFO sub-queue; workers drain the
+// sub-queues by weighted round-robin — a tenant with weight w dequeues up to
+// w jobs per cycle while it has eligible work — so one tenant's backlog (or
+// inflated priorities) cannot starve another's. Per-tenant queue-depth and
+// concurrency caps are enforced here alongside the global depth cap. Queued
+// jobs can be removed, running jobs can be signaled through their context,
+// and Close drains the pool gracefully.
 type Scheduler struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   jobHeap
-	queued  map[string]*schedJob
-	running map[string]context.CancelFunc
-	seq     int64
-	depth   int
-	closed  bool
-	exec    func(ctx context.Context, id string)
-	wg      sync.WaitGroup
+	mu   sync.Mutex
+	cond *sync.Cond
+	// limits resolves a tenant's fair-share policy at enqueue/dequeue time
+	// (nil = every tenant weight 1, uncapped).
+	limits  func(tenant string) TenantLimits
+	tenants map[string]*tenantQueue
+	// ring holds tenants with queued jobs in weighted round-robin order.
+	ring   []*tenantQueue
+	cursor int
+
+	byID          map[string]*schedJob // queued jobs, for cancel + duplicates
+	running       map[string]context.CancelFunc
+	runningTenant map[string]string // running job id → tenant
+	runningBy     map[string]int    // tenant → running count
+	seq           int64
+	depth         int // global queued cap; <= 0 unbounded
+	closed        bool
+	exec          func(ctx context.Context, id string)
+	wg            sync.WaitGroup
 }
 
 type schedJob struct {
 	id       string
+	tenant   string
 	priority int
 	seq      int64
 	canceled bool
+}
+
+// tenantQueue is one tenant's sub-queue plus its round-robin state.
+type tenantQueue struct {
+	name string
+	heap jobHeap
+	// queued counts live (un-canceled) entries; canceled entries stay in the
+	// heap and are skipped lazily when popped.
+	queued int
+	// credit is the tenant's remaining dequeues this round-robin cycle,
+	// recharged to its weight when exhausted.
+	credit int
+	inRing bool
+}
+
+// pop removes and returns the tenant's highest-priority live job (nil when
+// only canceled entries remain).
+func (tq *tenantQueue) pop() *schedJob {
+	for tq.heap.Len() > 0 {
+		j := heap.Pop(&tq.heap).(*schedJob)
+		if j.canceled {
+			continue
+		}
+		tq.queued--
+		return j
+	}
+	return nil
 }
 
 // jobHeap orders by priority (higher first), then submission order.
@@ -53,17 +135,23 @@ func (h *jobHeap) Pop() any {
 }
 
 // NewScheduler starts workers goroutines that call exec for each dequeued
-// job. depth bounds the number of queued (not yet running) jobs; depth <= 0
-// means unbounded. exec receives a per-job context canceled by Cancel.
-func NewScheduler(workers, depth int, exec func(ctx context.Context, id string)) *Scheduler {
+// job. depth bounds the number of queued (not yet running) jobs globally;
+// depth <= 0 means unbounded. limits resolves per-tenant fair-share policy
+// (nil = every tenant weight 1, uncapped). exec receives a per-job context
+// canceled by Cancel.
+func NewScheduler(workers, depth int, limits func(tenant string) TenantLimits, exec func(ctx context.Context, id string)) *Scheduler {
 	if workers <= 0 {
 		workers = 1
 	}
 	s := &Scheduler{
-		queued:  map[string]*schedJob{},
-		running: map[string]context.CancelFunc{},
-		depth:   depth,
-		exec:    exec,
+		limits:        limits,
+		tenants:       map[string]*tenantQueue{},
+		byID:          map[string]*schedJob{},
+		running:       map[string]context.CancelFunc{},
+		runningTenant: map[string]string{},
+		runningBy:     map[string]int{},
+		depth:         depth,
+		exec:          exec,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
@@ -73,34 +161,127 @@ func NewScheduler(workers, depth int, exec func(ctx context.Context, id string))
 	return s
 }
 
-// Enqueue adds a job. It fails with ErrDraining after Close and ErrQueueFull
-// when the queue is at capacity (the service's backpressure signal).
-func (s *Scheduler) Enqueue(id string, priority int) error {
-	return s.enqueue(id, priority, false)
+func (s *Scheduler) limitsFor(tenant string) TenantLimits {
+	if s.limits == nil {
+		return TenantLimits{}
+	}
+	return s.limits(tenant)
+}
+
+// Enqueue adds a job to its tenant's sub-queue. It fails with ErrDraining
+// after Close, ErrDuplicateRun when the id is already queued or running,
+// ErrQueueFull at the global depth cap, and ErrQuotaExceeded at the tenant's
+// own queue-depth cap (the per-tenant backpressure signal — hitting it never
+// consumes global capacity another tenant could have used).
+func (s *Scheduler) Enqueue(id, tenant string, priority int) error {
+	return s.enqueue(id, tenant, priority, false)
 }
 
 // EnqueueRestored admits a job recovered from the persistence journal,
-// bypassing the depth cap: backpressure protects against new load, but the
-// pre-crash service had already accepted these runs and failing them on
-// restart would break the durability contract.
-func (s *Scheduler) EnqueueRestored(id string, priority int) error {
-	return s.enqueue(id, priority, true)
+// bypassing the depth and quota caps: backpressure protects against new
+// load, but the pre-crash service had already accepted these runs and
+// failing them on restart would break the durability contract.
+func (s *Scheduler) EnqueueRestored(id, tenant string, priority int) error {
+	return s.enqueue(id, tenant, priority, true)
 }
 
-func (s *Scheduler) enqueue(id string, priority int, restored bool) error {
+func (s *Scheduler) enqueue(id, tenant string, priority int, restored bool) error {
+	priority = ClampPriority(priority)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrDraining
 	}
-	if !restored && s.depth > 0 && len(s.queued) >= s.depth {
-		return ErrQueueFull
+	// A second enqueue of a live id must fail loudly: the old global heap
+	// silently overwrote the queued-map entry while leaving the first heap
+	// entry un-canceled, so one id could execute twice.
+	if _, ok := s.byID[id]; ok {
+		return fmt.Errorf("%w: %s is already queued", ErrDuplicateRun, id)
+	}
+	if _, ok := s.running[id]; ok {
+		return fmt.Errorf("%w: %s is already running", ErrDuplicateRun, id)
+	}
+	lim := s.limitsFor(tenant)
+	tq := s.tenants[tenant]
+	if !restored {
+		if s.depth > 0 && len(s.byID) >= s.depth {
+			return ErrQueueFull
+		}
+		if lim.MaxQueued > 0 && tq != nil && tq.queued >= lim.MaxQueued {
+			return fmt.Errorf("%w: tenant %q is at its queue-depth quota (%d)", ErrQuotaExceeded, tenant, lim.MaxQueued)
+		}
+	}
+	if tq == nil {
+		tq = &tenantQueue{name: tenant}
+		s.tenants[tenant] = tq
 	}
 	s.seq++
-	j := &schedJob{id: id, priority: priority, seq: s.seq}
-	heap.Push(&s.queue, j)
-	s.queued[id] = j
+	j := &schedJob{id: id, tenant: tenant, priority: priority, seq: s.seq}
+	heap.Push(&tq.heap, j)
+	tq.queued++
+	s.byID[id] = j
+	if !tq.inRing {
+		tq.inRing = true
+		tq.credit = lim.weight()
+		s.ring = append(s.ring, tq)
+	}
 	s.cond.Signal()
+	return nil
+}
+
+// dequeueLocked picks the next job by weighted round-robin across tenant
+// sub-queues, honoring per-tenant concurrency caps. It returns nil when no
+// tenant has an eligible job. Caller holds s.mu.
+func (s *Scheduler) dequeueLocked() *schedJob {
+	// Compact the ring: tenants whose sub-queues drained leave it (and
+	// release any leftover canceled heap entries); they re-enter with fresh
+	// credit on their next enqueue.
+	kept := s.ring[:0]
+	for i, tq := range s.ring {
+		if tq.queued > 0 {
+			kept = append(kept, tq)
+			continue
+		}
+		tq.inRing = false
+		tq.heap = nil
+		if i < s.cursor {
+			s.cursor--
+		}
+	}
+	for i := len(kept); i < len(s.ring); i++ {
+		s.ring[i] = nil
+	}
+	s.ring = kept
+	if len(s.ring) == 0 {
+		return nil
+	}
+	if s.cursor >= len(s.ring) {
+		s.cursor = 0
+	}
+	for scanned := 0; scanned < len(s.ring); scanned++ {
+		tq := s.ring[s.cursor]
+		lim := s.limitsFor(tq.name)
+		if lim.MaxRunning > 0 && s.runningBy[tq.name] >= lim.MaxRunning {
+			// Tenant at its concurrency quota: skip without burning credit so
+			// its share resumes intact once a run finishes.
+			s.cursor = (s.cursor + 1) % len(s.ring)
+			continue
+		}
+		j := tq.pop()
+		if j == nil {
+			// Only canceled entries remained; the compact pass above will
+			// drop the tenant on the next call.
+			tq.queued = 0
+			s.cursor = (s.cursor + 1) % len(s.ring)
+			continue
+		}
+		tq.credit--
+		if tq.credit <= 0 || tq.queued == 0 {
+			tq.credit = lim.weight()
+			s.cursor = (s.cursor + 1) % len(s.ring)
+		}
+		return j
+	}
 	return nil
 }
 
@@ -108,20 +289,22 @@ func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	s.mu.Lock()
 	for {
-		for !s.closed && s.queue.Len() == 0 {
+		var j *schedJob
+		for {
+			if j = s.dequeueLocked(); j != nil || s.closed {
+				break
+			}
 			s.cond.Wait()
 		}
-		if s.queue.Len() == 0 {
+		if j == nil {
 			s.mu.Unlock()
 			return
 		}
-		j := heap.Pop(&s.queue).(*schedJob)
-		if j.canceled {
-			continue
-		}
-		delete(s.queued, j.id)
+		delete(s.byID, j.id)
 		ctx, cancel := context.WithCancel(context.Background())
 		s.running[j.id] = cancel
+		s.runningTenant[j.id] = j.tenant
+		s.runningBy[j.tenant]++
 		s.mu.Unlock()
 
 		s.exec(ctx, j.id)
@@ -129,6 +312,12 @@ func (s *Scheduler) worker() {
 
 		s.mu.Lock()
 		delete(s.running, j.id)
+		delete(s.runningTenant, j.id)
+		if s.runningBy[j.tenant]--; s.runningBy[j.tenant] <= 0 {
+			delete(s.runningBy, j.tenant)
+		}
+		// A completion may unblock a tenant that was at its concurrency cap.
+		s.cond.Signal()
 	}
 }
 
@@ -148,9 +337,12 @@ const (
 func (s *Scheduler) Cancel(id string) CancelOutcome {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j, ok := s.queued[id]; ok {
+	if j, ok := s.byID[id]; ok {
 		j.canceled = true // lazily skipped when popped
-		delete(s.queued, id)
+		delete(s.byID, id)
+		if tq := s.tenants[j.tenant]; tq != nil {
+			tq.queued--
+		}
 		return CancelDequeued
 	}
 	if cancel, ok := s.running[id]; ok {
@@ -160,11 +352,38 @@ func (s *Scheduler) Cancel(id string) CancelOutcome {
 	return CancelNotFound
 }
 
-// Depths reports the queued and running job counts.
+// Depths reports the global queued and running job counts.
 func (s *Scheduler) Depths() (queued, running int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queued), len(s.running)
+	return len(s.byID), len(s.running)
+}
+
+// TenantDepth is one tenant's live scheduler load.
+type TenantDepth struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// TenantDepths reports queued and running counts per tenant (tenants with
+// neither are omitted).
+func (s *Scheduler) TenantDepths() map[string]TenantDepth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]TenantDepth{}
+	for name, tq := range s.tenants {
+		if tq.queued > 0 {
+			d := out[name]
+			d.Queued = tq.queued
+			out[name] = d
+		}
+	}
+	for name, n := range s.runningBy {
+		d := out[name]
+		d.Running = n
+		out[name] = d
+	}
+	return out
 }
 
 // Close drains the scheduler: no further Enqueue succeeds, every still-queued
@@ -180,11 +399,14 @@ func (s *Scheduler) Close(ctx context.Context) ([]string, error) {
 	}
 	s.closed = true
 	var dropped []string
-	for id, j := range s.queued {
+	for id, j := range s.byID {
 		j.canceled = true
 		dropped = append(dropped, id)
 	}
-	s.queued = map[string]*schedJob{}
+	s.byID = map[string]*schedJob{}
+	s.tenants = map[string]*tenantQueue{}
+	s.ring = nil
+	s.cursor = 0
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	sort.Strings(dropped)

@@ -46,6 +46,7 @@ import (
 	"repro/internal/parsl"
 	"repro/internal/persist"
 	"repro/internal/runner"
+	"repro/internal/tenant"
 	"repro/internal/yamlx"
 )
 
@@ -67,6 +68,17 @@ var (
 	ErrUnknownProvider = errors.New("unknown execution provider")
 	// ErrDraining marks submissions during shutdown (HTTP 503).
 	ErrDraining = errors.New("service is draining")
+	// ErrDuplicateRun marks an enqueue of an ID already queued or running —
+	// always a caller bug; the scheduler must never execute one ID twice.
+	ErrDuplicateRun = errors.New("run is already scheduled")
+	// ErrQuotaExceeded marks a submission shed by the submitting tenant's own
+	// quota — queue depth, concurrency, or CPU budget (HTTP 429 +
+	// Retry-After). Unlike ErrQueueFull/ErrOverloaded it says nothing about
+	// global load: other tenants are unaffected.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+	// ErrUnauthorized marks a request with a missing or unknown API key when
+	// the service has a tenant registry (HTTP 401).
+	ErrUnauthorized = errors.New("missing or invalid API key")
 )
 
 // Options configures a Service.
@@ -126,6 +138,22 @@ type Options struct {
 	// registry and tracer still run (they back /healthz and span-augmented
 	// /runs/{id}/events); only the exposition endpoint is withheld.
 	DisableMetrics bool
+	// Tenants enables multi-tenant mode: requests must authenticate with a
+	// registered API key (unless the registry defines the reserved default
+	// tenant for anonymous traffic), the scheduler fair-shares by tenant
+	// weight, and per-tenant quotas are enforced at admission. Nil runs the
+	// service single-tenant and open, as before.
+	Tenants *tenant.Registry
+	// WALShards partitions the persistence journal into this many independent
+	// fsync-batched WALs keyed by run-ID hash (0 selects
+	// persist.DefaultShards; 1 keeps a single writer). A data directory
+	// created by an earlier unsharded version is opened in place as one
+	// shard. Ignored when DataDir is empty.
+	WALShards int
+	// ResultCacheSize bounds the shared cross-tenant whole-run result cache
+	// (entries). 0 disables it: every submission executes. See docs/TENANCY.md
+	// for the sharing/privacy model.
+	ResultCacheSize int
 	// Logger, when set, receives structured log records for run lifecycle
 	// transitions and span events (see cmd/parsl-cwl-serve -log-format).
 	Logger *slog.Logger
@@ -151,6 +179,10 @@ type SubmitRequest struct {
 	// error. The HTTP layer fills it from the request's walltimeSeconds
 	// field, or from the request context's own deadline.
 	Deadline time.Time
+	// Tenant is the authenticated submitting tenant ("" maps to the default
+	// tenant). When the service has a tenant registry the name must be
+	// registered — the HTTP layer fills it from the Authorization header.
+	Tenant string
 }
 
 // Stats is the service health/load summary served by /healthz.
@@ -170,6 +202,23 @@ type Stats struct {
 	// Persistence reports durability state (journal size, last snapshot,
 	// restored-run counts); nil when the service runs in-memory only.
 	Persistence *PersistStats `json:"persistence,omitempty"`
+	// ResultCacheHits/Misses/Entries describe the shared whole-run result
+	// cache (all zero when it is disabled).
+	ResultCacheHits    int `json:"resultCacheHits,omitempty"`
+	ResultCacheMisses  int `json:"resultCacheMisses,omitempty"`
+	ResultCacheEntries int `json:"resultCacheEntries,omitempty"`
+	// Tenants reports per-tenant load and usage; nil when the service runs
+	// without a tenant registry.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's slice of the service load, served by /healthz.
+type TenantStats struct {
+	// Queued/Running are the tenant's live scheduler depths.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// CPUSeconds is the tenant's accumulated whole-run execution time.
+	CPUSeconds float64 `json:"cpuSeconds"`
 }
 
 // Service is the workflow submission service: a run store, a bounded
@@ -181,6 +230,17 @@ type Service struct {
 	cache *DocCache
 	sched *Scheduler
 	pers  *persister // nil when running in-memory only
+	// results is the shared cross-tenant whole-run result cache (nil when
+	// Options.ResultCacheSize is 0: a nil cache always misses).
+	results *ResultCache
+	// drain tracks recent run completions so Retry-After on shed requests
+	// reflects the actual drain rate instead of a constant.
+	drain drainEstimator
+
+	// cpuMu guards cpu, the per-tenant whole-run execution-seconds ledger
+	// behind pcwl_tenant_cpu_seconds_total (kept even without a registry).
+	cpuMu sync.Mutex
+	cpu   map[string]float64
 
 	// reg is the service-scoped metrics registry: gather-time collectors
 	// over the same sources /healthz reads. Merged with obs.Default() (the
@@ -205,6 +265,10 @@ type pendingRun struct {
 	provider string
 	// deadline bounds the whole run (zero = unbounded).
 	deadline time.Time
+	// resultKey is the run's content address in the shared result cache
+	// ("" when result sharing is off or the tenant opted out): on success the
+	// outputs are inserted under it.
+	resultKey string
 }
 
 // New builds a Service over a loaded DFK.
@@ -233,15 +297,17 @@ func New(dfk *parsl.DFK, opts Options) (*Service, error) {
 		opts.CheckpointPeriod = 30 * time.Second
 	}
 	s := &Service{
-		dfk:    dfk,
-		opts:   opts,
-		store:  NewRunStore(opts.RetainRuns),
-		cache:  NewDocCache(opts.CacheSize, opts.CacheBytes),
-		reg:    obs.NewRegistry(),
-		tracer: obs.NewTracer(opts.RetainRuns, 0),
-		work:   map[string]*pendingRun{},
+		dfk:     dfk,
+		opts:    opts,
+		store:   NewRunStore(opts.RetainRuns),
+		cache:   NewDocCache(opts.CacheSize, opts.CacheBytes),
+		results: NewResultCache(opts.ResultCacheSize),
+		reg:     obs.NewRegistry(),
+		tracer:  obs.NewTracer(opts.RetainRuns, 0),
+		work:    map[string]*pendingRun{},
+		cpu:     map[string]float64{},
 	}
-	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
+	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.tenantLimits, s.execute)
 	s.registerCollectors()
 	if opts.Logger != nil {
 		logger := opts.Logger
@@ -276,7 +342,7 @@ func New(dfk *parsl.DFK, opts Options) (*Service, error) {
 // scheduler, and the DFK memo table, then attaches the journaling hooks and
 // starts the checkpoint loop.
 func (s *Service) openPersistence() error {
-	log, err := persist.Open(s.opts.DataDir, persist.Options{FsyncInterval: s.opts.FsyncInterval})
+	log, err := persist.OpenSharded(s.opts.DataDir, s.opts.WALShards, persist.Options{FsyncInterval: s.opts.FsyncInterval})
 	if err != nil {
 		return err
 	}
@@ -295,6 +361,7 @@ func (s *Service) openPersistence() error {
 	// recorded).
 	type resubmit struct {
 		id       string
+		tenant   string
 		priority int
 	}
 	var rerun []resubmit
@@ -342,19 +409,22 @@ func (s *Service) openPersistence() error {
 		snap.Started = nil
 		s.store.Restore(snap)
 		s.workMu.Lock()
-		s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: inputs, provider: snap.Provider}
+		s.work[snap.ID] = &pendingRun{
+			doc: doc, idx: idx, inputs: inputs, provider: snap.Provider,
+			resultKey: s.resultKeyFor(snap.Tenant, snap.DocHash, inputs),
+		}
 		s.workMu.Unlock()
 		p.mu.Lock()
 		p.payloads[snap.ID] = payloadRec{source: []byte(w.Source), inputs: inputs}
 		p.mu.Unlock()
-		rerun = append(rerun, resubmit{id: snap.ID, priority: snap.Priority})
+		rerun = append(rerun, resubmit{id: snap.ID, tenant: snap.Tenant, priority: snap.Priority})
 		p.resubmitted++
 	}
 
 	s.pers = p
 	p.removeMemo = s.dfk.OnMemoCommit(p.memoCommitted)
 	for _, r := range rerun {
-		if err := s.sched.EnqueueRestored(r.id, r.priority); err != nil {
+		if err := s.sched.EnqueueRestored(r.id, r.tenant, r.priority); err != nil {
 			s.finishRun(r.id, nil, fmt.Errorf("re-enqueue after restart: %w", err), false)
 		}
 	}
@@ -362,13 +432,22 @@ func (s *Service) openPersistence() error {
 	return nil
 }
 
-// finishRun finalizes a run and journals the terminal transition.
+// finishRun finalizes a run, journals the terminal transition, charges the
+// tenant's CPU account, and feeds the drain-rate estimator behind Retry-After.
 func (s *Service) finishRun(id string, outputs *yamlx.Map, runErr error, canceled bool) (RunSnapshot, bool) {
 	snap, ok := s.store.Finish(id, outputs, runErr, canceled)
 	if ok && snap.State.Terminal() {
 		if snap.Started != nil && snap.Finished != nil {
-			metRunDuration.With(snap.State.String()).Observe(snap.Finished.Sub(*snap.Started).Seconds())
+			dur := snap.Finished.Sub(*snap.Started).Seconds()
+			metRunDuration.With(snap.State.String()).Observe(dur)
+			s.cpuMu.Lock()
+			s.cpu[tenantLabel(snap.Tenant)] += dur
+			s.cpuMu.Unlock()
+			if s.opts.Tenants != nil {
+				s.opts.Tenants.ChargeCPU(tenantLabel(snap.Tenant), dur)
+			}
 		}
+		s.drain.record(time.Now())
 		if logger := s.opts.Logger; logger != nil {
 			logger.Info("run finished", "runId", id, "state", snap.State.String(), "error", snap.Error)
 		}
@@ -377,6 +456,71 @@ func (s *Service) finishRun(id string, outputs *yamlx.Map, runErr error, cancele
 		s.pers.runChanged(snap)
 	}
 	return snap, ok
+}
+
+// cpuUsedByTenant copies the CPU-seconds ledger for the metrics collector.
+func (s *Service) cpuUsedByTenant() map[string]float64 {
+	s.cpuMu.Lock()
+	defer s.cpuMu.Unlock()
+	out := make(map[string]float64, len(s.cpu))
+	for k, v := range s.cpu {
+		out[k] = v
+	}
+	return out
+}
+
+// tenantLabel maps the empty tenant onto the default name so metrics and
+// accounting never emit an empty label value.
+func tenantLabel(name string) string {
+	if name == "" {
+		return tenant.DefaultName
+	}
+	return name
+}
+
+// tenantLimits projects a tenant's registry policy into the scheduler's
+// fair-share terms. Without a registry every tenant gets weight 1, uncapped —
+// exactly the old single-queue behavior when all traffic is one tenant.
+func (s *Service) tenantLimits(name string) TenantLimits {
+	reg := s.opts.Tenants
+	if reg == nil {
+		return TenantLimits{}
+	}
+	t, ok := reg.Get(tenantLabel(name))
+	if !ok {
+		return TenantLimits{}
+	}
+	return TenantLimits{Weight: t.Weight, MaxQueued: t.MaxQueued, MaxRunning: t.MaxRunning}
+}
+
+// resolveTenant validates the submission's tenant against the registry and
+// returns its policy record. Without a registry everything maps to an
+// unrestricted default tenant.
+func (s *Service) resolveTenant(name string) (tenant.Tenant, error) {
+	name = tenantLabel(name)
+	reg := s.opts.Tenants
+	if reg == nil {
+		return tenant.Tenant{Name: name}, nil
+	}
+	t, ok := reg.Get(name)
+	if !ok {
+		return tenant.Tenant{}, fmt.Errorf("%w: unknown tenant %q", ErrUnauthorized, name)
+	}
+	return t, nil
+}
+
+// resultKeyFor computes the run's shared-result-cache address, or "" when
+// result sharing is off or the tenant opted out (Private).
+func (s *Service) resultKeyFor(tenantName, docHash string, inputs *yamlx.Map) string {
+	if s.results == nil {
+		return ""
+	}
+	if reg := s.opts.Tenants; reg != nil {
+		if t, ok := reg.Get(tenantLabel(tenantName)); ok && t.Private {
+			return ""
+		}
+	}
+	return ResultKey(docHash, inputs)
 }
 
 // executorFor resolves a pinned provider label to an executor label.
@@ -391,19 +535,40 @@ func (s *Service) executorFor(providerLabel string) (string, error) {
 	return label, nil
 }
 
+// shedMetrics counts one shed submission, globally and per tenant.
+func (s *Service) shedMetrics(tenantName, reason string) {
+	metShed.With(reason).Inc()
+	metTenantShed.With(tenantLabel(tenantName), reason).Inc()
+}
+
 // Submit validates, registers, and enqueues one run, returning its queued
-// snapshot immediately.
+// snapshot immediately — or, on a shared-result-cache hit, its already
+// succeeded snapshot without executing anything.
 func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 	// Admission control runs first: a shed submission must cost nothing — no
-	// parse, no store entry, no journal record.
+	// parse, no store entry, no journal record. Per-tenant checks (CPU
+	// budget here, queue quota at enqueue) shed only the offending tenant;
+	// the global in-flight cap sheds everyone.
+	tn, err := s.resolveTenant(req.Tenant)
+	if err != nil {
+		metRunsRejected.With(rejectReason(err)).Inc()
+		return RunSnapshot{}, err
+	}
 	if s.opts.MaxInFlight > 0 {
 		queued, running := s.sched.Depths()
 		if queued+running >= s.opts.MaxInFlight {
 			err := fmt.Errorf("%w: %d runs in flight (cap %d)", ErrOverloaded, queued+running, s.opts.MaxInFlight)
-			metShed.With("inflight_cap").Inc()
+			s.shedMetrics(tn.Name, "inflight_cap")
 			metRunsRejected.With(rejectReason(err)).Inc()
-			return RunSnapshot{}, err
+			return RunSnapshot{}, s.withRetryAfter(err)
 		}
+	}
+	if s.opts.Tenants != nil && s.opts.Tenants.OverBudget(tn.Name) {
+		err := fmt.Errorf("%w: tenant %q has consumed its CPU-seconds budget (%.0fs of %.0fs)",
+			ErrQuotaExceeded, tn.Name, s.opts.Tenants.CPUUsed(tn.Name), tn.CPUSeconds)
+		s.shedMetrics(tn.Name, "cpu_budget")
+		metRunsRejected.With(rejectReason(err)).Inc()
+		return RunSnapshot{}, s.withRetryAfter(err)
 	}
 	if _, err := s.executorFor(req.Provider); err != nil {
 		metRunsRejected.With(rejectReason(err)).Inc()
@@ -414,9 +579,44 @@ func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 		metRunsRejected.With(rejectReason(err)).Inc()
 		return RunSnapshot{}, err
 	}
-	snap := s.store.Create(req.Name, doc.Class(), hash, req.Priority, hit, req.Provider)
+	// Client priorities are clamped to the documented range and only order
+	// runs within this tenant's sub-queue; cross-tenant share is the tenant
+	// weight's job, so an inflated priority cannot starve other tenants.
+	effective := ClampPriority(req.Priority)
+	meta := RunMeta{
+		Name: req.Name, Class: doc.Class(), DocHash: hash,
+		Provider: req.Provider, Tenant: tn.Name,
+		Priority: effective, CacheHit: hit,
+	}
+
+	if key := s.resultKeyFor(tn.Name, hash, req.Inputs); key != "" {
+		if outputs, ok := s.results.Get(key); ok {
+			// Whole-run result hit: the run is recorded (and journaled) like
+			// any other, but completes immediately with the shared outputs —
+			// it never touches the scheduler.
+			meta.ResultCached = true
+			snap := s.store.Create(meta)
+			if s.pers != nil {
+				if err := s.pers.runSubmitted(snap, req.Source, req.Inputs); err != nil {
+					s.store.Delete(snap.ID)
+					metRunsRejected.With("journal").Inc()
+					return RunSnapshot{}, fmt.Errorf("journaling submission: %w", err)
+				}
+			}
+			metRunsAdmitted.Inc()
+			metTenantAdmitted.With(tn.Name).Inc()
+			metTenantResultHits.With(tn.Name).Inc()
+			snap, _ = s.finishRun(snap.ID, outputs, nil, false)
+			return snap, nil
+		}
+	}
+
+	snap := s.store.Create(meta)
 	s.workMu.Lock()
-	s.work[snap.ID] = &pendingRun{doc: doc, idx: idx, inputs: req.Inputs, provider: req.Provider, deadline: req.Deadline}
+	s.work[snap.ID] = &pendingRun{
+		doc: doc, idx: idx, inputs: req.Inputs, provider: req.Provider,
+		deadline: req.Deadline, resultKey: s.resultKeyFor(tn.Name, hash, req.Inputs),
+	}
 	s.workMu.Unlock()
 	// Journal the submission (with its payload) before it can start: the
 	// worker's own transitions must never precede the submit record, and a
@@ -429,19 +629,25 @@ func (s *Service) Submit(req SubmitRequest) (RunSnapshot, error) {
 			return RunSnapshot{}, fmt.Errorf("journaling submission: %w", err)
 		}
 	}
-	if err := s.sched.Enqueue(snap.ID, req.Priority); err != nil {
+	if err := s.sched.Enqueue(snap.ID, tn.Name, effective); err != nil {
 		if s.pers != nil {
 			s.pers.runRejected(snap.ID)
 		}
 		s.dropWork(snap.ID)
 		s.store.Delete(snap.ID)
-		if errors.Is(err, ErrQueueFull) {
-			metShed.With("queue_full").Inc()
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.shedMetrics(tn.Name, "queue_full")
+			err = s.withRetryAfter(err)
+		case errors.Is(err, ErrQuotaExceeded):
+			s.shedMetrics(tn.Name, "queue_quota")
+			err = s.withRetryAfter(err)
 		}
 		metRunsRejected.With(rejectReason(err)).Inc()
 		return RunSnapshot{}, err
 	}
 	metRunsAdmitted.Inc()
+	metTenantAdmitted.With(tn.Name).Inc()
 	return snap, nil
 }
 
@@ -508,6 +714,11 @@ func (s *Service) execute(ctx context.Context, id string) {
 	// A deadline expiry is a failure, not a cancellation — only an operator
 	// cancel (scheduler context canceled) reports RunCanceled.
 	canceled := err != nil && errors.Is(ctx.Err(), context.Canceled)
+	if err == nil && w.resultKey != "" {
+		// Publish the whole-run result for identical future submissions,
+		// from any non-private tenant.
+		s.results.Put(w.resultKey, outputs)
+	}
 	s.finishRun(id, outputs, err, canceled)
 }
 
@@ -605,6 +816,19 @@ func (s *Service) Stats() Stats {
 		for _, l := range smp.Labels {
 			if l.Name == "state" {
 				st.Runs[l.Value] = int(smp.Value)
+			}
+		}
+	}
+	st.ResultCacheHits, st.ResultCacheMisses, st.ResultCacheEntries = s.results.Stats()
+	if reg := s.opts.Tenants; reg != nil {
+		st.Tenants = map[string]TenantStats{}
+		depths := s.sched.TenantDepths()
+		for _, name := range reg.Names() {
+			d := depths[name]
+			st.Tenants[name] = TenantStats{
+				Queued:     d.Queued,
+				Running:    d.Running,
+				CPUSeconds: reg.CPUUsed(name),
 			}
 		}
 	}

@@ -93,11 +93,13 @@ func bumpRunSeq(n int64) {
 
 // RunSnapshot is an immutable view of one run, safe to hand to API clients.
 type RunSnapshot struct {
-	ID       string     `json:"id"`
-	Name     string     `json:"name,omitempty"`
-	State    RunState   `json:"state"`
-	Class    string     `json:"class"`
-	DocHash  string     `json:"docHash"`
+	ID      string   `json:"id"`
+	Name    string   `json:"name,omitempty"`
+	State   RunState `json:"state"`
+	Class   string   `json:"class"`
+	DocHash string   `json:"docHash"`
+	// Priority is the effective (clamped) queue priority; it orders runs only
+	// within the submitting tenant's sub-queue.
 	Priority int        `json:"priority"`
 	CacheHit bool       `json:"cacheHit"`
 	Created  time.Time  `json:"createdAt"`
@@ -108,6 +110,12 @@ type RunSnapshot struct {
 	// Provider is the execution-provider label the run was pinned to at
 	// submission ("" = the service default executor).
 	Provider string `json:"provider,omitempty"`
+	// Tenant is the authenticated tenant that submitted the run
+	// (tenant.DefaultName when the service runs without a tenant registry).
+	Tenant string `json:"tenant,omitempty"`
+	// ResultCached marks a run whose outputs were served whole from the
+	// shared cross-tenant result cache: it finished without executing.
+	ResultCached bool `json:"resultCached,omitempty"`
 	// Restored marks a run recovered from the persistence journal by a later
 	// process — either as history (terminal) or re-enqueued (interrupted).
 	Restored bool `json:"restored,omitempty"`
@@ -149,24 +157,46 @@ func (st *RunStore) SetOnEvict(fn func(id string)) {
 	st.onEvict = fn
 }
 
+// RunMeta is the submission-time identity of a new run.
+type RunMeta struct {
+	// Name is the client-chosen display name.
+	Name string
+	// Class is the CWL document class (CommandLineTool, Workflow).
+	Class string
+	// DocHash is the content hash of the CWL source.
+	DocHash string
+	// Provider is the pinned execution-provider label ("" = default).
+	Provider string
+	// Tenant is the authenticated submitting tenant.
+	Tenant string
+	// Priority is the effective (already clamped) intra-tenant priority.
+	Priority int
+	// CacheHit marks a parsed-document cache hit.
+	CacheHit bool
+	// ResultCached marks a run served whole from the shared result cache.
+	ResultCached bool
+}
+
 // Create registers a new queued run and returns its snapshot. The generated
 // ID doubles as the DFK submission label for event attribution; the sequence
 // is process-global so IDs never collide across stores sharing a DFK.
-func (st *RunStore) Create(name, class, docHash string, priority int, cacheHit bool, provider string) RunSnapshot {
+func (st *RunStore) Create(meta RunMeta) RunSnapshot {
 	id := fmt.Sprintf("run-%06d", runSeq.Add(1))
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	rec := &runRecord{
 		snap: RunSnapshot{
-			ID:       id,
-			Name:     name,
-			State:    RunQueued,
-			Class:    class,
-			DocHash:  docHash,
-			Priority: priority,
-			CacheHit: cacheHit,
-			Provider: provider,
-			Created:  time.Now(),
+			ID:           id,
+			Name:         meta.Name,
+			State:        RunQueued,
+			Class:        meta.Class,
+			DocHash:      meta.DocHash,
+			Priority:     meta.Priority,
+			CacheHit:     meta.CacheHit,
+			Provider:     meta.Provider,
+			Tenant:       meta.Tenant,
+			ResultCached: meta.ResultCached,
+			Created:      time.Now(),
 		},
 		done: make(chan struct{}),
 	}
